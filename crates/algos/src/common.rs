@@ -1,0 +1,116 @@
+//! Shared conversions between datasets, engine tuples, and MapReduce
+//! records.
+
+use rex_core::tuple::Tuple;
+use rex_core::value::Value;
+use rex_data::graph::Graph;
+use rex_hadoop::api::Record;
+
+/// Adjacency-list records `(node, [nbr, nbr, ...])` for every vertex with
+/// at least one out-edge — the "linkage table" of MapReduce graph jobs.
+pub fn adjacency_records(graph: &Graph) -> Vec<Record> {
+    graph
+        .adjacency()
+        .into_iter()
+        .enumerate()
+        .filter(|(_, nbrs)| !nbrs.is_empty())
+        .map(|(v, nbrs)| {
+            let list: Vec<Value> = nbrs.into_iter().map(|t| Value::Int(t as i64)).collect();
+            (Value::Int(v as i64), Value::list(list))
+        })
+        .collect()
+}
+
+/// Per-edge linkage records `(src, dst)` — the relational layout of the
+/// immutable graph input for the MapReduce baselines. One record per edge
+/// makes the immutable shuffle volume proportional to |E|, which is what
+/// HaLoop's reducer-input cache saves.
+pub fn edge_records(graph: &Graph) -> Vec<Record> {
+    graph
+        .edges
+        .iter()
+        .map(|&(s, t)| (Value::Int(s as i64), Value::Int(t as i64)))
+        .collect()
+}
+
+/// Initial PageRank records `(v, 1.0)` for every vertex.
+pub fn initial_rank_records(graph: &Graph) -> Vec<Record> {
+    (0..graph.n_vertices).map(|v| (Value::Int(v as i64), Value::Double(1.0))).collect()
+}
+
+/// Extract a per-vertex `f64` vector from `(vertex, value)` result tuples;
+/// vertices absent from the results get `default`.
+pub fn per_vertex_doubles(results: &[Tuple], n_vertices: usize, default: f64) -> Vec<f64> {
+    let mut out = vec![default; n_vertices];
+    for t in results {
+        if let (Some(v), Some(x)) = (t.get(0).as_int(), t.get(1).as_double()) {
+            if (0..n_vertices as i64).contains(&v) {
+                out[v as usize] = x;
+            }
+        }
+    }
+    out
+}
+
+/// Extract a per-vertex `f64` vector from `(key, value)` MapReduce records.
+pub fn per_vertex_doubles_from_records(
+    records: &[Record],
+    n_vertices: usize,
+    default: f64,
+) -> Vec<f64> {
+    let mut out = vec![default; n_vertices];
+    for (k, v) in records {
+        if let (Some(kv), Some(x)) = (k.as_int(), v.as_double()) {
+            if (0..n_vertices as i64).contains(&kv) {
+                out[kv as usize] = x;
+            }
+        }
+    }
+    out
+}
+
+/// Maximum absolute difference between two equally-sized vectors.
+pub fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rex_core::tuple;
+    use rex_data::graph::Graph;
+
+    fn g() -> Graph {
+        Graph { n_vertices: 3, edges: vec![(0, 1), (0, 2), (1, 2)] }
+    }
+
+    #[test]
+    fn adjacency_records_skip_sinks() {
+        let recs = adjacency_records(&g());
+        assert_eq!(recs.len(), 2); // vertex 2 has no out-edges
+        assert_eq!(recs[0].0, Value::Int(0));
+        assert_eq!(recs[0].1.as_list().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn initial_ranks_cover_all_vertices() {
+        let recs = initial_rank_records(&g());
+        assert_eq!(recs.len(), 3);
+        assert!(recs.iter().all(|(_, v)| v.as_double() == Some(1.0)));
+    }
+
+    #[test]
+    fn per_vertex_extraction_defaults_missing() {
+        let v = per_vertex_doubles(&[tuple![1i64, 9.5f64]], 3, 0.15);
+        assert_eq!(v, vec![0.15, 9.5, 0.15]);
+        // Out-of-range vertices are ignored.
+        let w = per_vertex_doubles(&[tuple![99i64, 1.0f64]], 3, 0.0);
+        assert_eq!(w, vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn max_abs_diff_finds_peak() {
+        assert_eq!(max_abs_diff(&[1.0, 2.0], &[1.5, 1.0]), 1.0);
+        assert_eq!(max_abs_diff(&[], &[]), 0.0);
+    }
+}

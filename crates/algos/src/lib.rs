@@ -1,0 +1,27 @@
+//! # rex-algos
+//!
+//! The paper's algorithm suite, implemented three ways each so the
+//! evaluation can compare platforms on identical computations:
+//!
+//! * **REX delta plans** — join-handler + accumulating-aggregate dataflows
+//!   per Figure 1 / Listings 1–3, in `delta` and `no-delta` strategies;
+//! * **MapReduce twins** — the same algorithms as Hadoop jobs for the
+//!   `Hadoop LB` / `HaLoop LB` baselines, plus "wrap" variants that run the
+//!   Hadoop classes *inside* REX (§4.4);
+//! * **sequential references** ([`reference`]) — the ground truth that all
+//!   platforms are validated against.
+//!
+//! [`taxonomy`] reproduces Figure 3's immutable/mutable/Δᵢ classification.
+
+pub mod adsorption;
+pub mod common;
+pub mod kmeans;
+pub mod kmeans_mr;
+pub mod pagerank;
+pub mod pagerank_mr;
+pub mod sssp;
+pub mod sssp_mr;
+pub mod reference;
+pub mod taxonomy;
+
+pub use pagerank::{PageRankConfig, Strategy};

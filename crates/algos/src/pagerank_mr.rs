@@ -1,0 +1,399 @@
+//! PageRank as MapReduce jobs: the `Hadoop LB` / `HaLoop LB` baselines and
+//! the "wrap" variant that runs the Hadoop classes inside REX (§4.4).
+//!
+//! Per iteration the baseline executes the HaLoop-paper two-job pipeline:
+//!
+//! 1. **join/scatter** — identity map over the immutable linkage table and
+//!    the mutable rank table; the reducer pairs each vertex's adjacency
+//!    list with its rank and scatters `rank/outdeg` contributions to the
+//!    out-neighbors (plus a `0.0` self-contribution so rank-less vertices
+//!    survive);
+//! 2. **gather** — identity map, sum combiner, and a reducer computing
+//!    `0.15 + 0.85 · Σ contributions`.
+//!
+//! Under [`EmulationMode::HaLoopLowerBound`] the linkage table's map and
+//! shuffle are free from iteration 1 on (the reducer input cache); under
+//! `HadoopLowerBound` everything is charged — exactly the paper's
+//! emulation methodology.
+//!
+//! The **wrap** variant uses the classic single-job formulation whose
+//! records carry `(rank, adjacency)` together, because that is the shape
+//! of "compiled Hadoop code" a user would hand to REX unchanged.
+
+use crate::common::{edge_records, initial_rank_records, per_vertex_doubles_from_records};
+use crate::reference::{BASE_RANK, DAMPING};
+use rex_core::exec::PlanGraph;
+use rex_core::operators::{
+    AggSpec, ApplyFunctionOp, FixpointOp, GroupByOp, ScanOp, SinkOp, Termination,
+};
+use rex_core::tuple::Tuple;
+use rex_core::value::Value;
+use rex_data::graph::Graph;
+use rex_hadoop::api::{FnMapper, FnReducer, IdentityMapper, Mapper, Record, Reducer};
+use rex_hadoop::driver::{IterationReport, RunReport};
+use rex_hadoop::job::{HadoopCluster, JobInput, MapReduceJob};
+use rex_hadoop::wrap::{MapWrap, ReduceWrap};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The join/scatter reducer: pairs a vertex's out-edges (one `Int`
+/// neighbor value per linkage record) with its rank (`Double`) and emits
+/// one contribution per out-neighbor.
+pub fn scatter_reducer() -> Arc<dyn Reducer> {
+    FnReducer::new("PRScatterReduce", |key, values, out| {
+        let mut rank = 0.0f64;
+        let mut neighbors: Vec<&Value> = Vec::new();
+        for v in values {
+            match v {
+                Value::Double(r) => rank += r,
+                Value::Int(_) => neighbors.push(v),
+                _ => {}
+            }
+        }
+        // Keep every vertex alive in the gather stage.
+        out(key.clone(), Value::Double(0.0));
+        if !neighbors.is_empty() {
+            let share = rank / neighbors.len() as f64;
+            for nbr in neighbors {
+                out((*nbr).clone(), Value::Double(share));
+            }
+        }
+    })
+}
+
+/// The gather reducer: `0.15 + 0.85 · Σ contributions`.
+pub fn gather_reducer() -> Arc<dyn Reducer> {
+    FnReducer::new("PRGatherReduce", |key, values, out| {
+        let sum: f64 = values.iter().filter_map(Value::as_double).sum();
+        out(key.clone(), Value::Double(BASE_RANK + DAMPING * sum));
+    })
+}
+
+/// Sum combiner shared by the gather stage.
+pub fn sum_combiner() -> Arc<dyn Reducer> {
+    FnReducer::new("SumCombine", |key, values, out| {
+        out(key.clone(), Value::Double(values.iter().filter_map(Value::as_double).sum()));
+    })
+}
+
+/// Run `iterations` rounds of two-job PageRank on the simulator. Returns
+/// the final ranks and the per-iteration report (both jobs merged).
+pub fn run_mr(graph: &Graph, iterations: usize, cluster: &HadoopCluster) -> (Vec<f64>, RunReport) {
+    let t0 = Instant::now();
+    let adjacency = edge_records(graph);
+    let mut ranks = initial_rank_records(graph);
+    let scatter = MapReduceJob::new("pr-scatter", Arc::new(IdentityMapper), scatter_reducer());
+    let gather = MapReduceJob::new("pr-gather", Arc::new(IdentityMapper), gather_reducer())
+        .with_combiner(sum_combiner());
+    let mut report = RunReport::default();
+    for iteration in 0..iterations {
+        let inputs =
+            [JobInput::immutable(adjacency.clone()), JobInput::mutable(ranks.clone())];
+        let (contribs, mut metrics) = cluster.run_job(&scatter, &inputs, iteration);
+        let (next, m2) = cluster.run_job(&gather, &[JobInput::mutable(contribs)], iteration);
+        metrics.merge(&m2);
+        report.iterations.push(IterationReport {
+            iteration,
+            metrics,
+            mutable_records: next.len() as u64,
+        });
+        ranks = next;
+    }
+    report.wall_seconds = t0.elapsed().as_secs_f64();
+    (per_vertex_doubles_from_records(&ranks, graph.n_vertices, BASE_RANK), report)
+}
+
+// ---------------------------------------------------------------------------
+// The "wrap" variant: classic combined-record Hadoop PageRank classes
+// executed inside a recursive REX plan.
+// ---------------------------------------------------------------------------
+
+/// The classic combined-record scatter mapper: input `(node,
+/// [rank, nbr...])`, output one contribution per neighbor plus the
+/// adjacency pass-through.
+pub fn combined_scatter_mapper() -> Arc<dyn Mapper> {
+    FnMapper::new("PRCombinedMap", |key, value, out| {
+        let Some(list) = value.as_list() else { return };
+        let rank = list.first().and_then(Value::as_double).unwrap_or(0.0);
+        let nbrs = &list[1..];
+        // Pass the structure through the shuffle (Hadoop's trick for
+        // keeping rank and adjacency in the same record).
+        out(key.clone(), Value::list(nbrs.to_vec()));
+        if !nbrs.is_empty() {
+            let share = rank / nbrs.len() as f64;
+            for n in nbrs {
+                out(n.clone(), Value::Double(share));
+            }
+        }
+    })
+}
+
+/// The combined-record gather reducer: rebuilds `(node, [newRank,
+/// nbr...])`.
+pub fn combined_gather_reducer() -> Arc<dyn Reducer> {
+    FnReducer::new("PRCombinedReduce", |key, values, out| {
+        let mut sum = 0.0f64;
+        let mut adj: Vec<Value> = Vec::new();
+        for v in values {
+            match v {
+                Value::Double(d) => sum += d,
+                Value::List(l) => adj = l.to_vec(),
+                _ => {}
+            }
+        }
+        let mut rec = vec![Value::Double(BASE_RANK + DAMPING * sum)];
+        rec.extend(adj);
+        out(key.clone(), Value::list(rec));
+    })
+}
+
+/// Combined records `(node, [rank, nbr...])` for every vertex.
+pub fn combined_records(graph: &Graph) -> Vec<Record> {
+    let adj = graph.adjacency();
+    (0..graph.n_vertices)
+        .map(|v| {
+            let mut rec = vec![Value::Double(1.0)];
+            rec.extend(adj[v].iter().map(|&t| Value::Int(t as i64)));
+            (Value::Int(v as i64), Value::list(rec))
+        })
+        .collect()
+}
+
+/// Single-job combined-record PageRank on the MapReduce simulator (used to
+/// cross-check the wrap plan and the two-job pipeline agree).
+pub fn run_mr_combined(
+    graph: &Graph,
+    iterations: usize,
+    cluster: &HadoopCluster,
+) -> (Vec<f64>, RunReport) {
+    let t0 = Instant::now();
+    let job = MapReduceJob::new(
+        "pr-combined",
+        combined_scatter_mapper(),
+        combined_gather_reducer(),
+    );
+    let mut records = combined_records(graph);
+    let mut report = RunReport::default();
+    for iteration in 0..iterations {
+        let (next, metrics) = cluster.run_job(&job, &[JobInput::mutable(records)], iteration);
+        report.iterations.push(IterationReport {
+            iteration,
+            metrics,
+            mutable_records: next.len() as u64,
+        });
+        records = next;
+    }
+    report.wall_seconds = t0.elapsed().as_secs_f64();
+    let ranks: Vec<f64> = {
+        let mut out = vec![BASE_RANK; graph.n_vertices];
+        for (k, v) in &records {
+            if let (Some(kv), Some(list)) = (k.as_int(), v.as_list()) {
+                if let Some(r) = list.first().and_then(Value::as_double) {
+                    out[kv as usize] = r;
+                }
+            }
+        }
+        out
+    };
+    (ranks, report)
+}
+
+/// The wrap plan: the combined-record Hadoop classes running inside a REX
+/// fixpoint, with `MapWrap`/`ReduceWrap` adapters. The mutable set carries
+/// `(node, [rank, nbr...])` tuples exactly as the Hadoop records do, and
+/// the whole relation is re-derived each stratum (wrap "iterates over all
+/// of the available mutable data", §6).
+pub fn wrap_plan_local(graph: &Graph, iterations: u64) -> PlanGraph {
+    let mut g = PlanGraph::new();
+    let base: Vec<Tuple> = combined_records(graph)
+        .iter()
+        .map(|(k, v)| Tuple::new(vec![k.clone(), v.clone()]))
+        .collect();
+    let scan = g.add(Box::new(ScanOp::new("pr_wrap_base", base)));
+    let fp = g.add(Box::new(
+        FixpointOp::new(vec![0], Termination::ExactStrata(iterations)).no_delta(),
+    ));
+    let map = g.add(Box::new(ApplyFunctionOp::new(Arc::new(MapWrap::new(
+        combined_scatter_mapper(),
+        false, // inside the loop: no text formatting (§6.3)
+    )))));
+    let rehash = g.add_rehash(vec![0]);
+    let gb = g.add(Box::new(
+        GroupByOp::new(
+            vec![0],
+            vec![AggSpec::new(
+                Arc::new(ReduceWrap::new(combined_gather_reducer(), false)),
+                vec![0, 1],
+            )],
+        )
+        .without_retention(),
+    ));
+    let strip = g.add(Box::new(rex_hadoop::wrap::reduce_output_projection()));
+    let sink = g.add(Box::new(SinkOp::new()));
+
+    g.connect(scan, 0, fp, 0);
+    g.connect(fp, 0, map, 0);
+    g.pipe(map, rehash);
+    g.connect(rehash, 0, gb, 0);
+    g.connect(gb, 0, strip, 0);
+    g.connect(strip, 0, fp, 1);
+    g.connect(fp, 1, sink, 0);
+    g
+}
+
+/// Cluster builder for the wrap plan: each worker derives its partition's
+/// combined records from its `graph` partition (edges are partitioned by
+/// `srcId`, so a vertex's whole adjacency is local).
+pub fn wrap_plan_builder(iterations: u64) -> rex_cluster::runtime::PlanBuilder {
+    use rex_core::operators::ScanOp;
+    Arc::new(move |worker, snap, catalog| {
+        let table = catalog.get("graph")?;
+        let edges = table.partition_for(snap, worker);
+        // Rebuild the local slice of combined records: adjacency from the
+        // local edges; every local source vertex starts at rank 1.0.
+        let mut adj: std::collections::BTreeMap<i64, Vec<Value>> = std::collections::BTreeMap::new();
+        for e in &edges {
+            if let (Some(s), Some(d)) = (e.get(0).as_int(), e.get(1).as_int()) {
+                adj.entry(s).or_default().push(Value::Int(d));
+            }
+        }
+        let base: Vec<Tuple> = adj
+            .into_iter()
+            .map(|(v, nbrs)| {
+                let mut rec = vec![Value::Double(1.0)];
+                rec.extend(nbrs);
+                Tuple::new(vec![Value::Int(v), Value::list(rec)])
+            })
+            .collect();
+        let mut g = PlanGraph::new();
+        let scan = g.add(Box::new(ScanOp::new("pr_wrap_base", base)));
+        let fp = g.add(Box::new(
+            FixpointOp::new(vec![0], Termination::ExactStrata(iterations)).no_delta(),
+        ));
+        let map = g.add(Box::new(ApplyFunctionOp::new(Arc::new(MapWrap::new(
+            combined_scatter_mapper(),
+            false,
+        )))));
+        let rehash = g.add_rehash(vec![0]);
+        let gb = g.add(Box::new(
+            GroupByOp::new(
+                vec![0],
+                vec![AggSpec::new(
+                    Arc::new(ReduceWrap::new(combined_gather_reducer(), false)),
+                    vec![0, 1],
+                )],
+            )
+            .without_retention(),
+        ));
+        let strip = g.add(Box::new(rex_hadoop::wrap::reduce_output_projection()));
+        let sink = g.add(Box::new(SinkOp::new()));
+        g.connect(scan, 0, fp, 0);
+        g.connect(fp, 0, map, 0);
+        g.pipe(map, rehash);
+        g.connect(rehash, 0, gb, 0);
+        g.connect(gb, 0, strip, 0);
+        g.connect(strip, 0, fp, 1);
+        g.connect(fp, 1, sink, 0);
+        Ok(g)
+    })
+}
+
+/// Extract ranks from the wrap plan's `(node, [rank, nbr...])` results.
+pub fn wrap_ranks(results: &[Tuple], n_vertices: usize) -> Vec<f64> {
+    let mut out = vec![BASE_RANK; n_vertices];
+    for t in results {
+        if let (Some(v), Some(list)) = (t.get(0).as_int(), t.get(1).as_list()) {
+            if (0..n_vertices as i64).contains(&v) {
+                if let Some(r) = list.first().and_then(Value::as_double) {
+                    out[v as usize] = r;
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::max_abs_diff;
+    use crate::reference;
+    use rex_core::exec::LocalRuntime;
+    use rex_data::graph::{generate_graph, GraphSpec};
+    use rex_hadoop::cost::EmulationMode;
+
+    fn small_graph() -> Graph {
+        generate_graph(GraphSpec { n_vertices: 50, edges_per_vertex: 3, seed: 8, random_edge_fraction: 0.1, locality_window: 0 })
+    }
+
+    #[test]
+    fn two_job_pipeline_matches_reference() {
+        let g = small_graph();
+        let cluster = HadoopCluster::new(4).with_mode(EmulationMode::HadoopLowerBound);
+        let (ranks, report) = run_mr(&g, 8, &cluster);
+        let want = reference::pagerank(&g, 8);
+        assert!(max_abs_diff(&ranks, &want) < 1e-9, "diff {}", max_abs_diff(&ranks, &want));
+        assert_eq!(report.iterations.len(), 8);
+    }
+
+    #[test]
+    fn combined_single_job_matches_two_job() {
+        let g = small_graph();
+        let cluster = HadoopCluster::new(2).with_mode(EmulationMode::HadoopLowerBound);
+        let (a, _) = run_mr(&g, 6, &cluster);
+        let (b, _) = run_mr_combined(&g, 6, &cluster);
+        assert!(max_abs_diff(&a, &b) < 1e-9);
+    }
+
+    #[test]
+    fn haloop_mode_is_cheaper_and_identical() {
+        let g = small_graph();
+        let hadoop = HadoopCluster::new(4).with_mode(EmulationMode::HadoopLowerBound);
+        let haloop = HadoopCluster::new(4).with_mode(EmulationMode::HaLoopLowerBound);
+        let (r1, rep1) = run_mr(&g, 6, &hadoop);
+        let (r2, rep2) = run_mr(&g, 6, &haloop);
+        assert!(max_abs_diff(&r1, &r2) < 1e-12, "caching must not change results");
+        assert!(rep2.total_sim_time() < rep1.total_sim_time());
+        assert!(rep2.total_shuffle_bytes() < rep1.total_shuffle_bytes());
+    }
+
+    #[test]
+    fn wrap_plan_matches_mr_ranks() {
+        let g = small_graph();
+        let iters = 6;
+        let cluster = HadoopCluster::new(1).with_mode(EmulationMode::HadoopLowerBound);
+        let (mr_ranks, _) = run_mr(&g, iters, &cluster);
+        let (results, report) =
+            LocalRuntime::new().run(wrap_plan_local(&g, iters as u64)).unwrap();
+        let wrapped = wrap_ranks(&results, g.n_vertices);
+        assert!(
+            max_abs_diff(&mr_ranks, &wrapped) < 1e-9,
+            "diff {}",
+            max_abs_diff(&mr_ranks, &wrapped)
+        );
+        assert_eq!(report.iterations(), iters);
+    }
+
+    #[test]
+    fn scatter_reducer_handles_missing_adjacency() {
+        // A vertex with rank but no out-edges still emits its keep-alive.
+        let r = scatter_reducer();
+        let mut got = Vec::new();
+        r.reduce(&Value::Int(3), &[Value::Double(0.5)], &mut |k, v| got.push((k, v)));
+        assert_eq!(got, vec![(Value::Int(3), Value::Double(0.0))]);
+    }
+
+    #[test]
+    fn scatter_reducer_splits_rank_across_edges() {
+        let r = scatter_reducer();
+        let mut got = Vec::new();
+        r.reduce(
+            &Value::Int(1),
+            &[Value::Int(2), Value::Double(0.6), Value::Int(3)],
+            &mut |k, v| got.push((k, v)),
+        );
+        assert_eq!(got.len(), 3); // keep-alive + two contributions
+        assert_eq!(got[1], (Value::Int(2), Value::Double(0.3)));
+        assert_eq!(got[2], (Value::Int(3), Value::Double(0.3)));
+    }
+}

@@ -1,0 +1,276 @@
+//! Sequential reference implementations.
+//!
+//! Every platform in the workspace (REX delta / no-delta / wrap, the
+//! MapReduce simulator, the DBMS X baseline) is validated against these
+//! straightforward single-threaded algorithms, so correctness is anchored
+//! in one place.
+
+use rex_data::graph::Graph;
+use rex_data::points::Point;
+
+/// Damping factor used throughout (the paper's PageRank query hard-codes
+/// `0.15 + 0.85 * sum(prDiff)`).
+pub const DAMPING: f64 = 0.85;
+/// Base rank, `1 - DAMPING`.
+pub const BASE_RANK: f64 = 0.15;
+
+/// Power-iteration PageRank in the paper's formulation:
+/// `PR(v) = 0.15 + 0.85 · Σ_{u→v} PR(u)/outdeg(u)`, starting from
+/// `PR = 1.0`, running exactly `iterations` rounds.
+pub fn pagerank(graph: &Graph, iterations: usize) -> Vec<f64> {
+    let n = graph.n_vertices;
+    let adj = graph.adjacency();
+    let out_deg = graph.out_degrees();
+    let mut pr = vec![1.0f64; n];
+    for _ in 0..iterations {
+        let mut incoming = vec![0.0f64; n];
+        for v in 0..n {
+            if out_deg[v] > 0 {
+                let share = pr[v] / out_deg[v] as f64;
+                for &t in &adj[v] {
+                    incoming[t as usize] += share;
+                }
+            }
+        }
+        for v in 0..n {
+            pr[v] = BASE_RANK + DAMPING * incoming[v];
+        }
+    }
+    pr
+}
+
+/// PageRank run to convergence: stops when no vertex's rank changes by more
+/// than `threshold` in an iteration (the paper's criterion: "no page changes
+/// its PageRank value by more than 1%"). Returns `(ranks, iterations)`.
+pub fn pagerank_converged(graph: &Graph, threshold: f64, max_iters: usize) -> (Vec<f64>, usize) {
+    let n = graph.n_vertices;
+    let adj = graph.adjacency();
+    let out_deg = graph.out_degrees();
+    let mut pr = vec![1.0f64; n];
+    for it in 0..max_iters {
+        let mut incoming = vec![0.0f64; n];
+        for v in 0..n {
+            if out_deg[v] > 0 {
+                let share = pr[v] / out_deg[v] as f64;
+                for &t in &adj[v] {
+                    incoming[t as usize] += share;
+                }
+            }
+        }
+        let mut max_change = 0.0f64;
+        for v in 0..n {
+            let new = BASE_RANK + DAMPING * incoming[v];
+            max_change = max_change.max((new - pr[v]).abs());
+            pr[v] = new;
+        }
+        if max_change <= threshold {
+            return (pr, it + 1);
+        }
+    }
+    (pr, max_iters)
+}
+
+/// Unweighted single-source shortest paths (BFS). Returns one distance per
+/// vertex; unreachable vertices get `u32::MAX`.
+pub fn shortest_paths(graph: &Graph, source: u32) -> Vec<u32> {
+    let n = graph.n_vertices;
+    let adj = graph.adjacency();
+    let mut dist = vec![u32::MAX; n];
+    let mut frontier = vec![source];
+    dist[source as usize] = 0;
+    let mut d = 0u32;
+    while !frontier.is_empty() {
+        d += 1;
+        let mut next = Vec::new();
+        for &v in &frontier {
+            for &t in &adj[v as usize] {
+                if dist[t as usize] == u32::MAX {
+                    dist[t as usize] = d;
+                    next.push(t);
+                }
+            }
+        }
+        frontier = next;
+    }
+    dist
+}
+
+/// The number of BFS hops needed to reach `fraction` of the reachable set
+/// (the paper reaches 99% of DBPedia in 6 hops but needs 75 for 100%).
+pub fn hops_to_reach(dist: &[u32], fraction: f64) -> u32 {
+    let mut reached: Vec<u32> = dist.iter().copied().filter(|&d| d != u32::MAX).collect();
+    if reached.is_empty() {
+        return 0;
+    }
+    reached.sort_unstable();
+    let idx = ((reached.len() as f64 * fraction).ceil() as usize).clamp(1, reached.len());
+    reached[idx - 1]
+}
+
+/// One K-means run with the paper's termination criterion ("until in the
+/// end no points switch centroids"). Initial centroids are the given seeds;
+/// ties break toward the lower centroid id. Returns `(centroids,
+/// assignment, iterations, switches_per_iteration)`.
+pub fn kmeans(
+    points: &[Point],
+    initial: &[Point],
+    max_iters: usize,
+) -> (Vec<Point>, Vec<usize>, usize, Vec<usize>) {
+    let k = initial.len();
+    let mut centroids: Vec<Point> = initial.to_vec();
+    let mut assign = vec![usize::MAX; points.len()];
+    let mut switch_trace = Vec::new();
+    let mut iters = 0;
+    for _ in 0..max_iters {
+        iters += 1;
+        // Assignment step.
+        let mut switches = 0usize;
+        for (i, p) in points.iter().enumerate() {
+            let mut best = 0usize;
+            let mut best_d = f64::INFINITY;
+            for (c, ctr) in centroids.iter().enumerate() {
+                let d = p.dist(ctr);
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            if assign[i] != best {
+                assign[i] = best;
+                switches += 1;
+            }
+        }
+        switch_trace.push(switches);
+        if switches == 0 {
+            break;
+        }
+        // Update step: mean of members; empty clusters keep their centroid.
+        let mut sums = vec![(0.0f64, 0.0f64, 0usize); k];
+        for (i, p) in points.iter().enumerate() {
+            let s = &mut sums[assign[i]];
+            s.0 += p.x;
+            s.1 += p.y;
+            s.2 += 1;
+        }
+        for (c, (sx, sy, n)) in sums.into_iter().enumerate() {
+            if n > 0 {
+                centroids[c] = Point { x: sx / n as f64, y: sy / n as f64 };
+            }
+        }
+    }
+    (centroids, assign, iters, switch_trace)
+}
+
+/// Deterministic initial centroids: `k` evenly-spaced points from the
+/// dataset (the paper's `KMSampleAgg` "controls how the initial centroids
+/// are sampled among the node coordinates").
+pub fn sample_centroids(points: &[Point], k: usize) -> Vec<Point> {
+    let k = k.min(points.len()).max(1);
+    let stride = points.len() / k;
+    (0..k).map(|i| points[i * stride.max(1)]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rex_data::graph::{generate_graph, GraphSpec};
+    use rex_data::points::{generate_points, PointSpec};
+
+    fn tiny_graph() -> Graph {
+        // 0 -> 1 -> 2, 2 -> 0, 3 isolated source into 0.
+        Graph { n_vertices: 4, edges: vec![(0, 1), (1, 2), (2, 0), (3, 0)] }
+    }
+
+    #[test]
+    fn pagerank_sums_incoming_shares() {
+        let pr = pagerank(&tiny_graph(), 1);
+        // After one iteration from PR=1: v1 gets all of v0's rank.
+        assert!((pr[1] - (0.15 + 0.85 * 1.0)).abs() < 1e-12);
+        // v0 gets v2's and v3's full shares.
+        assert!((pr[0] - (0.15 + 0.85 * 2.0)).abs() < 1e-12);
+        // v3 has no in-edges.
+        assert!((pr[3] - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pagerank_converges_and_is_stationary() {
+        let g = generate_graph(GraphSpec::small());
+        let (pr, iters) = pagerank_converged(&g, 1e-9, 500);
+        assert!(iters < 500, "did not converge in 500 iterations");
+        // The fixpoint property: one more iteration changes nothing.
+        let adj = g.adjacency();
+        let deg = g.out_degrees();
+        for v in 0..g.n_vertices {
+            let mut incoming = 0.0;
+            for u in 0..g.n_vertices {
+                if adj[u].contains(&(v as u32)) {
+                    incoming += pr[u] / deg[u] as f64;
+                }
+            }
+            assert!((pr[v] - (0.15 + 0.85 * incoming)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn pagerank_ranks_hub_higher() {
+        // Everyone links to vertex 0.
+        let g = Graph { n_vertices: 5, edges: vec![(1, 0), (2, 0), (3, 0), (4, 0)] };
+        let (pr, _) = pagerank_converged(&g, 1e-9, 100);
+        for v in 1..5 {
+            assert!(pr[0] > pr[v]);
+        }
+    }
+
+    #[test]
+    fn bfs_distances_are_hop_counts() {
+        let d = shortest_paths(&tiny_graph(), 0);
+        assert_eq!(d, vec![0, 1, 2, u32::MAX]);
+        let d3 = shortest_paths(&tiny_graph(), 3);
+        assert_eq!(d3, vec![1, 2, 3, 0]);
+    }
+
+    #[test]
+    fn hops_to_reach_percentiles() {
+        let d = vec![0, 1, 1, 2, 5, u32::MAX];
+        assert_eq!(hops_to_reach(&d, 1.0), 5);
+        assert_eq!(hops_to_reach(&d, 0.8), 2);
+        assert_eq!(hops_to_reach(&d, 0.2), 0);
+    }
+
+    #[test]
+    fn kmeans_converges_with_no_switches() {
+        let pts = generate_points(PointSpec { n_points: 300, n_clusters: 3, stddev: 0.5, seed: 4 });
+        let init = sample_centroids(&pts, 3);
+        let (centroids, assign, iters, trace) = kmeans(&pts, &init, 100);
+        assert_eq!(centroids.len(), 3);
+        assert_eq!(assign.len(), 300);
+        assert!(iters < 100);
+        assert_eq!(*trace.last().unwrap(), 0, "last iteration has no switches");
+        // Every point is closest to its assigned centroid.
+        for (i, p) in pts.iter().enumerate() {
+            let own = p.dist(&centroids[assign[i]]);
+            for c in &centroids {
+                assert!(own <= p.dist(c) + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn kmeans_switch_counts_decrease_overall() {
+        let pts = generate_points(PointSpec { n_points: 500, n_clusters: 5, stddev: 2.0, seed: 9 });
+        let init = sample_centroids(&pts, 5);
+        let (_, _, _, trace) = kmeans(&pts, &init, 100);
+        // First iteration assigns everyone; the tail has far fewer switches.
+        assert_eq!(trace[0], 500);
+        assert!(*trace.last().unwrap() < 50);
+    }
+
+    #[test]
+    fn sample_centroids_is_deterministic_and_sized() {
+        let pts = generate_points(PointSpec::small());
+        let a = sample_centroids(&pts, 7);
+        let b = sample_centroids(&pts, 7);
+        assert_eq!(a.len(), 7);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,108 @@
+//! Figure 3: "Types of recursive data" — the immutable / mutable / Δᵢ-set
+//! classification of the paper's algorithm suite.
+
+use std::fmt;
+
+/// One row of Figure 3.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AlgorithmRow {
+    /// Algorithm name.
+    pub algorithm: &'static str,
+    /// The immutable set: data that never changes across iterations.
+    pub immutable_set: &'static str,
+    /// The mutable set: state refined each iteration.
+    pub mutable_set: &'static str,
+    /// The Δᵢ set: the minimal tuples that must be processed at iteration i.
+    pub delta_set: &'static str,
+}
+
+impl fmt::Display for AlgorithmRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<18} | {:<13} | {:<42} | {}",
+            self.algorithm, self.immutable_set, self.mutable_set, self.delta_set
+        )
+    }
+}
+
+/// All rows of Figure 3, in paper order.
+pub fn figure3() -> Vec<AlgorithmRow> {
+    vec![
+        AlgorithmRow {
+            algorithm: "PageRank",
+            immutable_set: "graph edges",
+            mutable_set: "PageRank value for all vertices",
+            delta_set: "PageRank values with change ≥ 1% since iteration i-1",
+        },
+        AlgorithmRow {
+            algorithm: "Adsorption",
+            immutable_set: "graph edges",
+            mutable_set: "complete adsorption vectors for all vertices",
+            delta_set: "adsorption vector positions with change ≥ 1% since iteration i-1",
+        },
+        AlgorithmRow {
+            algorithm: "Shortest path",
+            immutable_set: "graph edges",
+            mutable_set: "minimum distance for reachable vertices",
+            delta_set: "vertices with minimum distance from source at iteration i lower than \
+                        their distance at iteration i-1",
+        },
+        AlgorithmRow {
+            algorithm: "K-means clustering",
+            immutable_set: "coordinates",
+            mutable_set: "full assignment of nodes to centroids",
+            delta_set: "nodes which switched centroids at iteration i",
+        },
+        AlgorithmRow {
+            algorithm: "CRF learning",
+            immutable_set: "document set",
+            mutable_set: "model parameters",
+            delta_set: "parameters updated at iteration i",
+        },
+    ]
+}
+
+/// Render Figure 3 as a text table (the `fig03` bench binary prints this).
+pub fn render_figure3() -> String {
+    let mut s = String::from(
+        "Algorithm          | Immutable set | Mutable set                                | Δi set\n",
+    );
+    for row in figure3() {
+        s.push_str(&row.to_string());
+        s.push('\n');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure3_has_all_five_algorithms() {
+        let rows = figure3();
+        assert_eq!(rows.len(), 5);
+        let names: Vec<&str> = rows.iter().map(|r| r.algorithm).collect();
+        assert_eq!(
+            names,
+            vec!["PageRank", "Adsorption", "Shortest path", "K-means clustering", "CRF learning"]
+        );
+    }
+
+    #[test]
+    fn graph_algorithms_share_immutable_edges() {
+        for row in figure3() {
+            if row.algorithm == "PageRank" || row.algorithm == "Adsorption" {
+                assert_eq!(row.immutable_set, "graph edges");
+            }
+        }
+    }
+
+    #[test]
+    fn render_produces_one_line_per_row_plus_header() {
+        let text = render_figure3();
+        assert_eq!(text.lines().count(), 6);
+        assert!(text.contains("K-means"));
+    }
+}

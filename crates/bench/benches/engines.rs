@@ -1,0 +1,160 @@
+//! Criterion wall-clock benchmarks: one group per paper artifact, each
+//! measuring the real execution speed of the platforms on a small fixed
+//! workload (the figure binaries report the deterministic cost-model
+//! series; these report wall time).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rex_algos::pagerank::{PageRankConfig, Strategy};
+use rex_bench::{runners, workloads};
+use rex_core::exec::LocalRuntime;
+use rex_core::udf::Registry;
+use rex_dbms::engine::DbmsConfig;
+use rex_hadoop::cost::EmulationMode;
+use rex_hadoop::job::{HadoopCluster, JobInput, MapReduceJob};
+use rex_rql::lower::{compile, MemTables};
+use rex_rql::SchemaCatalog;
+
+/// Figure 4: the OLAP aggregation on REX (via RQL) vs the Hadoop
+/// simulator.
+fn fig04_olap(c: &mut Criterion) {
+    let rows = workloads::lineitem_rows(4_000);
+    let mut catalog = SchemaCatalog::new();
+    catalog.register("lineitem", rex_data::lineitem::schema());
+    let mut tables = MemTables::new();
+    tables.insert("lineitem", workloads::lineitem_tuples(&rows));
+    let reg = Registry::with_builtins();
+
+    let mut g = c.benchmark_group("fig04_olap");
+    g.bench_function("rex_builtin_rql", |b| {
+        b.iter(|| {
+            let plan = compile(
+                "SELECT sum(tax), count(*) FROM lineitem WHERE linenumber > 1",
+                &catalog,
+                &tables,
+                &reg,
+            )
+            .unwrap();
+            LocalRuntime::new().run(plan).unwrap()
+        })
+    });
+    let mapper = rex_hadoop::api::FnMapper::new("m", |_k, v, out| {
+        if let Some(l) = v.as_list() {
+            if l[0].as_int().unwrap_or(0) > 1 {
+                out(rex_core::value::Value::Int(0), l[1].clone());
+            }
+        }
+    });
+    let reducer = rex_hadoop::api::FnReducer::new("r", |k, vs, out| {
+        let s: f64 = vs.iter().filter_map(rex_core::value::Value::as_double).sum();
+        out(k.clone(), rex_core::value::Value::Double(s));
+    });
+    let job = MapReduceJob::new("fig4", mapper, reducer);
+    let records: Vec<rex_hadoop::api::Record> = rows
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            (
+                rex_core::value::Value::Int(i as i64),
+                rex_core::value::Value::list(vec![
+                    rex_core::value::Value::Int(r.linenumber),
+                    rex_core::value::Value::Double(r.tax),
+                ]),
+            )
+        })
+        .collect();
+    g.bench_function("hadoop", |b| {
+        b.iter(|| {
+            HadoopCluster::new(1).run_job(&job, &[JobInput::mutable(records.clone())], 0)
+        })
+    });
+    g.finish();
+}
+
+/// Figures 6/8: PageRank — REX Δ vs REX no-Δ vs the MapReduce baselines.
+fn fig06_pagerank(c: &mut Criterion) {
+    let g6 = workloads::dbpedia_graph(0.2);
+    let mut g = c.benchmark_group("fig06_pagerank");
+    g.bench_function("rex_delta", |b| {
+        b.iter(|| {
+            runners::pagerank_rex(
+                &g6,
+                PageRankConfig { threshold: 0.01, max_iterations: 20 },
+                Strategy::Delta,
+                4,
+            )
+        })
+    });
+    g.bench_function("rex_no_delta", |b| {
+        b.iter(|| {
+            runners::pagerank_rex(
+                &g6,
+                PageRankConfig { threshold: 0.0, max_iterations: 10 },
+                Strategy::NoDelta,
+                4,
+            )
+        })
+    });
+    g.bench_function("hadoop_lb", |b| {
+        b.iter(|| runners::pagerank_hadoop(&g6, 10, EmulationMode::HadoopLowerBound, 4))
+    });
+    g.bench_function("haloop_lb", |b| {
+        b.iter(|| runners::pagerank_hadoop(&g6, 10, EmulationMode::HaLoopLowerBound, 4))
+    });
+    g.finish();
+}
+
+/// Figure 7/9: shortest path — REX Δ vs the frontier MapReduce baseline.
+fn fig07_sssp(c: &mut Criterion) {
+    let g7 = workloads::dbpedia_graph(0.2);
+    let mut g = c.benchmark_group("fig07_sssp");
+    g.bench_function("rex_delta", |b| {
+        b.iter(|| runners::sssp_rex(&g7, 0, Strategy::Delta, 100, 4))
+    });
+    g.bench_function("hadoop_frontier", |b| {
+        b.iter(|| runners::sssp_hadoop(&g7, 0, 100, EmulationMode::HadoopLowerBound, 4))
+    });
+    g.finish();
+}
+
+/// Figure 5: K-means — REX Δ vs MapReduce, one size point.
+fn fig05_kmeans(c: &mut Criterion) {
+    let pts = workloads::geo_points(400);
+    let mut g = c.benchmark_group("fig05_kmeans");
+    g.bench_function("rex_delta", |b| b.iter(|| runners::kmeans_rex(&pts, 8, 4)));
+    g.bench_function("hadoop_lb", |b| {
+        b.iter(|| runners::kmeans_hadoop(&pts, 8, EmulationMode::HadoopLowerBound, 4))
+    });
+    g.finish();
+}
+
+/// Figure 10: the DBMS X accumulate-only evaluator.
+fn fig10_dbms(c: &mut Criterion) {
+    let graph = workloads::dbpedia_graph(0.2);
+    let mut g = c.benchmark_group("fig10_dbms");
+    g.bench_function("dbms_x_pagerank", |b| {
+        b.iter(|| rex_dbms::pagerank_recursive_sql(&graph, 10, &DbmsConfig::default()))
+    });
+    g.finish();
+}
+
+/// Figure 12: recovery strategies under an injected failure.
+fn fig12_recovery(c: &mut Criterion) {
+    let graph = workloads::dbpedia_graph(0.2);
+    let mut g = c.benchmark_group("fig12_recovery");
+    for (name, strategy) in [
+        ("restart", rex_cluster::failure::RecoveryStrategy::Restart),
+        ("incremental", rex_cluster::failure::RecoveryStrategy::Incremental),
+    ] {
+        g.bench_with_input(BenchmarkId::new("sssp_failure_at_3", name), &strategy, |b, &s| {
+            b.iter(|| runners::sssp_rex_with_failure(&graph, 0, 4, 1, 3, s))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = fig04_olap, fig05_kmeans, fig06_pagerank, fig07_sssp, fig10_dbms, fig12_recovery
+}
+criterion_main!(benches);

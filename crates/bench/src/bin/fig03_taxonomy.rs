@@ -1,0 +1,7 @@
+//! Figure 3: types of recursive data — the immutable / mutable / Δᵢ-set
+//! classification of the algorithm suite.
+
+fn main() {
+    println!("Figure 3 — Types of recursive data\n");
+    print!("{}", rex_algos::taxonomy::render_figure3());
+}

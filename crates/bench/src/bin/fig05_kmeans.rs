@@ -1,0 +1,38 @@
+//! Figure 5: K-means scalability — runtime vs data size (log-log sweep),
+//! REX Δ against the Hadoop lower bound.
+//!
+//! "REX delta is almost two orders of magnitude faster, due to its
+//! extremely low iteration overhead" (§6.2). HaLoop is omitted exactly as
+//! in the paper: the query has no immutable relation, so HaLoop and Hadoop
+//! behave identically (asserted by a unit test in `rex-algos`).
+
+use rex_bench::runners::{kmeans_hadoop, kmeans_rex};
+use rex_bench::{print_table, scale, Series, PAPER_WORKERS};
+use rex_hadoop::cost::EmulationMode;
+
+fn main() {
+    let k = 24;
+    let sizes: Vec<usize> =
+        [400, 1_600, 6_400, 25_600].iter().map(|&n| (n as f64 * scale()) as usize).collect();
+    println!("Figure 5 — K-means scalability (k = {k}, {PAPER_WORKERS} nodes)");
+
+    let mut rex = Series { label: "REX Δ".into(), points: vec![] };
+    let mut hadoop = Series { label: "Hadoop LB".into(), points: vec![] };
+    for &n in &sizes {
+        let points = rex_bench::workloads::geo_points(n);
+        let (_, rex_rep) = kmeans_rex(&points, k, PAPER_WORKERS);
+        let (_, mr_rep) =
+            kmeans_hadoop(&points, k, EmulationMode::HadoopLowerBound, PAPER_WORKERS);
+        rex.points.push((n as f64, rex_rep.simulated_time()));
+        hadoop.points.push((n as f64, mr_rep.total_sim_time()));
+        println!(
+            "  n = {n:>7}: REX Δ {:>12.0}  Hadoop LB {:>12.0}  ({:.1}x)",
+            rex_rep.simulated_time(),
+            mr_rep.total_sim_time(),
+            mr_rep.total_sim_time() / rex_rep.simulated_time()
+        );
+    }
+    print_table("runtime vs data size", "points", &[rex, hadoop]);
+    println!("\n(the gap comes from per-iteration startup + full re-mapping in MapReduce vs");
+    println!(" REX's Δ set — only the points that switch centroids — per iteration)");
+}

@@ -1,0 +1,61 @@
+//! Figure 6: recursive behavior of PageRank on the "DBPedia" graph —
+//! (a) cumulative runtime, (b) per-iteration runtime, for all five
+//! strategies: Hadoop LB, HaLoop LB, REX wrap, REX no-Δ, REX Δ.
+
+use rex_algos::pagerank::{PageRankConfig, Strategy};
+use rex_bench::runners::*;
+use rex_bench::{print_table, scale, Series, PAPER_WORKERS};
+use rex_hadoop::cost::EmulationMode;
+
+fn main() {
+    let g = rex_bench::workloads::dbpedia_graph(scale());
+    let iterations = 26u64; // the paper's x-axis for DBPedia
+    println!(
+        "Figure 6 — PageRank (DBPedia stand-in: {} vertices, {} edges, {} workers, {} iterations)",
+        g.n_vertices,
+        g.n_edges(),
+        PAPER_WORKERS,
+        iterations
+    );
+
+    let (_, hadoop) =
+        pagerank_hadoop(&g, iterations as usize, EmulationMode::HadoopLowerBound, PAPER_WORKERS);
+    let (_, haloop) =
+        pagerank_hadoop(&g, iterations as usize, EmulationMode::HaLoopLowerBound, PAPER_WORKERS);
+    let wrap = pagerank_wrap(&g, iterations, PAPER_WORKERS);
+    let (_, nodelta) = pagerank_rex(
+        &g,
+        PageRankConfig { threshold: 0.0, max_iterations: iterations },
+        Strategy::NoDelta,
+        PAPER_WORKERS,
+    );
+    let (_, delta) = pagerank_rex(
+        &g,
+        PageRankConfig { threshold: 0.01, max_iterations: iterations },
+        Strategy::Delta,
+        PAPER_WORKERS,
+    );
+
+    let series = vec![
+        Series::from_values("Hadoop LB", &mr_iteration_times(&hadoop)),
+        Series::from_values("HaLoop LB", &mr_iteration_times(&haloop)),
+        Series::from_values("REX wrap", &rex_iteration_times(&wrap)),
+        Series::from_values("REX no-Δ", &rex_iteration_times(&nodelta)),
+        Series::from_values("REX Δ", &rex_iteration_times(&delta)),
+    ];
+    let cumulative: Vec<Series> = series.iter().map(Series::cumulative).collect();
+    print_table("(a) cumulative runtime", "iteration", &cumulative);
+    print_table("(b) runtime per iteration", "iteration", &series);
+
+    println!("\ntotal runtimes and REX Δ speedups:");
+    let delta_total = cumulative[4].last_y();
+    for s in &cumulative {
+        println!(
+            "  {:<10} {:>14.0}  ({:.1}x vs REX Δ)",
+            s.label.replace(" (cumulative)", ""),
+            s.last_y(),
+            s.last_y() / delta_total
+        );
+    }
+    println!("\npaper: REX Δ ≈ 10x HaLoop LB, ≈ 4x REX no-Δ on DBPedia");
+}

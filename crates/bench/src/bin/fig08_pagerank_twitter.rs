@@ -1,0 +1,51 @@
+//! Figure 8: PageRank on the larger, denser "Twitter" graph — the best
+//! alternative on each platform: Hadoop LB, HaLoop LB, REX Δ.
+
+use rex_algos::pagerank::{PageRankConfig, Strategy};
+use rex_bench::runners::*;
+use rex_bench::{print_table, scale, Series, PAPER_WORKERS};
+use rex_hadoop::cost::EmulationMode;
+
+fn main() {
+    let g = rex_bench::workloads::twitter_graph(scale());
+    let iterations = 31u64; // the paper's x-axis for Twitter
+    println!(
+        "Figure 8 — PageRank (Twitter stand-in: {} vertices, {} edges, {} workers, {} iterations)",
+        g.n_vertices,
+        g.n_edges(),
+        PAPER_WORKERS,
+        iterations
+    );
+
+    let (_, hadoop) =
+        pagerank_hadoop(&g, iterations as usize, EmulationMode::HadoopLowerBound, PAPER_WORKERS);
+    let (_, haloop) =
+        pagerank_hadoop(&g, iterations as usize, EmulationMode::HaLoopLowerBound, PAPER_WORKERS);
+    let (_, delta) = pagerank_rex(
+        &g,
+        PageRankConfig { threshold: 0.01, max_iterations: iterations },
+        Strategy::Delta,
+        PAPER_WORKERS,
+    );
+
+    let series = vec![
+        Series::from_values("Hadoop LB", &mr_iteration_times(&hadoop)),
+        Series::from_values("HaLoop LB", &mr_iteration_times(&haloop)),
+        Series::from_values("REX Δ", &rex_iteration_times(&delta)),
+    ];
+    let cumulative: Vec<Series> = series.iter().map(Series::cumulative).collect();
+    print_table("(a) cumulative runtime", "iteration", &cumulative);
+    print_table("(b) runtime per iteration", "iteration", &series);
+
+    let delta_total = cumulative[2].last_y();
+    println!("\ntotals:");
+    for s in &cumulative {
+        println!(
+            "  {:<10} {:>14.0}  ({:.1}x vs REX Δ)",
+            s.label.replace(" (cumulative)", ""),
+            s.last_y(),
+            s.last_y() / delta_total
+        );
+    }
+    println!("\npaper: REX Δ ≈ 3x HaLoop LB and ≈ 7x Hadoop LB on Twitter");
+}

@@ -1,0 +1,76 @@
+//! Figure 10: scalability and the DBMS comparison — (a) PageRank runtime
+//! vs cluster size, including the single-node DBMS X and its
+//! perfect-linear-speedup lower bound; (b) relative speedup vs one node.
+
+use rex_algos::pagerank::{PageRankConfig, Strategy};
+use rex_bench::runners::pagerank_rex;
+use rex_bench::{print_table, scale, Series};
+use rex_dbms::engine::DbmsConfig;
+use rex_dbms::pagerank_recursive_sql;
+
+fn main() {
+    let g = rex_bench::workloads::dbpedia_graph(2.0 * scale());
+    let iterations = 20u64;
+    let node_counts = [1usize, 3, 9, 28];
+    println!(
+        "Figure 10 — Scalability (PageRank, DBPedia stand-in: {} vertices, {} edges, {} iterations)",
+        g.n_vertices,
+        g.n_edges(),
+        iterations
+    );
+
+    let cfg = PageRankConfig { threshold: 0.01, max_iterations: iterations };
+    let mut rex_times = Vec::new();
+    for &n in &node_counts {
+        let (_, rep) = pagerank_rex(&g, cfg, Strategy::Delta, n);
+        rex_times.push(rep.simulated_time());
+    }
+
+    // DBMS X on one node; multi-node points are the perfect-speedup lower
+    // bound DBMSX(1)/n (the paper could not license a cluster deployment).
+    let (_, dbms_rep) = pagerank_recursive_sql(&g, iterations as usize, &DbmsConfig::default());
+    let dbms1 = dbms_rep.total_sim_time();
+    let dbms_lb: Vec<f64> = node_counts.iter().map(|&n| dbms1 / n as f64).collect();
+
+    let rex_series = Series {
+        label: "REX Δ".into(),
+        points: node_counts.iter().zip(&rex_times).map(|(&n, &t)| (n as f64, t)).collect(),
+    };
+    let dbms_series = Series {
+        label: "DBMS X LB".into(),
+        points: node_counts.iter().zip(&dbms_lb).map(|(&n, &t)| (n as f64, t)).collect(),
+    };
+    print_table("(a) runtime vs number of nodes", "nodes", &[rex_series, dbms_series]);
+
+    let speedups: Vec<f64> = rex_times.iter().map(|t| rex_times[0] / t).collect();
+    let speedup_series = Series {
+        label: "REX Δ speedup".into(),
+        points: node_counts.iter().zip(&speedups).map(|(&n, &s)| (n as f64, s)).collect(),
+    };
+    print_table("(b) speedup vs single node", "nodes", &[speedup_series]);
+
+    println!(
+        "\nsingle node: REX Δ {:.0} vs DBMS X {:.0} — REX is {:.0}% faster (paper: ~30%)",
+        rex_times[0],
+        dbms1,
+        100.0 * (dbms1 / rex_times[0] - 1.0)
+    );
+    println!(
+        "28 nodes: REX Δ {:.0} vs idealized DBMS X LB {:.0} — REX {} the idealized DBMS",
+        rex_times[3],
+        dbms_lb[3],
+        if rex_times[3] < dbms_lb[3] { "beats" } else { "trails" }
+    );
+    if rex_times[3] >= dbms_lb[3] {
+        println!(
+            "  (at laptop scale the power-law hot vertices cap parallel efficiency at \
+             {:.0}%; at the paper's 48M-edge scale the skew share vanishes — see \
+             EXPERIMENTS.md)",
+            100.0 * speedups[3] / 28.0
+        );
+    }
+    println!(
+        "speedup at 28 nodes: {:.1}x (paper: near-linear)",
+        speedups[3]
+    );
+}

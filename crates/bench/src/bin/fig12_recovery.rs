@@ -1,0 +1,58 @@
+//! Figure 12: recovery from a node failure — total shortest-path runtime
+//! with a failure injected at iteration k, for the restart and incremental
+//! strategies, against the no-failure baseline.
+//!
+//! Incremental recovery replays the replicated Δᵢ checkpoints from the
+//! last completed stratum (replication factor 3, as in the paper);
+//! restart discards all work.
+
+use rex_algos::pagerank::Strategy;
+use rex_bench::runners::{sssp_rex, sssp_rex_with_failure};
+use rex_bench::{print_table, scale, Series, PAPER_WORKERS};
+use rex_cluster::failure::RecoveryStrategy;
+
+fn main() {
+    let g = rex_bench::workloads::dbpedia_graph(scale());
+    let source = 0u32;
+    println!(
+        "Figure 12 — Recovery (shortest path, DBPedia stand-in: {} vertices, {} workers, r = 3)",
+        g.n_vertices, PAPER_WORKERS
+    );
+
+    let (_, baseline) = sssp_rex(&g, source, Strategy::Delta, 200, PAPER_WORKERS);
+    let no_failure = baseline.simulated_time();
+    let max_k = (baseline.iterations() as u64).saturating_sub(2).min(20);
+
+    let fail_points: Vec<u64> = (1..=max_k).step_by(3).collect();
+    let mut restart = Series { label: "Restart".into(), points: vec![] };
+    let mut incremental = Series { label: "Incremental".into(), points: vec![] };
+    let flat = Series {
+        label: "No failure".into(),
+        points: fail_points.iter().map(|&k| (k as f64, no_failure)).collect(),
+    };
+    for &k in &fail_points {
+        let r = sssp_rex_with_failure(&g, source, PAPER_WORKERS, 1, k, RecoveryStrategy::Restart);
+        let i =
+            sssp_rex_with_failure(&g, source, PAPER_WORKERS, 1, k, RecoveryStrategy::Incremental);
+        assert_eq!(r.failures.len(), 1, "failure must trigger");
+        assert_eq!(i.failures.len(), 1);
+        restart.points.push((k as f64, r.simulated_time()));
+        incremental.points.push((k as f64, i.simulated_time()));
+    }
+
+    print_table(
+        "query completion time vs failure iteration",
+        "fail at k",
+        &[restart.clone(), incremental.clone(), flat],
+    );
+
+    let avg = |s: &Series| s.points.iter().map(|&(_, y)| y).sum::<f64>() / s.points.len() as f64;
+    let restart_overhead = avg(&restart) - no_failure;
+    let incr_overhead = avg(&incremental) - no_failure;
+    println!("\nno-failure baseline: {no_failure:.0}");
+    println!(
+        "avg overhead — restart: {restart_overhead:+.0}, incremental: {incr_overhead:+.0} \
+         ({:.0}% of restart's; paper: incremental halves the recovery overhead)",
+        100.0 * incr_overhead / restart_overhead
+    );
+}

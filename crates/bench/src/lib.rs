@@ -1,0 +1,51 @@
+//! # rex-bench
+//!
+//! The experiment harness: one binary per table/figure of the paper's
+//! evaluation (§6), each printing the same series the paper plots, in
+//! deterministic cost-model units (and wall-clock seconds where useful).
+//!
+//! | Binary | Paper artifact |
+//! |---|---|
+//! | `fig02_convergence` | Fig. 2 — PageRank convergence behavior |
+//! | `fig03_taxonomy` | Fig. 3 — immutable/mutable/Δᵢ classification |
+//! | `fig04_olap` | Fig. 4 — simple aggregation, UDF overhead |
+//! | `fig05_kmeans` | Fig. 5 — K-means scalability sweep |
+//! | `fig06_pagerank_dbpedia` | Fig. 6 — PageRank, 5 strategies |
+//! | `fig07_sssp_dbpedia` | Fig. 7 — shortest path, 5 strategies |
+//! | `fig08_pagerank_twitter` | Fig. 8 — PageRank at scale |
+//! | `fig09_sssp_twitter` | Fig. 9 — shortest path at scale |
+//! | `fig10_scalability` | Fig. 10 — scale-out + DBMS X comparison |
+//! | `fig11_bandwidth` | Fig. 11 — average bandwidth per node |
+//! | `fig12_recovery` | Fig. 12 — restart vs incremental recovery |
+//!
+//! Workload sizes default to laptop scale; set `REX_SCALE=large` for
+//! bigger sweeps. Seeds are fixed, so output is reproducible.
+
+pub mod series;
+pub mod workloads;
+pub mod runners;
+
+pub use series::{print_table, Series};
+
+/// Scale factor taken from `REX_SCALE` (`small` default, `large`).
+pub fn scale() -> f64 {
+    match std::env::var("REX_SCALE").as_deref() {
+        Ok("large") => 4.0,
+        Ok("medium") => 2.0,
+        _ => 1.0,
+    }
+}
+
+/// The paper's cluster size.
+pub const PAPER_WORKERS: usize = 28;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scale_defaults_to_one() {
+        // REX_SCALE is unset in the test environment.
+        if std::env::var("REX_SCALE").is_err() {
+            assert_eq!(super::scale(), 1.0);
+        }
+    }
+}

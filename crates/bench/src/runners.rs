@@ -1,0 +1,178 @@
+//! Unified experiment runners: one function per (algorithm, platform),
+//! each returning per-iteration simulated times plus whatever the figure
+//! needs (bandwidth, Δ sizes, results for cross-checking).
+
+use rex_algos::pagerank::{self, PageRankConfig, Strategy};
+use rex_algos::{kmeans, kmeans_mr, pagerank_mr, sssp, sssp_mr};
+use rex_cluster::failure::{FailurePlan, RecoveryStrategy};
+use rex_cluster::report::ClusterReport;
+use rex_cluster::runtime::{ClusterConfig, ClusterRuntime};
+use rex_core::tuple::Tuple;
+use rex_data::graph::Graph;
+use rex_data::points::Point;
+use rex_hadoop::cost::EmulationMode;
+use rex_hadoop::driver::RunReport;
+use rex_hadoop::job::HadoopCluster;
+
+use crate::workloads::{graph_catalog, points_catalog};
+
+/// Per-iteration simulated times of a cluster run.
+pub fn rex_iteration_times(report: &ClusterReport) -> Vec<f64> {
+    report.query.strata.iter().map(|s| s.simulated_time).collect()
+}
+
+/// Per-iteration simulated times of a MapReduce run.
+pub fn mr_iteration_times(report: &RunReport) -> Vec<f64> {
+    report.iterations.iter().map(|i| i.metrics.sim_time).collect()
+}
+
+/// PageRank on REX across `workers` nodes.
+pub fn pagerank_rex(
+    graph: &Graph,
+    cfg: PageRankConfig,
+    strategy: Strategy,
+    workers: usize,
+) -> (Vec<Tuple>, ClusterReport) {
+    let rt = ClusterRuntime::new(ClusterConfig::new(workers), graph_catalog(graph));
+    rt.run(pagerank::plan_builder(cfg, strategy)).expect("pagerank run")
+}
+
+/// PageRank "wrap" (Hadoop classes inside REX) across `workers` nodes.
+pub fn pagerank_wrap(graph: &Graph, iterations: u64, workers: usize) -> ClusterReport {
+    let rt = ClusterRuntime::new(ClusterConfig::new(workers), graph_catalog(graph));
+    rt.run(pagerank_mr::wrap_plan_builder(iterations)).expect("wrap run").1
+}
+
+/// PageRank on the MapReduce simulator.
+pub fn pagerank_hadoop(
+    graph: &Graph,
+    iterations: usize,
+    mode: EmulationMode,
+    nodes: usize,
+) -> (Vec<f64>, RunReport) {
+    let cluster = HadoopCluster::new(nodes).with_mode(mode);
+    pagerank_mr::run_mr(graph, iterations, &cluster)
+}
+
+/// Shortest path on REX.
+pub fn sssp_rex(
+    graph: &Graph,
+    source: u32,
+    strategy: Strategy,
+    max_iterations: u64,
+    workers: usize,
+) -> (Vec<Tuple>, ClusterReport) {
+    let cfg = sssp::SsspConfig { source, max_iterations };
+    let rt = ClusterRuntime::new(ClusterConfig::new(workers), graph_catalog(graph));
+    rt.run(sssp::plan_builder(cfg, strategy)).expect("sssp run")
+}
+
+/// Shortest path "wrap".
+pub fn sssp_wrap(graph: &Graph, source: u32, iterations: u64, workers: usize) -> ClusterReport {
+    let rt = ClusterRuntime::new(ClusterConfig::new(workers), graph_catalog(graph));
+    rt.run(sssp_mr::wrap_plan_builder(source, iterations)).expect("sssp wrap run").1
+}
+
+/// Shortest path on the MapReduce simulator (frontier-based Δ).
+pub fn sssp_hadoop(
+    graph: &Graph,
+    source: u32,
+    max_iterations: usize,
+    mode: EmulationMode,
+    nodes: usize,
+) -> (Vec<f64>, RunReport) {
+    let cluster = HadoopCluster::new(nodes).with_mode(mode);
+    sssp_mr::run_mr(graph, source, max_iterations, &cluster)
+}
+
+/// SSSP on REX with an injected failure (Figure 12).
+pub fn sssp_rex_with_failure(
+    graph: &Graph,
+    source: u32,
+    workers: usize,
+    fail_worker: usize,
+    fail_stratum: u64,
+    strategy: RecoveryStrategy,
+) -> ClusterReport {
+    let cfg = sssp::SsspConfig::from_source(source);
+    let cluster_cfg = ClusterConfig::new(workers)
+        .with_failure(FailurePlan::kill_at(fail_worker, fail_stratum), strategy);
+    let rt = ClusterRuntime::new(cluster_cfg, graph_catalog(graph));
+    rt.run(sssp::plan_builder(cfg, Strategy::Delta)).expect("recovery run").1
+}
+
+/// K-means on REX.
+pub fn kmeans_rex(points: &[Point], k: usize, workers: usize) -> (Vec<Tuple>, ClusterReport) {
+    let cfg = kmeans::KMeansConfig { k, max_iterations: 200 };
+    let rt = ClusterRuntime::new(ClusterConfig::new(workers), points_catalog(points));
+    rt.run(kmeans::plan_builder(cfg)).expect("kmeans run")
+}
+
+/// K-means on the MapReduce simulator.
+pub fn kmeans_hadoop(
+    points: &[Point],
+    k: usize,
+    mode: EmulationMode,
+    nodes: usize,
+) -> (Vec<Point>, RunReport) {
+    let cluster = HadoopCluster::new(nodes).with_mode(mode);
+    kmeans_mr::run_mr(points, k, 200, &cluster)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads;
+    use rex_algos::common::max_abs_diff;
+    use rex_algos::reference;
+
+    #[test]
+    fn rex_and_hadoop_agree_on_small_pagerank() {
+        let g = workloads::dbpedia_graph(0.05);
+        let iters = 6;
+        let (tuples, rex_rep) = pagerank_rex(
+            &g,
+            PageRankConfig { threshold: 0.0, max_iterations: iters },
+            Strategy::NoDelta,
+            3,
+        );
+        let rex_ranks = pagerank::ranks_from_results(&tuples, g.n_vertices);
+        let (mr_ranks, _) =
+            pagerank_hadoop(&g, iters as usize, EmulationMode::HadoopLowerBound, 3);
+        assert!(max_abs_diff(&rex_ranks, &mr_ranks) < 1e-9);
+        assert_eq!(rex_iteration_times(&rex_rep).len(), iters as usize);
+    }
+
+    #[test]
+    fn wrap_run_produces_iteration_times() {
+        let g = workloads::dbpedia_graph(0.05);
+        let rep = pagerank_wrap(&g, 4, 3);
+        assert_eq!(rex_iteration_times(&rep).len(), 4);
+    }
+
+    #[test]
+    fn sssp_runners_agree_with_reference() {
+        let g = workloads::dbpedia_graph(0.05);
+        let (tuples, _) = sssp_rex(&g, 0, Strategy::Delta, 200, 3);
+        let got = sssp::dists_from_results(&tuples, g.n_vertices);
+        let want = reference::shortest_paths(&g, 0);
+        for v in 0..g.n_vertices {
+            let w = if want[v] == u32::MAX { f64::INFINITY } else { want[v] as f64 };
+            assert_eq!(got[v], w, "vertex {v}");
+        }
+        let (mr, _) = sssp_hadoop(&g, 0, 100, EmulationMode::HaLoopLowerBound, 3);
+        assert_eq!(got, mr);
+    }
+
+    #[test]
+    fn kmeans_runners_agree() {
+        let pts = workloads::geo_points(150);
+        let k = 4;
+        let (tuples, _) = kmeans_rex(&pts, k, 2);
+        let rex_c = kmeans::centroids_from_results(&tuples, k);
+        let (mr_c, _) = kmeans_hadoop(&pts, k, EmulationMode::HadoopLowerBound, 2);
+        for (a, b) in rex_c.iter().zip(&mr_c) {
+            assert!(a.dist(b) < 1e-6, "({}, {}) vs ({}, {})", a.x, a.y, b.x, b.y);
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Tabular output shared by the figure binaries.
+
+/// One plotted series: a label and `(x, y)` points.
+#[derive(Debug, Clone, Default)]
+pub struct Series {
+    /// Legend label (matches the paper's).
+    pub label: String,
+    /// The data points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Build a series from y-values at x = 1, 2, ...
+    pub fn from_values(label: impl Into<String>, ys: &[f64]) -> Series {
+        Series {
+            label: label.into(),
+            points: ys.iter().enumerate().map(|(i, &y)| ((i + 1) as f64, y)).collect(),
+        }
+    }
+
+    /// Cumulative version of this series.
+    pub fn cumulative(&self) -> Series {
+        let mut acc = 0.0;
+        Series {
+            label: format!("{} (cumulative)", self.label),
+            points: self
+                .points
+                .iter()
+                .map(|&(x, y)| {
+                    acc += y;
+                    (x, acc)
+                })
+                .collect(),
+        }
+    }
+
+    /// The final y value.
+    pub fn last_y(&self) -> f64 {
+        self.points.last().map(|&(_, y)| y).unwrap_or(0.0)
+    }
+}
+
+/// Print a figure as an aligned table: one row per x, one column per
+/// series (the exact rows a plotting script would consume).
+pub fn print_table(title: &str, x_label: &str, series: &[Series]) {
+    println!("\n=== {title} ===");
+    print!("{x_label:>12}");
+    for s in series {
+        print!("  {:>18}", s.label);
+    }
+    println!();
+    let n = series.iter().map(|s| s.points.len()).max().unwrap_or(0);
+    for i in 0..n {
+        let x = series
+            .iter()
+            .find_map(|s| s.points.get(i).map(|&(x, _)| x))
+            .unwrap_or((i + 1) as f64);
+        if x == x.trunc() {
+            print!("{x:>12.0}");
+        } else {
+            print!("{x:>12.3}");
+        }
+        for s in series {
+            match s.points.get(i) {
+                Some(&(_, y)) => print!("  {y:>18.3}"),
+                None => print!("  {:>18}", "-"),
+            }
+        }
+        println!();
+    }
+}
+
+/// Print one-line summary ratios, e.g. `REX Δ vs HaLoop LB: 3.2x`.
+pub fn print_ratio(label_a: &str, a: f64, label_b: &str, b: f64) {
+    if a > 0.0 {
+        println!("{label_b} / {label_a} = {:.2}x", b / a);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_values_assigns_x() {
+        let s = Series::from_values("t", &[5.0, 6.0]);
+        assert_eq!(s.points, vec![(1.0, 5.0), (2.0, 6.0)]);
+        assert_eq!(s.last_y(), 6.0);
+    }
+
+    #[test]
+    fn cumulative_accumulates() {
+        let s = Series::from_values("t", &[1.0, 2.0, 3.0]).cumulative();
+        assert_eq!(s.points, vec![(1.0, 1.0), (2.0, 3.0), (3.0, 6.0)]);
+    }
+}

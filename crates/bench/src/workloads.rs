@@ -1,0 +1,88 @@
+//! The four evaluation datasets (§6 "Data"), at laptop scale.
+
+use rex_core::tuple::Tuple;
+use rex_data::graph::{generate_graph, Graph, GraphSpec};
+use rex_data::lineitem::{generate_lineitem, LineItem};
+use rex_data::points::{generate_points, Point, PointSpec};
+use rex_storage::catalog::Catalog;
+use rex_storage::table::StoredTable;
+
+/// The DBPedia link-graph stand-in (48M edges / 3.3M vertices in the
+/// paper; same mean degree ~14 here, scaled down).
+pub fn dbpedia_graph(scale: f64) -> Graph {
+    generate_graph(GraphSpec::dbpedia((1500.0 * scale) as usize, 42))
+}
+
+/// The Twitter follower-graph stand-in (denser core, heavier tail).
+pub fn twitter_graph(scale: f64) -> Graph {
+    generate_graph(GraphSpec::twitter((2500.0 * scale) as usize, 1729))
+}
+
+/// The geo-coordinates stand-in for K-means.
+pub fn geo_points(n: usize) -> Vec<Point> {
+    generate_points(PointSpec::geodata(n, 7))
+}
+
+/// The TPC-H lineitem stand-in for Figure 4.
+pub fn lineitem_rows(n: usize) -> Vec<LineItem> {
+    generate_lineitem(n, 5)
+}
+
+/// A storage catalog holding a graph as the `graph` table (partitioned by
+/// `srcId`), the layout every distributed graph experiment uses.
+pub fn graph_catalog(g: &Graph) -> Catalog {
+    let cat = Catalog::new();
+    let mut t = StoredTable::new("graph", Graph::schema(), vec![0]);
+    t.load_unchecked(g.edge_tuples());
+    cat.register(t);
+    cat
+}
+
+/// A catalog holding points as the `geodata` table (partitioned by `nid`).
+pub fn points_catalog(points: &[Point]) -> Catalog {
+    let cat = Catalog::new();
+    let mut t = StoredTable::new("geodata", rex_data::points::schema(), vec![0]);
+    t.load_unchecked(rex_data::points::point_tuples(points));
+    cat.register(t);
+    cat
+}
+
+/// A catalog holding lineitem rows (partitioned by `orderkey`).
+pub fn lineitem_catalog(rows: &[LineItem]) -> Catalog {
+    let cat = Catalog::new();
+    let mut t = StoredTable::new("lineitem", rex_data::lineitem::schema(), vec![0]);
+    t.load_unchecked(rex_data::lineitem::lineitem_tuples(rows));
+    cat.register(t);
+    cat
+}
+
+/// Lineitem rows as engine tuples.
+pub fn lineitem_tuples(rows: &[LineItem]) -> Vec<Tuple> {
+    rex_data::lineitem::lineitem_tuples(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn graphs_have_expected_shape() {
+        let d = dbpedia_graph(1.0);
+        let t = twitter_graph(1.0);
+        assert!(d.n_edges() > 10_000);
+        let d_density = d.n_edges() as f64 / d.n_vertices as f64;
+        let t_density = t.n_edges() as f64 / t.n_vertices as f64;
+        assert!(t_density > d_density, "twitter must be denser");
+    }
+
+    #[test]
+    fn catalogs_register_tables() {
+        let g = dbpedia_graph(0.1);
+        let cat = graph_catalog(&g);
+        assert_eq!(cat.get("graph").unwrap().len(), g.n_edges());
+        let pts = geo_points(100);
+        assert_eq!(points_catalog(&pts).get("geodata").unwrap().len(), 100);
+        let rows = lineitem_rows(50);
+        assert_eq!(lineitem_catalog(&rows).get("lineitem").unwrap().len(), 50);
+    }
+}

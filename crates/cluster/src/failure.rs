@@ -1,0 +1,70 @@
+//! Failure injection and recovery strategies (§4.3, Figure 12).
+
+/// When and which worker to kill during a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailurePlan {
+    /// The worker to kill.
+    pub worker: usize,
+    /// Kill at the end of this stratum (before the next one starts).
+    pub at_end_of_stratum: u64,
+}
+
+impl FailurePlan {
+    /// Kill `worker` once stratum `s` completes.
+    pub fn kill_at(worker: usize, s: u64) -> FailurePlan {
+        FailurePlan { worker, at_end_of_stratum: s }
+    }
+}
+
+/// How the cluster recovers from a node failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RecoveryStrategy {
+    /// "Restart represents the baseline with the query simply restarted
+    /// when a failure is detected, discarding work completed prior to the
+    /// failure. This strategy does not need to replicate the mutable data."
+    Restart,
+    /// "Incremental ... utilizes work done prior to the failure ... nodes
+    /// which take over the failed range resume the execution without having
+    /// to recompute the mutable data up to iteration k." Requires per-
+    /// stratum replication of the fixpoint's mutable set.
+    #[default]
+    Incremental,
+}
+
+impl RecoveryStrategy {
+    /// Whether this strategy replicates per-stratum checkpoints.
+    pub fn replicates_state(&self) -> bool {
+        matches!(self, RecoveryStrategy::Incremental)
+    }
+}
+
+/// A recorded failure/recovery event, surfaced in cluster reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailureEvent {
+    /// The worker that failed.
+    pub worker: usize,
+    /// The stratum at whose boundary the failure occurred.
+    pub stratum: u64,
+    /// The strategy used to recover.
+    pub strategy: RecoveryStrategy,
+    /// The stratum execution resumed from (0 for restart).
+    pub resumed_from: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strategy_replication_flags() {
+        assert!(RecoveryStrategy::Incremental.replicates_state());
+        assert!(!RecoveryStrategy::Restart.replicates_state());
+    }
+
+    #[test]
+    fn plan_constructor() {
+        let p = FailurePlan::kill_at(3, 7);
+        assert_eq!(p.worker, 3);
+        assert_eq!(p.at_end_of_stratum, 7);
+    }
+}

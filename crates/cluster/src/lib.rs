@@ -1,0 +1,28 @@
+//! # rex-cluster
+//!
+//! The shared-nothing cluster runtime of REX (§4).
+//!
+//! Every worker executes the same optimizer-produced plan over its local
+//! data partition; rehash operators re-route deltas between workers
+//! according to the query's partition snapshot; punctuation coordinates
+//! strata; the query requestor tallies fixpoint votes to decide termination;
+//! and a hybrid checkpoint/recovery-query mechanism recovers recursive
+//! queries incrementally after node failures (§4.3).
+//!
+//! The cluster is *simulated*: workers are in-process executors stepped by a
+//! deterministic round-based scheduler, links are message queues with byte
+//! accounting, and per-worker cost metrics produce a simulated completion
+//! time (max over workers per stratum, as in the paper's worst-case
+//! completion-time estimation). This exercises the same partitioning,
+//! routing, punctuation-alignment and recovery code paths a wire cluster
+//! would, while keeping experiments deterministic. See DESIGN.md.
+
+pub mod failure;
+pub mod report;
+pub mod router;
+pub mod runtime;
+
+pub use failure::{FailurePlan, RecoveryStrategy};
+pub use report::ClusterReport;
+pub use router::Router;
+pub use runtime::{ClusterConfig, ClusterRuntime, PlanBuilder};

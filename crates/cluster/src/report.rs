@@ -1,0 +1,91 @@
+//! Cluster execution reports.
+
+use crate::failure::FailureEvent;
+use rex_core::metrics::{CostModel, ExecMetrics, QueryReport};
+
+/// The result record of a distributed query: the per-stratum query report
+/// plus cluster-level accounting (per-worker metrics, failure events,
+/// checkpoint volume).
+#[derive(Debug, Clone, Default)]
+pub struct ClusterReport {
+    /// Per-stratum and total execution metrics. Per-stratum simulated time
+    /// is the max over workers (worst-case completion, as the optimizer
+    /// also assumes).
+    pub query: QueryReport,
+    /// Final metrics per worker (dead workers keep their last values).
+    pub per_worker: Vec<ExecMetrics>,
+    /// Cluster size at query start.
+    pub n_workers: usize,
+    /// Failures injected/recovered during the run.
+    pub failures: Vec<FailureEvent>,
+    /// Bytes replicated for incremental checkpoints.
+    pub checkpoint_bytes: u64,
+}
+
+impl ClusterReport {
+    /// Total simulated time.
+    pub fn simulated_time(&self) -> f64 {
+        self.query.simulated_time
+    }
+
+    /// Total wall-clock seconds.
+    pub fn wall_seconds(&self) -> f64 {
+        self.query.wall_seconds
+    }
+
+    /// Strata executed (including re-executions after restart recovery).
+    pub fn iterations(&self) -> usize {
+        self.query.iterations()
+    }
+
+    /// Average per-node network bandwidth in bytes per simulated time unit:
+    /// "we measured the total amount of data sent by each node and divided
+    /// by the total number of nodes and the duration of the query" (§6.5).
+    pub fn avg_bandwidth_per_node(&self) -> f64 {
+        if self.query.simulated_time <= 0.0 || self.n_workers == 0 {
+            return 0.0;
+        }
+        let total_sent: u64 = self.per_worker.iter().map(|m| m.bytes_sent).sum();
+        total_sent as f64 / self.n_workers as f64 / self.query.simulated_time
+    }
+
+    /// Convenience: simulated time recomputed under a different cost model
+    /// (used by ablation benches).
+    pub fn resimulate(&self, model: &CostModel) -> f64 {
+        self.query
+            .strata
+            .iter()
+            .map(|s| s.metrics.simulated_time(model))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rex_core::metrics::StratumReport;
+
+    #[test]
+    fn bandwidth_divides_by_nodes_and_time() {
+        let mut r = ClusterReport {
+            n_workers: 4,
+            ..Default::default()
+        };
+        r.per_worker = (0..4)
+            .map(|_| ExecMetrics { bytes_sent: 250, ..Default::default() })
+            .collect();
+        r.query.simulated_time = 10.0;
+        assert_eq!(r.avg_bandwidth_per_node(), 1000.0 / 4.0 / 10.0);
+    }
+
+    #[test]
+    fn resimulate_uses_per_stratum_metrics() {
+        let mut r = ClusterReport::default();
+        r.query.strata.push(StratumReport {
+            metrics: ExecMetrics { cpu_units: 100.0, ..Default::default() },
+            ..Default::default()
+        });
+        let m = CostModel::default();
+        assert_eq!(r.resimulate(&m), 100.0);
+    }
+}

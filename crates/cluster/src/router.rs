@@ -1,0 +1,314 @@
+//! Network routing between workers.
+//!
+//! "Communication is achieved via TCP with destinations chosen by
+//! partitions ... query processing passes batched messages" (§4.1). The
+//! router partitions each rehash emission by key under the query's
+//! partition snapshot, accounts the bytes that cross worker boundaries
+//! (self-delivery is local and free), and aligns punctuation: a downstream
+//! input sees a stratum punctuation only after *every* live worker's rehash
+//! instance has punctuated that stratum.
+
+use rex_core::delta::{Annotation, Delta, Punctuation};
+use rex_core::exec::{Executor, NetEmission, NodeId};
+use rex_core::operators::{hash_key, Event};
+use rex_storage::partition::PartitionSnapshot;
+use std::collections::{HashMap, HashSet};
+
+/// Routes rehash traffic among a set of worker executors.
+#[derive(Default)]
+pub struct Router {
+    /// Punctuation arrivals: (rehash node, port, punct) → workers heard.
+    punct_counts: HashMap<(NodeId, usize, Punctuation), HashSet<usize>>,
+    /// Total bytes that crossed worker boundaries.
+    pub bytes_crossed: u64,
+    /// Messages delivered across worker boundaries.
+    pub messages_crossed: u64,
+}
+
+impl Router {
+    /// Fresh router (one per query attempt).
+    pub fn new() -> Router {
+        Router::default()
+    }
+
+    /// Deliver an outbox of rehash emissions from `from_worker` into the
+    /// executors of all live workers. Returns the number of injections made
+    /// (used by the scheduler's quiescence check).
+    pub fn route(
+        &mut self,
+        from_worker: usize,
+        outbox: Vec<NetEmission>,
+        executors: &mut [Executor],
+        live: &[usize],
+        snap: &PartitionSnapshot,
+    ) -> usize {
+        let mut injected = 0;
+        for em in outbox {
+            match em.event {
+                Event::Data(deltas) => {
+                    injected += self.route_data(
+                        from_worker, em.node, em.port, deltas, executors, live, snap,
+                    );
+                }
+                Event::Punct(p) => {
+                    injected +=
+                        self.route_punct(from_worker, em.node, em.port, p, executors, live);
+                }
+            }
+        }
+        injected
+    }
+
+    fn route_data(
+        &mut self,
+        from_worker: usize,
+        node: NodeId,
+        port: usize,
+        deltas: Vec<Delta>,
+        executors: &mut [Executor],
+        live: &[usize],
+        snap: &PartitionSnapshot,
+    ) -> usize {
+        let key_cols: Vec<usize> = executors[from_worker]
+            .network_key(node)
+            .expect("outbox emission from a non-network node")
+            .to_vec();
+        // A rehash with no key columns is a *broadcast*: every live worker
+        // receives the full batch (used for small relations joined against
+        // everything, e.g. K-means centroids against the point partitions).
+        if key_cols.is_empty() {
+            let event = Event::Data(deltas);
+            let bytes = event.byte_size() as u64;
+            for &target in live {
+                if target != from_worker {
+                    executors[from_worker].metrics.bytes_sent += bytes;
+                    executors[target].metrics.bytes_received += bytes;
+                    self.bytes_crossed += bytes;
+                    self.messages_crossed += 1;
+                }
+                executors[target].inject_downstream(node, port, event.clone());
+            }
+            return live.len();
+        }
+        let mut per_target: HashMap<usize, Vec<Delta>> = HashMap::new();
+        for d in deltas {
+            // A replacement whose old tuple lives in a different partition
+            // must be split into a routed delete plus a routed insert.
+            if let Annotation::Replace(old) = &d.ann {
+                let old_owner = snap.owner_of_hash(hash_key(&old.key(&key_cols)));
+                let new_owner = snap.owner_of_hash(hash_key(&d.tuple.key(&key_cols)));
+                if old_owner != new_owner {
+                    per_target
+                        .entry(old_owner)
+                        .or_default()
+                        .push(Delta::delete(old.clone()));
+                    per_target
+                        .entry(new_owner)
+                        .or_default()
+                        .push(Delta::insert(d.tuple.clone()));
+                    continue;
+                }
+            }
+            let owner = snap.owner_of_hash(hash_key(&d.tuple.key(&key_cols)));
+            per_target.entry(owner).or_default().push(d);
+        }
+        let mut injected = 0;
+        for (target, batch) in per_target {
+            let event = Event::Data(batch);
+            if target != from_worker {
+                let bytes = event.byte_size() as u64;
+                executors[from_worker].metrics.bytes_sent += bytes;
+                executors[target].metrics.bytes_received += bytes;
+                self.bytes_crossed += bytes;
+                self.messages_crossed += 1;
+            }
+            executors[target].inject_downstream(node, port, event);
+            injected += 1;
+        }
+        injected
+    }
+
+    fn route_punct(
+        &mut self,
+        from_worker: usize,
+        node: NodeId,
+        port: usize,
+        p: Punctuation,
+        executors: &mut [Executor],
+        live: &[usize],
+    ) -> usize {
+        // Broadcast cost: one tiny message to every other live worker.
+        let bcast = Event::Punct(p).byte_size() as u64 * (live.len().saturating_sub(1)) as u64;
+        executors[from_worker].metrics.bytes_sent += bcast;
+        self.bytes_crossed += bcast;
+
+        let heard = self
+            .punct_counts
+            .entry((node, port, p))
+            .or_default();
+        heard.insert(from_worker);
+        if heard.len() >= live.len() {
+            self.punct_counts.remove(&(node, port, p));
+            for &w in live {
+                executors[w].inject_downstream(node, port, Event::Punct(p));
+            }
+            live.len()
+        } else {
+            0
+        }
+    }
+
+    /// Forget a worker's pending punctuation contributions (on failure).
+    pub fn forget_worker(&mut self, worker: usize) {
+        for heard in self.punct_counts.values_mut() {
+            heard.remove(&worker);
+        }
+    }
+
+    /// Drop all routing state.
+    pub fn clear(&mut self) {
+        self.punct_counts.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rex_core::exec::PlanGraph;
+    use rex_core::operators::{SinkOp, UnionOp};
+    use rex_core::tuple;
+
+    /// Build a minimal 2-worker setup: rehash(0) -> union -> sink.
+    fn setup(n: usize) -> (Vec<Executor>, PartitionSnapshot) {
+        let mut executors = Vec::new();
+        for w in 0..n {
+            let mut g = PlanGraph::new();
+            let rh = g.add_rehash(vec![0]);
+            let un = g.add(Box::new(UnionOp::new(1)));
+            let sink = g.add(Box::new(SinkOp::new()));
+            g.pipe(rh, un);
+            g.pipe(un, sink);
+            executors.push(Executor::new(g, w, true));
+        }
+        (executors, PartitionSnapshot::new(n, 1))
+    }
+
+    #[test]
+    fn data_routes_by_key_owner() {
+        let (mut ex, snap) = setup(2);
+        let live = vec![0, 1];
+        let mut router = Router::new();
+        // Find keys owned by each worker.
+        let mut k0 = None;
+        let mut k1 = None;
+        for i in 0..100i64 {
+            match snap.owner_of_key(&[rex_core::value::Value::Int(i)]) {
+                0 if k0.is_none() => k0 = Some(i),
+                1 if k1.is_none() => k1 = Some(i),
+                _ => {}
+            }
+        }
+        let (k0, k1) = (k0.unwrap(), k1.unwrap());
+        let out = vec![NetEmission {
+            node: 0,
+            port: 0,
+            event: Event::Data(vec![
+                Delta::insert(tuple![k0]),
+                Delta::insert(tuple![k1]),
+            ]),
+        }];
+        router.route(0, out, &mut ex, &live, &snap);
+        // Worker 0 self-delivered k0 (no bytes), shipped k1 to worker 1.
+        assert!(router.bytes_crossed > 0);
+        assert_eq!(ex[1].metrics.bytes_received, router.bytes_crossed);
+        let reg = rex_core::udf::Registry::new();
+        let cost = rex_core::metrics::CostModel::default();
+        let mut outbox = Vec::new();
+        ex[0].drain(&reg, &cost, &mut outbox).unwrap();
+        ex[1].drain(&reg, &cost, &mut outbox).unwrap();
+        assert_eq!(ex[0].sink_results().unwrap(), vec![tuple![k0]]);
+        assert_eq!(ex[1].sink_results().unwrap(), vec![tuple![k1]]);
+    }
+
+    #[test]
+    fn punct_waits_for_all_workers() {
+        let (mut ex, snap) = setup(3);
+        let live = vec![0, 1, 2];
+        let mut router = Router::new();
+        let punct_em = |_w: usize| {
+            vec![NetEmission {
+                node: 0,
+                port: 0,
+                event: Event::Punct(Punctuation::EndOfStratum(0)),
+            }]
+        };
+        assert_eq!(router.route(0, punct_em(0), &mut ex, &live, &snap), 0);
+        assert_eq!(router.route(1, punct_em(1), &mut ex, &live, &snap), 0);
+        // Third arrival releases the punct to all three workers.
+        assert_eq!(router.route(2, punct_em(2), &mut ex, &live, &snap), 3);
+    }
+
+    #[test]
+    fn empty_key_rehash_broadcasts_to_all_workers() {
+        let mut executors = Vec::new();
+        for w in 0..3 {
+            let mut g = PlanGraph::new();
+            let rh = g.add_rehash(vec![]); // broadcast
+            let sink = g.add(Box::new(SinkOp::new()));
+            g.pipe(rh, sink);
+            executors.push(Executor::new(g, w, true));
+        }
+        let snap = PartitionSnapshot::new(3, 1);
+        let live = vec![0, 1, 2];
+        let mut router = Router::new();
+        let out = vec![NetEmission {
+            node: 0,
+            port: 0,
+            event: Event::Data(vec![Delta::insert(tuple![42i64])]),
+        }];
+        router.route(1, out, &mut executors, &live, &snap);
+        let reg = rex_core::udf::Registry::new();
+        let cost = rex_core::metrics::CostModel::default();
+        for ex in &mut executors {
+            ex.drain(&reg, &cost, &mut Vec::new()).unwrap();
+        }
+        for ex in &mut executors {
+            assert_eq!(ex.sink_results().unwrap(), vec![tuple![42i64]]);
+        }
+        // Two cross-worker copies (self-delivery is free).
+        assert_eq!(router.messages_crossed, 2);
+        assert_eq!(executors[1].metrics.bytes_sent, router.bytes_crossed);
+    }
+
+    #[test]
+    fn cross_partition_replace_splits() {
+        let (mut ex, snap) = setup(2);
+        let live = vec![0, 1];
+        let mut router = Router::new();
+        // Find a pair of keys with different owners.
+        let mut a = None;
+        let mut b = None;
+        for i in 0..100i64 {
+            match snap.owner_of_key(&[rex_core::value::Value::Int(i)]) {
+                0 if a.is_none() => a = Some(i),
+                1 if b.is_none() => b = Some(i),
+                _ => {}
+            }
+        }
+        let (a, b) = (a.unwrap(), b.unwrap());
+        let out = vec![NetEmission {
+            node: 0,
+            port: 0,
+            event: Event::Data(vec![Delta::replace(tuple![a], tuple![b])]),
+        }];
+        router.route(0, out, &mut ex, &live, &snap);
+        let reg = rex_core::udf::Registry::new();
+        let cost = rex_core::metrics::CostModel::default();
+        let mut outbox = Vec::new();
+        ex[0].drain(&reg, &cost, &mut outbox).unwrap();
+        ex[1].drain(&reg, &cost, &mut outbox).unwrap();
+        // Worker 0 saw a delete (nothing in sink), worker 1 the insert.
+        assert!(ex[0].sink_results().unwrap().is_empty());
+        assert_eq!(ex[1].sink_results().unwrap(), vec![tuple![b]]);
+    }
+}

@@ -1,0 +1,700 @@
+//! The distributed query runtime: the requestor's coordination loop.
+//!
+//! "Each worker node executes in parallel the query plan specified by the
+//! optimizer. The results of the plan execution are ultimately forwarded to
+//! the query requestor node, which unions the received results from all
+//! nodes in the cluster. There is no single node responsible for
+//! checkpointing the state, coordinating flows, etc." (§4) — coordination
+//! that *is* needed (stratum votes, §4.2; recovery, §4.3) is performed by
+//! the query requestor, which this runtime embodies.
+
+use crate::failure::{FailureEvent, FailurePlan, RecoveryStrategy};
+use crate::report::ClusterReport;
+use crate::router::Router;
+use rex_core::error::{Result, RexError};
+use rex_core::exec::{Executor, PlanGraph, MAX_STRATA};
+use rex_core::metrics::{CostModel, ExecMetrics, StratumReport};
+use rex_core::operators::{hash_key, OperatorState};
+use rex_core::tuple::Tuple;
+use rex_core::udf::Registry;
+use rex_storage::catalog::Catalog;
+use rex_storage::checkpoint::{Checkpoint, CheckpointStore};
+use rex_storage::partition::PartitionSnapshot;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Builds one worker's copy of the physical plan. Scans must read the
+/// worker's partition of stored tables under the given snapshot.
+pub type PlanBuilder =
+    Arc<dyn Fn(usize, &PartitionSnapshot, &Catalog) -> Result<PlanGraph> + Send + Sync>;
+
+/// Cluster configuration.
+#[derive(Clone)]
+pub struct ClusterConfig {
+    /// Number of worker nodes.
+    pub n_workers: usize,
+    /// Replication factor for storage and checkpoints (the paper uses 3).
+    pub replication: usize,
+    /// Cost constants.
+    pub cost: CostModel,
+    /// UDF/UDA registry distributed with the query.
+    pub registry: Registry,
+    /// Replicate per-stratum fixpoint checkpoints (needed for incremental
+    /// recovery; REX-delta runs with this on).
+    pub checkpointing: bool,
+    /// Optional injected failure.
+    pub failure: Option<FailurePlan>,
+    /// Recovery strategy when a failure occurs.
+    pub recovery: RecoveryStrategy,
+}
+
+impl ClusterConfig {
+    /// A cluster of `n` workers with replication 3 and default costs.
+    pub fn new(n: usize) -> ClusterConfig {
+        ClusterConfig {
+            n_workers: n.max(1),
+            replication: 3,
+            cost: CostModel::default(),
+            registry: Registry::with_builtins(),
+            checkpointing: true,
+            failure: None,
+            recovery: RecoveryStrategy::Incremental,
+        }
+    }
+
+    /// Set the failure plan.
+    pub fn with_failure(mut self, f: FailurePlan, strategy: RecoveryStrategy) -> Self {
+        self.failure = Some(f);
+        self.recovery = strategy;
+        self.checkpointing = strategy.replicates_state();
+        self
+    }
+
+    /// Override the cost model.
+    pub fn with_cost(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Override the registry.
+    pub fn with_registry(mut self, reg: Registry) -> Self {
+        self.registry = reg;
+        self
+    }
+}
+
+/// The simulated cluster runtime.
+pub struct ClusterRuntime {
+    config: ClusterConfig,
+    catalog: Catalog,
+}
+
+impl ClusterRuntime {
+    /// Create a runtime over a shared catalog.
+    pub fn new(config: ClusterConfig, catalog: Catalog) -> ClusterRuntime {
+        ClusterRuntime { config, catalog }
+    }
+
+    /// The catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Execute a query across the cluster.
+    pub fn run(&self, build: PlanBuilder) -> Result<(Vec<Tuple>, ClusterReport)> {
+        let n = self.config.n_workers;
+        let reg = &self.config.registry;
+        let cost = &self.config.cost;
+        let t0 = Instant::now();
+
+        let mut report = ClusterReport { n_workers: n, ..Default::default() };
+        let ckpts = CheckpointStore::new();
+        let mut snapshot = PartitionSnapshot::new(n, self.config.replication);
+        let mut live: Vec<usize> = (0..n).collect();
+        let mut pending_failure = self.config.failure;
+        // Incremental recovery: resume from this stratum with checkpointed
+        // state; None means run from scratch.
+        let mut resume: Option<u64> = None;
+        // Metrics of finished attempts (so recovery cost is not lost).
+        let mut carried: Vec<ExecMetrics> = vec![ExecMetrics::default(); n];
+        // Global stratum counter across attempts (drives failure injection
+        // and report numbering).
+        let mut strata_seen: u64 = 0;
+
+        'attempt: loop {
+            // ---- build executors for live workers -----------------------
+            let mut executors: Vec<Executor> = Vec::with_capacity(n);
+            for w in 0..n {
+                let graph = if live.contains(&w) {
+                    (build)(w, &snapshot, &self.catalog)?
+                } else {
+                    PlanGraph::new() // dead placeholder keeps indices stable
+                };
+                executors.push(Executor::new(graph, w, true));
+            }
+            let mut router = Router::new();
+            let mut prev: Vec<ExecMetrics> = vec![ExecMetrics::default(); n];
+            let mut prev_crossed = 0u64;
+            let mut stratum_start = Instant::now();
+
+            for &w in &live {
+                executors[w].start(reg, cost)?;
+            }
+            drain_all(&mut executors, &mut router, &live, &snapshot, reg, cost)?;
+
+
+            // On incremental recovery only the failed worker's range is
+            // actually cold: the survivors' scans and immutable operator
+            // state stay warm on their nodes. The simulator re-executes the
+            // full reload to rebuild operator state exactly, but charges
+            // each survivor only the takeover share of it (§4.3: "the
+            // checkpointed tuples in the failed range are streamed to the
+            // nodes which have taken over that range").
+            if resume.is_some() {
+                let share = 1.0 / live.len().max(1) as f64;
+                for &w in &live {
+                    scale_metrics(&mut executors[w].metrics, share);
+                }
+            }
+
+            let fixpoints = executors[live[0]].fixpoint_ids();
+
+            // ---- non-recursive query ------------------------------------
+            if fixpoints.is_empty() {
+                let results = collect_results(&mut executors, &live, cost)?;
+                let stratum_metrics = merged_diff(&executors, &carried, &prev, &live);
+                let max_time = max_sim_time(&executors, &prev, &live, cost);
+                report.query.strata.push(StratumReport {
+                    stratum: 0,
+                    delta_set_size: stratum_metrics.deltas_emitted,
+                    simulated_time: max_time,
+                    wall_seconds: stratum_start.elapsed().as_secs_f64(),
+                    bytes_shipped: router.bytes_crossed,
+                    metrics: stratum_metrics,
+                });
+                finalize(&mut report, &executors, &carried, cost, t0);
+                return Ok((results, report));
+            }
+
+            // ---- incremental resume -------------------------------------
+            let mut completed: u64 = 0;
+            if let Some(k) = resume.take() {
+                let fp0 = fixpoints[0];
+                let key_cols =
+                    executors[live[0]].with_fixpoint(fp0, |fp| fp.key_cols().to_vec())?;
+                // Gather every original owner's recoverable checkpoint.
+                let mut tuples: Vec<Tuple> = Vec::new();
+                for owner in 0..n {
+                    if let Some(c) = ckpts.recoverable(owner, k, &live) {
+                        tuples.extend(c.state.tuples);
+                    }
+                }
+                // Re-partition the recovered mutable set under the *new*
+                // snapshot and stream it to the takeover nodes.
+                let mut per_worker: Vec<Vec<Tuple>> = vec![Vec::new(); n];
+                for t in tuples {
+                    let owner = snapshot.owner_of_hash(hash_key(&t.key(&key_cols)));
+                    per_worker[owner].push(t);
+                }
+                for &w in &live {
+                    let state = OperatorState { tuples: std::mem::take(&mut per_worker[w]) };
+                    let bytes = state.byte_size() as u64;
+                    executors[w].metrics.bytes_received += bytes;
+                    executors[w].restore_fixpoint(fp0, state, k)?;
+                }
+                // Resume: feed the restored state through the recursive
+                // subplan (one catch-up stratum), then iterate normally.
+                for &w in &live {
+                    executors[w].advance_fixpoint(fp0, true, reg, cost, &mut Vec::new())?;
+                    // advance emits locally; rehash traffic goes through the
+                    // normal drain below.
+                }
+                drain_all(&mut executors, &mut router, &live, &snapshot, reg, cost)?;
+                completed = k + 1;
+            }
+
+            // ---- stratum loop -------------------------------------------
+            loop {
+                // Collect votes (the requestor's global view, §4.2).
+                let mut total_pending = 0usize;
+                for &w in &live {
+                    for &f in &fixpoints {
+                        let (ready, pending) = executors[w]
+                            .with_fixpoint(f, |fp| (fp.ready_for_vote(), fp.pending_count()))?;
+                        if !ready {
+                            return Err(RexError::Exec(format!(
+                                "worker {w} fixpoint {f} missed stratum punctuation"
+                            )));
+                        }
+                        total_pending += pending;
+                    }
+                }
+                let mut any_continue = false;
+                for &f in &fixpoints {
+                    let (stratum, term) = executors[live[0]]
+                        .with_fixpoint(f, |fp| (fp.stratum(), fp.termination()))?;
+                    if term.wants_continue(total_pending, stratum) {
+                        any_continue = true;
+                    }
+                }
+
+                // Record the completed stratum.
+                let stratum_metrics = merged_diff(&executors, &carried, &prev, &live);
+                let max_time = max_sim_time(&executors, &prev, &live, cost);
+                for &w in &live {
+                    prev[w] = executors[w].metrics;
+                }
+                report.query.strata.push(StratumReport {
+                    stratum: completed,
+                    delta_set_size: total_pending as u64,
+                    simulated_time: max_time,
+                    wall_seconds: stratum_start.elapsed().as_secs_f64(),
+                    bytes_shipped: router.bytes_crossed - prev_crossed,
+                    metrics: stratum_metrics,
+                });
+                prev_crossed = router.bytes_crossed;
+                stratum_start = Instant::now();
+
+                // Incremental checkpointing (§4.3): replicate each live
+                // worker's fixpoint state to its replicas.
+                if self.config.checkpointing && any_continue {
+                    for &w in &live {
+                        for &f in &fixpoints {
+                            if let Some(state) = executors[w].checkpoint_node(f) {
+                                let replicas =
+                                    next_workers(&live, w, self.config.replication - 1);
+                                // Incremental checkpointing ships only the
+                                // stratum's Δᵢ set; replicas maintain their
+                                // accumulated copy of the mutable state
+                                // (§4.3).
+                                let bytes = executors[w]
+                                    .with_fixpoint(f, |fp| fp.pending_bytes())?;
+                                executors[w].metrics.bytes_sent +=
+                                    bytes * replicas.len() as u64;
+                                executors[w].metrics.disk_written += bytes;
+                                for &r in &replicas {
+                                    executors[r].metrics.disk_written += bytes;
+                                }
+                                report.checkpoint_bytes += bytes * (1 + replicas.len() as u64);
+                                ckpts.put(Checkpoint {
+                                    owner: w,
+                                    stratum: completed,
+                                    replicas,
+                                    state,
+                                });
+                            }
+                        }
+                    }
+                    // Only the last completed stratum is needed.
+                    ckpts.prune_before(completed.saturating_sub(1));
+                }
+
+                // Failure injection at the stratum boundary.
+                if let Some(fp) = pending_failure {
+                    if strata_seen >= fp.at_end_of_stratum && live.contains(&fp.worker) {
+                        pending_failure = None;
+                        live.retain(|&w| w != fp.worker);
+                        if live.is_empty() {
+                            return Err(RexError::NodeFailed(fp.worker));
+                        }
+                        router.forget_worker(fp.worker);
+                        snapshot = snapshot.without_node(fp.worker);
+                        for w in 0..n {
+                            carried[w].merge(&executors[w].metrics);
+                        }
+                        let resumed_from = match self.config.recovery {
+                            RecoveryStrategy::Restart => {
+                                resume = None;
+                                0
+                            }
+                            RecoveryStrategy::Incremental => {
+                                let owners: Vec<usize> = (0..n).collect();
+                                match ckpts.last_complete_stratum(&owners, &live) {
+                                    Some(s) => {
+                                        resume = Some(s);
+                                        s
+                                    }
+                                    None => {
+                                        resume = None;
+                                        0
+                                    }
+                                }
+                            }
+                        };
+                        report.failures.push(FailureEvent {
+                            worker: fp.worker,
+                            stratum: strata_seen,
+                            strategy: self.config.recovery,
+                            resumed_from,
+                        });
+                        continue 'attempt;
+                    }
+                }
+
+                strata_seen += 1;
+                if strata_seen > MAX_STRATA {
+                    return Err(RexError::Exec(format!(
+                        "recursion exceeded {MAX_STRATA} strata without converging"
+                    )));
+                }
+
+                // Advance or finish — all workers in lockstep, then drain.
+                for &w in &live {
+                    for &f in &fixpoints {
+                        executors[w].advance_fixpoint(f, any_continue, reg, cost, &mut Vec::new())?;
+                    }
+                    executors[w].set_stratum(completed + 1);
+                }
+                // advance() queues locally; rehash traffic flows in drain.
+                drain_all(&mut executors, &mut router, &live, &snapshot, reg, cost)?;
+                completed += 1;
+                if !any_continue {
+                    let results = collect_results(&mut executors, &live, cost)?;
+                    finalize(&mut report, &executors, &carried, cost, t0);
+                    return Ok((results, report));
+                }
+            }
+        }
+    }
+}
+
+/// Round-based scheduler: drain every live worker, route its rehash
+/// traffic, repeat until global quiescence.
+fn drain_all(
+    executors: &mut [Executor],
+    router: &mut Router,
+    live: &[usize],
+    snap: &PartitionSnapshot,
+    reg: &Registry,
+    cost: &CostModel,
+) -> Result<()> {
+    loop {
+        let mut progressed = false;
+        for &w in live {
+            if executors[w].has_work() {
+                progressed = true;
+                let mut outbox = Vec::new();
+                executors[w].drain(reg, cost, &mut outbox)?;
+                if !outbox.is_empty() {
+                    router.route(w, outbox, executors, live, snap);
+                }
+            }
+        }
+        if !progressed {
+            return Ok(());
+        }
+    }
+}
+
+/// The next `k` live workers after `w` in ring order (replica placement).
+fn next_workers(live: &[usize], w: usize, k: usize) -> Vec<usize> {
+    let mut sorted: Vec<usize> = live.to_vec();
+    sorted.sort_unstable();
+    let pos = sorted.iter().position(|&x| x == w).unwrap_or(0);
+    (1..=k.min(sorted.len().saturating_sub(1)))
+        .map(|i| sorted[(pos + i) % sorted.len()])
+        .collect()
+}
+
+/// Union the sinks of all live workers at the requestor, accounting the
+/// result-forwarding bytes (workers other than the requestor ship results).
+fn collect_results(
+    executors: &mut [Executor],
+    live: &[usize],
+    _cost: &CostModel,
+) -> Result<Vec<Tuple>> {
+    let requestor = live[0];
+    let mut all = Vec::new();
+    for &w in live {
+        let part = executors[w].sink_results()?;
+        if w != requestor {
+            let bytes: u64 = part.iter().map(|t| t.byte_size() as u64).sum();
+            executors[w].metrics.bytes_sent += bytes;
+        }
+        all.extend(part);
+    }
+    all.sort();
+    Ok(all)
+}
+
+/// Merged per-stratum metric diff across live workers.
+fn merged_diff(
+    executors: &[Executor],
+    _carried: &[ExecMetrics],
+    prev: &[ExecMetrics],
+    live: &[usize],
+) -> ExecMetrics {
+    let mut m = ExecMetrics::default();
+    for &w in live {
+        m.merge(&diff(&executors[w].metrics, &prev[w]));
+    }
+    m
+}
+
+/// Scale all counters of a metrics record (used to discount warm-state
+/// reloads during incremental recovery).
+fn scale_metrics(m: &mut ExecMetrics, f: f64) {
+    m.tuples_processed = (m.tuples_processed as f64 * f) as u64;
+    m.deltas_emitted = (m.deltas_emitted as f64 * f) as u64;
+    m.udf_calls = (m.udf_calls as f64 * f) as u64;
+    m.cpu_units *= f;
+    m.bytes_sent = (m.bytes_sent as f64 * f) as u64;
+    m.bytes_received = (m.bytes_received as f64 * f) as u64;
+    m.disk_read = (m.disk_read as f64 * f) as u64;
+    m.disk_written = (m.disk_written as f64 * f) as u64;
+    m.punctuations = (m.punctuations as f64 * f) as u64;
+}
+
+fn diff(cur: &ExecMetrics, prev: &ExecMetrics) -> ExecMetrics {
+    ExecMetrics {
+        tuples_processed: cur.tuples_processed - prev.tuples_processed,
+        deltas_emitted: cur.deltas_emitted - prev.deltas_emitted,
+        udf_calls: cur.udf_calls - prev.udf_calls,
+        cpu_units: cur.cpu_units - prev.cpu_units,
+        bytes_sent: cur.bytes_sent - prev.bytes_sent,
+        bytes_received: cur.bytes_received - prev.bytes_received,
+        disk_read: cur.disk_read - prev.disk_read,
+        disk_written: cur.disk_written - prev.disk_written,
+        punctuations: cur.punctuations - prev.punctuations,
+    }
+}
+
+/// Max-over-workers simulated time for the stratum that just completed.
+fn max_sim_time(
+    executors: &[Executor],
+    prev: &[ExecMetrics],
+    live: &[usize],
+    cost: &CostModel,
+) -> f64 {
+    live.iter()
+        .map(|&w| diff(&executors[w].metrics, &prev[w]).simulated_time(cost))
+        .fold(0.0, f64::max)
+}
+
+/// Fill in totals and per-worker metrics at query end.
+fn finalize(
+    report: &mut ClusterReport,
+    executors: &[Executor],
+    carried: &[ExecMetrics],
+    _cost: &CostModel,
+    t0: Instant,
+) {
+    let n = executors.len();
+    report.per_worker = (0..n)
+        .map(|w| {
+            let mut m = carried[w];
+            m.merge(&executors[w].metrics);
+            m
+        })
+        .collect();
+    let mut totals = ExecMetrics::default();
+    for m in &report.per_worker {
+        totals.merge(m);
+    }
+    report.query.totals = totals;
+    report.query.simulated_time =
+        report.query.strata.iter().map(|s| s.simulated_time).sum();
+    report.query.wall_seconds = t0.elapsed().as_secs_f64();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rex_core::aggregates::SumAgg;
+    use rex_core::delta::Delta;
+    use rex_core::expr::Expr;
+    use rex_core::operators::{
+        AggSpec, ApplyFunctionOp, FilterOp, FixpointOp, FnMapper, GroupByOp, ScanOp, SinkOp,
+        Termination,
+    };
+    use rex_core::tuple;
+    use rex_core::tuple::Schema;
+    use rex_core::value::DataType;
+    use rex_storage::table::StoredTable;
+
+    fn catalog_with_numbers(n_rows: i64) -> Catalog {
+        let cat = Catalog::new();
+        let mut t = StoredTable::new(
+            "nums",
+            Schema::of(&[("k", DataType::Int), ("v", DataType::Double)]),
+            vec![0],
+        );
+        for i in 0..n_rows {
+            t.insert(tuple![i, (i % 5) as f64]).unwrap();
+        }
+        cat.register(t);
+        cat
+    }
+
+    /// Distributed filter: every worker scans its partition and filters.
+    #[test]
+    fn distributed_filter_covers_all_partitions() {
+        let cat = catalog_with_numbers(100);
+        let rt = ClusterRuntime::new(ClusterConfig::new(4), cat);
+        let build: PlanBuilder = Arc::new(|w, snap, cat| {
+            let table = cat.get("nums")?;
+            let mut g = PlanGraph::new();
+            let scan = g.add(Box::new(ScanOp::new("nums", table.partition_for(snap, w))));
+            let f = g.add(Box::new(FilterOp::new(Expr::col(1).gt(Expr::lit(2.5f64)))));
+            let sink = g.add(Box::new(SinkOp::new()));
+            g.pipe(scan, f);
+            g.pipe(f, sink);
+            Ok(g)
+        });
+        let (results, report) = rt.run(build).unwrap();
+        // v in {3,4} → 40 of 100 rows pass.
+        assert_eq!(results.len(), 40);
+        assert_eq!(report.n_workers, 4);
+        assert_eq!(report.iterations(), 1);
+    }
+
+    /// Distributed aggregation with a rehash: sum(v) grouped by k % 3.
+    #[test]
+    fn distributed_aggregation_with_rehash() {
+        let cat = catalog_with_numbers(90);
+        let rt = ClusterRuntime::new(ClusterConfig::new(3), cat);
+        let build: PlanBuilder = Arc::new(|w, snap, cat| {
+            let table = cat.get("nums")?;
+            let mut g = PlanGraph::new();
+            let scan = g.add(Box::new(ScanOp::new("nums", table.partition_for(snap, w))));
+            // project (k%3, v) then rehash on the new key and aggregate.
+            let proj = g.add(Box::new(ApplyFunctionOp::new(Arc::new(FnMapper::new(
+                "mod3",
+                |d, _| {
+                    let k = d.tuple.get(0).as_int().unwrap();
+                    let v = d.tuple.get(1).clone();
+                    Ok(vec![d.with_tuple(rex_core::tuple::Tuple::new(vec![
+                        rex_core::value::Value::Int(k % 3),
+                        v,
+                    ]))])
+                },
+            )))));
+            let rh = g.add_rehash(vec![0]);
+            let gb = g.add(Box::new(GroupByOp::new(
+                vec![0],
+                vec![AggSpec::new(Arc::new(SumAgg), vec![1])],
+            )));
+            let sink = g.add(Box::new(SinkOp::new()));
+            g.pipe(scan, proj);
+            g.pipe(proj, rh);
+            g.pipe(rh, gb);
+            g.pipe(gb, sink);
+            Ok(g)
+        });
+        let (results, report) = rt.run(build).unwrap();
+        assert_eq!(results.len(), 3);
+        // Σ v over 90 rows with v = i%5 → 18 cycles of 0+1+2+3+4 = 180.
+        let total: f64 = results
+            .iter()
+            .map(|t| t.get(1).as_double().unwrap())
+            .sum();
+        assert!((total - 180.0).abs() < 1e-9);
+        // Rehash moved data across workers.
+        assert!(report.query.totals.bytes_sent > 0);
+    }
+
+    /// Distributed recursion: per-key counters race to 5 via rehash.
+    fn recursive_build() -> PlanBuilder {
+        Arc::new(|w, snap, cat| {
+            let table = cat.get("nums")?;
+            let mut g = PlanGraph::new();
+            let scan = g.add(Box::new(ScanOp::new("nums", table.partition_for(snap, w))));
+            let fp = g.add(Box::new(FixpointOp::new(vec![0], Termination::Fixpoint)));
+            let step = g.add(Box::new(ApplyFunctionOp::new(Arc::new(FnMapper::new(
+                "inc",
+                |d, _| {
+                    let k = d.tuple.get(0).as_int().unwrap();
+                    let v = d.tuple.get(1).as_double().unwrap();
+                    if v < 5.0 {
+                        Ok(vec![Delta::insert(tuple![k, v + 1.0])])
+                    } else {
+                        Ok(vec![])
+                    }
+                },
+            )))));
+            let rh = g.add_rehash(vec![0]);
+            let sink = g.add(Box::new(SinkOp::new()));
+            g.connect(scan, 0, fp, 0);
+            g.connect(fp, 0, step, 0);
+            g.pipe(step, rh);
+            g.connect(rh, 0, fp, 1);
+            g.connect(fp, 1, sink, 0);
+            Ok(g)
+        })
+    }
+
+    #[test]
+    fn distributed_recursion_converges() {
+        let cat = catalog_with_numbers(30);
+        let rt = ClusterRuntime::new(ClusterConfig::new(3), cat);
+        let (results, report) = rt.run(recursive_build()).unwrap();
+        assert_eq!(results.len(), 30);
+        for t in &results {
+            assert_eq!(t.get(1).as_double().unwrap(), 5.0, "key {}", t.get(0));
+        }
+        assert!(report.iterations() >= 5);
+        // Δ set sizes hit zero at convergence.
+        assert_eq!(report.query.strata.last().unwrap().delta_set_size, 0);
+    }
+
+    #[test]
+    fn single_worker_matches_local_semantics() {
+        let cat = catalog_with_numbers(10);
+        let rt = ClusterRuntime::new(ClusterConfig::new(1), cat);
+        let (results, _) = rt.run(recursive_build()).unwrap();
+        assert_eq!(results.len(), 10);
+        assert!(results.iter().all(|t| t.get(1).as_double().unwrap() == 5.0));
+    }
+
+    #[test]
+    fn incremental_recovery_completes_with_correct_results() {
+        let cat = catalog_with_numbers(30);
+        let cfg = ClusterConfig::new(3)
+            .with_failure(FailurePlan::kill_at(1, 2), RecoveryStrategy::Incremental);
+        let rt = ClusterRuntime::new(cfg, cat);
+        let (results, report) = rt.run(recursive_build()).unwrap();
+        assert_eq!(results.len(), 30);
+        assert!(results.iter().all(|t| t.get(1).as_double().unwrap() == 5.0));
+        assert_eq!(report.failures.len(), 1);
+        assert_eq!(report.failures[0].worker, 1);
+        assert!(report.checkpoint_bytes > 0);
+        // Incremental recovery resumed from a checkpointed stratum.
+        assert!(report.failures[0].resumed_from > 0);
+    }
+
+    #[test]
+    fn restart_recovery_completes_with_correct_results() {
+        let cat = catalog_with_numbers(30);
+        let cfg = ClusterConfig::new(3)
+            .with_failure(FailurePlan::kill_at(2, 2), RecoveryStrategy::Restart);
+        let rt = ClusterRuntime::new(cfg, cat);
+        let (results, report) = rt.run(recursive_build()).unwrap();
+        assert_eq!(results.len(), 30);
+        assert!(results.iter().all(|t| t.get(1).as_double().unwrap() == 5.0));
+        assert_eq!(report.failures[0].resumed_from, 0);
+        // Restart re-executes early strata: more total strata than failure-free.
+        let baseline = ClusterRuntime::new(ClusterConfig::new(3), catalog_with_numbers(30))
+            .run(recursive_build())
+            .unwrap()
+            .1;
+        assert!(report.iterations() > baseline.iterations());
+    }
+
+    #[test]
+    fn restart_costs_more_than_incremental_for_late_failures() {
+        let run = |strategy| {
+            let cat = catalog_with_numbers(60);
+            let cfg = ClusterConfig::new(4)
+                .with_failure(FailurePlan::kill_at(1, 4), strategy);
+            ClusterRuntime::new(cfg, cat).run(recursive_build()).unwrap().1
+        };
+        let restart = run(RecoveryStrategy::Restart);
+        let incremental = run(RecoveryStrategy::Incremental);
+        assert!(
+            incremental.simulated_time() < restart.simulated_time(),
+            "incremental {} !< restart {}",
+            incremental.simulated_time(),
+            restart.simulated_time()
+        );
+    }
+}

@@ -1,0 +1,650 @@
+//! Built-in aggregates with full delta support.
+//!
+//! "The standard operators (min, max, sum, average, count) automatically
+//! handle insertion, deletion, and replacement deltas" (§3.3). Each built-in
+//! here is an [`AggHandler`]; the delta rules follow the paper's discussion:
+//!
+//! * **sum** subtracts on deletion and adjusts on replacement; a `δ(E)`
+//!   update with a numeric payload is treated as an *adjustment* to the sum
+//!   (the generalized-delta behaviour PageRank relies on);
+//! * **min/max** keep a buffered multiset so that deleting the current
+//!   extremum can find the next-best value;
+//! * **avg** is split into a composable sum+count pre-aggregate and a final
+//!   division, mirroring the MapReduce combiner discussion.
+
+use crate::delta::{Annotation, Delta};
+use crate::error::{Result, RexError};
+use crate::handlers::{AggHandler, AggState};
+use crate::tuple::Tuple;
+use crate::udf::Registry;
+use crate::value::{DataType, Value};
+use std::sync::Arc;
+
+fn numeric(v: &Value) -> Result<f64> {
+    v.as_double()
+        .ok_or_else(|| RexError::Type(format!("aggregate input must be numeric, got {}", v.data_type())))
+}
+
+/// First attribute of the delta's tuple — built-in aggregates are unary; the
+/// group-by operator projects the aggregate's input column(s) before
+/// dispatching.
+fn arg(d: &Delta) -> &Value {
+    d.tuple.get(0)
+}
+
+fn scalar_result(v: Value) -> Vec<Delta> {
+    vec![Delta::insert(Tuple::new(vec![v]))]
+}
+
+/// SUM over a numeric column.
+pub struct SumAgg;
+
+impl AggHandler for SumAgg {
+    fn is_builtin(&self) -> bool {
+        true
+    }
+
+    fn name(&self) -> &str {
+        "sum"
+    }
+
+    fn init(&self) -> AggState {
+        AggState::SumCount(0.0, 0)
+    }
+
+    fn agg_state(&self, state: &mut AggState, d: &Delta) -> Result<Vec<Delta>> {
+        let (sum, n) = match state {
+            AggState::SumCount(s, n) => (s, n),
+            _ => return Err(RexError::Exec("sum: bad state shape".into())),
+        };
+        match &d.ann {
+            Annotation::Insert => {
+                *sum += numeric(arg(d))?;
+                *n += 1;
+            }
+            Annotation::Delete => {
+                *sum -= numeric(arg(d))?;
+                *n -= 1;
+            }
+            Annotation::Replace(old) => {
+                *sum += numeric(arg(d))? - numeric(old.get(0))?;
+            }
+            // Generalized delta: the tuple's value is an *adjustment*.
+            Annotation::Update(_) => {
+                *sum += numeric(arg(d))?;
+            }
+        }
+        Ok(vec![])
+    }
+
+    fn agg_result(&self, state: &AggState) -> Result<Vec<Delta>> {
+        match state {
+            AggState::SumCount(s, n) => {
+                if *n == 0 && *s == 0.0 {
+                    Ok(scalar_result(Value::Double(0.0)))
+                } else {
+                    Ok(scalar_result(Value::Double(*s)))
+                }
+            }
+            _ => Err(RexError::Exec("sum: bad state shape".into())),
+        }
+    }
+
+    fn composable(&self) -> bool {
+        true
+    }
+
+    fn pre_aggregate(&self) -> Option<String> {
+        Some("sum".into())
+    }
+
+    fn multiply(&self, state: &AggState, cardinality: i64) -> Option<AggState> {
+        // sum scales linearly with the multiplicity of the opposite group.
+        match state {
+            AggState::SumCount(s, n) => {
+                Some(AggState::SumCount(s * cardinality as f64, n * cardinality))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// COUNT(*) / COUNT(col).
+pub struct CountAgg;
+
+impl AggHandler for CountAgg {
+    fn is_builtin(&self) -> bool {
+        true
+    }
+
+    fn name(&self) -> &str {
+        "count"
+    }
+
+    fn init(&self) -> AggState {
+        AggState::Int(0)
+    }
+
+    fn agg_state(&self, state: &mut AggState, d: &Delta) -> Result<Vec<Delta>> {
+        let n = match state {
+            AggState::Int(n) => n,
+            _ => return Err(RexError::Exec("count: bad state shape".into())),
+        };
+        match &d.ann {
+            Annotation::Insert => *n += 1,
+            Annotation::Delete => *n -= 1,
+            Annotation::Replace(_) | Annotation::Update(_) => {}
+        }
+        Ok(vec![])
+    }
+
+    fn agg_result(&self, state: &AggState) -> Result<Vec<Delta>> {
+        match state {
+            AggState::Int(n) => Ok(scalar_result(Value::Int(*n))),
+            _ => Err(RexError::Exec("count: bad state shape".into())),
+        }
+    }
+
+    fn return_type(&self) -> DataType {
+        DataType::Int
+    }
+
+    fn composable(&self) -> bool {
+        true
+    }
+
+    fn pre_aggregate(&self) -> Option<String> {
+        // A pushed-down COUNT becomes partial counts that are SUMmed.
+        Some("count".into())
+    }
+
+    fn multiply(&self, state: &AggState, cardinality: i64) -> Option<AggState> {
+        match state {
+            AggState::Int(n) => Some(AggState::Int(n * cardinality)),
+            _ => None,
+        }
+    }
+}
+
+/// MIN with buffered state: "a min aggregate will take a tuple deletion
+/// delta, and first determine whether the deletion affects the existing
+/// minimum value. If so, it must determine the next-smallest value (which
+/// needs to be in its buffered state)" (§3.3).
+pub struct MinAgg;
+
+/// MAX, symmetric to [`MinAgg`].
+pub struct MaxAgg;
+
+fn extremum_state(
+    state: &mut AggState,
+    d: &Delta,
+    name: &str,
+) -> Result<()> {
+    let bag = match state {
+        AggState::Bag(b) => b,
+        _ => return Err(RexError::Exec(format!("{name}: bad state shape"))),
+    };
+    match &d.ann {
+        Annotation::Insert | Annotation::Update(_) => bag.push(arg(d).clone()),
+        Annotation::Delete => {
+            if let Some(pos) = bag.iter().position(|v| v == arg(d)) {
+                bag.swap_remove(pos);
+            }
+        }
+        Annotation::Replace(old) => {
+            if let Some(pos) = bag.iter().position(|v| v == old.get(0)) {
+                bag[pos] = arg(d).clone();
+            } else {
+                bag.push(arg(d).clone());
+            }
+        }
+    }
+    Ok(())
+}
+
+impl AggHandler for MinAgg {
+    fn is_builtin(&self) -> bool {
+        true
+    }
+
+    fn name(&self) -> &str {
+        "min"
+    }
+
+    fn init(&self) -> AggState {
+        AggState::Bag(vec![])
+    }
+
+    fn agg_state(&self, state: &mut AggState, d: &Delta) -> Result<Vec<Delta>> {
+        extremum_state(state, d, "min")?;
+        Ok(vec![])
+    }
+
+    fn agg_result(&self, state: &AggState) -> Result<Vec<Delta>> {
+        match state {
+            AggState::Bag(b) => Ok(scalar_result(
+                b.iter().min().cloned().unwrap_or(Value::Null),
+            )),
+            _ => Err(RexError::Exec("min: bad state shape".into())),
+        }
+    }
+
+    fn return_type(&self) -> DataType {
+        DataType::Any
+    }
+
+    // min is composable for insert-only streams (min of mins) but the
+    // buffered deletion path is not; REX treats it as non-composable so the
+    // optimizer only pushes it below key-foreign-key joins.
+    fn composable(&self) -> bool {
+        false
+    }
+}
+
+impl AggHandler for MaxAgg {
+    fn is_builtin(&self) -> bool {
+        true
+    }
+
+    fn name(&self) -> &str {
+        "max"
+    }
+
+    fn init(&self) -> AggState {
+        AggState::Bag(vec![])
+    }
+
+    fn agg_state(&self, state: &mut AggState, d: &Delta) -> Result<Vec<Delta>> {
+        extremum_state(state, d, "max")?;
+        Ok(vec![])
+    }
+
+    fn agg_result(&self, state: &AggState) -> Result<Vec<Delta>> {
+        match state {
+            AggState::Bag(b) => Ok(scalar_result(
+                b.iter().max().cloned().unwrap_or(Value::Null),
+            )),
+            _ => Err(RexError::Exec("max: bad state shape".into())),
+        }
+    }
+
+    fn return_type(&self) -> DataType {
+        DataType::Any
+    }
+
+    fn composable(&self) -> bool {
+        false
+    }
+}
+
+/// AVG, "often divided into two portions: a pre-aggregate operation that
+/// associates both a sum and a count with each group (called combiner in
+/// MapReduce), and a final aggregate" (§3.3).
+pub struct AvgAgg;
+
+impl AggHandler for AvgAgg {
+    fn is_builtin(&self) -> bool {
+        true
+    }
+
+    fn name(&self) -> &str {
+        "avg"
+    }
+
+    fn init(&self) -> AggState {
+        AggState::SumCount(0.0, 0)
+    }
+
+    fn agg_state(&self, state: &mut AggState, d: &Delta) -> Result<Vec<Delta>> {
+        let (sum, n) = match state {
+            AggState::SumCount(s, n) => (s, n),
+            _ => return Err(RexError::Exec("avg: bad state shape".into())),
+        };
+        match &d.ann {
+            Annotation::Insert => {
+                *sum += numeric(arg(d))?;
+                *n += 1;
+            }
+            Annotation::Delete => {
+                *sum -= numeric(arg(d))?;
+                *n -= 1;
+            }
+            Annotation::Replace(old) => {
+                *sum += numeric(arg(d))? - numeric(old.get(0))?;
+            }
+            Annotation::Update(_) => {
+                *sum += numeric(arg(d))?;
+            }
+        }
+        Ok(vec![])
+    }
+
+    fn agg_result(&self, state: &AggState) -> Result<Vec<Delta>> {
+        match state {
+            AggState::SumCount(s, n) => {
+                if *n == 0 {
+                    Ok(scalar_result(Value::Null))
+                } else {
+                    Ok(scalar_result(Value::Double(s / *n as f64)))
+                }
+            }
+            _ => Err(RexError::Exec("avg: bad state shape".into())),
+        }
+    }
+
+    fn composable(&self) -> bool {
+        true
+    }
+
+    fn pre_aggregate(&self) -> Option<String> {
+        Some("avg_partial".into())
+    }
+
+    fn multiply(&self, state: &AggState, cardinality: i64) -> Option<AggState> {
+        match state {
+            AggState::SumCount(s, n) => {
+                Some(AggState::SumCount(s * cardinality as f64, n * cardinality))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// The avg pre-aggregate: produces `(sum, count)` list values that
+/// `avg_final` folds. Used when the optimizer pushes avg below a rehash.
+pub struct AvgPartialAgg;
+
+impl AggHandler for AvgPartialAgg {
+    fn is_builtin(&self) -> bool {
+        true
+    }
+
+    fn name(&self) -> &str {
+        "avg_partial"
+    }
+
+    fn init(&self) -> AggState {
+        AggState::SumCount(0.0, 0)
+    }
+
+    fn agg_state(&self, state: &mut AggState, d: &Delta) -> Result<Vec<Delta>> {
+        AvgAgg.agg_state(state, d)
+    }
+
+    fn agg_result(&self, state: &AggState) -> Result<Vec<Delta>> {
+        match state {
+            AggState::SumCount(s, n) => Ok(scalar_result(Value::list(vec![
+                Value::Double(*s),
+                Value::Int(*n),
+            ]))),
+            _ => Err(RexError::Exec("avg_partial: bad state shape".into())),
+        }
+    }
+
+    fn return_type(&self) -> DataType {
+        DataType::List
+    }
+
+    fn composable(&self) -> bool {
+        true
+    }
+}
+
+/// Final stage for partial averages: input values are `(sum, count)` lists.
+pub struct AvgFinalAgg;
+
+impl AggHandler for AvgFinalAgg {
+    fn is_builtin(&self) -> bool {
+        true
+    }
+
+    fn name(&self) -> &str {
+        "avg_final"
+    }
+
+    fn init(&self) -> AggState {
+        AggState::SumCount(0.0, 0)
+    }
+
+    fn agg_state(&self, state: &mut AggState, d: &Delta) -> Result<Vec<Delta>> {
+        let (sum, n) = match state {
+            AggState::SumCount(s, n) => (s, n),
+            _ => return Err(RexError::Exec("avg_final: bad state shape".into())),
+        };
+        let l = arg(d)
+            .as_list()
+            .ok_or_else(|| RexError::Type("avg_final expects (sum,count) lists".into()))?;
+        let (ds, dn) = (
+            l.first().and_then(Value::as_double).unwrap_or(0.0),
+            l.get(1).and_then(Value::as_int).unwrap_or(0),
+        );
+        match &d.ann {
+            Annotation::Insert | Annotation::Update(_) => {
+                *sum += ds;
+                *n += dn;
+            }
+            Annotation::Delete => {
+                *sum -= ds;
+                *n -= dn;
+            }
+            Annotation::Replace(old) => {
+                let ol = old.get(0).as_list().unwrap_or(&[]).to_vec();
+                let (os, on) = (
+                    ol.first().and_then(Value::as_double).unwrap_or(0.0),
+                    ol.get(1).and_then(Value::as_int).unwrap_or(0),
+                );
+                *sum += ds - os;
+                *n += dn - on;
+            }
+        }
+        Ok(vec![])
+    }
+
+    fn agg_result(&self, state: &AggState) -> Result<Vec<Delta>> {
+        AvgAgg.agg_result(state)
+    }
+}
+
+/// ARGMIN(id, value): "a general-purpose aggregate returning the identifier
+/// with minimum value" (appendix, used by the shortest-path query).
+///
+/// Input tuples are `(id, value)` pairs; buffered so deletions can recover.
+pub struct ArgMinAgg;
+
+impl AggHandler for ArgMinAgg {
+    fn is_builtin(&self) -> bool {
+        true
+    }
+
+    fn name(&self) -> &str {
+        "argmin"
+    }
+
+    fn init(&self) -> AggState {
+        AggState::Tuples(crate::handlers::TupleSet::new())
+    }
+
+    fn agg_state(&self, state: &mut AggState, d: &Delta) -> Result<Vec<Delta>> {
+        let set = match state {
+            AggState::Tuples(s) => s,
+            _ => return Err(RexError::Exec("argmin: bad state shape".into())),
+        };
+        match &d.ann {
+            Annotation::Insert | Annotation::Update(_) => set.insert(d.tuple.clone()),
+            Annotation::Delete => {
+                set.remove(&d.tuple);
+            }
+            Annotation::Replace(old) => {
+                set.replace(old, d.tuple.clone());
+            }
+        }
+        Ok(vec![])
+    }
+
+    fn agg_result(&self, state: &AggState) -> Result<Vec<Delta>> {
+        match state {
+            AggState::Tuples(s) => {
+                let best = s
+                    .iter()
+                    .min_by(|a, b| a.get(1).cmp(b.get(1)))
+                    .cloned();
+                match best {
+                    Some(t) => Ok(vec![Delta::insert(t)]),
+                    None => Ok(vec![]),
+                }
+            }
+            _ => Err(RexError::Exec("argmin: bad state shape".into())),
+        }
+    }
+
+    fn output_kind(&self) -> crate::handlers::AggOutputKind {
+        crate::handlers::AggOutputKind::TableValued
+    }
+}
+
+/// Register every built-in aggregate into `reg`.
+pub fn register_builtins(reg: &Registry) {
+    reg.register_agg("sum", Arc::new(SumAgg));
+    reg.register_agg("count", Arc::new(CountAgg));
+    reg.register_agg("min", Arc::new(MinAgg));
+    reg.register_agg("max", Arc::new(MaxAgg));
+    reg.register_agg("avg", Arc::new(AvgAgg));
+    reg.register_agg("avg_partial", Arc::new(AvgPartialAgg));
+    reg.register_agg("avg_final", Arc::new(AvgFinalAgg));
+    reg.register_agg("argmin", Arc::new(ArgMinAgg));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    fn result_value(h: &dyn AggHandler, s: &AggState) -> Value {
+        h.agg_result(s).unwrap()[0].tuple.get(0).clone()
+    }
+
+    #[test]
+    fn sum_handles_all_annotations() {
+        let h = SumAgg;
+        let mut s = h.init();
+        h.agg_state(&mut s, &Delta::insert(tuple![10.0f64])).unwrap();
+        h.agg_state(&mut s, &Delta::insert(tuple![5.0f64])).unwrap();
+        assert_eq!(result_value(&h, &s), Value::Double(15.0));
+        h.agg_state(&mut s, &Delta::delete(tuple![10.0f64])).unwrap();
+        assert_eq!(result_value(&h, &s), Value::Double(5.0));
+        h.agg_state(&mut s, &Delta::replace(tuple![5.0f64], tuple![7.0f64]))
+            .unwrap();
+        assert_eq!(result_value(&h, &s), Value::Double(7.0));
+        // Generalized delta: adjustment semantics.
+        h.agg_state(&mut s, &Delta::update(tuple![0.5f64], Value::Null))
+            .unwrap();
+        assert_eq!(result_value(&h, &s), Value::Double(7.5));
+    }
+
+    #[test]
+    fn count_ignores_replace_and_update() {
+        let h = CountAgg;
+        let mut s = h.init();
+        for _ in 0..3 {
+            h.agg_state(&mut s, &Delta::insert(tuple![1i64])).unwrap();
+        }
+        h.agg_state(&mut s, &Delta::replace(tuple![1i64], tuple![2i64]))
+            .unwrap();
+        h.agg_state(&mut s, &Delta::update(tuple![1i64], Value::Null))
+            .unwrap();
+        assert_eq!(result_value(&h, &s), Value::Int(3));
+        h.agg_state(&mut s, &Delta::delete(tuple![1i64])).unwrap();
+        assert_eq!(result_value(&h, &s), Value::Int(2));
+    }
+
+    #[test]
+    fn min_recovers_next_smallest_after_deleting_minimum() {
+        let h = MinAgg;
+        let mut s = h.init();
+        for v in [5i64, 3, 8] {
+            h.agg_state(&mut s, &Delta::insert(tuple![v])).unwrap();
+        }
+        assert_eq!(result_value(&h, &s), Value::Int(3));
+        // Delete the current minimum: buffered state recovers 5.
+        h.agg_state(&mut s, &Delta::delete(tuple![3i64])).unwrap();
+        assert_eq!(result_value(&h, &s), Value::Int(5));
+    }
+
+    #[test]
+    fn max_replacement() {
+        let h = MaxAgg;
+        let mut s = h.init();
+        for v in [5i64, 3, 8] {
+            h.agg_state(&mut s, &Delta::insert(tuple![v])).unwrap();
+        }
+        h.agg_state(&mut s, &Delta::replace(tuple![8i64], tuple![1i64]))
+            .unwrap();
+        assert_eq!(result_value(&h, &s), Value::Int(5));
+    }
+
+    #[test]
+    fn avg_and_partial_compose() {
+        let h = AvgAgg;
+        let mut s = h.init();
+        for v in [2.0f64, 4.0] {
+            h.agg_state(&mut s, &Delta::insert(tuple![v])).unwrap();
+        }
+        assert_eq!(result_value(&h, &s), Value::Double(3.0));
+
+        // Two partial states merged by avg_final must equal direct avg.
+        let p = AvgPartialAgg;
+        let mut s1 = p.init();
+        let mut s2 = p.init();
+        p.agg_state(&mut s1, &Delta::insert(tuple![2.0f64])).unwrap();
+        p.agg_state(&mut s2, &Delta::insert(tuple![4.0f64])).unwrap();
+        let f = AvgFinalAgg;
+        let mut fs = f.init();
+        for part in [&s1, &s2] {
+            let d = &p.agg_result(part).unwrap()[0];
+            f.agg_state(&mut fs, d).unwrap();
+        }
+        assert_eq!(result_value(&f, &fs), Value::Double(3.0));
+    }
+
+    #[test]
+    fn avg_empty_group_is_null() {
+        let h = AvgAgg;
+        let s = h.init();
+        assert_eq!(result_value(&h, &s), Value::Null);
+    }
+
+    #[test]
+    fn argmin_returns_tuple_with_smallest_value() {
+        let h = ArgMinAgg;
+        let mut s = h.init();
+        h.agg_state(&mut s, &Delta::insert(tuple![7i64, 3.0f64])).unwrap();
+        h.agg_state(&mut s, &Delta::insert(tuple![9i64, 1.0f64])).unwrap();
+        let out = h.agg_result(&s).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].tuple, tuple![9i64, 1.0f64]);
+        // Deleting the winner falls back to the runner-up.
+        h.agg_state(&mut s, &Delta::delete(tuple![9i64, 1.0f64])).unwrap();
+        assert_eq!(h.agg_result(&s).unwrap()[0].tuple, tuple![7i64, 3.0f64]);
+    }
+
+    #[test]
+    fn multiply_compensation_scales_sum_and_count() {
+        let h = SumAgg;
+        let s = AggState::SumCount(10.0, 2);
+        let m = h.multiply(&s, 3).unwrap();
+        assert_eq!(m, AggState::SumCount(30.0, 6));
+        let c = CountAgg;
+        assert_eq!(c.multiply(&AggState::Int(4), 3).unwrap(), AggState::Int(12));
+        // min is not composable and has no multiply.
+        assert!(MinAgg.multiply(&AggState::Bag(vec![]), 3).is_none());
+    }
+
+    #[test]
+    fn composability_flags_match_paper() {
+        assert!(SumAgg.composable());
+        assert!(CountAgg.composable());
+        assert!(AvgAgg.composable());
+        assert!(!MinAgg.composable());
+        assert!(!MaxAgg.composable());
+    }
+}

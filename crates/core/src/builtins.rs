@@ -1,0 +1,159 @@
+//! Built-in scalar functions registered alongside user code.
+
+use crate::error::{Result, RexError};
+use crate::udf::{ClosureUdf, Registry};
+use crate::value::{DataType, Value};
+use std::sync::Arc;
+
+fn need_double(v: &Value, f: &str) -> Result<f64> {
+    v.as_double()
+        .ok_or_else(|| RexError::Udf(format!("{f}: numeric argument required, got {}", v.data_type())))
+}
+
+/// Register the standard scalar function library.
+pub fn register_scalar_builtins(reg: &Registry) {
+    reg.register_scalar(Arc::new(ClosureUdf::new(
+        "abs",
+        vec![DataType::Double],
+        DataType::Double,
+        |a| match &a[0] {
+            Value::Int(i) => Ok(Value::Int(i.abs())),
+            Value::Null => Ok(Value::Null),
+            v => Ok(Value::Double(need_double(v, "abs")?.abs())),
+        },
+    )));
+    reg.register_scalar(Arc::new(ClosureUdf::new(
+        "sqrt",
+        vec![DataType::Double],
+        DataType::Double,
+        |a| match &a[0] {
+            Value::Null => Ok(Value::Null),
+            v => Ok(Value::Double(need_double(v, "sqrt")?.sqrt())),
+        },
+    )));
+    reg.register_scalar(Arc::new(ClosureUdf::new(
+        "sqr",
+        vec![DataType::Double],
+        DataType::Double,
+        |a| match &a[0] {
+            Value::Null => Ok(Value::Null),
+            v => {
+                let d = need_double(v, "sqr")?;
+                Ok(Value::Double(d * d))
+            }
+        },
+    )));
+    reg.register_scalar(Arc::new(ClosureUdf::new(
+        "floor",
+        vec![DataType::Double],
+        DataType::Double,
+        |a| match &a[0] {
+            Value::Null => Ok(Value::Null),
+            v => Ok(Value::Double(need_double(v, "floor")?.floor())),
+        },
+    )));
+    reg.register_scalar(Arc::new(ClosureUdf::new(
+        "ceil",
+        vec![DataType::Double],
+        DataType::Double,
+        |a| match &a[0] {
+            Value::Null => Ok(Value::Null),
+            v => Ok(Value::Double(need_double(v, "ceil")?.ceil())),
+        },
+    )));
+    reg.register_scalar(Arc::new(ClosureUdf::new(
+        "least",
+        vec![DataType::Any, DataType::Any],
+        DataType::Any,
+        |a| Ok(a.iter().min().cloned().unwrap_or(Value::Null)),
+    )));
+    reg.register_scalar(Arc::new(ClosureUdf::new(
+        "greatest",
+        vec![DataType::Any, DataType::Any],
+        DataType::Any,
+        |a| Ok(a.iter().max().cloned().unwrap_or(Value::Null)),
+    )));
+    reg.register_scalar(Arc::new(ClosureUdf::new(
+        "concat",
+        vec![DataType::Str, DataType::Str],
+        DataType::Str,
+        |a| {
+            let mut s = String::new();
+            for v in a {
+                if !v.is_null() {
+                    s.push_str(&v.to_string());
+                }
+            }
+            Ok(Value::str(s))
+        },
+    )));
+    reg.register_scalar(Arc::new(ClosureUdf::new(
+        "coalesce",
+        vec![DataType::Any, DataType::Any],
+        DataType::Any,
+        |a| Ok(a.iter().find(|v| !v.is_null()).cloned().unwrap_or(Value::Null)),
+    )));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reg() -> Registry {
+        Registry::with_builtins()
+    }
+
+    #[test]
+    fn abs_preserves_int_type() {
+        let r = reg();
+        let abs = r.scalar("abs").unwrap();
+        assert_eq!(abs.eval(&[Value::Int(-3)]).unwrap(), Value::Int(3));
+        assert_eq!(abs.eval(&[Value::Double(-2.5)]).unwrap(), Value::Double(2.5));
+        assert_eq!(abs.eval(&[Value::Null]).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn sqrt_and_sqr() {
+        let r = reg();
+        assert_eq!(
+            r.scalar("sqrt").unwrap().eval(&[Value::Double(9.0)]).unwrap(),
+            Value::Double(3.0)
+        );
+        assert_eq!(
+            r.scalar("sqr").unwrap().eval(&[Value::Int(3)]).unwrap(),
+            Value::Double(9.0)
+        );
+    }
+
+    #[test]
+    fn least_greatest_coalesce() {
+        let r = reg();
+        assert_eq!(
+            r.scalar("least")
+                .unwrap()
+                .eval(&[Value::Int(3), Value::Int(1)])
+                .unwrap(),
+            Value::Int(1)
+        );
+        assert_eq!(
+            r.scalar("greatest")
+                .unwrap()
+                .eval(&[Value::Int(3), Value::Int(1)])
+                .unwrap(),
+            Value::Int(3)
+        );
+        assert_eq!(
+            r.scalar("coalesce")
+                .unwrap()
+                .eval(&[Value::Null, Value::Int(5)])
+                .unwrap(),
+            Value::Int(5)
+        );
+    }
+
+    #[test]
+    fn non_numeric_argument_errors() {
+        let r = reg();
+        assert!(r.scalar("sqrt").unwrap().eval(&[Value::str("x")]).is_err());
+    }
+}

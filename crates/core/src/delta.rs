@@ -1,0 +1,212 @@
+//! Deltas: annotated tuples, the unit of dataflow in REX.
+//!
+//! Definition 1 of the paper: a delta is a pair `(α, t)` where `t` is a tuple
+//! and `α` is one of:
+//!
+//! * `+()`       — insert `t` into operator state ([`Annotation::Insert`])
+//! * `-()`       — delete `t` from operator state ([`Annotation::Delete`])
+//! * `→(t')`     — `t` replaces existing tuple `t'` ([`Annotation::Replace`])
+//! * `δ(E)`      — an arbitrary expression payload `E` interpreted by
+//!                 downstream stateful operators via user delta handlers
+//!                 ([`Annotation::Update`])
+//!
+//! Stateless operators propagate annotations untouched (the annotation
+//! behaves like a hidden attribute); stateful operators apply the standard
+//! view-maintenance rules of Gupta/Mumick/Subrahmanian for the first three
+//! forms and dispatch `Update` to user code.
+
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::fmt;
+
+/// The operation part of a delta (Definition 1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Annotation {
+    /// `+()`: insert the tuple.
+    Insert,
+    /// `-()`: delete the tuple (if it exists).
+    Delete,
+    /// `→(t')`: the tuple replaces `t'`.
+    Replace(Tuple),
+    /// `δ(E)`: a programmable value-update; the payload is interpreted by a
+    /// user delta handler at the next stateful operator.
+    Update(Value),
+}
+
+impl Annotation {
+    /// Whether this annotation requires a user delta handler to interpret.
+    pub fn is_programmable(&self) -> bool {
+        matches!(self, Annotation::Update(_))
+    }
+
+    /// Approximate serialized size of the annotation in bytes.
+    pub fn byte_size(&self) -> usize {
+        match self {
+            Annotation::Insert | Annotation::Delete => 1,
+            Annotation::Replace(t) => 1 + t.byte_size(),
+            Annotation::Update(v) => 1 + v.byte_size(),
+        }
+    }
+}
+
+impl fmt::Display for Annotation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Annotation::Insert => f.write_str("+()"),
+            Annotation::Delete => f.write_str("-()"),
+            Annotation::Replace(t) => write!(f, "->{t}"),
+            Annotation::Update(v) => write!(f, "δ({v})"),
+        }
+    }
+}
+
+/// An annotated tuple.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delta {
+    /// The operation.
+    pub ann: Annotation,
+    /// The subject tuple.
+    pub tuple: Tuple,
+}
+
+impl Delta {
+    /// An insertion delta.
+    pub fn insert(tuple: Tuple) -> Delta {
+        Delta { ann: Annotation::Insert, tuple }
+    }
+
+    /// A deletion delta.
+    pub fn delete(tuple: Tuple) -> Delta {
+        Delta { ann: Annotation::Delete, tuple }
+    }
+
+    /// A replacement delta: `new_tuple` replaces `old`.
+    pub fn replace(old: Tuple, new_tuple: Tuple) -> Delta {
+        Delta { ann: Annotation::Replace(old), tuple: new_tuple }
+    }
+
+    /// A programmable value-update delta with payload `expr`.
+    pub fn update(tuple: Tuple, expr: Value) -> Delta {
+        Delta { ann: Annotation::Update(expr), tuple }
+    }
+
+    /// Keep the annotation, substitute the tuple. This is how stateless
+    /// operators (filter, project, apply-function) propagate deltas: "any
+    /// output tuples receive the same annotation as the input tuple".
+    pub fn with_tuple(&self, tuple: Tuple) -> Delta {
+        Delta { ann: self.ann.clone(), tuple }
+    }
+
+    /// Approximate wire size in bytes (for bandwidth accounting).
+    pub fn byte_size(&self) -> usize {
+        self.ann.byte_size() + self.tuple.byte_size()
+    }
+
+    /// The net multiplicity effect of this delta on a bag: +1 for insert,
+    /// -1 for delete, 0 for replace/update (which modify in place).
+    pub fn multiplicity(&self) -> i64 {
+        match self.ann {
+            Annotation::Insert => 1,
+            Annotation::Delete => -1,
+            Annotation::Replace(_) | Annotation::Update(_) => 0,
+        }
+    }
+}
+
+impl fmt::Display for Delta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.ann, self.tuple)
+    }
+}
+
+/// Punctuation markers (Tucker & Maier): special signals interleaved with
+/// deltas that announce the end of a stratum or of the whole stream.
+///
+/// REX uses punctuation to coordinate strata: "at the end of a stratum, all
+/// fixpoint operators send the number of processed tuples to the query
+/// requestor, which informs the operators whether the query implicit
+/// termination condition has been met" (§4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Punctuation {
+    /// The current stratum (0-based) has finished on this edge.
+    EndOfStratum(u64),
+    /// No more data will ever arrive on this edge.
+    EndOfStream,
+}
+
+impl Punctuation {
+    /// The stratum number, if this is an end-of-stratum marker.
+    pub fn stratum(&self) -> Option<u64> {
+        match self {
+            Punctuation::EndOfStratum(s) => Some(*s),
+            Punctuation::EndOfStream => None,
+        }
+    }
+}
+
+impl fmt::Display for Punctuation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Punctuation::EndOfStratum(s) => write!(f, "⟨eos:{s}⟩"),
+            Punctuation::EndOfStream => f.write_str("⟨eof⟩"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    #[test]
+    fn constructors_set_annotations() {
+        let t = tuple![1i64];
+        assert_eq!(Delta::insert(t.clone()).ann, Annotation::Insert);
+        assert_eq!(Delta::delete(t.clone()).ann, Annotation::Delete);
+        let r = Delta::replace(tuple![0i64], t.clone());
+        assert!(matches!(r.ann, Annotation::Replace(_)));
+        let u = Delta::update(t, Value::Double(0.25));
+        assert!(u.ann.is_programmable());
+    }
+
+    #[test]
+    fn with_tuple_preserves_annotation() {
+        let d = Delta::update(tuple![1i64], Value::Int(9));
+        let d2 = d.with_tuple(tuple![1i64, 2i64]);
+        assert_eq!(d2.ann, d.ann);
+        assert_eq!(d2.tuple.arity(), 2);
+    }
+
+    #[test]
+    fn multiplicity_rules() {
+        let t = tuple![1i64];
+        assert_eq!(Delta::insert(t.clone()).multiplicity(), 1);
+        assert_eq!(Delta::delete(t.clone()).multiplicity(), -1);
+        assert_eq!(Delta::replace(t.clone(), t.clone()).multiplicity(), 0);
+        assert_eq!(Delta::update(t, Value::Null).multiplicity(), 0);
+    }
+
+    #[test]
+    fn byte_size_includes_annotation_payload() {
+        let t = tuple![1i64]; // 2 + 8 = 10 bytes
+        assert_eq!(Delta::insert(t.clone()).byte_size(), 11);
+        assert_eq!(
+            Delta::replace(t.clone(), t.clone()).byte_size(),
+            1 + 10 + 10
+        );
+        assert_eq!(Delta::update(t, Value::Double(1.0)).byte_size(), 1 + 8 + 10);
+    }
+
+    #[test]
+    fn punctuation_stratum_accessor() {
+        assert_eq!(Punctuation::EndOfStratum(3).stratum(), Some(3));
+        assert_eq!(Punctuation::EndOfStream.stratum(), None);
+    }
+
+    #[test]
+    fn display_formats() {
+        let d = Delta::insert(tuple![1i64]);
+        assert_eq!(d.to_string(), "+() (1)");
+        assert_eq!(Punctuation::EndOfStream.to_string(), "⟨eof⟩");
+    }
+}

@@ -1,0 +1,107 @@
+//! Error types shared across the REX engine.
+
+use std::fmt;
+
+/// The unified error type for REX engine operations.
+///
+/// REX distinguishes between errors that indicate a bug in a query or
+/// user-defined code (`Type`, `Plan`, `Udf`) and errors that arise from the
+/// runtime environment (`Exec`, `Storage`, `Network`). The cluster runtime
+/// additionally reports `NodeFailed` when a worker is lost mid-query, which
+/// triggers the recovery machinery rather than aborting the query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RexError {
+    /// A type mismatch detected during planning or evaluation.
+    Type(String),
+    /// A malformed or internally-inconsistent query plan.
+    Plan(String),
+    /// User-defined code (UDF / UDA / delta handler) reported an error.
+    Udf(String),
+    /// A runtime execution error.
+    Exec(String),
+    /// A storage-layer error (missing table, bad partition, ...).
+    Storage(String),
+    /// A simulated network-layer error.
+    Network(String),
+    /// A worker node failed; carries the node id.
+    NodeFailed(usize),
+    /// An RQL parse error with position information.
+    Parse { message: String, line: usize, col: usize },
+}
+
+impl fmt::Display for RexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RexError::Type(m) => write!(f, "type error: {m}"),
+            RexError::Plan(m) => write!(f, "plan error: {m}"),
+            RexError::Udf(m) => write!(f, "udf error: {m}"),
+            RexError::Exec(m) => write!(f, "execution error: {m}"),
+            RexError::Storage(m) => write!(f, "storage error: {m}"),
+            RexError::Network(m) => write!(f, "network error: {m}"),
+            RexError::NodeFailed(n) => write!(f, "node {n} failed"),
+            RexError::Parse { message, line, col } => {
+                write!(f, "parse error at {line}:{col}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RexError {}
+
+/// Convenience alias used throughout the engine.
+pub type Result<T> = std::result::Result<T, RexError>;
+
+/// Build a [`RexError::Type`] from format arguments.
+#[macro_export]
+macro_rules! type_err {
+    ($($arg:tt)*) => { $crate::error::RexError::Type(format!($($arg)*)) };
+}
+
+/// Build a [`RexError::Exec`] from format arguments.
+#[macro_export]
+macro_rules! exec_err {
+    ($($arg:tt)*) => { $crate::error::RexError::Exec(format!($($arg)*)) };
+}
+
+/// Build a [`RexError::Plan`] from format arguments.
+#[macro_export]
+macro_rules! plan_err {
+    ($($arg:tt)*) => { $crate::error::RexError::Plan(format!($($arg)*)) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_all_variants() {
+        let cases: Vec<(RexError, &str)> = vec![
+            (RexError::Type("t".into()), "type error: t"),
+            (RexError::Plan("p".into()), "plan error: p"),
+            (RexError::Udf("u".into()), "udf error: u"),
+            (RexError::Exec("e".into()), "execution error: e"),
+            (RexError::Storage("s".into()), "storage error: s"),
+            (RexError::Network("n".into()), "network error: n"),
+            (RexError::NodeFailed(3), "node 3 failed"),
+        ];
+        for (e, s) in cases {
+            assert_eq!(e.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn parse_error_displays_position() {
+        let e = RexError::Parse { message: "unexpected token".into(), line: 4, col: 7 };
+        assert_eq!(e.to_string(), "parse error at 4:7: unexpected token");
+    }
+
+    #[test]
+    fn macros_build_expected_variants() {
+        let t = type_err!("bad {}", 1);
+        assert!(matches!(t, RexError::Type(ref m) if m == "bad 1"));
+        let e = exec_err!("oops");
+        assert!(matches!(e, RexError::Exec(_)));
+        let p = plan_err!("plan {}", "x");
+        assert!(matches!(p, RexError::Plan(ref m) if m == "plan x"));
+    }
+}

@@ -1,0 +1,616 @@
+//! Plan graphs and the push-based executor.
+//!
+//! A [`PlanGraph`] wires operators into a dataflow; the [`Executor`]
+//! delivers events along edges until quiescence. Recursion is driven by an
+//! outer runtime ([`LocalRuntime`] here, the cluster runtime in
+//! `rex-cluster`) that plays the query-requestor role of §4.2: after each
+//! stratum it collects the fixpoint operators' new-tuple counts and decides
+//! whether to advance to another stratum or terminate the query.
+
+use crate::error::{Result, RexError};
+use crate::metrics::{CostModel, ExecMetrics, QueryReport, StratumReport};
+use crate::operators::{Event, FixpointOp, OpCtx, Operator};
+use crate::tuple::Tuple;
+use crate::udf::Registry;
+use std::collections::VecDeque;
+use std::time::Instant;
+
+/// Node identifier within a plan graph.
+pub type NodeId = usize;
+
+/// A dataflow graph of operators.
+///
+/// Edges connect `(node, output port)` to `(node, input port)`. Nodes may be
+/// marked as *network boundaries* (rehash operators): in distributed
+/// execution their emissions are intercepted by the cluster router instead
+/// of being delivered locally.
+pub struct PlanGraph {
+    nodes: Vec<Box<dyn Operator>>,
+    /// For each node: `Some(key_cols)` when it is a rehash/network boundary.
+    network: Vec<Option<Vec<usize>>>,
+    /// node → out port → list of (dst node, dst port).
+    edges: Vec<Vec<Vec<(NodeId, usize)>>>,
+}
+
+impl Default for PlanGraph {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PlanGraph {
+    /// An empty graph.
+    pub fn new() -> PlanGraph {
+        PlanGraph { nodes: Vec::new(), network: Vec::new(), edges: Vec::new() }
+    }
+
+    /// Add an operator; returns its node id.
+    pub fn add(&mut self, op: Box<dyn Operator>) -> NodeId {
+        self.nodes.push(op);
+        self.network.push(None);
+        self.edges.push(vec![Vec::new(); 4]);
+        self.nodes.len() - 1
+    }
+
+    /// Add a rehash operator, marking it as a network boundary keyed on
+    /// `key_cols` (of the tuples flowing through it).
+    pub fn add_rehash(&mut self, key_cols: Vec<usize>) -> NodeId {
+        let id = self.add(Box::new(crate::operators::RehashOp::new(key_cols.clone())));
+        self.network[id] = Some(key_cols);
+        id
+    }
+
+    /// Connect `from`'s output port to `to`'s input port.
+    pub fn connect(&mut self, from: NodeId, from_port: usize, to: NodeId, to_port: usize) {
+        self.edges[from][from_port].push((to, to_port));
+    }
+
+    /// Convenience: connect output port 0 to input port 0.
+    pub fn pipe(&mut self, from: NodeId, to: NodeId) {
+        self.connect(from, 0, to, 0);
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Render the plan for debugging / EXPLAIN output.
+    pub fn explain(&self) -> String {
+        let mut s = String::new();
+        for (i, n) in self.nodes.iter().enumerate() {
+            let net = if self.network[i].is_some() { " [network]" } else { "" };
+            s.push_str(&format!("#{i} {}{}\n", n.name(), net));
+            for (port, dsts) in self.edges[i].iter().enumerate() {
+                for (dst, dport) in dsts {
+                    s.push_str(&format!("   out{port} -> #{dst}.in{dport}\n"));
+                }
+            }
+        }
+        s
+    }
+}
+
+/// An emission crossing a network boundary, to be routed by the cluster.
+#[derive(Debug, Clone)]
+pub struct NetEmission {
+    /// The rehash node that produced it.
+    pub node: NodeId,
+    /// The rehash node's output port.
+    pub port: usize,
+    /// The payload.
+    pub event: Event,
+}
+
+/// Executes one worker's copy of a plan graph.
+pub struct Executor {
+    nodes: Vec<Box<dyn Operator>>,
+    network: Vec<Option<Vec<usize>>>,
+    edges: Vec<Vec<Vec<(NodeId, usize)>>>,
+    queue: VecDeque<(NodeId, usize, Event)>,
+    /// Worker-local metrics.
+    pub metrics: ExecMetrics,
+    stratum: u64,
+    worker: usize,
+    distributed: bool,
+}
+
+impl Executor {
+    /// Build an executor over `graph`. `distributed` controls whether
+    /// network-boundary emissions are diverted to the outbox.
+    pub fn new(graph: PlanGraph, worker: usize, distributed: bool) -> Executor {
+        Executor {
+            nodes: graph.nodes,
+            network: graph.network,
+            edges: graph.edges,
+            queue: VecDeque::new(),
+            metrics: ExecMetrics::default(),
+            stratum: 0,
+            worker,
+            distributed,
+        }
+    }
+
+    /// Set the stratum number reported to operators.
+    pub fn set_stratum(&mut self, s: u64) {
+        self.stratum = s;
+    }
+
+    /// Partition key columns of a network node.
+    pub fn network_key(&self, node: NodeId) -> Option<&[usize]> {
+        self.network.get(node).and_then(|k| k.as_deref())
+    }
+
+    /// Ids of all network-boundary nodes.
+    pub fn network_nodes(&self) -> Vec<NodeId> {
+        self.network
+            .iter()
+            .enumerate()
+            .filter_map(|(i, k)| k.as_ref().map(|_| i))
+            .collect()
+    }
+
+    /// Run all source operators (scans), queueing their output.
+    pub fn start(&mut self, reg: &Registry, cost: &CostModel) -> Result<()> {
+        for i in 0..self.nodes.len() {
+            if self.nodes[i].is_source() {
+                let mut ctx = OpCtx::new(self.stratum, self.worker, reg, cost, &mut self.metrics);
+                self.nodes[i].run_source(&mut ctx)?;
+                let produced = ctx.take_output();
+                self.enqueue_outputs(i, produced, &mut Vec::new());
+            }
+        }
+        Ok(())
+    }
+
+    /// Deliver an event directly to a node's input port (cluster receive
+    /// path, test harnesses).
+    pub fn inject(&mut self, node: NodeId, port: usize, event: Event) {
+        self.queue.push_back((node, port, event));
+    }
+
+    /// Deliver an event to the downstream edges of `node`'s output `port`,
+    /// as if the node had emitted it locally. Used by the cluster router to
+    /// hand received network traffic to the rehash's consumers.
+    pub fn inject_downstream(&mut self, node: NodeId, port: usize, event: Event) {
+        let dsts = self.edges[node][port].clone();
+        for (dst, dport) in dsts {
+            self.queue.push_back((dst, dport, event.clone()));
+        }
+    }
+
+    fn enqueue_outputs(
+        &mut self,
+        node: NodeId,
+        produced: Vec<(usize, Event)>,
+        outbox: &mut Vec<NetEmission>,
+    ) {
+        for (port, event) in produced {
+            if self.distributed && self.network[node].is_some() {
+                outbox.push(NetEmission { node, port, event });
+            } else {
+                let dsts = &self.edges[node][port];
+                match dsts.len() {
+                    0 => {} // dangling port: event is dropped
+                    1 => {
+                        let (dst, dport) = dsts[0];
+                        self.queue.push_back((dst, dport, event));
+                    }
+                    _ => {
+                        for (dst, dport) in dsts.clone() {
+                            self.queue.push_back((dst, dport, event.clone()));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Process queued events until quiescence. Network emissions are
+    /// appended to `outbox`.
+    pub fn drain(
+        &mut self,
+        reg: &Registry,
+        cost: &CostModel,
+        outbox: &mut Vec<NetEmission>,
+    ) -> Result<()> {
+        while let Some((node, port, event)) = self.queue.pop_front() {
+            let mut ctx = OpCtx::new(self.stratum, self.worker, reg, cost, &mut self.metrics);
+            match event {
+                Event::Data(deltas) => self.nodes[node].on_deltas(port, deltas, &mut ctx)?,
+                Event::Punct(p) => self.nodes[node].on_punct(port, p, &mut ctx)?,
+            }
+            let produced = ctx.take_output();
+            self.enqueue_outputs(node, produced, outbox);
+        }
+        Ok(())
+    }
+
+    /// Whether there is any queued work.
+    pub fn has_work(&self) -> bool {
+        !self.queue.is_empty()
+    }
+
+    /// Node ids of all fixpoint operators.
+    pub fn fixpoint_ids(&mut self) -> Vec<NodeId> {
+        (0..self.nodes.len())
+            .filter(|&i| self.nodes[i].as_fixpoint().is_some())
+            .collect()
+    }
+
+    /// Access a fixpoint operator by node id.
+    pub fn with_fixpoint<R>(
+        &mut self,
+        id: NodeId,
+        f: impl FnOnce(&mut FixpointOp) -> R,
+    ) -> Result<R> {
+        let fp = self.nodes[id]
+            .as_fixpoint()
+            .ok_or_else(|| RexError::Exec(format!("node {id} is not a fixpoint")))?;
+        Ok(f(fp))
+    }
+
+    /// Drive a fixpoint's advance (continue/finish), queueing its output.
+    pub fn advance_fixpoint(
+        &mut self,
+        id: NodeId,
+        cont: bool,
+        reg: &Registry,
+        cost: &CostModel,
+        outbox: &mut Vec<NetEmission>,
+    ) -> Result<()> {
+        let mut ctx = OpCtx::new(self.stratum, self.worker, reg, cost, &mut self.metrics);
+        let fp = self.nodes[id]
+            .as_fixpoint()
+            .ok_or_else(|| RexError::Exec(format!("node {id} is not a fixpoint")))?;
+        fp.advance(cont, &mut ctx)?;
+        let produced = ctx.take_output();
+        self.enqueue_outputs(id, produced, outbox);
+        Ok(())
+    }
+
+    /// Collect results from the first sink node.
+    pub fn sink_results(&mut self) -> Result<Vec<Tuple>> {
+        for n in &mut self.nodes {
+            if let Some(s) = n.as_sink() {
+                return Ok(s.results());
+            }
+        }
+        Err(RexError::Exec("plan has no sink".into()))
+    }
+
+    /// Checkpoint a node's recoverable state.
+    pub fn checkpoint_node(&self, id: NodeId) -> Option<crate::operators::OperatorState> {
+        self.nodes[id].checkpoint()
+    }
+
+    /// Restore a node's state from a checkpoint and queue its replay.
+    pub fn restore_fixpoint(
+        &mut self,
+        id: NodeId,
+        state: crate::operators::OperatorState,
+        stratum: u64,
+    ) -> Result<()> {
+        self.with_fixpoint(id, |fp| fp.restore_and_resume(state, stratum))
+    }
+
+    /// Reset every operator (restart recovery).
+    pub fn reset(&mut self) {
+        for n in &mut self.nodes {
+            n.reset();
+        }
+        self.queue.clear();
+        self.stratum = 0;
+    }
+}
+
+/// Hard cap on strata, protecting against diverging recursions.
+pub const MAX_STRATA: u64 = 100_000;
+
+/// Single-node query runtime: executes a plan graph to completion,
+/// coordinating strata exactly like the cluster requestor does.
+pub struct LocalRuntime {
+    /// UDF/UDA registry.
+    pub reg: Registry,
+    /// Cost model for metric accounting.
+    pub cost: CostModel,
+}
+
+impl Default for LocalRuntime {
+    fn default() -> Self {
+        LocalRuntime { reg: Registry::with_builtins(), cost: CostModel::default() }
+    }
+}
+
+impl LocalRuntime {
+    /// A runtime with built-ins registered.
+    pub fn new() -> LocalRuntime {
+        LocalRuntime::default()
+    }
+
+    /// With a custom registry.
+    pub fn with_registry(reg: Registry) -> LocalRuntime {
+        LocalRuntime { reg, cost: CostModel::default() }
+    }
+
+    /// Execute the plan, returning materialized results and the execution
+    /// report.
+    pub fn run(&self, graph: PlanGraph) -> Result<(Vec<Tuple>, QueryReport)> {
+        let mut ex = Executor::new(graph, 0, false);
+        let mut report = QueryReport::default();
+        let t0 = Instant::now();
+        let mut outbox = Vec::new(); // never used in local mode
+
+        let mut prev_metrics = ExecMetrics::default();
+        let mut stratum_start = Instant::now();
+
+        ex.start(&self.reg, &self.cost)?;
+        ex.drain(&self.reg, &self.cost, &mut outbox)?;
+
+        let fixpoints = ex.fixpoint_ids();
+        if fixpoints.is_empty() {
+            // Non-recursive query: one pass to quiescence.
+            let wall = t0.elapsed().as_secs_f64();
+            let m = ex.metrics;
+            report.strata.push(StratumReport {
+                stratum: 0,
+                delta_set_size: m.deltas_emitted,
+                simulated_time: m.simulated_time(&self.cost),
+                wall_seconds: wall,
+                bytes_shipped: m.bytes_sent,
+                metrics: m,
+            });
+            report.totals = m;
+            report.simulated_time = m.simulated_time(&self.cost);
+            report.wall_seconds = wall;
+            return Ok((ex.sink_results()?, report));
+        }
+
+        // Recursive query: stratum loop.
+        let mut completed = 0u64;
+        loop {
+            // All fixpoints must be ready for a vote; otherwise the plan is
+            // miswired (recursive edge missing).
+            let mut total_pending = 0usize;
+            let mut any_continue = false;
+            for &id in &fixpoints {
+                let (ready, pending, stratum, term) = ex.with_fixpoint(id, |fp| {
+                    (fp.ready_for_vote(), fp.pending_count(), fp.stratum(), fp.termination())
+                })?;
+                if !ready {
+                    return Err(RexError::Exec(format!(
+                        "fixpoint node {id} never punctuated stratum {completed}: \
+                         is the recursive edge connected?"
+                    )));
+                }
+                total_pending += pending;
+                if term.wants_continue(pending, stratum) {
+                    any_continue = true;
+                }
+            }
+            // Re-evaluate with the *summed* pending count (the requestor's
+            // global view): a fixpoint whose local Δ is empty continues if
+            // any other partition produced deltas.
+            if !any_continue {
+                for &id in &fixpoints {
+                    let (stratum, term) =
+                        ex.with_fixpoint(id, |fp| (fp.stratum(), fp.termination()))?;
+                    if term.wants_continue(total_pending, stratum) {
+                        any_continue = true;
+                    }
+                }
+            }
+
+            // Record the completed stratum.
+            let mut m = ex.metrics;
+            let snap = m;
+            m.tuples_processed -= prev_metrics.tuples_processed;
+            m.deltas_emitted -= prev_metrics.deltas_emitted;
+            m.udf_calls -= prev_metrics.udf_calls;
+            m.cpu_units -= prev_metrics.cpu_units;
+            m.bytes_sent -= prev_metrics.bytes_sent;
+            m.bytes_received -= prev_metrics.bytes_received;
+            m.disk_read -= prev_metrics.disk_read;
+            m.disk_written -= prev_metrics.disk_written;
+            m.punctuations -= prev_metrics.punctuations;
+            prev_metrics = snap;
+            report.strata.push(StratumReport {
+                stratum: completed,
+                delta_set_size: total_pending as u64,
+                simulated_time: m.simulated_time(&self.cost),
+                wall_seconds: stratum_start.elapsed().as_secs_f64(),
+                bytes_shipped: m.bytes_sent,
+                metrics: m,
+            });
+            stratum_start = Instant::now();
+
+            for &id in &fixpoints {
+                ex.advance_fixpoint(id, any_continue, &self.reg, &self.cost, &mut outbox)?;
+            }
+            ex.set_stratum(completed + 1);
+            ex.drain(&self.reg, &self.cost, &mut outbox)?;
+            if !any_continue {
+                break;
+            }
+            completed += 1;
+            if completed > MAX_STRATA {
+                return Err(RexError::Exec(format!(
+                    "recursion exceeded {MAX_STRATA} strata without converging"
+                )));
+            }
+        }
+
+        report.totals = ex.metrics;
+        report.simulated_time = report.strata.iter().map(|s| s.simulated_time).sum();
+        report.wall_seconds = t0.elapsed().as_secs_f64();
+        Ok((ex.sink_results()?, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregates::SumAgg;
+    use crate::delta::Delta;
+    use crate::expr::Expr;
+    use crate::operators::{
+        AggSpec, ApplyFunctionOp, FilterOp, FnMapper, GroupByOp, ScanOp, SinkOp, Termination,
+    };
+    use crate::tuple;
+    use crate::value::Value;
+    use std::sync::Arc;
+
+    #[test]
+    fn non_recursive_pipeline_runs_to_completion() {
+        // scan -> filter(x > 2) -> sink
+        let mut g = PlanGraph::new();
+        let scan = g.add(Box::new(ScanOp::new(
+            "t",
+            vec![tuple![1i64], tuple![3i64], tuple![5i64]],
+        )));
+        let filter = g.add(Box::new(FilterOp::new(Expr::col(0).gt(Expr::lit(2i64)))));
+        let sink = g.add(Box::new(SinkOp::new()));
+        g.pipe(scan, filter);
+        g.pipe(filter, sink);
+
+        let rt = LocalRuntime::new();
+        let (results, report) = rt.run(g).unwrap();
+        assert_eq!(results, vec![tuple![3i64], tuple![5i64]]);
+        assert_eq!(report.iterations(), 1);
+        assert!(report.totals.tuples_processed > 0);
+    }
+
+    #[test]
+    fn aggregation_pipeline() {
+        // scan -> group_by(sum) -> sink
+        let mut g = PlanGraph::new();
+        let scan = g.add(Box::new(ScanOp::new(
+            "t",
+            vec![
+                tuple![1i64, 10.0f64],
+                tuple![1i64, 5.0f64],
+                tuple![2i64, 7.0f64],
+            ],
+        )));
+        let gb = g.add(Box::new(GroupByOp::new(
+            vec![0],
+            vec![AggSpec::new(Arc::new(SumAgg), vec![1])],
+        )));
+        let sink = g.add(Box::new(SinkOp::new()));
+        g.pipe(scan, gb);
+        g.pipe(gb, sink);
+
+        let rt = LocalRuntime::new();
+        let (results, _) = rt.run(g).unwrap();
+        assert_eq!(results, vec![tuple![1i64, 15.0f64], tuple![2i64, 7.0f64]]);
+    }
+
+    /// Transitive-closure-style recursion: start at 0, add 1 each stratum,
+    /// stop at 5 via the recursive step's filter.
+    #[test]
+    fn recursive_counting_reaches_fixpoint() {
+        let mut g = PlanGraph::new();
+        let scan = g.add(Box::new(ScanOp::new("seed", vec![tuple![0i64]])));
+        let fp = g.add(Box::new(FixpointOp::new(vec![0], Termination::Fixpoint)));
+        // Recursive step: x -> x+1 if x < 5
+        let step = g.add(Box::new(ApplyFunctionOp::new(Arc::new(FnMapper::new(
+            "inc",
+            |d, _| {
+                let x = d.tuple.get(0).as_int().unwrap();
+                if x < 5 {
+                    Ok(vec![Delta::insert(tuple![x + 1])])
+                } else {
+                    Ok(vec![])
+                }
+            },
+        )))));
+        let sink = g.add(Box::new(SinkOp::new()));
+        g.connect(scan, 0, fp, 0); // base case
+        g.connect(fp, 0, step, 0); // feedback
+        g.connect(step, 0, fp, 1); // recursive result
+        g.connect(fp, 1, sink, 0); // final output
+
+        let rt = LocalRuntime::new();
+        let (results, report) = rt.run(g).unwrap();
+        let expected: Vec<_> = (0..=5i64).map(|i| tuple![i]).collect();
+        assert_eq!(results, expected);
+        // 6 strata produced new tuples + 1 empty closing stratum.
+        assert!(report.iterations() >= 6, "got {}", report.iterations());
+        // Δ set sizes shrink to zero.
+        assert_eq!(report.strata.last().unwrap().delta_set_size, 0);
+    }
+
+    #[test]
+    fn exact_strata_termination_runs_fixed_iterations() {
+        let mut g = PlanGraph::new();
+        let scan = g.add(Box::new(ScanOp::new("seed", vec![tuple![0i64]])));
+        let fp = g.add(Box::new(
+            FixpointOp::new(vec![0], Termination::ExactStrata(4)).no_delta(),
+        ));
+        let step = g.add(Box::new(ApplyFunctionOp::new(Arc::new(FnMapper::new(
+            "same",
+            |d, _| Ok(vec![Delta::insert(d.tuple.clone())]),
+        )))));
+        let sink = g.add(Box::new(SinkOp::new()));
+        g.connect(scan, 0, fp, 0);
+        g.connect(fp, 0, step, 0);
+        g.connect(step, 0, fp, 1);
+        g.connect(fp, 1, sink, 0);
+
+        let rt = LocalRuntime::new();
+        let (results, report) = rt.run(g).unwrap();
+        assert_eq!(results, vec![tuple![0i64]]);
+        assert_eq!(report.iterations(), 4);
+    }
+
+    #[test]
+    fn miswired_recursion_is_reported() {
+        let mut g = PlanGraph::new();
+        let scan = g.add(Box::new(ScanOp::new("seed", vec![tuple![0i64]])));
+        let fp = g.add(Box::new(FixpointOp::new(vec![0], Termination::Fixpoint)));
+        let sink = g.add(Box::new(SinkOp::new()));
+        g.connect(scan, 0, fp, 0);
+        // Feedback edge goes nowhere and no recursive edge returns: the
+        // fixpoint can never become ready.
+        g.connect(fp, 1, sink, 0);
+
+        let rt = LocalRuntime::new();
+        let err = rt.run(g).unwrap_err();
+        assert!(matches!(err, RexError::Exec(_)));
+    }
+
+    #[test]
+    fn explain_renders_topology() {
+        let mut g = PlanGraph::new();
+        let scan = g.add(Box::new(ScanOp::new("t", vec![])));
+        let rh = g.add_rehash(vec![0]);
+        let sink = g.add(Box::new(SinkOp::new()));
+        g.pipe(scan, rh);
+        g.pipe(rh, sink);
+        let txt = g.explain();
+        assert!(txt.contains("Scan(t)"));
+        assert!(txt.contains("[network]"));
+        assert!(txt.contains("out0 -> #2.in0"));
+    }
+
+    #[test]
+    fn update_annotation_via_apply_function_reaches_sink() {
+        let mut g = PlanGraph::new();
+        let scan = g.add(Box::new(ScanOp::new("t", vec![tuple![1i64]])));
+        let to_update = g.add(Box::new(ApplyFunctionOp::new(Arc::new(FnMapper::new(
+            "tag",
+            |d, _| Ok(vec![Delta::update(d.tuple.clone(), Value::Int(42))]),
+        )))));
+        let sink = g.add(Box::new(SinkOp::new()));
+        g.pipe(scan, to_update);
+        g.pipe(to_update, sink);
+        let rt = LocalRuntime::new();
+        let (results, _) = rt.run(g).unwrap();
+        assert_eq!(results, vec![tuple![1i64]]);
+    }
+}

@@ -1,0 +1,435 @@
+//! Scalar expression trees evaluated over tuples.
+//!
+//! Expressions appear in selections, projections, `applyFunction` operators,
+//! and join predicates. User-defined functions are referenced by name and
+//! resolved against the [`Registry`](crate::udf::Registry) — REX's analogue
+//! of loading Java classes and invoking them by reflection.
+
+use crate::error::{Result, RexError};
+use crate::tuple::{Schema, Tuple};
+use crate::udf::Registry;
+use crate::value::{DataType, Value};
+use std::fmt;
+use std::sync::Arc;
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+}
+
+impl BinOp {
+    /// Whether the operator yields a boolean.
+    pub fn is_predicate(&self) -> bool {
+        use BinOp::*;
+        matches!(self, Eq | Ne | Lt | Le | Gt | Ge | And | Or)
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Eq => "=",
+            BinOp::Ne => "<>",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "AND",
+            BinOp::Or => "OR",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A scalar expression.
+#[derive(Debug, Clone)]
+pub enum Expr {
+    /// Reference to input column `i`.
+    Col(usize),
+    /// A literal constant.
+    Lit(Value),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Logical negation.
+    Not(Box<Expr>),
+    /// Arithmetic negation.
+    Neg(Box<Expr>),
+    /// `IS NULL`.
+    IsNull(Box<Expr>),
+    /// Call a registered scalar UDF by name.
+    Udf(String, Vec<Expr>),
+    /// `CASE WHEN c THEN t ELSE e END` (a chain of arms plus default).
+    Case(Vec<(Expr, Expr)>, Box<Expr>),
+}
+
+impl Expr {
+    /// Column reference shorthand.
+    pub fn col(i: usize) -> Expr {
+        Expr::Col(i)
+    }
+
+    /// Literal shorthand.
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Lit(v.into())
+    }
+
+    /// Build `self OP other`.
+    pub fn bin(self, op: BinOp, other: Expr) -> Expr {
+        Expr::Bin(op, Box::new(self), Box::new(other))
+    }
+
+    /// Equality predicate shorthand.
+    pub fn eq(self, other: Expr) -> Expr {
+        self.bin(BinOp::Eq, other)
+    }
+
+    /// Greater-than predicate shorthand.
+    pub fn gt(self, other: Expr) -> Expr {
+        self.bin(BinOp::Gt, other)
+    }
+
+    /// Evaluate against a tuple, resolving UDFs in `reg`.
+    pub fn eval(&self, t: &Tuple, reg: &Registry) -> Result<Value> {
+        match self {
+            Expr::Col(i) => Ok(t.try_get(*i)?.clone()),
+            Expr::Lit(v) => Ok(v.clone()),
+            Expr::Bin(op, l, r) => {
+                let lv = l.eval(t, reg)?;
+                // Short-circuit AND/OR.
+                match op {
+                    BinOp::And => {
+                        if lv == Value::Bool(false) {
+                            return Ok(Value::Bool(false));
+                        }
+                        let rv = r.eval(t, reg)?;
+                        return eval_logic(&lv, &rv, true);
+                    }
+                    BinOp::Or => {
+                        if lv == Value::Bool(true) {
+                            return Ok(Value::Bool(true));
+                        }
+                        let rv = r.eval(t, reg)?;
+                        return eval_logic(&lv, &rv, false);
+                    }
+                    _ => {}
+                }
+                let rv = r.eval(t, reg)?;
+                eval_bin(*op, &lv, &rv)
+            }
+            Expr::Not(e) => match e.eval(t, reg)? {
+                Value::Bool(b) => Ok(Value::Bool(!b)),
+                Value::Null => Ok(Value::Null),
+                v => Err(RexError::Type(format!("NOT applied to {}", v.data_type()))),
+            },
+            Expr::Neg(e) => match e.eval(t, reg)? {
+                Value::Int(i) => Ok(Value::Int(-i)),
+                Value::Double(d) => Ok(Value::Double(-d)),
+                Value::Null => Ok(Value::Null),
+                v => Err(RexError::Type(format!("negation of {}", v.data_type()))),
+            },
+            Expr::IsNull(e) => Ok(Value::Bool(e.eval(t, reg)?.is_null())),
+            Expr::Udf(name, args) => {
+                let udf = reg.scalar(name)?;
+                let vals: Result<Vec<Value>> =
+                    args.iter().map(|a| a.eval(t, reg)).collect();
+                udf.eval(&vals?)
+            }
+            Expr::Case(arms, default) => {
+                for (cond, then) in arms {
+                    if cond.eval(t, reg)? == Value::Bool(true) {
+                        return then.eval(t, reg);
+                    }
+                }
+                default.eval(t, reg)
+            }
+        }
+    }
+
+    /// Static result type against an input schema (best-effort inference).
+    pub fn data_type(&self, schema: &Schema, reg: &Registry) -> Result<DataType> {
+        match self {
+            Expr::Col(i) => {
+                if *i >= schema.arity() {
+                    return Err(RexError::Type(format!(
+                        "column {i} out of range for schema {schema}"
+                    )));
+                }
+                Ok(schema.field_type(*i))
+            }
+            Expr::Lit(v) => Ok(v.data_type()),
+            Expr::Bin(op, l, r) => {
+                if op.is_predicate() {
+                    Ok(DataType::Bool)
+                } else {
+                    let lt = l.data_type(schema, reg)?;
+                    let rt = r.data_type(schema, reg)?;
+                    lt.unify(rt).ok_or_else(|| {
+                        RexError::Type(format!("cannot apply {op} to {lt} and {rt}"))
+                    })
+                }
+            }
+            Expr::Not(_) | Expr::IsNull(_) => Ok(DataType::Bool),
+            Expr::Neg(e) => e.data_type(schema, reg),
+            Expr::Udf(name, _) => Ok(reg.scalar(name)?.return_type()),
+            Expr::Case(arms, default) => {
+                let mut ty = default.data_type(schema, reg)?;
+                for (_, then) in arms {
+                    let tt = then.data_type(schema, reg)?;
+                    ty = ty.unify(tt).ok_or_else(|| {
+                        RexError::Type("CASE arms have incompatible types".into())
+                    })?;
+                }
+                Ok(ty)
+            }
+        }
+    }
+
+    /// Collect all column indices referenced by this expression.
+    pub fn referenced_columns(&self, out: &mut Vec<usize>) {
+        match self {
+            Expr::Col(i) => {
+                if !out.contains(i) {
+                    out.push(*i);
+                }
+            }
+            Expr::Lit(_) => {}
+            Expr::Bin(_, l, r) => {
+                l.referenced_columns(out);
+                r.referenced_columns(out);
+            }
+            Expr::Not(e) | Expr::Neg(e) | Expr::IsNull(e) => e.referenced_columns(out),
+            Expr::Udf(_, args) => {
+                for a in args {
+                    a.referenced_columns(out);
+                }
+            }
+            Expr::Case(arms, default) => {
+                for (c, t) in arms {
+                    c.referenced_columns(out);
+                    t.referenced_columns(out);
+                }
+                default.referenced_columns(out);
+            }
+        }
+    }
+
+    /// Rewrite column references through a mapping (old index → new index).
+    /// Used by the optimizer when pushing expressions through projections.
+    pub fn remap_columns(&self, map: &dyn Fn(usize) -> usize) -> Expr {
+        match self {
+            Expr::Col(i) => Expr::Col(map(*i)),
+            Expr::Lit(v) => Expr::Lit(v.clone()),
+            Expr::Bin(op, l, r) => Expr::Bin(
+                *op,
+                Box::new(l.remap_columns(map)),
+                Box::new(r.remap_columns(map)),
+            ),
+            Expr::Not(e) => Expr::Not(Box::new(e.remap_columns(map))),
+            Expr::Neg(e) => Expr::Neg(Box::new(e.remap_columns(map))),
+            Expr::IsNull(e) => Expr::IsNull(Box::new(e.remap_columns(map))),
+            Expr::Udf(n, args) => Expr::Udf(
+                n.clone(),
+                args.iter().map(|a| a.remap_columns(map)).collect(),
+            ),
+            Expr::Case(arms, default) => Expr::Case(
+                arms.iter()
+                    .map(|(c, t)| (c.remap_columns(map), t.remap_columns(map)))
+                    .collect(),
+                Box::new(default.remap_columns(map)),
+            ),
+        }
+    }
+
+    /// Whether this expression calls any UDF (used for rank-based ordering).
+    pub fn contains_udf(&self) -> bool {
+        match self {
+            Expr::Col(_) | Expr::Lit(_) => false,
+            Expr::Bin(_, l, r) => l.contains_udf() || r.contains_udf(),
+            Expr::Not(e) | Expr::Neg(e) | Expr::IsNull(e) => e.contains_udf(),
+            Expr::Udf(_, _) => true,
+            Expr::Case(arms, d) => {
+                arms.iter().any(|(c, t)| c.contains_udf() || t.contains_udf())
+                    || d.contains_udf()
+            }
+        }
+    }
+}
+
+fn eval_logic(l: &Value, r: &Value, is_and: bool) -> Result<Value> {
+    // Three-valued logic.
+    match (l, r) {
+        (Value::Bool(a), Value::Bool(b)) => {
+            Ok(Value::Bool(if is_and { *a && *b } else { *a || *b }))
+        }
+        (Value::Null, Value::Bool(b)) | (Value::Bool(b), Value::Null) => {
+            if is_and {
+                if *b {
+                    Ok(Value::Null)
+                } else {
+                    Ok(Value::Bool(false))
+                }
+            } else if *b {
+                Ok(Value::Bool(true))
+            } else {
+                Ok(Value::Null)
+            }
+        }
+        (Value::Null, Value::Null) => Ok(Value::Null),
+        _ => Err(RexError::Type("logical operator on non-boolean".into())),
+    }
+}
+
+fn eval_bin(op: BinOp, l: &Value, r: &Value) -> Result<Value> {
+    use BinOp::*;
+    match op {
+        Add => l.add(r),
+        Sub => l.sub(r),
+        Mul => l.mul(r),
+        Div => l.div(r),
+        Eq | Ne | Lt | Le | Gt | Ge => {
+            if l.is_null() || r.is_null() {
+                return Ok(Value::Null);
+            }
+            let c = l.cmp(r);
+            let b = match op {
+                Eq => c.is_eq(),
+                Ne => c.is_ne(),
+                Lt => c.is_lt(),
+                Le => c.is_le(),
+                Gt => c.is_gt(),
+                Ge => c.is_ge(),
+                _ => unreachable!(),
+            };
+            return Ok(Value::Bool(b));
+        }
+        And | Or => unreachable!("handled by short-circuit path"),
+    }
+    .ok_or_else(|| RexError::Type(format!("cannot apply {op} to {} and {}", l.data_type(), r.data_type())))
+}
+
+/// Evaluate a predicate expression, treating NULL as false (SQL WHERE
+/// semantics).
+pub fn eval_predicate(e: &Expr, t: &Tuple, reg: &Registry) -> Result<bool> {
+    Ok(matches!(e.eval(t, reg)?, Value::Bool(true)))
+}
+
+/// An `Arc`-shared expression list, the common payload of projections.
+pub type ExprList = Arc<Vec<Expr>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    fn reg() -> Registry {
+        Registry::with_builtins()
+    }
+
+    #[test]
+    fn arithmetic_and_comparison() {
+        let t = tuple![4i64, 2.5f64];
+        let e = Expr::col(0).bin(BinOp::Mul, Expr::lit(3i64));
+        assert_eq!(e.eval(&t, &reg()).unwrap(), Value::Int(12));
+        let p = Expr::col(1).gt(Expr::lit(2.0f64));
+        assert_eq!(p.eval(&t, &reg()).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn null_propagates_through_comparison() {
+        let t = Tuple::new(vec![Value::Null]);
+        let p = Expr::col(0).gt(Expr::lit(1i64));
+        assert_eq!(p.eval(&t, &reg()).unwrap(), Value::Null);
+        assert!(!eval_predicate(&p, &t, &reg()).unwrap());
+    }
+
+    #[test]
+    fn short_circuit_and_three_valued_logic() {
+        let t = Tuple::new(vec![Value::Null]);
+        // false AND <err> must not evaluate the right side eagerly: use a
+        // comparison with NULL which is NULL, then AND false.
+        let e = Expr::lit(false).bin(BinOp::And, Expr::col(0).eq(Expr::lit(1i64)));
+        assert_eq!(e.eval(&t, &reg()).unwrap(), Value::Bool(false));
+        let e2 = Expr::lit(true).bin(BinOp::Or, Expr::col(0).eq(Expr::lit(1i64)));
+        assert_eq!(e2.eval(&t, &reg()).unwrap(), Value::Bool(true));
+        // NULL OR false -> NULL
+        let e3 = Expr::col(0)
+            .eq(Expr::lit(1i64))
+            .bin(BinOp::Or, Expr::lit(false));
+        assert_eq!(e3.eval(&t, &reg()).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn case_expression() {
+        let t = tuple![5i64];
+        let e = Expr::Case(
+            vec![
+                (Expr::col(0).gt(Expr::lit(10i64)), Expr::lit("big")),
+                (Expr::col(0).gt(Expr::lit(3i64)), Expr::lit("mid")),
+            ],
+            Box::new(Expr::lit("small")),
+        );
+        assert_eq!(e.eval(&t, &reg()).unwrap(), Value::str("mid"));
+    }
+
+    #[test]
+    fn type_inference() {
+        let s = Schema::of(&[("a", DataType::Int), ("b", DataType::Double)]);
+        let r = reg();
+        let e = Expr::col(0).bin(BinOp::Add, Expr::col(1));
+        assert_eq!(e.data_type(&s, &r).unwrap(), DataType::Double);
+        let p = Expr::col(0).eq(Expr::col(1));
+        assert_eq!(p.data_type(&s, &r).unwrap(), DataType::Bool);
+        let bad = Expr::col(9);
+        assert!(bad.data_type(&s, &r).is_err());
+    }
+
+    #[test]
+    fn referenced_columns_and_remap() {
+        let e = Expr::col(2).bin(BinOp::Add, Expr::col(0).bin(BinOp::Mul, Expr::col(2)));
+        let mut cols = vec![];
+        e.referenced_columns(&mut cols);
+        cols.sort_unstable();
+        assert_eq!(cols, vec![0, 2]);
+        let e2 = e.remap_columns(&|i| i + 10);
+        let mut cols2 = vec![];
+        e2.referenced_columns(&mut cols2);
+        cols2.sort_unstable();
+        assert_eq!(cols2, vec![10, 12]);
+    }
+
+    #[test]
+    fn division_by_zero_is_null() {
+        let t = tuple![1i64, 0i64];
+        let e = Expr::col(0).bin(BinOp::Div, Expr::col(1));
+        assert_eq!(e.eval(&t, &reg()).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn is_null_and_not() {
+        let t = Tuple::new(vec![Value::Null, Value::Bool(false)]);
+        assert_eq!(
+            Expr::IsNull(Box::new(Expr::col(0))).eval(&t, &reg()).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            Expr::Not(Box::new(Expr::col(1))).eval(&t, &reg()).unwrap(),
+            Value::Bool(true)
+        );
+    }
+}

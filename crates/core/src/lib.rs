@@ -1,0 +1,65 @@
+//! # rex-core
+//!
+//! The core engine of REX — *Recursive, delta-based data-centric
+//! computation* (Mihaylov, Ives, Guha; PVLDB 5(11), 2012) — reimplemented in
+//! Rust.
+//!
+//! REX is a shared-nothing, pipelined query engine in which **deltas**
+//! (annotated tuples: insertions, deletions, replacements, and programmable
+//! value-updates) are first-class citizens. Recursive queries execute in
+//! strata; stateful operators *refine* their state under deltas instead of
+//! accumulating it, so each iteration touches only the Δᵢ set — the tuples
+//! that actually changed.
+//!
+//! This crate provides:
+//!
+//! * the value/tuple/schema layer ([`value`], [`tuple`]);
+//! * deltas, annotations and punctuation ([`delta`]);
+//! * scalar expressions ([`expr`]) and user-defined code ([`udf`],
+//!   [`handlers`], [`aggregates`], [`builtins`]);
+//! * the physical operators ([`operators`]): scan, filter, project,
+//!   apply-function, pipelined hash join, group-by, rehash, while/fixpoint,
+//!   union, sink — all delta-aware;
+//! * the push-based executor and single-node runtime ([`exec`]);
+//! * the cost model and metric accounting ([`metrics`]).
+//!
+//! Distribution (consistent hashing, routing, recovery) lives in
+//! `rex-cluster`; the RQL language in `rex-rql`; the optimizer in
+//! `rex-optimizer`.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use rex_core::exec::{LocalRuntime, PlanGraph};
+//! use rex_core::expr::Expr;
+//! use rex_core::operators::{FilterOp, ScanOp, SinkOp};
+//! use rex_core::tuple;
+//!
+//! let mut g = PlanGraph::new();
+//! let scan = g.add(Box::new(ScanOp::new("t", vec![tuple![1i64], tuple![7i64]])));
+//! let filter = g.add(Box::new(FilterOp::new(Expr::col(0).gt(Expr::lit(3i64)))));
+//! let sink = g.add(Box::new(SinkOp::new()));
+//! g.pipe(scan, filter);
+//! g.pipe(filter, sink);
+//!
+//! let (results, _report) = LocalRuntime::new().run(g).unwrap();
+//! assert_eq!(results, vec![tuple![7i64]]);
+//! ```
+
+pub mod aggregates;
+pub mod builtins;
+pub mod delta;
+pub mod error;
+pub mod exec;
+pub mod expr;
+pub mod handlers;
+pub mod metrics;
+pub mod operators;
+pub mod tuple;
+pub mod udf;
+pub mod value;
+
+pub use delta::{Annotation, Delta, Punctuation};
+pub use error::{Result, RexError};
+pub use tuple::{Field, Schema, Tuple};
+pub use value::{DataType, Value};

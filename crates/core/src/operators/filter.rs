@@ -1,0 +1,147 @@
+//! Selection with full delta semantics.
+
+use crate::delta::{Annotation, Delta, Punctuation};
+use crate::error::Result;
+use crate::expr::{eval_predicate, Expr};
+use crate::operators::{OpCtx, Operator};
+
+/// Filters deltas by a predicate.
+///
+/// Stateless propagation (§3.3): the annotation rides along. Replacement
+/// deltas need care — the old and new tuple may fall on different sides of
+/// the predicate, turning a replacement into an insertion or deletion:
+///
+/// | old passes | new passes | output                 |
+/// |-----------:|-----------:|------------------------|
+/// | yes        | yes        | `→(old) new`           |
+/// | no         | yes        | `+() new`              |
+/// | yes        | no         | `-() old`              |
+/// | no         | no         | nothing                |
+pub struct FilterOp {
+    predicate: Expr,
+}
+
+impl FilterOp {
+    /// Filter by `predicate` (NULL counts as false, per SQL WHERE).
+    pub fn new(predicate: Expr) -> FilterOp {
+        FilterOp { predicate }
+    }
+
+    /// The predicate expression.
+    pub fn predicate(&self) -> &Expr {
+        &self.predicate
+    }
+}
+
+impl Operator for FilterOp {
+    fn name(&self) -> String {
+        format!("Filter({})", "σ")
+    }
+
+    fn on_deltas(&mut self, _port: usize, deltas: Vec<Delta>, ctx: &mut OpCtx<'_>) -> Result<()> {
+        ctx.charge_input(deltas.len());
+        if self.predicate.contains_udf() {
+            for _ in 0..deltas.len() {
+                ctx.charge_udf_call();
+            }
+        }
+        let mut out = Vec::new();
+        for d in deltas {
+            let new_pass = eval_predicate(&self.predicate, &d.tuple, ctx.reg)?;
+            match &d.ann {
+                Annotation::Replace(old) => {
+                    let old_pass = eval_predicate(&self.predicate, old, ctx.reg)?;
+                    match (old_pass, new_pass) {
+                        (true, true) => out.push(d),
+                        (false, true) => out.push(Delta::insert(d.tuple)),
+                        (true, false) => out.push(Delta::delete(old.clone())),
+                        (false, false) => {}
+                    }
+                }
+                _ => {
+                    if new_pass {
+                        out.push(d);
+                    }
+                }
+            }
+        }
+        ctx.emit(0, out);
+        Ok(())
+    }
+
+    fn on_punct(&mut self, _port: usize, p: Punctuation, ctx: &mut OpCtx<'_>) -> Result<()> {
+        ctx.punct(0, p);
+        Ok(())
+    }
+
+    fn reset(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{CostModel, ExecMetrics};
+    use crate::operators::Event;
+    use crate::tuple;
+    use crate::udf::Registry;
+    use crate::value::Value;
+
+    fn run(op: &mut FilterOp, deltas: Vec<Delta>) -> Vec<Delta> {
+        let reg = Registry::with_builtins();
+        let cost = CostModel::default();
+        let mut m = ExecMetrics::default();
+        let mut ctx = OpCtx::new(0, 0, &reg, &cost, &mut m);
+        op.on_deltas(0, deltas, &mut ctx).unwrap();
+        ctx.take_output()
+            .into_iter()
+            .flat_map(|(_, e)| match e {
+                Event::Data(d) => d,
+                _ => vec![],
+            })
+            .collect()
+    }
+
+    #[test]
+    fn passes_and_drops_inserts() {
+        let mut op = FilterOp::new(Expr::col(0).gt(Expr::lit(5i64)));
+        let out = run(&mut op, vec![Delta::insert(tuple![9i64]), Delta::insert(tuple![3i64])]);
+        assert_eq!(out, vec![Delta::insert(tuple![9i64])]);
+    }
+
+    #[test]
+    fn replacement_crossing_predicate_becomes_insert_or_delete() {
+        let mut op = FilterOp::new(Expr::col(0).gt(Expr::lit(5i64)));
+        // old fails, new passes -> insert
+        let out = run(&mut op, vec![Delta::replace(tuple![1i64], tuple![9i64])]);
+        assert_eq!(out, vec![Delta::insert(tuple![9i64])]);
+        // old passes, new fails -> delete(old)
+        let out = run(&mut op, vec![Delta::replace(tuple![8i64], tuple![2i64])]);
+        assert_eq!(out, vec![Delta::delete(tuple![8i64])]);
+        // both pass -> replacement survives
+        let out = run(&mut op, vec![Delta::replace(tuple![8i64], tuple![9i64])]);
+        assert_eq!(out, vec![Delta::replace(tuple![8i64], tuple![9i64])]);
+        // both fail -> nothing
+        let out = run(&mut op, vec![Delta::replace(tuple![1i64], tuple![2i64])]);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn update_annotation_rides_along() {
+        let mut op = FilterOp::new(Expr::col(0).gt(Expr::lit(0i64)));
+        let d = Delta::update(tuple![1i64], Value::Double(0.5));
+        let out = run(&mut op, vec![d.clone()]);
+        assert_eq!(out, vec![d]);
+    }
+
+    #[test]
+    fn punctuation_forwarded() {
+        let mut op = FilterOp::new(Expr::lit(true));
+        let reg = Registry::new();
+        let cost = CostModel::default();
+        let mut m = ExecMetrics::default();
+        let mut ctx = OpCtx::new(0, 0, &reg, &cost, &mut m);
+        op.on_punct(0, Punctuation::EndOfStratum(2), &mut ctx).unwrap();
+        let out = ctx.take_output();
+        assert!(matches!(out[0].1, Event::Punct(Punctuation::EndOfStratum(2))));
+    }
+}

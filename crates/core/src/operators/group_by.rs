@@ -1,0 +1,377 @@
+//! Pipelined group-by with per-aggregate delta state.
+//!
+//! "A group by operator's internal state includes a map from the grouping
+//! key to some aggregate function-specific form of intermediate state, for
+//! each aggregate function being computed. As a group by operator receives a
+//! delta, it can determine the key associated with the delta, but then each
+//! aggregate function needs to determine how to update its own intermediate
+//! state and what to emit" (§3.3).
+//!
+//! At stratum end, only *changed* groups are flushed: an unseen group emits
+//! an insertion, a previously-emitted group emits a replacement. Retaining
+//! state across strata (`retain_across_strata`) is what makes delta-based
+//! recursion incremental; clearing it reproduces the `no-delta`
+//! configuration that re-aggregates everything each iteration.
+
+use crate::delta::{Delta, Punctuation};
+use crate::error::Result;
+use crate::handlers::{AggHandler, AggOutputKind, AggState};
+use crate::operators::{OpCtx, Operator, OperatorState};
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+type Key = Vec<Value>;
+
+/// One aggregate computation within a group-by.
+#[derive(Clone)]
+pub struct AggSpec {
+    /// The handler implementing AGGSTATE/AGGRESULT.
+    pub handler: Arc<dyn AggHandler>,
+    /// Which input columns feed the aggregate (projected before dispatch).
+    pub input_cols: Vec<usize>,
+}
+
+impl AggSpec {
+    /// Build an aggregate spec.
+    pub fn new(handler: Arc<dyn AggHandler>, input_cols: Vec<usize>) -> AggSpec {
+        AggSpec { handler, input_cols }
+    }
+}
+
+struct GroupEntry {
+    states: Vec<AggState>,
+    /// What this group last emitted (scalar mode), for replacement deltas.
+    last_emitted: Option<Tuple>,
+    /// Last emitted result tuples (table-valued mode).
+    last_results: Vec<Tuple>,
+    changed: bool,
+}
+
+/// The group-by operator.
+pub struct GroupByOp {
+    key_cols: Vec<usize>,
+    aggs: Vec<AggSpec>,
+    groups: HashMap<Key, GroupEntry>,
+    /// Keep aggregate state across strata (delta mode). When false the
+    /// operator clears itself after each flush (no-delta / Hadoop-like).
+    retain_across_strata: bool,
+    /// Streamed partial aggregation: forward handler intermediate deltas
+    /// immediately instead of waiting for punctuation (§4.2).
+    streaming: bool,
+}
+
+impl GroupByOp {
+    /// Group on `key_cols`, computing `aggs`.
+    pub fn new(key_cols: Vec<usize>, aggs: Vec<AggSpec>) -> GroupByOp {
+        GroupByOp {
+            key_cols,
+            aggs,
+            groups: HashMap::new(),
+            retain_across_strata: true,
+            streaming: false,
+        }
+    }
+
+    /// Disable cross-stratum state retention (the `no-delta` strategy).
+    pub fn without_retention(mut self) -> Self {
+        self.retain_across_strata = false;
+        self
+    }
+
+    /// Enable streamed partial aggregation.
+    pub fn streaming(mut self) -> Self {
+        self.streaming = true;
+        self
+    }
+
+    /// Number of groups currently held.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    fn flush(&mut self, ctx: &mut OpCtx<'_>) -> Result<Vec<Delta>> {
+        let mut out = Vec::new();
+        // Deterministic flush order simplifies testing and reproducibility.
+        let mut changed_keys: Vec<Key> = self
+            .groups
+            .iter()
+            .filter(|(_, g)| g.changed)
+            .map(|(k, _)| k.clone())
+            .collect();
+        changed_keys.sort();
+        for key in changed_keys {
+            let table_valued = self
+                .aggs
+                .first()
+                .map(|a| a.handler.output_kind() == AggOutputKind::TableValued)
+                .unwrap_or(false);
+            let g = self.groups.get_mut(&key).expect("changed key exists");
+            if table_valued {
+                // Single table-valued UDA: key-prefixed result tuples.
+                let spec = &self.aggs[0];
+                if !spec.handler.is_builtin() {
+                    ctx.charge_udf_call();
+                }
+                let results = spec.handler.agg_result(&g.states[0])?;
+                let mut tuples: Vec<Tuple> = Vec::with_capacity(results.len());
+                for d in results {
+                    let mut vals = key.clone();
+                    vals.extend(d.tuple.values().iter().cloned());
+                    tuples.push(Tuple::new(vals));
+                }
+                if tuples != g.last_results {
+                    for t in &tuples {
+                        out.push(Delta::insert(t.clone()));
+                    }
+                    g.last_results = tuples;
+                }
+            } else {
+                let mut vals = key.clone();
+                for (spec, state) in self.aggs.iter().zip(&g.states) {
+                    if !spec.handler.is_builtin() {
+                        ctx.charge_udf_call();
+                    }
+                    let mut results = spec.handler.agg_result(state)?;
+                    if let Some(d) = results.pop() {
+                        vals.push(d.tuple.get(0).clone());
+                    } else {
+                        vals.push(Value::Null);
+                    }
+                }
+                let t = Tuple::new(vals);
+                match &g.last_emitted {
+                    None => out.push(Delta::insert(t.clone())),
+                    Some(prev) if prev != &t => {
+                        out.push(Delta::replace(prev.clone(), t.clone()))
+                    }
+                    Some(_) => {} // value unchanged: emit nothing
+                }
+                g.last_emitted = Some(t);
+            }
+            g.changed = false;
+        }
+        if !self.retain_across_strata {
+            self.groups.clear();
+        }
+        Ok(out)
+    }
+}
+
+impl Operator for GroupByOp {
+    fn name(&self) -> String {
+        let names: Vec<&str> = self.aggs.iter().map(|a| a.handler.name()).collect();
+        format!("GroupBy[{}]", names.join(","))
+    }
+
+    fn on_deltas(&mut self, _port: usize, deltas: Vec<Delta>, ctx: &mut OpCtx<'_>) -> Result<()> {
+        ctx.charge_input(deltas.len());
+        let mut streamed = Vec::new();
+        for d in deltas {
+            let key = d.tuple.key(&self.key_cols);
+            ctx.charge_cpu(ctx.cost.hash_cost);
+            let aggs = &self.aggs;
+            let entry = self.groups.entry(key).or_insert_with(|| GroupEntry {
+                states: aggs.iter().map(|a| a.handler.init()).collect(),
+                last_emitted: None,
+                last_results: Vec::new(),
+                changed: false,
+            });
+            for (i, spec) in self.aggs.iter().enumerate() {
+                let projected = d.with_tuple(project_delta_tuple(&d, &spec.input_cols));
+                if spec.handler.is_builtin() {
+                    ctx.charge_cpu(ctx.cost.cpu_per_tuple * 0.02);
+                } else {
+                    ctx.charge_udf_call();
+                }
+                let inter = spec.handler.agg_state(&mut entry.states[i], &projected)?;
+                if self.streaming {
+                    streamed.extend(inter);
+                }
+            }
+            entry.changed = true;
+        }
+        if self.streaming && !streamed.is_empty() {
+            ctx.emit(0, streamed);
+        }
+        Ok(())
+    }
+
+    fn on_punct(&mut self, _port: usize, p: Punctuation, ctx: &mut OpCtx<'_>) -> Result<()> {
+        let out = self.flush(ctx)?;
+        ctx.emit(0, out);
+        ctx.punct(0, p);
+        Ok(())
+    }
+
+    fn checkpoint(&self) -> Option<OperatorState> {
+        // Group-by state is rebuilt from replayed inputs on recovery; only
+        // fixpoint state is checkpointed (§4.3).
+        None
+    }
+
+    fn reset(&mut self) {
+        self.groups.clear();
+    }
+}
+
+/// Project the delta's tuple (and a replacement's old tuple) onto the
+/// aggregate's input columns. An old tuple shorter than required (e.g. a
+/// replacement generated upstream with a different arity) falls back to the
+/// new tuple to stay total.
+fn project_delta_tuple(d: &Delta, cols: &[usize]) -> Tuple {
+    d.tuple.project(cols)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregates::{CountAgg, SumAgg};
+    use crate::delta::Annotation;
+    use crate::metrics::{CostModel, ExecMetrics};
+    use crate::operators::Event;
+    use crate::tuple;
+    use crate::udf::Registry;
+
+    fn sum_group() -> GroupByOp {
+        GroupByOp::new(vec![0], vec![AggSpec::new(Arc::new(SumAgg), vec![1])])
+    }
+
+    fn drive(op: &mut GroupByOp, deltas: Vec<Delta>, punct: bool) -> Vec<Delta> {
+        let reg = Registry::new();
+        let cost = CostModel::default();
+        let mut m = ExecMetrics::default();
+        let mut ctx = OpCtx::new(0, 0, &reg, &cost, &mut m);
+        op.on_deltas(0, deltas, &mut ctx).unwrap();
+        if punct {
+            op.on_punct(0, Punctuation::EndOfStratum(0), &mut ctx).unwrap();
+        }
+        ctx.take_output()
+            .into_iter()
+            .flat_map(|(_, e)| match e {
+                Event::Data(d) => d,
+                _ => vec![],
+            })
+            .collect()
+    }
+
+    #[test]
+    fn emits_only_on_punctuation() {
+        let mut g = sum_group();
+        let out = drive(&mut g, vec![Delta::insert(tuple![1i64, 2.0f64])], false);
+        assert!(out.is_empty());
+        let out = drive(&mut g, vec![Delta::insert(tuple![1i64, 3.0f64])], true);
+        assert_eq!(out, vec![Delta::insert(tuple![1i64, 5.0f64])]);
+    }
+
+    #[test]
+    fn changed_groups_emit_replacements_next_stratum() {
+        let mut g = sum_group();
+        drive(&mut g, vec![Delta::insert(tuple![1i64, 2.0f64])], true);
+        // Second stratum: another contribution to the same group.
+        let out = drive(&mut g, vec![Delta::insert(tuple![1i64, 3.0f64])], true);
+        assert_eq!(
+            out,
+            vec![Delta::replace(tuple![1i64, 2.0f64], tuple![1i64, 5.0f64])]
+        );
+    }
+
+    #[test]
+    fn unchanged_groups_stay_silent() {
+        let mut g = sum_group();
+        drive(
+            &mut g,
+            vec![Delta::insert(tuple![1i64, 2.0f64]), Delta::insert(tuple![2i64, 9.0f64])],
+            true,
+        );
+        // Only group 1 receives new data; group 2 must not re-emit.
+        let out = drive(&mut g, vec![Delta::insert(tuple![1i64, 1.0f64])], true);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].tuple.get(0), &Value::Int(1));
+    }
+
+    #[test]
+    fn zero_net_change_emits_nothing() {
+        let mut g = sum_group();
+        drive(&mut g, vec![Delta::insert(tuple![1i64, 2.0f64])], true);
+        // +3 then -3: the aggregate value is back where it was.
+        let out = drive(
+            &mut g,
+            vec![
+                Delta::insert(tuple![1i64, 3.0f64]),
+                Delta::delete(tuple![1i64, 3.0f64]),
+            ],
+            true,
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn without_retention_reaggregates_from_scratch() {
+        let mut g = sum_group().without_retention();
+        drive(&mut g, vec![Delta::insert(tuple![1i64, 2.0f64])], true);
+        assert_eq!(g.group_count(), 0);
+        // Next stratum starts fresh: same input sums to 3, not 5.
+        let out = drive(&mut g, vec![Delta::insert(tuple![1i64, 3.0f64])], true);
+        assert_eq!(out, vec![Delta::insert(tuple![1i64, 3.0f64])]);
+    }
+
+    #[test]
+    fn multiple_aggregates_compose_output_tuple() {
+        let mut g = GroupByOp::new(
+            vec![0],
+            vec![
+                AggSpec::new(Arc::new(SumAgg), vec![1]),
+                AggSpec::new(Arc::new(CountAgg), vec![1]),
+            ],
+        );
+        let out = drive(
+            &mut g,
+            vec![
+                Delta::insert(tuple![1i64, 2.0f64]),
+                Delta::insert(tuple![1i64, 4.0f64]),
+            ],
+            true,
+        );
+        assert_eq!(out, vec![Delta::insert(tuple![1i64, 6.0f64, 2i64])]);
+    }
+
+    #[test]
+    fn deletion_delta_updates_group() {
+        let mut g = sum_group();
+        drive(
+            &mut g,
+            vec![
+                Delta::insert(tuple![1i64, 5.0f64]),
+                Delta::insert(tuple![1i64, 3.0f64]),
+            ],
+            true,
+        );
+        let out = drive(&mut g, vec![Delta::delete(tuple![1i64, 3.0f64])], true);
+        assert_eq!(out.len(), 1);
+        assert!(matches!(out[0].ann, Annotation::Replace(_)));
+        assert_eq!(out[0].tuple, tuple![1i64, 5.0f64]);
+    }
+
+    #[test]
+    fn table_valued_uda_prefixes_key() {
+        use crate::aggregates::ArgMinAgg;
+        let mut g = GroupByOp::new(
+            vec![0],
+            vec![AggSpec::new(Arc::new(ArgMinAgg), vec![1, 2])],
+        );
+        let out = drive(
+            &mut g,
+            vec![
+                Delta::insert(tuple![7i64, 1i64, 5.0f64]),
+                Delta::insert(tuple![7i64, 2i64, 3.0f64]),
+            ],
+            true,
+        );
+        assert_eq!(out, vec![Delta::insert(tuple![7i64, 2i64, 3.0f64])]);
+        // Re-delivering the same minimum changes nothing → silent.
+        let out = drive(&mut g, vec![Delta::insert(tuple![7i64, 3i64, 9.0f64])], true);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,335 @@
+//! Physical operators.
+//!
+//! REX operators are push-based and pipelined (§4.2): deltas flow in
+//! batches, punctuation markers delimit strata, and every operator both
+//! propagates deltas and (if stateful) maintains its state under them.
+//!
+//! Operators are written against the [`Operator`] trait and wired into a
+//! [`PlanGraph`](crate::exec::PlanGraph); the executor delivers
+//! [`Event`]s and collects emissions through an [`OpCtx`].
+
+mod apply_fn;
+mod filter;
+mod fixpoint;
+mod group_by;
+mod join;
+mod project;
+mod rehash;
+mod scan;
+mod sink;
+mod union;
+
+pub use apply_fn::{ApplyFunctionOp, DeltaMapper, ExprMapper, FnMapper};
+pub use filter::FilterOp;
+pub use fixpoint::{FixpointOp, Termination};
+pub use group_by::{AggSpec, GroupByOp};
+pub use join::HashJoinOp;
+pub use project::ProjectOp;
+pub use rehash::{hash_key, RehashOp};
+pub use scan::ScanOp;
+pub use sink::SinkOp;
+pub use union::UnionOp;
+
+use crate::delta::{Delta, Punctuation};
+use crate::error::Result;
+use crate::metrics::{CostModel, ExecMetrics};
+use crate::tuple::Tuple;
+use crate::udf::Registry;
+
+/// A unit of traffic on a dataflow edge: a batch of deltas or a punctuation
+/// marker.
+#[derive(Debug, Clone)]
+pub enum Event {
+    /// A batch of annotated tuples.
+    Data(Vec<Delta>),
+    /// A stratum/stream boundary.
+    Punct(Punctuation),
+}
+
+impl Event {
+    /// Approximate wire size (for network edges).
+    pub fn byte_size(&self) -> usize {
+        match self {
+            Event::Data(ds) => 8 + ds.iter().map(Delta::byte_size).sum::<usize>(),
+            Event::Punct(_) => 9,
+        }
+    }
+}
+
+/// Execution context handed to operators: emission buffer, metrics, cost
+/// model, registry, and the current stratum.
+pub struct OpCtx<'a> {
+    /// Current stratum number.
+    pub stratum: u64,
+    /// Worker id (0 in single-node execution).
+    pub worker: usize,
+    /// UDF/UDA registry.
+    pub reg: &'a Registry,
+    /// Cost constants for metric accounting.
+    pub cost: &'a CostModel,
+    /// Metric counters (shared per worker).
+    pub metrics: &'a mut ExecMetrics,
+    out: Vec<(usize, Event)>,
+}
+
+impl<'a> OpCtx<'a> {
+    /// Create a context for one operator activation.
+    pub fn new(
+        stratum: u64,
+        worker: usize,
+        reg: &'a Registry,
+        cost: &'a CostModel,
+        metrics: &'a mut ExecMetrics,
+    ) -> OpCtx<'a> {
+        OpCtx { stratum, worker, reg, cost, metrics, out: Vec::new() }
+    }
+
+    /// Emit a batch of deltas on an output port.
+    pub fn emit(&mut self, port: usize, deltas: Vec<Delta>) {
+        if !deltas.is_empty() {
+            self.metrics.deltas_emitted += deltas.len() as u64;
+            self.out.push((port, Event::Data(deltas)));
+        }
+    }
+
+    /// Emit a punctuation marker on an output port.
+    pub fn punct(&mut self, port: usize, p: Punctuation) {
+        self.metrics.punctuations += 1;
+        self.out.push((port, Event::Punct(p)));
+    }
+
+    /// Account CPU work.
+    pub fn charge_cpu(&mut self, units: f64) {
+        self.metrics.cpu_units += units;
+    }
+
+    /// Account one UDF/UDA invocation (amortized by input batching).
+    pub fn charge_udf_call(&mut self) {
+        self.metrics.udf_calls += 1;
+        self.metrics.cpu_units += self.cost.amortized_udf_overhead();
+    }
+
+    /// Account processed input deltas.
+    pub fn charge_input(&mut self, n: usize) {
+        self.metrics.tuples_processed += n as u64;
+        self.metrics.cpu_units += n as f64 * self.cost.cpu_per_tuple;
+    }
+
+    /// Account a disk read of `bytes`.
+    pub fn charge_disk_read(&mut self, bytes: u64) {
+        self.metrics.disk_read += bytes;
+    }
+
+    /// Take the buffered emissions (executor-side).
+    pub fn take_output(&mut self) -> Vec<(usize, Event)> {
+        std::mem::take(&mut self.out)
+    }
+}
+
+/// Checkpointable operator state: the tuples a recovering node needs to
+/// resume (the fixpoint's mutable set, §4.3).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OperatorState {
+    /// The state tuples.
+    pub tuples: Vec<Tuple>,
+}
+
+impl OperatorState {
+    /// Serialized size, for checkpoint-volume accounting.
+    pub fn byte_size(&self) -> usize {
+        self.tuples.iter().map(Tuple::byte_size).sum()
+    }
+}
+
+/// The push-based operator interface.
+pub trait Operator: Send {
+    /// Human-readable name, used in plans and metrics.
+    fn name(&self) -> String;
+
+    /// Number of input ports.
+    fn n_inputs(&self) -> usize {
+        1
+    }
+
+    /// Handle a batch of deltas arriving on `port`.
+    fn on_deltas(&mut self, port: usize, deltas: Vec<Delta>, ctx: &mut OpCtx<'_>) -> Result<()>;
+
+    /// Handle a punctuation marker arriving on `port`.
+    fn on_punct(&mut self, port: usize, p: Punctuation, ctx: &mut OpCtx<'_>) -> Result<()>;
+
+    /// Whether this operator is a source (driven by the executor, not by
+    /// upstream events).
+    fn is_source(&self) -> bool {
+        false
+    }
+
+    /// Produce source data (scans). Called once at query start.
+    fn run_source(&mut self, ctx: &mut OpCtx<'_>) -> Result<()> {
+        let _ = ctx;
+        Ok(())
+    }
+
+    /// Fixpoint coordination hook: downcast to a fixpoint operator.
+    fn as_fixpoint(&mut self) -> Option<&mut FixpointOp> {
+        None
+    }
+
+    /// Sink hook: downcast to a sink.
+    fn as_sink(&mut self) -> Option<&mut SinkOp> {
+        None
+    }
+
+    /// Snapshot recoverable state (fixpoint mutable set). `None` for
+    /// stateless operators.
+    fn checkpoint(&self) -> Option<OperatorState> {
+        None
+    }
+
+    /// Restore state from a checkpoint.
+    fn restore(&mut self, state: OperatorState) {
+        let _ = state;
+    }
+
+    /// Clear all state, returning the operator to its pre-execution
+    /// condition (used by restart recovery).
+    fn reset(&mut self);
+}
+
+/// Track punctuation across the inputs of an n-ary operator: "n-ary
+/// operators such as a join or rehash wait until all inputs have received
+/// appropriate punctuation before proceeding" (§4.2). An input that has seen
+/// `EndOfStream` counts as punctuated for every later stratum.
+#[derive(Debug, Clone, Default)]
+pub struct PunctTracker {
+    per_port: Vec<PortPunct>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum PortPunct {
+    #[default]
+    None,
+    Stratum(u64),
+    Eos,
+}
+
+impl PunctTracker {
+    /// A tracker for `n` ports.
+    pub fn new(n: usize) -> PunctTracker {
+        PunctTracker { per_port: vec![PortPunct::None; n] }
+    }
+
+    /// Record a punctuation arrival; returns the punctuation to forward
+    /// downstream, if all ports are now aligned.
+    pub fn arrive(&mut self, port: usize, p: Punctuation) -> Option<Punctuation> {
+        self.per_port[port] = match p {
+            Punctuation::EndOfStratum(s) => PortPunct::Stratum(s),
+            Punctuation::EndOfStream => PortPunct::Eos,
+        };
+        self.aligned()
+    }
+
+    /// The punctuation all ports currently agree on, if any.
+    pub fn aligned(&self) -> Option<Punctuation> {
+        if self.per_port.iter().all(|p| *p == PortPunct::Eos) {
+            return Some(Punctuation::EndOfStream);
+        }
+        // All ports must be at stratum s or EOS.
+        let mut stratum = None;
+        for p in &self.per_port {
+            match p {
+                PortPunct::None => return None,
+                PortPunct::Eos => {}
+                PortPunct::Stratum(s) => match stratum {
+                    None => stratum = Some(*s),
+                    Some(prev) if prev == *s => {}
+                    Some(_) => return None,
+                },
+            }
+        }
+        stratum.map(Punctuation::EndOfStratum)
+    }
+
+    /// Reset stratum markers (EOS persists) at the start of a new stratum.
+    pub fn next_stratum(&mut self) {
+        for p in &mut self.per_port {
+            if let PortPunct::Stratum(_) = p {
+                *p = PortPunct::None;
+            }
+        }
+    }
+
+    /// Reset the tracker entirely.
+    pub fn reset(&mut self) {
+        for p in &mut self.per_port {
+            *p = PortPunct::None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    #[test]
+    fn punct_tracker_waits_for_all_ports() {
+        let mut t = PunctTracker::new(2);
+        assert_eq!(t.arrive(0, Punctuation::EndOfStratum(1)), None);
+        assert_eq!(
+            t.arrive(1, Punctuation::EndOfStratum(1)),
+            Some(Punctuation::EndOfStratum(1))
+        );
+    }
+
+    #[test]
+    fn punct_tracker_eos_counts_for_all_strata() {
+        let mut t = PunctTracker::new(2);
+        assert_eq!(t.arrive(0, Punctuation::EndOfStream), None);
+        // The immutable side is done; every stratum of the other side aligns.
+        assert_eq!(
+            t.arrive(1, Punctuation::EndOfStratum(0)),
+            Some(Punctuation::EndOfStratum(0))
+        );
+        t.next_stratum();
+        assert_eq!(
+            t.arrive(1, Punctuation::EndOfStratum(1)),
+            Some(Punctuation::EndOfStratum(1))
+        );
+        assert_eq!(
+            t.arrive(1, Punctuation::EndOfStream),
+            Some(Punctuation::EndOfStream)
+        );
+    }
+
+    #[test]
+    fn punct_tracker_mismatched_strata_do_not_align() {
+        let mut t = PunctTracker::new(2);
+        t.arrive(0, Punctuation::EndOfStratum(1));
+        assert_eq!(t.arrive(1, Punctuation::EndOfStratum(2)), None);
+    }
+
+    #[test]
+    fn event_byte_size() {
+        let e = Event::Data(vec![Delta::insert(tuple![1i64])]);
+        assert_eq!(e.byte_size(), 8 + 11);
+        assert_eq!(Event::Punct(Punctuation::EndOfStream).byte_size(), 9);
+    }
+
+    #[test]
+    fn opctx_charges_metrics() {
+        let reg = Registry::new();
+        let cost = CostModel::default();
+        let mut m = ExecMetrics::default();
+        let mut ctx = OpCtx::new(0, 0, &reg, &cost, &mut m);
+        ctx.charge_input(5);
+        ctx.emit(0, vec![Delta::insert(tuple![1i64])]);
+        ctx.emit(0, vec![]); // empty batches are dropped
+        ctx.punct(0, Punctuation::EndOfStream);
+        let out = ctx.take_output();
+        assert_eq!(out.len(), 2);
+        assert_eq!(m.tuples_processed, 5);
+        assert_eq!(m.deltas_emitted, 1);
+        assert_eq!(m.punctuations, 1);
+        assert!(m.cpu_units > 0.0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Projection: per-tuple expression evaluation.
+
+use crate::delta::{Annotation, Delta, Punctuation};
+use crate::error::Result;
+use crate::expr::Expr;
+use crate::operators::{OpCtx, Operator};
+use crate::tuple::Tuple;
+
+/// Evaluates a list of expressions over each input tuple, producing an
+/// output tuple per input. Stateless: annotations ride along, and the old
+/// tuple of a replacement delta is projected through the same expressions
+/// (valid because projection is deterministic).
+pub struct ProjectOp {
+    exprs: Vec<Expr>,
+}
+
+impl ProjectOp {
+    /// Project through `exprs`.
+    pub fn new(exprs: Vec<Expr>) -> ProjectOp {
+        ProjectOp { exprs }
+    }
+
+    fn apply(&self, t: &Tuple, ctx: &mut OpCtx<'_>) -> Result<Tuple> {
+        let mut vals = Vec::with_capacity(self.exprs.len());
+        for e in &self.exprs {
+            vals.push(e.eval(t, ctx.reg)?);
+        }
+        Ok(Tuple::new(vals))
+    }
+}
+
+impl Operator for ProjectOp {
+    fn name(&self) -> String {
+        format!("Project[{}]", self.exprs.len())
+    }
+
+    fn on_deltas(&mut self, _port: usize, deltas: Vec<Delta>, ctx: &mut OpCtx<'_>) -> Result<()> {
+        ctx.charge_input(deltas.len());
+        let has_udf = self.exprs.iter().any(Expr::contains_udf);
+        let mut out = Vec::with_capacity(deltas.len());
+        for d in deltas {
+            if has_udf {
+                ctx.charge_udf_call();
+            }
+            let new_t = self.apply(&d.tuple, ctx)?;
+            let ann = match &d.ann {
+                Annotation::Replace(old) => Annotation::Replace(self.apply(old, ctx)?),
+                a => a.clone(),
+            };
+            out.push(Delta { ann, tuple: new_t });
+        }
+        ctx.emit(0, out);
+        Ok(())
+    }
+
+    fn on_punct(&mut self, _port: usize, p: Punctuation, ctx: &mut OpCtx<'_>) -> Result<()> {
+        ctx.punct(0, p);
+        Ok(())
+    }
+
+    fn reset(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::BinOp;
+    use crate::metrics::{CostModel, ExecMetrics};
+    use crate::operators::Event;
+    use crate::tuple;
+    use crate::udf::Registry;
+    use crate::value::Value;
+
+    fn run(op: &mut ProjectOp, deltas: Vec<Delta>) -> Vec<Delta> {
+        let reg = Registry::with_builtins();
+        let cost = CostModel::default();
+        let mut m = ExecMetrics::default();
+        let mut ctx = OpCtx::new(0, 0, &reg, &cost, &mut m);
+        op.on_deltas(0, deltas, &mut ctx).unwrap();
+        ctx.take_output()
+            .into_iter()
+            .flat_map(|(_, e)| match e {
+                Event::Data(d) => d,
+                _ => vec![],
+            })
+            .collect()
+    }
+
+    #[test]
+    fn projects_expressions() {
+        let mut op = ProjectOp::new(vec![
+            Expr::col(1),
+            Expr::col(0).bin(BinOp::Add, Expr::lit(10i64)),
+        ]);
+        let out = run(&mut op, vec![Delta::insert(tuple![1i64, "a"])]);
+        assert_eq!(out[0].tuple, tuple!["a", 11i64]);
+    }
+
+    #[test]
+    fn replacement_old_tuple_is_projected_too() {
+        let mut op = ProjectOp::new(vec![Expr::col(0).bin(BinOp::Mul, Expr::lit(2i64))]);
+        let out = run(&mut op, vec![Delta::replace(tuple![3i64], tuple![5i64])]);
+        match &out[0].ann {
+            Annotation::Replace(old) => assert_eq!(old, &tuple![6i64]),
+            a => panic!("expected replace, got {a:?}"),
+        }
+        assert_eq!(out[0].tuple, tuple![10i64]);
+    }
+
+    #[test]
+    fn update_payload_preserved() {
+        let mut op = ProjectOp::new(vec![Expr::col(0)]);
+        let out = run(
+            &mut op,
+            vec![Delta::update(tuple![1i64, 2i64], Value::Double(0.1))],
+        );
+        assert_eq!(out[0].ann, Annotation::Update(Value::Double(0.1)));
+        assert_eq!(out[0].tuple, tuple![1i64]);
+    }
+}

@@ -1,0 +1,115 @@
+//! Rehash: the network boundary.
+//!
+//! "Whenever needed, a rehash operator re-partitions data among worker
+//! nodes based on the partitioning snapshot for the current query" (§4.2).
+//! Within a single-node executor rehash is a pass-through that accounts
+//! hashing cost; in cluster execution the runtime intercepts the output of
+//! rehash nodes and routes each delta to the worker owning its key under
+//! the query's partition snapshot.
+
+use crate::delta::{Delta, Punctuation};
+use crate::error::Result;
+use crate::operators::{OpCtx, Operator};
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// Hash a partition key to a u64 (shared by rehash and the consistent-hash
+/// ring so that routing decisions agree everywhere).
+pub fn hash_key(key: &[Value]) -> u64 {
+    let mut h = DefaultHasher::new();
+    for v in key {
+        v.hash(&mut h);
+    }
+    h.finish()
+}
+
+/// The rehash operator.
+pub struct RehashOp {
+    key_cols: Vec<usize>,
+}
+
+impl RehashOp {
+    /// Re-partition on `key_cols`.
+    pub fn new(key_cols: Vec<usize>) -> RehashOp {
+        RehashOp { key_cols }
+    }
+
+    /// The partition key columns (used by the cluster router).
+    pub fn key_cols(&self) -> &[usize] {
+        &self.key_cols
+    }
+
+    /// Partition key of a tuple.
+    pub fn key_of(&self, t: &Tuple) -> Vec<Value> {
+        t.key(&self.key_cols)
+    }
+
+    /// Hash of a tuple's partition key.
+    pub fn hash_of(&self, t: &Tuple) -> u64 {
+        hash_key(&self.key_of(t))
+    }
+}
+
+impl Operator for RehashOp {
+    fn name(&self) -> String {
+        format!("Rehash{:?}", self.key_cols)
+    }
+
+    fn on_deltas(&mut self, _port: usize, deltas: Vec<Delta>, ctx: &mut OpCtx<'_>) -> Result<()> {
+        ctx.charge_input(deltas.len());
+        ctx.charge_cpu(deltas.len() as f64 * ctx.cost.hash_cost);
+        ctx.emit(0, deltas);
+        Ok(())
+    }
+
+    fn on_punct(&mut self, _port: usize, p: Punctuation, ctx: &mut OpCtx<'_>) -> Result<()> {
+        ctx.punct(0, p);
+        Ok(())
+    }
+
+    fn reset(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{CostModel, ExecMetrics};
+    use crate::operators::Event;
+    use crate::tuple;
+    use crate::udf::Registry;
+
+    #[test]
+    fn rehash_is_passthrough_locally() {
+        let mut r = RehashOp::new(vec![0]);
+        let reg = Registry::new();
+        let cost = CostModel::default();
+        let mut m = ExecMetrics::default();
+        let mut ctx = OpCtx::new(0, 0, &reg, &cost, &mut m);
+        let d = Delta::insert(tuple![1i64, "x"]);
+        r.on_deltas(0, vec![d.clone()], &mut ctx).unwrap();
+        let out = ctx.take_output();
+        assert!(matches!(&out[0].1, Event::Data(ds) if ds[0] == d));
+        assert!(m.cpu_units > 0.0);
+    }
+
+    #[test]
+    fn hash_is_stable_per_key() {
+        let r = RehashOp::new(vec![0]);
+        let a = r.hash_of(&tuple![5i64, "x"]);
+        let b = r.hash_of(&tuple![5i64, "completely different payload"]);
+        assert_eq!(a, b, "hash depends only on the key columns");
+        let c = r.hash_of(&tuple![6i64, "x"]);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn cross_type_numeric_keys_hash_identically() {
+        // Int(3) and Double(3.0) are equal values and must route together.
+        assert_eq!(
+            hash_key(&[Value::Int(3)]),
+            hash_key(&[Value::Double(3.0)])
+        );
+    }
+}

@@ -1,0 +1,118 @@
+//! Table scan: the source of a dataflow, reading a local partition.
+
+use crate::delta::{Delta, Punctuation};
+use crate::error::Result;
+use crate::operators::{OpCtx, Operator};
+use crate::tuple::Tuple;
+
+/// Batch size for scan emissions; matches the engine's message batching.
+const SCAN_BATCH: usize = 1024;
+
+/// Scans a vector of tuples (the worker's local partition of a stored
+/// table) and emits them as insertion deltas followed by end-of-stream.
+pub struct ScanOp {
+    table: String,
+    tuples: Vec<Tuple>,
+}
+
+impl ScanOp {
+    /// Scan over the given local tuples.
+    pub fn new(table: impl Into<String>, tuples: Vec<Tuple>) -> ScanOp {
+        ScanOp { table: table.into(), tuples }
+    }
+
+    /// The table name this scan reads.
+    pub fn table(&self) -> &str {
+        &self.table
+    }
+}
+
+impl Operator for ScanOp {
+    fn name(&self) -> String {
+        format!("Scan({})", self.table)
+    }
+
+    fn n_inputs(&self) -> usize {
+        0
+    }
+
+    fn is_source(&self) -> bool {
+        true
+    }
+
+    fn run_source(&mut self, ctx: &mut OpCtx<'_>) -> Result<()> {
+        let tuples = std::mem::take(&mut self.tuples);
+        let mut bytes = 0u64;
+        for chunk in tuples.chunks(SCAN_BATCH) {
+            let batch: Vec<Delta> = chunk
+                .iter()
+                .map(|t| {
+                    bytes += t.byte_size() as u64;
+                    Delta::insert(t.clone())
+                })
+                .collect();
+            ctx.charge_input(batch.len());
+            ctx.emit(0, batch);
+        }
+        ctx.charge_disk_read(bytes);
+        ctx.punct(0, Punctuation::EndOfStream);
+        Ok(())
+    }
+
+    fn on_deltas(&mut self, _port: usize, _deltas: Vec<Delta>, _ctx: &mut OpCtx<'_>) -> Result<()> {
+        Err(crate::error::RexError::Exec("scan has no inputs".into()))
+    }
+
+    fn on_punct(&mut self, _port: usize, _p: Punctuation, _ctx: &mut OpCtx<'_>) -> Result<()> {
+        Err(crate::error::RexError::Exec("scan has no inputs".into()))
+    }
+
+    fn reset(&mut self) {
+        // Tuples were consumed by run_source; a reset scan re-reads storage
+        // via the runtime, which re-creates scan operators. Nothing to do.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{CostModel, ExecMetrics};
+    use crate::operators::Event;
+    use crate::tuple;
+    use crate::udf::Registry;
+
+    #[test]
+    fn scan_emits_inserts_then_eos() {
+        let mut op = ScanOp::new("t", vec![tuple![1i64], tuple![2i64]]);
+        let reg = Registry::new();
+        let cost = CostModel::default();
+        let mut m = ExecMetrics::default();
+        let mut ctx = OpCtx::new(0, 0, &reg, &cost, &mut m);
+        op.run_source(&mut ctx).unwrap();
+        let out = ctx.take_output();
+        assert_eq!(out.len(), 2);
+        match &out[0].1 {
+            Event::Data(ds) => {
+                assert_eq!(ds.len(), 2);
+                assert_eq!(ds[0], Delta::insert(tuple![1i64]));
+            }
+            _ => panic!("expected data"),
+        }
+        assert!(matches!(out[1].1, Event::Punct(Punctuation::EndOfStream)));
+        assert!(m.disk_read > 0);
+    }
+
+    #[test]
+    fn scan_batches_large_inputs() {
+        let tuples: Vec<_> = (0..2500i64).map(|i| tuple![i]).collect();
+        let mut op = ScanOp::new("big", tuples);
+        let reg = Registry::new();
+        let cost = CostModel::default();
+        let mut m = ExecMetrics::default();
+        let mut ctx = OpCtx::new(0, 0, &reg, &cost, &mut m);
+        op.run_source(&mut ctx).unwrap();
+        let out = ctx.take_output();
+        // 3 data batches (1024+1024+452) + punct
+        assert_eq!(out.len(), 4);
+    }
+}

@@ -1,0 +1,130 @@
+//! Result sink: materializes the delta stream into a final relation.
+
+use crate::delta::{Annotation, Delta, Punctuation};
+use crate::error::Result;
+use crate::handlers::TupleSet;
+use crate::operators::{OpCtx, Operator};
+use crate::tuple::Tuple;
+
+/// Applies deltas to a result bag. At the query requestor this is where
+/// per-worker results are unioned into the final answer.
+#[derive(Default)]
+pub struct SinkOp {
+    state: TupleSet,
+    eos: bool,
+}
+
+impl SinkOp {
+    /// An empty sink.
+    pub fn new() -> SinkOp {
+        SinkOp::default()
+    }
+
+    /// Whether end-of-stream has been observed.
+    pub fn complete(&self) -> bool {
+        self.eos
+    }
+
+    /// Current materialized results (sorted for determinism).
+    pub fn results(&self) -> Vec<Tuple> {
+        let mut v: Vec<Tuple> = self.state.iter().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Take the results, leaving the sink empty.
+    pub fn take_results(&mut self) -> Vec<Tuple> {
+        let mut v = std::mem::take(&mut self.state).into_tuples();
+        v.sort();
+        v
+    }
+}
+
+impl Operator for SinkOp {
+    fn name(&self) -> String {
+        "Sink".into()
+    }
+
+    fn on_deltas(&mut self, _port: usize, deltas: Vec<Delta>, ctx: &mut OpCtx<'_>) -> Result<()> {
+        ctx.charge_input(deltas.len());
+        for d in deltas {
+            match d.ann {
+                Annotation::Insert | Annotation::Update(_) => self.state.insert(d.tuple),
+                Annotation::Delete => {
+                    self.state.remove(&d.tuple);
+                }
+                Annotation::Replace(old) => {
+                    self.state.replace(&old, d.tuple);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn on_punct(&mut self, _port: usize, p: Punctuation, _ctx: &mut OpCtx<'_>) -> Result<()> {
+        if p == Punctuation::EndOfStream {
+            self.eos = true;
+        }
+        Ok(())
+    }
+
+    fn as_sink(&mut self) -> Option<&mut SinkOp> {
+        Some(self)
+    }
+
+    fn reset(&mut self) {
+        self.state.clear();
+        self.eos = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{CostModel, ExecMetrics};
+    use crate::tuple;
+    use crate::udf::Registry;
+
+    fn drive(sink: &mut SinkOp, deltas: Vec<Delta>) {
+        let reg = Registry::new();
+        let cost = CostModel::default();
+        let mut m = ExecMetrics::default();
+        let mut ctx = OpCtx::new(0, 0, &reg, &cost, &mut m);
+        sink.on_deltas(0, deltas, &mut ctx).unwrap();
+    }
+
+    #[test]
+    fn applies_delta_semantics() {
+        let mut s = SinkOp::new();
+        drive(
+            &mut s,
+            vec![
+                Delta::insert(tuple![1i64]),
+                Delta::insert(tuple![2i64]),
+                Delta::delete(tuple![1i64]),
+                Delta::replace(tuple![2i64], tuple![3i64]),
+            ],
+        );
+        assert_eq!(s.results(), vec![tuple![3i64]]);
+    }
+
+    #[test]
+    fn eos_marks_complete() {
+        let mut s = SinkOp::new();
+        assert!(!s.complete());
+        let reg = Registry::new();
+        let cost = CostModel::default();
+        let mut m = ExecMetrics::default();
+        let mut ctx = OpCtx::new(0, 0, &reg, &cost, &mut m);
+        s.on_punct(0, Punctuation::EndOfStream, &mut ctx).unwrap();
+        assert!(s.complete());
+    }
+
+    #[test]
+    fn take_results_drains() {
+        let mut s = SinkOp::new();
+        drive(&mut s, vec![Delta::insert(tuple![5i64])]);
+        assert_eq!(s.take_results(), vec![tuple![5i64]]);
+        assert!(s.results().is_empty());
+    }
+}

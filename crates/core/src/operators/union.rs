@@ -1,0 +1,73 @@
+//! N-ary union: merges delta streams, aligning punctuation.
+
+use crate::delta::{Delta, Punctuation};
+use crate::error::Result;
+use crate::operators::{OpCtx, Operator, PunctTracker};
+
+/// Bag union of `n` inputs. Deltas are forwarded unchanged; punctuation is
+/// forwarded once all inputs have punctuated the same stratum (§4.2).
+pub struct UnionOp {
+    n: usize,
+    punct: PunctTracker,
+}
+
+impl UnionOp {
+    /// Union over `n` input ports.
+    pub fn new(n: usize) -> UnionOp {
+        UnionOp { n, punct: PunctTracker::new(n) }
+    }
+}
+
+impl Operator for UnionOp {
+    fn name(&self) -> String {
+        format!("Union[{}]", self.n)
+    }
+
+    fn n_inputs(&self) -> usize {
+        self.n
+    }
+
+    fn on_deltas(&mut self, _port: usize, deltas: Vec<Delta>, ctx: &mut OpCtx<'_>) -> Result<()> {
+        ctx.charge_input(deltas.len());
+        ctx.emit(0, deltas);
+        Ok(())
+    }
+
+    fn on_punct(&mut self, port: usize, p: Punctuation, ctx: &mut OpCtx<'_>) -> Result<()> {
+        if let Some(fwd) = self.punct.arrive(port, p) {
+            ctx.punct(0, fwd);
+            self.punct.next_stratum();
+        }
+        Ok(())
+    }
+
+    fn reset(&mut self) {
+        self.punct.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{CostModel, ExecMetrics};
+    use crate::operators::Event;
+    use crate::tuple;
+    use crate::udf::Registry;
+
+    #[test]
+    fn forwards_data_and_aligns_punct() {
+        let mut u = UnionOp::new(2);
+        let reg = Registry::new();
+        let cost = CostModel::default();
+        let mut m = ExecMetrics::default();
+        let mut ctx = OpCtx::new(0, 0, &reg, &cost, &mut m);
+        u.on_deltas(0, vec![Delta::insert(tuple![1i64])], &mut ctx).unwrap();
+        u.on_punct(0, Punctuation::EndOfStream, &mut ctx).unwrap();
+        // Only one input punctuated so far: no forwarded punct yet.
+        let out = ctx.take_output();
+        assert_eq!(out.len(), 1);
+        u.on_punct(1, Punctuation::EndOfStream, &mut ctx).unwrap();
+        let out = ctx.take_output();
+        assert!(matches!(out[0].1, Event::Punct(Punctuation::EndOfStream)));
+    }
+}

@@ -1,0 +1,273 @@
+//! Tuples and schemas.
+
+use crate::error::{Result, RexError};
+use crate::value::{DataType, Value};
+use std::fmt;
+use std::sync::Arc;
+
+/// An immutable, cheaply-cloneable tuple of values.
+///
+/// Tuples flow through the operator pipeline wrapped in deltas; sharing via
+/// `Arc` keeps fan-out (e.g. a rehash broadcasting to replicas) allocation
+/// free.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Tuple(Arc<[Value]>);
+
+impl Tuple {
+    /// Build a tuple from values.
+    pub fn new(values: Vec<Value>) -> Tuple {
+        Tuple(Arc::from(values.into_boxed_slice()))
+    }
+
+    /// The empty tuple.
+    pub fn empty() -> Tuple {
+        Tuple(Arc::from(Vec::new().into_boxed_slice()))
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Access attribute `i`, or `Value::Null` when out of range is *not*
+    /// silently tolerated: panics in debug, returns Null in release would
+    /// hide bugs, so we always panic on out-of-range access.
+    pub fn get(&self, i: usize) -> &Value {
+        &self.0[i]
+    }
+
+    /// Checked access.
+    pub fn try_get(&self, i: usize) -> Result<&Value> {
+        self.0
+            .get(i)
+            .ok_or_else(|| RexError::Exec(format!("column index {i} out of range (arity {})", self.0.len())))
+    }
+
+    /// All values as a slice.
+    pub fn values(&self) -> &[Value] {
+        &self.0
+    }
+
+    /// Project the given column indices into a new tuple.
+    pub fn project(&self, cols: &[usize]) -> Tuple {
+        Tuple::new(cols.iter().map(|&c| self.0[c].clone()).collect())
+    }
+
+    /// Concatenate two tuples (used by joins).
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        let mut v = Vec::with_capacity(self.arity() + other.arity());
+        v.extend_from_slice(&self.0);
+        v.extend_from_slice(&other.0);
+        Tuple::new(v)
+    }
+
+    /// Approximate serialized size in bytes (network accounting).
+    pub fn byte_size(&self) -> usize {
+        2 + self.0.iter().map(Value::byte_size).sum::<usize>()
+    }
+
+    /// Extract a key (sub-tuple) for hashing/grouping.
+    pub fn key(&self, cols: &[usize]) -> Vec<Value> {
+        cols.iter().map(|&c| self.0[c].clone()).collect()
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        f.write_str(")")
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(v: Vec<Value>) -> Tuple {
+        Tuple::new(v)
+    }
+}
+
+/// Build a tuple from a heterogeneous list of values.
+///
+/// ```
+/// use rex_core::tuple;
+/// let t = tuple![1i64, 2.5f64, "x"];
+/// assert_eq!(t.arity(), 3);
+/// ```
+#[macro_export]
+macro_rules! tuple {
+    ($($v:expr),* $(,)?) => {
+        $crate::tuple::Tuple::new(vec![$($crate::value::Value::from($v)),*])
+    };
+}
+
+/// A named, typed attribute of a relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Attribute name.
+    pub name: String,
+    /// Attribute type.
+    pub ty: DataType,
+}
+
+impl Field {
+    /// Construct a field.
+    pub fn new(name: impl Into<String>, ty: DataType) -> Field {
+        Field { name: name.into(), ty }
+    }
+}
+
+/// An ordered list of fields describing a relation.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Construct a schema from fields.
+    pub fn new(fields: Vec<Field>) -> Schema {
+        Schema { fields }
+    }
+
+    /// Convenience constructor from `(name, type)` pairs.
+    pub fn of(pairs: &[(&str, DataType)]) -> Schema {
+        Schema::new(pairs.iter().map(|(n, t)| Field::new(*n, *t)).collect())
+    }
+
+    /// All fields.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Resolve a column name to its index. Names are case-insensitive, as in
+    /// SQL. Qualified names (`rel.col`) match on the suffix.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        let lower = name.to_ascii_lowercase();
+        // Exact (case-insensitive) match first.
+        if let Some(i) = self
+            .fields
+            .iter()
+            .position(|f| f.name.to_ascii_lowercase() == lower)
+        {
+            return Some(i);
+        }
+        // Qualified match: `x.y` matches field `y`; field `x.y` matches `y`.
+        let suffix = lower.rsplit('.').next().unwrap_or(&lower);
+        self.fields.iter().position(|f| {
+            let fl = f.name.to_ascii_lowercase();
+            fl == suffix || fl.rsplit('.').next() == Some(suffix)
+        })
+    }
+
+    /// Field type by index.
+    pub fn field_type(&self, i: usize) -> DataType {
+        self.fields[i].ty
+    }
+
+    /// Concatenate two schemas (join output).
+    pub fn concat(&self, other: &Schema) -> Schema {
+        let mut fields = self.fields.clone();
+        fields.extend(other.fields.iter().cloned());
+        Schema::new(fields)
+    }
+
+    /// Validate a tuple against this schema.
+    pub fn check(&self, t: &Tuple) -> Result<()> {
+        if t.arity() != self.arity() {
+            return Err(RexError::Type(format!(
+                "tuple arity {} does not match schema arity {}",
+                t.arity(),
+                self.arity()
+            )));
+        }
+        for (i, f) in self.fields.iter().enumerate() {
+            let vt = t.get(i).data_type();
+            if !vt.coercible_to(f.ty) {
+                return Err(RexError::Type(format!(
+                    "column {} ({}) expects {} but value is {}",
+                    i, f.name, f.ty, vt
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("(")?;
+        for (i, fld) in self.fields.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{}: {}", fld.name, fld.ty)?;
+        }
+        f.write_str(")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tuple_projection_and_concat() {
+        let t = tuple![1i64, "a", 2.5f64];
+        let p = t.project(&[2, 0]);
+        assert_eq!(p, tuple![2.5f64, 1i64]);
+        let c = t.concat(&tuple![true]);
+        assert_eq!(c.arity(), 4);
+        assert_eq!(c.get(3), &Value::Bool(true));
+    }
+
+    #[test]
+    fn try_get_out_of_range_errors() {
+        let t = tuple![1i64];
+        assert!(t.try_get(0).is_ok());
+        assert!(t.try_get(1).is_err());
+    }
+
+    #[test]
+    fn schema_name_resolution_case_insensitive_and_qualified() {
+        let s = Schema::of(&[("srcId", DataType::Int), ("graph.destId", DataType::Int)]);
+        assert_eq!(s.index_of("srcid"), Some(0));
+        assert_eq!(s.index_of("PR.srcId"), Some(0));
+        assert_eq!(s.index_of("destId"), Some(1));
+        assert_eq!(s.index_of("graph.destId"), Some(1));
+        assert_eq!(s.index_of("nope"), None);
+    }
+
+    #[test]
+    fn schema_check_enforces_arity_and_types() {
+        let s = Schema::of(&[("a", DataType::Int), ("b", DataType::Double)]);
+        assert!(s.check(&tuple![1i64, 2.0f64]).is_ok());
+        // Int coerces to Double.
+        assert!(s.check(&tuple![1i64, 2i64]).is_ok());
+        // Null is compatible with anything.
+        assert!(s.check(&Tuple::new(vec![Value::Null, Value::Null])).is_ok());
+        assert!(s.check(&tuple![1i64]).is_err());
+        assert!(s.check(&tuple!["x", 2.0f64]).is_err());
+    }
+
+    #[test]
+    fn tuple_byte_size() {
+        let t = tuple![1i64, "ab"];
+        assert_eq!(t.byte_size(), 2 + 8 + 6);
+    }
+
+    #[test]
+    fn tuple_key_extraction() {
+        let t = tuple![7i64, "k", 3i64];
+        assert_eq!(t.key(&[1]), vec![Value::str("k")]);
+        assert_eq!(t.key(&[0, 2]), vec![Value::Int(7), Value::Int(3)]);
+    }
+}

@@ -1,0 +1,186 @@
+//! Property-based tests on the engine's delta invariants: incremental
+//! (delta-at-a-time) evaluation must agree with batch re-evaluation for
+//! every stateful operator, under arbitrary interleavings of insertions
+//! and deletions.
+
+use proptest::prelude::*;
+use rex_core::aggregates::{CountAgg, MaxAgg, MinAgg, SumAgg};
+use rex_core::delta::Delta;
+use rex_core::handlers::AggHandler;
+use rex_core::tuple::Tuple;
+use rex_core::value::Value;
+use std::collections::HashMap;
+
+/// A random operation stream: key, value, insert-or-delete.
+fn ops() -> impl Strategy<Value = Vec<(i64, i64, bool)>> {
+    prop::collection::vec((0i64..5, -50i64..50, any::<bool>()), 0..60)
+}
+
+/// Replay an op stream against an aggregate handler, deleting only values
+/// currently present (the engine never sees deletions of absent tuples
+/// from its upstream state-preserving operators).
+fn replay(handler: &dyn AggHandler, ops: &[(i64, i64, bool)]) -> HashMap<i64, Option<Value>> {
+    let mut states: HashMap<i64, rex_core::handlers::AggState> = HashMap::new();
+    let mut bags: HashMap<i64, Vec<i64>> = HashMap::new();
+    for &(k, v, insert) in ops {
+        let bag = bags.entry(k).or_default();
+        let st = states.entry(k).or_insert_with(|| handler.init());
+        let t = Tuple::new(vec![Value::Int(v)]);
+        if insert {
+            bag.push(v);
+            handler.agg_state(st, &Delta::insert(t)).unwrap();
+        } else if let Some(pos) = bag.iter().position(|&x| x == v) {
+            bag.remove(pos);
+            handler.agg_state(st, &Delta::delete(t)).unwrap();
+        }
+    }
+    states
+        .into_iter()
+        .map(|(k, st)| {
+            let out = handler.agg_result(&st).unwrap();
+            (k, out.into_iter().next().map(|d| d.tuple.get(0).clone()))
+        })
+        .collect()
+}
+
+/// Ground truth from the final multiset.
+fn final_bags(ops: &[(i64, i64, bool)]) -> HashMap<i64, Vec<i64>> {
+    let mut bags: HashMap<i64, Vec<i64>> = HashMap::new();
+    for &(k, v, insert) in ops {
+        let bag = bags.entry(k).or_default();
+        if insert {
+            bag.push(v);
+        } else if let Some(pos) = bag.iter().position(|&x| x == v) {
+            bag.remove(pos);
+        }
+    }
+    bags
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// SUM under arbitrary insert/delete interleavings equals the sum of
+    /// the surviving multiset.
+    #[test]
+    fn sum_is_incremental(ops in ops()) {
+        let got = replay(&SumAgg, &ops);
+        for (k, bag) in final_bags(&ops) {
+            let want: i64 = bag.iter().sum();
+            let v = got[&k].clone().unwrap();
+            prop_assert!((v.as_double().unwrap() - want as f64).abs() < 1e-9,
+                "key {k}: {v:?} != {want}");
+        }
+    }
+
+    /// COUNT tracks multiset cardinality.
+    #[test]
+    fn count_is_incremental(ops in ops()) {
+        let got = replay(&CountAgg, &ops);
+        for (k, bag) in final_bags(&ops) {
+            prop_assert_eq!(got[&k].clone().unwrap(), Value::Int(bag.len() as i64));
+        }
+    }
+
+    /// MIN/MAX survive deletions of the current extremum via their
+    /// buffered state (§3.3's "next-smallest value" discussion).
+    #[test]
+    fn min_max_survive_extremum_deletion(ops in ops()) {
+        let got_min = replay(&MinAgg, &ops);
+        let got_max = replay(&MaxAgg, &ops);
+        for (k, bag) in final_bags(&ops) {
+            let want_min = bag.iter().min().copied();
+            let want_max = bag.iter().max().copied();
+            match want_min {
+                Some(m) => prop_assert_eq!(got_min[&k].clone().unwrap(), Value::Int(m)),
+                None => prop_assert!(
+                    got_min[&k].is_none() || got_min[&k] == Some(Value::Null)),
+            }
+            match want_max {
+                Some(m) => prop_assert_eq!(got_max[&k].clone().unwrap(), Value::Int(m)),
+                None => prop_assert!(
+                    got_max[&k].is_none() || got_max[&k] == Some(Value::Null)),
+            }
+        }
+    }
+}
+
+mod join_props {
+    use super::*;
+    use rex_core::metrics::{CostModel, ExecMetrics};
+    use rex_core::operators::{Event, HashJoinOp, OpCtx, Operator};
+    use rex_core::udf::Registry;
+
+    fn drive(op: &mut HashJoinOp, port: usize, deltas: Vec<Delta>) -> Vec<Delta> {
+        let reg = Registry::new();
+        let cost = CostModel::default();
+        let mut m = ExecMetrics::default();
+        let mut ctx = OpCtx::new(0, 0, &reg, &cost, &mut m);
+        op.on_deltas(port, deltas, &mut ctx).unwrap();
+        ctx.take_output()
+            .into_iter()
+            .flat_map(|(_, e)| match e {
+                Event::Data(d) => d,
+                _ => vec![],
+            })
+            .collect()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// The pipelined join's *net* output (insert multiplicity minus
+        /// delete multiplicity) equals the batch join of the surviving
+        /// inputs, regardless of arrival interleaving.
+        #[test]
+        fn join_net_output_matches_batch(
+            left in prop::collection::vec((0i64..4, 0i64..6), 0..25),
+            right in prop::collection::vec((0i64..4, 0i64..6), 0..25),
+            interleave in any::<u64>(),
+        ) {
+            let mut op = HashJoinOp::new(vec![0], vec![0]);
+            let mut net: HashMap<Tuple, i64> = HashMap::new();
+            let mut l = left.iter();
+            let mut r = right.iter();
+            let mut bits = interleave;
+            let acc = |out: Vec<Delta>, net: &mut HashMap<Tuple, i64>| {
+                for d in out {
+                    *net.entry(d.tuple.clone()).or_default() += d.multiplicity();
+                }
+            };
+            loop {
+                let from_left = bits & 1 == 0;
+                bits = bits.rotate_right(1);
+                let next = if from_left { l.next().map(|x| (x, 0)) } else { r.next().map(|x| (x, 1)) };
+                let Some((&(k, v), port)) = next else {
+                    // Drain whichever side remains.
+                    for &(k, v) in l.by_ref() {
+                        let out = drive(&mut op, 0, vec![Delta::insert(Tuple::new(vec![Value::Int(k), Value::Int(v)]))]);
+                        acc(out, &mut net);
+                    }
+                    for &(k, v) in r.by_ref() {
+                        let out = drive(&mut op, 1, vec![Delta::insert(Tuple::new(vec![Value::Int(k), Value::Int(v)]))]);
+                        acc(out, &mut net);
+                    }
+                    break;
+                };
+                let out = drive(&mut op, port, vec![Delta::insert(Tuple::new(vec![Value::Int(k), Value::Int(v)]))]);
+                acc(out, &mut net);
+            }
+            // Batch join ground truth.
+            let mut want: HashMap<Tuple, i64> = HashMap::new();
+            for &(lk, lv) in &left {
+                for &(rk, rv) in &right {
+                    if lk == rk {
+                        let t = Tuple::new(vec![
+                            Value::Int(lk), Value::Int(lv), Value::Int(rk), Value::Int(rv),
+                        ]);
+                        *want.entry(t).or_default() += 1;
+                    }
+                }
+            }
+            net.retain(|_, m| *m != 0);
+            prop_assert_eq!(net, want);
+        }
+    }
+}

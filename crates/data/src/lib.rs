@@ -1,0 +1,22 @@
+//! # rex-data
+//!
+//! Seeded synthetic dataset generators standing in for the paper's
+//! proprietary/large datasets (see `DESIGN.md` "Substitutions"):
+//!
+//! * [`graph`] — preferential-attachment directed graphs ("DBPedia",
+//!   "Twitter" presets) for PageRank and shortest paths;
+//! * [`points`] — Gaussian-mixture 2-D points ("geodata") for K-means,
+//!   including the paper's enlargement procedure;
+//! * [`lineitem`] — a TPC-H-like `lineitem` relation for the Figure 4
+//!   OLAP/UDF-overhead experiment.
+//!
+//! All generators are deterministic in their seed, so experiments are
+//! exactly reproducible.
+
+pub mod graph;
+pub mod lineitem;
+pub mod points;
+
+pub use graph::{generate_graph, Graph, GraphSpec};
+pub use lineitem::{generate_lineitem, lineitem_tuples, LineItem};
+pub use points::{enlarge, generate_points, point_tuples, Point, PointSpec};

@@ -1,0 +1,170 @@
+//! Deterministic TPC-H-like `lineitem` generator.
+//!
+//! The paper's Figure 4 runs `SELECT sum(tax), count(*) FROM lineitem WHERE
+//! linenumber > 1` over a 10 GB TPC-H `lineitem` (60M rows). The query only
+//! touches `linenumber` and `tax`, so the generator reproduces TPC-H's
+//! column distributions for those (linenumber uniform in 1..=7 per the
+//! order-lines-per-order rule; tax uniform in {0.00,...,0.08}) plus enough
+//! companion columns (orderkey, quantity, extendedprice, discount) to make
+//! the relation realistic for other queries.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rex_core::tuple::{Schema, Tuple};
+use rex_core::value::{DataType, Value};
+
+/// One generated lineitem row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LineItem {
+    /// Order this line belongs to.
+    pub orderkey: i64,
+    /// Line number within the order, 1..=7.
+    pub linenumber: i64,
+    /// Quantity, 1..=50.
+    pub quantity: i64,
+    /// Extended price.
+    pub extendedprice: f64,
+    /// Discount, 0.00..=0.10.
+    pub discount: f64,
+    /// Tax, 0.00..=0.08 in cent steps (TPC-H rule).
+    pub tax: f64,
+}
+
+/// The lineitem schema used across the workspace.
+pub fn schema() -> Schema {
+    Schema::of(&[
+        ("orderkey", DataType::Int),
+        ("linenumber", DataType::Int),
+        ("quantity", DataType::Int),
+        ("extendedprice", DataType::Double),
+        ("discount", DataType::Double),
+        ("tax", DataType::Double),
+    ])
+}
+
+/// Column index of `linenumber` in [`schema`].
+pub const COL_LINENUMBER: usize = 1;
+/// Column index of `tax` in [`schema`].
+pub const COL_TAX: usize = 5;
+
+/// Generate `n` rows deterministically from `seed`. Rows are grouped into
+/// orders of 1–7 lines like TPC-H.
+pub fn generate_lineitem(n: usize, seed: u64) -> Vec<LineItem> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rows = Vec::with_capacity(n);
+    let mut orderkey = 1i64;
+    while rows.len() < n {
+        let lines = rng.gen_range(1..=7);
+        for ln in 1..=lines {
+            if rows.len() >= n {
+                break;
+            }
+            let quantity = rng.gen_range(1..=50);
+            rows.push(LineItem {
+                orderkey,
+                linenumber: ln,
+                quantity,
+                extendedprice: quantity as f64 * rng.gen_range(900.0..1100.0),
+                discount: rng.gen_range(0..=10) as f64 / 100.0,
+                tax: rng.gen_range(0..=8) as f64 / 100.0,
+            });
+        }
+        orderkey += 1;
+    }
+    rows
+}
+
+/// Rows as engine tuples matching [`schema`].
+pub fn lineitem_tuples(rows: &[LineItem]) -> Vec<Tuple> {
+    rows.iter()
+        .map(|r| {
+            Tuple::new(vec![
+                Value::Int(r.orderkey),
+                Value::Int(r.linenumber),
+                Value::Int(r.quantity),
+                Value::Double(r.extendedprice),
+                Value::Double(r.discount),
+                Value::Double(r.tax),
+            ])
+        })
+        .collect()
+}
+
+/// The reference answer for the Figure 4 query: `(sum(tax), count(*))` over
+/// rows with `linenumber > 1`. Benches and tests cross-check every engine
+/// against this.
+pub fn reference_fig4_answer(rows: &[LineItem]) -> (f64, i64) {
+    let mut sum = 0.0;
+    let mut count = 0i64;
+    for r in rows {
+        if r.linenumber > 1 {
+            sum += r.tax;
+            count += 1;
+        }
+    }
+    (sum, count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_is_deterministic() {
+        assert_eq!(generate_lineitem(100, 7), generate_lineitem(100, 7));
+    }
+
+    #[test]
+    fn row_count_is_exact() {
+        assert_eq!(generate_lineitem(1234, 1).len(), 1234);
+    }
+
+    #[test]
+    fn columns_respect_tpch_domains() {
+        for r in generate_lineitem(2000, 2) {
+            assert!((1..=7).contains(&r.linenumber));
+            assert!((1..=50).contains(&r.quantity));
+            assert!((0.0..=0.08 + 1e-9).contains(&r.tax));
+            assert!((0.0..=0.10 + 1e-9).contains(&r.discount));
+            assert!(r.extendedprice > 0.0);
+        }
+    }
+
+    #[test]
+    fn orders_have_consecutive_linenumbers() {
+        let rows = generate_lineitem(500, 3);
+        let mut prev_order = 0;
+        let mut prev_line = 0;
+        for r in &rows {
+            if r.orderkey == prev_order {
+                assert_eq!(r.linenumber, prev_line + 1);
+            } else {
+                assert_eq!(r.linenumber, 1);
+                assert!(r.orderkey > prev_order);
+            }
+            prev_order = r.orderkey;
+            prev_line = r.linenumber;
+        }
+    }
+
+    #[test]
+    fn tuples_match_schema() {
+        let rows = generate_lineitem(5, 4);
+        let ts = lineitem_tuples(&rows);
+        schema().check(&ts[0]).unwrap();
+        assert_eq!(ts[0].get(COL_LINENUMBER).as_int(), Some(rows[0].linenumber));
+        assert_eq!(ts[0].get(COL_TAX).as_double(), Some(rows[0].tax));
+    }
+
+    #[test]
+    fn reference_answer_counts_filtered_rows() {
+        let rows = vec![
+            LineItem { orderkey: 1, linenumber: 1, quantity: 1, extendedprice: 1.0, discount: 0.0, tax: 0.05 },
+            LineItem { orderkey: 1, linenumber: 2, quantity: 1, extendedprice: 1.0, discount: 0.0, tax: 0.03 },
+            LineItem { orderkey: 1, linenumber: 3, quantity: 1, extendedprice: 1.0, discount: 0.0, tax: 0.02 },
+        ];
+        let (s, c) = reference_fig4_answer(&rows);
+        assert_eq!(c, 2);
+        assert!((s - 0.05).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,175 @@
+//! Gaussian-mixture 2-D point generator for the K-means experiments.
+//!
+//! Stands in for the paper's DBPedia geo dataset (328K article coordinates,
+//! enlarged to 382M points by sampling around each original coordinate).
+//! K-means' convergence trace — how many points switch centroids each
+//! iteration — depends on the cluster structure of the data, which a
+//! mixture of Gaussians reproduces. Like the paper's enlargement procedure,
+//! [`enlarge`] jitters extra points around existing ones.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rex_core::tuple::{Schema, Tuple};
+use rex_core::value::{DataType, Value};
+
+/// A 2-D point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    /// Longitude-like coordinate.
+    pub x: f64,
+    /// Latitude-like coordinate.
+    pub y: f64,
+}
+
+impl Point {
+    /// Euclidean distance to another point.
+    pub fn dist(&self, o: &Point) -> f64 {
+        ((self.x - o.x).powi(2) + (self.y - o.y).powi(2)).sqrt()
+    }
+}
+
+/// Parameters for the mixture generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PointSpec {
+    /// Total number of points.
+    pub n_points: usize,
+    /// Number of mixture components (true underlying clusters).
+    pub n_clusters: usize,
+    /// Standard deviation of each component.
+    pub stddev: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl PointSpec {
+    /// A small default suitable for tests.
+    pub fn small() -> PointSpec {
+        PointSpec { n_points: 500, n_clusters: 5, stddev: 2.0, seed: 13 }
+    }
+
+    /// The "geodata" stand-in: clusters spread over a world-sized
+    /// coordinate box, like cities on a map.
+    pub fn geodata(n_points: usize, seed: u64) -> PointSpec {
+        PointSpec { n_points, n_clusters: 24, stddev: 3.0, seed }
+    }
+}
+
+/// Box–Muller standard normal sample.
+fn normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Generate points from a seeded Gaussian mixture. Component means are
+/// uniform in a [-180,180]×[-90,90] box (longitude/latitude ranges);
+/// component weights are uniform.
+pub fn generate_points(spec: PointSpec) -> Vec<Point> {
+    let k = spec.n_clusters.max(1);
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let means: Vec<Point> = (0..k)
+        .map(|_| Point { x: rng.gen_range(-180.0..180.0), y: rng.gen_range(-90.0..90.0) })
+        .collect();
+    (0..spec.n_points)
+        .map(|_| {
+            let c = means[rng.gen_range(0..k)];
+            Point { x: c.x + normal(&mut rng) * spec.stddev, y: c.y + normal(&mut rng) * spec.stddev }
+        })
+        .collect()
+}
+
+/// Enlarge a dataset by simulating extra points around each original
+/// coordinate, the paper's procedure for scaling the geo dataset up to 382M
+/// tuples ("we also enlarge by simulating up to 1000 additional points
+/// around each original coordinate").
+pub fn enlarge(points: &[Point], factor: usize, jitter: f64, seed: u64) -> Vec<Point> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(points.len() * factor.max(1));
+    for p in points {
+        out.push(*p);
+        for _ in 1..factor.max(1) {
+            out.push(Point {
+                x: p.x + normal(&mut rng) * jitter,
+                y: p.y + normal(&mut rng) * jitter,
+            });
+        }
+    }
+    out
+}
+
+/// The schema of the point relation: `geodata(nid INTEGER, lng DOUBLE, lat
+/// DOUBLE)`.
+pub fn schema() -> Schema {
+    Schema::of(&[("nid", DataType::Int), ("lng", DataType::Double), ("lat", DataType::Double)])
+}
+
+/// Points as engine tuples `(nid, lng, lat)`.
+pub fn point_tuples(points: &[Point]) -> Vec<Tuple> {
+    points
+        .iter()
+        .enumerate()
+        .map(|(i, p)| Tuple::new(vec![Value::Int(i as i64), Value::Double(p.x), Value::Double(p.y)]))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_is_deterministic() {
+        let a = generate_points(PointSpec::small());
+        let b = generate_points(PointSpec::small());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn produces_requested_count() {
+        let p = generate_points(PointSpec { n_points: 321, ..PointSpec::small() });
+        assert_eq!(p.len(), 321);
+    }
+
+    #[test]
+    fn points_cluster_around_few_centers() {
+        // With tiny stddev, average nearest-neighbor distance within the
+        // data is far below the distance between cluster means.
+        let p = generate_points(PointSpec { n_points: 400, n_clusters: 4, stddev: 0.1, seed: 5 });
+        // Every point should be within 1.0 of at least 50 other points
+        // (its own cluster's population ~100).
+        let close = p
+            .iter()
+            .map(|a| p.iter().filter(|b| a.dist(b) < 1.0).count())
+            .filter(|&c| c >= 50)
+            .count();
+        assert!(close as f64 / p.len() as f64 > 0.9, "only {close} points in dense clusters");
+    }
+
+    #[test]
+    fn enlarge_multiplies_and_jitters() {
+        let base = generate_points(PointSpec { n_points: 20, ..PointSpec::small() });
+        let big = enlarge(&base, 10, 0.01, 99);
+        assert_eq!(big.len(), 200);
+        // Originals preserved at stride `factor`.
+        assert_eq!(big[0], base[0]);
+        assert_eq!(big[10], base[1]);
+        // Jittered copies stay near their source.
+        assert!(big[1].dist(&base[0]) < 0.2);
+    }
+
+    #[test]
+    fn tuples_carry_ids_and_coordinates() {
+        let p = generate_points(PointSpec { n_points: 3, ..PointSpec::small() });
+        let ts = point_tuples(&p);
+        assert_eq!(ts.len(), 3);
+        assert_eq!(ts[2].get(0).as_int(), Some(2));
+        assert_eq!(ts[1].get(1).as_double(), Some(p[1].x));
+        schema().check(&ts[0]).unwrap();
+    }
+
+    #[test]
+    fn dist_is_euclidean() {
+        let a = Point { x: 0.0, y: 0.0 };
+        let b = Point { x: 3.0, y: 4.0 };
+        assert_eq!(a.dist(&b), 5.0);
+    }
+}

@@ -1,0 +1,67 @@
+//! Property-based tests on the dataset generators' invariants.
+
+use proptest::prelude::*;
+use rex_data::graph::{generate_graph, GraphSpec};
+use rex_data::lineitem::generate_lineitem;
+use rex_data::points::{enlarge, generate_points, PointSpec};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn graph_edges_are_valid_and_unique(
+        n in 2usize..400,
+        m in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        let g = generate_graph(GraphSpec {
+            n_vertices: n,
+            edges_per_vertex: m,
+            seed,
+            random_edge_fraction: 0.1, locality_window: 0
+        });
+        prop_assert_eq!(g.n_vertices, n.max(2));
+        let mut seen = std::collections::HashSet::new();
+        for &(s, t) in &g.edges {
+            prop_assert!(s != t);
+            prop_assert!((s as usize) < g.n_vertices);
+            prop_assert!((t as usize) < g.n_vertices);
+            prop_assert!(seen.insert((s, t)));
+        }
+    }
+
+    #[test]
+    fn graph_generation_is_pure(n in 2usize..200, seed in any::<u64>()) {
+        let spec = GraphSpec { n_vertices: n, edges_per_vertex: 3, seed, random_edge_fraction: 0.05, locality_window: 0 };
+        prop_assert_eq!(generate_graph(spec), generate_graph(spec));
+    }
+
+    #[test]
+    fn points_count_and_determinism(n in 0usize..1000, k in 1usize..10, seed in any::<u64>()) {
+        let spec = PointSpec { n_points: n, n_clusters: k, stddev: 1.0, seed };
+        let a = generate_points(spec);
+        prop_assert_eq!(a.len(), n);
+        prop_assert_eq!(generate_points(spec), a);
+    }
+
+    #[test]
+    fn enlarge_scales_exactly(n in 1usize..50, factor in 1usize..12, seed in any::<u64>()) {
+        let base = generate_points(PointSpec { n_points: n, n_clusters: 2, stddev: 1.0, seed });
+        let big = enlarge(&base, factor, 0.01, seed ^ 1);
+        prop_assert_eq!(big.len(), n * factor);
+        // Every original point survives at stride `factor`.
+        for (i, p) in base.iter().enumerate() {
+            prop_assert_eq!(&big[i * factor], p);
+        }
+    }
+
+    #[test]
+    fn lineitem_rows_in_domain(n in 0usize..2000, seed in any::<u64>()) {
+        let rows = generate_lineitem(n, seed);
+        prop_assert_eq!(rows.len(), n);
+        for r in &rows {
+            prop_assert!((1..=7).contains(&r.linenumber));
+            prop_assert!(r.tax >= 0.0 && r.tax <= 0.08 + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! # rex-dbms
+//!
+//! "DBMS X": a single-node recursive-SQL evaluator with *accumulate-only*
+//! semantics, the commercial-database baseline of Figure 10.
+//!
+//! The paper's core observation about SQL databases (§1): "recursive SQL
+//! accumulates state and does not allow it to be incrementally updated and
+//! replaced. For PageRank, we only need the last PageRank score for each
+//! tuple, but a recursive query does not allow us to discard the prior
+//! scores when we update them." This engine reproduces exactly that
+//! behavior: semi-naive evaluation where every stratum's derivations are
+//! retained forever. The accumulated working table grows with every
+//! iteration, and once it exceeds the buffer pool the engine pays disk I/O
+//! for the spilled portion — the structural disadvantage REX's refinement
+//! avoids.
+
+pub mod engine;
+pub mod pagerank;
+
+pub use engine::{DbmsConfig, DbmsReport, IterationStats, RecursiveQuery};
+pub use pagerank::pagerank_recursive_sql;

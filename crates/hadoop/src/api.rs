@@ -1,0 +1,150 @@
+//! The MapReduce programming interface (§2 of the paper).
+//!
+//! "A user-specified *map* function [...] retrieves, filters, and specifies
+//! a grouping attribute for data items; an implicit *shuffle* stage that
+//! uses a sort-merge algorithm to group the output of the map stage; and a
+//! final user-specified *reduce* stage that performs an aggregation
+//! computation over the set of items corresponding to a single key. [...]
+//! an optional user-provided *combiner* may be invoked before the shuffle
+//! stage."
+
+use rex_core::value::Value;
+use std::sync::Arc;
+
+/// A key-value record, the unit of MapReduce dataflow.
+pub type Record = (Value, Value);
+
+/// Approximate serialized size of a record in bytes.
+pub fn record_bytes(r: &Record) -> u64 {
+    (r.0.byte_size() + r.1.byte_size()) as u64
+}
+
+/// The map function: consume one record, emit any number of records.
+pub trait Mapper: Send + Sync {
+    /// Class name (mirrors the paper's `MapWrap('MapClass', ...)` usage).
+    fn name(&self) -> &str;
+
+    /// Process one input record.
+    fn map(&self, key: &Value, value: &Value, out: &mut dyn FnMut(Value, Value));
+}
+
+/// The reduce function: consume all values for one key, emit records.
+/// Combiners implement the same interface (they are reducers run map-side).
+pub trait Reducer: Send + Sync {
+    /// Class name (mirrors `ReduceWrap('ReduceClass', ...)`).
+    fn name(&self) -> &str;
+
+    /// Process one key group.
+    fn reduce(&self, key: &Value, values: &[Value], out: &mut dyn FnMut(Value, Value));
+}
+
+/// A mapper built from a closure.
+pub struct FnMapper {
+    name: String,
+    #[allow(clippy::type_complexity)]
+    f: Box<dyn Fn(&Value, &Value, &mut dyn FnMut(Value, Value)) + Send + Sync>,
+}
+
+impl FnMapper {
+    /// Wrap a closure as a [`Mapper`].
+    pub fn new(
+        name: impl Into<String>,
+        f: impl Fn(&Value, &Value, &mut dyn FnMut(Value, Value)) + Send + Sync + 'static,
+    ) -> Arc<FnMapper> {
+        Arc::new(FnMapper { name: name.into(), f: Box::new(f) })
+    }
+}
+
+impl Mapper for FnMapper {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn map(&self, key: &Value, value: &Value, out: &mut dyn FnMut(Value, Value)) {
+        (self.f)(key, value, out)
+    }
+}
+
+/// A reducer built from a closure.
+pub struct FnReducer {
+    name: String,
+    #[allow(clippy::type_complexity)]
+    f: Box<dyn Fn(&Value, &[Value], &mut dyn FnMut(Value, Value)) + Send + Sync>,
+}
+
+impl FnReducer {
+    /// Wrap a closure as a [`Reducer`].
+    pub fn new(
+        name: impl Into<String>,
+        f: impl Fn(&Value, &[Value], &mut dyn FnMut(Value, Value)) + Send + Sync + 'static,
+    ) -> Arc<FnReducer> {
+        Arc::new(FnReducer { name: name.into(), f: Box::new(f) })
+    }
+}
+
+impl Reducer for FnReducer {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn reduce(&self, key: &Value, values: &[Value], out: &mut dyn FnMut(Value, Value)) {
+        (self.f)(key, values, out)
+    }
+}
+
+/// The identity mapper (pass-through), useful for reduce-only stages.
+pub struct IdentityMapper;
+
+impl Mapper for IdentityMapper {
+    fn name(&self) -> &str {
+        "IdentityMapper"
+    }
+
+    fn map(&self, key: &Value, value: &Value, out: &mut dyn FnMut(Value, Value)) {
+        out(key.clone(), value.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fn_mapper_emits() {
+        let m = FnMapper::new("double", |k, v, out| {
+            out(k.clone(), v.clone());
+            out(k.clone(), v.clone());
+        });
+        let mut got = Vec::new();
+        m.map(&Value::Int(1), &Value::Int(2), &mut |k, v| got.push((k, v)));
+        assert_eq!(got.len(), 2);
+        assert_eq!(m.name(), "double");
+    }
+
+    #[test]
+    fn fn_reducer_sees_group() {
+        let r = FnReducer::new("sum", |k, vs, out| {
+            let s: i64 = vs.iter().filter_map(Value::as_int).sum();
+            out(k.clone(), Value::Int(s));
+        });
+        let mut got = Vec::new();
+        r.reduce(
+            &Value::Int(7),
+            &[Value::Int(1), Value::Int(2), Value::Int(3)],
+            &mut |k, v| got.push((k, v)),
+        );
+        assert_eq!(got, vec![(Value::Int(7), Value::Int(6))]);
+    }
+
+    #[test]
+    fn identity_mapper_passes_through() {
+        let mut got = Vec::new();
+        IdentityMapper.map(&Value::Int(1), &Value::str("x"), &mut |k, v| got.push((k, v)));
+        assert_eq!(got, vec![(Value::Int(1), Value::str("x"))]);
+    }
+
+    #[test]
+    fn record_bytes_sums_key_and_value() {
+        assert_eq!(record_bytes(&(Value::Int(1), Value::Int(2))), 16);
+    }
+}

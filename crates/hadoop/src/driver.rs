@@ -1,0 +1,268 @@
+//! Job chaining and the iterative driver.
+//!
+//! "Computations that require explicit iteration or recursion need to be
+//! managed by external control logic" (§2): this module is that control
+//! logic. The iterative driver re-runs a job, feeding each iteration's
+//! reduce output back as the next iteration's mutable input alongside the
+//! static inputs, until a user convergence test fires or the iteration cap
+//! is reached. Per the paper's lower-bound methodology the convergence test
+//! itself is free in the LB modes.
+
+use crate::api::Record;
+use crate::job::{HadoopCluster, JobInput, JobMetrics, MapReduceJob};
+use std::time::Instant;
+
+/// One iteration's record of work, matching the per-iteration series of
+/// Figures 6–9.
+#[derive(Debug, Clone, Default)]
+pub struct IterationReport {
+    /// 0-based iteration number.
+    pub iteration: usize,
+    /// Job metrics for this iteration (all chained jobs merged).
+    pub metrics: JobMetrics,
+    /// Records in the mutable set carried to the next iteration.
+    pub mutable_records: u64,
+}
+
+/// A full iterative run.
+#[derive(Debug, Clone, Default)]
+pub struct RunReport {
+    /// Per-iteration reports, in order.
+    pub iterations: Vec<IterationReport>,
+    /// Wall-clock seconds for the whole run.
+    pub wall_seconds: f64,
+}
+
+impl RunReport {
+    /// Total simulated time across iterations.
+    pub fn total_sim_time(&self) -> f64 {
+        self.iterations.iter().map(|i| i.metrics.sim_time).sum()
+    }
+
+    /// Cumulative simulated time after each iteration (the cumulative
+    /// series the paper plots).
+    pub fn cumulative_times(&self) -> Vec<f64> {
+        let mut acc = 0.0;
+        self.iterations
+            .iter()
+            .map(|i| {
+                acc += i.metrics.sim_time;
+                acc
+            })
+            .collect()
+    }
+
+    /// Total bytes shuffled (the paper's bandwidth numerator for
+    /// Hadoop/HaLoop: "we aggregated the total amount of data shuffled per
+    /// job", §6.5).
+    pub fn total_shuffle_bytes(&self) -> u64 {
+        self.iterations.iter().map(|i| i.metrics.shuffle_bytes).sum()
+    }
+
+    /// Total bytes that crossed the network: shuffle plus DFS output
+    /// replication.
+    pub fn total_network_bytes(&self) -> u64 {
+        self.iterations
+            .iter()
+            .map(|i| i.metrics.shuffle_bytes + i.metrics.dfs_network_bytes)
+            .sum()
+    }
+
+    /// Average bandwidth per node in bytes per simulated time unit.
+    pub fn avg_bandwidth_per_node(&self, nodes: usize) -> f64 {
+        let t = self.total_sim_time();
+        if t <= 0.0 || nodes == 0 {
+            return 0.0;
+        }
+        self.total_network_bytes() as f64 / nodes as f64 / t
+    }
+}
+
+/// Convergence test: given the previous and current mutable sets, decide
+/// whether to stop. Runs in zero simulated time under the LB modes.
+pub type ConvergenceFn = Box<dyn Fn(&[Record], &[Record], usize) -> bool + Send>;
+
+/// An iterative MapReduce computation.
+pub struct IterativeJob {
+    /// The job run each iteration.
+    pub job: MapReduceJob,
+    /// Inputs that do not change across iterations (HaLoop caches these).
+    pub immutable: Vec<Record>,
+    /// The initial mutable set (iteration 0 input).
+    pub initial: Vec<Record>,
+    /// Hard iteration cap.
+    pub max_iterations: usize,
+    /// Optional convergence test; when `None`, runs exactly
+    /// `max_iterations`.
+    pub convergence: Option<ConvergenceFn>,
+}
+
+impl IterativeJob {
+    /// Run to convergence on the given cluster, returning the final
+    /// mutable set and the per-iteration report.
+    pub fn run(&self, cluster: &HadoopCluster) -> (Vec<Record>, RunReport) {
+        let t0 = Instant::now();
+        let mut report = RunReport::default();
+        let mut mutable = self.initial.clone();
+        for iteration in 0..self.max_iterations {
+            let inputs = [
+                JobInput::immutable(self.immutable.clone()),
+                JobInput::mutable(mutable.clone()),
+            ];
+            let (out, metrics) = cluster.run_job(&self.job, &inputs, iteration);
+            report.iterations.push(IterationReport {
+                iteration,
+                metrics,
+                mutable_records: out.len() as u64,
+            });
+            let done = match &self.convergence {
+                Some(f) => f(&mutable, &out, iteration),
+                None => false,
+            };
+            mutable = out;
+            if done {
+                break;
+            }
+        }
+        report.wall_seconds = t0.elapsed().as_secs_f64();
+        (mutable, report)
+    }
+}
+
+/// Run a chain of jobs, each consuming the previous one's output (the
+/// "chained or branched jobs [...] expressed as nested subqueries" pattern
+/// of §4.4, driven externally as Hadoop requires).
+pub fn run_chain(
+    cluster: &HadoopCluster,
+    jobs: &[MapReduceJob],
+    input: Vec<Record>,
+) -> (Vec<Record>, JobMetrics) {
+    let mut records = input;
+    let mut total = JobMetrics::default();
+    for job in jobs {
+        let (out, m) = cluster.run_job(job, &[JobInput::mutable(records)], 0);
+        total.merge(&m);
+        records = out;
+    }
+    (records, total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::{FnMapper, FnReducer};
+    use crate::cost::EmulationMode;
+    use rex_core::value::Value;
+
+    /// An iterative job: each value doubles until it exceeds 100.
+    fn doubling_job() -> MapReduceJob {
+        MapReduceJob::new(
+            "double",
+            FnMapper::new("map", |k, v, out| {
+                let x = v.as_int().unwrap();
+                out(k.clone(), Value::Int(if x < 100 { x * 2 } else { x }));
+            }),
+            FnReducer::new("reduce", |k, vs, out| out(k.clone(), vs[0].clone())),
+        )
+    }
+
+    #[test]
+    fn iterative_job_converges() {
+        let it = IterativeJob {
+            job: doubling_job(),
+            immutable: vec![],
+            initial: vec![(Value::Int(0), Value::Int(1)), (Value::Int(1), Value::Int(64))],
+            max_iterations: 50,
+            convergence: Some(Box::new(|prev, cur, _| prev == cur)),
+        };
+        let (out, report) = it.run(&HadoopCluster::new(2));
+        assert_eq!(out[0].1, Value::Int(128));
+        assert_eq!(out[1].1, Value::Int(128));
+        // 1→128 takes 7 doublings, +1 iteration to observe stability.
+        assert_eq!(report.iterations.len(), 8);
+        assert!(report.total_sim_time() > 0.0);
+    }
+
+    #[test]
+    fn iteration_cap_bounds_runs() {
+        let it = IterativeJob {
+            job: doubling_job(),
+            immutable: vec![],
+            initial: vec![(Value::Int(0), Value::Int(1))],
+            max_iterations: 3,
+            convergence: None,
+        };
+        let (_, report) = it.run(&HadoopCluster::new(1));
+        assert_eq!(report.iterations.len(), 3);
+    }
+
+    #[test]
+    fn haloop_beats_hadoop_with_immutable_data() {
+        // An iterative job over a large immutable input and a tiny mutable
+        // set: the HaLoop LB should be much cheaper per iteration.
+        let imm: Vec<Record> =
+            (0..500).map(|i| (Value::Int(i % 50), Value::Int(i))).collect();
+        let job = MapReduceJob::new(
+            "noop",
+            FnMapper::new("m", |k, v, out| out(k.clone(), v.clone())),
+            FnReducer::new("r", |k, vs, out| {
+                out(k.clone(), Value::Int(vs.iter().filter_map(Value::as_int).sum()))
+            }),
+        );
+        let mk = |mode| {
+            let it = IterativeJob {
+                job: job.clone(),
+                immutable: imm.clone(),
+                initial: vec![(Value::Int(0), Value::Int(0))],
+                max_iterations: 5,
+                convergence: None,
+            };
+            let (_, r) = it.run(&HadoopCluster::new(4).with_mode(mode));
+            r
+        };
+        let hadoop = mk(EmulationMode::HadoopLowerBound);
+        let haloop = mk(EmulationMode::HaLoopLowerBound);
+        assert!(haloop.total_sim_time() < hadoop.total_sim_time());
+        assert!(haloop.total_shuffle_bytes() < hadoop.total_shuffle_bytes());
+        // First iterations are identical; savings start at iteration 1.
+        assert_eq!(
+            hadoop.iterations[0].metrics.sim_time,
+            haloop.iterations[0].metrics.sim_time
+        );
+        assert!(
+            haloop.iterations[1].metrics.sim_time < hadoop.iterations[1].metrics.sim_time
+        );
+    }
+
+    #[test]
+    fn chain_threads_output_to_input() {
+        let inc = MapReduceJob::new(
+            "inc",
+            FnMapper::new("m", |k, v, out| out(k.clone(), Value::Int(v.as_int().unwrap() + 1))),
+            FnReducer::new("r", |k, vs, out| out(k.clone(), vs[0].clone())),
+        );
+        let (out, m) =
+            run_chain(&HadoopCluster::new(1), &[inc.clone(), inc.clone(), inc], vec![(
+                Value::Int(0),
+                Value::Int(0),
+            )]);
+        assert_eq!(out[0].1, Value::Int(3));
+        // Three jobs' startup costs accumulate.
+        assert!(m.sim_time >= 3.0 * HadoopCluster::new(1).cost.job_startup);
+    }
+
+    #[test]
+    fn cumulative_times_are_monotone() {
+        let it = IterativeJob {
+            job: doubling_job(),
+            immutable: vec![],
+            initial: vec![(Value::Int(0), Value::Int(1))],
+            max_iterations: 4,
+            convergence: None,
+        };
+        let (_, r) = it.run(&HadoopCluster::new(1));
+        let c = r.cumulative_times();
+        assert_eq!(c.len(), 4);
+        assert!(c.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,48 @@
+//! # rex-hadoop
+//!
+//! A faithful MapReduce simulator and HaLoop lower-bound emulation, the
+//! comparison baselines of the REX paper's evaluation (§6), plus the
+//! `MapWrap`/`ReduceWrap` adapters that execute native Hadoop code *inside*
+//! REX (§4.4, the "wrap" configuration).
+//!
+//! The simulator executes user map/combine/reduce functions exactly (its
+//! results are checked against REX's in the integration tests) while
+//! accounting costs — per-job startup, sort-merge shuffle, DFS output
+//! checkpointing — under the shared
+//! [`CostModel`](rex_core::metrics::CostModel) constants. The paper
+//! emulated HaLoop by zeroing the costs of selected stages;
+//! [`EmulationMode`] reproduces exactly that methodology, so `Hadoop LB` /
+//! `HaLoop LB` series here are lower bounds just as in the paper.
+//!
+//! ```
+//! use rex_hadoop::api::{FnMapper, FnReducer};
+//! use rex_hadoop::job::{HadoopCluster, JobInput, MapReduceJob};
+//! use rex_core::value::Value;
+//!
+//! let job = MapReduceJob::new(
+//!     "count",
+//!     FnMapper::new("one", |_k, v, out| out(v.clone(), Value::Int(1))),
+//!     FnReducer::new("sum", |k, vs, out| {
+//!         out(k.clone(), Value::Int(vs.iter().filter_map(Value::as_int).sum()))
+//!     }),
+//! );
+//! let input = JobInput::mutable(vec![
+//!     (Value::Int(0), Value::str("a")),
+//!     (Value::Int(1), Value::str("a")),
+//! ]);
+//! let (out, metrics) = HadoopCluster::new(4).run_job(&job, &[input], 0);
+//! assert_eq!(out, vec![(Value::str("a"), Value::Int(2))]);
+//! assert!(metrics.sim_time > 0.0);
+//! ```
+
+pub mod api;
+pub mod cost;
+pub mod driver;
+pub mod job;
+pub mod wrap;
+
+pub use api::{FnMapper, FnReducer, IdentityMapper, Mapper, Record, Reducer};
+pub use cost::{EmulationMode, HadoopCost};
+pub use driver::{IterativeJob, RunReport};
+pub use job::{HadoopCluster, JobInput, JobMetrics, MapReduceJob};
+pub use wrap::{MapWrap, ReduceWrap};

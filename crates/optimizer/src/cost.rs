@@ -1,0 +1,220 @@
+//! Resource-vector costs with CPU/I-O overlap (§5).
+//!
+//! "REX models pipelined operations using a vector of resource utilization
+//! levels. Rather than simply adding the execution times to produce the
+//! overall runtime, the REX optimizer determines the result runtime as the
+//! lowest value that allows both subplans to execute in parallel while the
+//! combined utilization for any resource remains under 100%. In the
+//! extreme case where the two subplans use completely disjoint resources,
+//! the resulting runtime equals the maximum of the runtime of the
+//! subplans, rather than their sum."
+
+use std::ops::Add;
+
+/// Resource *work* amounts (time each resource would need in isolation).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ResourceVector {
+    /// CPU time.
+    pub cpu: f64,
+    /// Disk time.
+    pub disk: f64,
+    /// Network time.
+    pub net: f64,
+}
+
+impl ResourceVector {
+    /// All-zero vector.
+    pub const ZERO: ResourceVector = ResourceVector { cpu: 0.0, disk: 0.0, net: 0.0 };
+
+    /// CPU-only work.
+    pub fn cpu(t: f64) -> ResourceVector {
+        ResourceVector { cpu: t, ..Self::ZERO }
+    }
+
+    /// Disk-only work.
+    pub fn disk(t: f64) -> ResourceVector {
+        ResourceVector { disk: t, ..Self::ZERO }
+    }
+
+    /// Network-only work.
+    pub fn net(t: f64) -> ResourceVector {
+        ResourceVector { net: t, ..Self::ZERO }
+    }
+
+    /// The runtime of this work when its stages pipeline: no resource can
+    /// exceed 100% utilization, so the binding resource determines the
+    /// runtime.
+    pub fn pipelined_runtime(&self) -> f64 {
+        self.cpu.max(self.disk).max(self.net)
+    }
+
+    /// The runtime when stages serialize (no overlap): times add.
+    pub fn serial_runtime(&self) -> f64 {
+        self.cpu + self.disk + self.net
+    }
+
+    /// Scale all components.
+    pub fn scale(&self, f: f64) -> ResourceVector {
+        ResourceVector { cpu: self.cpu * f, disk: self.disk * f, net: self.net * f }
+    }
+}
+
+impl Add for ResourceVector {
+    type Output = ResourceVector;
+
+    fn add(self, o: ResourceVector) -> ResourceVector {
+        ResourceVector { cpu: self.cpu + o.cpu, disk: self.disk + o.disk, net: self.net + o.net }
+    }
+}
+
+/// Combine two *concurrently executing* subplans: each resource's
+/// utilization adds; the runtime is the smallest T with every resource's
+/// combined work ≤ T (i.e. the component-wise sum's binding resource).
+pub fn parallel(a: ResourceVector, b: ResourceVector) -> ResourceVector {
+    a + b
+}
+
+/// Per-node hardware calibration (§5 "Many-node cost estimation"): "we
+/// assume that each node has run an initial calibration that provides the
+/// optimizer with information about its relative CPU and disk speeds, and
+/// all pairwise network bandwidths".
+#[derive(Debug, Clone)]
+pub struct Calibration {
+    /// Per-node CPU speed factors (1.0 = nominal; larger = faster).
+    pub cpu_speed: Vec<f64>,
+    /// Per-node disk speed factors.
+    pub disk_speed: Vec<f64>,
+    /// Pairwise bandwidth factors (`net[i][j]`, 1.0 = nominal).
+    pub net_bandwidth: Vec<Vec<f64>>,
+}
+
+impl Calibration {
+    /// A homogeneous cluster of `n` nominal nodes.
+    pub fn uniform(n: usize) -> Calibration {
+        Calibration {
+            cpu_speed: vec![1.0; n],
+            disk_speed: vec![1.0; n],
+            net_bandwidth: vec![vec![1.0; n]; n],
+        }
+    }
+
+    /// Number of calibrated nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.cpu_speed.len()
+    }
+
+    /// Worst-case completion factors: the optimizer costs each operator at
+    /// the *slowest* node ("this in essence estimates the worst-case
+    /// completion time for each operation").
+    pub fn worst_case(&self) -> (f64, f64, f64) {
+        let min = |xs: &[f64]| xs.iter().copied().fold(f64::INFINITY, f64::min).max(1e-9);
+        let cpu = min(&self.cpu_speed);
+        let disk = min(&self.disk_speed);
+        let net = min(
+            &self
+                .net_bandwidth
+                .iter()
+                .enumerate()
+                .flat_map(|(i, row)| {
+                    row.iter().enumerate().filter(move |(j, _)| i != *j).map(|(_, &b)| b)
+                })
+                .collect::<Vec<f64>>(),
+        );
+        (cpu, disk, net.min(f64::INFINITY))
+    }
+
+    /// Adjust a nominal resource vector to worst-case node speeds.
+    pub fn derate(&self, v: ResourceVector) -> ResourceVector {
+        if self.n_nodes() <= 1 {
+            return ResourceVector { net: 0.0, ..v };
+        }
+        let (cpu, disk, net) = self.worst_case();
+        ResourceVector { cpu: v.cpu / cpu, disk: v.disk / disk, net: v.net / net }
+    }
+}
+
+/// Nominal per-unit costs used to convert cardinalities into resource
+/// work; aligned with the engine's `CostModel` defaults.
+#[derive(Debug, Clone, Copy)]
+pub struct UnitCosts {
+    /// CPU per tuple through an operator.
+    pub cpu_per_tuple: f64,
+    /// CPU per hash probe/insert.
+    pub hash_cost: f64,
+    /// Bytes per tuple (schema-independent estimate).
+    pub bytes_per_tuple: f64,
+    /// Network seconds per byte.
+    pub net_per_byte: f64,
+    /// Disk seconds per byte.
+    pub disk_per_byte: f64,
+    /// Default UDF invocation cost when no hint is given.
+    pub udf_default_cost: f64,
+}
+
+impl Default for UnitCosts {
+    fn default() -> UnitCosts {
+        UnitCosts {
+            cpu_per_tuple: 1.0,
+            hash_cost: 0.5,
+            bytes_per_tuple: 24.0,
+            net_per_byte: 1.0 / 200.0,
+            disk_per_byte: 1.0 / 400.0,
+            udf_default_cost: 5.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipelined_runtime_is_binding_resource() {
+        let v = ResourceVector { cpu: 10.0, disk: 4.0, net: 7.0 };
+        assert_eq!(v.pipelined_runtime(), 10.0);
+        assert_eq!(v.serial_runtime(), 21.0);
+    }
+
+    #[test]
+    fn disjoint_parallel_subplans_run_at_max() {
+        // CPU-bound ∥ disk-bound: nothing contends, runtime = max.
+        let a = ResourceVector::cpu(10.0);
+        let b = ResourceVector::disk(8.0);
+        assert_eq!(parallel(a, b).pipelined_runtime(), 10.0);
+    }
+
+    #[test]
+    fn contending_parallel_subplans_add() {
+        let a = ResourceVector::cpu(10.0);
+        let b = ResourceVector::cpu(8.0);
+        assert_eq!(parallel(a, b).pipelined_runtime(), 18.0);
+    }
+
+    #[test]
+    fn calibration_worst_case_uses_slowest_node() {
+        let mut c = Calibration::uniform(3);
+        c.cpu_speed[1] = 0.5;
+        c.net_bandwidth[0][2] = 0.25;
+        let (cpu, _, net) = c.worst_case();
+        assert_eq!(cpu, 0.5);
+        assert_eq!(net, 0.25);
+        // Work at the slowest node takes twice as long.
+        let v = c.derate(ResourceVector::cpu(10.0));
+        assert_eq!(v.cpu, 20.0);
+    }
+
+    #[test]
+    fn single_node_has_no_network_cost() {
+        let c = Calibration::uniform(1);
+        let v = c.derate(ResourceVector { cpu: 1.0, disk: 1.0, net: 5.0 });
+        assert_eq!(v.net, 0.0);
+    }
+
+    #[test]
+    fn scale_and_add() {
+        let v = ResourceVector { cpu: 1.0, disk: 2.0, net: 3.0 }.scale(2.0);
+        assert_eq!(v, ResourceVector { cpu: 2.0, disk: 4.0, net: 6.0 });
+        let w = v + ResourceVector::cpu(1.0);
+        assert_eq!(w.cpu, 3.0);
+    }
+}

@@ -1,0 +1,298 @@
+//! Top-down join-order enumeration with memoization and branch-and-bound
+//! (§5, after the Volcano/Cascades style of [10]).
+//!
+//! The enumerator searches bushy trees over a join graph: each memo entry
+//! is a set of relations; a set is optimized by splitting it into every
+//! connected (or, when unavoidable, cross-product) partition, recursing,
+//! and keeping the cheapest combination. An upper bound from the best
+//! complete plan found so far prunes subproblems whose partial cost
+//! already exceeds it.
+
+use crate::stats::Statistics;
+use std::collections::HashMap;
+
+/// One base relation in the join graph.
+#[derive(Debug, Clone)]
+pub struct Relation {
+    /// Display name.
+    pub name: String,
+    /// Estimated rows.
+    pub rows: u64,
+    /// Distinct values of its join attribute.
+    pub distinct: u64,
+}
+
+/// An equi-join edge between relations `a` and `b` (indices).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JoinEdge {
+    /// One endpoint.
+    pub a: usize,
+    /// The other endpoint.
+    pub b: usize,
+}
+
+/// A join tree produced by the enumerator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JoinTree {
+    /// A base relation by index.
+    Leaf(usize),
+    /// A join of two subtrees.
+    Node(Box<JoinTree>, Box<JoinTree>),
+}
+
+impl JoinTree {
+    /// Relations in this tree, in-order.
+    pub fn relations(&self) -> Vec<usize> {
+        match self {
+            JoinTree::Leaf(i) => vec![*i],
+            JoinTree::Node(l, r) => {
+                let mut v = l.relations();
+                v.extend(r.relations());
+                v
+            }
+        }
+    }
+
+    /// Render with parentheses, e.g. `((A ⋈ B) ⋈ C)`.
+    pub fn render(&self, rels: &[Relation]) -> String {
+        match self {
+            JoinTree::Leaf(i) => rels[*i].name.clone(),
+            JoinTree::Node(l, r) => {
+                format!("({} ⋈ {})", l.render(rels), r.render(rels))
+            }
+        }
+    }
+}
+
+/// The result of an enumeration: the best tree, its estimated output
+/// cardinality and cumulative cost, and search counters.
+#[derive(Debug, Clone)]
+pub struct Enumeration {
+    /// Best join tree.
+    pub tree: JoinTree,
+    /// Its output cardinality.
+    pub rows: u64,
+    /// Cumulative cost (sum of intermediate-result sizes, the classic
+    /// C_out metric).
+    pub cost: f64,
+    /// Memo entries created.
+    pub memo_size: usize,
+    /// Subproblems pruned by branch-and-bound.
+    pub pruned: usize,
+}
+
+type Set = u64; // bitset over ≤64 relations
+
+/// Enumerate the cheapest join order for `rels` under `edges`.
+pub fn best_join_order(
+    rels: &[Relation],
+    edges: &[JoinEdge],
+    stats: &Statistics,
+) -> Enumeration {
+    assert!(!rels.is_empty() && rels.len() <= 64, "1..=64 relations supported");
+    let mut e = Enumerator {
+        rels,
+        edges,
+        stats,
+        memo: HashMap::new(),
+        pruned: 0,
+    };
+    let full: Set = if rels.len() == 64 { !0 } else { (1 << rels.len()) - 1 };
+    let (tree, rows, cost) = e.solve(full, f64::INFINITY);
+    let memo_size = e.memo.len();
+    Enumeration { tree: tree.expect("full set is solvable"), rows, cost, memo_size, pruned: e.pruned }
+}
+
+struct Enumerator<'a> {
+    rels: &'a [Relation],
+    edges: &'a [JoinEdge],
+    stats: &'a Statistics,
+    memo: HashMap<Set, (JoinTree, u64, f64)>,
+    pruned: usize,
+}
+
+impl Enumerator<'_> {
+    fn connected(&self, left: Set, right: Set) -> bool {
+        self.edges.iter().any(|e| {
+            (left & (1 << e.a) != 0 && right & (1 << e.b) != 0)
+                || (left & (1 << e.b) != 0 && right & (1 << e.a) != 0)
+        })
+    }
+
+    fn join_rows(&self, lrows: u64, rrows: u64, left: Set, right: Set) -> u64 {
+        let connected = self.connected(left, right);
+        // Use the max distinct across the joined attributes as the
+        // containment divisor.
+        let d = self
+            .rels
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| (left | right) & (1 << i) != 0)
+            .map(|(_, r)| r.distinct)
+            .max()
+            .unwrap_or(1);
+        self.stats.join_cardinality(lrows, rrows, d, d, connected)
+    }
+
+    /// Optimize `set` with an upper bound; returns (tree, rows, cost).
+    fn solve(&mut self, set: Set, bound: f64) -> (Option<JoinTree>, u64, f64) {
+        if let Some((t, r, c)) = self.memo.get(&set) {
+            return (Some(t.clone()), *r, *c);
+        }
+        if set.count_ones() == 1 {
+            let i = set.trailing_zeros() as usize;
+            let entry = (JoinTree::Leaf(i), self.rels[i].rows, 0.0);
+            self.memo.insert(set, entry.clone());
+            return (Some(entry.0), entry.1, entry.2);
+        }
+        let mut best: Option<(JoinTree, u64, f64)> = None;
+        // Enumerate proper subsets containing the lowest bit (canonical
+        // split to halve the search).
+        let low = 1u64 << set.trailing_zeros();
+        let rest = set & !low;
+        let mut sub = rest;
+        loop {
+            let left = sub | low;
+            let right = set & !left;
+            if right != 0 {
+                // Prefer connected splits; allow cross products only when
+                // the graph is disconnected over this set.
+                let connected = self.connected(left, right);
+                if connected || !self.any_connected_split(set) {
+                    let current_bound = best
+                        .as_ref()
+                        .map(|(_, _, c)| c.min(bound))
+                        .unwrap_or(bound);
+                    let (lt, lr, lc) = self.solve(left, current_bound);
+                    if lc < current_bound {
+                        let (rt, rr, rc) = self.solve(right, current_bound - lc);
+                        let out_rows = self.join_rows(lr, rr, left, right);
+                        let cost = lc + rc + out_rows as f64;
+                        if cost < current_bound {
+                            if let (Some(lt), Some(rt)) = (lt, rt) {
+                                best = Some((
+                                    JoinTree::Node(Box::new(lt), Box::new(rt)),
+                                    out_rows,
+                                    cost,
+                                ));
+                            }
+                        } else {
+                            self.pruned += 1;
+                        }
+                    } else {
+                        self.pruned += 1;
+                    }
+                }
+            }
+            if sub == 0 {
+                break;
+            }
+            sub = (sub - 1) & rest;
+        }
+        match best {
+            Some((t, r, c)) => {
+                self.memo.insert(set, (t.clone(), r, c));
+                (Some(t), r, c)
+            }
+            None => (None, 0, f64::INFINITY),
+        }
+    }
+
+    fn any_connected_split(&mut self, set: Set) -> bool {
+        let low = 1u64 << set.trailing_zeros();
+        let rest = set & !low;
+        let mut sub = rest;
+        loop {
+            let left = sub | low;
+            let right = set & !left;
+            if right != 0 && self.connected(left, right) {
+                return true;
+            }
+            if sub == 0 {
+                return false;
+            }
+            sub = (sub - 1) & rest;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel(name: &str, rows: u64, distinct: u64) -> Relation {
+        Relation { name: name.into(), rows, distinct }
+    }
+
+    #[test]
+    fn single_relation_is_a_leaf() {
+        let rels = vec![rel("A", 100, 10)];
+        let e = best_join_order(&rels, &[], &Statistics::new());
+        assert_eq!(e.tree, JoinTree::Leaf(0));
+        assert_eq!(e.rows, 100);
+        assert_eq!(e.cost, 0.0);
+    }
+
+    #[test]
+    fn chain_join_starts_with_smallest_pair() {
+        // A(10^6) — B(1000) — C(10): best plans join B⋈C first.
+        let rels = vec![rel("A", 1_000_000, 100), rel("B", 1_000, 100), rel("C", 10, 100)];
+        let edges = vec![JoinEdge { a: 0, b: 1 }, JoinEdge { a: 1, b: 2 }];
+        let e = best_join_order(&rels, &edges, &Statistics::new());
+        let txt = e.tree.render(&rels);
+        assert!(txt.contains("(B ⋈ C)") || txt.contains("(C ⋈ B)"), "{txt}");
+    }
+
+    #[test]
+    fn avoids_cross_products_when_connected() {
+        let rels = vec![rel("A", 100, 10), rel("B", 100, 10), rel("C", 100, 10)];
+        // Star: A-B, A-C; B⋈C is a cross product and must not be chosen.
+        let edges = vec![JoinEdge { a: 0, b: 1 }, JoinEdge { a: 0, b: 2 }];
+        let e = best_join_order(&rels, &edges, &Statistics::new());
+        fn no_cross(t: &JoinTree, edges: &[JoinEdge]) -> bool {
+            match t {
+                JoinTree::Leaf(_) => true,
+                JoinTree::Node(l, r) => {
+                    let ls = l.relations();
+                    let rs = r.relations();
+                    let connected = edges.iter().any(|e| {
+                        (ls.contains(&e.a) && rs.contains(&e.b))
+                            || (ls.contains(&e.b) && rs.contains(&e.a))
+                    });
+                    connected && no_cross(l, edges) && no_cross(r, edges)
+                }
+            }
+        }
+        assert!(no_cross(&e.tree, &edges), "{}", e.tree.render(&rels));
+    }
+
+    #[test]
+    fn disconnected_graph_still_produces_a_plan() {
+        let rels = vec![rel("A", 10, 5), rel("B", 20, 5)];
+        let e = best_join_order(&rels, &[], &Statistics::new());
+        assert_eq!(e.rows, 200, "cross product cardinality");
+    }
+
+    #[test]
+    fn branch_and_bound_prunes() {
+        // A 6-relation chain has many bad bushy splits; pruning must fire.
+        let rels: Vec<Relation> =
+            (0..6).map(|i| rel(&format!("R{i}"), 1000 * (i as u64 + 1), 50)).collect();
+        let edges: Vec<JoinEdge> =
+            (0..5).map(|i| JoinEdge { a: i, b: i + 1 }).collect();
+        let e = best_join_order(&rels, &edges, &Statistics::new());
+        assert!(e.pruned > 0, "expected pruning, memo={} pruned={}", e.memo_size, e.pruned);
+        assert!(e.cost.is_finite());
+    }
+
+    #[test]
+    fn memoization_bounds_search() {
+        let rels: Vec<Relation> =
+            (0..8).map(|i| rel(&format!("R{i}"), 100, 10)).collect();
+        let edges: Vec<JoinEdge> = (0..7).map(|i| JoinEdge { a: i, b: i + 1 }).collect();
+        let e = best_join_order(&rels, &edges, &Statistics::new());
+        // The memo holds at most one entry per relation subset.
+        assert!(e.memo_size <= 255);
+        assert_eq!(e.tree.relations().len(), 8);
+    }
+}

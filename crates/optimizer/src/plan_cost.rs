@@ -1,0 +1,336 @@
+//! Costing of logical plans, including recursive queries (§5.3).
+//!
+//! Cardinalities flow bottom-up; each operator contributes resource work
+//! derived from [`UnitCosts`]; the plan's runtime is the pipelined
+//! (binding-resource) runtime of the total vector, derated to the slowest
+//! calibrated node. Recursive queries are costed by *simulated iteration*:
+//! "we take the estimated output of the recursive case in the current
+//! iteration, treat this as an input into the next iteration, optimize the
+//! next iteration, and repeat", capping every iteration's input at the
+//! previous stage's to avoid divergence.
+
+use crate::cost::{Calibration, ResourceVector, UnitCosts};
+use crate::stats::{predicate_selectivity, Statistics};
+use rex_core::error::Result;
+use rex_core::expr::Expr;
+use rex_rql::logical::LogicalPlan;
+
+/// Maximum simulated iterations when costing a recursive query (§5.3 "or
+/// we reach a maximum number of iterations").
+pub const MAX_COST_ITERATIONS: usize = 20;
+
+/// The outcome of costing a (sub)plan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanCost {
+    /// Estimated output cardinality.
+    pub rows: u64,
+    /// Total resource work.
+    pub resources: ResourceVector,
+}
+
+impl PlanCost {
+    /// The estimated runtime: pipelined runtime of the work vector.
+    pub fn runtime(&self) -> f64 {
+        self.resources.pipelined_runtime()
+    }
+}
+
+/// Plan-costing context.
+pub struct Coster<'a> {
+    /// Statistics source.
+    pub stats: &'a Statistics,
+    /// Unit costs.
+    pub units: UnitCosts,
+    /// Node calibration.
+    pub calib: &'a Calibration,
+}
+
+impl Coster<'_> {
+    /// Cost a plan tree.
+    pub fn cost(&self, plan: &LogicalPlan) -> Result<PlanCost> {
+        let c = self.cost_inner(plan, 0)?;
+        Ok(PlanCost { rows: c.rows, resources: self.calib.derate(c.resources) })
+    }
+
+    fn udf_cost(&self, e: &Expr) -> f64 {
+        match e {
+            Expr::Udf(name, args) => {
+                self.stats.udf(name).cost_per_tuple
+                    + args.iter().map(|a| self.udf_cost(a)).sum::<f64>()
+            }
+            Expr::Bin(_, a, b) => self.udf_cost(a) + self.udf_cost(b),
+            Expr::Not(a) | Expr::Neg(a) | Expr::IsNull(a) => self.udf_cost(a),
+            Expr::Case(arms, default) => {
+                arms.iter().map(|(c, t)| self.udf_cost(c) + self.udf_cost(t)).sum::<f64>()
+                    + self.udf_cost(default)
+            }
+            _ => 0.0,
+        }
+    }
+
+    fn cost_inner(&self, plan: &LogicalPlan, fixpoint_rows: u64) -> Result<PlanCost> {
+        let u = self.units;
+        match plan {
+            LogicalPlan::Scan { table, .. } => {
+                let rows = self.stats.table_rows(table);
+                let bytes = rows as f64 * u.bytes_per_tuple;
+                Ok(PlanCost {
+                    rows,
+                    resources: ResourceVector {
+                        cpu: rows as f64 * u.cpu_per_tuple,
+                        disk: bytes * u.disk_per_byte,
+                        net: 0.0,
+                    },
+                })
+            }
+            LogicalPlan::FixpointRef { .. } => Ok(PlanCost {
+                rows: fixpoint_rows,
+                resources: ResourceVector::ZERO,
+            }),
+            LogicalPlan::Filter { input, predicate } => {
+                let c = self.cost_inner(input, fixpoint_rows)?;
+                let sel = predicate_selectivity(predicate, self.stats);
+                let per_tuple = u.cpu_per_tuple + self.udf_cost(predicate);
+                Ok(PlanCost {
+                    rows: ((c.rows as f64) * sel).ceil() as u64,
+                    resources: c.resources + ResourceVector::cpu(c.rows as f64 * per_tuple),
+                })
+            }
+            LogicalPlan::Project { input, exprs, .. } => {
+                let c = self.cost_inner(input, fixpoint_rows)?;
+                let per_tuple = u.cpu_per_tuple
+                    + exprs.iter().map(|e| self.udf_cost(e)).sum::<f64>();
+                Ok(PlanCost {
+                    rows: c.rows,
+                    resources: c.resources + ResourceVector::cpu(c.rows as f64 * per_tuple),
+                })
+            }
+            LogicalPlan::Join { left, right, left_key, handler, .. } => {
+                let l = self.cost_inner(left, fixpoint_rows)?;
+                let r = self.cost_inner(right, fixpoint_rows)?;
+                let probes = (l.rows + r.rows) as f64 * (u.cpu_per_tuple + u.hash_cost);
+                let handler_cost = handler
+                    .as_ref()
+                    .map(|h| self.stats.udf(h).cost_per_tuple * (l.rows + r.rows) as f64)
+                    .unwrap_or(0.0);
+                let rows = if handler.is_some() {
+                    // A handler join's output is governed by user code; the
+                    // calibrated selectivity of the handler shapes it.
+                    let sel = handler
+                        .as_ref()
+                        .map(|h| self.stats.udf(h).selectivity)
+                        .unwrap_or(1.0);
+                    ((l.rows.max(r.rows)) as f64 * sel).ceil() as u64
+                } else {
+                    let d = (l.rows as f64).sqrt().max((r.rows as f64).sqrt()).max(1.0) as u64;
+                    self.stats.join_cardinality(l.rows, r.rows, d, d, !left_key.is_empty())
+                };
+                // Subplans feed the join concurrently: utilization adds per
+                // resource (the §5 parallel combination).
+                Ok(PlanCost {
+                    rows,
+                    resources: crate::cost::parallel(l.resources, r.resources)
+                        + ResourceVector::cpu(probes + handler_cost),
+                })
+            }
+            LogicalPlan::Aggregate { input, aggs, .. } => {
+                let c = self.cost_inner(input, fixpoint_rows)?;
+                let n = self.calib.n_nodes().max(1) as f64;
+                // Rehash ships (n-1)/n of the input across the network.
+                let shipped = c.rows as f64 * u.bytes_per_tuple * (n - 1.0) / n;
+                let agg_cpu = c.rows as f64
+                    * (u.cpu_per_tuple
+                        + u.hash_cost
+                        + aggs
+                            .iter()
+                            .map(|a| self.stats.udf(&a.func).cost_per_tuple)
+                            .sum::<f64>());
+                // Group count ≈ sqrt of input (same default as distinct).
+                let rows = (c.rows as f64).sqrt().ceil().max(1.0) as u64;
+                Ok(PlanCost {
+                    rows,
+                    resources: c.resources
+                        + ResourceVector::cpu(agg_cpu)
+                        + ResourceVector::net(shipped * u.net_per_byte),
+                })
+            }
+            LogicalPlan::Fixpoint { base, step, .. } => {
+                let b = self.cost_inner(base, 0)?;
+                let mut total = b.resources;
+                let mut input = b.rows;
+                let mut prev_step_cost = f64::INFINITY;
+                let mut iterations = 0usize;
+                while input > 0 && iterations < MAX_COST_ITERATIONS {
+                    let s = self.cost_inner(step, input)?;
+                    // Divergence guards (§5.3): cap the next input at the
+                    // current one, and the step cost at the previous
+                    // step's.
+                    let step_runtime = s.resources.pipelined_runtime().min(prev_step_cost);
+                    prev_step_cost = step_runtime;
+                    let capped = s.resources.scale(if s.resources.pipelined_runtime() > 0.0 {
+                        step_runtime / s.resources.pipelined_runtime()
+                    } else {
+                        1.0
+                    });
+                    total = total + capped;
+                    let next = s.rows.min(input);
+                    // A flat estimate decays geometrically so convergent
+                    // recursions are not costed as infinite.
+                    input = if next == input { input / 2 } else { next };
+                    iterations += 1;
+                }
+                Ok(PlanCost { rows: b.rows.max(1), resources: total })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::UdfProfile;
+    use rex_core::udf::Registry;
+    use rex_core::tuple::Schema;
+    use rex_core::value::DataType;
+    use rex_rql::logical::plan_text;
+    use rex_rql::SchemaCatalog;
+
+    fn catalog() -> SchemaCatalog {
+        let mut c = SchemaCatalog::new();
+        c.register(
+            "graph",
+            Schema::of(&[("srcId", DataType::Int), ("destId", DataType::Int)]),
+        );
+        c.register("seed", Schema::of(&[("id", DataType::Int)]));
+        c
+    }
+
+    fn coster<'a>(stats: &'a Statistics, calib: &'a Calibration) -> Coster<'a> {
+        Coster { stats, units: UnitCosts::default(), calib }
+    }
+
+    #[test]
+    fn filter_reduces_cardinality() {
+        let reg = Registry::with_builtins();
+        let mut stats = Statistics::new();
+        stats.set_table_rows("graph", 10_000);
+        let calib = Calibration::uniform(1);
+        let c = coster(&stats, &calib);
+        let all = plan_text("SELECT srcId FROM graph", &catalog(), &reg).unwrap();
+        let some =
+            plan_text("SELECT srcId FROM graph WHERE destId > 5", &catalog(), &reg).unwrap();
+        let ca = c.cost(&all).unwrap();
+        let cs = c.cost(&some).unwrap();
+        assert_eq!(ca.rows, 10_000);
+        assert!(cs.rows < ca.rows);
+        assert!(cs.runtime() > ca.runtime(), "the filter itself costs CPU");
+    }
+
+    #[test]
+    fn join_cost_grows_with_inputs() {
+        let reg = Registry::with_builtins();
+        let mut c2 = catalog();
+        c2.register("pr", Schema::of(&[("srcId", DataType::Int), ("pr", DataType::Double)]));
+        let mut stats = Statistics::new();
+        stats.set_table_rows("graph", 1_000);
+        stats.set_table_rows("pr", 1_000);
+        let calib = Calibration::uniform(1);
+        let c = coster(&stats, &calib);
+        let p = plan_text(
+            "SELECT graph.destId FROM graph, pr WHERE graph.srcId = pr.srcId",
+            &c2,
+            &reg,
+        )
+        .unwrap();
+        let cost = c.cost(&p).unwrap();
+        assert!(cost.rows > 1_000, "join fan-out expected");
+        assert!(cost.runtime() > 0.0);
+    }
+
+    #[test]
+    fn recursive_cost_is_finite_even_for_flat_estimates() {
+        let reg = Registry::with_builtins();
+        let mut stats = Statistics::new();
+        stats.set_table_rows("graph", 5_000);
+        stats.set_table_rows("seed", 1);
+        let calib = Calibration::uniform(4);
+        let c = coster(&stats, &calib);
+        let p = plan_text(
+            "WITH reach (id) AS (SELECT id FROM seed)
+             UNION UNTIL FIXPOINT BY id (
+               SELECT graph.destId FROM graph, reach WHERE graph.srcId = reach.id)",
+            &catalog(),
+            &reg,
+        )
+        .unwrap();
+        let cost = c.cost(&p).unwrap();
+        assert!(cost.runtime().is_finite());
+        assert!(cost.runtime() > 0.0);
+    }
+
+    #[test]
+    fn recursion_cost_reflects_iteration_work() {
+        // Bigger graphs make each simulated iteration dearer.
+        let reg = Registry::with_builtins();
+        let calib = Calibration::uniform(2);
+        let run = |rows: u64| {
+            let mut stats = Statistics::new();
+            stats.set_table_rows("graph", rows);
+            stats.set_table_rows("seed", 10);
+            let c = Coster { stats: &stats, units: UnitCosts::default(), calib: &calib };
+            let p = plan_text(
+                "WITH reach (id) AS (SELECT id FROM seed)
+                 UNION UNTIL FIXPOINT BY id (
+                   SELECT graph.destId FROM graph, reach WHERE graph.srcId = reach.id)",
+                &catalog(),
+                &reg,
+            )
+            .unwrap();
+            c.cost(&p).unwrap().runtime()
+        };
+        assert!(run(50_000) > run(500));
+    }
+
+    #[test]
+    fn expensive_udf_raises_filter_cost() {
+        let reg = Registry::with_builtins();
+        // `sqrt` is registered as a scalar built-in; give it a profile.
+        let mut stats = Statistics::new();
+        stats.set_table_rows("graph", 10_000);
+        stats.set_udf("sqrt", UdfProfile { cost_per_tuple: 100.0, selectivity: 0.5 });
+        let calib = Calibration::uniform(1);
+        let c = coster(&stats, &calib);
+        let cheap =
+            plan_text("SELECT srcId FROM graph WHERE destId > 1", &catalog(), &reg).unwrap();
+        let pricey = plan_text(
+            "SELECT srcId FROM graph WHERE sqrt(destId) > 1",
+            &catalog(),
+            &reg,
+        )
+        .unwrap();
+        assert!(c.cost(&pricey).unwrap().runtime() > 2.0 * c.cost(&cheap).unwrap().runtime());
+    }
+
+    #[test]
+    fn multi_node_aggregation_pays_network() {
+        let reg = Registry::with_builtins();
+        let mut stats = Statistics::new();
+        stats.set_table_rows("graph", 100_000);
+        let one = Calibration::uniform(1);
+        let eight = Calibration::uniform(8);
+        let p = plan_text(
+            "SELECT srcId, count(*) FROM graph GROUP BY srcId",
+            &catalog(),
+            &reg,
+        )
+        .unwrap();
+        let c1 = Coster { stats: &stats, units: UnitCosts::default(), calib: &one }
+            .cost(&p)
+            .unwrap();
+        let c8 = Coster { stats: &stats, units: UnitCosts::default(), calib: &eight }
+            .cost(&p)
+            .unwrap();
+        assert_eq!(c1.resources.net, 0.0);
+        assert!(c8.resources.net > 0.0);
+    }
+}

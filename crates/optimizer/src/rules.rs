@@ -1,0 +1,286 @@
+//! Rewrite rules: predicate migration for UDFs (§5.1) and UDA
+//! pre-aggregation pushdown (§5.2).
+//!
+//! The rules are cost-guided but semantics-preserving; tests execute the
+//! original and rewritten plans and compare results.
+
+use crate::stats::Statistics;
+use rex_core::error::Result;
+use rex_core::expr::Expr;
+use rex_core::udf::Registry;
+use rex_rql::logical::{AggCall, LogicalPlan};
+
+/// The calibrated rank of a filter predicate: `cost / (1 − selectivity)`.
+/// Cheap, selective predicates rank low and run first.
+fn predicate_rank(e: &Expr, stats: &Statistics) -> f64 {
+    let sel = crate::stats::predicate_selectivity(e, stats);
+    let cost = expr_udf_cost(e, stats) + 1.0;
+    cost / (1.0 - sel).max(1e-9)
+}
+
+fn expr_udf_cost(e: &Expr, stats: &Statistics) -> f64 {
+    match e {
+        Expr::Udf(name, args) => {
+            stats.udf(name).cost_per_tuple
+                + args.iter().map(|a| expr_udf_cost(a, stats)).sum::<f64>()
+        }
+        Expr::Bin(_, a, b) => expr_udf_cost(a, stats) + expr_udf_cost(b, stats),
+        Expr::Not(a) | Expr::Neg(a) | Expr::IsNull(a) => expr_udf_cost(a, stats),
+        _ => 0.0,
+    }
+}
+
+/// Reorder chains of adjacent filters by increasing rank ("the optimal
+/// order of application of expensive predicates over the same relation is
+/// in increasing order of rank", [13] via §5.1). Applied recursively to
+/// the whole plan.
+pub fn order_filters_by_rank(plan: LogicalPlan, stats: &Statistics) -> LogicalPlan {
+    match plan {
+        LogicalPlan::Filter { input, predicate } => {
+            // Collect the maximal chain of filters.
+            let mut chain = vec![predicate];
+            let mut cur = *input;
+            while let LogicalPlan::Filter { input, predicate } = cur {
+                chain.push(predicate);
+                cur = *input;
+            }
+            let rebuilt = order_filters_by_rank(cur, stats);
+            // Sort by rank; the lowest rank sits deepest (runs first).
+            chain.sort_by(|a, b| {
+                predicate_rank(a, stats)
+                    .partial_cmp(&predicate_rank(b, stats))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let mut out = rebuilt;
+            for p in chain {
+                out = LogicalPlan::Filter { input: Box::new(out), predicate: p };
+            }
+            out
+        }
+        LogicalPlan::Project { input, exprs, schema } => LogicalPlan::Project {
+            input: Box::new(order_filters_by_rank(*input, stats)),
+            exprs,
+            schema,
+        },
+        LogicalPlan::Join { left, right, left_key, right_key, handler, schema } => {
+            LogicalPlan::Join {
+                left: Box::new(order_filters_by_rank(*left, stats)),
+                right: Box::new(order_filters_by_rank(*right, stats)),
+                left_key,
+                right_key,
+                handler,
+                schema,
+            }
+        }
+        LogicalPlan::Aggregate { input, group_cols, aggs, post, schema } => {
+            LogicalPlan::Aggregate {
+                input: Box::new(order_filters_by_rank(*input, stats)),
+                group_cols,
+                aggs,
+                post,
+                schema,
+            }
+        }
+        LogicalPlan::Fixpoint { name, key_cols, base, step, schema } => LogicalPlan::Fixpoint {
+            name,
+            key_cols,
+            base: Box::new(order_filters_by_rank(*base, stats)),
+            step: Box::new(order_filters_by_rank(*step, stats)),
+            schema,
+        },
+        leaf => leaf,
+    }
+}
+
+/// Decision record for a pre-aggregation pushdown (§5.2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PreAggPlan {
+    /// The final aggregate's registered name.
+    pub agg: String,
+    /// The partial (pushed-down) aggregate's name.
+    pub partial: String,
+    /// Whether the pushdown crossed a non-key join and needs `multiply`
+    /// compensation by the opposite group's cardinality.
+    pub needs_multiply: bool,
+}
+
+/// Determine the legal pre-aggregation pushdowns for an aggregate above a
+/// join: composable UDAs push through any join (with multiply compensation
+/// when the join is not on a key); non-composable UDAs only push under a
+/// key–foreign-key join. At most one pre-aggregation per UDA, maximally
+/// pushed (the §5.2 heuristic).
+pub fn preaggregation_plan(
+    aggs: &[AggCall],
+    reg: &Registry,
+    join_on_key: bool,
+) -> Result<Vec<Option<PreAggPlan>>> {
+    let mut out = Vec::with_capacity(aggs.len());
+    for a in aggs {
+        let handler = reg.agg(&a.func)?;
+        let plan = match handler.pre_aggregate() {
+            Some(partial) if handler.composable() => Some(PreAggPlan {
+                agg: a.func.clone(),
+                partial,
+                needs_multiply: !join_on_key,
+            }),
+            Some(partial) if join_on_key => Some(PreAggPlan {
+                agg: a.func.clone(),
+                partial,
+                needs_multiply: false,
+            }),
+            _ => None,
+        };
+        out.push(plan);
+    }
+    Ok(out)
+}
+
+/// Estimated network benefit of pushing a pre-aggregation below a rehash:
+/// shipped rows shrink from `rows` to ~`groups` (the combiner effect). The
+/// optimizer pushes when the benefit is positive.
+pub fn preagg_network_benefit(rows: u64, groups: u64, bytes_per_tuple: f64) -> f64 {
+    (rows.saturating_sub(groups)) as f64 * bytes_per_tuple
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::UdfProfile;
+    use rex_core::tuple::Schema;
+    use rex_core::value::DataType;
+    use rex_rql::logical::plan_text;
+    use rex_rql::SchemaCatalog;
+
+    fn catalog() -> SchemaCatalog {
+        let mut c = SchemaCatalog::new();
+        c.register(
+            "t",
+            Schema::of(&[("a", DataType::Int), ("b", DataType::Int), ("c", DataType::Double)]),
+        );
+        c
+    }
+
+    fn filter_chain(plan: &LogicalPlan) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut cur = plan;
+        loop {
+            match cur {
+                LogicalPlan::Filter { input, predicate } => {
+                    out.push(format!("{predicate:?}"));
+                    cur = input;
+                }
+                LogicalPlan::Project { input, .. } => cur = input,
+                _ => return out,
+            }
+        }
+    }
+
+    #[test]
+    fn expensive_udf_filter_moves_above_cheap_comparison() {
+        let reg = Registry::with_builtins();
+        let mut stats = Statistics::new();
+        stats.set_udf("sqrt", UdfProfile { cost_per_tuple: 500.0, selectivity: 0.99 });
+        // Written with the expensive predicate first.
+        let p = plan_text(
+            "SELECT a FROM t WHERE sqrt(c) > 1 AND b = 3",
+            &catalog(),
+            &reg,
+        )
+        .unwrap();
+        let rewritten = order_filters_by_rank(p, &stats);
+        let chain = filter_chain(&rewritten);
+        assert_eq!(chain.len(), 2);
+        // Outermost (last-applied) filter is the expensive one.
+        assert!(chain[0].contains("sqrt"), "expensive predicate should apply last: {chain:?}");
+        assert!(!chain[1].contains("sqrt"));
+    }
+
+    #[test]
+    fn rank_ordering_preserves_results() {
+        use rex_core::exec::LocalRuntime;
+        use rex_core::tuple;
+        use rex_rql::lower::{lower, MemTables};
+        let reg = Registry::with_builtins();
+        let mut stats = Statistics::new();
+        stats.set_udf("sqrt", UdfProfile { cost_per_tuple: 500.0, selectivity: 0.99 });
+        let p = plan_text(
+            "SELECT a FROM t WHERE sqrt(c) > 1 AND b = 3",
+            &catalog(),
+            &reg,
+        )
+        .unwrap();
+        let rewritten = order_filters_by_rank(p.clone(), &stats);
+
+        let mut m = MemTables::new();
+        m.insert(
+            "t",
+            vec![
+                tuple![1i64, 3i64, 4.0f64],
+                tuple![2i64, 3i64, 0.25f64],
+                tuple![3i64, 9i64, 9.0f64],
+            ],
+        );
+        let run = |lp: &LogicalPlan| {
+            let g = lower(lp, &m, &reg).unwrap();
+            let (mut r, _) = LocalRuntime::new().run(g).unwrap();
+            r.sort();
+            r
+        };
+        assert_eq!(run(&p), run(&rewritten));
+        assert_eq!(run(&p), vec![tuple![1i64]]);
+    }
+
+    #[test]
+    fn composable_uda_pushes_through_any_join() {
+        let reg = Registry::with_builtins();
+        let aggs = vec![AggCall {
+            func: "count".into(),
+            input_cols: vec![],
+            return_type: DataType::Int,
+        }];
+        let on_key = preaggregation_plan(&aggs, &reg, true).unwrap();
+        assert_eq!(
+            on_key[0],
+            Some(PreAggPlan {
+                agg: "count".into(),
+                partial: "count".into(),
+                needs_multiply: false
+            })
+        );
+        let off_key = preaggregation_plan(&aggs, &reg, false).unwrap();
+        assert!(off_key[0].as_ref().unwrap().needs_multiply);
+    }
+
+    #[test]
+    fn non_composable_uda_needs_key_join() {
+        let reg = Registry::with_builtins();
+        // MIN keeps a buffered bag and advertises no pre-aggregate: never
+        // pushed.
+        let aggs = vec![AggCall {
+            func: "min".into(),
+            input_cols: vec![0],
+            return_type: DataType::Double,
+        }];
+        assert_eq!(preaggregation_plan(&aggs, &reg, true).unwrap()[0], None);
+        assert_eq!(preaggregation_plan(&aggs, &reg, false).unwrap()[0], None);
+    }
+
+    #[test]
+    fn avg_splits_into_partial_and_final() {
+        let reg = Registry::with_builtins();
+        let aggs = vec![AggCall {
+            func: "avg".into(),
+            input_cols: vec![1],
+            return_type: DataType::Double,
+        }];
+        let plan = preaggregation_plan(&aggs, &reg, false).unwrap();
+        let p = plan[0].as_ref().expect("avg is composable via sum+count");
+        assert_eq!(p.partial, "avg_partial");
+    }
+
+    #[test]
+    fn network_benefit_shrinks_with_group_count() {
+        assert!(preagg_network_benefit(1000, 10, 24.0) > preagg_network_benefit(1000, 900, 24.0));
+        assert_eq!(preagg_network_benefit(10, 10, 24.0), 0.0);
+    }
+}

@@ -1,0 +1,261 @@
+//! RQL abstract syntax.
+//!
+//! The surface language is SQL with the paper's extensions: recursion via
+//! `WITH R (cols) AS (base) UNION [ALL] UNTIL FIXPOINT BY key (recursive)`
+//! and table-valued UDA invocation with destructuring, `F(args).{a, b}`.
+
+use std::fmt;
+
+/// A full RQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// A (possibly recursive) query.
+    Query(Query),
+}
+
+/// A query: an optional recursive `WITH` wrapping a select block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// The recursive definition, when present.
+    pub with: Option<RecursiveWith>,
+    /// The main (or base, when `with` is present and `select` is empty)
+    /// select block. For recursive queries the final result *is* the
+    /// fixpoint relation, so this is `None`.
+    pub select: Option<SelectBlock>,
+}
+
+/// `WITH name (cols) AS (base) UNION [ALL] UNTIL FIXPOINT BY key (step)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecursiveWith {
+    /// The recursive relation's name.
+    pub name: String,
+    /// Declared column names.
+    pub columns: Vec<String>,
+    /// The base case.
+    pub base: SelectBlock,
+    /// `UNION ALL` (bag) vs `UNION` (set) semantics.
+    pub union_all: bool,
+    /// The `FIXPOINT BY` key column names.
+    pub fixpoint_key: Vec<String>,
+    /// The recursive step.
+    pub step: SelectBlock,
+}
+
+/// A single SELECT block.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SelectBlock {
+    /// The projection list.
+    pub projections: Vec<Projection>,
+    /// FROM items (implicit cross join, restricted by WHERE).
+    pub from: Vec<TableRef>,
+    /// WHERE predicate.
+    pub selection: Option<AstExpr>,
+    /// GROUP BY expressions.
+    pub group_by: Vec<AstExpr>,
+}
+
+/// One item of a projection list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Projection {
+    /// `*`.
+    Star,
+    /// `expr [AS alias]`.
+    Expr {
+        /// The projected expression.
+        expr: AstExpr,
+        /// Optional alias.
+        alias: Option<String>,
+    },
+}
+
+/// A FROM item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableRef {
+    /// A named table (possibly the recursive relation) with an optional
+    /// alias.
+    Table {
+        /// Table name.
+        name: String,
+        /// Optional alias.
+        alias: Option<String>,
+    },
+    /// A parenthesized subquery.
+    Subquery {
+        /// The nested select.
+        query: Box<SelectBlock>,
+        /// Optional alias.
+        alias: Option<String>,
+    },
+}
+
+impl TableRef {
+    /// The name this item binds in scope.
+    pub fn binding(&self) -> Option<&str> {
+        match self {
+            TableRef::Table { name, alias } => Some(alias.as_deref().unwrap_or(name)),
+            TableRef::Subquery { alias, .. } => alias.as_deref(),
+        }
+    }
+}
+
+/// Binary operators at the AST level (mapped 1:1 onto the engine's).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AstBinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+}
+
+/// An RQL scalar expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AstExpr {
+    /// `[qualifier.]name`.
+    Column {
+        /// Optional table qualifier.
+        qualifier: Option<String>,
+        /// Column name.
+        name: String,
+    },
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal.
+    Str(String),
+    /// Boolean literal.
+    Bool(bool),
+    /// NULL.
+    Null,
+    /// `left op right`.
+    Binary {
+        /// Operator.
+        op: AstBinOp,
+        /// Left operand.
+        left: Box<AstExpr>,
+        /// Right operand.
+        right: Box<AstExpr>,
+    },
+    /// Unary minus.
+    Neg(Box<AstExpr>),
+    /// NOT.
+    Not(Box<AstExpr>),
+    /// A function / aggregate / UDA call, optionally destructured into
+    /// named output fields: `F(args)` or `F(args).{a, b}`.
+    Call {
+        /// Function name.
+        name: String,
+        /// Arguments (`Star` allowed for `count(*)`).
+        args: Vec<AstExpr>,
+        /// The `.{a, b}` output fields, when present.
+        destructure: Option<Vec<String>>,
+    },
+    /// `*` as a call argument (`count(*)`).
+    Star,
+}
+
+impl AstExpr {
+    /// Shorthand for an unqualified column.
+    pub fn column(name: impl Into<String>) -> AstExpr {
+        AstExpr::Column { qualifier: None, name: name.into() }
+    }
+
+    /// Whether any node in this expression is a call to one of `names`
+    /// (used to detect aggregate expressions).
+    pub fn contains_call_to(&self, pred: &dyn Fn(&str) -> bool) -> bool {
+        match self {
+            AstExpr::Call { name, args, .. } => {
+                pred(name) || args.iter().any(|a| a.contains_call_to(pred))
+            }
+            AstExpr::Binary { left, right, .. } => {
+                left.contains_call_to(pred) || right.contains_call_to(pred)
+            }
+            AstExpr::Neg(e) | AstExpr::Not(e) => e.contains_call_to(pred),
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for AstExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AstExpr::Column { qualifier: Some(q), name } => write!(f, "{q}.{name}"),
+            AstExpr::Column { qualifier: None, name } => write!(f, "{name}"),
+            AstExpr::Int(i) => write!(f, "{i}"),
+            AstExpr::Float(x) => write!(f, "{x}"),
+            AstExpr::Str(s) => write!(f, "'{s}'"),
+            AstExpr::Bool(b) => write!(f, "{b}"),
+            AstExpr::Null => write!(f, "NULL"),
+            AstExpr::Binary { op, left, right } => write!(f, "({left} {op:?} {right})"),
+            AstExpr::Neg(e) => write!(f, "-{e}"),
+            AstExpr::Not(e) => write!(f, "NOT {e}"),
+            AstExpr::Call { name, args, destructure } => {
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")?;
+                if let Some(d) = destructure {
+                    write!(f, ".{{{}}}", d.join(", "))?;
+                }
+                Ok(())
+            }
+            AstExpr::Star => write!(f, "*"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_ref_binding_prefers_alias() {
+        let t = TableRef::Table { name: "graph".into(), alias: Some("g".into()) };
+        assert_eq!(t.binding(), Some("g"));
+        let t2 = TableRef::Table { name: "graph".into(), alias: None };
+        assert_eq!(t2.binding(), Some("graph"));
+        let s = TableRef::Subquery { query: Box::new(SelectBlock::default()), alias: None };
+        assert_eq!(s.binding(), None);
+    }
+
+    #[test]
+    fn contains_call_detects_nested_aggregates() {
+        let e = AstExpr::Binary {
+            op: AstBinOp::Add,
+            left: Box::new(AstExpr::Float(0.15)),
+            right: Box::new(AstExpr::Binary {
+                op: AstBinOp::Mul,
+                left: Box::new(AstExpr::Float(0.85)),
+                right: Box::new(AstExpr::Call {
+                    name: "sum".into(),
+                    args: vec![AstExpr::column("prDiff")],
+                    destructure: None,
+                }),
+            }),
+        };
+        assert!(e.contains_call_to(&|n| n == "sum"));
+        assert!(!e.contains_call_to(&|n| n == "min"));
+    }
+
+    #[test]
+    fn display_round_trips_call_with_destructure() {
+        let e = AstExpr::Call {
+            name: "PRAgg".into(),
+            args: vec![AstExpr::column("srcId"), AstExpr::column("pr")],
+            destructure: Some(vec!["nbr".into(), "prDiff".into()]),
+        };
+        assert_eq!(e.to_string(), "PRAgg(srcId, pr).{nbr, prDiff}");
+    }
+}

@@ -1,0 +1,313 @@
+//! RQL lexer.
+//!
+//! Tokenizes the SQL-derived RQL surface syntax, including the recursion
+//! extension keywords (`UNTIL`, `FIXPOINT`) and the UDF destructuring
+//! syntax `f(x).{a, b}`.
+
+use rex_core::error::{Result, RexError};
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword (uppercased; see [`KEYWORDS`]).
+    Keyword(String),
+    /// Identifier (original case preserved).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string literal.
+    Str(String),
+    /// Punctuation / operator.
+    Symbol(Sym),
+}
+
+/// Punctuation and operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sym {
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    Comma,
+    Dot,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Eq,
+    Neq,
+    Lt,
+    Lte,
+    Gt,
+    Gte,
+    Semicolon,
+}
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Sym::LParen => "(",
+            Sym::RParen => ")",
+            Sym::LBrace => "{",
+            Sym::RBrace => "}",
+            Sym::Comma => ",",
+            Sym::Dot => ".",
+            Sym::Star => "*",
+            Sym::Plus => "+",
+            Sym::Minus => "-",
+            Sym::Slash => "/",
+            Sym::Eq => "=",
+            Sym::Neq => "<>",
+            Sym::Lt => "<",
+            Sym::Lte => "<=",
+            Sym::Gt => ">",
+            Sym::Gte => ">=",
+            Sym::Semicolon => ";",
+        };
+        f.write_str(s)
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Keyword(k) => write!(f, "{k}"),
+            Token::Ident(i) => write!(f, "{i}"),
+            Token::Int(i) => write!(f, "{i}"),
+            Token::Float(x) => write!(f, "{x}"),
+            Token::Str(s) => write!(f, "'{s}'"),
+            Token::Symbol(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// Reserved words recognized as keywords (case-insensitive).
+pub const KEYWORDS: &[&str] = &[
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "AS", "WITH", "UNION", "ALL", "UNTIL", "FIXPOINT",
+    "AND", "OR", "NOT", "NULL", "TRUE", "FALSE", "HAVING", "DISTINCT",
+];
+
+/// Line/column (1-based) of byte offset `i` in `src`.
+fn pos(src: &str, i: usize) -> (usize, usize) {
+    let prefix = &src[..i.min(src.len())];
+    let line = prefix.bytes().filter(|&b| b == b'\n').count() + 1;
+    let col = prefix.rfind('\n').map(|n| i - n).unwrap_or(i + 1);
+    (line, col)
+}
+
+fn perr(src: &str, i: usize, message: impl Into<String>) -> RexError {
+    let (line, col) = pos(src, i);
+    RexError::Parse { message: message.into(), line, col }
+}
+
+/// Tokenize RQL source text. `--` starts a line comment.
+pub fn tokenize(src: &str) -> Result<Vec<Token>> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => push_sym(&mut out, Sym::LParen, &mut i),
+            ')' => push_sym(&mut out, Sym::RParen, &mut i),
+            '{' => push_sym(&mut out, Sym::LBrace, &mut i),
+            '}' => push_sym(&mut out, Sym::RBrace, &mut i),
+            ',' => push_sym(&mut out, Sym::Comma, &mut i),
+            '.' => {
+                // A dot starting a fractional literal (".5") only occurs
+                // after non-numeric context; RQL requires a leading digit,
+                // so "." is always punctuation here.
+                push_sym(&mut out, Sym::Dot, &mut i)
+            }
+            '*' => push_sym(&mut out, Sym::Star, &mut i),
+            '+' => push_sym(&mut out, Sym::Plus, &mut i),
+            '-' => push_sym(&mut out, Sym::Minus, &mut i),
+            '/' => push_sym(&mut out, Sym::Slash, &mut i),
+            ';' => push_sym(&mut out, Sym::Semicolon, &mut i),
+            '=' => push_sym(&mut out, Sym::Eq, &mut i),
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Symbol(Sym::Lte));
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'>') {
+                    out.push(Token::Symbol(Sym::Neq));
+                    i += 2;
+                } else {
+                    push_sym(&mut out, Sym::Lt, &mut i);
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Symbol(Sym::Gte));
+                    i += 2;
+                } else {
+                    push_sym(&mut out, Sym::Gt, &mut i);
+                }
+            }
+            '!' if bytes.get(i + 1) == Some(&b'=') => {
+                out.push(Token::Symbol(Sym::Neq));
+                i += 2;
+            }
+            '\'' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'\'' {
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(perr(src, i, "unterminated string literal"));
+                }
+                out.push(Token::Str(src[start..j].to_string()));
+                i = j + 1;
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                let mut is_float = false;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_digit()
+                        || (bytes[i] == b'.'
+                            && bytes.get(i + 1).map(|b| b.is_ascii_digit()).unwrap_or(false)
+                            && !is_float))
+                {
+                    if bytes[i] == b'.' {
+                        is_float = true;
+                    }
+                    i += 1;
+                }
+                let text = &src[start..i];
+                if is_float {
+                    let v = text
+                        .parse::<f64>()
+                        .map_err(|e| perr(src, start, format!("bad float {text}: {e}")))?;
+                    out.push(Token::Float(v));
+                } else {
+                    let v = text
+                        .parse::<i64>()
+                        .map_err(|e| perr(src, start, format!("bad integer {text}: {e}")))?;
+                    out.push(Token::Int(v));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                let upper = word.to_ascii_uppercase();
+                if KEYWORDS.contains(&upper.as_str()) {
+                    out.push(Token::Keyword(upper));
+                } else {
+                    out.push(Token::Ident(word.to_string()));
+                }
+            }
+            other => {
+                return Err(perr(src, i, format!("unexpected character {other:?}")));
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn push_sym(out: &mut Vec<Token>, s: Sym, i: &mut usize) {
+    out.push(Token::Symbol(s));
+    *i += 1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_simple_select() {
+        let toks = tokenize("SELECT sum(tax), count(*) FROM lineitem WHERE linenumber > 1").unwrap();
+        assert_eq!(toks[0], Token::Keyword("SELECT".into()));
+        assert_eq!(toks[1], Token::Ident("sum".into()));
+        assert!(toks.contains(&Token::Symbol(Sym::Star)));
+        assert_eq!(*toks.last().unwrap(), Token::Int(1));
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let toks = tokenize("select From wHeRe").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Keyword("SELECT".into()),
+                Token::Keyword("FROM".into()),
+                Token::Keyword("WHERE".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn identifiers_keep_case() {
+        let toks = tokenize("srcId PRAgg").unwrap();
+        assert_eq!(toks, vec![Token::Ident("srcId".into()), Token::Ident("PRAgg".into())]);
+    }
+
+    #[test]
+    fn numbers_and_floats() {
+        let toks = tokenize("0.15 0.85 42 1.0").unwrap();
+        assert_eq!(
+            toks,
+            vec![Token::Float(0.15), Token::Float(0.85), Token::Int(42), Token::Float(1.0)]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = tokenize("SELECT 1 -- the answer\nFROM t").unwrap();
+        assert_eq!(toks.len(), 4);
+    }
+
+    #[test]
+    fn destructuring_braces() {
+        let toks = tokenize("PRAgg(srcId, pr).{nbr, prDiff}").unwrap();
+        assert!(toks.contains(&Token::Symbol(Sym::LBrace)));
+        assert!(toks.contains(&Token::Symbol(Sym::RBrace)));
+        assert!(toks.contains(&Token::Symbol(Sym::Dot)));
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let toks = tokenize("a >= 1 b <= 2 c <> 3 d != 4").unwrap();
+        assert!(toks.contains(&Token::Symbol(Sym::Gte)));
+        assert!(toks.contains(&Token::Symbol(Sym::Lte)));
+        assert_eq!(toks.iter().filter(|t| **t == Token::Symbol(Sym::Neq)).count(), 2);
+    }
+
+    #[test]
+    fn string_literals() {
+        let toks = tokenize("MapWrap('MapClass', k, v)").unwrap();
+        assert_eq!(toks[2], Token::Str("MapClass".into()));
+        assert!(tokenize("'unterminated").is_err());
+    }
+
+    #[test]
+    fn qualified_names() {
+        let toks = tokenize("graph.srcId = PR.srcId").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("graph".into()),
+                Token::Symbol(Sym::Dot),
+                Token::Ident("srcId".into()),
+                Token::Symbol(Sym::Eq),
+                Token::Ident("PR".into()),
+                Token::Symbol(Sym::Dot),
+                Token::Ident("srcId".into()),
+            ]
+        );
+    }
+}

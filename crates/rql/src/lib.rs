@@ -1,0 +1,28 @@
+//! # rex-rql
+//!
+//! The RQL language front-end (§3): a SQL dialect extended with
+//!
+//! * recursion — `WITH R (cols) AS (base) UNION [ALL] UNTIL FIXPOINT BY
+//!   key (step)` — executed stratum-by-stratum on the REX engine;
+//! * user-defined aggregators and delta handlers referenced by name, with
+//!   table-valued destructuring `F(args).{a, b}` (Listings 1–3);
+//! * seamless use of user code registered in the engine's
+//!   [`Registry`](rex_core::udf::Registry) without DDL.
+//!
+//! Pipeline: [`lexer`] → [`parser`] → [`resolve`] (names & types against a
+//! schema catalog) → [`logical`] plan → [`lower`] to a physical
+//! [`PlanGraph`](rex_core::exec::PlanGraph) runnable on the local or
+//! cluster runtime.
+
+pub mod ast;
+pub mod lexer;
+pub mod logical;
+pub mod lower;
+pub mod parser;
+pub mod resolve;
+
+pub use ast::{Query, Statement};
+pub use logical::LogicalPlan;
+pub use lower::compile;
+pub use parser::parse;
+pub use resolve::SchemaCatalog;

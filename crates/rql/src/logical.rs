@@ -1,0 +1,805 @@
+//! Logical query plans and the AST → logical planner.
+//!
+//! The planner resolves a parsed [`Query`] against a [`SchemaCatalog`] and
+//! the UDF/UDA [`Registry`] into a tree of [`LogicalPlan`] nodes. Two
+//! special shapes are recognized:
+//!
+//! * **handler joins** (Listing 1's inner block): a block whose single
+//!   projection is a destructured UDA call `H(args).{a, b}` over a
+//!   two-table equi-join lowers to a join with the registered
+//!   [`JoinHandler`](rex_core::handlers::JoinHandler) `H`;
+//! * **recursion**: `WITH … UNION [ALL] UNTIL FIXPOINT BY k (…)` lowers to
+//!   a [`LogicalPlan::Fixpoint`] whose step subplan reads the recursive
+//!   relation through [`LogicalPlan::FixpointRef`].
+
+use crate::ast::{AstExpr, Projection, Query, SelectBlock, Statement, TableRef};
+use crate::resolve::{
+    bin_op, projection_name, resolve_scalar, SchemaCatalog, Scope,
+};
+use rex_core::error::{Result, RexError};
+use rex_core::expr::Expr;
+use rex_core::tuple::{Field, Schema};
+use rex_core::udf::Registry;
+use rex_core::value::DataType;
+
+/// One aggregate computation inside an [`LogicalPlan::Aggregate`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggCall {
+    /// Registered aggregate / UDA name.
+    pub func: String,
+    /// Input columns projected into the handler.
+    pub input_cols: Vec<usize>,
+    /// Result type.
+    pub return_type: DataType,
+}
+
+/// A logical plan node. Every node knows its output schema.
+#[derive(Debug, Clone)]
+pub enum LogicalPlan {
+    /// Scan a stored table.
+    Scan {
+        /// Table name.
+        table: String,
+        /// Table schema.
+        schema: Schema,
+    },
+    /// Reference to the enclosing recursive relation.
+    FixpointRef {
+        /// Recursive relation name.
+        name: String,
+        /// Declared schema.
+        schema: Schema,
+    },
+    /// Row filter.
+    Filter {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Boolean predicate over the input row.
+        predicate: Expr,
+    },
+    /// Projection.
+    Project {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Output expressions.
+        exprs: Vec<Expr>,
+        /// Output schema.
+        schema: Schema,
+    },
+    /// Equi-join (empty keys = cross join), optionally delegated to a user
+    /// join delta handler.
+    Join {
+        /// Left input.
+        left: Box<LogicalPlan>,
+        /// Right input.
+        right: Box<LogicalPlan>,
+        /// Left key columns.
+        left_key: Vec<usize>,
+        /// Right key columns.
+        right_key: Vec<usize>,
+        /// Registered join handler, when this is a handler join.
+        handler: Option<String>,
+        /// Output schema (left ++ right, or the handler's declared fields).
+        schema: Schema,
+    },
+    /// Group-by with aggregate calls; output = group cols ++ agg results.
+    Aggregate {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Grouping columns (input indices).
+        group_cols: Vec<usize>,
+        /// Aggregates.
+        aggs: Vec<AggCall>,
+        /// Post-aggregation projection (over group cols ++ agg results),
+        /// when projections are expressions of aggregates.
+        post: Option<Vec<Expr>>,
+        /// Output schema (after `post`, when present).
+        schema: Schema,
+    },
+    /// Recursive fixpoint.
+    Fixpoint {
+        /// Recursive relation name.
+        name: String,
+        /// `FIXPOINT BY` key columns within the declared schema.
+        key_cols: Vec<usize>,
+        /// Base-case plan.
+        base: Box<LogicalPlan>,
+        /// Recursive-step plan (contains a [`LogicalPlan::FixpointRef`]).
+        step: Box<LogicalPlan>,
+        /// Declared schema of the recursive relation.
+        schema: Schema,
+    },
+}
+
+impl LogicalPlan {
+    /// This node's output schema.
+    pub fn schema(&self) -> &Schema {
+        match self {
+            LogicalPlan::Scan { schema, .. }
+            | LogicalPlan::FixpointRef { schema, .. }
+            | LogicalPlan::Project { schema, .. }
+            | LogicalPlan::Join { schema, .. }
+            | LogicalPlan::Aggregate { schema, .. }
+            | LogicalPlan::Fixpoint { schema, .. } => schema,
+            LogicalPlan::Filter { input, .. } => input.schema(),
+        }
+    }
+
+    /// Render as an indented tree (EXPLAIN-style).
+    pub fn explain(&self) -> String {
+        fn walk(p: &LogicalPlan, depth: usize, out: &mut String) {
+            let pad = "  ".repeat(depth);
+            match p {
+                LogicalPlan::Scan { table, .. } => {
+                    out.push_str(&format!("{pad}Scan {table}\n"));
+                }
+                LogicalPlan::FixpointRef { name, .. } => {
+                    out.push_str(&format!("{pad}FixpointRef {name}\n"));
+                }
+                LogicalPlan::Filter { input, predicate } => {
+                    out.push_str(&format!("{pad}Filter {predicate:?}\n"));
+                    walk(input, depth + 1, out);
+                }
+                LogicalPlan::Project { input, exprs, .. } => {
+                    out.push_str(&format!("{pad}Project ({} exprs)\n", exprs.len()));
+                    walk(input, depth + 1, out);
+                }
+                LogicalPlan::Join { left, right, handler, left_key, right_key, .. } => {
+                    let h = handler
+                        .as_ref()
+                        .map(|h| format!(" handler={h}"))
+                        .unwrap_or_default();
+                    out.push_str(&format!("{pad}Join{h} on {left_key:?}={right_key:?}\n"));
+                    walk(left, depth + 1, out);
+                    walk(right, depth + 1, out);
+                }
+                LogicalPlan::Aggregate { input, group_cols, aggs, .. } => {
+                    let names: Vec<&str> = aggs.iter().map(|a| a.func.as_str()).collect();
+                    out.push_str(&format!(
+                        "{pad}Aggregate by {group_cols:?} [{}]\n",
+                        names.join(",")
+                    ));
+                    walk(input, depth + 1, out);
+                }
+                LogicalPlan::Fixpoint { name, key_cols, base, step, .. } => {
+                    out.push_str(&format!("{pad}Fixpoint {name} by {key_cols:?}\n"));
+                    walk(base, depth + 1, out);
+                    walk(step, depth + 1, out);
+                }
+            }
+        }
+        let mut s = String::new();
+        walk(self, 0, &mut s);
+        s
+    }
+}
+
+/// Plan a parsed statement.
+pub fn plan(stmt: &Statement, catalog: &SchemaCatalog, reg: &Registry) -> Result<LogicalPlan> {
+    let Statement::Query(q) = stmt;
+    plan_query(q, catalog, reg)
+}
+
+fn plan_query(q: &Query, catalog: &SchemaCatalog, reg: &Registry) -> Result<LogicalPlan> {
+    match (&q.with, &q.select) {
+        (None, Some(sel)) => plan_select(sel, catalog, reg, None),
+        (Some(w), outer) => {
+            let base = plan_select(&w.base, catalog, reg, None)?;
+            if base.schema().arity() != w.columns.len() {
+                return Err(RexError::Plan(format!(
+                    "recursive relation {} declares {} columns but its base case produces {}",
+                    w.name,
+                    w.columns.len(),
+                    base.schema().arity()
+                )));
+            }
+            // Declared schema: names from the WITH head, types from the base.
+            let declared = Schema::new(
+                w.columns
+                    .iter()
+                    .zip(base.schema().fields())
+                    .map(|(n, f)| Field::new(n.clone(), f.ty))
+                    .collect(),
+            );
+            let mut key_cols = Vec::with_capacity(w.fixpoint_key.len());
+            for k in &w.fixpoint_key {
+                let i = declared.index_of(k).ok_or_else(|| {
+                    RexError::Plan(format!("FIXPOINT BY column {k} not in {:?}", w.columns))
+                })?;
+                key_cols.push(i);
+            }
+            let step = plan_select(&w.step, catalog, reg, Some((&w.name, &declared)))?;
+            if step.schema().arity() != declared.arity() {
+                return Err(RexError::Plan(format!(
+                    "recursive step of {} produces {} columns, expected {}",
+                    w.name,
+                    step.schema().arity(),
+                    declared.arity()
+                )));
+            }
+            let fp = LogicalPlan::Fixpoint {
+                name: w.name.clone(),
+                key_cols,
+                base: Box::new(base),
+                step: Box::new(step),
+                schema: declared,
+            };
+            match outer {
+                None => Ok(fp),
+                Some(_) => Err(RexError::Plan(
+                    "post-processing SELECT after a recursive WITH is not yet supported".into(),
+                )),
+            }
+        }
+        (None, None) => Err(RexError::Plan("empty query".into())),
+    }
+}
+
+/// Context for resolving the recursive relation inside a step block.
+type RecCtx<'a> = Option<(&'a str, &'a Schema)>;
+
+fn plan_select(
+    block: &SelectBlock,
+    catalog: &SchemaCatalog,
+    reg: &Registry,
+    rec: RecCtx<'_>,
+) -> Result<LogicalPlan> {
+    // ---- FROM items ------------------------------------------------------
+    let mut items: Vec<(Option<String>, LogicalPlan)> = Vec::with_capacity(block.from.len());
+    for f in &block.from {
+        match f {
+            TableRef::Table { name, alias } => {
+                let plan = if let Some((rname, rschema)) = rec {
+                    if name == rname {
+                        LogicalPlan::FixpointRef { name: name.clone(), schema: rschema.clone() }
+                    } else {
+                        LogicalPlan::Scan { table: name.clone(), schema: catalog.get(name)?.clone() }
+                    }
+                } else {
+                    LogicalPlan::Scan { table: name.clone(), schema: catalog.get(name)?.clone() }
+                };
+                items.push((Some(alias.clone().unwrap_or_else(|| name.clone())), plan));
+            }
+            TableRef::Subquery { query, alias } => {
+                let plan = plan_select(query, catalog, reg, rec)?;
+                items.push((alias.clone(), plan));
+            }
+        }
+    }
+    if items.is_empty() {
+        return Err(RexError::Plan("FROM clause is empty".into()));
+    }
+    let scope = Scope::new(
+        items.iter().map(|(n, p)| (n.clone(), p.schema().clone())).collect(),
+    );
+
+    // ---- handler-join shape ---------------------------------------------
+    if let Some(plan) = try_handler_join(block, &items, &scope, reg)? {
+        return Ok(plan);
+    }
+
+    // ---- general joins + residual filter ---------------------------------
+    let mut conjuncts = Vec::new();
+    if let Some(w) = &block.selection {
+        split_conjuncts(w, &mut conjuncts);
+    }
+    let (mut plan, consumed) = fold_joins(items, &scope, &conjuncts, reg)?;
+    for (i, c) in conjuncts.iter().enumerate() {
+        if !consumed.contains(&i) {
+            let predicate = resolve_scalar(c, &scope, reg)?;
+            plan = LogicalPlan::Filter { input: Box::new(plan), predicate };
+        }
+    }
+
+    // ---- aggregation or plain projection ---------------------------------
+    let agg_test = |n: &str| reg.has_agg(n) || reg.has_agg(&n.to_ascii_lowercase());
+    let has_aggs = block
+        .projections
+        .iter()
+        .any(|p| matches!(p, Projection::Expr { expr, .. } if expr.contains_call_to(&agg_test)));
+    if !block.group_by.is_empty() || has_aggs {
+        plan_aggregate(block, plan, &scope, reg)
+    } else {
+        plan_projection(block, plan, &scope, reg)
+    }
+}
+
+/// Recognize the Listing-1 pattern: single destructured UDA projection
+/// over a two-item equi-join where the UDA is a registered join handler.
+fn try_handler_join(
+    block: &SelectBlock,
+    items: &[(Option<String>, LogicalPlan)],
+    scope: &Scope,
+    reg: &Registry,
+) -> Result<Option<LogicalPlan>> {
+    let [Projection::Expr { expr: AstExpr::Call { name, destructure: Some(fields), .. }, .. }] =
+        block.projections.as_slice()
+    else {
+        return Ok(None);
+    };
+    if reg.join(name).is_err() {
+        return Ok(None);
+    }
+    if items.len() != 2 {
+        return Err(RexError::Plan(format!(
+            "handler join {name} requires exactly two FROM items"
+        )));
+    }
+    // Find the equi-join conjunct.
+    let mut conjuncts = Vec::new();
+    if let Some(w) = &block.selection {
+        split_conjuncts(w, &mut conjuncts);
+    }
+    let (split_at, _) = scope
+        .bindings()
+        .get(1)
+        .map(|b| (b.offset, ()))
+        .ok_or_else(|| RexError::Plan("missing join input".into()))?;
+    let mut left_key = Vec::new();
+    let mut right_key = Vec::new();
+    for c in &conjuncts {
+        if let Some((l, r)) = as_equi_join(c, scope, split_at, reg)? {
+            left_key.push(l);
+            right_key.push(r - split_at);
+        }
+    }
+    // A handler join with no key is a broadcast/cross handler join.
+    let schema =
+        Schema::new(fields.iter().map(|f| Field::new(f.clone(), DataType::Any)).collect());
+    let mut items = items.to_vec();
+    let (_, right) = items.pop().expect("two items");
+    let (_, left) = items.pop().expect("two items");
+    Ok(Some(LogicalPlan::Join {
+        left: Box::new(left),
+        right: Box::new(right),
+        left_key,
+        right_key,
+        handler: Some(name.clone()),
+        schema,
+    }))
+}
+
+/// Split an expression into AND-ed conjuncts.
+fn split_conjuncts(e: &AstExpr, out: &mut Vec<AstExpr>) {
+    if let AstExpr::Binary { op: crate::ast::AstBinOp::And, left, right } = e {
+        split_conjuncts(left, out);
+        split_conjuncts(right, out);
+    } else {
+        out.push(e.clone());
+    }
+}
+
+/// If `e` is `colA = colB` with the columns on opposite sides of
+/// `split_at`, return `(left_abs, right_abs)`.
+fn as_equi_join(
+    e: &AstExpr,
+    scope: &Scope,
+    split_at: usize,
+    reg: &Registry,
+) -> Result<Option<(usize, usize)>> {
+    let AstExpr::Binary { op: crate::ast::AstBinOp::Eq, left, right } = e else {
+        return Ok(None);
+    };
+    let (Ok(Expr::Col(a)), Ok(Expr::Col(b))) =
+        (resolve_scalar(left, scope, reg), resolve_scalar(right, scope, reg))
+    else {
+        return Ok(None);
+    };
+    if a < split_at && b >= split_at {
+        Ok(Some((a, b)))
+    } else if b < split_at && a >= split_at {
+        Ok(Some((b, a)))
+    } else {
+        Ok(None)
+    }
+}
+
+/// Left-fold FROM items into binary joins, consuming equi-join conjuncts.
+/// Only two-item FROMs extract keys (n-way joins become cross joins with a
+/// residual filter, which stays correct if slower). Returns the plan and
+/// the set of consumed conjunct indices.
+fn fold_joins(
+    mut items: Vec<(Option<String>, LogicalPlan)>,
+    scope: &Scope,
+    conjuncts: &[AstExpr],
+    reg: &Registry,
+) -> Result<(LogicalPlan, Vec<usize>)> {
+    let mut consumed = Vec::new();
+    if items.len() == 1 {
+        return Ok((items.pop().expect("one item").1, consumed));
+    }
+    if items.len() == 2 {
+        let split_at = scope.bindings()[1].offset;
+        let mut left_key = Vec::new();
+        let mut right_key = Vec::new();
+        for (i, c) in conjuncts.iter().enumerate() {
+            if let Some((l, r)) = as_equi_join(c, scope, split_at, reg)? {
+                left_key.push(l);
+                right_key.push(r - split_at);
+                consumed.push(i);
+            }
+        }
+        let (_, right) = items.pop().expect("two items");
+        let (_, left) = items.pop().expect("two items");
+        let schema = left.schema().concat(right.schema());
+        return Ok((
+            LogicalPlan::Join {
+                left: Box::new(left),
+                right: Box::new(right),
+                left_key,
+                right_key,
+                handler: None,
+                schema,
+            },
+            consumed,
+        ));
+    }
+    // n-way: chain cross joins; all conjuncts become residual filters.
+    let (_, first) = items.remove(0);
+    let mut plan = first;
+    for (_, next) in items {
+        let schema = plan.schema().concat(next.schema());
+        plan = LogicalPlan::Join {
+            left: Box::new(plan),
+            right: Box::new(next),
+            left_key: vec![],
+            right_key: vec![],
+            handler: None,
+            schema,
+        };
+    }
+    Ok((plan, consumed))
+}
+
+fn plan_projection(
+    block: &SelectBlock,
+    input: LogicalPlan,
+    scope: &Scope,
+    reg: &Registry,
+) -> Result<LogicalPlan> {
+    let mut exprs = Vec::new();
+    let mut fields = Vec::new();
+    for (i, p) in block.projections.iter().enumerate() {
+        match p {
+            Projection::Star => {
+                for (j, f) in input.schema().fields().iter().enumerate() {
+                    exprs.push(Expr::Col(j));
+                    fields.push(f.clone());
+                }
+            }
+            Projection::Expr { expr, alias } => {
+                let e = resolve_scalar(expr, scope, reg)?;
+                let ty = e.data_type(input.schema(), reg)?;
+                fields.push(Field::new(projection_name(expr, alias.as_deref(), i), ty));
+                exprs.push(e);
+            }
+        }
+    }
+    let schema = Schema::new(fields);
+    Ok(LogicalPlan::Project { input: Box::new(input), exprs, schema })
+}
+
+fn plan_aggregate(
+    block: &SelectBlock,
+    input: LogicalPlan,
+    scope: &Scope,
+    reg: &Registry,
+) -> Result<LogicalPlan> {
+    // Group columns must be plain column references.
+    let mut group_cols = Vec::new();
+    for g in &block.group_by {
+        match resolve_scalar(g, scope, reg) {
+            Ok(Expr::Col(i)) => group_cols.push(i),
+            _ => {
+                return Err(RexError::Plan(format!(
+                    "GROUP BY supports plain columns, got {g}"
+                )))
+            }
+        }
+    }
+
+    // Walk projections: collect aggregate calls, build post expressions
+    // over [group cols ++ agg results].
+    let mut aggs: Vec<AggCall> = Vec::new();
+    let mut post: Vec<Expr> = Vec::new();
+    let mut fields: Vec<Field> = Vec::new();
+    let mut any_post_needed = false;
+    for (i, p) in block.projections.iter().enumerate() {
+        let Projection::Expr { expr, alias } = p else {
+            return Err(RexError::Plan("'*' cannot be mixed with aggregates".into()));
+        };
+        let e = rewrite_agg_expr(expr, scope, reg, &group_cols, &mut aggs)?;
+        if !matches!(e, Expr::Col(_)) {
+            any_post_needed = true;
+        }
+        let name = projection_name(expr, alias.as_deref(), i);
+        fields.push(Field::new(name, DataType::Any));
+        post.push(e);
+    }
+
+    // The aggregate's raw output schema: group cols ++ agg results.
+    let mut raw_fields: Vec<Field> = group_cols
+        .iter()
+        .map(|&c| input.schema().fields()[c].clone())
+        .collect();
+    for a in &aggs {
+        raw_fields.push(Field::new(a.func.clone(), a.return_type));
+    }
+    let raw_schema = Schema::new(raw_fields);
+
+    // Fix up output field types now that we can infer over the raw schema.
+    for (f, e) in fields.iter_mut().zip(&post) {
+        if let Ok(t) = e.data_type(&raw_schema, reg) {
+            *f = Field::new(f.name.clone(), t);
+        }
+    }
+
+    // Identity post-projection is dropped.
+    let is_identity = !any_post_needed
+        && post.len() == raw_schema.arity()
+        && post.iter().enumerate().all(|(i, e)| matches!(e, Expr::Col(c) if *c == i));
+    let schema = Schema::new(fields);
+    Ok(LogicalPlan::Aggregate {
+        input: Box::new(input),
+        group_cols,
+        aggs,
+        post: if is_identity { None } else { Some(post) },
+        schema,
+    })
+}
+
+/// Rewrite a projection expression into an expression over the aggregate's
+/// raw output `[group cols ++ agg results]`, appending discovered
+/// aggregate calls to `aggs`.
+fn rewrite_agg_expr(
+    e: &AstExpr,
+    scope: &Scope,
+    reg: &Registry,
+    group_cols: &[usize],
+    aggs: &mut Vec<AggCall>,
+) -> Result<Expr> {
+    match e {
+        AstExpr::Call { name, args, destructure } => {
+            let lookup = if reg.has_agg(name) {
+                Some(name.clone())
+            } else if reg.has_agg(&name.to_ascii_lowercase()) {
+                Some(name.to_ascii_lowercase())
+            } else {
+                None
+            };
+            let Some(func) = lookup else {
+                return Err(RexError::Plan(format!("unknown aggregate {name}")));
+            };
+            if destructure.is_some() {
+                return Err(RexError::Plan(format!(
+                    "table-valued aggregate {name} cannot appear in a scalar projection"
+                )));
+            }
+            let mut input_cols = Vec::new();
+            for a in args {
+                match a {
+                    AstExpr::Star => {} // count(*): no input columns
+                    other => match resolve_scalar(other, scope, reg)? {
+                        Expr::Col(c) => input_cols.push(c),
+                        _ => {
+                            return Err(RexError::Plan(format!(
+                                "aggregate arguments must be plain columns: {other}"
+                            )))
+                        }
+                    },
+                }
+            }
+            let return_type = reg.agg(&func)?.return_type();
+            aggs.push(AggCall { func, input_cols, return_type });
+            Ok(Expr::Col(group_cols.len() + aggs.len() - 1))
+        }
+        AstExpr::Column { qualifier, name } => {
+            let (abs, _) = scope.resolve_column(qualifier.as_deref(), name)?;
+            let pos = group_cols.iter().position(|&g| g == abs).ok_or_else(|| {
+                RexError::Plan(format!("column {name} is neither grouped nor aggregated"))
+            })?;
+            Ok(Expr::Col(pos))
+        }
+        AstExpr::Binary { op, left, right } => Ok(Expr::Bin(
+            bin_op(*op),
+            Box::new(rewrite_agg_expr(left, scope, reg, group_cols, aggs)?),
+            Box::new(rewrite_agg_expr(right, scope, reg, group_cols, aggs)?),
+        )),
+        AstExpr::Neg(inner) => {
+            Ok(Expr::Neg(Box::new(rewrite_agg_expr(inner, scope, reg, group_cols, aggs)?)))
+        }
+        AstExpr::Int(_) | AstExpr::Float(_) | AstExpr::Str(_) | AstExpr::Bool(_)
+        | AstExpr::Null => resolve_scalar(e, &Scope::default(), reg),
+        other => Err(RexError::Plan(format!(
+            "unsupported expression in aggregate projection: {other}"
+        ))),
+    }
+}
+
+/// Plan straight from source text.
+pub fn plan_text(src: &str, catalog: &SchemaCatalog, reg: &Registry) -> Result<LogicalPlan> {
+    let stmt = crate::parser::parse(src)?;
+    plan(&stmt, catalog, reg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rex_core::handlers::{JoinHandler, TupleSet};
+    use rex_core::delta::Delta;
+    use std::sync::Arc;
+
+    fn catalog() -> SchemaCatalog {
+        let mut c = SchemaCatalog::new();
+        c.register(
+            "lineitem",
+            Schema::of(&[
+                ("orderkey", DataType::Int),
+                ("linenumber", DataType::Int),
+                ("quantity", DataType::Int),
+                ("extendedprice", DataType::Double),
+                ("discount", DataType::Double),
+                ("tax", DataType::Double),
+            ]),
+        );
+        c.register(
+            "graph",
+            Schema::of(&[("srcId", DataType::Int), ("destId", DataType::Int)]),
+        );
+        c
+    }
+
+    struct NoopJoin;
+    impl JoinHandler for NoopJoin {
+        fn name(&self) -> &str {
+            "PRAgg"
+        }
+        fn update(
+            &self,
+            _l: &mut TupleSet,
+            _r: &mut TupleSet,
+            _d: &Delta,
+            _from_left: bool,
+        ) -> Result<Vec<Delta>> {
+            Ok(vec![])
+        }
+    }
+
+    #[test]
+    fn plans_fig4_query() {
+        let reg = Registry::with_builtins();
+        let p = plan_text(
+            "SELECT sum(tax), count(*) FROM lineitem WHERE linenumber > 1",
+            &catalog(),
+            &reg,
+        )
+        .unwrap();
+        match &p {
+            LogicalPlan::Aggregate { input, group_cols, aggs, post, .. } => {
+                assert!(group_cols.is_empty());
+                assert_eq!(aggs.len(), 2);
+                assert_eq!(aggs[0].func, "sum");
+                assert_eq!(aggs[0].input_cols, vec![5]);
+                assert_eq!(aggs[1].func, "count");
+                assert!(aggs[1].input_cols.is_empty());
+                assert!(post.is_none(), "identity post projection dropped");
+                assert!(matches!(**input, LogicalPlan::Filter { .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn plans_equi_join() {
+        let reg = Registry::with_builtins();
+        let mut c = catalog();
+        c.register("pr", Schema::of(&[("srcId", DataType::Int), ("pr", DataType::Double)]));
+        let p = plan_text(
+            "SELECT graph.destId, pr.pr FROM graph, pr WHERE graph.srcId = pr.srcId",
+            &c,
+            &reg,
+        )
+        .unwrap();
+        match &p {
+            LogicalPlan::Project { input, exprs, .. } => {
+                assert_eq!(exprs.len(), 2);
+                match &**input {
+                    LogicalPlan::Join { left_key, right_key, handler, .. } => {
+                        assert_eq!(left_key, &vec![0]);
+                        assert_eq!(right_key, &vec![0]);
+                        assert!(handler.is_none());
+                    }
+                    other => panic!("{other:?}"),
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn plans_listing1_fixpoint_with_handler_join() {
+        let reg = Registry::with_builtins();
+        reg.register_join("PRAgg", Arc::new(NoopJoin));
+        let src = "
+            WITH PR (srcId, pr) AS (
+              SELECT srcId, 1.0 AS pr FROM graph
+            ) UNION UNTIL FIXPOINT BY srcId (
+              SELECT nbr, 0.15 + 0.85 * sum(prDiff)
+              FROM (SELECT PRAgg(srcId, pr).{nbr, prDiff}
+                    FROM graph, PR
+                    WHERE graph.srcId = PR.srcId GROUP BY srcId)
+              GROUP BY nbr)";
+        let p = plan_text(src, &catalog(), &reg).unwrap();
+        let LogicalPlan::Fixpoint { key_cols, base, step, schema, .. } = &p else {
+            panic!("expected fixpoint, got {p:?}");
+        };
+        assert_eq!(key_cols, &vec![0]);
+        assert_eq!(schema.index_of("pr"), Some(1));
+        assert!(matches!(**base, LogicalPlan::Project { .. }));
+        // Step: aggregate over the handler join.
+        let LogicalPlan::Aggregate { input, aggs, post, .. } = &**step else {
+            panic!("expected aggregate step, got {step:?}");
+        };
+        assert_eq!(aggs[0].func, "sum");
+        assert!(post.is_some(), "0.15 + 0.85*sum needs a post projection");
+        let LogicalPlan::Join { handler, left_key, right_key, .. } = &**input else {
+            panic!("expected handler join, got {input:?}");
+        };
+        assert_eq!(handler.as_deref(), Some("PRAgg"));
+        assert_eq!(left_key, &vec![0]);
+        assert_eq!(right_key, &vec![0]);
+        let text = p.explain();
+        assert!(text.contains("Fixpoint PR"));
+        assert!(text.contains("handler=PRAgg"));
+    }
+
+    #[test]
+    fn rejects_mismatched_recursive_arity() {
+        let reg = Registry::with_builtins();
+        let src = "
+            WITH R (a, b, c) AS (SELECT srcId, destId FROM graph)
+            UNION UNTIL FIXPOINT BY a (SELECT srcId, destId FROM graph)";
+        let err = plan_text(src, &catalog(), &reg).unwrap_err();
+        assert!(err.to_string().contains("declares 3 columns"));
+    }
+
+    #[test]
+    fn rejects_unknown_fixpoint_key() {
+        let reg = Registry::with_builtins();
+        let src = "
+            WITH R (a, b) AS (SELECT srcId, destId FROM graph)
+            UNION UNTIL FIXPOINT BY zzz (SELECT a, b FROM R)";
+        let err = plan_text(src, &catalog(), &reg).unwrap_err();
+        assert!(err.to_string().contains("FIXPOINT BY column zzz"));
+    }
+
+    #[test]
+    fn rejects_ungrouped_column() {
+        let reg = Registry::with_builtins();
+        let err = plan_text(
+            "SELECT destId, sum(srcId) FROM graph GROUP BY srcId",
+            &catalog(),
+            &reg,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("neither grouped nor aggregated"));
+    }
+
+    #[test]
+    fn subquery_in_from_resolves() {
+        let reg = Registry::with_builtins();
+        let p = plan_text(
+            "SELECT s FROM (SELECT srcId AS s FROM graph WHERE destId > 5) AS x",
+            &catalog(),
+            &reg,
+        )
+        .unwrap();
+        assert_eq!(p.schema().index_of("s"), Some(0));
+    }
+
+    #[test]
+    fn unknown_table_is_an_error() {
+        let reg = Registry::with_builtins();
+        assert!(plan_text("SELECT x FROM missing", &catalog(), &reg).is_err());
+    }
+}

@@ -1,0 +1,513 @@
+//! Recursive-descent parser for RQL.
+//!
+//! Grammar (informal):
+//!
+//! ```text
+//! statement   := query [';']
+//! query       := with_block | select
+//! with_block  := WITH ident '(' cols ')' AS '(' select ')'
+//!                UNION [ALL] UNTIL FIXPOINT BY cols '(' select ')'
+//! select      := SELECT projections FROM table_refs [WHERE expr]
+//!                [GROUP BY exprs]
+//! table_ref   := ident [AS ident] | '(' select ')' [AS ident]
+//! projection  := '*' | expr [AS ident]
+//! expr        := or-chain of comparisons over +,-,*,/ terms; calls may
+//!                carry a '.{a, b}' destructuring suffix
+//! ```
+
+use crate::ast::{
+    AstBinOp, AstExpr, Projection, Query, RecursiveWith, SelectBlock, Statement, TableRef,
+};
+use crate::lexer::{tokenize, Sym, Token};
+use rex_core::error::{Result, RexError};
+
+/// Parse a single RQL statement.
+pub fn parse(src: &str) -> Result<Statement> {
+    let tokens = tokenize(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let q = p.query()?;
+    p.eat_symbol(Sym::Semicolon); // optional trailing semicolon
+    if !p.at_end() {
+        return Err(p.error(format!("unexpected trailing token {}", p.peek_desc())));
+    }
+    Ok(Statement::Query(q))
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek_desc(&self) -> String {
+        self.peek().map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+    }
+
+    fn advance(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error(&self, message: String) -> RexError {
+        RexError::Parse { message, line: 0, col: self.pos }
+    }
+
+    fn is_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Keyword(k)) if k == kw)
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.is_keyword(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {kw}, found {}", self.peek_desc())))
+        }
+    }
+
+    fn is_symbol(&self, s: Sym) -> bool {
+        matches!(self.peek(), Some(Token::Symbol(x)) if *x == s)
+    }
+
+    fn eat_symbol(&mut self, s: Sym) -> bool {
+        if self.is_symbol(s) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_symbol(&mut self, s: Sym) -> Result<()> {
+        if self.eat_symbol(s) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected '{s}', found {}", self.peek_desc())))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String> {
+        match self.advance() {
+            Some(Token::Ident(i)) => Ok(i),
+            other => Err(self.error(format!(
+                "expected identifier, found {}",
+                other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+            ))),
+        }
+    }
+
+    // ---- query ----------------------------------------------------------
+
+    fn query(&mut self) -> Result<Query> {
+        if self.eat_keyword("WITH") {
+            let with = self.recursive_with()?;
+            // An optional outer SELECT may follow to post-process the
+            // fixpoint relation; the common case ends at the WITH.
+            let select = if self.is_keyword("SELECT") { Some(self.select_block()?) } else { None };
+            Ok(Query { with: Some(with), select })
+        } else {
+            let select = self.select_block()?;
+            Ok(Query { with: None, select: Some(select) })
+        }
+    }
+
+    fn recursive_with(&mut self) -> Result<RecursiveWith> {
+        let name = self.expect_ident()?;
+        self.expect_symbol(Sym::LParen)?;
+        let mut columns = vec![self.expect_ident()?];
+        while self.eat_symbol(Sym::Comma) {
+            columns.push(self.expect_ident()?);
+        }
+        self.expect_symbol(Sym::RParen)?;
+        self.expect_keyword("AS")?;
+        self.expect_symbol(Sym::LParen)?;
+        let base = self.select_block()?;
+        self.expect_symbol(Sym::RParen)?;
+        self.expect_keyword("UNION")?;
+        let union_all = self.eat_keyword("ALL");
+        self.expect_keyword("UNTIL")?;
+        self.expect_keyword("FIXPOINT")?;
+        self.expect_keyword("BY")?;
+        let mut fixpoint_key = vec![self.expect_ident()?];
+        while self.eat_symbol(Sym::Comma) {
+            fixpoint_key.push(self.expect_ident()?);
+        }
+        self.expect_symbol(Sym::LParen)?;
+        let step = self.select_block()?;
+        self.expect_symbol(Sym::RParen)?;
+        Ok(RecursiveWith { name, columns, base, union_all, fixpoint_key, step })
+    }
+
+    fn select_block(&mut self) -> Result<SelectBlock> {
+        self.expect_keyword("SELECT")?;
+        let mut projections = vec![self.projection()?];
+        while self.eat_symbol(Sym::Comma) {
+            projections.push(self.projection()?);
+        }
+        self.expect_keyword("FROM")?;
+        let mut from = vec![self.table_ref()?];
+        while self.eat_symbol(Sym::Comma) {
+            from.push(self.table_ref()?);
+        }
+        let selection = if self.eat_keyword("WHERE") { Some(self.expr()?) } else { None };
+        let mut group_by = Vec::new();
+        if self.eat_keyword("GROUP") {
+            self.expect_keyword("BY")?;
+            group_by.push(self.expr()?);
+            while self.eat_symbol(Sym::Comma) {
+                group_by.push(self.expr()?);
+            }
+        }
+        Ok(SelectBlock { projections, from, selection, group_by })
+    }
+
+    fn projection(&mut self) -> Result<Projection> {
+        if self.eat_symbol(Sym::Star) {
+            return Ok(Projection::Star);
+        }
+        let expr = self.expr()?;
+        let alias = if self.eat_keyword("AS") { Some(self.expect_ident()?) } else { None };
+        Ok(Projection::Expr { expr, alias })
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef> {
+        if self.eat_symbol(Sym::LParen) {
+            let q = self.select_block()?;
+            self.expect_symbol(Sym::RParen)?;
+            let alias = if self.eat_keyword("AS") {
+                Some(self.expect_ident()?)
+            } else if let Some(Token::Ident(_)) = self.peek() {
+                Some(self.expect_ident()?)
+            } else {
+                None
+            };
+            return Ok(TableRef::Subquery { query: Box::new(q), alias });
+        }
+        let name = self.expect_ident()?;
+        let alias = if self.eat_keyword("AS") {
+            Some(self.expect_ident()?)
+        } else if let Some(Token::Ident(_)) = self.peek() {
+            Some(self.expect_ident()?)
+        } else {
+            None
+        };
+        Ok(TableRef::Table { name, alias })
+    }
+
+    // ---- expressions ----------------------------------------------------
+
+    fn expr(&mut self) -> Result<AstExpr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<AstExpr> {
+        let mut left = self.and_expr()?;
+        while self.eat_keyword("OR") {
+            let right = self.and_expr()?;
+            left = AstExpr::Binary { op: AstBinOp::Or, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<AstExpr> {
+        let mut left = self.not_expr()?;
+        while self.eat_keyword("AND") {
+            let right = self.not_expr()?;
+            left =
+                AstExpr::Binary { op: AstBinOp::And, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<AstExpr> {
+        if self.eat_keyword("NOT") {
+            Ok(AstExpr::Not(Box::new(self.not_expr()?)))
+        } else {
+            self.comparison()
+        }
+    }
+
+    fn comparison(&mut self) -> Result<AstExpr> {
+        let left = self.additive()?;
+        let op = match self.peek() {
+            Some(Token::Symbol(Sym::Eq)) => Some(AstBinOp::Eq),
+            Some(Token::Symbol(Sym::Neq)) => Some(AstBinOp::Ne),
+            Some(Token::Symbol(Sym::Lt)) => Some(AstBinOp::Lt),
+            Some(Token::Symbol(Sym::Lte)) => Some(AstBinOp::Le),
+            Some(Token::Symbol(Sym::Gt)) => Some(AstBinOp::Gt),
+            Some(Token::Symbol(Sym::Gte)) => Some(AstBinOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let right = self.additive()?;
+            Ok(AstExpr::Binary { op, left: Box::new(left), right: Box::new(right) })
+        } else {
+            Ok(left)
+        }
+    }
+
+    fn additive(&mut self) -> Result<AstExpr> {
+        let mut left = self.multiplicative()?;
+        loop {
+            let op = if self.eat_symbol(Sym::Plus) {
+                AstBinOp::Add
+            } else if self.eat_symbol(Sym::Minus) {
+                AstBinOp::Sub
+            } else {
+                break;
+            };
+            let right = self.multiplicative()?;
+            left = AstExpr::Binary { op, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn multiplicative(&mut self) -> Result<AstExpr> {
+        let mut left = self.unary()?;
+        loop {
+            let op = if self.eat_symbol(Sym::Star) {
+                AstBinOp::Mul
+            } else if self.eat_symbol(Sym::Slash) {
+                AstBinOp::Div
+            } else {
+                break;
+            };
+            let right = self.unary()?;
+            left = AstExpr::Binary { op, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn unary(&mut self) -> Result<AstExpr> {
+        if self.eat_symbol(Sym::Minus) {
+            Ok(AstExpr::Neg(Box::new(self.unary()?)))
+        } else {
+            self.primary()
+        }
+    }
+
+    fn primary(&mut self) -> Result<AstExpr> {
+        match self.advance() {
+            Some(Token::Int(i)) => Ok(AstExpr::Int(i)),
+            Some(Token::Float(x)) => Ok(AstExpr::Float(x)),
+            Some(Token::Str(s)) => Ok(AstExpr::Str(s)),
+            Some(Token::Keyword(k)) if k == "NULL" => Ok(AstExpr::Null),
+            Some(Token::Keyword(k)) if k == "TRUE" => Ok(AstExpr::Bool(true)),
+            Some(Token::Keyword(k)) if k == "FALSE" => Ok(AstExpr::Bool(false)),
+            Some(Token::Symbol(Sym::LParen)) => {
+                let e = self.expr()?;
+                self.expect_symbol(Sym::RParen)?;
+                Ok(e)
+            }
+            Some(Token::Ident(name)) => {
+                if self.is_symbol(Sym::LParen) {
+                    self.call(name)
+                } else if self.eat_symbol(Sym::Dot) {
+                    let col = self.expect_ident()?;
+                    Ok(AstExpr::Column { qualifier: Some(name), name: col })
+                } else {
+                    Ok(AstExpr::column(name))
+                }
+            }
+            other => Err(self.error(format!(
+                "expected expression, found {}",
+                other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+            ))),
+        }
+    }
+
+    fn call(&mut self, name: String) -> Result<AstExpr> {
+        self.expect_symbol(Sym::LParen)?;
+        let mut args = Vec::new();
+        if !self.is_symbol(Sym::RParen) {
+            loop {
+                if self.eat_symbol(Sym::Star) {
+                    args.push(AstExpr::Star);
+                } else {
+                    args.push(self.expr()?);
+                }
+                if !self.eat_symbol(Sym::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect_symbol(Sym::RParen)?;
+        // Optional `.{a, b}` destructuring.
+        let destructure = if self.is_symbol(Sym::Dot)
+            && matches!(self.tokens.get(self.pos + 1), Some(Token::Symbol(Sym::LBrace)))
+        {
+            self.pos += 2;
+            let mut fields = vec![self.expect_ident()?];
+            while self.eat_symbol(Sym::Comma) {
+                fields.push(self.expect_ident()?);
+            }
+            self.expect_symbol(Sym::RBrace)?;
+            Some(fields)
+        } else {
+            None
+        };
+        Ok(AstExpr::Call { name, args, destructure })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(src: &str) -> Query {
+        match parse(src).unwrap() {
+            Statement::Query(q) => q,
+        }
+    }
+
+    #[test]
+    fn parses_fig4_aggregation_query() {
+        let query = q("SELECT sum(tax), count(*) FROM lineitem WHERE linenumber > 1");
+        let sel = query.select.unwrap();
+        assert_eq!(sel.projections.len(), 2);
+        assert_eq!(sel.from.len(), 1);
+        assert!(sel.selection.is_some());
+        assert!(sel.group_by.is_empty());
+        match &sel.projections[1] {
+            Projection::Expr { expr: AstExpr::Call { name, args, .. }, .. } => {
+                assert_eq!(name, "count");
+                assert_eq!(args, &vec![AstExpr::Star]);
+            }
+            other => panic!("unexpected projection {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_group_by_with_aliases() {
+        let query = q("SELECT srcId AS s, sum(pr) AS total FROM pr GROUP BY srcId");
+        let sel = query.select.unwrap();
+        assert_eq!(sel.group_by.len(), 1);
+        match &sel.projections[0] {
+            Projection::Expr { alias, .. } => assert_eq!(alias.as_deref(), Some("s")),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_join_with_qualified_columns() {
+        let query = q("SELECT graph.destId, PR.pr FROM graph, PR WHERE graph.srcId = PR.srcId");
+        let sel = query.select.unwrap();
+        assert_eq!(sel.from.len(), 2);
+        match &sel.selection {
+            Some(AstExpr::Binary { op: AstBinOp::Eq, left, right }) => {
+                assert_eq!(
+                    **left,
+                    AstExpr::Column { qualifier: Some("graph".into()), name: "srcId".into() }
+                );
+                assert_eq!(
+                    **right,
+                    AstExpr::Column { qualifier: Some("PR".into()), name: "srcId".into() }
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_listing1_pagerank() {
+        let src = "
+            WITH PR (srcId, pr) AS (
+              SELECT srcId, 1.0 AS pr FROM graph
+            ) UNION UNTIL FIXPOINT BY srcId (
+              SELECT nbr, 0.15 + 0.85 * sum(prDiff)
+              FROM (SELECT PRAgg(srcId, pr).{nbr, prDiff}
+                    FROM graph, PR
+                    WHERE graph.srcId = PR.srcId GROUP BY srcId)
+              GROUP BY nbr)";
+        let query = q(src);
+        let with = query.with.unwrap();
+        assert_eq!(with.name, "PR");
+        assert_eq!(with.columns, vec!["srcId", "pr"]);
+        assert!(!with.union_all);
+        assert_eq!(with.fixpoint_key, vec!["srcId"]);
+        assert!(query.select.is_none());
+        // The step's FROM is a subquery containing the UDA destructure.
+        match &with.step.from[0] {
+            TableRef::Subquery { query: inner, .. } => {
+                match &inner.projections[0] {
+                    Projection::Expr {
+                        expr: AstExpr::Call { name, destructure: Some(d), .. },
+                        ..
+                    } => {
+                        assert_eq!(name, "PRAgg");
+                        assert_eq!(d, &vec!["nbr", "prDiff"]);
+                    }
+                    other => panic!("{other:?}"),
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_listing2_shortest_path() {
+        let src = "
+            WITH SP (srcId, nbrId, dist) AS (
+              SELECT srcId, -1, 0 FROM graph WHERE srcId = 3
+            ) UNION ALL UNTIL FIXPOINT BY srcId (
+              SELECT nbr, ArgMin(srcId, distOut).{id, dist}
+              FROM (SELECT srcId, SPAgg(nbrId, dist).{nbr, distOut}
+                    FROM graph, SP WHERE graph.srcId = SP.srcId
+                    GROUP BY srcId) GROUP BY nbr)";
+        let query = q(src);
+        let with = query.with.unwrap();
+        assert!(with.union_all);
+        assert_eq!(with.columns.len(), 3);
+    }
+
+    #[test]
+    fn parses_arithmetic_precedence() {
+        let query = q("SELECT 0.15 + 0.85 * sum(x) FROM t");
+        let sel = query.select.unwrap();
+        match &sel.projections[0] {
+            Projection::Expr { expr: AstExpr::Binary { op: AstBinOp::Add, right, .. }, .. } => {
+                assert!(matches!(**right, AstExpr::Binary { op: AstBinOp::Mul, .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(parse("SELECT 1 FROM t nonsense extra").is_err());
+        assert!(parse("SELECT FROM t").is_err());
+        assert!(parse("WITH R (a) AS (SELECT a FROM t) UNION SELECT 1 FROM t").is_err());
+    }
+
+    #[test]
+    fn optional_semicolon_ok() {
+        assert!(parse("SELECT 1 FROM t;").is_ok());
+    }
+
+    #[test]
+    fn table_alias_without_as() {
+        let query = q("SELECT g.srcId FROM graph g");
+        let sel = query.select.unwrap();
+        assert_eq!(sel.from[0].binding(), Some("g"));
+    }
+}

@@ -1,0 +1,73 @@
+//! The catalog: named tables shared by all workers of a simulated cluster.
+
+use crate::table::StoredTable;
+use parking_lot::RwLock;
+use rex_core::error::{Result, RexError};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A thread-safe catalog of stored tables.
+#[derive(Clone, Default)]
+pub struct Catalog {
+    inner: Arc<RwLock<HashMap<String, Arc<StoredTable>>>>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Register (or replace) a table.
+    pub fn register(&self, table: StoredTable) {
+        self.inner
+            .write()
+            .insert(table.name().to_ascii_lowercase(), Arc::new(table));
+    }
+
+    /// Look up a table by name (case-insensitive).
+    pub fn get(&self, name: &str) -> Result<Arc<StoredTable>> {
+        self.inner
+            .read()
+            .get(&name.to_ascii_lowercase())
+            .cloned()
+            .ok_or_else(|| RexError::Storage(format!("unknown table: {name}")))
+    }
+
+    /// Whether a table exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.inner.read().contains_key(&name.to_ascii_lowercase())
+    }
+
+    /// Drop a table; returns whether it existed.
+    pub fn drop_table(&self, name: &str) -> bool {
+        self.inner.write().remove(&name.to_ascii_lowercase()).is_some()
+    }
+
+    /// Names of all tables, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.inner.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rex_core::tuple::Schema;
+    use rex_core::value::DataType;
+
+    #[test]
+    fn register_lookup_drop() {
+        let cat = Catalog::new();
+        let t = StoredTable::new("Edges", Schema::of(&[("a", DataType::Int)]), vec![0]);
+        cat.register(t);
+        assert!(cat.contains("edges"));
+        assert!(cat.get("EDGES").is_ok());
+        assert_eq!(cat.table_names(), vec!["edges".to_string()]);
+        assert!(cat.drop_table("edges"));
+        assert!(cat.get("edges").is_err());
+        assert!(!cat.drop_table("edges"));
+    }
+}

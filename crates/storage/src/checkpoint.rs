@@ -1,0 +1,170 @@
+//! Checkpoint store for incremental recovery (§4.3).
+//!
+//! "We employ incremental checkpoints: for a given stratum, every machine
+//! buffers and replicates the mutable Δᵢ set processed by the local fixpoint
+//! operator to replica machines. In the presence of failures, recovery
+//! queries are started from the last stratum which was successfully
+//! completed."
+//!
+//! The store is keyed by `(owner node, stratum)` and records, per
+//! checkpoint, the set of replica nodes holding a copy — a checkpoint
+//! survives the owner's failure iff at least one replica is still alive.
+
+use parking_lot::RwLock;
+use rex_core::operators::OperatorState;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One replicated checkpoint of a node's fixpoint state.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    /// The node whose fixpoint state this is.
+    pub owner: usize,
+    /// The stratum after which the state was captured.
+    pub stratum: u64,
+    /// Nodes holding a replica of this checkpoint (owner excluded).
+    pub replicas: Vec<usize>,
+    /// The checkpointed mutable set.
+    pub state: OperatorState,
+}
+
+impl Checkpoint {
+    /// Bytes replicated for this checkpoint (volume accounting): state size
+    /// times the number of replica copies shipped.
+    pub fn replicated_bytes(&self) -> u64 {
+        (self.state.byte_size() * self.replicas.len()) as u64
+    }
+}
+
+/// Thread-safe checkpoint store shared by the simulated cluster (stands in
+/// for each node's local disk plus its replicas').
+#[derive(Clone, Default)]
+pub struct CheckpointStore {
+    inner: Arc<RwLock<HashMap<(usize, u64), Checkpoint>>>,
+}
+
+impl CheckpointStore {
+    /// Empty store.
+    pub fn new() -> CheckpointStore {
+        CheckpointStore::default()
+    }
+
+    /// Record a checkpoint, replacing any previous one for the same
+    /// `(owner, stratum)`.
+    pub fn put(&self, ckpt: Checkpoint) {
+        self.inner.write().insert((ckpt.owner, ckpt.stratum), ckpt);
+    }
+
+    /// Fetch the checkpoint for `(owner, stratum)` if it is *recoverable*:
+    /// either the owner is alive, or some replica node is.
+    pub fn recoverable(
+        &self,
+        owner: usize,
+        stratum: u64,
+        live_nodes: &[usize],
+    ) -> Option<Checkpoint> {
+        let map = self.inner.read();
+        let c = map.get(&(owner, stratum))?;
+        if live_nodes.contains(&owner) || c.replicas.iter().any(|r| live_nodes.contains(r)) {
+            Some(c.clone())
+        } else {
+            None
+        }
+    }
+
+    /// The latest stratum for which *every* owner in `owners` has a
+    /// recoverable checkpoint: the stratum recovery restarts from.
+    pub fn last_complete_stratum(&self, owners: &[usize], live_nodes: &[usize]) -> Option<u64> {
+        let map = self.inner.read();
+        let mut best: Option<u64> = None;
+        let strata: std::collections::BTreeSet<u64> =
+            map.keys().map(|(_, s)| *s).collect();
+        for &s in &strata {
+            let all = owners.iter().all(|&o| {
+                map.get(&(o, s))
+                    .map(|c| {
+                        live_nodes.contains(&o)
+                            || c.replicas.iter().any(|r| live_nodes.contains(r))
+                    })
+                    .unwrap_or(false)
+            });
+            if all {
+                best = Some(s);
+            }
+        }
+        best
+    }
+
+    /// Total bytes currently held (all checkpoints, all replicas).
+    pub fn total_bytes(&self) -> u64 {
+        self.inner
+            .read()
+            .values()
+            .map(|c| (c.state.byte_size() as u64) * (1 + c.replicas.len() as u64))
+            .sum()
+    }
+
+    /// Discard checkpoints older than `stratum` (garbage collection: only
+    /// the last completed stratum is needed).
+    pub fn prune_before(&self, stratum: u64) {
+        self.inner.write().retain(|(_, s), _| *s >= stratum);
+    }
+
+    /// Remove everything.
+    pub fn clear(&self) {
+        self.inner.write().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rex_core::tuple;
+
+    fn state(n: i64) -> OperatorState {
+        OperatorState { tuples: vec![tuple![n]] }
+    }
+
+    #[test]
+    fn checkpoint_survives_owner_failure_via_replica() {
+        let store = CheckpointStore::new();
+        store.put(Checkpoint { owner: 0, stratum: 3, replicas: vec![1, 2], state: state(7) });
+        // Owner dead, replica 2 alive.
+        let c = store.recoverable(0, 3, &[2, 3]).unwrap();
+        assert_eq!(c.state.tuples, vec![tuple![7i64]]);
+        // Owner and all replicas dead: unrecoverable.
+        assert!(store.recoverable(0, 3, &[3, 4]).is_none());
+    }
+
+    #[test]
+    fn last_complete_stratum_requires_all_owners() {
+        let store = CheckpointStore::new();
+        for s in 0..3u64 {
+            store.put(Checkpoint { owner: 0, stratum: s, replicas: vec![1], state: state(0) });
+        }
+        store.put(Checkpoint { owner: 1, stratum: 0, replicas: vec![0], state: state(1) });
+        store.put(Checkpoint { owner: 1, stratum: 1, replicas: vec![0], state: state(1) });
+        // Node 1 never checkpointed stratum 2.
+        assert_eq!(store.last_complete_stratum(&[0, 1], &[0, 1]), Some(1));
+    }
+
+    #[test]
+    fn prune_discards_old_strata() {
+        let store = CheckpointStore::new();
+        for s in 0..5u64 {
+            store.put(Checkpoint { owner: 0, stratum: s, replicas: vec![], state: state(0) });
+        }
+        store.prune_before(3);
+        assert!(store.recoverable(0, 2, &[0]).is_none());
+        assert!(store.recoverable(0, 4, &[0]).is_some());
+    }
+
+    #[test]
+    fn byte_accounting_counts_replicas() {
+        let store = CheckpointStore::new();
+        let st = state(1);
+        let sz = st.byte_size() as u64;
+        store.put(Checkpoint { owner: 0, stratum: 0, replicas: vec![1, 2], state: st });
+        assert_eq!(store.total_bytes(), sz * 3);
+    }
+}

@@ -1,0 +1,20 @@
+//! # rex-storage
+//!
+//! Partitioned, replicated local storage for REX (§4, §4.1).
+//!
+//! "The input data resides on partitioned replicated local storage" — this
+//! crate provides the catalog of stored tables, key-based partitioning
+//! (pages are *not* the partitioning unit; keys are), replica placement via
+//! a consistent-hash ring, the partition-map snapshots every query is
+//! distributed with, and the checkpoint store backing incremental recovery
+//! (§4.3).
+
+pub mod catalog;
+pub mod checkpoint;
+pub mod partition;
+pub mod table;
+
+pub use catalog::Catalog;
+pub use checkpoint::CheckpointStore;
+pub use partition::{PartitionSnapshot, Ring};
+pub use table::StoredTable;

@@ -1,0 +1,33 @@
+//! # REX — Recursive, Delta-Based Data-Centric Computation
+//!
+//! A from-scratch Rust reproduction of the REX system (Mihaylov, Ives,
+//! Guha; PVLDB 5(11), 2012): a shared-nothing, pipelined parallel query
+//! engine where incremental updates (*deltas*) are first-class citizens,
+//! recursion executes in strata with user-defined termination, and state is
+//! refined — not accumulated — from iteration to iteration.
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`core`] — deltas, operators, the execution engine;
+//! * [`storage`] — partitioned replicated tables, snapshots, checkpoints;
+//! * [`cluster`] — the distributed runtime with incremental recovery;
+//! * [`rql`] — the RQL language (SQL + fixpoint recursion + UDAs);
+//! * [`optimizer`] — cost-based top-down optimization;
+//! * [`hadoop`] — the MapReduce/HaLoop simulator used as a baseline;
+//! * [`dbms`] — the accumulate-only recursive-SQL "DBMS X" baseline;
+//! * [`algos`] — delta-oriented PageRank, shortest paths, K-means, and
+//!   their MapReduce twins;
+//! * [`data`] — synthetic dataset generators.
+//!
+//! See `README.md` for a tour and `EXPERIMENTS.md` for the paper's
+//! figure-by-figure reproduction.
+
+pub use rex_algos as algos;
+pub use rex_cluster as cluster;
+pub use rex_core as core;
+pub use rex_data as data;
+pub use rex_dbms as dbms;
+pub use rex_hadoop as hadoop;
+pub use rex_optimizer as optimizer;
+pub use rex_rql as rql;
+pub use rex_storage as storage;

@@ -1,0 +1,194 @@
+//! The evaluation's qualitative claims, pinned as assertions: who wins,
+//! in what order, and where the savings come from. These are the "shapes"
+//! of Figures 5–12 — CI guards that the reproduction keeps reproducing.
+
+use rex::algos::pagerank::{PageRankConfig, Strategy};
+use rex::algos::reference;
+use rex::algos::{kmeans, kmeans_mr, pagerank, pagerank_mr, sssp, sssp_mr};
+use rex::cluster::failure::RecoveryStrategy;
+use rex::cluster::runtime::{ClusterConfig, ClusterRuntime};
+use rex::data::graph::{generate_graph, Graph, GraphSpec};
+use rex::data::points::{generate_points, PointSpec};
+use rex::hadoop::cost::EmulationMode;
+use rex::hadoop::job::HadoopCluster;
+use rex::storage::catalog::Catalog;
+use rex::storage::table::StoredTable;
+
+const WORKERS: usize = 8;
+
+fn graph() -> Graph {
+    generate_graph(GraphSpec::dbpedia(600, 42))
+}
+
+fn catalog(g: &Graph) -> Catalog {
+    let cat = Catalog::new();
+    let mut t = StoredTable::new("graph", Graph::schema(), vec![0]);
+    t.load_unchecked(g.edge_tuples());
+    cat.register(t);
+    cat
+}
+
+/// Figure 6's ordering: REX Δ < REX no-Δ < HaLoop LB < Hadoop LB.
+#[test]
+fn pagerank_strategy_ordering() {
+    let g = graph();
+    let iters = 15u64;
+
+    let rt = ClusterRuntime::new(ClusterConfig::new(WORKERS), catalog(&g));
+    let delta = rt
+        .run(pagerank::plan_builder(
+            PageRankConfig { threshold: 0.01, max_iterations: iters },
+            Strategy::Delta,
+        ))
+        .unwrap()
+        .1
+        .simulated_time();
+    let rt = ClusterRuntime::new(ClusterConfig::new(WORKERS), catalog(&g));
+    let no_delta = rt
+        .run(pagerank::plan_builder(
+            PageRankConfig { threshold: 0.0, max_iterations: iters },
+            Strategy::NoDelta,
+        ))
+        .unwrap()
+        .1
+        .simulated_time();
+
+    let hadoop = pagerank_mr::run_mr(
+        &g,
+        iters as usize,
+        &HadoopCluster::new(WORKERS).with_mode(EmulationMode::HadoopLowerBound),
+    )
+    .1
+    .total_sim_time();
+    let haloop = pagerank_mr::run_mr(
+        &g,
+        iters as usize,
+        &HadoopCluster::new(WORKERS).with_mode(EmulationMode::HaLoopLowerBound),
+    )
+    .1
+    .total_sim_time();
+
+    assert!(delta < no_delta, "Δ {delta} !< no-Δ {no_delta}");
+    assert!(no_delta < haloop, "no-Δ {no_delta} !< HaLoop {haloop}");
+    assert!(haloop < hadoop, "HaLoop {haloop} !< Hadoop {hadoop}");
+    assert!(
+        haloop / delta > 3.0,
+        "REX Δ should beat HaLoop LB by a wide margin, got {:.1}x",
+        haloop / delta
+    );
+}
+
+/// Figure 6(b): REX Δ's per-iteration runtime shrinks; no-Δ stays flat.
+#[test]
+fn pagerank_per_iteration_trends() {
+    let g = graph();
+    let rt = ClusterRuntime::new(ClusterConfig::new(WORKERS), catalog(&g));
+    let (_, delta_rep) = rt
+        .run(pagerank::plan_builder(
+            PageRankConfig { threshold: 0.01, max_iterations: 50 },
+            Strategy::Delta,
+        ))
+        .unwrap();
+    let times: Vec<f64> =
+        delta_rep.query.strata.iter().map(|s| s.simulated_time).collect();
+    assert!(times.len() > 5);
+    let head = times[1];
+    let tail = times[times.len() - 2];
+    assert!(
+        tail < head / 3.0,
+        "Δ per-iteration time should collapse: head {head:.0}, tail {tail:.0}"
+    );
+}
+
+/// Figure 5's claim: REX Δ beats Hadoop on K-means at every size, with the
+/// largest relative gap at small sizes (iteration overhead).
+#[test]
+fn kmeans_rex_wins_across_sizes() {
+    let mut gaps = Vec::new();
+    for n in [300usize, 2_400] {
+        let points = generate_points(PointSpec::geodata(n, 7));
+        let cat = Catalog::new();
+        let mut t = StoredTable::new("geodata", rex::data::points::schema(), vec![0]);
+        t.load_unchecked(rex::data::points::point_tuples(&points));
+        cat.register(t);
+        let rt = ClusterRuntime::new(ClusterConfig::new(WORKERS), cat);
+        let rex_time = rt
+            .run(kmeans::plan_builder(kmeans::KMeansConfig { k: 8, max_iterations: 100 }))
+            .unwrap()
+            .1
+            .simulated_time();
+        let mr_time = kmeans_mr::run_mr(
+            &points,
+            8,
+            100,
+            &HadoopCluster::new(WORKERS).with_mode(EmulationMode::HadoopLowerBound),
+        )
+        .1
+        .total_sim_time();
+        assert!(rex_time < mr_time, "n={n}: REX {rex_time} !< Hadoop {mr_time}");
+        gaps.push(mr_time / rex_time);
+    }
+    assert!(gaps[0] > 2.0, "small-size gap should be large (startup): {gaps:?}");
+}
+
+/// Figure 7's "Improved Accuracy": REX Δ's post-convergence-tail
+/// iterations cost almost nothing.
+#[test]
+fn sssp_tail_iterations_are_nearly_free() {
+    let g = graph();
+    let rt = ClusterRuntime::new(ClusterConfig::new(WORKERS), catalog(&g));
+    let (_, rep) = rt
+        .run(sssp::plan_builder(sssp::SsspConfig::from_source(0), Strategy::Delta))
+        .unwrap();
+    let times: Vec<f64> = rep.query.strata.iter().map(|s| s.simulated_time).collect();
+    let peak = times.iter().copied().fold(0.0, f64::max);
+    let last = *times.last().unwrap();
+    assert!(last < peak * 0.2, "final stratum {last:.1} vs peak {peak:.1}");
+}
+
+/// Figure 11's claim: REX Δ ships fewer bytes than the Hadoop pipeline
+/// (absolute volumes; the per-time-unit framing depends on runtimes).
+#[test]
+fn sssp_delta_ships_fewer_bytes_than_hadoop() {
+    let g = graph();
+    let depth = reference::hops_to_reach(&reference::shortest_paths(&g, 0), 1.0);
+    let rt = ClusterRuntime::new(ClusterConfig::new(WORKERS), catalog(&g));
+    let (_, rex_rep) = rt
+        .run(sssp::plan_builder(sssp::SsspConfig::from_source(0), Strategy::Delta))
+        .unwrap();
+    let (_, mr_rep) = sssp_mr::run_mr(
+        &g,
+        0,
+        depth as usize + 1,
+        &HadoopCluster::new(WORKERS).with_mode(EmulationMode::HadoopLowerBound),
+    );
+    let rex_bytes = rex_rep.query.totals.bytes_sent;
+    let mr_bytes = mr_rep.total_network_bytes();
+    assert!(
+        rex_bytes < mr_bytes,
+        "REX {rex_bytes} bytes !< Hadoop {mr_bytes} bytes"
+    );
+}
+
+/// Figure 12's claim: incremental recovery costs less than restart, and
+/// both produce the correct answer.
+#[test]
+fn incremental_recovery_beats_restart() {
+    let g = graph();
+    let run = |strategy| {
+        let cfg = ClusterConfig::new(WORKERS)
+            .with_failure(rex::cluster::failure::FailurePlan::kill_at(1, 5), strategy);
+        let rt = ClusterRuntime::new(cfg, catalog(&g));
+        rt.run(sssp::plan_builder(sssp::SsspConfig::from_source(0), Strategy::Delta))
+            .unwrap()
+    };
+    let (restart_res, restart_rep) = run(RecoveryStrategy::Restart);
+    let (incr_res, incr_rep) = run(RecoveryStrategy::Incremental);
+    assert_eq!(restart_res, incr_res, "both strategies agree on the answer");
+    assert!(
+        incr_rep.simulated_time() < restart_rep.simulated_time(),
+        "incremental {} !< restart {}",
+        incr_rep.simulated_time(),
+        restart_rep.simulated_time()
+    );
+}

@@ -1,0 +1,126 @@
+//! Cross-platform agreement: every implementation of every algorithm —
+//! REX delta, REX no-delta, REX wrap, the MapReduce simulator, DBMS X, and
+//! the sequential reference — must produce the same answers on the same
+//! inputs. This pins the evaluation to apples-to-apples comparisons.
+
+use rex::algos::common::max_abs_diff;
+use rex::algos::pagerank::{self, PageRankConfig, Strategy};
+use rex::algos::{kmeans, kmeans_mr, pagerank_mr, reference, sssp, sssp_mr};
+use rex::cluster::runtime::{ClusterConfig, ClusterRuntime};
+use rex::core::exec::LocalRuntime;
+use rex::data::graph::{generate_graph, Graph, GraphSpec};
+use rex::data::points::{generate_points, PointSpec};
+use rex::dbms::engine::DbmsConfig;
+use rex::hadoop::cost::EmulationMode;
+use rex::hadoop::job::HadoopCluster;
+use rex::storage::catalog::Catalog;
+use rex::storage::table::StoredTable;
+
+fn graph() -> Graph {
+    generate_graph(GraphSpec {
+        n_vertices: 90,
+        edges_per_vertex: 4,
+        seed: 1234,
+        random_edge_fraction: 0.08,
+        locality_window: 0,
+    })
+}
+
+fn graph_catalog(g: &Graph) -> Catalog {
+    let cat = Catalog::new();
+    let mut t = StoredTable::new("graph", Graph::schema(), vec![0]);
+    t.load_unchecked(g.edge_tuples());
+    cat.register(t);
+    cat
+}
+
+#[test]
+fn pagerank_agrees_across_all_six_platforms() {
+    let g = graph();
+    let iters = 10;
+    let want = reference::pagerank(&g, iters);
+
+    // REX no-delta (exact power iteration), local.
+    let plan = pagerank::plan_local(
+        &g,
+        PageRankConfig { threshold: 0.0, max_iterations: iters as u64 },
+        Strategy::NoDelta,
+    );
+    let (res, _) = LocalRuntime::new().run(plan).unwrap();
+    let rex_nodelta = pagerank::ranks_from_results(&res, g.n_vertices);
+    assert!(max_abs_diff(&rex_nodelta, &want) < 1e-9, "REX no-Δ");
+
+    // REX delta with a tiny threshold, distributed.
+    let rt = ClusterRuntime::new(ClusterConfig::new(4), graph_catalog(&g));
+    let (res, _) = rt
+        .run(pagerank::plan_builder(
+            PageRankConfig { threshold: 1e-10, max_iterations: 400 },
+            Strategy::Delta,
+        ))
+        .unwrap();
+    let rex_delta = pagerank::ranks_from_results(&res, g.n_vertices);
+    let (converged, _) = reference::pagerank_converged(&g, 1e-11, 600);
+    assert!(max_abs_diff(&rex_delta, &converged) < 1e-6, "REX Δ vs converged reference");
+
+    // MapReduce two-job pipeline.
+    let cluster = HadoopCluster::new(4).with_mode(EmulationMode::HadoopLowerBound);
+    let (mr, _) = pagerank_mr::run_mr(&g, iters, &cluster);
+    assert!(max_abs_diff(&mr, &want) < 1e-9, "MapReduce");
+
+    // Wrap: the Hadoop classes inside REX.
+    let (res, _) = LocalRuntime::new()
+        .run(pagerank_mr::wrap_plan_local(&g, iters as u64))
+        .unwrap();
+    let wrap = pagerank_mr::wrap_ranks(&res, g.n_vertices);
+    assert!(max_abs_diff(&wrap, &want) < 1e-9, "wrap");
+
+    // DBMS X recursive SQL.
+    let (dbms, _) = rex::dbms::pagerank_recursive_sql(&g, iters, &DbmsConfig::default());
+    assert!(max_abs_diff(&dbms, &want) < 1e-9, "DBMS X");
+}
+
+#[test]
+fn shortest_path_agrees_across_platforms() {
+    let g = graph();
+    let want: Vec<f64> = reference::shortest_paths(&g, 3)
+        .into_iter()
+        .map(|d| if d == u32::MAX { f64::INFINITY } else { d as f64 })
+        .collect();
+
+    let rt = ClusterRuntime::new(ClusterConfig::new(4), graph_catalog(&g));
+    let (res, _) = rt
+        .run(sssp::plan_builder(sssp::SsspConfig::from_source(3), Strategy::Delta))
+        .unwrap();
+    assert_eq!(sssp::dists_from_results(&res, g.n_vertices), want, "REX Δ");
+
+    let cluster = HadoopCluster::new(3).with_mode(EmulationMode::HaLoopLowerBound);
+    let (mr, _) = sssp_mr::run_mr(&g, 3, 200, &cluster);
+    assert_eq!(mr, want, "MapReduce frontier");
+
+    let depth = reference::hops_to_reach(&reference::shortest_paths(&g, 3), 1.0) as u64;
+    let (res, _) = LocalRuntime::new()
+        .run(sssp_mr::wrap_plan_local(&g, 3, depth + 1))
+        .unwrap();
+    assert_eq!(sssp_mr::wrap_dists(&res, g.n_vertices), want, "wrap");
+}
+
+#[test]
+fn kmeans_agrees_across_platforms() {
+    let points = generate_points(PointSpec { n_points: 180, n_clusters: 4, stddev: 1.2, seed: 77 });
+    let k = 4;
+    let init = reference::sample_centroids(&points, k);
+    let (want, _, _, _) = reference::kmeans(&points, &init, 200);
+
+    let plan = kmeans::plan_local(&points, kmeans::KMeansConfig { k, max_iterations: 200 });
+    let (res, _) = LocalRuntime::new().run(plan).unwrap();
+    let rex_c = kmeans::centroids_from_results(&res, k);
+    for (a, b) in rex_c.iter().zip(&want) {
+        assert!(a.dist(b) < 1e-6, "REX Δ centroid drift: {}", a.dist(b));
+    }
+
+    let cluster = HadoopCluster::new(4).with_mode(EmulationMode::HadoopLowerBound);
+    let (mr_c, _) = kmeans_mr::run_mr(&points, k, 200, &cluster);
+    for (a, b) in mr_c.iter().zip(&want) {
+        assert!(a.dist(b) < 1e-9, "MapReduce centroid drift: {}", a.dist(b));
+    }
+}
