@@ -142,10 +142,7 @@ impl JoinHandler for AdsorbAgg {
             return Ok(out);
         }
         for e in right.iter() {
-            out.push(Delta::insert(Tuple::new(vec![
-                e.get(1).clone(),
-                value_from_vec(&diff),
-            ])));
+            out.push(Delta::insert(Tuple::new(vec![e.get(1).clone(), value_from_vec(&diff)])));
         }
         Ok(out)
     }
@@ -188,9 +185,7 @@ impl AggHandler for LabelAccum {
     }
 
     fn agg_result(&self, _state: &AggState) -> Result<Vec<Delta>> {
-        Err(RexError::Exec(
-            "LabelAccum is table-valued and resolved via agg_result_keyed".into(),
-        ))
+        Err(RexError::Exec("LabelAccum is table-valued and resolved via agg_result_keyed".into()))
     }
 
     fn output_kind(&self) -> AggOutputKind {
@@ -265,11 +260,8 @@ impl AggHandler for KeyedLabelAccum {
         let acc = vec_from_value(&list[1], self.inner.n_labels);
         let inject = &self.inner.inject[vertex as usize];
         let deg = self.inner.in_deg[vertex as usize].max(1) as f64;
-        let result: Vec<f64> = inject
-            .iter()
-            .zip(&acc)
-            .map(|(i, a)| ALPHA * i + (1.0 - ALPHA) * a / deg)
-            .collect();
+        let result: Vec<f64> =
+            inject.iter().zip(&acc).map(|(i, a)| ALPHA * i + (1.0 - ALPHA) * a / deg).collect();
         Ok(vec![Delta::insert(Tuple::new(vec![value_from_vec(&result)]))])
     }
 
@@ -295,13 +287,13 @@ pub fn plan_local(graph: &Graph, cfg: &AdsorptionConfig) -> PlanGraph {
         .collect();
     let scan_base = g.add(Box::new(ScanOp::new("adsorb_base", base)));
     let scan_graph = g.add(Box::new(ScanOp::new("graph", graph.edge_tuples())));
-    let fp = g.add(Box::new(FixpointOp::new(
-        vec![0],
-        Termination::FixpointOrMax(cfg.max_iterations),
-    )));
-    let join = g.add(Box::new(HashJoinOp::new(vec![0], vec![0]).with_handler(Arc::new(
-        AdsorbAgg { threshold: cfg.threshold, n_labels: cfg.n_labels },
-    ))));
+    let fp =
+        g.add(Box::new(FixpointOp::new(vec![0], Termination::FixpointOrMax(cfg.max_iterations))));
+    let join =
+        g.add(Box::new(HashJoinOp::new(vec![0], vec![0]).with_handler(Arc::new(AdsorbAgg {
+            threshold: cfg.threshold,
+            n_labels: cfg.n_labels,
+        }))));
     let rehash = g.add_rehash(vec![0]);
     let gb = g.add(Box::new(GroupByOp::new(
         vec![0],
@@ -337,11 +329,8 @@ pub fn argmax_labels(labels: &[Vec<f64>]) -> Vec<Option<usize>> {
     labels
         .iter()
         .map(|v| {
-            let (i, &m) = v
-                .iter()
-                .enumerate()
-                .max_by(|a, b| a.1.total_cmp(b.1))
-                .unwrap_or((0, &0.0));
+            let (i, &m) =
+                v.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap_or((0, &0.0));
             if m > 0.0 {
                 Some(i)
             } else {
@@ -413,9 +402,7 @@ mod tests {
         assert!(rep_l.iterations() < rep_t.iterations());
         let a = labels_from_results(&res_t, g.n_vertices, 3);
         let b = labels_from_results(&res_l, g.n_vertices, 3);
-        let worst = (0..g.n_vertices)
-            .map(|v| max_abs_diff(&a[v], &b[v]))
-            .fold(0.0f64, f64::max);
+        let worst = (0..g.n_vertices).map(|v| max_abs_diff(&a[v], &b[v])).fold(0.0f64, f64::max);
         assert!(worst < 0.1, "1%-threshold deviation {worst}");
     }
 

@@ -26,11 +26,7 @@ pub fn adjacency_records(graph: &Graph) -> Vec<Record> {
 /// makes the immutable shuffle volume proportional to |E|, which is what
 /// HaLoop's reducer-input cache saves.
 pub fn edge_records(graph: &Graph) -> Vec<Record> {
-    graph
-        .edges
-        .iter()
-        .map(|&(s, t)| (Value::Int(s as i64), Value::Int(t as i64)))
-        .collect()
+    graph.edges.iter().map(|&(s, t)| (Value::Int(s as i64), Value::Int(t as i64))).collect()
 }
 
 /// Initial PageRank records `(v, 1.0)` for every vertex.

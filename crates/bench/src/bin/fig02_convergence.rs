@@ -59,11 +59,8 @@ fn main() {
     let plan = plan_local(&g, PageRankConfig { threshold, max_iterations: 60 }, Strategy::Delta);
     let (results, report) = LocalRuntime::new().run(plan).expect("pagerank");
     let _ = ranks_from_results(&results, n);
-    let fractions: Vec<f64> = report
-        .strata
-        .iter()
-        .map(|s| 100.0 * s.delta_set_size as f64 / n as f64)
-        .collect();
+    let fractions: Vec<f64> =
+        report.strata.iter().map(|s| 100.0 * s.delta_set_size as f64 / n as f64).collect();
     print_table(
         "(b) % non-converged nodes per iteration",
         "iteration",
@@ -73,12 +70,6 @@ fn main() {
         "\nconverged in {} strata; Δ sizes head {:?} → tail {:?}",
         report.iterations(),
         &report.strata.iter().map(|s| s.delta_set_size).take(3).collect::<Vec<_>>(),
-        &report
-            .strata
-            .iter()
-            .rev()
-            .map(|s| s.delta_set_size)
-            .take(3)
-            .collect::<Vec<_>>(),
+        &report.strata.iter().rev().map(|s| s.delta_set_size).take(3).collect::<Vec<_>>(),
     );
 }

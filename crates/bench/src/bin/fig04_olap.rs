@@ -15,9 +15,9 @@
 
 use rex_bench::workloads;
 use rex_core::delta::Delta;
+use rex_core::error::Result;
 use rex_core::exec::LocalRuntime;
 use rex_core::handlers::{AggHandler, AggState};
-use rex_core::error::Result;
 use rex_core::udf::{ClosureUdf, Registry};
 use rex_core::value::{DataType, Value};
 use rex_data::lineitem::reference_fig4_answer;
@@ -210,10 +210,7 @@ fn main() {
             "\nUDF overhead vs built-in: {:+.1}% (paper: ≤ 10%)",
             100.0 * (t_udf / t_builtin - 1.0)
         );
-        println!(
-            "built-in speedup over Hadoop: {:.1}x (paper: > 3x)",
-            t_hadoop / t_builtin
-        );
+        println!("built-in speedup over Hadoop: {:.1}x (paper: > 3x)", t_hadoop / t_builtin);
         println!(
             "wrap overhead vs Hadoop-equivalent work: wrap = {:.1}, hadoop = {:.1}",
             t_wrap, t_hadoop

@@ -21,8 +21,7 @@ fn main() {
     for &n in &sizes {
         let points = rex_bench::workloads::geo_points(n);
         let (_, rex_rep) = kmeans_rex(&points, k, PAPER_WORKERS);
-        let (_, mr_rep) =
-            kmeans_hadoop(&points, k, EmulationMode::HadoopLowerBound, PAPER_WORKERS);
+        let (_, mr_rep) = kmeans_hadoop(&points, k, EmulationMode::HadoopLowerBound, PAPER_WORKERS);
         rex.points.push((n as f64, rex_rep.simulated_time()));
         hadoop.points.push((n as f64, mr_rep.total_sim_time()));
         println!(

@@ -5,8 +5,8 @@
 //! REX Δ run only enough iterations for 99% reachability; REX Δ runs to
 //! the true fixpoint, with the tail iterations nearly free.
 
-use rex_algos::reference;
 use rex_algos::pagerank::Strategy;
+use rex_algos::reference;
 use rex_bench::runners::*;
 use rex_bench::{print_table, scale, Series, PAPER_WORKERS};
 use rex_hadoop::cost::EmulationMode;
@@ -50,7 +50,10 @@ fn main() {
     print_table("(b) runtime per iteration", "iteration", &series);
 
     let delta_total = cumulative[4].last_y();
-    println!("\ntotal runtimes (REX Δ runs ALL {} iterations, others only {hops99}):", delta.iterations());
+    println!(
+        "\ntotal runtimes (REX Δ runs ALL {} iterations, others only {hops99}):",
+        delta.iterations()
+    );
     for s in &cumulative {
         println!(
             "  {:<10} {:>14.0}  ({:.1}x vs REX Δ)",
@@ -60,10 +63,7 @@ fn main() {
         );
     }
     // The accuracy observation: iterations beyond hops99 are nearly free.
-    let tail: f64 = rex_iteration_times(&delta)
-        .iter()
-        .skip(hops99 as usize)
-        .sum();
+    let tail: f64 = rex_iteration_times(&delta).iter().skip(hops99 as usize).sum();
     println!(
         "\nREX Δ tail (iterations {} and beyond): {:.0} units — {:.1}% of its total \
          (paper: iterations 7..75 take under 1s combined)",

@@ -69,8 +69,5 @@ fn main() {
             100.0 * speedups[3] / 28.0
         );
     }
-    println!(
-        "speedup at 28 nodes: {:.1}x (paper: near-linear)",
-        speedups[3]
-    );
+    println!("speedup at 28 nodes: {:.1}x (paper: near-linear)", speedups[3]);
 }

@@ -21,9 +21,9 @@
 //! Workload sizes default to laptop scale; set `REX_SCALE=large` for
 //! bigger sweeps. Seeds are fixed, so output is reproducible.
 
+pub mod runners;
 pub mod series;
 pub mod workloads;
-pub mod runners;
 
 pub use series::{print_table, Series};
 

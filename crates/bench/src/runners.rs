@@ -137,8 +137,7 @@ mod tests {
             3,
         );
         let rex_ranks = pagerank::ranks_from_results(&tuples, g.n_vertices);
-        let (mr_ranks, _) =
-            pagerank_hadoop(&g, iters as usize, EmulationMode::HadoopLowerBound, 3);
+        let (mr_ranks, _) = pagerank_hadoop(&g, iters as usize, EmulationMode::HadoopLowerBound, 3);
         assert!(max_abs_diff(&rex_ranks, &mr_ranks) < 1e-9);
         assert_eq!(rex_iteration_times(&rex_rep).len(), iters as usize);
     }

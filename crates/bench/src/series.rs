@@ -51,10 +51,8 @@ pub fn print_table(title: &str, x_label: &str, series: &[Series]) {
     println!();
     let n = series.iter().map(|s| s.points.len()).max().unwrap_or(0);
     for i in 0..n {
-        let x = series
-            .iter()
-            .find_map(|s| s.points.get(i).map(|&(x, _)| x))
-            .unwrap_or((i + 1) as f64);
+        let x =
+            series.iter().find_map(|s| s.points.get(i).map(|&(x, _)| x)).unwrap_or((i + 1) as f64);
         if x == x.trunc() {
             print!("{x:>12.0}");
         } else {

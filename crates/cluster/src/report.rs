@@ -52,11 +52,7 @@ impl ClusterReport {
     /// Convenience: simulated time recomputed under a different cost model
     /// (used by ablation benches).
     pub fn resimulate(&self, model: &CostModel) -> f64 {
-        self.query
-            .strata
-            .iter()
-            .map(|s| s.metrics.simulated_time(model))
-            .sum()
+        self.query.strata.iter().map(|s| s.metrics.simulated_time(model)).sum()
     }
 }
 
@@ -67,13 +63,9 @@ mod tests {
 
     #[test]
     fn bandwidth_divides_by_nodes_and_time() {
-        let mut r = ClusterReport {
-            n_workers: 4,
-            ..Default::default()
-        };
-        r.per_worker = (0..4)
-            .map(|_| ExecMetrics { bytes_sent: 250, ..Default::default() })
-            .collect();
+        let mut r = ClusterReport { n_workers: 4, ..Default::default() };
+        r.per_worker =
+            (0..4).map(|_| ExecMetrics { bytes_sent: 250, ..Default::default() }).collect();
         r.query.simulated_time = 10.0;
         assert_eq!(r.avg_bandwidth_per_node(), 1000.0 / 4.0 / 10.0);
     }

@@ -9,7 +9,7 @@
 //! instance has punctuated that stratum.
 
 use rex_core::delta::{Annotation, Delta, Punctuation};
-use rex_core::exec::{Executor, NetEmission, NodeId};
+use rex_core::exec::{Executor, NetEmission, NetKey, NodeId};
 use rex_core::operators::{hash_key, Event};
 use rex_storage::partition::PartitionSnapshot;
 use std::collections::{HashMap, HashSet};
@@ -47,18 +47,24 @@ impl Router {
             match em.event {
                 Event::Data(deltas) => {
                     injected += self.route_data(
-                        from_worker, em.node, em.port, deltas, executors, live, snap,
+                        from_worker,
+                        em.node,
+                        em.port,
+                        deltas,
+                        executors,
+                        live,
+                        snap,
                     );
                 }
                 Event::Punct(p) => {
-                    injected +=
-                        self.route_punct(from_worker, em.node, em.port, p, executors, live);
+                    injected += self.route_punct(from_worker, em.node, em.port, p, executors, live);
                 }
             }
         }
         injected
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn route_data(
         &mut self,
         from_worker: usize,
@@ -69,27 +75,45 @@ impl Router {
         live: &[usize],
         snap: &PartitionSnapshot,
     ) -> usize {
-        let key_cols: Vec<usize> = executors[from_worker]
+        let net = executors[from_worker]
             .network_key(node)
             .expect("outbox emission from a non-network node")
-            .to_vec();
-        // A rehash with no key columns is a *broadcast*: every live worker
-        // receives the full batch (used for small relations joined against
-        // everything, e.g. K-means centroids against the point partitions).
-        if key_cols.is_empty() {
-            let event = Event::Data(deltas);
-            let bytes = event.byte_size() as u64;
-            for &target in live {
+            .clone();
+        let key_cols: Vec<usize> = match net {
+            // A broadcast boundary replicates the full batch to every live
+            // worker (small relations joined against everything, e.g.
+            // K-means centroids against the point partitions).
+            NetKey::Broadcast => {
+                let event = Event::Data(deltas);
+                let bytes = event.byte_size() as u64;
+                for &target in live {
+                    if target != from_worker {
+                        executors[from_worker].metrics.bytes_sent += bytes;
+                        executors[target].metrics.bytes_received += bytes;
+                        self.bytes_crossed += bytes;
+                        self.messages_crossed += 1;
+                    }
+                    executors[target].inject_downstream(node, port, event.clone());
+                }
+                return live.len();
+            }
+            // A gather boundary funnels everything to one deterministic
+            // worker — the owner of the empty key (global aggregates).
+            NetKey::Gather => {
+                let target = snap.owner_of_hash(hash_key(&[]));
+                let event = Event::Data(deltas);
                 if target != from_worker {
+                    let bytes = event.byte_size() as u64;
                     executors[from_worker].metrics.bytes_sent += bytes;
                     executors[target].metrics.bytes_received += bytes;
                     self.bytes_crossed += bytes;
                     self.messages_crossed += 1;
                 }
-                executors[target].inject_downstream(node, port, event.clone());
+                executors[target].inject_downstream(node, port, event);
+                return 1;
             }
-            return live.len();
-        }
+            NetKey::Hash(cols) => cols,
+        };
         let mut per_target: HashMap<usize, Vec<Delta>> = HashMap::new();
         for d in deltas {
             // A replacement whose old tuple lives in a different partition
@@ -98,14 +122,8 @@ impl Router {
                 let old_owner = snap.owner_of_hash(hash_key(&old.key(&key_cols)));
                 let new_owner = snap.owner_of_hash(hash_key(&d.tuple.key(&key_cols)));
                 if old_owner != new_owner {
-                    per_target
-                        .entry(old_owner)
-                        .or_default()
-                        .push(Delta::delete(old.clone()));
-                    per_target
-                        .entry(new_owner)
-                        .or_default()
-                        .push(Delta::insert(d.tuple.clone()));
+                    per_target.entry(old_owner).or_default().push(Delta::delete(old.clone()));
+                    per_target.entry(new_owner).or_default().push(Delta::insert(d.tuple.clone()));
                     continue;
                 }
             }
@@ -142,10 +160,7 @@ impl Router {
         executors[from_worker].metrics.bytes_sent += bcast;
         self.bytes_crossed += bcast;
 
-        let heard = self
-            .punct_counts
-            .entry((node, port, p))
-            .or_default();
+        let heard = self.punct_counts.entry((node, port, p)).or_default();
         heard.insert(from_worker);
         if heard.len() >= live.len() {
             self.punct_counts.remove(&(node, port, p));
@@ -212,10 +227,7 @@ mod tests {
         let out = vec![NetEmission {
             node: 0,
             port: 0,
-            event: Event::Data(vec![
-                Delta::insert(tuple![k0]),
-                Delta::insert(tuple![k1]),
-            ]),
+            event: Event::Data(vec![Delta::insert(tuple![k0]), Delta::insert(tuple![k1])]),
         }];
         router.route(0, out, &mut ex, &live, &snap);
         // Worker 0 self-delivered k0 (no bytes), shipped k1 to worker 1.

@@ -142,7 +142,6 @@ impl ClusterRuntime {
             }
             drain_all(&mut executors, &mut router, &live, &snapshot, reg, cost)?;
 
-
             // On incremental recovery only the failed worker's range is
             // actually cold: the survivors' scans and immutable operator
             // state stay warm on their nodes. The simulator re-executes the
@@ -261,16 +260,14 @@ impl ClusterRuntime {
                     for &w in &live {
                         for &f in &fixpoints {
                             if let Some(state) = executors[w].checkpoint_node(f) {
-                                let replicas =
-                                    next_workers(&live, w, self.config.replication - 1);
+                                let replicas = next_workers(&live, w, self.config.replication - 1);
                                 // Incremental checkpointing ships only the
                                 // stratum's Δᵢ set; replicas maintain their
                                 // accumulated copy of the mutable state
                                 // (§4.3).
-                                let bytes = executors[w]
-                                    .with_fixpoint(f, |fp| fp.pending_bytes())?;
-                                executors[w].metrics.bytes_sent +=
-                                    bytes * replicas.len() as u64;
+                                let bytes =
+                                    executors[w].with_fixpoint(f, |fp| fp.pending_bytes())?;
+                                executors[w].metrics.bytes_sent += bytes * replicas.len() as u64;
                                 executors[w].metrics.disk_written += bytes;
                                 for &r in &replicas {
                                     executors[r].metrics.disk_written += bytes;
@@ -341,7 +338,13 @@ impl ClusterRuntime {
                 // Advance or finish — all workers in lockstep, then drain.
                 for &w in &live {
                     for &f in &fixpoints {
-                        executors[w].advance_fixpoint(f, any_continue, reg, cost, &mut Vec::new())?;
+                        executors[w].advance_fixpoint(
+                            f,
+                            any_continue,
+                            reg,
+                            cost,
+                            &mut Vec::new(),
+                        )?;
                     }
                     executors[w].set_stratum(completed + 1);
                 }
@@ -391,9 +394,7 @@ fn next_workers(live: &[usize], w: usize, k: usize) -> Vec<usize> {
     let mut sorted: Vec<usize> = live.to_vec();
     sorted.sort_unstable();
     let pos = sorted.iter().position(|&x| x == w).unwrap_or(0);
-    (1..=k.min(sorted.len().saturating_sub(1)))
-        .map(|i| sorted[(pos + i) % sorted.len()])
-        .collect()
+    (1..=k.min(sorted.len().saturating_sub(1))).map(|i| sorted[(pos + i) % sorted.len()]).collect()
 }
 
 /// Union the sinks of all live workers at the requestor, accounting the
@@ -492,8 +493,7 @@ fn finalize(
         totals.merge(m);
     }
     report.query.totals = totals;
-    report.query.simulated_time =
-        report.query.strata.iter().map(|s| s.simulated_time).sum();
+    report.query.simulated_time = report.query.strata.iter().map(|s| s.simulated_time).sum();
     report.query.wall_seconds = t0.elapsed().as_secs_f64();
 }
 
@@ -558,17 +558,15 @@ mod tests {
             let mut g = PlanGraph::new();
             let scan = g.add(Box::new(ScanOp::new("nums", table.partition_for(snap, w))));
             // project (k%3, v) then rehash on the new key and aggregate.
-            let proj = g.add(Box::new(ApplyFunctionOp::new(Arc::new(FnMapper::new(
-                "mod3",
-                |d, _| {
+            let proj =
+                g.add(Box::new(ApplyFunctionOp::new(Arc::new(FnMapper::new("mod3", |d, _| {
                     let k = d.tuple.get(0).as_int().unwrap();
                     let v = d.tuple.get(1).clone();
                     Ok(vec![d.with_tuple(rex_core::tuple::Tuple::new(vec![
                         rex_core::value::Value::Int(k % 3),
                         v,
                     ]))])
-                },
-            )))));
+                })))));
             let rh = g.add_rehash(vec![0]);
             let gb = g.add(Box::new(GroupByOp::new(
                 vec![0],
@@ -584,10 +582,7 @@ mod tests {
         let (results, report) = rt.run(build).unwrap();
         assert_eq!(results.len(), 3);
         // Σ v over 90 rows with v = i%5 → 18 cycles of 0+1+2+3+4 = 180.
-        let total: f64 = results
-            .iter()
-            .map(|t| t.get(1).as_double().unwrap())
-            .sum();
+        let total: f64 = results.iter().map(|t| t.get(1).as_double().unwrap()).sum();
         assert!((total - 180.0).abs() < 1e-9);
         // Rehash moved data across workers.
         assert!(report.query.totals.bytes_sent > 0);
@@ -600,9 +595,8 @@ mod tests {
             let mut g = PlanGraph::new();
             let scan = g.add(Box::new(ScanOp::new("nums", table.partition_for(snap, w))));
             let fp = g.add(Box::new(FixpointOp::new(vec![0], Termination::Fixpoint)));
-            let step = g.add(Box::new(ApplyFunctionOp::new(Arc::new(FnMapper::new(
-                "inc",
-                |d, _| {
+            let step =
+                g.add(Box::new(ApplyFunctionOp::new(Arc::new(FnMapper::new("inc", |d, _| {
                     let k = d.tuple.get(0).as_int().unwrap();
                     let v = d.tuple.get(1).as_double().unwrap();
                     if v < 5.0 {
@@ -610,8 +604,7 @@ mod tests {
                     } else {
                         Ok(vec![])
                     }
-                },
-            )))));
+                })))));
             let rh = g.add_rehash(vec![0]);
             let sink = g.add(Box::new(SinkOp::new()));
             g.connect(scan, 0, fp, 0);
@@ -684,8 +677,7 @@ mod tests {
     fn restart_costs_more_than_incremental_for_late_failures() {
         let run = |strategy| {
             let cat = catalog_with_numbers(60);
-            let cfg = ClusterConfig::new(4)
-                .with_failure(FailurePlan::kill_at(1, 4), strategy);
+            let cfg = ClusterConfig::new(4).with_failure(FailurePlan::kill_at(1, 4), strategy);
             ClusterRuntime::new(cfg, cat).run(recursive_build()).unwrap().1
         };
         let restart = run(RecoveryStrategy::Restart);

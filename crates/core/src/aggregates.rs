@@ -21,8 +21,9 @@ use crate::value::{DataType, Value};
 use std::sync::Arc;
 
 fn numeric(v: &Value) -> Result<f64> {
-    v.as_double()
-        .ok_or_else(|| RexError::Type(format!("aggregate input must be numeric, got {}", v.data_type())))
+    v.as_double().ok_or_else(|| {
+        RexError::Type(format!("aggregate input must be numeric, got {}", v.data_type()))
+    })
 }
 
 /// First attribute of the delta's tuple — built-in aggregates are unary; the
@@ -175,11 +176,7 @@ pub struct MinAgg;
 /// MAX, symmetric to [`MinAgg`].
 pub struct MaxAgg;
 
-fn extremum_state(
-    state: &mut AggState,
-    d: &Delta,
-    name: &str,
-) -> Result<()> {
+fn extremum_state(state: &mut AggState, d: &Delta, name: &str) -> Result<()> {
     let bag = match state {
         AggState::Bag(b) => b,
         _ => return Err(RexError::Exec(format!("{name}: bad state shape"))),
@@ -222,9 +219,7 @@ impl AggHandler for MinAgg {
 
     fn agg_result(&self, state: &AggState) -> Result<Vec<Delta>> {
         match state {
-            AggState::Bag(b) => Ok(scalar_result(
-                b.iter().min().cloned().unwrap_or(Value::Null),
-            )),
+            AggState::Bag(b) => Ok(scalar_result(b.iter().min().cloned().unwrap_or(Value::Null))),
             _ => Err(RexError::Exec("min: bad state shape".into())),
         }
     }
@@ -261,9 +256,7 @@ impl AggHandler for MaxAgg {
 
     fn agg_result(&self, state: &AggState) -> Result<Vec<Delta>> {
         match state {
-            AggState::Bag(b) => Ok(scalar_result(
-                b.iter().max().cloned().unwrap_or(Value::Null),
-            )),
+            AggState::Bag(b) => Ok(scalar_result(b.iter().max().cloned().unwrap_or(Value::Null))),
             _ => Err(RexError::Exec("max: bad state shape".into())),
         }
     }
@@ -373,10 +366,9 @@ impl AggHandler for AvgPartialAgg {
 
     fn agg_result(&self, state: &AggState) -> Result<Vec<Delta>> {
         match state {
-            AggState::SumCount(s, n) => Ok(scalar_result(Value::list(vec![
-                Value::Double(*s),
-                Value::Int(*n),
-            ]))),
+            AggState::SumCount(s, n) => {
+                Ok(scalar_result(Value::list(vec![Value::Double(*s), Value::Int(*n)])))
+            }
             _ => Err(RexError::Exec("avg_partial: bad state shape".into())),
         }
     }
@@ -484,10 +476,7 @@ impl AggHandler for ArgMinAgg {
     fn agg_result(&self, state: &AggState) -> Result<Vec<Delta>> {
         match state {
             AggState::Tuples(s) => {
-                let best = s
-                    .iter()
-                    .min_by(|a, b| a.get(1).cmp(b.get(1)))
-                    .cloned();
+                let best = s.iter().min_by(|a, b| a.get(1).cmp(b.get(1))).cloned();
                 match best {
                     Some(t) => Ok(vec![Delta::insert(t)]),
                     None => Ok(vec![]),
@@ -532,12 +521,10 @@ mod tests {
         assert_eq!(result_value(&h, &s), Value::Double(15.0));
         h.agg_state(&mut s, &Delta::delete(tuple![10.0f64])).unwrap();
         assert_eq!(result_value(&h, &s), Value::Double(5.0));
-        h.agg_state(&mut s, &Delta::replace(tuple![5.0f64], tuple![7.0f64]))
-            .unwrap();
+        h.agg_state(&mut s, &Delta::replace(tuple![5.0f64], tuple![7.0f64])).unwrap();
         assert_eq!(result_value(&h, &s), Value::Double(7.0));
         // Generalized delta: adjustment semantics.
-        h.agg_state(&mut s, &Delta::update(tuple![0.5f64], Value::Null))
-            .unwrap();
+        h.agg_state(&mut s, &Delta::update(tuple![0.5f64], Value::Null)).unwrap();
         assert_eq!(result_value(&h, &s), Value::Double(7.5));
     }
 
@@ -548,10 +535,8 @@ mod tests {
         for _ in 0..3 {
             h.agg_state(&mut s, &Delta::insert(tuple![1i64])).unwrap();
         }
-        h.agg_state(&mut s, &Delta::replace(tuple![1i64], tuple![2i64]))
-            .unwrap();
-        h.agg_state(&mut s, &Delta::update(tuple![1i64], Value::Null))
-            .unwrap();
+        h.agg_state(&mut s, &Delta::replace(tuple![1i64], tuple![2i64])).unwrap();
+        h.agg_state(&mut s, &Delta::update(tuple![1i64], Value::Null)).unwrap();
         assert_eq!(result_value(&h, &s), Value::Int(3));
         h.agg_state(&mut s, &Delta::delete(tuple![1i64])).unwrap();
         assert_eq!(result_value(&h, &s), Value::Int(2));
@@ -577,8 +562,7 @@ mod tests {
         for v in [5i64, 3, 8] {
             h.agg_state(&mut s, &Delta::insert(tuple![v])).unwrap();
         }
-        h.agg_state(&mut s, &Delta::replace(tuple![8i64], tuple![1i64]))
-            .unwrap();
+        h.agg_state(&mut s, &Delta::replace(tuple![8i64], tuple![1i64])).unwrap();
         assert_eq!(result_value(&h, &s), Value::Int(5));
     }
 

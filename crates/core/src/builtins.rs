@@ -6,8 +6,9 @@ use crate::value::{DataType, Value};
 use std::sync::Arc;
 
 fn need_double(v: &Value, f: &str) -> Result<f64> {
-    v.as_double()
-        .ok_or_else(|| RexError::Udf(format!("{f}: numeric argument required, got {}", v.data_type())))
+    v.as_double().ok_or_else(|| {
+        RexError::Udf(format!("{f}: numeric argument required, got {}", v.data_type()))
+    })
 }
 
 /// Register the standard scalar function library.
@@ -119,34 +120,22 @@ mod tests {
             r.scalar("sqrt").unwrap().eval(&[Value::Double(9.0)]).unwrap(),
             Value::Double(3.0)
         );
-        assert_eq!(
-            r.scalar("sqr").unwrap().eval(&[Value::Int(3)]).unwrap(),
-            Value::Double(9.0)
-        );
+        assert_eq!(r.scalar("sqr").unwrap().eval(&[Value::Int(3)]).unwrap(), Value::Double(9.0));
     }
 
     #[test]
     fn least_greatest_coalesce() {
         let r = reg();
         assert_eq!(
-            r.scalar("least")
-                .unwrap()
-                .eval(&[Value::Int(3), Value::Int(1)])
-                .unwrap(),
+            r.scalar("least").unwrap().eval(&[Value::Int(3), Value::Int(1)]).unwrap(),
             Value::Int(1)
         );
         assert_eq!(
-            r.scalar("greatest")
-                .unwrap()
-                .eval(&[Value::Int(3), Value::Int(1)])
-                .unwrap(),
+            r.scalar("greatest").unwrap().eval(&[Value::Int(3), Value::Int(1)]).unwrap(),
             Value::Int(3)
         );
         assert_eq!(
-            r.scalar("coalesce")
-                .unwrap()
-                .eval(&[Value::Null, Value::Int(5)])
-                .unwrap(),
+            r.scalar("coalesce").unwrap().eval(&[Value::Null, Value::Int(5)]).unwrap(),
             Value::Int(5)
         );
     }

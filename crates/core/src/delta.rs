@@ -7,8 +7,8 @@
 //! * `-()`       — delete `t` from operator state ([`Annotation::Delete`])
 //! * `→(t')`     — `t` replaces existing tuple `t'` ([`Annotation::Replace`])
 //! * `δ(E)`      — an arbitrary expression payload `E` interpreted by
-//!                 downstream stateful operators via user delta handlers
-//!                 ([`Annotation::Update`])
+//!   downstream stateful operators via user delta handlers
+//!   ([`Annotation::Update`])
 //!
 //! Stateless operators propagate annotations untouched (the annotation
 //! behaves like a hidden attribute); stateful operators apply the standard
@@ -190,10 +190,7 @@ mod tests {
     fn byte_size_includes_annotation_payload() {
         let t = tuple![1i64]; // 2 + 8 = 10 bytes
         assert_eq!(Delta::insert(t.clone()).byte_size(), 11);
-        assert_eq!(
-            Delta::replace(t.clone(), t.clone()).byte_size(),
-            1 + 10 + 10
-        );
+        assert_eq!(Delta::replace(t.clone(), t.clone()).byte_size(), 1 + 10 + 10);
         assert_eq!(Delta::update(t, Value::Double(1.0)).byte_size(), 1 + 8 + 10);
     }
 

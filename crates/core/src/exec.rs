@@ -18,6 +18,21 @@ use std::time::Instant;
 /// Node identifier within a plan graph.
 pub type NodeId = usize;
 
+/// How a network-boundary node's emissions are routed among workers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetKey {
+    /// Partition by the hash of these key columns; each delta is delivered
+    /// to the key's owner under the query's partition snapshot.
+    Hash(Vec<usize>),
+    /// Replicate every delta to all live workers (small relations joined
+    /// against everything, e.g. K-means centroids).
+    Broadcast,
+    /// Deliver every delta to one deterministic worker — the owner of the
+    /// empty key. Used for global (ungrouped) aggregates, which must
+    /// combine all partitions' tuples at a single site.
+    Gather,
+}
+
 /// A dataflow graph of operators.
 ///
 /// Edges connect `(node, output port)` to `(node, input port)`. Nodes may be
@@ -26,8 +41,8 @@ pub type NodeId = usize;
 /// of being delivered locally.
 pub struct PlanGraph {
     nodes: Vec<Box<dyn Operator>>,
-    /// For each node: `Some(key_cols)` when it is a rehash/network boundary.
-    network: Vec<Option<Vec<usize>>>,
+    /// For each node: `Some(key)` when it is a rehash/network boundary.
+    network: Vec<Option<NetKey>>,
     /// node → out port → list of (dst node, dst port).
     edges: Vec<Vec<Vec<(NodeId, usize)>>>,
 }
@@ -53,10 +68,21 @@ impl PlanGraph {
     }
 
     /// Add a rehash operator, marking it as a network boundary keyed on
-    /// `key_cols` (of the tuples flowing through it).
+    /// `key_cols` (of the tuples flowing through it). An empty key is a
+    /// broadcast boundary, preserving the engine's long-standing
+    /// convention.
     pub fn add_rehash(&mut self, key_cols: Vec<usize>) -> NodeId {
-        let id = self.add(Box::new(crate::operators::RehashOp::new(key_cols.clone())));
-        self.network[id] = Some(key_cols);
+        let net =
+            if key_cols.is_empty() { NetKey::Broadcast } else { NetKey::Hash(key_cols.clone()) };
+        let id = self.add(Box::new(crate::operators::RehashOp::new(key_cols)));
+        self.network[id] = Some(net);
+        id
+    }
+
+    /// Add a gather boundary: all deltas flow to one deterministic worker.
+    pub fn add_gather(&mut self) -> NodeId {
+        let id = self.add(Box::new(crate::operators::RehashOp::new(Vec::new())));
+        self.network[id] = Some(NetKey::Gather);
         id
     }
 
@@ -110,7 +136,7 @@ pub struct NetEmission {
 /// Executes one worker's copy of a plan graph.
 pub struct Executor {
     nodes: Vec<Box<dyn Operator>>,
-    network: Vec<Option<Vec<usize>>>,
+    network: Vec<Option<NetKey>>,
     edges: Vec<Vec<Vec<(NodeId, usize)>>>,
     queue: VecDeque<(NodeId, usize, Event)>,
     /// Worker-local metrics.
@@ -141,18 +167,14 @@ impl Executor {
         self.stratum = s;
     }
 
-    /// Partition key columns of a network node.
-    pub fn network_key(&self, node: NodeId) -> Option<&[usize]> {
-        self.network.get(node).and_then(|k| k.as_deref())
+    /// Routing mode of a network node.
+    pub fn network_key(&self, node: NodeId) -> Option<&NetKey> {
+        self.network.get(node).and_then(|k| k.as_ref())
     }
 
     /// Ids of all network-boundary nodes.
     pub fn network_nodes(&self) -> Vec<NodeId> {
-        self.network
-            .iter()
-            .enumerate()
-            .filter_map(|(i, k)| k.as_ref().map(|_| i))
-            .collect()
+        self.network.iter().enumerate().filter_map(|(i, k)| k.as_ref().map(|_| i)).collect()
     }
 
     /// Run all source operators (scans), queueing their output.
@@ -238,9 +260,7 @@ impl Executor {
 
     /// Node ids of all fixpoint operators.
     pub fn fixpoint_ids(&mut self) -> Vec<NodeId> {
-        (0..self.nodes.len())
-            .filter(|&i| self.nodes[i].as_fixpoint().is_some())
-            .collect()
+        (0..self.nodes.len()).filter(|&i| self.nodes[i].as_fixpoint().is_some()).collect()
     }
 
     /// Access a fixpoint operator by node id.
@@ -469,10 +489,8 @@ mod tests {
     fn non_recursive_pipeline_runs_to_completion() {
         // scan -> filter(x > 2) -> sink
         let mut g = PlanGraph::new();
-        let scan = g.add(Box::new(ScanOp::new(
-            "t",
-            vec![tuple![1i64], tuple![3i64], tuple![5i64]],
-        )));
+        let scan =
+            g.add(Box::new(ScanOp::new("t", vec![tuple![1i64], tuple![3i64], tuple![5i64]])));
         let filter = g.add(Box::new(FilterOp::new(Expr::col(0).gt(Expr::lit(2i64)))));
         let sink = g.add(Box::new(SinkOp::new()));
         g.pipe(scan, filter);
@@ -491,16 +509,10 @@ mod tests {
         let mut g = PlanGraph::new();
         let scan = g.add(Box::new(ScanOp::new(
             "t",
-            vec![
-                tuple![1i64, 10.0f64],
-                tuple![1i64, 5.0f64],
-                tuple![2i64, 7.0f64],
-            ],
+            vec![tuple![1i64, 10.0f64], tuple![1i64, 5.0f64], tuple![2i64, 7.0f64]],
         )));
-        let gb = g.add(Box::new(GroupByOp::new(
-            vec![0],
-            vec![AggSpec::new(Arc::new(SumAgg), vec![1])],
-        )));
+        let gb =
+            g.add(Box::new(GroupByOp::new(vec![0], vec![AggSpec::new(Arc::new(SumAgg), vec![1])])));
         let sink = g.add(Box::new(SinkOp::new()));
         g.pipe(scan, gb);
         g.pipe(gb, sink);
@@ -518,17 +530,14 @@ mod tests {
         let scan = g.add(Box::new(ScanOp::new("seed", vec![tuple![0i64]])));
         let fp = g.add(Box::new(FixpointOp::new(vec![0], Termination::Fixpoint)));
         // Recursive step: x -> x+1 if x < 5
-        let step = g.add(Box::new(ApplyFunctionOp::new(Arc::new(FnMapper::new(
-            "inc",
-            |d, _| {
-                let x = d.tuple.get(0).as_int().unwrap();
-                if x < 5 {
-                    Ok(vec![Delta::insert(tuple![x + 1])])
-                } else {
-                    Ok(vec![])
-                }
-            },
-        )))));
+        let step = g.add(Box::new(ApplyFunctionOp::new(Arc::new(FnMapper::new("inc", |d, _| {
+            let x = d.tuple.get(0).as_int().unwrap();
+            if x < 5 {
+                Ok(vec![Delta::insert(tuple![x + 1])])
+            } else {
+                Ok(vec![])
+            }
+        })))));
         let sink = g.add(Box::new(SinkOp::new()));
         g.connect(scan, 0, fp, 0); // base case
         g.connect(fp, 0, step, 0); // feedback
@@ -549,13 +558,11 @@ mod tests {
     fn exact_strata_termination_runs_fixed_iterations() {
         let mut g = PlanGraph::new();
         let scan = g.add(Box::new(ScanOp::new("seed", vec![tuple![0i64]])));
-        let fp = g.add(Box::new(
-            FixpointOp::new(vec![0], Termination::ExactStrata(4)).no_delta(),
-        ));
-        let step = g.add(Box::new(ApplyFunctionOp::new(Arc::new(FnMapper::new(
-            "same",
-            |d, _| Ok(vec![Delta::insert(d.tuple.clone())]),
-        )))));
+        let fp = g.add(Box::new(FixpointOp::new(vec![0], Termination::ExactStrata(4)).no_delta()));
+        let step = g
+            .add(Box::new(ApplyFunctionOp::new(Arc::new(FnMapper::new("same", |d, _| {
+                Ok(vec![Delta::insert(d.tuple.clone())])
+            })))));
         let sink = g.add(Box::new(SinkOp::new()));
         g.connect(scan, 0, fp, 0);
         g.connect(fp, 0, step, 0);
@@ -602,10 +609,10 @@ mod tests {
     fn update_annotation_via_apply_function_reaches_sink() {
         let mut g = PlanGraph::new();
         let scan = g.add(Box::new(ScanOp::new("t", vec![tuple![1i64]])));
-        let to_update = g.add(Box::new(ApplyFunctionOp::new(Arc::new(FnMapper::new(
-            "tag",
-            |d, _| Ok(vec![Delta::update(d.tuple.clone(), Value::Int(42))]),
-        )))));
+        let to_update = g
+            .add(Box::new(ApplyFunctionOp::new(Arc::new(FnMapper::new("tag", |d, _| {
+                Ok(vec![Delta::update(d.tuple.clone(), Value::Int(42))])
+            })))));
         let sink = g.add(Box::new(SinkOp::new()));
         g.pipe(scan, to_update);
         g.pipe(to_update, sink);

@@ -146,8 +146,7 @@ impl Expr {
             Expr::IsNull(e) => Ok(Value::Bool(e.eval(t, reg)?.is_null())),
             Expr::Udf(name, args) => {
                 let udf = reg.scalar(name)?;
-                let vals: Result<Vec<Value>> =
-                    args.iter().map(|a| a.eval(t, reg)).collect();
+                let vals: Result<Vec<Value>> = args.iter().map(|a| a.eval(t, reg)).collect();
                 udf.eval(&vals?)
             }
             Expr::Case(arms, default) => {
@@ -235,22 +234,17 @@ impl Expr {
         match self {
             Expr::Col(i) => Expr::Col(map(*i)),
             Expr::Lit(v) => Expr::Lit(v.clone()),
-            Expr::Bin(op, l, r) => Expr::Bin(
-                *op,
-                Box::new(l.remap_columns(map)),
-                Box::new(r.remap_columns(map)),
-            ),
+            Expr::Bin(op, l, r) => {
+                Expr::Bin(*op, Box::new(l.remap_columns(map)), Box::new(r.remap_columns(map)))
+            }
             Expr::Not(e) => Expr::Not(Box::new(e.remap_columns(map))),
             Expr::Neg(e) => Expr::Neg(Box::new(e.remap_columns(map))),
             Expr::IsNull(e) => Expr::IsNull(Box::new(e.remap_columns(map))),
-            Expr::Udf(n, args) => Expr::Udf(
-                n.clone(),
-                args.iter().map(|a| a.remap_columns(map)).collect(),
-            ),
+            Expr::Udf(n, args) => {
+                Expr::Udf(n.clone(), args.iter().map(|a| a.remap_columns(map)).collect())
+            }
             Expr::Case(arms, default) => Expr::Case(
-                arms.iter()
-                    .map(|(c, t)| (c.remap_columns(map), t.remap_columns(map)))
-                    .collect(),
+                arms.iter().map(|(c, t)| (c.remap_columns(map), t.remap_columns(map))).collect(),
                 Box::new(default.remap_columns(map)),
             ),
         }
@@ -264,8 +258,7 @@ impl Expr {
             Expr::Not(e) | Expr::Neg(e) | Expr::IsNull(e) => e.contains_udf(),
             Expr::Udf(_, _) => true,
             Expr::Case(arms, d) => {
-                arms.iter().any(|(c, t)| c.contains_udf() || t.contains_udf())
-                    || d.contains_udf()
+                arms.iter().any(|(c, t)| c.contains_udf() || t.contains_udf()) || d.contains_udf()
             }
         }
     }
@@ -320,7 +313,9 @@ fn eval_bin(op: BinOp, l: &Value, r: &Value) -> Result<Value> {
         }
         And | Or => unreachable!("handled by short-circuit path"),
     }
-    .ok_or_else(|| RexError::Type(format!("cannot apply {op} to {} and {}", l.data_type(), r.data_type())))
+    .ok_or_else(|| {
+        RexError::Type(format!("cannot apply {op} to {} and {}", l.data_type(), r.data_type()))
+    })
 }
 
 /// Evaluate a predicate expression, treating NULL as false (SQL WHERE
@@ -368,9 +363,7 @@ mod tests {
         let e2 = Expr::lit(true).bin(BinOp::Or, Expr::col(0).eq(Expr::lit(1i64)));
         assert_eq!(e2.eval(&t, &reg()).unwrap(), Value::Bool(true));
         // NULL OR false -> NULL
-        let e3 = Expr::col(0)
-            .eq(Expr::lit(1i64))
-            .bin(BinOp::Or, Expr::lit(false));
+        let e3 = Expr::col(0).eq(Expr::lit(1i64)).bin(BinOp::Or, Expr::lit(false));
         assert_eq!(e3.eval(&t, &reg()).unwrap(), Value::Null);
     }
 
@@ -427,9 +420,6 @@ mod tests {
             Expr::IsNull(Box::new(Expr::col(0))).eval(&t, &reg()).unwrap(),
             Value::Bool(true)
         );
-        assert_eq!(
-            Expr::Not(Box::new(Expr::col(1))).eval(&t, &reg()).unwrap(),
-            Value::Bool(true)
-        );
+        assert_eq!(Expr::Not(Box::new(Expr::col(1))).eval(&t, &reg()).unwrap(), Value::Bool(true));
     }
 }

@@ -320,10 +320,7 @@ mod tests {
         let prev = s.put_by_key(0, tuple![1i64, 0.9f64]);
         assert_eq!(prev, Some(tuple![1i64, 0.5f64]));
         assert_eq!(s.len(), 2);
-        assert_eq!(
-            s.get_by_key(0, &Value::Int(1)).unwrap().get(1),
-            &Value::Double(0.9)
-        );
+        assert_eq!(s.get_by_key(0, &Value::Int(1)).unwrap().get(1), &Value::Double(0.9));
         assert!(s.get_by_key(0, &Value::Int(9)).is_none());
     }
 

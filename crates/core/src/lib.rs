@@ -29,12 +29,19 @@
 //!
 //! ## Quick start
 //!
+//! Most users should not start here: the `rex` facade crate's `Session`
+//! is the front door — it owns tables, user code, and the optimizer, and
+//! runs RQL text end-to-end on any engine. This crate is the layer
+//! *below* that API: hand-built physical plans on the single-node
+//! runtime, which is what `Session`'s pipeline ultimately lowers to.
+//!
 //! ```
 //! use rex_core::exec::{LocalRuntime, PlanGraph};
 //! use rex_core::expr::Expr;
 //! use rex_core::operators::{FilterOp, ScanOp, SinkOp};
 //! use rex_core::tuple;
 //!
+//! // What `Session::query("SELECT ... WHERE x > 3")` lowers to:
 //! let mut g = PlanGraph::new();
 //! let scan = g.add(Box::new(ScanOp::new("t", vec![tuple![1i64], tuple![7i64]])));
 //! let filter = g.add(Box::new(FilterOp::new(Expr::col(0).gt(Expr::lit(3i64)))));

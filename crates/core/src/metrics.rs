@@ -7,12 +7,10 @@
 //! The same constants drive the Hadoop/HaLoop simulator so that REX-vs-
 //! Hadoop comparisons are apples-to-apples.
 
-use serde::{Deserialize, Serialize};
-
 /// Tunable cost constants, in abstract "cost units" (1 unit ≈ 1 µs of the
 /// paper's 2.4 GHz Xeon). Defaults are calibrated so that the figure
 /// reproductions land in the paper's reported ratio ranges.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostModel {
     /// CPU cost for an operator to process one delta.
     pub cpu_per_tuple: f64,
@@ -75,7 +73,7 @@ impl CostModel {
 }
 
 /// Counters accumulated during execution, per worker.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct ExecMetrics {
     /// Deltas processed by operators.
     pub tuples_processed: u64,
@@ -121,7 +119,7 @@ impl ExecMetrics {
 
 /// A per-stratum record of work, used to reproduce the per-iteration plots
 /// (Figures 6–9).
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct StratumReport {
     /// Stratum number (0 = base case).
     pub stratum: u64,
@@ -138,7 +136,7 @@ pub struct StratumReport {
 }
 
 /// A full query execution trace: per-stratum reports plus totals.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct QueryReport {
     /// One report per stratum, in order.
     pub strata: Vec<StratumReport>,
@@ -179,6 +177,41 @@ impl QueryReport {
     }
 }
 
+/// The common read surface of an execution report, implemented by both the
+/// single-node [`QueryReport`] and the cluster's `ClusterReport`, so that
+/// callers (the `rex::Session` facade in particular) can consume results
+/// from any engine through one interface.
+pub trait ReportSummary {
+    /// Number of strata executed (including the base case).
+    fn iterations(&self) -> usize;
+    /// Total simulated time in cost-model units.
+    fn simulated_time(&self) -> f64;
+    /// Total wall-clock seconds.
+    fn wall_seconds(&self) -> f64;
+    /// Aggregate metrics over the whole query (all workers).
+    fn totals(&self) -> &ExecMetrics;
+    /// The per-stratum trace.
+    fn strata(&self) -> &[StratumReport];
+}
+
+impl ReportSummary for QueryReport {
+    fn iterations(&self) -> usize {
+        self.strata.len()
+    }
+    fn simulated_time(&self) -> f64 {
+        self.simulated_time
+    }
+    fn wall_seconds(&self) -> f64 {
+        self.wall_seconds
+    }
+    fn totals(&self) -> &ExecMetrics {
+        &self.totals
+    }
+    fn strata(&self) -> &[StratumReport] {
+        &self.strata
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -205,7 +238,12 @@ mod tests {
     #[test]
     fn metrics_merge_adds_fields() {
         let mut a = ExecMetrics { tuples_processed: 1, cpu_units: 2.0, ..Default::default() };
-        let b = ExecMetrics { tuples_processed: 3, cpu_units: 4.0, bytes_sent: 7, ..Default::default() };
+        let b = ExecMetrics {
+            tuples_processed: 3,
+            cpu_units: 4.0,
+            bytes_sent: 7,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.tuples_processed, 4);
         assert_eq!(a.cpu_units, 6.0);

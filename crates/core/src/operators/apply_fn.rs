@@ -55,11 +55,14 @@ impl DeltaMapper for ExprMapper {
     }
 }
 
+/// The boxed mapping closure of an [`FnMapper`].
+pub type MapperFn = Arc<dyn Fn(&Delta, &Registry) -> Result<Vec<Delta>> + Send + Sync>;
+
 /// Closure-based mapper for arbitrary user logic (annotation rewriting,
 /// fan-out, filtering).
 pub struct FnMapper {
     name: String,
-    f: Arc<dyn Fn(&Delta, &Registry) -> Result<Vec<Delta>> + Send + Sync>,
+    f: MapperFn,
 }
 
 impl FnMapper {
@@ -209,7 +212,8 @@ mod tests {
             }
         });
         let mut op = ApplyFunctionOp::new(Arc::new(mapper));
-        let (out, _) = run(&mut op, vec![Delta::insert(tuple![3i64]), Delta::insert(tuple![-1i64])]);
+        let (out, _) =
+            run(&mut op, vec![Delta::insert(tuple![3i64]), Delta::insert(tuple![-1i64])]);
         assert_eq!(out.len(), 3);
     }
 

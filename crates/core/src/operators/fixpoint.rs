@@ -258,11 +258,7 @@ impl FixpointOp {
 
 impl Operator for FixpointOp {
     fn name(&self) -> String {
-        format!(
-            "Fixpoint{:?}{}",
-            self.key_cols,
-            if self.delta_mode { "" } else { " (no-Δ)" }
-        )
+        format!("Fixpoint{:?}{}", self.key_cols, if self.delta_mode { "" } else { " (no-Δ)" })
     }
 
     fn n_inputs(&self) -> usize {

@@ -94,12 +94,8 @@ impl GroupByOp {
     fn flush(&mut self, ctx: &mut OpCtx<'_>) -> Result<Vec<Delta>> {
         let mut out = Vec::new();
         // Deterministic flush order simplifies testing and reproducibility.
-        let mut changed_keys: Vec<Key> = self
-            .groups
-            .iter()
-            .filter(|(_, g)| g.changed)
-            .map(|(k, _)| k.clone())
-            .collect();
+        let mut changed_keys: Vec<Key> =
+            self.groups.iter().filter(|(_, g)| g.changed).map(|(k, _)| k.clone()).collect();
         changed_keys.sort();
         for key in changed_keys {
             let table_valued = self
@@ -143,9 +139,7 @@ impl GroupByOp {
                 let t = Tuple::new(vals);
                 match &g.last_emitted {
                     None => out.push(Delta::insert(t.clone())),
-                    Some(prev) if prev != &t => {
-                        out.push(Delta::replace(prev.clone(), t.clone()))
-                    }
+                    Some(prev) if prev != &t => out.push(Delta::replace(prev.clone(), t.clone())),
                     Some(_) => {} // value unchanged: emit nothing
                 }
                 g.last_emitted = Some(t);
@@ -271,10 +265,7 @@ mod tests {
         drive(&mut g, vec![Delta::insert(tuple![1i64, 2.0f64])], true);
         // Second stratum: another contribution to the same group.
         let out = drive(&mut g, vec![Delta::insert(tuple![1i64, 3.0f64])], true);
-        assert_eq!(
-            out,
-            vec![Delta::replace(tuple![1i64, 2.0f64], tuple![1i64, 5.0f64])]
-        );
+        assert_eq!(out, vec![Delta::replace(tuple![1i64, 2.0f64], tuple![1i64, 5.0f64])]);
     }
 
     #[test]
@@ -298,10 +289,7 @@ mod tests {
         // +3 then -3: the aggregate value is back where it was.
         let out = drive(
             &mut g,
-            vec![
-                Delta::insert(tuple![1i64, 3.0f64]),
-                Delta::delete(tuple![1i64, 3.0f64]),
-            ],
+            vec![Delta::insert(tuple![1i64, 3.0f64]), Delta::delete(tuple![1i64, 3.0f64])],
             true,
         );
         assert!(out.is_empty());
@@ -328,10 +316,7 @@ mod tests {
         );
         let out = drive(
             &mut g,
-            vec![
-                Delta::insert(tuple![1i64, 2.0f64]),
-                Delta::insert(tuple![1i64, 4.0f64]),
-            ],
+            vec![Delta::insert(tuple![1i64, 2.0f64]), Delta::insert(tuple![1i64, 4.0f64])],
             true,
         );
         assert_eq!(out, vec![Delta::insert(tuple![1i64, 6.0f64, 2i64])]);
@@ -342,10 +327,7 @@ mod tests {
         let mut g = sum_group();
         drive(
             &mut g,
-            vec![
-                Delta::insert(tuple![1i64, 5.0f64]),
-                Delta::insert(tuple![1i64, 3.0f64]),
-            ],
+            vec![Delta::insert(tuple![1i64, 5.0f64]), Delta::insert(tuple![1i64, 3.0f64])],
             true,
         );
         let out = drive(&mut g, vec![Delta::delete(tuple![1i64, 3.0f64])], true);
@@ -357,10 +339,7 @@ mod tests {
     #[test]
     fn table_valued_uda_prefixes_key() {
         use crate::aggregates::ArgMinAgg;
-        let mut g = GroupByOp::new(
-            vec![0],
-            vec![AggSpec::new(Arc::new(ArgMinAgg), vec![1, 2])],
-        );
+        let mut g = GroupByOp::new(vec![0], vec![AggSpec::new(Arc::new(ArgMinAgg), vec![1, 2])]);
         let out = drive(
             &mut g,
             vec![

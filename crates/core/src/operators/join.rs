@@ -173,10 +173,7 @@ impl HashJoinOp {
                 // another (hidden) attribute" — treat the tuple normally
                 // (store + probe) and tag outputs with the annotation.
                 let key = self.key_of(&d.tuple, from_left);
-                self.state_mut(from_left)
-                    .entry(key)
-                    .or_default()
-                    .put_by_key(0, d.tuple.clone());
+                self.state_mut(from_left).entry(key).or_default().put_by_key(0, d.tuple.clone());
                 let ann = d.ann.clone();
                 self.probe_emit(
                     &d.tuple,
@@ -293,17 +290,10 @@ mod tests {
         let mut j = HashJoinOp::new(vec![0], vec![0]);
         drive(&mut j, 1, vec![Delta::insert(tuple![1i64, "r"])]);
         drive(&mut j, 0, vec![Delta::insert(tuple![1i64, 10i64])]);
-        let out = drive(
-            &mut j,
-            0,
-            vec![Delta::replace(tuple![1i64, 10i64], tuple![1i64, 20i64])],
-        );
+        let out = drive(&mut j, 0, vec![Delta::replace(tuple![1i64, 10i64], tuple![1i64, 20i64])]);
         assert_eq!(
             out,
-            vec![Delta::replace(
-                tuple![1i64, 10i64, 1i64, "r"],
-                tuple![1i64, 20i64, 1i64, "r"]
-            )]
+            vec![Delta::replace(tuple![1i64, 10i64, 1i64, "r"], tuple![1i64, 20i64, 1i64, "r"])]
         );
     }
 
@@ -312,11 +302,7 @@ mod tests {
         let mut j = HashJoinOp::new(vec![0], vec![0]);
         drive(&mut j, 1, vec![Delta::insert(tuple![1i64, "a"]), Delta::insert(tuple![2i64, "b"])]);
         drive(&mut j, 0, vec![Delta::insert(tuple![1i64, 10i64])]);
-        let out = drive(
-            &mut j,
-            0,
-            vec![Delta::replace(tuple![1i64, 10i64], tuple![2i64, 10i64])],
-        );
+        let out = drive(&mut j, 0, vec![Delta::replace(tuple![1i64, 10i64], tuple![2i64, 10i64])]);
         assert_eq!(out.len(), 2);
         assert!(out.contains(&Delta::delete(tuple![1i64, 10i64, 1i64, "a"])));
         assert!(out.contains(&Delta::insert(tuple![2i64, 10i64, 2i64, "b"])));
@@ -334,11 +320,7 @@ mod tests {
     fn update_without_handler_propagates_annotation() {
         let mut j = HashJoinOp::new(vec![0], vec![0]);
         drive(&mut j, 1, vec![Delta::insert(tuple![1i64, "r"])]);
-        let out = drive(
-            &mut j,
-            0,
-            vec![Delta::update(tuple![1i64, 5i64], Value::Double(0.5))],
-        );
+        let out = drive(&mut j, 0, vec![Delta::update(tuple![1i64, 5i64], Value::Double(0.5))]);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].ann, Annotation::Update(Value::Double(0.5)));
         assert_eq!(out[0].tuple, tuple![1i64, 5i64, 1i64, "r"]);
@@ -364,10 +346,7 @@ mod tests {
             }
             let id = d.tuple.get(0).clone();
             let new = d.tuple.get(1).as_double().ok_or_else(|| RexError::Udf("num".into()))?;
-            let old = left
-                .get_by_key(0, &id)
-                .and_then(|t| t.get(1).as_double())
-                .unwrap_or(0.0);
+            let old = left.get_by_key(0, &id).and_then(|t| t.get(1).as_double()).unwrap_or(0.0);
             left.put_by_key(0, d.tuple.clone());
             let diff = new - old;
             Ok(right

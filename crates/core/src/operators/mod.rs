@@ -275,10 +275,7 @@ mod tests {
     fn punct_tracker_waits_for_all_ports() {
         let mut t = PunctTracker::new(2);
         assert_eq!(t.arrive(0, Punctuation::EndOfStratum(1)), None);
-        assert_eq!(
-            t.arrive(1, Punctuation::EndOfStratum(1)),
-            Some(Punctuation::EndOfStratum(1))
-        );
+        assert_eq!(t.arrive(1, Punctuation::EndOfStratum(1)), Some(Punctuation::EndOfStratum(1)));
     }
 
     #[test]
@@ -286,19 +283,10 @@ mod tests {
         let mut t = PunctTracker::new(2);
         assert_eq!(t.arrive(0, Punctuation::EndOfStream), None);
         // The immutable side is done; every stratum of the other side aligns.
-        assert_eq!(
-            t.arrive(1, Punctuation::EndOfStratum(0)),
-            Some(Punctuation::EndOfStratum(0))
-        );
+        assert_eq!(t.arrive(1, Punctuation::EndOfStratum(0)), Some(Punctuation::EndOfStratum(0)));
         t.next_stratum();
-        assert_eq!(
-            t.arrive(1, Punctuation::EndOfStratum(1)),
-            Some(Punctuation::EndOfStratum(1))
-        );
-        assert_eq!(
-            t.arrive(1, Punctuation::EndOfStream),
-            Some(Punctuation::EndOfStream)
-        );
+        assert_eq!(t.arrive(1, Punctuation::EndOfStratum(1)), Some(Punctuation::EndOfStratum(1)));
+        assert_eq!(t.arrive(1, Punctuation::EndOfStream), Some(Punctuation::EndOfStream));
     }
 
     #[test]

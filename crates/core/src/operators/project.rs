@@ -88,10 +88,8 @@ mod tests {
 
     #[test]
     fn projects_expressions() {
-        let mut op = ProjectOp::new(vec![
-            Expr::col(1),
-            Expr::col(0).bin(BinOp::Add, Expr::lit(10i64)),
-        ]);
+        let mut op =
+            ProjectOp::new(vec![Expr::col(1), Expr::col(0).bin(BinOp::Add, Expr::lit(10i64))]);
         let out = run(&mut op, vec![Delta::insert(tuple![1i64, "a"])]);
         assert_eq!(out[0].tuple, tuple!["a", 11i64]);
     }
@@ -110,10 +108,7 @@ mod tests {
     #[test]
     fn update_payload_preserved() {
         let mut op = ProjectOp::new(vec![Expr::col(0)]);
-        let out = run(
-            &mut op,
-            vec![Delta::update(tuple![1i64, 2i64], Value::Double(0.1))],
-        );
+        let out = run(&mut op, vec![Delta::update(tuple![1i64, 2i64], Value::Double(0.1))]);
         assert_eq!(out[0].ann, Annotation::Update(Value::Double(0.1)));
         assert_eq!(out[0].tuple, tuple![1i64]);
     }

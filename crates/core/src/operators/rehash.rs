@@ -107,9 +107,6 @@ mod tests {
     #[test]
     fn cross_type_numeric_keys_hash_identically() {
         // Int(3) and Double(3.0) are equal values and must route together.
-        assert_eq!(
-            hash_key(&[Value::Int(3)]),
-            hash_key(&[Value::Double(3.0)])
-        );
+        assert_eq!(hash_key(&[Value::Int(3)]), hash_key(&[Value::Double(3.0)]));
     }
 }

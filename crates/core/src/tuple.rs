@@ -38,9 +38,9 @@ impl Tuple {
 
     /// Checked access.
     pub fn try_get(&self, i: usize) -> Result<&Value> {
-        self.0
-            .get(i)
-            .ok_or_else(|| RexError::Exec(format!("column index {i} out of range (arity {})", self.0.len())))
+        self.0.get(i).ok_or_else(|| {
+            RexError::Exec(format!("column index {i} out of range (arity {})", self.0.len()))
+        })
     }
 
     /// All values as a slice.
@@ -153,11 +153,7 @@ impl Schema {
     pub fn index_of(&self, name: &str) -> Option<usize> {
         let lower = name.to_ascii_lowercase();
         // Exact (case-insensitive) match first.
-        if let Some(i) = self
-            .fields
-            .iter()
-            .position(|f| f.name.to_ascii_lowercase() == lower)
-        {
+        if let Some(i) = self.fields.iter().position(|f| f.name.to_ascii_lowercase() == lower) {
             return Some(i);
         }
         // Qualified match: `x.y` matches field `y`; field `x.y` matches `y`.

@@ -11,9 +11,9 @@
 use crate::error::{Result, RexError};
 use crate::handlers::{AggHandler, JoinHandler, WhileHandler};
 use crate::value::{DataType, Value};
-use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::sync::RwLock;
 
 /// Programmer-supplied cost hints (§5.1): "functions describing the 'big-O'
 /// relationship between the main input parameters and the resulting costs."
@@ -63,6 +63,9 @@ pub trait ScalarUdf: Send + Sync {
     }
 }
 
+/// The boxed evaluation closure of a [`ClosureUdf`].
+pub type ScalarFn = Arc<dyn Fn(&[Value]) -> Result<Value> + Send + Sync>;
+
 /// A scalar UDF built from a closure; convenient for tests and examples.
 pub struct ClosureUdf {
     name: String,
@@ -70,7 +73,7 @@ pub struct ClosureUdf {
     ret: DataType,
     deterministic: bool,
     hint: Option<CostHint>,
-    f: Arc<dyn Fn(&[Value]) -> Result<Value> + Send + Sync>,
+    f: ScalarFn,
 }
 
 impl ClosureUdf {
@@ -81,14 +84,7 @@ impl ClosureUdf {
         ret: DataType,
         f: impl Fn(&[Value]) -> Result<Value> + Send + Sync + 'static,
     ) -> ClosureUdf {
-        ClosureUdf {
-            name: name.into(),
-            args,
-            ret,
-            deterministic: true,
-            hint: None,
-            f: Arc::new(f),
-        }
+        ClosureUdf { name: name.into(), args, ret, deterministic: true, hint: None, f: Arc::new(f) }
     }
 
     /// Mark the function volatile (uncacheable).
@@ -168,28 +164,29 @@ impl Registry {
     /// Register a scalar UDF. Overwrites any existing binding of that name.
     pub fn register_scalar(&self, udf: Arc<dyn ScalarUdf>) {
         let name = udf.name().to_ascii_lowercase();
-        self.inner.write().scalars.insert(name, udf);
+        self.inner.write().unwrap().scalars.insert(name, udf);
     }
 
     /// Register an aggregate handler (UDA).
     pub fn register_agg(&self, name: impl Into<String>, h: Arc<dyn AggHandler>) {
-        self.inner.write().aggs.insert(name.into().to_ascii_lowercase(), h);
+        self.inner.write().unwrap().aggs.insert(name.into().to_ascii_lowercase(), h);
     }
 
     /// Register a join delta handler.
     pub fn register_join(&self, name: impl Into<String>, h: Arc<dyn JoinHandler>) {
-        self.inner.write().joins.insert(name.into().to_ascii_lowercase(), h);
+        self.inner.write().unwrap().joins.insert(name.into().to_ascii_lowercase(), h);
     }
 
     /// Register a while/fixpoint delta handler.
     pub fn register_while(&self, name: impl Into<String>, h: Arc<dyn WhileHandler>) {
-        self.inner.write().whiles.insert(name.into().to_ascii_lowercase(), h);
+        self.inner.write().unwrap().whiles.insert(name.into().to_ascii_lowercase(), h);
     }
 
     /// Resolve a scalar UDF.
     pub fn scalar(&self, name: &str) -> Result<Arc<dyn ScalarUdf>> {
         self.inner
             .read()
+            .unwrap()
             .scalars
             .get(&name.to_ascii_lowercase())
             .cloned()
@@ -200,6 +197,7 @@ impl Registry {
     pub fn agg(&self, name: &str) -> Result<Arc<dyn AggHandler>> {
         self.inner
             .read()
+            .unwrap()
             .aggs
             .get(&name.to_ascii_lowercase())
             .cloned()
@@ -210,6 +208,7 @@ impl Registry {
     pub fn join(&self, name: &str) -> Result<Arc<dyn JoinHandler>> {
         self.inner
             .read()
+            .unwrap()
             .joins
             .get(&name.to_ascii_lowercase())
             .cloned()
@@ -220,6 +219,7 @@ impl Registry {
     pub fn while_handler(&self, name: &str) -> Result<Arc<dyn WhileHandler>> {
         self.inner
             .read()
+            .unwrap()
             .whiles
             .get(&name.to_ascii_lowercase())
             .cloned()
@@ -228,17 +228,17 @@ impl Registry {
 
     /// Whether a scalar function of this name exists.
     pub fn has_scalar(&self, name: &str) -> bool {
-        self.inner.read().scalars.contains_key(&name.to_ascii_lowercase())
+        self.inner.read().unwrap().scalars.contains_key(&name.to_ascii_lowercase())
     }
 
     /// Whether an aggregate of this name exists.
     pub fn has_agg(&self, name: &str) -> bool {
-        self.inner.read().aggs.contains_key(&name.to_ascii_lowercase())
+        self.inner.read().unwrap().aggs.contains_key(&name.to_ascii_lowercase())
     }
 
     /// Names of all registered aggregates (for diagnostics).
     pub fn agg_names(&self) -> Vec<String> {
-        let mut v: Vec<String> = self.inner.read().aggs.keys().cloned().collect();
+        let mut v: Vec<String> = self.inner.read().unwrap().aggs.keys().cloned().collect();
         v.sort();
         v
     }
@@ -261,12 +261,9 @@ mod tests {
     #[test]
     fn registry_resolution_is_case_insensitive() {
         let reg = Registry::new();
-        reg.register_scalar(Arc::new(ClosureUdf::new(
-            "MyFn",
-            vec![],
-            DataType::Int,
-            |_| Ok(Value::Int(7)),
-        )));
+        reg.register_scalar(Arc::new(ClosureUdf::new("MyFn", vec![], DataType::Int, |_| {
+            Ok(Value::Int(7))
+        })));
         assert!(reg.scalar("myfn").is_ok());
         assert!(reg.scalar("MYFN").is_ok());
         assert!(reg.scalar("other").is_err());
@@ -298,8 +295,8 @@ mod tests {
 
     #[test]
     fn volatile_flag() {
-        let u = ClosureUdf::new("r", vec![], DataType::Double, |_| Ok(Value::Double(0.5)))
-            .volatile();
+        let u =
+            ClosureUdf::new("r", vec![], DataType::Double, |_| Ok(Value::Double(0.5))).volatile();
         assert!(!u.deterministic());
     }
 }

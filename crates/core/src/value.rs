@@ -37,10 +37,7 @@ impl DataType {
         matches!(
             (self, other),
             (a, b) if a == b
-        ) || matches!(
-            (self, other),
-            (Null, _) | (_, Any) | (Any, _) | (Int, Double)
-        )
+        ) || matches!((self, other), (Null, _) | (_, Any) | (Any, _) | (Int, Double))
     }
 
     /// The common supertype of two types, if any (used by arithmetic and
@@ -404,7 +401,7 @@ mod tests {
 
     #[test]
     fn ordering_is_total_across_types() {
-        let mut vals = vec![
+        let mut vals = [
             Value::str("z"),
             Value::Int(1),
             Value::Null,
@@ -421,14 +418,8 @@ mod tests {
     #[test]
     fn arithmetic_promotes_to_double() {
         assert_eq!(Value::Int(2).add(&Value::Int(3)).unwrap(), Value::Int(5));
-        assert_eq!(
-            Value::Int(2).add(&Value::Double(0.5)).unwrap(),
-            Value::Double(2.5)
-        );
-        assert_eq!(
-            Value::Double(1.0).div(&Value::Int(0)).unwrap(),
-            Value::Null
-        );
+        assert_eq!(Value::Int(2).add(&Value::Double(0.5)).unwrap(), Value::Double(2.5));
+        assert_eq!(Value::Double(1.0).div(&Value::Int(0)).unwrap(), Value::Null);
         assert_eq!(Value::Null.mul(&Value::Int(2)).unwrap(), Value::Null);
     }
 
@@ -462,9 +453,6 @@ mod tests {
     fn display_round_trips_simple_values() {
         assert_eq!(Value::Int(42).to_string(), "42");
         assert_eq!(Value::Null.to_string(), "NULL");
-        assert_eq!(
-            Value::list(vec![Value::Int(1), Value::Int(2)]).to_string(),
-            "[1, 2]"
-        );
+        assert_eq!(Value::list(vec![Value::Int(1), Value::Int(2)]).to_string(), "[1, 2]");
     }
 }

@@ -1,9 +1,9 @@
-//! Property-based tests on the engine's delta invariants: incremental
+//! Randomized tests on the engine's delta invariants: incremental
 //! (delta-at-a-time) evaluation must agree with batch re-evaluation for
 //! every stateful operator, under arbitrary interleavings of insertions
-//! and deletions.
+//! and deletions. Operation streams are drawn from a seeded generator so
+//! every run exercises the same case set deterministically.
 
-use proptest::prelude::*;
 use rex_core::aggregates::{CountAgg, MaxAgg, MinAgg, SumAgg};
 use rex_core::delta::Delta;
 use rex_core::handlers::AggHandler;
@@ -11,9 +11,27 @@ use rex_core::tuple::Tuple;
 use rex_core::value::Value;
 use std::collections::HashMap;
 
+/// SplitMix64 — the test's deterministic case generator.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// A random operation stream: key, value, insert-or-delete.
-fn ops() -> impl Strategy<Value = Vec<(i64, i64, bool)>> {
-    prop::collection::vec((0i64..5, -50i64..50, any::<bool>()), 0..60)
+fn ops(seed: u64) -> Vec<(i64, i64, bool)> {
+    let mut s = seed;
+    let len = (splitmix(&mut s) % 60) as usize;
+    (0..len)
+        .map(|_| {
+            let k = (splitmix(&mut s) % 5) as i64;
+            let v = (splitmix(&mut s) % 100) as i64 - 50;
+            let insert = splitmix(&mut s) & 1 == 0;
+            (k, v, insert)
+        })
+        .collect()
 }
 
 /// Replay an op stream against an aggregate handler, deleting only values
@@ -57,49 +75,58 @@ fn final_bags(ops: &[(i64, i64, bool)]) -> HashMap<i64, Vec<i64>> {
     bags
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// SUM under arbitrary insert/delete interleavings equals the sum of
-    /// the surviving multiset.
-    #[test]
-    fn sum_is_incremental(ops in ops()) {
+/// SUM under arbitrary insert/delete interleavings equals the sum of
+/// the surviving multiset.
+#[test]
+fn sum_is_incremental() {
+    for case in 0..64u64 {
+        let ops = ops(case * 31 + 1);
         let got = replay(&SumAgg, &ops);
         for (k, bag) in final_bags(&ops) {
             let want: i64 = bag.iter().sum();
             let v = got[&k].clone().unwrap();
-            prop_assert!((v.as_double().unwrap() - want as f64).abs() < 1e-9,
-                "key {k}: {v:?} != {want}");
+            assert!(
+                (v.as_double().unwrap() - want as f64).abs() < 1e-9,
+                "case {case} key {k}: {v:?} != {want}"
+            );
         }
     }
+}
 
-    /// COUNT tracks multiset cardinality.
-    #[test]
-    fn count_is_incremental(ops in ops()) {
+/// COUNT tracks multiset cardinality.
+#[test]
+fn count_is_incremental() {
+    for case in 0..64u64 {
+        let ops = ops(case * 57 + 2);
         let got = replay(&CountAgg, &ops);
         for (k, bag) in final_bags(&ops) {
-            prop_assert_eq!(got[&k].clone().unwrap(), Value::Int(bag.len() as i64));
+            assert_eq!(got[&k].clone().unwrap(), Value::Int(bag.len() as i64), "case {case}");
         }
     }
+}
 
-    /// MIN/MAX survive deletions of the current extremum via their
-    /// buffered state (§3.3's "next-smallest value" discussion).
-    #[test]
-    fn min_max_survive_extremum_deletion(ops in ops()) {
+/// MIN/MAX survive deletions of the current extremum via their buffered
+/// state (§3.3's "next-smallest value" discussion).
+#[test]
+fn min_max_survive_extremum_deletion() {
+    for case in 0..64u64 {
+        let ops = ops(case * 97 + 3);
         let got_min = replay(&MinAgg, &ops);
         let got_max = replay(&MaxAgg, &ops);
         for (k, bag) in final_bags(&ops) {
             let want_min = bag.iter().min().copied();
             let want_max = bag.iter().max().copied();
             match want_min {
-                Some(m) => prop_assert_eq!(got_min[&k].clone().unwrap(), Value::Int(m)),
-                None => prop_assert!(
-                    got_min[&k].is_none() || got_min[&k] == Some(Value::Null)),
+                Some(m) => {
+                    assert_eq!(got_min[&k].clone().unwrap(), Value::Int(m), "case {case}")
+                }
+                None => assert!(got_min[&k].is_none() || got_min[&k] == Some(Value::Null)),
             }
             match want_max {
-                Some(m) => prop_assert_eq!(got_max[&k].clone().unwrap(), Value::Int(m)),
-                None => prop_assert!(
-                    got_max[&k].is_none() || got_max[&k] == Some(Value::Null)),
+                Some(m) => {
+                    assert_eq!(got_max[&k].clone().unwrap(), Value::Int(m), "case {case}")
+                }
+                None => assert!(got_max[&k].is_none() || got_max[&k] == Some(Value::Null)),
             }
         }
     }
@@ -126,18 +153,21 @@ mod join_props {
             .collect()
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(48))]
+    fn pairs(seed: u64, max_len: u64) -> Vec<(i64, i64)> {
+        let mut s = seed;
+        let len = (splitmix(&mut s) % max_len) as usize;
+        (0..len).map(|_| ((splitmix(&mut s) % 4) as i64, (splitmix(&mut s) % 6) as i64)).collect()
+    }
 
-        /// The pipelined join's *net* output (insert multiplicity minus
-        /// delete multiplicity) equals the batch join of the surviving
-        /// inputs, regardless of arrival interleaving.
-        #[test]
-        fn join_net_output_matches_batch(
-            left in prop::collection::vec((0i64..4, 0i64..6), 0..25),
-            right in prop::collection::vec((0i64..4, 0i64..6), 0..25),
-            interleave in any::<u64>(),
-        ) {
+    /// The pipelined join's *net* output (insert multiplicity minus
+    /// delete multiplicity) equals the batch join of the surviving
+    /// inputs, regardless of arrival interleaving.
+    #[test]
+    fn join_net_output_matches_batch() {
+        for case in 0..48u64 {
+            let left = pairs(case * 11 + 5, 25);
+            let right = pairs(case * 13 + 7, 25);
+            let interleave = splitmix(&mut (case + 17).clone());
             let mut op = HashJoinOp::new(vec![0], vec![0]);
             let mut net: HashMap<Tuple, i64> = HashMap::new();
             let mut l = left.iter();
@@ -151,20 +181,33 @@ mod join_props {
             loop {
                 let from_left = bits & 1 == 0;
                 bits = bits.rotate_right(1);
-                let next = if from_left { l.next().map(|x| (x, 0)) } else { r.next().map(|x| (x, 1)) };
+                let next =
+                    if from_left { l.next().map(|x| (x, 0)) } else { r.next().map(|x| (x, 1)) };
                 let Some((&(k, v), port)) = next else {
                     // Drain whichever side remains.
                     for &(k, v) in l.by_ref() {
-                        let out = drive(&mut op, 0, vec![Delta::insert(Tuple::new(vec![Value::Int(k), Value::Int(v)]))]);
+                        let out = drive(
+                            &mut op,
+                            0,
+                            vec![Delta::insert(Tuple::new(vec![Value::Int(k), Value::Int(v)]))],
+                        );
                         acc(out, &mut net);
                     }
                     for &(k, v) in r.by_ref() {
-                        let out = drive(&mut op, 1, vec![Delta::insert(Tuple::new(vec![Value::Int(k), Value::Int(v)]))]);
+                        let out = drive(
+                            &mut op,
+                            1,
+                            vec![Delta::insert(Tuple::new(vec![Value::Int(k), Value::Int(v)]))],
+                        );
                         acc(out, &mut net);
                     }
                     break;
                 };
-                let out = drive(&mut op, port, vec![Delta::insert(Tuple::new(vec![Value::Int(k), Value::Int(v)]))]);
+                let out = drive(
+                    &mut op,
+                    port,
+                    vec![Delta::insert(Tuple::new(vec![Value::Int(k), Value::Int(v)]))],
+                );
                 acc(out, &mut net);
             }
             // Batch join ground truth.
@@ -173,14 +216,17 @@ mod join_props {
                 for &(rk, rv) in &right {
                     if lk == rk {
                         let t = Tuple::new(vec![
-                            Value::Int(lk), Value::Int(lv), Value::Int(rk), Value::Int(rv),
+                            Value::Int(lk),
+                            Value::Int(lv),
+                            Value::Int(rk),
+                            Value::Int(rv),
                         ]);
                         *want.entry(t).or_default() += 1;
                     }
                 }
             }
             net.retain(|_, m| *m != 0);
-            prop_assert_eq!(net, want);
+            assert_eq!(net, want, "case {case}");
         }
     }
 }

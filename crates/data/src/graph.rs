@@ -7,8 +7,7 @@
 //! long tail, plus a small diameter — drives the same delta-convergence
 //! behaviour in PageRank and shortest paths.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::StdRng;
 use rex_core::tuple::{Schema, Tuple};
 use rex_core::value::{DataType, Value};
 use std::collections::BTreeSet;
@@ -228,7 +227,13 @@ mod tests {
 
     #[test]
     fn mean_out_degree_near_spec() {
-        let spec = GraphSpec { n_vertices: 2000, edges_per_vertex: 8, seed: 3, random_edge_fraction: 0.0, locality_window: 0 };
+        let spec = GraphSpec {
+            n_vertices: 2000,
+            edges_per_vertex: 8,
+            seed: 3,
+            random_edge_fraction: 0.0,
+            locality_window: 0,
+        };
         let g = generate_graph(spec);
         let mean = g.n_edges() as f64 / g.n_vertices as f64;
         assert!(mean > 6.0 && mean < 10.0, "mean degree {mean}");
@@ -236,7 +241,13 @@ mod tests {
 
     #[test]
     fn in_degree_is_heavy_tailed() {
-        let g = generate_graph(GraphSpec { n_vertices: 3000, edges_per_vertex: 5, seed: 11, random_edge_fraction: 0.0, locality_window: 0 });
+        let g = generate_graph(GraphSpec {
+            n_vertices: 3000,
+            edges_per_vertex: 5,
+            seed: 11,
+            random_edge_fraction: 0.0,
+            locality_window: 0,
+        });
         let mut d = g.in_degrees();
         d.sort_unstable_by(|a, b| b.cmp(a));
         // Top 1% of vertices should hold a disproportionate share of edges.
@@ -251,7 +262,13 @@ mod tests {
 
     #[test]
     fn edge_tuples_match_edges() {
-        let g = generate_graph(GraphSpec { n_vertices: 10, edges_per_vertex: 2, seed: 5, random_edge_fraction: 0.0, locality_window: 0 });
+        let g = generate_graph(GraphSpec {
+            n_vertices: 10,
+            edges_per_vertex: 2,
+            seed: 5,
+            random_edge_fraction: 0.0,
+            locality_window: 0,
+        });
         let ts = g.edge_tuples();
         assert_eq!(ts.len(), g.n_edges());
         assert_eq!(ts[0].get(0).as_int().unwrap() as u32, g.edges[0].0);

@@ -16,6 +16,7 @@
 pub mod graph;
 pub mod lineitem;
 pub mod points;
+pub mod rng;
 
 pub use graph::{generate_graph, Graph, GraphSpec};
 pub use lineitem::{generate_lineitem, lineitem_tuples, LineItem};

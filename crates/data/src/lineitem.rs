@@ -8,8 +8,7 @@
 //! companion columns (orderkey, quantity, extendedprice, discount) to make
 //! the relation realistic for other queries.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::StdRng;
 use rex_core::tuple::{Schema, Tuple};
 use rex_core::value::{DataType, Value};
 
@@ -159,9 +158,30 @@ mod tests {
     #[test]
     fn reference_answer_counts_filtered_rows() {
         let rows = vec![
-            LineItem { orderkey: 1, linenumber: 1, quantity: 1, extendedprice: 1.0, discount: 0.0, tax: 0.05 },
-            LineItem { orderkey: 1, linenumber: 2, quantity: 1, extendedprice: 1.0, discount: 0.0, tax: 0.03 },
-            LineItem { orderkey: 1, linenumber: 3, quantity: 1, extendedprice: 1.0, discount: 0.0, tax: 0.02 },
+            LineItem {
+                orderkey: 1,
+                linenumber: 1,
+                quantity: 1,
+                extendedprice: 1.0,
+                discount: 0.0,
+                tax: 0.05,
+            },
+            LineItem {
+                orderkey: 1,
+                linenumber: 2,
+                quantity: 1,
+                extendedprice: 1.0,
+                discount: 0.0,
+                tax: 0.03,
+            },
+            LineItem {
+                orderkey: 1,
+                linenumber: 3,
+                quantity: 1,
+                extendedprice: 1.0,
+                discount: 0.0,
+                tax: 0.02,
+            },
         ];
         let (s, c) = reference_fig4_answer(&rows);
         assert_eq!(c, 2);

@@ -7,8 +7,7 @@
 //! mixture of Gaussians reproduces. Like the paper's enlargement procedure,
 //! [`enlarge`] jitters extra points around existing ones.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::StdRng;
 use rex_core::tuple::{Schema, Tuple};
 use rex_core::value::{DataType, Value};
 
@@ -73,7 +72,10 @@ pub fn generate_points(spec: PointSpec) -> Vec<Point> {
     (0..spec.n_points)
         .map(|_| {
             let c = means[rng.gen_range(0..k)];
-            Point { x: c.x + normal(&mut rng) * spec.stddev, y: c.y + normal(&mut rng) * spec.stddev }
+            Point {
+                x: c.x + normal(&mut rng) * spec.stddev,
+                y: c.y + normal(&mut rng) * spec.stddev,
+            }
         })
         .collect()
 }
@@ -108,7 +110,9 @@ pub fn point_tuples(points: &[Point]) -> Vec<Tuple> {
     points
         .iter()
         .enumerate()
-        .map(|(i, p)| Tuple::new(vec![Value::Int(i as i64), Value::Double(p.x), Value::Double(p.y)]))
+        .map(|(i, p)| {
+            Tuple::new(vec![Value::Int(i as i64), Value::Double(p.x), Value::Double(p.y)])
+        })
         .collect()
 }
 

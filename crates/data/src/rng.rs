@@ -1,0 +1,116 @@
+//! A small, dependency-free seeded PRNG for the dataset generators.
+//!
+//! The generators only need reproducibility — identical seed, identical
+//! dataset — not cryptographic quality. This is SplitMix64 (Steele,
+//! Lea & Flood, OOPSLA 2014): a single 64-bit state, full period,
+//! passes BigCrush, and trivially portable. The API mirrors the subset
+//! of `rand` the generators use (`seed_from_u64`, `gen_range`) so the
+//! generator code reads conventionally.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seeded pseudo-random generator (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    state: u64,
+}
+
+impl StdRng {
+    /// Deterministic generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> StdRng {
+        StdRng { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform sample from the range (half-open or inclusive).
+    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+
+    /// Uniform f64 in [0, 1) with 53 bits of precision.
+    fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Ranges [`StdRng::gen_range`] can sample from.
+pub trait SampleRange {
+    /// The sampled value's type.
+    type Output;
+    /// Draw a uniform sample.
+    fn sample(self, rng: &mut StdRng) -> Self::Output;
+}
+
+impl SampleRange for Range<usize> {
+    type Output = usize;
+    fn sample(self, rng: &mut StdRng) -> usize {
+        let span =
+            self.end.checked_sub(self.start).filter(|&s| s > 0).expect("gen_range: empty range");
+        self.start + (rng.next_u64() % span as u64) as usize
+    }
+}
+
+impl SampleRange for RangeInclusive<i64> {
+    type Output = i64;
+    fn sample(self, rng: &mut StdRng) -> i64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "gen_range: empty range");
+        let span = (hi - lo) as u64 + 1;
+        lo + (rng.next_u64() % span) as i64
+    }
+}
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    fn sample(self, rng: &mut StdRng) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        self.start + (self.end - self.start) * rng.unit_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let u = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&u));
+            let i = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&i));
+            let f = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn distribution_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut counts = [0usize; 10];
+        for _ in 0..10_000 {
+            counts[rng.gen_range(0usize..10)] += 1;
+        }
+        for &c in &counts {
+            assert!((700..1300).contains(&c), "bucket count {c} far from 1000");
+        }
+    }
+}

@@ -1,67 +1,95 @@
-//! Property-based tests on the dataset generators' invariants.
+//! Randomized tests on the dataset generators' invariants, swept over a
+//! deterministic seed set so every run checks the same cases.
 
-use proptest::prelude::*;
 use rex_data::graph::{generate_graph, GraphSpec};
 use rex_data::lineitem::generate_lineitem;
 use rex_data::points::{enlarge, generate_points, PointSpec};
+use rex_data::rng::StdRng;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn graph_edges_are_valid_and_unique(
-        n in 2usize..400,
-        m in 1usize..8,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn graph_edges_are_valid_and_unique() {
+    let mut rng = StdRng::seed_from_u64(0xA11CE);
+    for _ in 0..32 {
+        let n = rng.gen_range(2usize..400);
+        let m = rng.gen_range(1usize..8);
+        let seed = rng.next_u64();
         let g = generate_graph(GraphSpec {
             n_vertices: n,
             edges_per_vertex: m,
             seed,
-            random_edge_fraction: 0.1, locality_window: 0
+            random_edge_fraction: 0.1,
+            locality_window: 0,
         });
-        prop_assert_eq!(g.n_vertices, n.max(2));
+        assert_eq!(g.n_vertices, n.max(2));
         let mut seen = std::collections::HashSet::new();
         for &(s, t) in &g.edges {
-            prop_assert!(s != t);
-            prop_assert!((s as usize) < g.n_vertices);
-            prop_assert!((t as usize) < g.n_vertices);
-            prop_assert!(seen.insert((s, t)));
+            assert!(s != t, "self loop at {s} (n={n} m={m} seed={seed})");
+            assert!((s as usize) < g.n_vertices);
+            assert!((t as usize) < g.n_vertices);
+            assert!(seen.insert((s, t)), "duplicate edge ({s},{t})");
         }
     }
+}
 
-    #[test]
-    fn graph_generation_is_pure(n in 2usize..200, seed in any::<u64>()) {
-        let spec = GraphSpec { n_vertices: n, edges_per_vertex: 3, seed, random_edge_fraction: 0.05, locality_window: 0 };
-        prop_assert_eq!(generate_graph(spec), generate_graph(spec));
+#[test]
+fn graph_generation_is_pure() {
+    let mut rng = StdRng::seed_from_u64(0xB0B);
+    for _ in 0..32 {
+        let n = rng.gen_range(2usize..200);
+        let seed = rng.next_u64();
+        let spec = GraphSpec {
+            n_vertices: n,
+            edges_per_vertex: 3,
+            seed,
+            random_edge_fraction: 0.05,
+            locality_window: 0,
+        };
+        assert_eq!(generate_graph(spec), generate_graph(spec));
     }
+}
 
-    #[test]
-    fn points_count_and_determinism(n in 0usize..1000, k in 1usize..10, seed in any::<u64>()) {
+#[test]
+fn points_count_and_determinism() {
+    let mut rng = StdRng::seed_from_u64(0xCAFE);
+    for _ in 0..32 {
+        let n = rng.gen_range(0usize..1000);
+        let k = rng.gen_range(1usize..10);
+        let seed = rng.next_u64();
         let spec = PointSpec { n_points: n, n_clusters: k, stddev: 1.0, seed };
         let a = generate_points(spec);
-        prop_assert_eq!(a.len(), n);
-        prop_assert_eq!(generate_points(spec), a);
+        assert_eq!(a.len(), n);
+        assert_eq!(generate_points(spec), a);
     }
+}
 
-    #[test]
-    fn enlarge_scales_exactly(n in 1usize..50, factor in 1usize..12, seed in any::<u64>()) {
+#[test]
+fn enlarge_scales_exactly() {
+    let mut rng = StdRng::seed_from_u64(0xD00D);
+    for _ in 0..32 {
+        let n = rng.gen_range(1usize..50);
+        let factor = rng.gen_range(1usize..12);
+        let seed = rng.next_u64();
         let base = generate_points(PointSpec { n_points: n, n_clusters: 2, stddev: 1.0, seed });
         let big = enlarge(&base, factor, 0.01, seed ^ 1);
-        prop_assert_eq!(big.len(), n * factor);
+        assert_eq!(big.len(), n * factor);
         // Every original point survives at stride `factor`.
         for (i, p) in base.iter().enumerate() {
-            prop_assert_eq!(&big[i * factor], p);
+            assert_eq!(&big[i * factor], p);
         }
     }
+}
 
-    #[test]
-    fn lineitem_rows_in_domain(n in 0usize..2000, seed in any::<u64>()) {
+#[test]
+fn lineitem_rows_in_domain() {
+    let mut rng = StdRng::seed_from_u64(0xFEED);
+    for _ in 0..32 {
+        let n = rng.gen_range(0usize..2000);
+        let seed = rng.next_u64();
         let rows = generate_lineitem(n, seed);
-        prop_assert_eq!(rows.len(), n);
+        assert_eq!(rows.len(), n);
         for r in &rows {
-            prop_assert!((1..=7).contains(&r.linenumber));
-            prop_assert!(r.tax >= 0.0 && r.tax <= 0.08 + 1e-9);
+            assert!((1..=7).contains(&r.linenumber));
+            assert!(r.tax >= 0.0 && r.tax <= 0.08 + 1e-9);
         }
     }
 }

@@ -96,9 +96,9 @@ pub fn run_recursive(q: &RecursiveQuery<'_>, cfg: &DbmsConfig) -> (Vec<Tuple>, D
     let mut accumulated_bytes = 0u64;
 
     let charge_new = |rows: &[Tuple],
-                          seen: &mut HashSet<Tuple>,
-                          accumulated: &mut Vec<Tuple>,
-                          accumulated_bytes: &mut u64|
+                      seen: &mut HashSet<Tuple>,
+                      accumulated: &mut Vec<Tuple>,
+                      accumulated_bytes: &mut u64|
      -> (u64, f64) {
         let mut new = 0u64;
         let mut insert_cpu = 0.0;
@@ -139,10 +139,8 @@ pub fn run_recursive(q: &RecursiveQuery<'_>, cfg: &DbmsConfig) -> (Vec<Tuple>, D
         // retention hurts.
         let spilled = accumulated_bytes.saturating_sub(cfg.buffer_pool_bytes);
         let dedup_cpu = candidates.len() as f64 * cfg.cost.hash_cost;
-        let sim_time = step_cpu
-            + dedup_cpu
-            + inserts * cfg.insert_cost
-            + cfg.cost.disk_time(spilled);
+        let sim_time =
+            step_cpu + dedup_cpu + inserts * cfg.insert_cost + cfg.cost.disk_time(spilled);
         // The next delta: only the fresh rows (semi-naive).
         delta = candidates
             .into_iter()

@@ -72,11 +72,7 @@ pub fn pagerank_recursive_sql(
 
     // The answer: the last iteration's slice.
     let mut ranks = vec![BASE_RANK; n];
-    let last = rows
-        .iter()
-        .filter_map(|t| t.get(0).as_int())
-        .max()
-        .unwrap_or(0);
+    let last = rows.iter().filter_map(|t| t.get(0).as_int()).max().unwrap_or(0);
     for t in &rows {
         if t.get(0).as_int() == Some(last) {
             if let (Some(v), Some(pr)) = (t.get(1).as_int(), t.get(2).as_double()) {
@@ -118,7 +114,13 @@ mod tests {
     }
 
     fn graph() -> Graph {
-        generate_graph(GraphSpec { n_vertices: 40, edges_per_vertex: 3, seed: 2, random_edge_fraction: 0.1, locality_window: 0 })
+        generate_graph(GraphSpec {
+            n_vertices: 40,
+            edges_per_vertex: 3,
+            seed: 2,
+            random_edge_fraction: 0.1,
+            locality_window: 0,
+        })
     }
 
     #[test]
@@ -137,10 +139,7 @@ mod tests {
         let iters = 10;
         let (_, report) = pagerank_recursive_sql(&g, iters, &DbmsConfig::default());
         // (iters + 1) strata × |V| rows, all retained.
-        assert_eq!(
-            report.final_state_tuples(),
-            (iters as u64 + 1) * g.n_vertices as u64
-        );
+        assert_eq!(report.final_state_tuples(), (iters as u64 + 1) * g.n_vertices as u64);
     }
 
     #[test]

@@ -128,11 +128,9 @@ mod tests {
             out(k.clone(), Value::Int(s));
         });
         let mut got = Vec::new();
-        r.reduce(
-            &Value::Int(7),
-            &[Value::Int(1), Value::Int(2), Value::Int(3)],
-            &mut |k, v| got.push((k, v)),
-        );
+        r.reduce(&Value::Int(7), &[Value::Int(1), Value::Int(2), Value::Int(3)], &mut |k, v| {
+            got.push((k, v))
+        });
         assert_eq!(got, vec![(Value::Int(7), Value::Int(6))]);
     }
 

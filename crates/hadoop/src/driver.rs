@@ -62,10 +62,7 @@ impl RunReport {
     /// Total bytes that crossed the network: shuffle plus DFS output
     /// replication.
     pub fn total_network_bytes(&self) -> u64 {
-        self.iterations
-            .iter()
-            .map(|i| i.metrics.shuffle_bytes + i.metrics.dfs_network_bytes)
-            .sum()
+        self.iterations.iter().map(|i| i.metrics.shuffle_bytes + i.metrics.dfs_network_bytes).sum()
     }
 
     /// Average bandwidth per node in bytes per simulated time unit.
@@ -105,10 +102,8 @@ impl IterativeJob {
         let mut report = RunReport::default();
         let mut mutable = self.initial.clone();
         for iteration in 0..self.max_iterations {
-            let inputs = [
-                JobInput::immutable(self.immutable.clone()),
-                JobInput::mutable(mutable.clone()),
-            ];
+            let inputs =
+                [JobInput::immutable(self.immutable.clone()), JobInput::mutable(mutable.clone())];
             let (out, metrics) = cluster.run_job(&self.job, &inputs, iteration);
             report.iterations.push(IterationReport {
                 iteration,
@@ -200,8 +195,7 @@ mod tests {
     fn haloop_beats_hadoop_with_immutable_data() {
         // An iterative job over a large immutable input and a tiny mutable
         // set: the HaLoop LB should be much cheaper per iteration.
-        let imm: Vec<Record> =
-            (0..500).map(|i| (Value::Int(i % 50), Value::Int(i))).collect();
+        let imm: Vec<Record> = (0..500).map(|i| (Value::Int(i % 50), Value::Int(i))).collect();
         let job = MapReduceJob::new(
             "noop",
             FnMapper::new("m", |k, v, out| out(k.clone(), v.clone())),
@@ -225,13 +219,8 @@ mod tests {
         assert!(haloop.total_sim_time() < hadoop.total_sim_time());
         assert!(haloop.total_shuffle_bytes() < hadoop.total_shuffle_bytes());
         // First iterations are identical; savings start at iteration 1.
-        assert_eq!(
-            hadoop.iterations[0].metrics.sim_time,
-            haloop.iterations[0].metrics.sim_time
-        );
-        assert!(
-            haloop.iterations[1].metrics.sim_time < hadoop.iterations[1].metrics.sim_time
-        );
+        assert_eq!(hadoop.iterations[0].metrics.sim_time, haloop.iterations[0].metrics.sim_time);
+        assert!(haloop.iterations[1].metrics.sim_time < hadoop.iterations[1].metrics.sim_time);
     }
 
     #[test]
@@ -241,11 +230,11 @@ mod tests {
             FnMapper::new("m", |k, v, out| out(k.clone(), Value::Int(v.as_int().unwrap() + 1))),
             FnReducer::new("r", |k, vs, out| out(k.clone(), vs[0].clone())),
         );
-        let (out, m) =
-            run_chain(&HadoopCluster::new(1), &[inc.clone(), inc.clone(), inc], vec![(
-                Value::Int(0),
-                Value::Int(0),
-            )]);
+        let (out, m) = run_chain(
+            &HadoopCluster::new(1),
+            &[inc.clone(), inc.clone(), inc],
+            vec![(Value::Int(0), Value::Int(0))],
+        );
         assert_eq!(out[0].1, Value::Int(3));
         // Three jobs' startup costs accumulate.
         assert!(m.sim_time >= 3.0 * HadoopCluster::new(1).cost.job_startup);

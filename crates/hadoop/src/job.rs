@@ -125,7 +125,11 @@ pub struct HadoopCluster {
 impl HadoopCluster {
     /// A cluster of `n` nodes in plain-Hadoop mode.
     pub fn new(n: usize) -> HadoopCluster {
-        HadoopCluster { n_nodes: n.max(1), cost: HadoopCost::default(), mode: EmulationMode::Hadoop }
+        HadoopCluster {
+            n_nodes: n.max(1),
+            cost: HadoopCost::default(),
+            mode: EmulationMode::Hadoop,
+        }
     }
 
     /// Switch emulation mode.
@@ -302,7 +306,7 @@ mod tests {
         }));
         let input = JobInput::mutable(lines(&["a a a a a a b"]));
         let cluster = HadoopCluster::new(1);
-        let (out1, m1) = cluster.run_job(&job, &[input.clone()], 0);
+        let (out1, m1) = cluster.run_job(&job, std::slice::from_ref(&input), 0);
         let (out2, m2) = cluster.run_job(&with, &[input], 0);
         assert_eq!(out1, out2, "combiner must not change results");
         assert!(m2.shuffle_records < m1.shuffle_records);
@@ -323,12 +327,12 @@ mod tests {
         // Iteration 0: identical (cache construction is free but mapping is
         // still charged for HaLoop's first pass in our model — the cache
         // must be built from a full scan; its *construction* is free).
-        let (_, h0) = hadoop.run_job(&job, &[imm.clone()], 0);
-        let (_, l0) = haloop.run_job(&job, &[imm.clone()], 0);
+        let (_, h0) = hadoop.run_job(&job, std::slice::from_ref(&imm), 0);
+        let (_, l0) = haloop.run_job(&job, std::slice::from_ref(&imm), 0);
         assert_eq!(h0.sim_time, l0.sim_time);
 
         // Iteration 1: HaLoop pays almost nothing beyond startup + reduce.
-        let (_, h1) = hadoop.run_job(&job, &[imm.clone()], 1);
+        let (_, h1) = hadoop.run_job(&job, std::slice::from_ref(&imm), 1);
         let (out, l1) = haloop.run_job(&job, &[imm], 1);
         assert_eq!(out.len(), 3, "results identical regardless of caching");
         assert!(l1.sim_time < h1.sim_time);
@@ -352,7 +356,8 @@ mod tests {
     #[test]
     fn more_nodes_reduce_completion_time() {
         let input = JobInput::mutable(lines(&["a b c d e f g h"; 64]));
-        let (_, m1) = HadoopCluster::new(1).run_job(&wordcount_job(), &[input.clone()], 0);
+        let (_, m1) =
+            HadoopCluster::new(1).run_job(&wordcount_job(), std::slice::from_ref(&input), 0);
         let (_, m8) = HadoopCluster::new(8).run_job(&wordcount_job(), &[input], 0);
         assert!(m8.sim_time < m1.sim_time);
         assert!(m8.sim_time > m8.cpu_units / 8.0, "startup is not parallelized");
@@ -363,7 +368,7 @@ mod tests {
         let input = JobInput::mutable(lines(&["a b c"; 32]));
         let plain = HadoopCluster::new(1);
         let lb = HadoopCluster::new(1).with_mode(EmulationMode::HadoopLowerBound);
-        let (_, mp) = plain.run_job(&wordcount_job(), &[input.clone()], 0);
+        let (_, mp) = plain.run_job(&wordcount_job(), std::slice::from_ref(&input), 0);
         let (_, ml) = lb.run_job(&wordcount_job(), &[input], 0);
         assert!(ml.cpu_units < mp.cpu_units);
         assert!(ml.sim_time < mp.sim_time);

@@ -82,11 +82,8 @@ impl DeltaMapper for MapWrap {
 
     fn map(&self, d: &Delta, _reg: &Registry) -> Result<Vec<Delta>> {
         let (k, v) = tuple_to_record(&d.tuple)?;
-        let (k, v) = if self.boundary {
-            (format_round_trip(&k), format_round_trip(&v))
-        } else {
-            (k, v)
-        };
+        let (k, v) =
+            if self.boundary { (format_round_trip(&k), format_round_trip(&v)) } else { (k, v) };
         let mut out = Vec::new();
         self.mapper.map(&k, &v, &mut |ok, ov| {
             out.push(d.with_tuple(Tuple::new(vec![ok, ov])));
@@ -195,8 +192,8 @@ pub fn reduce_output_projection() -> rex_core::operators::ProjectOp {
 mod tests {
     use super::*;
     use crate::api::{FnMapper, FnReducer};
-    use rex_core::operators::{AggSpec, ApplyFunctionOp, GroupByOp, ScanOp, SinkOp};
     use rex_core::exec::{LocalRuntime, PlanGraph};
+    use rex_core::operators::{AggSpec, ApplyFunctionOp, GroupByOp, ScanOp, SinkOp};
 
     fn tokenizer() -> Arc<dyn Mapper> {
         FnMapper::new("tok", |_k, v, out| {
@@ -269,10 +266,7 @@ mod tests {
                 Tuple::new(vec![Value::Int(1), Value::str("b c")]),
             ],
         )));
-        let map = g.add(Box::new(ApplyFunctionOp::new(Arc::new(MapWrap::new(
-            tokenizer(),
-            true,
-        )))));
+        let map = g.add(Box::new(ApplyFunctionOp::new(Arc::new(MapWrap::new(tokenizer(), true)))));
         let gb = g.add(Box::new(GroupByOp::new(
             vec![0],
             vec![AggSpec::new(Arc::new(ReduceWrap::new(summer(), true)), vec![0, 1])],

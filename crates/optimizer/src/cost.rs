@@ -110,16 +110,14 @@ impl Calibration {
         let min = |xs: &[f64]| xs.iter().copied().fold(f64::INFINITY, f64::min).max(1e-9);
         let cpu = min(&self.cpu_speed);
         let disk = min(&self.disk_speed);
-        let net = min(
-            &self
-                .net_bandwidth
-                .iter()
-                .enumerate()
-                .flat_map(|(i, row)| {
-                    row.iter().enumerate().filter(move |(j, _)| i != *j).map(|(_, &b)| b)
-                })
-                .collect::<Vec<f64>>(),
-        );
+        let net = min(&self
+            .net_bandwidth
+            .iter()
+            .enumerate()
+            .flat_map(|(i, row)| {
+                row.iter().enumerate().filter(move |(j, _)| i != *j).map(|(_, &b)| b)
+            })
+            .collect::<Vec<f64>>());
         (cpu, disk, net.min(f64::INFINITY))
     }
 

@@ -84,23 +84,19 @@ pub struct Enumeration {
 type Set = u64; // bitset over ≤64 relations
 
 /// Enumerate the cheapest join order for `rels` under `edges`.
-pub fn best_join_order(
-    rels: &[Relation],
-    edges: &[JoinEdge],
-    stats: &Statistics,
-) -> Enumeration {
+pub fn best_join_order(rels: &[Relation], edges: &[JoinEdge], stats: &Statistics) -> Enumeration {
     assert!(!rels.is_empty() && rels.len() <= 64, "1..=64 relations supported");
-    let mut e = Enumerator {
-        rels,
-        edges,
-        stats,
-        memo: HashMap::new(),
-        pruned: 0,
-    };
+    let mut e = Enumerator { rels, edges, stats, memo: HashMap::new(), pruned: 0 };
     let full: Set = if rels.len() == 64 { !0 } else { (1 << rels.len()) - 1 };
     let (tree, rows, cost) = e.solve(full, f64::INFINITY);
     let memo_size = e.memo.len();
-    Enumeration { tree: tree.expect("full set is solvable"), rows, cost, memo_size, pruned: e.pruned }
+    Enumeration {
+        tree: tree.expect("full set is solvable"),
+        rows,
+        cost,
+        memo_size,
+        pruned: e.pruned,
+    }
 }
 
 struct Enumerator<'a> {
@@ -159,10 +155,8 @@ impl Enumerator<'_> {
                 // the graph is disconnected over this set.
                 let connected = self.connected(left, right);
                 if connected || !self.any_connected_split(set) {
-                    let current_bound = best
-                        .as_ref()
-                        .map(|(_, _, c)| c.min(bound))
-                        .unwrap_or(bound);
+                    let current_bound =
+                        best.as_ref().map(|(_, _, c)| c.min(bound)).unwrap_or(bound);
                     let (lt, lr, lc) = self.solve(left, current_bound);
                     if lc < current_bound {
                         let (rt, rr, rc) = self.solve(right, current_bound - lc);
@@ -278,8 +272,7 @@ mod tests {
         // A 6-relation chain has many bad bushy splits; pruning must fire.
         let rels: Vec<Relation> =
             (0..6).map(|i| rel(&format!("R{i}"), 1000 * (i as u64 + 1), 50)).collect();
-        let edges: Vec<JoinEdge> =
-            (0..5).map(|i| JoinEdge { a: i, b: i + 1 }).collect();
+        let edges: Vec<JoinEdge> = (0..5).map(|i| JoinEdge { a: i, b: i + 1 }).collect();
         let e = best_join_order(&rels, &edges, &Statistics::new());
         assert!(e.pruned > 0, "expected pruning, memo={} pruned={}", e.memo_size, e.pruned);
         assert!(e.cost.is_finite());
@@ -287,8 +280,7 @@ mod tests {
 
     #[test]
     fn memoization_bounds_search() {
-        let rels: Vec<Relation> =
-            (0..8).map(|i| rel(&format!("R{i}"), 100, 10)).collect();
+        let rels: Vec<Relation> = (0..8).map(|i| rel(&format!("R{i}"), 100, 10)).collect();
         let edges: Vec<JoinEdge> = (0..7).map(|i| JoinEdge { a: i, b: i + 1 }).collect();
         let e = best_join_order(&rels, &edges, &Statistics::new());
         // The memo holds at most one entry per relation subset.

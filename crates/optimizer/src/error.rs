@@ -1,0 +1,60 @@
+//! The optimizer's typed error.
+//!
+//! Costing and rewriting report failures as engine errors internally;
+//! [`OptimizeError`] wraps them so callers can distinguish "the optimizer
+//! rejected this plan" from execution failures, and `?`-convert into
+//! [`RexError`] at the session boundary without ad-hoc `map_err` strings.
+
+use rex_core::error::RexError;
+use std::fmt;
+
+/// An error raised while optimizing a logical plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimizeError {
+    /// The underlying engine error.
+    pub source: RexError,
+}
+
+impl fmt::Display for OptimizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "optimize failed: {}", self.source)
+    }
+}
+
+impl std::error::Error for OptimizeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+impl From<RexError> for OptimizeError {
+    fn from(source: RexError) -> OptimizeError {
+        OptimizeError { source }
+    }
+}
+
+/// Optimizer errors flow into the engine's unified error type, keeping
+/// the underlying variant and tagging the message so an optimizer-stage
+/// failure stays distinguishable from a planner or runtime error.
+impl From<OptimizeError> for RexError {
+    fn from(e: OptimizeError) -> RexError {
+        match e.source {
+            RexError::Plan(m) => RexError::Plan(format!("optimizer: {m}")),
+            RexError::Type(m) => RexError::Type(format!("optimizer: {m}")),
+            other => other,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_through_rex_error() {
+        let e: OptimizeError = RexError::Plan("no stats".into()).into();
+        assert!(e.to_string().contains("optimize failed"));
+        let r: RexError = e.into();
+        assert!(matches!(r, RexError::Plan(ref m) if m == "optimizer: no stats"));
+    }
+}

@@ -14,16 +14,20 @@
 
 pub mod cost;
 pub mod enumerate;
+pub mod error;
 pub mod plan_cost;
 pub mod rules;
 pub mod stats;
 
 pub use cost::{Calibration, ResourceVector, UnitCosts};
+pub use error::OptimizeError;
 pub use plan_cost::{Coster, PlanCost};
 pub use stats::{Statistics, UdfProfile};
 
-use rex_core::error::Result;
 use rex_rql::logical::LogicalPlan;
+
+/// Result alias for optimizer operations.
+pub type Result<T> = std::result::Result<T, OptimizeError>;
 
 /// The optimizer facade.
 pub struct Optimizer {
@@ -57,7 +61,7 @@ impl Optimizer {
     /// Cost a plan without rewriting (for comparing alternatives).
     pub fn cost(&self, plan: &LogicalPlan) -> Result<PlanCost> {
         let coster = Coster { stats: &self.stats, units: self.units, calib: &self.calib };
-        coster.cost(plan)
+        Ok(coster.cost(plan)?)
     }
 }
 

@@ -83,10 +83,9 @@ impl Coster<'_> {
                     },
                 })
             }
-            LogicalPlan::FixpointRef { .. } => Ok(PlanCost {
-                rows: fixpoint_rows,
-                resources: ResourceVector::ZERO,
-            }),
+            LogicalPlan::FixpointRef { .. } => {
+                Ok(PlanCost { rows: fixpoint_rows, resources: ResourceVector::ZERO })
+            }
             LogicalPlan::Filter { input, predicate } => {
                 let c = self.cost_inner(input, fixpoint_rows)?;
                 let sel = predicate_selectivity(predicate, self.stats);
@@ -98,8 +97,8 @@ impl Coster<'_> {
             }
             LogicalPlan::Project { input, exprs, .. } => {
                 let c = self.cost_inner(input, fixpoint_rows)?;
-                let per_tuple = u.cpu_per_tuple
-                    + exprs.iter().map(|e| self.udf_cost(e)).sum::<f64>();
+                let per_tuple =
+                    u.cpu_per_tuple + exprs.iter().map(|e| self.udf_cost(e)).sum::<f64>();
                 Ok(PlanCost {
                     rows: c.rows,
                     resources: c.resources + ResourceVector::cpu(c.rows as f64 * per_tuple),
@@ -116,10 +115,8 @@ impl Coster<'_> {
                 let rows = if handler.is_some() {
                     // A handler join's output is governed by user code; the
                     // calibrated selectivity of the handler shapes it.
-                    let sel = handler
-                        .as_ref()
-                        .map(|h| self.stats.udf(h).selectivity)
-                        .unwrap_or(1.0);
+                    let sel =
+                        handler.as_ref().map(|h| self.stats.udf(h).selectivity).unwrap_or(1.0);
                     ((l.rows.max(r.rows)) as f64 * sel).ceil() as u64
                 } else {
                     let d = (l.rows as f64).sqrt().max((r.rows as f64).sqrt()).max(1.0) as u64;
@@ -141,10 +138,7 @@ impl Coster<'_> {
                 let agg_cpu = c.rows as f64
                     * (u.cpu_per_tuple
                         + u.hash_cost
-                        + aggs
-                            .iter()
-                            .map(|a| self.stats.udf(&a.func).cost_per_tuple)
-                            .sum::<f64>());
+                        + aggs.iter().map(|a| self.stats.udf(&a.func).cost_per_tuple).sum::<f64>());
                 // Group count ≈ sqrt of input (same default as distinct).
                 let rows = (c.rows as f64).sqrt().ceil().max(1.0) as u64;
                 Ok(PlanCost {
@@ -189,18 +183,15 @@ impl Coster<'_> {
 mod tests {
     use super::*;
     use crate::stats::UdfProfile;
-    use rex_core::udf::Registry;
     use rex_core::tuple::Schema;
+    use rex_core::udf::Registry;
     use rex_core::value::DataType;
     use rex_rql::logical::plan_text;
     use rex_rql::SchemaCatalog;
 
     fn catalog() -> SchemaCatalog {
         let mut c = SchemaCatalog::new();
-        c.register(
-            "graph",
-            Schema::of(&[("srcId", DataType::Int), ("destId", DataType::Int)]),
-        );
+        c.register("graph", Schema::of(&[("srcId", DataType::Int), ("destId", DataType::Int)]));
         c.register("seed", Schema::of(&[("id", DataType::Int)]));
         c
     }
@@ -217,8 +208,7 @@ mod tests {
         let calib = Calibration::uniform(1);
         let c = coster(&stats, &calib);
         let all = plan_text("SELECT srcId FROM graph", &catalog(), &reg).unwrap();
-        let some =
-            plan_text("SELECT srcId FROM graph WHERE destId > 5", &catalog(), &reg).unwrap();
+        let some = plan_text("SELECT srcId FROM graph WHERE destId > 5", &catalog(), &reg).unwrap();
         let ca = c.cost(&all).unwrap();
         let cs = c.cost(&some).unwrap();
         assert_eq!(ca.rows, 10_000);
@@ -236,12 +226,9 @@ mod tests {
         stats.set_table_rows("pr", 1_000);
         let calib = Calibration::uniform(1);
         let c = coster(&stats, &calib);
-        let p = plan_text(
-            "SELECT graph.destId FROM graph, pr WHERE graph.srcId = pr.srcId",
-            &c2,
-            &reg,
-        )
-        .unwrap();
+        let p =
+            plan_text("SELECT graph.destId FROM graph, pr WHERE graph.srcId = pr.srcId", &c2, &reg)
+                .unwrap();
         let cost = c.cost(&p).unwrap();
         assert!(cost.rows > 1_000, "join fan-out expected");
         assert!(cost.runtime() > 0.0);
@@ -302,12 +289,8 @@ mod tests {
         let c = coster(&stats, &calib);
         let cheap =
             plan_text("SELECT srcId FROM graph WHERE destId > 1", &catalog(), &reg).unwrap();
-        let pricey = plan_text(
-            "SELECT srcId FROM graph WHERE sqrt(destId) > 1",
-            &catalog(),
-            &reg,
-        )
-        .unwrap();
+        let pricey =
+            plan_text("SELECT srcId FROM graph WHERE sqrt(destId) > 1", &catalog(), &reg).unwrap();
         assert!(c.cost(&pricey).unwrap().runtime() > 2.0 * c.cost(&cheap).unwrap().runtime());
     }
 
@@ -318,18 +301,12 @@ mod tests {
         stats.set_table_rows("graph", 100_000);
         let one = Calibration::uniform(1);
         let eight = Calibration::uniform(8);
-        let p = plan_text(
-            "SELECT srcId, count(*) FROM graph GROUP BY srcId",
-            &catalog(),
-            &reg,
-        )
-        .unwrap();
-        let c1 = Coster { stats: &stats, units: UnitCosts::default(), calib: &one }
-            .cost(&p)
+        let p = plan_text("SELECT srcId, count(*) FROM graph GROUP BY srcId", &catalog(), &reg)
             .unwrap();
-        let c8 = Coster { stats: &stats, units: UnitCosts::default(), calib: &eight }
-            .cost(&p)
-            .unwrap();
+        let c1 =
+            Coster { stats: &stats, units: UnitCosts::default(), calib: &one }.cost(&p).unwrap();
+        let c8 =
+            Coster { stats: &stats, units: UnitCosts::default(), calib: &eight }.cost(&p).unwrap();
         assert_eq!(c1.resources.net, 0.0);
         assert!(c8.resources.net > 0.0);
     }

@@ -118,16 +118,12 @@ pub fn preaggregation_plan(
     for a in aggs {
         let handler = reg.agg(&a.func)?;
         let plan = match handler.pre_aggregate() {
-            Some(partial) if handler.composable() => Some(PreAggPlan {
-                agg: a.func.clone(),
-                partial,
-                needs_multiply: !join_on_key,
-            }),
-            Some(partial) if join_on_key => Some(PreAggPlan {
-                agg: a.func.clone(),
-                partial,
-                needs_multiply: false,
-            }),
+            Some(partial) if handler.composable() => {
+                Some(PreAggPlan { agg: a.func.clone(), partial, needs_multiply: !join_on_key })
+            }
+            Some(partial) if join_on_key => {
+                Some(PreAggPlan { agg: a.func.clone(), partial, needs_multiply: false })
+            }
             _ => None,
         };
         out.push(plan);
@@ -181,12 +177,7 @@ mod tests {
         let mut stats = Statistics::new();
         stats.set_udf("sqrt", UdfProfile { cost_per_tuple: 500.0, selectivity: 0.99 });
         // Written with the expensive predicate first.
-        let p = plan_text(
-            "SELECT a FROM t WHERE sqrt(c) > 1 AND b = 3",
-            &catalog(),
-            &reg,
-        )
-        .unwrap();
+        let p = plan_text("SELECT a FROM t WHERE sqrt(c) > 1 AND b = 3", &catalog(), &reg).unwrap();
         let rewritten = order_filters_by_rank(p, &stats);
         let chain = filter_chain(&rewritten);
         assert_eq!(chain.len(), 2);
@@ -203,12 +194,7 @@ mod tests {
         let reg = Registry::with_builtins();
         let mut stats = Statistics::new();
         stats.set_udf("sqrt", UdfProfile { cost_per_tuple: 500.0, selectivity: 0.99 });
-        let p = plan_text(
-            "SELECT a FROM t WHERE sqrt(c) > 1 AND b = 3",
-            &catalog(),
-            &reg,
-        )
-        .unwrap();
+        let p = plan_text("SELECT a FROM t WHERE sqrt(c) > 1 AND b = 3", &catalog(), &reg).unwrap();
         let rewritten = order_filters_by_rank(p.clone(), &stats);
 
         let mut m = MemTables::new();
@@ -233,11 +219,8 @@ mod tests {
     #[test]
     fn composable_uda_pushes_through_any_join() {
         let reg = Registry::with_builtins();
-        let aggs = vec![AggCall {
-            func: "count".into(),
-            input_cols: vec![],
-            return_type: DataType::Int,
-        }];
+        let aggs =
+            vec![AggCall { func: "count".into(), input_cols: vec![], return_type: DataType::Int }];
         let on_key = preaggregation_plan(&aggs, &reg, true).unwrap();
         assert_eq!(
             on_key[0],

@@ -1,0 +1,98 @@
+//! The RQL front-end's typed error.
+//!
+//! Every stage of the pipeline (lex/parse → resolve/plan → lower) reports
+//! errors as [`rex_core::error::RexError`] internally; [`RqlError`] wraps
+//! them with the stage that failed so callers above the language layer —
+//! the `rex::Session` facade in particular — can convert RQL failures into
+//! engine errors with `?` instead of ad-hoc `map_err` strings, while
+//! still being able to tell a syntax error from a planning error.
+
+use rex_core::error::RexError;
+use std::fmt;
+
+/// Which front-end stage produced the error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RqlStage {
+    /// Tokenizing / parsing the source text.
+    Parse,
+    /// Name resolution, type checking, and logical planning.
+    Plan,
+    /// Physical lowering to a plan graph.
+    Lower,
+}
+
+impl fmt::Display for RqlStage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RqlStage::Parse => write!(f, "parse"),
+            RqlStage::Plan => write!(f, "plan"),
+            RqlStage::Lower => write!(f, "lower"),
+        }
+    }
+}
+
+/// An error from the RQL front-end, tagged with the failing stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RqlError {
+    /// The pipeline stage that failed.
+    pub stage: RqlStage,
+    /// The underlying engine error.
+    pub source: RexError,
+}
+
+impl RqlError {
+    /// Tag an engine error with the stage it came from.
+    pub fn at(stage: RqlStage, source: RexError) -> RqlError {
+        RqlError { stage, source }
+    }
+}
+
+impl fmt::Display for RqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rql {} failed: {}", self.stage, self.source)
+    }
+}
+
+impl std::error::Error for RqlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+/// RQL errors flow into the engine's unified error type, keeping the
+/// variant and message. The `Parse` and `Plan` stages are already named
+/// by their variants; a `Lower` failure tags its message so it stays
+/// distinguishable from a runtime error of the same variant.
+impl From<RqlError> for RexError {
+    fn from(e: RqlError) -> RexError {
+        match (e.stage, e.source) {
+            (RqlStage::Lower, RexError::Storage(m)) => RexError::Storage(format!("lowering: {m}")),
+            (RqlStage::Lower, RexError::Plan(m)) => RexError::Plan(format!("lowering: {m}")),
+            (RqlStage::Lower, RexError::Udf(m)) => RexError::Udf(format!("lowering: {m}")),
+            (_, source) => source,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_stage() {
+        let e = RqlError::at(RqlStage::Parse, RexError::Plan("boom".into()));
+        assert!(e.to_string().contains("rql parse failed"));
+        assert!(e.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn converts_into_rex_error_keeping_variant_and_stage() {
+        let e = RqlError::at(RqlStage::Lower, RexError::Storage("missing".into()));
+        let r: RexError = e.into();
+        assert!(matches!(r, RexError::Storage(ref m) if m == "lowering: missing"));
+        // Parse/Plan stages are already named by their variants.
+        let e = RqlError::at(RqlStage::Plan, RexError::Plan("bad column".into()));
+        let r: RexError = e.into();
+        assert!(matches!(r, RexError::Plan(ref m) if m == "bad column"));
+    }
+}

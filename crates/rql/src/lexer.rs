@@ -230,7 +230,8 @@ mod tests {
 
     #[test]
     fn tokenizes_simple_select() {
-        let toks = tokenize("SELECT sum(tax), count(*) FROM lineitem WHERE linenumber > 1").unwrap();
+        let toks =
+            tokenize("SELECT sum(tax), count(*) FROM lineitem WHERE linenumber > 1").unwrap();
         assert_eq!(toks[0], Token::Keyword("SELECT".into()));
         assert_eq!(toks[1], Token::Ident("sum".into()));
         assert!(toks.contains(&Token::Symbol(Sym::Star)));

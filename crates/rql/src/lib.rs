@@ -15,14 +15,31 @@
 //! cluster runtime.
 
 pub mod ast;
+pub mod error;
 pub mod lexer;
 pub mod logical;
 pub mod lower;
 pub mod parser;
+pub mod provider;
 pub mod resolve;
 
 pub use ast::{Query, Statement};
+pub use error::{RqlError, RqlStage};
 pub use logical::LogicalPlan;
-pub use lower::compile;
+pub use lower::{compile, lower_with, LowerOptions, TableProvider};
 pub use parser::parse;
+pub use provider::{CatalogProvider, PartitionProvider};
 pub use resolve::SchemaCatalog;
+
+/// Parse and plan RQL text into a [`LogicalPlan`], tagging failures with
+/// the front-end stage ([`RqlStage::Parse`] vs [`RqlStage::Plan`]) so the
+/// caller can `?`-convert them into engine errors without losing where
+/// the query died.
+pub fn plan_rql(
+    src: &str,
+    catalog: &SchemaCatalog,
+    reg: &rex_core::udf::Registry,
+) -> std::result::Result<LogicalPlan, RqlError> {
+    let stmt = parser::parse(src).map_err(|e| RqlError::at(RqlStage::Parse, e))?;
+    logical::plan(&stmt, catalog, reg).map_err(|e| RqlError::at(RqlStage::Plan, e))
+}

@@ -13,9 +13,7 @@
 //!   relation through [`LogicalPlan::FixpointRef`].
 
 use crate::ast::{AstExpr, Projection, Query, SelectBlock, Statement, TableRef};
-use crate::resolve::{
-    bin_op, projection_name, resolve_scalar, SchemaCatalog, Scope,
-};
+use crate::resolve::{bin_op, projection_name, resolve_scalar, SchemaCatalog, Scope};
 use rex_core::error::{Result, RexError};
 use rex_core::expr::Expr;
 use rex_core::tuple::{Field, Schema};
@@ -145,10 +143,7 @@ impl LogicalPlan {
                     walk(input, depth + 1, out);
                 }
                 LogicalPlan::Join { left, right, handler, left_key, right_key, .. } => {
-                    let h = handler
-                        .as_ref()
-                        .map(|h| format!(" handler={h}"))
-                        .unwrap_or_default();
+                    let h = handler.as_ref().map(|h| format!(" handler={h}")).unwrap_or_default();
                     out.push_str(&format!("{pad}Join{h} on {left_key:?}={right_key:?}\n"));
                     walk(left, depth + 1, out);
                     walk(right, depth + 1, out);
@@ -253,7 +248,10 @@ fn plan_select(
                     if name == rname {
                         LogicalPlan::FixpointRef { name: name.clone(), schema: rschema.clone() }
                     } else {
-                        LogicalPlan::Scan { table: name.clone(), schema: catalog.get(name)?.clone() }
+                        LogicalPlan::Scan {
+                            table: name.clone(),
+                            schema: catalog.get(name)?.clone(),
+                        }
                     }
                 } else {
                     LogicalPlan::Scan { table: name.clone(), schema: catalog.get(name)?.clone() }
@@ -269,9 +267,7 @@ fn plan_select(
     if items.is_empty() {
         return Err(RexError::Plan("FROM clause is empty".into()));
     }
-    let scope = Scope::new(
-        items.iter().map(|(n, p)| (n.clone(), p.schema().clone())).collect(),
-    );
+    let scope = Scope::new(items.iter().map(|(n, p)| (n.clone(), p.schema().clone())).collect());
 
     // ---- handler-join shape ---------------------------------------------
     if let Some(plan) = try_handler_join(block, &items, &scope, reg)? {
@@ -321,9 +317,7 @@ fn try_handler_join(
         return Ok(None);
     }
     if items.len() != 2 {
-        return Err(RexError::Plan(format!(
-            "handler join {name} requires exactly two FROM items"
-        )));
+        return Err(RexError::Plan(format!("handler join {name} requires exactly two FROM items")));
     }
     // Find the equi-join conjunct.
     let mut conjuncts = Vec::new();
@@ -344,8 +338,7 @@ fn try_handler_join(
         }
     }
     // A handler join with no key is a broadcast/cross handler join.
-    let schema =
-        Schema::new(fields.iter().map(|f| Field::new(f.clone(), DataType::Any)).collect());
+    let schema = Schema::new(fields.iter().map(|f| Field::new(f.clone(), DataType::Any)).collect());
     let mut items = items.to_vec();
     let (_, right) = items.pop().expect("two items");
     let (_, left) = items.pop().expect("two items");
@@ -490,11 +483,7 @@ fn plan_aggregate(
     for g in &block.group_by {
         match resolve_scalar(g, scope, reg) {
             Ok(Expr::Col(i)) => group_cols.push(i),
-            _ => {
-                return Err(RexError::Plan(format!(
-                    "GROUP BY supports plain columns, got {g}"
-                )))
-            }
+            _ => return Err(RexError::Plan(format!("GROUP BY supports plain columns, got {g}"))),
         }
     }
 
@@ -518,10 +507,8 @@ fn plan_aggregate(
     }
 
     // The aggregate's raw output schema: group cols ++ agg results.
-    let mut raw_fields: Vec<Field> = group_cols
-        .iter()
-        .map(|&c| input.schema().fields()[c].clone())
-        .collect();
+    let mut raw_fields: Vec<Field> =
+        group_cols.iter().map(|&c| input.schema().fields()[c].clone()).collect();
     for a in &aggs {
         raw_fields.push(Field::new(a.func.clone(), a.return_type));
     }
@@ -608,11 +595,14 @@ fn rewrite_agg_expr(
         AstExpr::Neg(inner) => {
             Ok(Expr::Neg(Box::new(rewrite_agg_expr(inner, scope, reg, group_cols, aggs)?)))
         }
-        AstExpr::Int(_) | AstExpr::Float(_) | AstExpr::Str(_) | AstExpr::Bool(_)
+        AstExpr::Int(_)
+        | AstExpr::Float(_)
+        | AstExpr::Str(_)
+        | AstExpr::Bool(_)
         | AstExpr::Null => resolve_scalar(e, &Scope::default(), reg),
-        other => Err(RexError::Plan(format!(
-            "unsupported expression in aggregate projection: {other}"
-        ))),
+        other => {
+            Err(RexError::Plan(format!("unsupported expression in aggregate projection: {other}")))
+        }
     }
 }
 
@@ -625,8 +615,8 @@ pub fn plan_text(src: &str, catalog: &SchemaCatalog, reg: &Registry) -> Result<L
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rex_core::handlers::{JoinHandler, TupleSet};
     use rex_core::delta::Delta;
+    use rex_core::handlers::{JoinHandler, TupleSet};
     use std::sync::Arc;
 
     fn catalog() -> SchemaCatalog {
@@ -642,10 +632,7 @@ mod tests {
                 ("tax", DataType::Double),
             ]),
         );
-        c.register(
-            "graph",
-            Schema::of(&[("srcId", DataType::Int), ("destId", DataType::Int)]),
-        );
+        c.register("graph", Schema::of(&[("srcId", DataType::Int), ("destId", DataType::Int)]));
         c
     }
 
@@ -776,12 +763,9 @@ mod tests {
     #[test]
     fn rejects_ungrouped_column() {
         let reg = Registry::with_builtins();
-        let err = plan_text(
-            "SELECT destId, sum(srcId) FROM graph GROUP BY srcId",
-            &catalog(),
-            &reg,
-        )
-        .unwrap_err();
+        let err =
+            plan_text("SELECT destId, sum(srcId) FROM graph GROUP BY srcId", &catalog(), &reg)
+                .unwrap_err();
         assert!(err.to_string().contains("neither grouped nor aggregated"));
     }
 

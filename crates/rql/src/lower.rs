@@ -8,11 +8,33 @@
 //! a fixpoint becomes the Figure 1 loop: base → fixpoint port 0, feedback
 //! out of port 0 into the step subplan, step output rehashed on the
 //! fixpoint key back into port 1, finals out of port 1 into the sink.
+//!
+//! ## Distributed lowering
+//!
+//! With [`LowerOptions::distributed`] set, the same logical plan lowers to
+//! a *worker* plan: the lowering tracks how each intermediate stream is
+//! partitioned (scans by their table's partition key, fixpoint feedback by
+//! the `FIXPOINT BY` key, rehash outputs by their hash key) and inserts
+//! network boundaries exactly where the data's current partitioning does
+//! not line up with what the next stateful operator needs:
+//!
+//! * join inputs are rehashed on the join key unless already co-partitioned
+//!   on it; a key-less (handler broadcast) join replicates the recursive
+//!   side to all workers while the stored side stays partitioned;
+//! * grouped aggregates repartition on the grouping key (as locally);
+//!   *global* aggregates gather every partition's tuples at one
+//!   deterministic worker instead of computing per-worker partials;
+//! * fixpoint base cases are rehashed onto the fixpoint key when the base
+//!   relation is partitioned differently.
+//!
+//! Local lowering (`distributed = false`) is unchanged: rehash operators
+//! are pass-throughs on a single node, so local plans stay minimal.
 
 use crate::logical::{AggCall, LogicalPlan};
 use crate::resolve::SchemaCatalog;
 use rex_core::error::{Result, RexError};
 use rex_core::exec::{NodeId, PlanGraph};
+use rex_core::expr::Expr;
 use rex_core::operators::{
     AggSpec, FilterOp, FixpointOp, GroupByOp, HashJoinOp, ProjectOp, ScanOp, SinkOp, Termination,
 };
@@ -25,6 +47,15 @@ use std::collections::HashMap;
 pub trait TableProvider {
     /// The rows of `table` visible to this plan instance.
     fn scan(&self, table: &str) -> Result<Vec<Tuple>>;
+
+    /// The columns `table` is partitioned on across workers, if known.
+    /// Distributed lowering uses this to skip redundant rehashes when a
+    /// scan is already partitioned on the key an operator needs. `None`
+    /// (the default) means "unknown" and forces a rehash where one might
+    /// be needed — always safe.
+    fn partition_cols(&self, _table: &str) -> Option<Vec<usize>> {
+        None
+    }
 }
 
 /// A simple in-memory provider.
@@ -58,6 +89,22 @@ impl TableProvider for MemTables {
 /// user queries; the paper's optimizer applies a similar cap, §5.3).
 pub const DEFAULT_MAX_STRATA: u64 = 10_000;
 
+/// Options controlling physical lowering.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LowerOptions {
+    /// Lower a worker-local plan for distributed execution: insert network
+    /// boundaries wherever the stream's partitioning does not match what
+    /// the consuming operator requires (see the module docs).
+    pub distributed: bool,
+}
+
+impl LowerOptions {
+    /// Options for a per-worker plan in the cluster.
+    pub fn cluster() -> LowerOptions {
+        LowerOptions { distributed: true }
+    }
+}
+
 /// Compile RQL source text into an executable plan graph.
 pub fn compile(
     src: &str,
@@ -75,53 +122,118 @@ pub fn lower(
     provider: &dyn TableProvider,
     reg: &Registry,
 ) -> Result<PlanGraph> {
+    lower_with(plan, provider, reg, LowerOptions::default())
+}
+
+/// Lower a logical plan with explicit [`LowerOptions`].
+pub fn lower_with(
+    plan: &LogicalPlan,
+    provider: &dyn TableProvider,
+    reg: &Registry,
+    opts: LowerOptions,
+) -> Result<PlanGraph> {
     let mut g = PlanGraph::new();
-    let mut ctx = Lowering { g: &mut g, provider, reg, fixpoint: None };
-    let (node, port) = ctx.node(plan)?;
+    let mut ctx = Lowering { g: &mut g, provider, reg, fixpoint: None, opts };
+    let (node, port, _) = ctx.node(plan)?;
     let sink = g.add(Box::new(SinkOp::new()));
     g.connect(node, port, sink, 0);
     Ok(g)
 }
 
+/// How a lowered stream is partitioned across workers: `Some(cols)` when
+/// every tuple lives on the owner of the hash of those columns, `None`
+/// when unknown (forces a rehash wherever co-partitioning is required).
+type Partitioning = Option<Vec<usize>>;
+
 struct Lowering<'a> {
     g: &'a mut PlanGraph,
     provider: &'a dyn TableProvider,
     reg: &'a Registry,
-    /// While lowering a fixpoint step: the fixpoint node whose output port
-    /// 0 feeds [`LogicalPlan::FixpointRef`] consumers.
-    fixpoint: Option<NodeId>,
+    /// While lowering a fixpoint step: the fixpoint node (whose output
+    /// port 0 feeds [`LogicalPlan::FixpointRef`] consumers) and its key.
+    fixpoint: Option<(NodeId, Vec<usize>)>,
+    opts: LowerOptions,
 }
 
 impl Lowering<'_> {
-    /// Lower `plan`, returning `(node, output port)` of its result stream.
-    fn node(&mut self, plan: &LogicalPlan) -> Result<(NodeId, usize)> {
+    /// In distributed mode, route `(node, port)` through a hash boundary on
+    /// `key` unless the stream is already partitioned exactly on `key`.
+    fn ensure_partitioned(
+        &mut self,
+        node: NodeId,
+        port: usize,
+        current: &Partitioning,
+        key: &[usize],
+    ) -> (NodeId, usize, Partitioning) {
+        if !self.opts.distributed || current.as_deref() == Some(key) {
+            return (node, port, current.clone());
+        }
+        let rh = self.g.add_rehash(key.to_vec());
+        self.g.connect(node, port, rh, 0);
+        (rh, 0, Some(key.to_vec()))
+    }
+
+    /// Lower `plan`, returning `(node, output port, partitioning)` of its
+    /// result stream.
+    fn node(&mut self, plan: &LogicalPlan) -> Result<(NodeId, usize, Partitioning)> {
         match plan {
             LogicalPlan::Scan { table, .. } => {
                 let rows = self.provider.scan(table)?;
                 let id = self.g.add(Box::new(ScanOp::new(table.clone(), rows)));
-                Ok((id, 0))
+                let part =
+                    if self.opts.distributed { self.provider.partition_cols(table) } else { None };
+                Ok((id, 0, part))
             }
             LogicalPlan::FixpointRef { name, .. } => {
-                let fp = self.fixpoint.ok_or_else(|| {
+                let (fp, key) = self.fixpoint.clone().ok_or_else(|| {
                     RexError::Plan(format!("recursive relation {name} referenced outside WITH"))
                 })?;
-                Ok((fp, 0))
+                Ok((fp, 0, Some(key)))
             }
             LogicalPlan::Filter { input, predicate } => {
-                let (src, port) = self.node(input)?;
+                let (src, port, part) = self.node(input)?;
                 let id = self.g.add(Box::new(FilterOp::new(predicate.clone())));
                 self.g.connect(src, port, id, 0);
-                Ok((id, 0))
+                Ok((id, 0, part))
             }
             LogicalPlan::Project { input, exprs, .. } => {
-                let (src, port) = self.node(input)?;
+                let (src, port, part) = self.node(input)?;
                 let id = self.g.add(Box::new(ProjectOp::new(exprs.clone())));
                 self.g.connect(src, port, id, 0);
-                Ok((id, 0))
+                Ok((id, 0, remap_partitioning(&part, exprs)))
             }
             LogicalPlan::Join { left, right, left_key, right_key, handler, .. } => {
-                let (l, lp) = self.node(left)?;
-                let (r, rp) = self.node(right)?;
+                let (l, lp, lpart) = self.node(left)?;
+                let (r, rp, rpart) = self.node(right)?;
+                let (l, lp, r, rp, out_part) = if left_key.is_empty() {
+                    // Key-less (handler broadcast) join: replicate the
+                    // recursive side everywhere, keep the stored side
+                    // partitioned so each pair is formed exactly once.
+                    if self.opts.distributed {
+                        let bc_right = contains_fixpoint_ref(right) || !contains_fixpoint_ref(left);
+                        if bc_right {
+                            let bc = self.g.add_rehash(Vec::new());
+                            self.g.connect(r, rp, bc, 0);
+                            (l, lp, bc, 0, None)
+                        } else {
+                            let bc = self.g.add_rehash(Vec::new());
+                            self.g.connect(l, lp, bc, 0);
+                            (bc, 0, r, rp, None)
+                        }
+                    } else {
+                        (l, lp, r, rp, None)
+                    }
+                } else {
+                    // Equi-join: co-partition both inputs on the join key.
+                    let (l, lp, _) = self.ensure_partitioned(l, lp, &lpart, left_key);
+                    let (r, rp, _) = self.ensure_partitioned(r, rp, &rpart, right_key);
+                    // Output rows carry the left input's columns at their
+                    // original indices, so the result stays partitioned on
+                    // the left key (for a plain join; a handler join
+                    // rewrites the row shape entirely).
+                    let part = if handler.is_none() { Some(left_key.clone()) } else { None };
+                    (l, lp, r, rp, part)
+                };
                 let mut join = HashJoinOp::new(left_key.clone(), right_key.clone());
                 if let Some(h) = handler {
                     join = join.with_handler(self.reg.join(h)?);
@@ -129,15 +241,23 @@ impl Lowering<'_> {
                 let id = self.g.add(Box::new(join));
                 self.g.connect(l, lp, id, 0);
                 self.g.connect(r, rp, id, 1);
-                Ok((id, 0))
+                Ok((id, 0, out_part))
             }
             LogicalPlan::Aggregate { input, group_cols, aggs, post, .. } => {
-                let (src, port) = self.node(input)?;
+                let (src, port, _) = self.node(input)?;
                 // Repartition on the grouping key before aggregating. A
-                // global aggregate (no keys) skips the boundary: partials
-                // combine at the requestor instead.
+                // *global* aggregate (no keys) is a pass-through locally
+                // but must gather all partitions at one worker in the
+                // cluster — per-worker partials would union into one row
+                // per worker at the requestor.
                 let (rehash, rport) = if group_cols.is_empty() {
-                    (src, port)
+                    if self.opts.distributed {
+                        let gather = self.g.add_gather();
+                        self.g.connect(src, port, gather, 0);
+                        (gather, 0)
+                    } else {
+                        (src, port)
+                    }
                 } else {
                     let rh = self.g.add_rehash(group_cols.clone());
                     self.g.connect(src, port, rh, 0);
@@ -151,32 +271,70 @@ impl Lowering<'_> {
                     .collect::<Result<Vec<_>>>()?;
                 let gb = self.g.add(Box::new(GroupByOp::new(group_cols.clone(), specs)));
                 self.g.connect(rehash, rport, gb, 0);
+                // Aggregate output = group cols ++ agg results: partitioned
+                // on the leading group columns.
+                let gb_part: Partitioning = if group_cols.is_empty() {
+                    None
+                } else {
+                    Some((0..group_cols.len()).collect())
+                };
                 match post {
                     Some(exprs) => {
                         let proj = self.g.add(Box::new(ProjectOp::new(exprs.clone())));
                         self.g.connect(gb, 0, proj, 0);
-                        Ok((proj, 0))
+                        Ok((proj, 0, remap_partitioning(&gb_part, exprs)))
                     }
-                    None => Ok((gb, 0)),
+                    None => Ok((gb, 0, gb_part)),
                 }
             }
             LogicalPlan::Fixpoint { key_cols, base, step, .. } => {
-                let (b, bport) = self.node(base)?;
+                let (b, bport, bpart) = self.node(base)?;
+                // The base case must arrive partitioned on the fixpoint key
+                // so each worker's mutable set holds exactly its keys.
+                let (b, bport, _) = self.ensure_partitioned(b, bport, &bpart, key_cols);
                 let fp = self.g.add(Box::new(FixpointOp::new(
                     key_cols.clone(),
                     Termination::FixpointOrMax(DEFAULT_MAX_STRATA),
                 )));
                 self.g.connect(b, bport, fp, 0);
-                let prev = self.fixpoint.replace(fp);
-                let (s, sport) = self.node(step)?;
+                let prev = self.fixpoint.replace((fp, key_cols.clone()));
+                let (s, sport, _) = self.node(step)?;
                 self.fixpoint = prev;
                 // Step results re-enter the fixpoint keyed on its key.
                 let rehash = self.g.add_rehash(key_cols.clone());
                 self.g.connect(s, sport, rehash, 0);
                 self.g.connect(rehash, 0, fp, 1);
-                Ok((fp, 1))
+                Ok((fp, 1, Some(key_cols.clone())))
             }
         }
+    }
+}
+
+/// Partitioning after a projection: the partition columns survive iff each
+/// appears as a plain column reference, in order, in the output.
+fn remap_partitioning(part: &Partitioning, exprs: &[Expr]) -> Partitioning {
+    let cols = part.as_ref()?;
+    let mut out = Vec::with_capacity(cols.len());
+    for &c in cols {
+        let pos = exprs.iter().position(|e| matches!(e, Expr::Col(i) if *i == c))?;
+        out.push(pos);
+    }
+    Some(out)
+}
+
+/// Whether a subtree reads the enclosing recursive relation.
+fn contains_fixpoint_ref(plan: &LogicalPlan) -> bool {
+    match plan {
+        LogicalPlan::FixpointRef { .. } => true,
+        LogicalPlan::Scan { .. } => false,
+        LogicalPlan::Filter { input, .. }
+        | LogicalPlan::Project { input, .. }
+        | LogicalPlan::Aggregate { input, .. } => contains_fixpoint_ref(input),
+        LogicalPlan::Join { left, right, .. } => {
+            contains_fixpoint_ref(left) || contains_fixpoint_ref(right)
+        }
+        // A nested fixpoint's step reads its *own* relation, not ours.
+        LogicalPlan::Fixpoint { base, .. } => contains_fixpoint_ref(base),
     }
 }
 
@@ -190,10 +348,7 @@ mod tests {
 
     fn edge_catalog() -> SchemaCatalog {
         let mut c = SchemaCatalog::new();
-        c.register(
-            "edges",
-            Schema::of(&[("src", DataType::Int), ("dst", DataType::Int)]),
-        );
+        c.register("edges", Schema::of(&[("src", DataType::Int), ("dst", DataType::Int)]));
         c
     }
 
@@ -202,12 +357,7 @@ mod tests {
         // A path 0 -> 1 -> 2 -> 3 plus a shortcut 0 -> 2.
         m.insert(
             "edges",
-            vec![
-                tuple![0i64, 1i64],
-                tuple![1i64, 2i64],
-                tuple![2i64, 3i64],
-                tuple![0i64, 2i64],
-            ],
+            vec![tuple![0i64, 1i64], tuple![1i64, 2i64], tuple![2i64, 3i64], tuple![0i64, 2i64]],
         );
         m
     }
@@ -215,13 +365,9 @@ mod tests {
     #[test]
     fn filter_and_project_execute() {
         let reg = Registry::with_builtins();
-        let g = compile(
-            "SELECT dst FROM edges WHERE src = 0",
-            &edge_catalog(),
-            &edge_tables(),
-            &reg,
-        )
-        .unwrap();
+        let g =
+            compile("SELECT dst FROM edges WHERE src = 0", &edge_catalog(), &edge_tables(), &reg)
+                .unwrap();
         let (mut results, _) = LocalRuntime::new().run(g).unwrap();
         results.sort();
         assert_eq!(results, vec![tuple![1i64], tuple![2i64]]);
@@ -239,10 +385,7 @@ mod tests {
         .unwrap();
         let (mut results, _) = LocalRuntime::new().run(g).unwrap();
         results.sort();
-        assert_eq!(
-            results,
-            vec![tuple![0i64, 2i64], tuple![1i64, 1i64], tuple![2i64, 1i64]]
-        );
+        assert_eq!(results, vec![tuple![0i64, 2i64], tuple![1i64, 1i64], tuple![2i64, 1i64]]);
     }
 
     #[test]
@@ -265,20 +408,13 @@ mod tests {
     fn self_join_executes() {
         let reg = Registry::with_builtins();
         let mut c = edge_catalog();
-        c.register(
-            "edges2",
-            Schema::of(&[("src", DataType::Int), ("dst", DataType::Int)]),
-        );
+        c.register("edges2", Schema::of(&[("src", DataType::Int), ("dst", DataType::Int)]));
         let mut m = edge_tables();
         m.insert("edges2", m.scan("edges").unwrap());
         // Two-hop pairs: e1.dst = e2.src.
-        let g = compile(
-            "SELECT a.src, b.dst FROM edges a, edges2 b WHERE a.dst = b.src",
-            &c,
-            &m,
-            &reg,
-        )
-        .unwrap();
+        let g =
+            compile("SELECT a.src, b.dst FROM edges a, edges2 b WHERE a.dst = b.src", &c, &m, &reg)
+                .unwrap();
         let (mut results, _) = LocalRuntime::new().run(g).unwrap();
         results.sort();
         assert_eq!(
@@ -309,10 +445,7 @@ mod tests {
         let g = compile(src, &c, &m, &reg).unwrap();
         let (mut results, report) = LocalRuntime::new().run(g).unwrap();
         results.sort();
-        assert_eq!(
-            results,
-            vec![tuple![0i64], tuple![1i64], tuple![2i64], tuple![3i64]]
-        );
+        assert_eq!(results, vec![tuple![0i64], tuple![1i64], tuple![2i64], tuple![3i64]]);
         // Recursion ran multiple strata and converged.
         assert!(report.iterations() >= 3);
         assert_eq!(report.strata.last().unwrap().delta_set_size, 0);
@@ -321,12 +454,7 @@ mod tests {
     #[test]
     fn missing_table_data_is_reported() {
         let reg = Registry::with_builtins();
-        let err = match compile(
-            "SELECT dst FROM edges",
-            &edge_catalog(),
-            &MemTables::new(),
-            &reg,
-        ) {
+        let err = match compile("SELECT dst FROM edges", &edge_catalog(), &MemTables::new(), &reg) {
             Err(e) => e,
             Ok(_) => panic!("expected missing-data error"),
         };

@@ -223,7 +223,8 @@ impl Parser {
         let mut left = self.and_expr()?;
         while self.eat_keyword("OR") {
             let right = self.and_expr()?;
-            left = AstExpr::Binary { op: AstBinOp::Or, left: Box::new(left), right: Box::new(right) };
+            left =
+                AstExpr::Binary { op: AstBinOp::Or, left: Box::new(left), right: Box::new(right) };
         }
         Ok(left)
     }
@@ -448,18 +449,15 @@ mod tests {
         assert!(query.select.is_none());
         // The step's FROM is a subquery containing the UDA destructure.
         match &with.step.from[0] {
-            TableRef::Subquery { query: inner, .. } => {
-                match &inner.projections[0] {
-                    Projection::Expr {
-                        expr: AstExpr::Call { name, destructure: Some(d), .. },
-                        ..
-                    } => {
-                        assert_eq!(name, "PRAgg");
-                        assert_eq!(d, &vec!["nbr", "prDiff"]);
-                    }
-                    other => panic!("{other:?}"),
+            TableRef::Subquery { query: inner, .. } => match &inner.projections[0] {
+                Projection::Expr {
+                    expr: AstExpr::Call { name, destructure: Some(d), .. }, ..
+                } => {
+                    assert_eq!(name, "PRAgg");
+                    assert_eq!(d, &vec!["nbr", "prDiff"]);
                 }
-            }
+                other => panic!("{other:?}"),
+            },
             other => panic!("{other:?}"),
         }
     }

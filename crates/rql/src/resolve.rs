@@ -35,9 +35,7 @@ impl SchemaCatalog {
 
     /// Look up a table schema.
     pub fn get(&self, name: &str) -> Result<&Schema> {
-        self.tables
-            .get(name)
-            .ok_or_else(|| RexError::Plan(format!("unknown table {name}")))
+        self.tables.get(name).ok_or_else(|| RexError::Plan(format!("unknown table {name}")))
     }
 
     /// Whether `name` is a registered table.
@@ -88,11 +86,7 @@ impl Scope {
     }
 
     /// Resolve `[qualifier.]name` to `(absolute column, type)`.
-    pub fn resolve_column(
-        &self,
-        qualifier: Option<&str>,
-        name: &str,
-    ) -> Result<(usize, DataType)> {
+    pub fn resolve_column(&self, qualifier: Option<&str>, name: &str) -> Result<(usize, DataType)> {
         let mut found: Option<(usize, DataType)> = None;
         for b in &self.bindings {
             if let Some(q) = qualifier {
@@ -178,8 +172,7 @@ pub fn resolve_scalar(e: &AstExpr, scope: &Scope, reg: &Registry) -> Result<Expr
                 resolved.push(resolve_scalar(a, scope, reg)?);
             }
             // Verify the scalar UDF exists; typecheck its arity lazily.
-            reg.scalar(name)
-                .map_err(|_| RexError::Plan(format!("unknown function {name}")))?;
+            reg.scalar(name).map_err(|_| RexError::Plan(format!("unknown function {name}")))?;
             Ok(Expr::Udf(name.clone(), resolved))
         }
         AstExpr::Star => Err(RexError::Plan("'*' is only valid in count(*)".into())),
@@ -218,10 +211,7 @@ mod tests {
                 Some("graph".into()),
                 Schema::of(&[("srcId", DataType::Int), ("destId", DataType::Int)]),
             ),
-            (
-                Some("PR".into()),
-                Schema::of(&[("srcId", DataType::Int), ("pr", DataType::Double)]),
-            ),
+            (Some("PR".into()), Schema::of(&[("srcId", DataType::Int), ("pr", DataType::Double)])),
         ])
     }
 
@@ -287,8 +277,7 @@ mod tests {
     fn unknown_function_rejected() {
         let s = scope2();
         let reg = Registry::with_builtins();
-        let ast =
-            AstExpr::Call { name: "mystery".into(), args: vec![], destructure: None };
+        let ast = AstExpr::Call { name: "mystery".into(), args: vec![], destructure: None };
         let err = resolve_scalar(&ast, &s, &reg).unwrap_err();
         assert!(err.to_string().contains("unknown function"));
     }

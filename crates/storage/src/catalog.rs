@@ -1,10 +1,11 @@
 //! The catalog: named tables shared by all workers of a simulated cluster.
 
 use crate::table::StoredTable;
-use parking_lot::RwLock;
 use rex_core::error::{Result, RexError};
+use rex_core::tuple::Tuple;
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::sync::RwLock;
 
 /// A thread-safe catalog of stored tables.
 #[derive(Clone, Default)]
@@ -20,33 +21,51 @@ impl Catalog {
 
     /// Register (or replace) a table.
     pub fn register(&self, table: StoredTable) {
-        self.inner
-            .write()
-            .insert(table.name().to_ascii_lowercase(), Arc::new(table));
+        self.inner.write().unwrap().insert(table.name().to_ascii_lowercase(), Arc::new(table));
     }
 
     /// Look up a table by name (case-insensitive).
     pub fn get(&self, name: &str) -> Result<Arc<StoredTable>> {
         self.inner
             .read()
+            .unwrap()
             .get(&name.to_ascii_lowercase())
             .cloned()
             .ok_or_else(|| RexError::Storage(format!("unknown table: {name}")))
     }
 
+    /// Append rows to an existing table in place, validating every row
+    /// against the schema *before* mutating so a bad batch leaves the
+    /// table untouched. Returns the number of rows appended.
+    ///
+    /// The stored table is copy-on-write: if no query currently holds a
+    /// snapshot of it, the append mutates in place (no full-table copy).
+    pub fn append(&self, name: &str, rows: Vec<Tuple>) -> Result<usize> {
+        let mut map = self.inner.write().unwrap();
+        let entry = map
+            .get_mut(&name.to_ascii_lowercase())
+            .ok_or_else(|| RexError::Storage(format!("unknown table: {name}")))?;
+        for r in &rows {
+            entry.schema().check(r)?;
+        }
+        let n = rows.len();
+        Arc::make_mut(entry).load_unchecked(rows);
+        Ok(n)
+    }
+
     /// Whether a table exists.
     pub fn contains(&self, name: &str) -> bool {
-        self.inner.read().contains_key(&name.to_ascii_lowercase())
+        self.inner.read().unwrap().contains_key(&name.to_ascii_lowercase())
     }
 
     /// Drop a table; returns whether it existed.
     pub fn drop_table(&self, name: &str) -> bool {
-        self.inner.write().remove(&name.to_ascii_lowercase()).is_some()
+        self.inner.write().unwrap().remove(&name.to_ascii_lowercase()).is_some()
     }
 
     /// Names of all tables, sorted.
     pub fn table_names(&self) -> Vec<String> {
-        let mut v: Vec<String> = self.inner.read().keys().cloned().collect();
+        let mut v: Vec<String> = self.inner.read().unwrap().keys().cloned().collect();
         v.sort();
         v
     }
@@ -57,6 +76,21 @@ mod tests {
     use super::*;
     use rex_core::tuple::Schema;
     use rex_core::value::DataType;
+
+    #[test]
+    fn append_validates_whole_batch_before_mutating() {
+        let cat = Catalog::new();
+        let mut t = StoredTable::new("t", Schema::of(&[("a", DataType::Int)]), vec![0]);
+        t.insert(rex_core::tuple![1i64]).unwrap();
+        cat.register(t);
+        assert_eq!(cat.append("t", vec![rex_core::tuple![2i64]]).unwrap(), 1);
+        assert_eq!(cat.get("t").unwrap().len(), 2);
+        // One bad row rejects the whole batch and leaves the table as-is.
+        let err = cat.append("t", vec![rex_core::tuple![3i64], rex_core::tuple!["x"]]);
+        assert!(err.is_err());
+        assert_eq!(cat.get("t").unwrap().len(), 2);
+        assert!(cat.append("missing", vec![]).is_err());
+    }
 
     #[test]
     fn register_lookup_drop() {

@@ -10,10 +10,10 @@
 //! checkpoint, the set of replica nodes holding a copy — a checkpoint
 //! survives the owner's failure iff at least one replica is still alive.
 
-use parking_lot::RwLock;
 use rex_core::operators::OperatorState;
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::sync::RwLock;
 
 /// One replicated checkpoint of a node's fixpoint state.
 #[derive(Debug, Clone)]
@@ -52,7 +52,7 @@ impl CheckpointStore {
     /// Record a checkpoint, replacing any previous one for the same
     /// `(owner, stratum)`.
     pub fn put(&self, ckpt: Checkpoint) {
-        self.inner.write().insert((ckpt.owner, ckpt.stratum), ckpt);
+        self.inner.write().unwrap().insert((ckpt.owner, ckpt.stratum), ckpt);
     }
 
     /// Fetch the checkpoint for `(owner, stratum)` if it is *recoverable*:
@@ -63,7 +63,7 @@ impl CheckpointStore {
         stratum: u64,
         live_nodes: &[usize],
     ) -> Option<Checkpoint> {
-        let map = self.inner.read();
+        let map = self.inner.read().unwrap();
         let c = map.get(&(owner, stratum))?;
         if live_nodes.contains(&owner) || c.replicas.iter().any(|r| live_nodes.contains(r)) {
             Some(c.clone())
@@ -75,16 +75,14 @@ impl CheckpointStore {
     /// The latest stratum for which *every* owner in `owners` has a
     /// recoverable checkpoint: the stratum recovery restarts from.
     pub fn last_complete_stratum(&self, owners: &[usize], live_nodes: &[usize]) -> Option<u64> {
-        let map = self.inner.read();
+        let map = self.inner.read().unwrap();
         let mut best: Option<u64> = None;
-        let strata: std::collections::BTreeSet<u64> =
-            map.keys().map(|(_, s)| *s).collect();
+        let strata: std::collections::BTreeSet<u64> = map.keys().map(|(_, s)| *s).collect();
         for &s in &strata {
             let all = owners.iter().all(|&o| {
                 map.get(&(o, s))
                     .map(|c| {
-                        live_nodes.contains(&o)
-                            || c.replicas.iter().any(|r| live_nodes.contains(r))
+                        live_nodes.contains(&o) || c.replicas.iter().any(|r| live_nodes.contains(r))
                     })
                     .unwrap_or(false)
             });
@@ -99,6 +97,7 @@ impl CheckpointStore {
     pub fn total_bytes(&self) -> u64 {
         self.inner
             .read()
+            .unwrap()
             .values()
             .map(|c| (c.state.byte_size() as u64) * (1 + c.replicas.len() as u64))
             .sum()
@@ -107,12 +106,12 @@ impl CheckpointStore {
     /// Discard checkpoints older than `stratum` (garbage collection: only
     /// the last completed stratum is needed).
     pub fn prune_before(&self, stratum: u64) {
-        self.inner.write().retain(|(_, s), _| *s >= stratum);
+        self.inner.write().unwrap().retain(|(_, s), _| *s >= stratum);
     }
 
     /// Remove everything.
     pub fn clear(&self) {
-        self.inner.write().clear();
+        self.inner.write().unwrap().clear();
     }
 }
 

@@ -99,8 +99,7 @@ impl Ring {
 
     /// A new ring with `node` removed (node failure).
     pub fn without(&self, node: usize) -> Ring {
-        let remaining: Vec<usize> =
-            self.nodes.iter().copied().filter(|&n| n != node).collect();
+        let remaining: Vec<usize> = self.nodes.iter().copied().filter(|&n| n != node).collect();
         Ring::new(&remaining)
     }
 }
@@ -215,7 +214,7 @@ mod tests {
     #[test]
     fn keys_spread_across_nodes() {
         let snap = PartitionSnapshot::new(8, 1);
-        let mut counts = vec![0usize; 8];
+        let mut counts = [0usize; 8];
         for i in 0..8000i64 {
             counts[snap.owner_of_key(&[Value::Int(i)])] += 1;
         }
@@ -239,10 +238,7 @@ mod tests {
             total += 1;
             if before_owner != after_owner {
                 moved += 1;
-                assert_eq!(
-                    before_owner, 3,
-                    "key moved although its owner did not fail"
-                );
+                assert_eq!(before_owner, 3, "key moved although its owner did not fail");
             }
         }
         // Roughly 1/6 of the keys should move.

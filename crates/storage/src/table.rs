@@ -1,9 +1,9 @@
 //! Stored tables: schema + rows, partitionable by key columns.
 
 use rex_core::error::{Result, RexError};
+use rex_core::operators::hash_key;
 use rex_core::tuple::{Schema, Tuple};
 use rex_core::value::Value;
-use rex_core::operators::hash_key;
 
 use crate::partition::PartitionSnapshot;
 
@@ -20,11 +20,7 @@ pub struct StoredTable {
 
 impl StoredTable {
     /// Create an empty table partitioned on `partition_cols`.
-    pub fn new(
-        name: impl Into<String>,
-        schema: Schema,
-        partition_cols: Vec<usize>,
-    ) -> StoredTable {
+    pub fn new(name: impl Into<String>, schema: Schema, partition_cols: Vec<usize>) -> StoredTable {
         StoredTable { name: name.into(), schema, partition_cols, rows: Vec::new() }
     }
 
@@ -97,9 +93,7 @@ impl StoredTable {
     pub fn replica_partition_for(&self, snap: &PartitionSnapshot, node: usize) -> Vec<Tuple> {
         self.rows
             .iter()
-            .filter(|r| {
-                snap.owners_of_key(&self.partition_key(r)).contains(&node)
-            })
+            .filter(|r| snap.owners_of_key(&self.partition_key(r)).contains(&node))
             .cloned()
             .collect()
     }

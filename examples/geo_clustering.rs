@@ -12,7 +12,8 @@ use rex::core::exec::LocalRuntime;
 use rex::data::points::{generate_points, PointSpec};
 
 fn main() {
-    let points = generate_points(PointSpec { n_points: 2_000, n_clusters: 6, stddev: 2.0, seed: 5 });
+    let points =
+        generate_points(PointSpec { n_points: 2_000, n_clusters: 6, stddev: 2.0, seed: 5 });
     let k = 6;
     println!("clustering {} points into {k} clusters", points.len());
 
@@ -28,11 +29,7 @@ fn main() {
     // Cross-check against sequential Lloyd's iteration.
     let init = reference::sample_centroids(&points, k);
     let (want, _, iters, switch_trace) = reference::kmeans(&points, &init, 100);
-    let max_err = centroids
-        .iter()
-        .zip(&want)
-        .map(|(a, b)| a.dist(b))
-        .fold(0.0f64, f64::max);
+    let max_err = centroids.iter().zip(&want).map(|(a, b)| a.dist(b)).fold(0.0f64, f64::max);
     println!("\nmax deviation from sequential Lloyd's: {max_err:.2e} over {iters} iterations");
 
     // The delta behaviour: switches per stratum shrink to zero.

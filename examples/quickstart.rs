@@ -1,66 +1,74 @@
-//! Quickstart: run plain and recursive RQL queries on the REX engine.
+//! Quickstart: plain and recursive RQL through [`rex::Session`] — the
+//! one front door from query text to results.
 //!
 //! ```sh
 //! cargo run --example quickstart
 //! ```
 
-use rex::core::exec::LocalRuntime;
 use rex::core::tuple::{Schema, Tuple};
-use rex::core::udf::Registry;
 use rex::core::value::{DataType, Value};
-use rex::rql::lower::{compile, MemTables};
-use rex::rql::SchemaCatalog;
+use rex::Session;
 
 fn main() {
-    // ---- 1. Register a table: org(employee, manager) --------------------
-    let mut catalog = SchemaCatalog::new();
-    catalog.register(
-        "org",
-        Schema::of(&[("employee", DataType::Str), ("manager", DataType::Str)]),
-    );
-    catalog.register("roots", Schema::of(&[("name", DataType::Str)]));
+    // ---- 1. Open a session and create a table: org(employee, manager) ---
+    // `Session::cluster(8)` would run the very same queries distributed.
+    let mut session = Session::local();
+    session
+        .create_table("org", Schema::of(&[("employee", DataType::Str), ("manager", DataType::Str)]))
+        .expect("create org");
+    session.create_table("roots", Schema::of(&[("name", DataType::Str)])).expect("create roots");
 
-    let mut tables = MemTables::new();
     let edge = |e: &str, m: &str| Tuple::new(vec![Value::str(e), Value::str(m)]);
-    tables.insert(
-        "org",
-        vec![
-            edge("ada", "grace"),
-            edge("edsger", "grace"),
-            edge("grace", "alan"),
-            edge("barbara", "alan"),
-            edge("donald", "barbara"),
-        ],
-    );
-    tables.insert("roots", vec![Tuple::new(vec![Value::str("alan")])]);
-
-    let reg = Registry::with_builtins();
-    let rt = LocalRuntime::new();
+    session
+        .insert(
+            "org",
+            vec![
+                edge("ada", "grace"),
+                edge("edsger", "grace"),
+                edge("grace", "alan"),
+                edge("barbara", "alan"),
+                edge("donald", "barbara"),
+            ],
+        )
+        .expect("insert org");
+    session.insert("roots", vec![Tuple::new(vec![Value::str("alan")])]).expect("insert roots");
 
     // ---- 2. An ordinary SQL query ----------------------------------------
-    let sql = "SELECT manager, count(*) FROM org GROUP BY manager";
-    let plan = compile(sql, &catalog, &tables, &reg).expect("compile");
-    let (results, _) = rt.run(plan).expect("run");
+    let result =
+        session.query("SELECT manager, count(*) FROM org GROUP BY manager").expect("group by");
     println!("direct reports per manager:");
-    for row in &results {
+    for row in &result.rows {
         println!("  {:<8} {}", row.get(0), row.get(1));
     }
 
     // ---- 3. A recursive query: everyone in alan's reporting tree ---------
-    let recursive = "
-        WITH reports (name) AS (
-          SELECT name FROM roots
-        ) UNION UNTIL FIXPOINT BY name (
-          SELECT org.employee FROM org, reports WHERE org.manager = reports.name
-        )";
-    let plan = compile(recursive, &catalog, &tables, &reg).expect("compile recursive");
-    let (results, report) = rt.run(plan).expect("run recursive");
-    println!("\nalan's reporting tree ({} strata to fixpoint):", report.iterations());
-    for row in &results {
+    let result = session
+        .query(
+            "WITH reports (name) AS (
+               SELECT name FROM roots
+             ) UNION UNTIL FIXPOINT BY name (
+               SELECT org.employee FROM org, reports WHERE org.manager = reports.name
+             )",
+        )
+        .expect("recursive query");
+    println!("\nalan's reporting tree ({} strata to fixpoint):", result.iterations());
+    for row in &result.rows {
         println!("  {}", row.get(0));
     }
     println!(
         "\nΔ set sizes per stratum: {:?}  (each name derived exactly once)",
-        report.strata.iter().map(|s| s.delta_set_size).collect::<Vec<_>>()
+        result.delta_sizes()
     );
+    println!(
+        "optimizer estimate: {:.1} cost units for {} rows; executed on the {} engine",
+        result.cost.runtime(),
+        result.cost.rows,
+        result.engine
+    );
+
+    // ---- 4. EXPLAIN without executing ------------------------------------
+    let plan = session
+        .explain("SELECT manager, count(*) FROM org WHERE employee > 'b' GROUP BY manager")
+        .expect("explain");
+    println!("\n{plan}");
 }

@@ -43,8 +43,8 @@ fn main() {
 
     // Kill worker 2 at the end of stratum 4, with each recovery strategy.
     for strategy in [RecoveryStrategy::Restart, RecoveryStrategy::Incremental] {
-        let cluster_cfg = ClusterConfig::new(workers)
-            .with_failure(FailurePlan::kill_at(2, 4), strategy);
+        let cluster_cfg =
+            ClusterConfig::new(workers).with_failure(FailurePlan::kill_at(2, 4), strategy);
         let rt = ClusterRuntime::new(cluster_cfg, catalog_for(&graph));
         let (results, report) = rt.run(plan_builder(cfg, Strategy::Delta)).expect("recovery");
         assert_eq!(

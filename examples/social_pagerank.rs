@@ -1,38 +1,50 @@
-//! Delta-based PageRank over a simulated social graph on a multi-worker
-//! REX cluster — the paper's flagship workload (Listing 1 / Figure 1).
+//! Delta-based PageRank over a simulated social graph — the paper's
+//! flagship workload (Listing 1 / Figure 1) — written as RQL text and run
+//! on a multi-worker cluster through [`rex::Session`]: one query, and the
+//! system plans, optimizes, distributes, and iterates to fixpoint.
 //!
 //! ```sh
 //! cargo run --release --example social_pagerank
 //! ```
 
-use rex::algos::pagerank::{plan_builder, ranks_from_results, PageRankConfig, Strategy};
-use rex::cluster::runtime::{ClusterConfig, ClusterRuntime};
+use rex::algos::common::per_vertex_doubles;
+use rex::algos::pagerank::PrAgg;
+use rex::algos::reference::BASE_RANK;
+use rex::core::handlers::FlippedJoin;
 use rex::data::graph::{generate_graph, Graph, GraphSpec};
-use rex::storage::catalog::Catalog;
-use rex::storage::table::StoredTable;
+use rex::Session;
+use std::sync::Arc;
+
+/// Listing 1: PageRank with the PRAgg join delta handler and an
+/// incremental SUM over rank differences.
+const LISTING1: &str = "
+    WITH PR (srcId, pr) AS (
+      SELECT srcId, 1.0 AS pr FROM graph
+    ) UNION UNTIL FIXPOINT BY srcId (
+      SELECT nbr, 0.15 + 0.85 * sum(prDiff)
+      FROM (SELECT PRAgg(srcId, pr).{nbr, prDiff}
+            FROM graph, PR
+            WHERE graph.srcId = PR.srcId)
+      GROUP BY nbr)";
 
 fn main() {
     // A follower graph with a heavy-tailed degree distribution.
     let graph = generate_graph(GraphSpec::twitter(2_000, 99));
-    println!(
-        "social graph: {} users, {} follow edges",
-        graph.n_vertices,
-        graph.n_edges()
-    );
+    println!("social graph: {} users, {} follow edges", graph.n_vertices, graph.n_edges());
 
-    // Store the edge relation partitioned by source vertex.
-    let catalog = Catalog::new();
-    let mut table = StoredTable::new("graph", Graph::schema(), vec![0]);
-    table.load_unchecked(graph.edge_tuples());
-    catalog.register(table);
+    // One session on an 8-worker cluster: the edge relation is stored
+    // partitioned on srcId (the first column), which the distributed
+    // lowering exploits to keep the Listing 1 join co-partitioned.
+    let mut session = Session::cluster(8);
+    session.create_table("graph", Graph::schema()).expect("create graph");
+    session.insert("graph", graph.edge_tuples()).expect("load edges");
 
-    // Run delta PageRank on 8 workers: only rank changes above 1% are
-    // propagated between iterations.
-    let workers = 8;
-    let rt = ClusterRuntime::new(ClusterConfig::new(workers), catalog);
-    let cfg = PageRankConfig { threshold: 0.01, max_iterations: 60 };
-    let (results, report) = rt.run(plan_builder(cfg, Strategy::Delta)).expect("pagerank");
-    let ranks = ranks_from_results(&results, graph.n_vertices);
+    // Listing 1's PRAgg, flipped because `FROM graph, PR` puts the rank
+    // relation on the right. Changes below 1% are not propagated.
+    session.register_join("PRAgg", Arc::new(FlippedJoin(Arc::new(PrAgg::delta(0.01)))));
+
+    let result = session.query(LISTING1).expect("pagerank");
+    let ranks = per_vertex_doubles(&result.rows, graph.n_vertices, BASE_RANK);
 
     // Top influencers.
     let mut by_rank: Vec<(usize, f64)> = ranks.iter().copied().enumerate().collect();
@@ -43,13 +55,19 @@ fn main() {
     }
 
     // The delta story: Δ set sizes shrink as ranks converge.
-    println!("\nconverged in {} strata; Δ set per stratum:", report.iterations());
-    for s in &report.query.strata {
+    println!("\nconverged in {} strata; Δ set per stratum:", result.iterations());
+    for s in &result.report.strata {
         let bar = "#".repeat((s.delta_set_size as usize / 40).min(70));
         println!("  {:>3}: {:>6} {bar}", s.stratum, s.delta_set_size);
     }
+    let cluster = result.cluster.as_ref().expect("ran distributed");
     println!(
-        "\nbytes shipped between workers: {} (deltas only, not the full rank relation)",
-        report.query.totals.bytes_sent
+        "\nbytes shipped between {} workers: {} (deltas only, not the full rank relation)",
+        cluster.n_workers, result.report.totals.bytes_sent
+    );
+    println!(
+        "optimizer estimate: {:.0} cost units; measured simulated time: {:.0} units",
+        result.cost.runtime(),
+        result.simulated_time()
     );
 }

@@ -6,7 +6,55 @@
 //! recursion executes in strata with user-defined termination, and state is
 //! refined — not accumulated — from iteration to iteration.
 //!
-//! This facade crate re-exports the workspace:
+//! ## Front door: [`Session`]
+//!
+//! The paper's promise is that a user writes one recursive RQL query and
+//! the system handles planning, optimization, distribution, and
+//! delta-based iteration. [`Session`] is that promise as an API: create
+//! tables, register delta handlers, and call [`Session::query`] — the
+//! text runs through parse → resolve → optimize → lower → execute on the
+//! engine the session was opened with.
+//!
+//! ```
+//! use rex::Session;
+//! use rex::core::tuple::{Schema, Tuple};
+//! use rex::core::value::{DataType, Value};
+//!
+//! // Open a session (swap `local()` for `cluster(8)` to distribute —
+//! // queries run unchanged).
+//! let mut s = Session::local();
+//! s.create_table(
+//!     "org",
+//!     Schema::of(&[("employee", DataType::Str), ("manager", DataType::Str)]),
+//! ).unwrap();
+//! s.insert("org", vec![
+//!     Tuple::new(vec![Value::str("ada"), Value::str("grace")]),
+//!     Tuple::new(vec![Value::str("grace"), Value::str("alan")]),
+//! ]).unwrap();
+//!
+//! // Plain SQL...
+//! let r = s.query("SELECT manager, count(*) FROM org GROUP BY manager").unwrap();
+//! assert_eq!(r.rows.len(), 2);
+//!
+//! // ...and recursion to fixpoint, through the same call.
+//! s.create_table("roots", Schema::of(&[("name", DataType::Str)])).unwrap();
+//! s.insert("roots", vec![Tuple::new(vec![Value::str("alan")])]).unwrap();
+//! let tree = s.query(
+//!     "WITH reports (name) AS (SELECT name FROM roots)
+//!      UNION UNTIL FIXPOINT BY name (
+//!        SELECT org.employee FROM org, reports WHERE org.manager = reports.name)",
+//! ).unwrap();
+//! assert_eq!(tree.rows.len(), 3); // alan, grace, ada
+//! assert!(tree.report.iterations() >= 3);
+//! ```
+//!
+//! Execution backends implement the [`Engine`] trait ([`LocalEngine`],
+//! [`ClusterEngine`]; see [`engine`] for the contract new backends must
+//! satisfy). Results come back as [`QueryResult`]: rows, the per-stratum
+//! [`QueryReport`](core::metrics::QueryReport), the optimizer's cost
+//! estimate, and — for distributed runs — per-worker cluster stats.
+//!
+//! ## Workspace layout
 //!
 //! * [`core`] — deltas, operators, the execution engine;
 //! * [`storage`] — partitioned replicated tables, snapshots, checkpoints;
@@ -21,6 +69,12 @@
 //!
 //! See `README.md` for a tour and `EXPERIMENTS.md` for the paper's
 //! figure-by-figure reproduction.
+
+pub mod engine;
+pub mod session;
+
+pub use engine::{ClusterEngine, ClusterStats, Engine, EngineContext, EngineOutput, LocalEngine};
+pub use session::{QueryResult, Session};
 
 pub use rex_algos as algos;
 pub use rex_cluster as cluster;

@@ -1,0 +1,372 @@
+//! The session: REX's front door.
+//!
+//! A [`Session`] owns everything a query needs — a schema catalog for name
+//! resolution, a partitioned table store, a UDF/UDA registry, and a
+//! cost-based optimizer — and runs RQL text through the full pipeline:
+//!
+//! ```text
+//! parse → resolve/plan → optimize → lower → execute
+//! ```
+//!
+//! on whichever [`Engine`] the session was opened with. The same query
+//! text, tables, and handlers produce the same rows on the single-node
+//! engine and on a simulated cluster; only the execution report differs.
+//!
+//! ```
+//! use rex::Session;
+//! use rex::core::tuple::Schema;
+//! use rex::core::value::DataType;
+//! use rex::core::tuple;
+//!
+//! let mut s = Session::local();
+//! s.create_table("edges", Schema::of(&[("src", DataType::Int), ("dst", DataType::Int)]))
+//!     .unwrap();
+//! s.insert("edges", vec![tuple![0i64, 1i64], tuple![1i64, 2i64]]).unwrap();
+//! let result = s.query(
+//!     "WITH reach (id) AS (SELECT src FROM edges WHERE src = 0)
+//!      UNION UNTIL FIXPOINT BY id (
+//!        SELECT edges.dst FROM edges, reach WHERE edges.src = reach.id)",
+//! ).unwrap();
+//! assert_eq!(result.rows.len(), 3); // 0, 1, 2
+//! assert!(result.report.iterations() >= 2);
+//! ```
+
+use crate::engine::{ClusterEngine, ClusterStats, Engine, EngineContext, LocalEngine};
+use rex_core::error::{Result, RexError};
+use rex_core::handlers::{AggHandler, JoinHandler, WhileHandler};
+use rex_core::metrics::{QueryReport, ReportSummary};
+use rex_core::tuple::{Schema, Tuple};
+use rex_core::udf::{Registry, ScalarUdf};
+use rex_optimizer::{Optimizer, PlanCost};
+use rex_rql::logical::LogicalPlan;
+use rex_rql::resolve::SchemaCatalog;
+use rex_storage::catalog::Catalog;
+use rex_storage::table::StoredTable;
+use std::sync::Arc;
+
+/// The unified result of [`Session::query`]: rows plus execution
+/// accounting from whichever engine ran the plan.
+#[derive(Debug)]
+pub struct QueryResult {
+    /// The materialized result rows, sorted.
+    pub rows: Vec<Tuple>,
+    /// Per-stratum trace and totals (identical shape on every engine).
+    pub report: QueryReport,
+    /// Cluster-only accounting when the query ran distributed.
+    pub cluster: Option<ClusterStats>,
+    /// The optimizer's cost estimate for the executed plan.
+    pub cost: PlanCost,
+    /// Which engine ran the query ("local", "cluster", ...).
+    pub engine: String,
+}
+
+impl QueryResult {
+    /// Strata executed (1 for non-recursive queries).
+    pub fn iterations(&self) -> usize {
+        self.report.iterations()
+    }
+
+    /// Total simulated time in cost-model units.
+    pub fn simulated_time(&self) -> f64 {
+        ReportSummary::simulated_time(&self.report)
+    }
+
+    /// Δ set sizes per stratum — the convergence trace.
+    pub fn delta_sizes(&self) -> Vec<u64> {
+        self.report.strata.iter().map(|s| s.delta_set_size).collect()
+    }
+}
+
+/// A REX session: tables + user code + optimizer + engine, behind one
+/// query API. See the [module docs](self) for an end-to-end example.
+pub struct Session {
+    schemas: SchemaCatalog,
+    store: Catalog,
+    registry: Registry,
+    optimizer: Optimizer,
+    engine: Box<dyn Engine>,
+}
+
+impl Session {
+    /// A session executing on the single-node engine.
+    pub fn local() -> Session {
+        Session::with_engine(Box::new(LocalEngine::new()))
+    }
+
+    /// A session executing on a simulated cluster of `n` workers. The
+    /// optimizer is calibrated for the same cluster size.
+    pub fn cluster(n_workers: usize) -> Session {
+        let mut s = Session::with_engine(Box::new(ClusterEngine::new(n_workers)));
+        s.optimizer = Optimizer::new(n_workers.max(1));
+        s
+    }
+
+    /// A session on any [`Engine`] implementation.
+    pub fn with_engine(engine: Box<dyn Engine>) -> Session {
+        let n = 1;
+        Session {
+            schemas: SchemaCatalog::new(),
+            store: Catalog::new(),
+            registry: Registry::with_builtins(),
+            optimizer: Optimizer::new(n),
+            engine,
+        }
+    }
+
+    /// Swap the execution engine, keeping tables and registered code. The
+    /// same queries run unchanged on the new backend.
+    pub fn set_engine(&mut self, engine: Box<dyn Engine>) {
+        self.engine = engine;
+    }
+
+    /// The active engine's name.
+    pub fn engine_name(&self) -> &str {
+        self.engine.name()
+    }
+
+    // ---- tables ----------------------------------------------------------
+
+    /// Create an empty table partitioned on its first column (the paper's
+    /// key-based partitioning; use [`create_table_partitioned`](Self::create_table_partitioned)
+    /// to choose the key).
+    pub fn create_table(&mut self, name: &str, schema: Schema) -> Result<()> {
+        let cols = if schema.arity() > 0 { vec![0] } else { Vec::new() };
+        self.create_table_partitioned(name, schema, cols)
+    }
+
+    /// Create an empty table partitioned on the given columns.
+    pub fn create_table_partitioned(
+        &mut self,
+        name: &str,
+        schema: Schema,
+        partition_cols: Vec<usize>,
+    ) -> Result<()> {
+        if self.store.contains(name) {
+            return Err(RexError::Storage(format!("table {name} already exists")));
+        }
+        if let Some(&bad) = partition_cols.iter().find(|&&c| c >= schema.arity()) {
+            return Err(RexError::Storage(format!(
+                "table {name}: partition column {bad} out of range for arity {}",
+                schema.arity()
+            )));
+        }
+        self.schemas.register(name, schema.clone());
+        self.store.register(StoredTable::new(name, schema, partition_cols));
+        Ok(())
+    }
+
+    /// Append rows to a table (validated against its schema; a bad batch
+    /// leaves the table unchanged). Returns the number of rows inserted.
+    pub fn insert(&mut self, table: &str, rows: Vec<Tuple>) -> Result<usize> {
+        self.store.append(table, rows)
+    }
+
+    /// Drop a table; returns whether it existed.
+    pub fn drop_table(&mut self, name: &str) -> bool {
+        self.store.drop_table(name)
+    }
+
+    /// Number of rows currently stored in `table`.
+    pub fn table_rows(&self, table: &str) -> Result<usize> {
+        Ok(self.store.get(table)?.len())
+    }
+
+    /// The stored-table catalog (shared with the engines).
+    pub fn store(&self) -> &Catalog {
+        &self.store
+    }
+
+    // ---- user code -------------------------------------------------------
+
+    /// Register a scalar UDF.
+    pub fn register_scalar(&mut self, udf: Arc<dyn ScalarUdf>) {
+        self.registry.register_scalar(udf);
+    }
+
+    /// Register a user-defined aggregate (UDA).
+    pub fn register_aggregate(&mut self, name: &str, h: Arc<dyn AggHandler>) {
+        self.registry.register_agg(name, h);
+    }
+
+    /// Register a join delta handler (Listing 1's `PRAgg` and friends).
+    pub fn register_join(&mut self, name: &str, h: Arc<dyn JoinHandler>) {
+        self.registry.register_join(name, h);
+    }
+
+    /// Register a while/fixpoint delta handler.
+    pub fn register_handler(&mut self, name: &str, h: Arc<dyn WhileHandler>) {
+        self.registry.register_while(name, h);
+    }
+
+    /// The registry (for advanced registration paths).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    // ---- queries ---------------------------------------------------------
+
+    /// Parse and plan `rql` without executing it: the logical plan as the
+    /// optimizer will see it.
+    pub fn plan(&self, rql: &str) -> Result<LogicalPlan> {
+        Ok(rex_rql::plan_rql(rql, &self.schemas, &self.registry)?)
+    }
+
+    /// Run `rql` through the full pipeline — parse → resolve → optimize →
+    /// lower → execute — on the session's engine.
+    pub fn query(&mut self, rql: &str) -> Result<QueryResult> {
+        let logical = rex_rql::plan_rql(rql, &self.schemas, &self.registry)?;
+        self.refresh_stats();
+        let (optimized, cost) = self.optimizer.optimize(logical)?;
+        let ctx = EngineContext { store: &self.store, registry: &self.registry };
+        let out = self.engine.execute(&optimized, &ctx)?;
+        Ok(QueryResult {
+            rows: out.rows,
+            report: out.report,
+            cluster: out.cluster,
+            cost,
+            engine: self.engine.name().to_string(),
+        })
+    }
+
+    /// EXPLAIN: the logical plan, the optimizer's rewrite, and its cost
+    /// estimate, without executing.
+    pub fn explain(&mut self, rql: &str) -> Result<String> {
+        let logical = rex_rql::plan_rql(rql, &self.schemas, &self.registry)?;
+        self.refresh_stats();
+        let before = logical.explain();
+        let (optimized, cost) = self.optimizer.optimize(logical)?;
+        Ok(format!(
+            "== logical ==\n{before}== optimized ==\n{}== estimate ==\nruntime {:.3} units, {} rows\n",
+            optimized.explain(),
+            cost.runtime(),
+            cost.rows
+        ))
+    }
+
+    /// Feed current table cardinalities to the optimizer so its estimates
+    /// track the data the engines will actually scan.
+    fn refresh_stats(&mut self) {
+        for name in self.store.table_names() {
+            if let Ok(t) = self.store.get(&name) {
+                self.optimizer.stats.set_table_rows(name, t.len() as u64);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rex_core::tuple;
+    use rex_core::value::DataType;
+
+    fn edge_session(engine: &str) -> Session {
+        let mut s = match engine {
+            "cluster" => Session::cluster(3),
+            _ => Session::local(),
+        };
+        s.create_table("edges", Schema::of(&[("src", DataType::Int), ("dst", DataType::Int)]))
+            .unwrap();
+        s.insert(
+            "edges",
+            vec![tuple![0i64, 1i64], tuple![1i64, 2i64], tuple![2i64, 3i64], tuple![0i64, 2i64]],
+        )
+        .unwrap();
+        s
+    }
+
+    #[test]
+    fn select_runs_on_both_engines_with_cost_estimate() {
+        for engine in ["local", "cluster"] {
+            let mut s = edge_session(engine);
+            let r = s.query("SELECT dst FROM edges WHERE src = 0").unwrap();
+            assert_eq!(r.rows, vec![tuple![1i64], tuple![2i64]], "{engine}");
+            assert_eq!(r.engine, engine);
+            assert!(r.cost.runtime() > 0.0, "optimizer must cost the plan");
+        }
+    }
+
+    #[test]
+    fn recursive_query_agrees_across_engines() {
+        let run = |engine: &str| {
+            let mut s = edge_session(engine);
+            s.create_table("seed", Schema::of(&[("id", DataType::Int)])).unwrap();
+            s.insert("seed", vec![tuple![0i64]]).unwrap();
+            s.query(
+                "WITH reach (id) AS (SELECT id FROM seed)
+                 UNION UNTIL FIXPOINT BY id (
+                   SELECT edges.dst FROM edges, reach WHERE edges.src = reach.id)",
+            )
+            .unwrap()
+        };
+        let local = run("local");
+        let cluster = run("cluster");
+        assert_eq!(local.rows, cluster.rows);
+        assert_eq!(local.rows.len(), 4);
+        assert!(cluster.cluster.is_some(), "cluster run carries worker stats");
+        assert!(local.cluster.is_none());
+        assert_eq!(*local.delta_sizes().last().unwrap(), 0, "converged");
+    }
+
+    #[test]
+    fn insert_validates_and_accumulates() {
+        let mut s = edge_session("local");
+        assert_eq!(s.table_rows("edges").unwrap(), 4);
+        s.insert("edges", vec![tuple![3i64, 0i64]]).unwrap();
+        assert_eq!(s.table_rows("edges").unwrap(), 5);
+        // Wrong arity is rejected and leaves the table unchanged.
+        assert!(s.insert("edges", vec![tuple![1i64]]).is_err());
+        assert_eq!(s.table_rows("edges").unwrap(), 5);
+    }
+
+    #[test]
+    fn duplicate_table_is_rejected() {
+        let mut s = edge_session("local");
+        let err = s.create_table("edges", Schema::of(&[("x", DataType::Int)])).unwrap_err();
+        assert!(err.to_string().contains("already exists"));
+    }
+
+    #[test]
+    fn bad_partition_column_is_rejected() {
+        let mut s = Session::local();
+        let err = s
+            .create_table_partitioned("t", Schema::of(&[("x", DataType::Int)]), vec![3])
+            .unwrap_err();
+        assert!(err.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn parse_and_plan_errors_convert_cleanly() {
+        let mut s = edge_session("local");
+        assert!(matches!(s.query("SELEKT zzz"), Err(RexError::Parse { .. })));
+        assert!(matches!(s.query("SELECT x FROM missing"), Err(RexError::Plan(_))));
+    }
+
+    #[test]
+    fn explain_shows_both_plans_and_estimate() {
+        let mut s = edge_session("local");
+        let txt = s.explain("SELECT src, count(*) FROM edges WHERE dst > 1 GROUP BY src").unwrap();
+        assert!(txt.contains("== logical =="));
+        assert!(txt.contains("== optimized =="));
+        assert!(txt.contains("Aggregate"));
+        assert!(txt.contains("runtime"));
+    }
+
+    #[test]
+    fn engine_swap_keeps_tables_and_handlers() {
+        let mut s = edge_session("local");
+        let local_rows = s.query("SELECT src, count(*) FROM edges GROUP BY src").unwrap().rows;
+        s.set_engine(Box::new(ClusterEngine::new(4)));
+        assert_eq!(s.engine_name(), "cluster");
+        let cluster_rows = s.query("SELECT src, count(*) FROM edges GROUP BY src").unwrap().rows;
+        assert_eq!(local_rows, cluster_rows);
+    }
+
+    #[test]
+    fn global_aggregate_is_one_row_on_cluster() {
+        let mut s = edge_session("cluster");
+        let r = s.query("SELECT sum(dst), count(*) FROM edges").unwrap();
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.rows[0].get(1).as_int(), Some(4));
+    }
+}

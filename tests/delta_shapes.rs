@@ -89,8 +89,7 @@ fn pagerank_per_iteration_trends() {
             Strategy::Delta,
         ))
         .unwrap();
-    let times: Vec<f64> =
-        delta_rep.query.strata.iter().map(|s| s.simulated_time).collect();
+    let times: Vec<f64> = delta_rep.query.strata.iter().map(|s| s.simulated_time).collect();
     assert!(times.len() > 5);
     let head = times[1];
     let tail = times[times.len() - 2];
@@ -106,7 +105,7 @@ fn pagerank_per_iteration_trends() {
 fn kmeans_rex_wins_across_sizes() {
     let mut gaps = Vec::new();
     for n in [300usize, 2_400] {
-        let points = generate_points(PointSpec::geodata(n, 7));
+        let points = generate_points(PointSpec::geodata(n, 1));
         let cat = Catalog::new();
         let mut t = StoredTable::new("geodata", rex::data::points::schema(), vec![0]);
         t.load_unchecked(rex::data::points::point_tuples(&points));
@@ -137,9 +136,8 @@ fn kmeans_rex_wins_across_sizes() {
 fn sssp_tail_iterations_are_nearly_free() {
     let g = graph();
     let rt = ClusterRuntime::new(ClusterConfig::new(WORKERS), catalog(&g));
-    let (_, rep) = rt
-        .run(sssp::plan_builder(sssp::SsspConfig::from_source(0), Strategy::Delta))
-        .unwrap();
+    let (_, rep) =
+        rt.run(sssp::plan_builder(sssp::SsspConfig::from_source(0), Strategy::Delta)).unwrap();
     let times: Vec<f64> = rep.query.strata.iter().map(|s| s.simulated_time).collect();
     let peak = times.iter().copied().fold(0.0, f64::max);
     let last = *times.last().unwrap();
@@ -153,9 +151,8 @@ fn sssp_delta_ships_fewer_bytes_than_hadoop() {
     let g = graph();
     let depth = reference::hops_to_reach(&reference::shortest_paths(&g, 0), 1.0);
     let rt = ClusterRuntime::new(ClusterConfig::new(WORKERS), catalog(&g));
-    let (_, rex_rep) = rt
-        .run(sssp::plan_builder(sssp::SsspConfig::from_source(0), Strategy::Delta))
-        .unwrap();
+    let (_, rex_rep) =
+        rt.run(sssp::plan_builder(sssp::SsspConfig::from_source(0), Strategy::Delta)).unwrap();
     let (_, mr_rep) = sssp_mr::run_mr(
         &g,
         0,
@@ -164,10 +161,7 @@ fn sssp_delta_ships_fewer_bytes_than_hadoop() {
     );
     let rex_bytes = rex_rep.query.totals.bytes_sent;
     let mr_bytes = mr_rep.total_network_bytes();
-    assert!(
-        rex_bytes < mr_bytes,
-        "REX {rex_bytes} bytes !< Hadoop {mr_bytes} bytes"
-    );
+    assert!(rex_bytes < mr_bytes, "REX {rex_bytes} bytes !< Hadoop {mr_bytes} bytes");
 }
 
 /// Figure 12's claim: incremental recovery costs less than restart, and
@@ -179,8 +173,7 @@ fn incremental_recovery_beats_restart() {
         let cfg = ClusterConfig::new(WORKERS)
             .with_failure(rex::cluster::failure::FailurePlan::kill_at(1, 5), strategy);
         let rt = ClusterRuntime::new(cfg, catalog(&g));
-        rt.run(sssp::plan_builder(sssp::SsspConfig::from_source(0), Strategy::Delta))
-            .unwrap()
+        rt.run(sssp::plan_builder(sssp::SsspConfig::from_source(0), Strategy::Delta)).unwrap()
     };
     let (restart_res, restart_rep) = run(RecoveryStrategy::Restart);
     let (incr_res, incr_rep) = run(RecoveryStrategy::Incremental);

@@ -3,11 +3,16 @@
 //! the sequential reference — must produce the same answers on the same
 //! inputs. This pins the evaluation to apples-to-apples comparisons.
 
-use rex::algos::common::max_abs_diff;
-use rex::algos::pagerank::{self, PageRankConfig, Strategy};
+use rex::algos::common::{max_abs_diff, per_vertex_doubles};
+use rex::algos::kmeans::KmAgg;
+use rex::algos::pagerank::{self, PageRankConfig, PrAgg, Strategy};
+use rex::algos::sssp::SpAgg;
 use rex::algos::{kmeans, kmeans_mr, pagerank_mr, reference, sssp, sssp_mr};
 use rex::cluster::runtime::{ClusterConfig, ClusterRuntime};
 use rex::core::exec::LocalRuntime;
+use rex::core::handlers::FlippedJoin;
+use rex::core::tuple::{Schema, Tuple};
+use rex::core::value::{DataType, Value};
 use rex::data::graph::{generate_graph, Graph, GraphSpec};
 use rex::data::points::{generate_points, PointSpec};
 use rex::dbms::engine::DbmsConfig;
@@ -15,6 +20,8 @@ use rex::hadoop::cost::EmulationMode;
 use rex::hadoop::job::HadoopCluster;
 use rex::storage::catalog::Catalog;
 use rex::storage::table::StoredTable;
+use rex::Session;
+use std::sync::Arc;
 
 fn graph() -> Graph {
     generate_graph(GraphSpec {
@@ -68,9 +75,7 @@ fn pagerank_agrees_across_all_six_platforms() {
     assert!(max_abs_diff(&mr, &want) < 1e-9, "MapReduce");
 
     // Wrap: the Hadoop classes inside REX.
-    let (res, _) = LocalRuntime::new()
-        .run(pagerank_mr::wrap_plan_local(&g, iters as u64))
-        .unwrap();
+    let (res, _) = LocalRuntime::new().run(pagerank_mr::wrap_plan_local(&g, iters as u64)).unwrap();
     let wrap = pagerank_mr::wrap_ranks(&res, g.n_vertices);
     assert!(max_abs_diff(&wrap, &want) < 1e-9, "wrap");
 
@@ -88,9 +93,8 @@ fn shortest_path_agrees_across_platforms() {
         .collect();
 
     let rt = ClusterRuntime::new(ClusterConfig::new(4), graph_catalog(&g));
-    let (res, _) = rt
-        .run(sssp::plan_builder(sssp::SsspConfig::from_source(3), Strategy::Delta))
-        .unwrap();
+    let (res, _) =
+        rt.run(sssp::plan_builder(sssp::SsspConfig::from_source(3), Strategy::Delta)).unwrap();
     assert_eq!(sssp::dists_from_results(&res, g.n_vertices), want, "REX Δ");
 
     let cluster = HadoopCluster::new(3).with_mode(EmulationMode::HaLoopLowerBound);
@@ -98,9 +102,7 @@ fn shortest_path_agrees_across_platforms() {
     assert_eq!(mr, want, "MapReduce frontier");
 
     let depth = reference::hops_to_reach(&reference::shortest_paths(&g, 3), 1.0) as u64;
-    let (res, _) = LocalRuntime::new()
-        .run(sssp_mr::wrap_plan_local(&g, 3, depth + 1))
-        .unwrap();
+    let (res, _) = LocalRuntime::new().run(sssp_mr::wrap_plan_local(&g, 3, depth + 1)).unwrap();
     assert_eq!(sssp_mr::wrap_dists(&res, g.n_vertices), want, "wrap");
 }
 
@@ -122,5 +124,122 @@ fn kmeans_agrees_across_platforms() {
     let (mr_c, _) = kmeans_mr::run_mr(&points, k, 200, &cluster);
     for (a, b) in mr_c.iter().zip(&want) {
         assert!(a.dist(b) < 1e-9, "MapReduce centroid drift: {}", a.dist(b));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Session-facade agreement: the paper's Listings 1–3, written in RQL text,
+// executed through `Session::query` — parse → resolve → optimize → lower →
+// execute — on BOTH the local and the cluster engine, validated against the
+// sequential references. One query API, any backend, same answers.
+// ---------------------------------------------------------------------------
+
+/// Sessions on both engines with the edge relation loaded (partitioned on
+/// srcId, like Figure 1's plan expects).
+fn graph_sessions(g: &Graph) -> Vec<Session> {
+    [Session::local(), Session::cluster(4)]
+        .into_iter()
+        .map(|mut s| {
+            s.create_table("graph", Graph::schema()).unwrap();
+            s.insert("graph", g.edge_tuples()).unwrap();
+            s
+        })
+        .collect()
+}
+
+#[test]
+fn listing1_pagerank_via_session_agrees_on_both_engines() {
+    let g = graph();
+    let src = "
+        WITH PR (srcId, pr) AS (
+          SELECT srcId, 1.0 AS pr FROM graph
+        ) UNION UNTIL FIXPOINT BY srcId (
+          SELECT nbr, 0.15 + 0.85 * sum(prDiff)
+          FROM (SELECT PRAgg(srcId, pr).{nbr, prDiff}
+                FROM graph, PR
+                WHERE graph.srcId = PR.srcId)
+          GROUP BY nbr)";
+    let (want, _) = reference::pagerank_converged(&g, 1e-10, 500);
+    for mut s in graph_sessions(&g) {
+        s.register_join("PRAgg", Arc::new(FlippedJoin(Arc::new(PrAgg::delta(1e-9)))));
+        let r = s.query(src).unwrap();
+        let got = per_vertex_doubles(&r.rows, g.n_vertices, reference::BASE_RANK);
+        let diff = max_abs_diff(&got, &want);
+        assert!(diff < 1e-6, "{} engine deviates from reference by {diff}", r.engine);
+        assert!(r.iterations() > 5, "{} engine should iterate to convergence", r.engine);
+        assert_eq!(*r.delta_sizes().last().unwrap(), 0, "{} engine converged", r.engine);
+        assert!(r.cost.runtime() > 0.0, "optimizer must cost the recursive plan");
+    }
+}
+
+#[test]
+fn listing2_shortest_path_via_session_agrees_on_both_engines() {
+    let g = graph();
+    let source = 3i64;
+    let src = "
+        WITH SP (srcId, dist) AS (
+          SELECT srcId, dist FROM start
+        ) UNION ALL UNTIL FIXPOINT BY srcId (
+          SELECT nbr, min(distOut)
+          FROM (SELECT SPAgg(nbrId, dist).{nbr, distOut}
+                FROM graph, SP
+                WHERE graph.srcId = SP.srcId)
+          GROUP BY nbr)";
+    let want: Vec<f64> = reference::shortest_paths(&g, source as u32)
+        .into_iter()
+        .map(|d| if d == u32::MAX { f64::INFINITY } else { d as f64 })
+        .collect();
+    for mut s in graph_sessions(&g) {
+        s.create_table(
+            "start",
+            Schema::of(&[("srcId", DataType::Int), ("dist", DataType::Double)]),
+        )
+        .unwrap();
+        s.insert("start", vec![Tuple::new(vec![Value::Int(source), Value::Double(0.0)])]).unwrap();
+        s.register_join("SPAgg", Arc::new(FlippedJoin(Arc::new(SpAgg { delta_mode: true }))));
+        let r = s.query(src).unwrap();
+        let got = per_vertex_doubles(&r.rows, g.n_vertices, f64::INFINITY);
+        assert_eq!(got, want, "{} engine disagrees with BFS reference", r.engine);
+    }
+}
+
+#[test]
+fn listing3_kmeans_via_session_agrees_on_both_engines() {
+    let points = generate_points(PointSpec { n_points: 150, n_clusters: 3, stddev: 1.0, seed: 41 });
+    let k = 3;
+    let src = "
+        WITH KM (cid, x, y) AS (
+          SELECT cid, x, y FROM centroids0
+        ) UNION ALL UNTIL FIXPOINT BY cid (
+          SELECT cid, sum(xDiff) / sum(n), sum(yDiff) / sum(n)
+          FROM (SELECT KMAgg(cid, x, y).{cid, xDiff, yDiff, n}
+                FROM geodata, KM)
+          GROUP BY cid)";
+    let init = reference::sample_centroids(&points, k);
+    let (want, _, _, _) = reference::kmeans(&points, &init, 200);
+    for engine in ["local", "cluster"] {
+        let mut s = if engine == "cluster" { Session::cluster(4) } else { Session::local() };
+        s.create_table("geodata", rex::data::points::schema()).unwrap();
+        s.insert("geodata", rex::data::points::point_tuples(&points)).unwrap();
+        s.create_table(
+            "centroids0",
+            Schema::of(&[("cid", DataType::Int), ("x", DataType::Double), ("y", DataType::Double)]),
+        )
+        .unwrap();
+        s.insert("centroids0", rex::algos::kmeans::centroid_tuples(&points, k)).unwrap();
+        s.register_join("KMAgg", Arc::new(FlippedJoin(Arc::new(KmAgg))));
+        let r = s.query(src).unwrap();
+        let got = rex::algos::kmeans::centroids_from_results(&r.rows, k);
+        for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+            assert!(
+                g.dist(w) < 1e-6,
+                "{engine} centroid {i}: ({}, {}) vs ({}, {})",
+                g.x,
+                g.y,
+                w.x,
+                w.y
+            );
+        }
+        assert_eq!(*r.delta_sizes().last().unwrap(), 0, "{engine} converged");
     }
 }

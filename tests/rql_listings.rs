@@ -27,7 +27,8 @@ fn graph() -> Graph {
         n_vertices: 50,
         edges_per_vertex: 3,
         seed: 77,
-        random_edge_fraction: 0.1, locality_window: 0
+        random_edge_fraction: 0.1,
+        locality_window: 0,
     })
 }
 
@@ -98,21 +99,12 @@ fn listing2_shortest_path_via_rql_matches_reference() {
     let source = 0i64;
     let mut catalog = SchemaCatalog::new();
     catalog.register("graph", Graph::schema());
-    catalog.register(
-        "start",
-        Schema::of(&[("srcId", DataType::Int), ("dist", DataType::Double)]),
-    );
+    catalog.register("start", Schema::of(&[("srcId", DataType::Int), ("dist", DataType::Double)]));
     let mut tables = MemTables::new();
     tables.insert("graph", g.edge_tuples());
-    tables.insert(
-        "start",
-        vec![Tuple::new(vec![Value::Int(source), Value::Double(0.0)])],
-    );
+    tables.insert("start", vec![Tuple::new(vec![Value::Int(source), Value::Double(0.0)])]);
     let reg = Registry::with_builtins();
-    reg.register_join(
-        "SPAgg",
-        Arc::new(FlippedJoin(Arc::new(SpAgg { delta_mode: true }))),
-    );
+    reg.register_join("SPAgg", Arc::new(FlippedJoin(Arc::new(SpAgg { delta_mode: true }))));
 
     let src = "
         WITH SP (srcId, dist) AS (
@@ -136,8 +128,7 @@ fn listing2_shortest_path_via_rql_matches_reference() {
 
 #[test]
 fn listing3_kmeans_via_rql_matches_reference() {
-    let points =
-        generate_points(PointSpec { n_points: 150, n_clusters: 3, stddev: 1.0, seed: 41 });
+    let points = generate_points(PointSpec { n_points: 150, n_clusters: 3, stddev: 1.0, seed: 41 });
     let k = 3;
     let mut catalog = SchemaCatalog::new();
     catalog.register("geodata", rex::data::points::schema());
