@@ -1,0 +1,132 @@
+//! IVM maintenance vs full recompute on the lineitem OLAP workload.
+//!
+//! A join+aggregate view over TPC-H-like `lineitem` joined with a small
+//! `rates` dimension:
+//!
+//! ```sql
+//! CREATE MATERIALIZED VIEW revenue AS
+//!   SELECT orderkey, count(*), sum(taxed) FROM
+//!     (SELECT l.orderkey AS orderkey, l.extendedprice * r.rate AS taxed
+//!      FROM lineitem l, rates r WHERE l.linenumber = r.linenumber) t
+//!   GROUP BY orderkey
+//! ```
+//!
+//! Two configurations process the same stream of small insert batches:
+//!
+//! * **IVM** — `Session::insert` drives the view's delta-propagation
+//!   maintenance plan; per batch the work is proportional to the batch;
+//! * **recompute** — the defining query re-runs from scratch after every
+//!   batch (what `Session::query` did before views existed).
+//!
+//! Prints the per-batch series and writes `BENCH_ivm.json` with the
+//! headline speedup so CI can track the perf trajectory.
+
+use rex::core::tuple::Tuple;
+use rex::core::value::Value;
+use rex::Session;
+use rex_bench::{print_table, scale, Series};
+use rex_core::tuple::Schema;
+use rex_core::value::DataType;
+use rex_data::lineitem::{generate_lineitem, lineitem_tuples, schema};
+use std::time::Instant;
+
+const VIEW_QUERY: &str = "SELECT orderkey, count(*), sum(taxed) FROM \
+     (SELECT l.orderkey AS orderkey, l.extendedprice * r.rate AS taxed \
+      FROM lineitem l, rates r WHERE l.linenumber = r.linenumber) t \
+     GROUP BY orderkey";
+
+fn setup(base_rows: usize) -> Session {
+    let mut s = Session::local();
+    s.create_table("lineitem", schema()).unwrap();
+    s.insert("lineitem", lineitem_tuples(&generate_lineitem(base_rows, 42))).unwrap();
+    s.create_table(
+        "rates",
+        Schema::of(&[("linenumber", DataType::Int), ("rate", DataType::Double)]),
+    )
+    .unwrap();
+    let rates: Vec<Tuple> = (1..=7i64)
+        .map(|ln| Tuple::new(vec![Value::Int(ln), Value::Double(1.0 + ln as f64 * 0.01)]))
+        .collect();
+    s.insert("rates", rates).unwrap();
+    s
+}
+
+fn main() {
+    let base_rows = (20_000.0 * scale()) as usize;
+    let n_batches = 32usize;
+    let batch_rows = 16usize;
+    // Fresh rows beyond the base, so each batch adds new orders.
+    let extra = lineitem_tuples(&generate_lineitem(base_rows + n_batches * batch_rows, 42));
+    let batches: Vec<Vec<Tuple>> =
+        extra[base_rows..].chunks(batch_rows).map(|c| c.to_vec()).collect();
+
+    // --- IVM: the view is maintained from each batch's deltas. ----------
+    let mut ivm = setup(base_rows);
+    ivm.query(&format!("CREATE MATERIALIZED VIEW revenue AS {VIEW_QUERY}")).unwrap();
+    let mut ivm_times = Vec::with_capacity(n_batches);
+    let t_all = Instant::now();
+    let mut ivm_rows = Vec::new();
+    for b in &batches {
+        let t = Instant::now();
+        ivm.insert("lineitem", b.clone()).unwrap();
+        // Serve the fresh contents too, so lazy view→store synchronization
+        // is inside the measured window (parity with the recompute side).
+        ivm_rows = ivm.query("SELECT * FROM revenue").unwrap().rows;
+        ivm_times.push(t.elapsed().as_secs_f64());
+    }
+    let ivm_seconds = t_all.elapsed().as_secs_f64();
+
+    // --- Recompute: the defining query re-runs after every batch. -------
+    let mut rec = setup(base_rows);
+    let mut rec_times = Vec::with_capacity(n_batches);
+    let t_all = Instant::now();
+    let mut rec_rows = Vec::new();
+    for b in &batches {
+        let t = Instant::now();
+        rec.insert("lineitem", b.clone()).unwrap();
+        rec_rows = rec.query(VIEW_QUERY).unwrap().rows;
+        rec_times.push(t.elapsed().as_secs_f64());
+    }
+    let rec_seconds = t_all.elapsed().as_secs_f64();
+
+    // Both strategies must produce the same view contents.
+    assert_eq!(ivm_rows.len(), rec_rows.len(), "IVM and recompute disagree on cardinality");
+    for (a, b) in ivm_rows.iter().zip(&rec_rows) {
+        for (x, y) in a.values().iter().zip(b.values()) {
+            match (x, y) {
+                (Value::Double(x), Value::Double(y)) => {
+                    assert!((x - y).abs() <= 1e-6 * y.abs().max(1.0), "IVM diverged: {x} vs {y}")
+                }
+                _ => assert_eq!(x, y, "IVM diverged: {a} vs {b}"),
+            }
+        }
+    }
+
+    let speedup = rec_seconds / ivm_seconds.max(1e-12);
+    print_table(
+        &format!(
+            "IVM vs recompute — lineitem join+aggregate, {base_rows} base rows, \
+             {n_batches} batches x {batch_rows} rows"
+        ),
+        "batch",
+        &[
+            Series::from_values("ivm_ms", &ivm_times.iter().map(|t| t * 1e3).collect::<Vec<_>>()),
+            Series::from_values(
+                "recompute_ms",
+                &rec_times.iter().map(|t| t * 1e3).collect::<Vec<_>>(),
+            ),
+        ],
+    );
+    println!("total: ivm {ivm_seconds:.4}s, recompute {rec_seconds:.4}s, speedup {speedup:.1}x");
+
+    let json = format!(
+        "{{\n  \"workload\": \"lineitem join+aggregate view maintenance\",\n  \
+         \"base_rows\": {base_rows},\n  \"batches\": {n_batches},\n  \
+         \"batch_rows\": {batch_rows},\n  \"view_rows\": {},\n  \
+         \"ivm_seconds\": {ivm_seconds:.6},\n  \"recompute_seconds\": {rec_seconds:.6},\n  \
+         \"speedup\": {speedup:.2}\n}}\n",
+        ivm_rows.len()
+    );
+    std::fs::write("BENCH_ivm.json", json).expect("write BENCH_ivm.json");
+    println!("wrote BENCH_ivm.json");
+}

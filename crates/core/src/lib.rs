@@ -27,6 +27,20 @@
 //! `rex-cluster`; the RQL language in `rex-rql`; the optimizer in
 //! `rex-optimizer`.
 //!
+//! ## Materialized views & incremental maintenance
+//!
+//! The [`delta`] vocabulary this crate defines — `+()`, `-()`, `→(t')`,
+//! `δ(E)` per Definition 1 of the paper — is also the substrate of the
+//! `rex-views` crate: `CREATE MATERIALIZED VIEW` (through the `rex`
+//! facade's `Session`) builds a maintenance plan whose join and group-by
+//! nodes apply the same Gupta/Mumick view-maintenance rules the
+//! [`operators`] here implement for recursive dataflow, but against
+//! persistent per-view state. Base-table inserts/deletes become delta
+//! batches; maintenance cost scales with the batch, not the table. The
+//! built-in [`aggregates`] participate unchanged: a view's dirty groups
+//! are re-derived by replaying the group's rows through the registered
+//! [`handlers::AggHandler`].
+//!
 //! ## Quick start
 //!
 //! Most users should not start here: the `rex` facade crate's `Session`

@@ -11,6 +11,32 @@ use std::fmt;
 pub enum Statement {
     /// A (possibly recursive) query.
     Query(Query),
+    /// `CREATE MATERIALIZED VIEW <name> AS <query>`: define a view that is
+    /// kept up to date incrementally as its base tables change.
+    CreateView {
+        /// The view's name.
+        name: String,
+        /// The defining query.
+        query: Query,
+    },
+    /// `DROP VIEW <name>`: remove a materialized view.
+    DropView {
+        /// The view's name.
+        name: String,
+    },
+    /// `DROP TABLE <name>`: remove a stored base table.
+    DropTable {
+        /// The table's name.
+        name: String,
+    },
+}
+
+impl Statement {
+    /// Whether this statement is DDL (executed against the session's
+    /// catalogs rather than planned into a dataflow).
+    pub fn is_ddl(&self) -> bool {
+        !matches!(self, Statement::Query(_))
+    }
 }
 
 /// A query: an optional recursive `WITH` wrapping a select block.

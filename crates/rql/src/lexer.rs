@@ -86,8 +86,30 @@ impl fmt::Display for Token {
 
 /// Reserved words recognized as keywords (case-insensitive).
 pub const KEYWORDS: &[&str] = &[
-    "SELECT", "FROM", "WHERE", "GROUP", "BY", "AS", "WITH", "UNION", "ALL", "UNTIL", "FIXPOINT",
-    "AND", "OR", "NOT", "NULL", "TRUE", "FALSE", "HAVING", "DISTINCT",
+    "SELECT",
+    "FROM",
+    "WHERE",
+    "GROUP",
+    "BY",
+    "AS",
+    "WITH",
+    "UNION",
+    "ALL",
+    "UNTIL",
+    "FIXPOINT",
+    "AND",
+    "OR",
+    "NOT",
+    "NULL",
+    "TRUE",
+    "FALSE",
+    "HAVING",
+    "DISTINCT",
+    "CREATE",
+    "MATERIALIZED",
+    "VIEW",
+    "DROP",
+    "TABLE",
 ];
 
 /// Line/column (1-based) of byte offset `i` in `src`.
@@ -236,6 +258,18 @@ mod tests {
         assert_eq!(toks[1], Token::Ident("sum".into()));
         assert!(toks.contains(&Token::Symbol(Sym::Star)));
         assert_eq!(*toks.last().unwrap(), Token::Int(1));
+    }
+
+    #[test]
+    fn ddl_keywords_tokenize() {
+        let toks = tokenize("CREATE MATERIALIZED VIEW v AS SELECT 1 FROM t").unwrap();
+        assert_eq!(toks[0], Token::Keyword("CREATE".into()));
+        assert_eq!(toks[1], Token::Keyword("MATERIALIZED".into()));
+        assert_eq!(toks[2], Token::Keyword("VIEW".into()));
+        assert_eq!(toks[3], Token::Ident("v".into()));
+        let toks = tokenize("drop view v; drop table t").unwrap();
+        assert_eq!(toks[0], Token::Keyword("DROP".into()));
+        assert_eq!(toks[5], Token::Keyword("TABLE".into()));
     }
 
     #[test]

@@ -123,6 +123,47 @@ impl LogicalPlan {
         }
     }
 
+    /// Names of all stored tables this plan scans (deduplicated,
+    /// lowercased, sorted) — the base relations a materialized view over
+    /// this plan depends on.
+    pub fn referenced_tables(&self) -> Vec<String> {
+        fn walk(p: &LogicalPlan, out: &mut Vec<String>) {
+            match p {
+                LogicalPlan::Scan { table, .. } => out.push(table.to_ascii_lowercase()),
+                LogicalPlan::FixpointRef { .. } => {}
+                LogicalPlan::Filter { input, .. } => walk(input, out),
+                LogicalPlan::Project { input, .. } => walk(input, out),
+                LogicalPlan::Join { left, right, .. } => {
+                    walk(left, out);
+                    walk(right, out);
+                }
+                LogicalPlan::Aggregate { input, .. } => walk(input, out),
+                LogicalPlan::Fixpoint { base, step, .. } => {
+                    walk(base, out);
+                    walk(step, out);
+                }
+            }
+        }
+        let mut v = Vec::new();
+        walk(self, &mut v);
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// Whether the plan contains a recursive fixpoint (such views fall
+    /// back to full recomputation on maintenance).
+    pub fn is_recursive(&self) -> bool {
+        match self {
+            LogicalPlan::Fixpoint { .. } | LogicalPlan::FixpointRef { .. } => true,
+            LogicalPlan::Scan { .. } => false,
+            LogicalPlan::Filter { input, .. }
+            | LogicalPlan::Project { input, .. }
+            | LogicalPlan::Aggregate { input, .. } => input.is_recursive(),
+            LogicalPlan::Join { left, right, .. } => left.is_recursive() || right.is_recursive(),
+        }
+    }
+
     /// Render as an indented tree (EXPLAIN-style).
     pub fn explain(&self) -> String {
         fn walk(p: &LogicalPlan, depth: usize, out: &mut String) {
@@ -169,10 +210,17 @@ impl LogicalPlan {
     }
 }
 
-/// Plan a parsed statement.
+/// Plan a parsed statement. DDL statements (view creation, drops) have no
+/// dataflow plan — they are executed by the session against its catalogs —
+/// so planning one here is an error.
 pub fn plan(stmt: &Statement, catalog: &SchemaCatalog, reg: &Registry) -> Result<LogicalPlan> {
-    let Statement::Query(q) = stmt;
-    plan_query(q, catalog, reg)
+    match stmt {
+        Statement::Query(q) => plan_query(q, catalog, reg),
+        Statement::CreateView { query, .. } => plan_query(query, catalog, reg),
+        Statement::DropView { name } | Statement::DropTable { name } => Err(RexError::Plan(
+            format!("DROP {name} is a DDL statement; execute it through a session"),
+        )),
+    }
 }
 
 fn plan_query(q: &Query, catalog: &SchemaCatalog, reg: &Registry) -> Result<LogicalPlan> {
@@ -738,6 +786,39 @@ mod tests {
         let text = p.explain();
         assert!(text.contains("Fixpoint PR"));
         assert!(text.contains("handler=PRAgg"));
+    }
+
+    #[test]
+    fn referenced_tables_dedup_and_skip_fixpoint_refs() {
+        let reg = Registry::with_builtins();
+        let mut c = catalog();
+        c.register("pr", Schema::of(&[("srcId", DataType::Int), ("pr", DataType::Double)]));
+        let p =
+            plan_text("SELECT graph.destId FROM graph, pr WHERE graph.srcId = pr.srcId", &c, &reg)
+                .unwrap();
+        assert_eq!(p.referenced_tables(), vec!["graph".to_string(), "pr".to_string()]);
+        assert!(!p.is_recursive());
+        let rec = plan_text(
+            "WITH R (a) AS (SELECT srcId FROM graph)
+             UNION UNTIL FIXPOINT BY a (SELECT graph.destId FROM graph, R WHERE graph.srcId = R.a)",
+            &c,
+            &reg,
+        )
+        .unwrap();
+        assert_eq!(rec.referenced_tables(), vec!["graph".to_string()]);
+        assert!(rec.is_recursive());
+    }
+
+    #[test]
+    fn ddl_statements_do_not_plan() {
+        let reg = Registry::with_builtins();
+        let stmt = crate::parser::parse("DROP VIEW v").unwrap();
+        let err = plan(&stmt, &catalog(), &reg).unwrap_err();
+        assert!(err.to_string().contains("DDL"));
+        // CREATE MATERIALIZED VIEW plans its defining query.
+        let stmt =
+            crate::parser::parse("CREATE MATERIALIZED VIEW v AS SELECT srcId FROM graph").unwrap();
+        assert!(plan(&stmt, &catalog(), &reg).is_ok());
     }
 
     #[test]

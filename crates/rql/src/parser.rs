@@ -3,7 +3,9 @@
 //! Grammar (informal):
 //!
 //! ```text
-//! statement   := query [';']
+//! statement   := (query | create_view | drop) [';']
+//! create_view := CREATE MATERIALIZED VIEW ident AS query
+//! drop        := DROP (VIEW | TABLE) ident
 //! query       := with_block | select
 //! with_block  := WITH ident '(' cols ')' AS '(' select ')'
 //!                UNION [ALL] UNTIL FIXPOINT BY cols '(' select ')'
@@ -25,12 +27,12 @@ use rex_core::error::{Result, RexError};
 pub fn parse(src: &str) -> Result<Statement> {
     let tokens = tokenize(src)?;
     let mut p = Parser { tokens, pos: 0 };
-    let q = p.query()?;
+    let stmt = p.statement()?;
     p.eat_symbol(Sym::Semicolon); // optional trailing semicolon
     if !p.at_end() {
         return Err(p.error(format!("unexpected trailing token {}", p.peek_desc())));
     }
-    Ok(Statement::Query(q))
+    Ok(stmt)
 }
 
 struct Parser {
@@ -113,6 +115,29 @@ impl Parser {
                 other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
             ))),
         }
+    }
+
+    // ---- statements ------------------------------------------------------
+
+    fn statement(&mut self) -> Result<Statement> {
+        if self.eat_keyword("CREATE") {
+            self.expect_keyword("MATERIALIZED")?;
+            self.expect_keyword("VIEW")?;
+            let name = self.expect_ident()?;
+            self.expect_keyword("AS")?;
+            let query = self.query()?;
+            return Ok(Statement::CreateView { name, query });
+        }
+        if self.eat_keyword("DROP") {
+            if self.eat_keyword("VIEW") {
+                return Ok(Statement::DropView { name: self.expect_ident()? });
+            }
+            if self.eat_keyword("TABLE") {
+                return Ok(Statement::DropTable { name: self.expect_ident()? });
+            }
+            return Err(self.error(format!("expected VIEW or TABLE, found {}", self.peek_desc())));
+        }
+        Ok(Statement::Query(self.query()?))
     }
 
     // ---- query ----------------------------------------------------------
@@ -378,7 +403,46 @@ mod tests {
     fn q(src: &str) -> Query {
         match parse(src).unwrap() {
             Statement::Query(q) => q,
+            other => panic!("expected query, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_create_materialized_view() {
+        let stmt = parse(
+            "CREATE MATERIALIZED VIEW hot AS SELECT srcId, count(*) FROM graph GROUP BY srcId",
+        )
+        .unwrap();
+        let Statement::CreateView { name, query } = stmt else {
+            panic!("expected CreateView, got {stmt:?}");
+        };
+        assert_eq!(name, "hot");
+        assert_eq!(query.select.unwrap().group_by.len(), 1);
+        assert!(parse("CREATE VIEW v AS SELECT 1 FROM t").is_err(), "MATERIALIZED is required");
+        assert!(parse("CREATE MATERIALIZED VIEW v SELECT 1 FROM t").is_err(), "AS is required");
+    }
+
+    #[test]
+    fn parses_recursive_view_definition() {
+        let stmt = parse(
+            "CREATE MATERIALIZED VIEW reach AS
+             WITH R (id) AS (SELECT srcId FROM graph WHERE srcId = 0)
+             UNION UNTIL FIXPOINT BY id (
+               SELECT graph.destId FROM graph, R WHERE graph.srcId = R.id)",
+        )
+        .unwrap();
+        let Statement::CreateView { query, .. } = stmt else {
+            panic!("expected CreateView, got {stmt:?}");
+        };
+        assert!(query.with.is_some());
+    }
+
+    #[test]
+    fn parses_drop_statements() {
+        assert_eq!(parse("DROP VIEW v;").unwrap(), Statement::DropView { name: "v".into() });
+        assert_eq!(parse("drop table t").unwrap(), Statement::DropTable { name: "t".into() });
+        assert!(parse("DROP v").is_err());
+        assert!(Statement::DropView { name: "v".into() }.is_ddl());
     }
 
     #[test]

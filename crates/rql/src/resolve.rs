@@ -42,6 +42,23 @@ impl SchemaCatalog {
     pub fn contains(&self, name: &str) -> bool {
         self.tables.contains_key(name)
     }
+
+    /// Remove a table's schema (dropping a table or view); returns whether
+    /// it was registered. Matching is case-insensitive: the storage layer
+    /// keys tables by lowercase name, so a table registered here as
+    /// `"Edges"` must still be removable via `drop_table("edges")` —
+    /// otherwise the orphaned schema would block re-creation forever.
+    pub fn remove(&mut self, name: &str) -> bool {
+        if self.tables.remove(name).is_some() {
+            return true;
+        }
+        let found: Vec<String> =
+            self.tables.keys().filter(|k| k.eq_ignore_ascii_case(name)).cloned().collect();
+        for k in &found {
+            self.tables.remove(k);
+        }
+        !found.is_empty()
+    }
 }
 
 /// One FROM-item binding in a resolution scope.

@@ -53,14 +53,69 @@ impl Catalog {
         Ok(n)
     }
 
+    /// Remove one occurrence of each given row from an existing table,
+    /// mirroring [`append`](Self::append): the whole batch is validated
+    /// *before* mutating — every row must match the schema and be present
+    /// with sufficient multiplicity — so a bad batch leaves the table
+    /// untouched. Returns the number of rows removed.
+    pub fn remove(&self, name: &str, rows: &[Tuple]) -> Result<usize> {
+        let mut map = self.inner.write().unwrap();
+        let entry = map
+            .get_mut(&name.to_ascii_lowercase())
+            .ok_or_else(|| RexError::Storage(format!("unknown table: {name}")))?;
+        for r in rows {
+            entry.schema().check(r)?;
+        }
+        // Presence check with multiplicity: deleting two copies of a row
+        // requires the table to hold at least two. One counting pass over
+        // the table keeps large deletes O(stored + batch).
+        let mut need: HashMap<&Tuple, usize> = HashMap::new();
+        for r in rows {
+            *need.entry(r).or_insert(0) += 1;
+        }
+        let mut have: HashMap<&Tuple, usize> = need.keys().map(|r| (*r, 0)).collect();
+        for r in entry.rows() {
+            if let Some(n) = have.get_mut(r) {
+                *n += 1;
+            }
+        }
+        for (r, n) in &need {
+            let got = have[r];
+            if got < *n {
+                return Err(RexError::Storage(format!(
+                    "table {name}: cannot delete {n} copies of {r}: only {got} stored"
+                )));
+            }
+        }
+        drop(have);
+        Ok(Arc::make_mut(entry).remove_counted(need))
+    }
+
+    /// Replace a table's entire contents (trusted caller: rows are assumed
+    /// schema-valid). Used by materialized-view synchronization.
+    pub fn replace_rows(&self, name: &str, rows: Vec<Tuple>) -> Result<()> {
+        let mut map = self.inner.write().unwrap();
+        let entry = map
+            .get_mut(&name.to_ascii_lowercase())
+            .ok_or_else(|| RexError::Storage(format!("unknown table: {name}")))?;
+        Arc::make_mut(entry).replace_rows(rows);
+        Ok(())
+    }
+
     /// Whether a table exists.
     pub fn contains(&self, name: &str) -> bool {
         self.inner.read().unwrap().contains_key(&name.to_ascii_lowercase())
     }
 
-    /// Drop a table; returns whether it existed.
-    pub fn drop_table(&self, name: &str) -> bool {
-        self.inner.write().unwrap().remove(&name.to_ascii_lowercase()).is_some()
+    /// Drop a table. Dropping a missing table is a typed error so callers
+    /// can distinguish "dropped" from "never existed".
+    pub fn drop_table(&self, name: &str) -> Result<()> {
+        self.inner
+            .write()
+            .unwrap()
+            .remove(&name.to_ascii_lowercase())
+            .map(|_| ())
+            .ok_or_else(|| RexError::Storage(format!("unknown table: {name}")))
     }
 
     /// Names of all tables, sorted.
@@ -100,8 +155,29 @@ mod tests {
         assert!(cat.contains("edges"));
         assert!(cat.get("EDGES").is_ok());
         assert_eq!(cat.table_names(), vec!["edges".to_string()]);
-        assert!(cat.drop_table("edges"));
+        assert!(cat.drop_table("edges").is_ok());
         assert!(cat.get("edges").is_err());
-        assert!(!cat.drop_table("edges"));
+        let err = cat.drop_table("edges").unwrap_err();
+        assert!(err.to_string().contains("unknown table"));
+    }
+
+    #[test]
+    fn remove_validates_whole_batch_before_mutating() {
+        let cat = Catalog::new();
+        let mut t = StoredTable::new("t", Schema::of(&[("a", DataType::Int)]), vec![0]);
+        t.load(vec![rex_core::tuple![1i64], rex_core::tuple![1i64], rex_core::tuple![2i64]])
+            .unwrap();
+        cat.register(t);
+        // Deleting more copies than stored rejects the whole batch.
+        let err = cat.remove("t", &[rex_core::tuple![2i64], rex_core::tuple![2i64]]);
+        assert!(err.unwrap_err().to_string().contains("only 1 stored"));
+        assert_eq!(cat.get("t").unwrap().len(), 3);
+        // A schema-invalid row rejects the whole batch.
+        assert!(cat.remove("t", &[rex_core::tuple![1i64], rex_core::tuple!["x"]]).is_err());
+        assert_eq!(cat.get("t").unwrap().len(), 3);
+        // A valid batch removes exactly one occurrence per row.
+        assert_eq!(cat.remove("t", &[rex_core::tuple![1i64], rex_core::tuple![2i64]]).unwrap(), 2);
+        assert_eq!(cat.get("t").unwrap().rows(), &[rex_core::tuple![1i64]]);
+        assert!(cat.remove("missing", &[]).is_err());
     }
 }

@@ -4,6 +4,7 @@ use rex_core::error::{Result, RexError};
 use rex_core::operators::hash_key;
 use rex_core::tuple::{Schema, Tuple};
 use rex_core::value::Value;
+use std::collections::HashMap;
 
 use crate::partition::PartitionSnapshot;
 
@@ -72,6 +73,39 @@ impl StoredTable {
     /// Bulk load without per-row validation (trusted generators).
     pub fn load_unchecked(&mut self, mut rows: Vec<Tuple>) {
         self.rows.append(&mut rows);
+    }
+
+    /// Remove one occurrence of each given row without validating presence
+    /// (the catalog validates the whole batch first). Rows not found are
+    /// ignored; returns the number actually removed. One pass over the
+    /// table: O(stored + batch), not O(stored × batch).
+    pub fn remove_unchecked(&mut self, rows: &[Tuple]) -> usize {
+        let mut pending: HashMap<&Tuple, usize> = HashMap::new();
+        for r in rows {
+            *pending.entry(r).or_insert(0) += 1;
+        }
+        self.remove_counted(pending)
+    }
+
+    /// Remove tuples by pre-counted multiplicity (a caller that already
+    /// built the count map — the catalog's validated delete — hands it
+    /// over instead of recounting the batch).
+    pub fn remove_counted(&mut self, mut pending: HashMap<&Tuple, usize>) -> usize {
+        let before = self.rows.len();
+        self.rows.retain(|r| match pending.get_mut(r) {
+            Some(n) if *n > 0 => {
+                *n -= 1;
+                false
+            }
+            _ => true,
+        });
+        before - self.rows.len()
+    }
+
+    /// Replace the table's entire contents (used when a materialized view
+    /// syncs its maintained state into the catalog).
+    pub fn replace_rows(&mut self, rows: Vec<Tuple>) {
+        self.rows = rows;
     }
 
     /// The partition key of a row.

@@ -1,0 +1,275 @@
+//! The view catalog: dependency tracking, cascading maintenance, and
+//! lazy synchronization of view contents into the stored-table catalog.
+//!
+//! Views are *also* registered as stored tables in the session's
+//! [`Catalog`], which is what lets every engine — single-node or simulated
+//! cluster — answer scans of a view name from materialized state with no
+//! special casing, and what gives the optimizer cardinalities for views
+//! for free. The authoritative state lives here; the stored copy is
+//! refreshed lazily ([`ViewCatalog::sync`]) before queries run.
+
+use crate::delta_set::DeltaSet;
+use crate::view::{MaintenanceStrategy, MaterializedView};
+use rex_core::delta::Delta;
+use rex_core::error::{Result, RexError};
+use rex_core::udf::Registry;
+use rex_storage::catalog::Catalog;
+use rex_storage::table::StoredTable;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// All materialized views of a session, keyed by lowercase name.
+#[derive(Default)]
+pub struct ViewCatalog {
+    views: BTreeMap<String, MaterializedView>,
+    /// Creation order — maintenance processes views oldest-first, so a
+    /// view created over another view sees its upstream already updated.
+    order: Vec<String>,
+    /// Views whose stored-table copy is stale.
+    dirty: BTreeSet<String>,
+}
+
+impl ViewCatalog {
+    /// An empty catalog.
+    pub fn new() -> ViewCatalog {
+        ViewCatalog::default()
+    }
+
+    /// Number of views.
+    pub fn len(&self) -> usize {
+        self.views.len()
+    }
+
+    /// Whether no views exist.
+    pub fn is_empty(&self) -> bool {
+        self.views.is_empty()
+    }
+
+    /// Whether `name` is a view (case-insensitive).
+    pub fn contains(&self, name: &str) -> bool {
+        self.views.contains_key(&name.to_ascii_lowercase())
+    }
+
+    /// Look up a view.
+    pub fn get(&self, name: &str) -> Option<&MaterializedView> {
+        self.views.get(&name.to_ascii_lowercase())
+    }
+
+    /// View names in creation order.
+    pub fn names(&self) -> Vec<String> {
+        self.order.clone()
+    }
+
+    /// Views that read `table` directly, in creation order.
+    pub fn dependents(&self, table: &str) -> Vec<String> {
+        self.order.iter().filter(|n| self.views[*n].depends_on(table)).cloned().collect()
+    }
+
+    /// Whether any view reads `table` directly.
+    pub fn reads(&self, table: &str) -> bool {
+        self.views.values().any(|v| v.depends_on(table))
+    }
+
+    /// Register and prime a view, and publish its contents as a stored
+    /// table so engines can scan it. Fails if the name is taken.
+    pub fn create(
+        &mut self,
+        view: MaterializedView,
+        store: &Catalog,
+        reg: &Registry,
+    ) -> Result<()> {
+        let key = view.name().to_ascii_lowercase();
+        if store.contains(&key) {
+            return Err(RexError::Storage(format!("table or view {} already exists", view.name())));
+        }
+        // Priming (and any recompute fallback) reads the store, so stale
+        // upstream view copies must be flushed first.
+        self.sync(store)?;
+        let mut view = view;
+        view.prime(store, reg)?;
+        let pcols = if view.schema().arity() > 0 { vec![0] } else { Vec::new() };
+        let mut t = StoredTable::new(view.name(), view.schema().clone(), pcols);
+        t.load_unchecked(view.rows());
+        store.register(t);
+        self.order.push(key.clone());
+        self.views.insert(key, view);
+        Ok(())
+    }
+
+    /// Drop a view, removing its stored copy. Refuses when another view
+    /// reads this one.
+    pub fn drop_view(&mut self, name: &str, store: &Catalog) -> Result<()> {
+        let key = name.to_ascii_lowercase();
+        if !self.views.contains_key(&key) {
+            return Err(RexError::Storage(format!("unknown view: {name}")));
+        }
+        let readers = self.dependents(&key);
+        if !readers.is_empty() {
+            return Err(RexError::Storage(format!(
+                "cannot drop view {name}: materialized view(s) {} depend on it",
+                readers.join(", ")
+            )));
+        }
+        self.views.remove(&key);
+        self.order.retain(|n| *n != key);
+        self.dirty.remove(&key);
+        store.drop_table(&key)
+    }
+
+    /// Propagate a change to base relation `table` (already applied to the
+    /// store) through every dependent view, cascading view-output deltas
+    /// to views-on-views. Returns the names of views that changed.
+    pub fn on_base_change(
+        &mut self,
+        table: &str,
+        deltas: &[Delta],
+        store: &Catalog,
+        reg: &Registry,
+    ) -> Result<Vec<String>> {
+        let mut pending: VecDeque<(String, DeltaSet)> = VecDeque::new();
+        pending.push_back((table.to_ascii_lowercase(), DeltaSet::from_deltas(deltas)?));
+        let mut touched = Vec::new();
+        while let Some((src, batch)) = pending.pop_front() {
+            if batch.is_empty() {
+                continue;
+            }
+            for name in self.order.clone() {
+                if !self.views[&name].depends_on(&src) {
+                    continue;
+                }
+                // Recompute fallbacks re-run the defining query against
+                // the store: flush stale upstream copies first.
+                if matches!(self.views[&name].strategy(), MaintenanceStrategy::FullRecompute { .. })
+                {
+                    self.sync(store)?;
+                }
+                let view = self.views.get_mut(&name).expect("view exists");
+                let out = view.on_change(&src, &batch, store, reg)?;
+                // An empty output delta proves the stored copy is still
+                // valid — don't force a needless republish on sync.
+                if !out.is_empty() {
+                    self.dirty.insert(name.clone());
+                    if !touched.contains(&name) {
+                        touched.push(name.clone());
+                    }
+                    pending.push_back((name.clone(), out));
+                }
+            }
+        }
+        Ok(touched)
+    }
+
+    /// Rebuild every view's state and contents from the current store, in
+    /// creation order (so views-on-views prime over fresh upstream copies).
+    /// This is the consistency repair for a maintenance pass that failed
+    /// after updating some views: afterwards every view again equals a
+    /// full recompute of its defining query.
+    pub fn rebuild_all(&mut self, store: &Catalog, reg: &Registry) -> Result<()> {
+        for name in self.order.clone() {
+            let view = self.views.get_mut(&name).expect("view exists");
+            view.rebuild(store, reg)?;
+            store.replace_rows(&name, view.rows())?;
+            self.dirty.remove(&name);
+        }
+        Ok(())
+    }
+
+    /// Flush maintained contents of stale views into their stored-table
+    /// copies. Sessions call this before running queries; maintenance
+    /// itself stays proportional to the change, not the view.
+    pub fn sync(&mut self, store: &Catalog) -> Result<()> {
+        // Clear each flag only after its flush succeeds: a failed
+        // replace_rows must leave the remaining views marked dirty, not
+        // silently stale forever.
+        while let Some(name) = self.dirty.iter().next().cloned() {
+            if let Some(v) = self.views.get(&name) {
+                store.replace_rows(&name, v.rows())?;
+            }
+            self.dirty.remove(&name);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rex_core::tuple;
+    use rex_core::tuple::Schema;
+    use rex_core::value::DataType;
+    use rex_rql::logical::plan_text;
+    use rex_rql::SchemaCatalog;
+
+    fn setup() -> (Catalog, SchemaCatalog, Registry) {
+        let store = Catalog::new();
+        let schema = Schema::of(&[("src", DataType::Int), ("dst", DataType::Int)]);
+        let mut t = StoredTable::new("edges", schema.clone(), vec![0]);
+        t.load(vec![tuple![0i64, 1i64], tuple![1i64, 2i64], tuple![0i64, 2i64]]).unwrap();
+        store.register(t);
+        let mut schemas = SchemaCatalog::new();
+        schemas.register("edges", schema);
+        (store, schemas, Registry::with_builtins())
+    }
+
+    fn define(name: &str, sql: &str, schemas: &SchemaCatalog, reg: &Registry) -> MaterializedView {
+        MaterializedView::define(name, sql, plan_text(sql, schemas, reg).unwrap(), reg)
+    }
+
+    #[test]
+    fn create_publishes_rows_and_tracks_dependencies() {
+        let (store, schemas, reg) = setup();
+        let mut views = ViewCatalog::new();
+        let v = define("fanout", "SELECT src, count(*) FROM edges GROUP BY src", &schemas, &reg);
+        views.create(v, &store, &reg).unwrap();
+        assert_eq!(store.get("fanout").unwrap().len(), 2);
+        assert_eq!(views.dependents("edges"), vec!["fanout".to_string()]);
+        assert!(views.reads("EDGES"));
+        // Name collisions with tables are refused.
+        let dup = define("edges", "SELECT src FROM edges", &schemas, &reg);
+        assert!(views.create(dup, &store, &reg).is_err());
+    }
+
+    #[test]
+    fn rebuild_all_restores_recompute_equivalence() {
+        let (store, schemas, reg) = setup();
+        let mut views = ViewCatalog::new();
+        let v = define("fanout", "SELECT src, count(*) FROM edges GROUP BY src", &schemas, &reg);
+        views.create(v, &store, &reg).unwrap();
+        // Simulate divergence: the table changes behind the catalog's back
+        // (as after a maintenance pass that died before reaching the view).
+        store.append("edges", vec![tuple![5i64, 6i64]]).unwrap();
+        assert_eq!(views.get("fanout").unwrap().len(), 2, "view is stale");
+        views.rebuild_all(&store, &reg).unwrap();
+        assert_eq!(views.get("fanout").unwrap().len(), 3, "rebuilt from current table");
+        assert_eq!(store.get("fanout").unwrap().len(), 3, "stored copy refreshed too");
+    }
+
+    #[test]
+    fn maintenance_cascades_through_views_on_views() {
+        let (store, mut schemas, reg) = setup();
+        let mut views = ViewCatalog::new();
+        let v1 = define("fanout", "SELECT src, count(*) FROM edges GROUP BY src", &schemas, &reg);
+        views.create(v1, &store, &reg).unwrap();
+        schemas.register("fanout", views.get("fanout").unwrap().schema().clone());
+        let v2 = define("hot", "SELECT src FROM fanout WHERE count > 1", &schemas, &reg);
+        views.create(v2, &store, &reg).unwrap();
+        assert_eq!(store.get("hot").unwrap().rows(), &[tuple![0i64]]);
+        // A second edge from node 1 pushes it over the threshold — via the
+        // cascade, not a recompute of `hot`.
+        store.append("edges", vec![tuple![1i64, 9i64]]).unwrap();
+        let touched = views
+            .on_base_change("edges", &[Delta::insert(tuple![1i64, 9i64])], &store, &reg)
+            .unwrap();
+        assert_eq!(touched, vec!["fanout".to_string(), "hot".to_string()]);
+        // Stored copies are stale until sync.
+        assert_eq!(store.get("hot").unwrap().len(), 1);
+        views.sync(&store).unwrap();
+        assert_eq!(store.get("hot").unwrap().rows(), &[tuple![0i64], tuple![1i64]]);
+        // Dropping the upstream view is refused while `hot` reads it.
+        let err = views.drop_view("fanout", &store).unwrap_err();
+        assert!(err.to_string().contains("depend on it"));
+        views.drop_view("hot", &store).unwrap();
+        views.drop_view("fanout", &store).unwrap();
+        assert!(views.is_empty());
+        assert!(!store.contains("fanout"));
+    }
+}

@@ -1,0 +1,173 @@
+//! Signed multisets of tuples — the algebra view maintenance runs on.
+//!
+//! A [`DeltaSet`] maps each tuple to a signed multiplicity: `+n` means the
+//! tuple gained `n` occurrences, `-n` that it lost `n`. Base-table batches,
+//! intermediate operator states, and view contents are all `DeltaSet`s;
+//! propagation is multiplication of multiplicities (joins) and addition
+//! (unions of delta streams), exactly the count algebra the Gupta/Mumick
+//! view-maintenance rules reduce to for `+()` / `-()` annotations.
+
+use rex_core::delta::{Annotation, Delta};
+use rex_core::error::{Result, RexError};
+use rex_core::tuple::Tuple;
+use std::collections::BTreeMap;
+
+/// A signed multiset of tuples. Zero-count entries are pruned eagerly, so
+/// `is_empty()` means "no net change". Ordered internally (`BTreeMap`) so
+/// every traversal — and therefore every maintenance run — is
+/// deterministic.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeltaSet {
+    counts: BTreeMap<Tuple, i64>,
+}
+
+impl DeltaSet {
+    /// The empty set.
+    pub fn new() -> DeltaSet {
+        DeltaSet::default()
+    }
+
+    /// Build from whole rows, each counted once (duplicates accumulate).
+    pub fn from_rows<I: IntoIterator<Item = Tuple>>(rows: I) -> DeltaSet {
+        let mut s = DeltaSet::new();
+        for r in rows {
+            s.add(r, 1);
+        }
+        s
+    }
+
+    /// Build from annotated deltas: `+()` adds, `-()` subtracts, `→(t')`
+    /// subtracts the old tuple and adds the new one. Programmable `δ(E)`
+    /// deltas have no set-level meaning and are rejected.
+    pub fn from_deltas(deltas: &[Delta]) -> Result<DeltaSet> {
+        let mut s = DeltaSet::new();
+        for d in deltas {
+            match &d.ann {
+                Annotation::Insert => s.add(d.tuple.clone(), 1),
+                Annotation::Delete => s.add(d.tuple.clone(), -1),
+                Annotation::Replace(old) => {
+                    s.add(old.clone(), -1);
+                    s.add(d.tuple.clone(), 1);
+                }
+                Annotation::Update(_) => {
+                    return Err(RexError::Plan(
+                        "programmable δ(E) deltas cannot drive view maintenance".into(),
+                    ))
+                }
+            }
+        }
+        Ok(s)
+    }
+
+    /// Adjust a tuple's multiplicity by `n`, pruning zero entries.
+    pub fn add(&mut self, t: Tuple, n: i64) {
+        if n == 0 {
+            return;
+        }
+        match self.counts.entry(t) {
+            std::collections::btree_map::Entry::Occupied(mut o) => {
+                *o.get_mut() += n;
+                if *o.get() == 0 {
+                    o.remove();
+                }
+            }
+            std::collections::btree_map::Entry::Vacant(v) => {
+                v.insert(n);
+            }
+        }
+    }
+
+    /// Add every entry of `other`, scaled by `factor` (`-1` to subtract).
+    pub fn merge_scaled(&mut self, other: &DeltaSet, factor: i64) {
+        for (t, n) in &other.counts {
+            self.add(t.clone(), n * factor);
+        }
+    }
+
+    /// Whether the set carries no net change.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Number of distinct tuples with nonzero multiplicity.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total positive multiplicity — the bag cardinality when all counts
+    /// are non-negative (view contents).
+    pub fn cardinality(&self) -> usize {
+        self.counts.values().filter(|&&n| n > 0).map(|&n| n as usize).sum()
+    }
+
+    /// Iterate `(tuple, signed multiplicity)` in tuple order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Tuple, i64)> {
+        self.counts.iter().map(|(t, &n)| (t, n))
+    }
+
+    /// Expand to rows (each tuple repeated by its positive multiplicity),
+    /// in sorted order — the bag a query over the view observes.
+    pub fn rows(&self) -> Vec<Tuple> {
+        let mut out = Vec::with_capacity(self.cardinality());
+        for (t, &n) in &self.counts {
+            for _ in 0..n.max(0) {
+                out.push(t.clone());
+            }
+        }
+        out
+    }
+
+    /// Render as annotated deltas (`+()`×n / `-()`×n per tuple).
+    pub fn to_deltas(&self) -> Vec<Delta> {
+        let mut out = Vec::new();
+        for (t, &n) in &self.counts {
+            for _ in 0..n.abs() {
+                out.push(if n > 0 { Delta::insert(t.clone()) } else { Delta::delete(t.clone()) });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rex_core::tuple;
+    use rex_core::value::Value;
+
+    #[test]
+    fn add_prunes_cancellations() {
+        let mut s = DeltaSet::new();
+        s.add(tuple![1i64], 2);
+        s.add(tuple![1i64], -2);
+        assert!(s.is_empty());
+        s.add(tuple![2i64], -1);
+        assert_eq!(s.distinct(), 1);
+        assert_eq!(s.cardinality(), 0, "negative counts carry no rows");
+    }
+
+    #[test]
+    fn from_deltas_applies_annotation_algebra() {
+        let s = DeltaSet::from_deltas(&[
+            Delta::insert(tuple![1i64]),
+            Delta::insert(tuple![1i64]),
+            Delta::delete(tuple![2i64]),
+            Delta::replace(tuple![1i64], tuple![3i64]),
+        ])
+        .unwrap();
+        assert_eq!(s.rows(), vec![tuple![1i64], tuple![3i64]]);
+        let err = DeltaSet::from_deltas(&[Delta::update(tuple![1i64], Value::Int(1))]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn rows_expand_multiplicity_sorted() {
+        let mut s = DeltaSet::from_rows(vec![tuple![2i64], tuple![1i64], tuple![2i64]]);
+        assert_eq!(s.rows(), vec![tuple![1i64], tuple![2i64], tuple![2i64]]);
+        let mut d = DeltaSet::new();
+        d.add(tuple![2i64], -1);
+        s.merge_scaled(&d, 1);
+        assert_eq!(s.rows(), vec![tuple![1i64], tuple![2i64]]);
+        assert_eq!(d.to_deltas(), vec![Delta::delete(tuple![2i64])]);
+    }
+}

@@ -1,0 +1,36 @@
+//! # rex-views
+//!
+//! Incrementally maintained materialized views, driven by the same delta
+//! machinery (`+()`, `-()`, `→(t')` — Definition 1 of the paper) the REX
+//! engine uses for recursive dataflow.
+//!
+//! `CREATE MATERIALIZED VIEW v AS <query>` resolves the defining query to
+//! a [`LogicalPlan`](rex_rql::logical::LogicalPlan) and picks a
+//! [`MaintenanceStrategy`]:
+//!
+//! * **incremental** — a [`MaintNode`](maintain::MaintNode) tree mirrors
+//!   the plan; each base-table insert/delete batch becomes a
+//!   [`DeltaSet`] and propagates through the select/project/join/group-by
+//!   delta rules, touching state proportional to the *change*;
+//! * **full recompute** — recursive (`WITH … UNTIL FIXPOINT`) and
+//!   handler-defined shapes re-run the defining query, diffing old vs new
+//!   output so cascades still see deltas.
+//!
+//! The [`ViewCatalog`] tracks which views read which tables (so dropping
+//! a base table can be refused), cascades deltas through views defined
+//! over other views, and lazily publishes view contents into the session's
+//! stored-table catalog — which is how scans of a view name work unchanged
+//! on every engine and how the optimizer sees view cardinalities.
+//!
+//! The session facade (`rex::Session`) wires this crate to RQL DDL and to
+//! `insert`/`delete`; see the root crate's "Materialized views" docs for
+//! the end-to-end story.
+
+pub mod catalog;
+pub mod delta_set;
+pub mod maintain;
+pub mod view;
+
+pub use catalog::ViewCatalog;
+pub use delta_set::DeltaSet;
+pub use view::{evaluate, MaintenanceStrategy, MaterializedView};

@@ -1,0 +1,422 @@
+//! The incremental maintenance plan: a stateful mirror of a logical plan
+//! that converts base-table delta batches into view-output deltas.
+//!
+//! Each stateful operator applies the classic view-maintenance delta rules
+//! (Gupta/Mumick), specialized to the `+()` / `-()` count algebra of
+//! [`DeltaSet`](crate::delta_set::DeltaSet):
+//!
+//! * **Scan** — the leaf: emits the batch when it targets this table;
+//! * **Filter / Project** — stateless, per-tuple mapping of deltas;
+//! * **Join** — materializes both inputs keyed by the join key and computes
+//!   `Δ(L ⋈ R) = ΔL ⋈ R_old + L_new ⋈ ΔR` (which expands to the textbook
+//!   `ΔL ⋈ R + L ⋈ ΔR + ΔL ⋈ ΔR`, so self-joins — both children delta-ing
+//!   in one batch — stay correct);
+//! * **Aggregate** — materializes its input grouped by the grouping key and
+//!   re-derives *only the dirty groups*, diffing against what each group
+//!   last emitted.
+//!
+//! Shapes the rules don't cover — recursive fixpoints, user join delta
+//! handlers, table-valued UDAs — fail [`build`] with a descriptive error;
+//! the view layer responds by falling back to full recomputation.
+
+use crate::delta_set::DeltaSet;
+use rex_core::delta::Delta;
+use rex_core::error::{Result, RexError};
+use rex_core::expr::{eval_predicate, Expr};
+use rex_core::handlers::AggOutputKind;
+use rex_core::tuple::Tuple;
+use rex_core::udf::Registry;
+use rex_core::value::Value;
+use rex_rql::logical::{AggCall, LogicalPlan};
+use std::collections::{BTreeMap, BTreeSet};
+
+type Key = Vec<Value>;
+/// Join-side state: the input multiset bucketed by join key.
+type KeyedState = BTreeMap<Key, DeltaSet>;
+
+/// A node of the maintenance plan. Stateful nodes own the materializations
+/// the delta rules need; the tree is primed by replaying each base table's
+/// current contents as an insert batch.
+#[derive(Debug)]
+pub enum MaintNode {
+    /// Base-table leaf (table name lowercased).
+    Scan {
+        /// The scanned table, lowercase.
+        table: String,
+    },
+    /// Stateless selection.
+    Filter {
+        /// Child node.
+        input: Box<MaintNode>,
+        /// Row predicate.
+        predicate: Expr,
+    },
+    /// Stateless projection.
+    Project {
+        /// Child node.
+        input: Box<MaintNode>,
+        /// Output expressions.
+        exprs: Vec<Expr>,
+    },
+    /// Equi-join (empty keys = cross join) with both sides materialized.
+    Join {
+        /// Left child.
+        left: Box<MaintNode>,
+        /// Right child.
+        right: Box<MaintNode>,
+        /// Left key columns.
+        left_key: Vec<usize>,
+        /// Right key columns (relative to the right schema).
+        right_key: Vec<usize>,
+        /// Materialized left input, bucketed by key.
+        left_state: KeyedState,
+        /// Materialized right input, bucketed by key.
+        right_state: KeyedState,
+    },
+    /// Group-by with dirty-group re-derivation.
+    Aggregate {
+        /// Child node.
+        input: Box<MaintNode>,
+        /// Grouping columns (input indices).
+        group_cols: Vec<usize>,
+        /// Aggregate calls.
+        aggs: Vec<AggCall>,
+        /// Post-aggregation projection over `group cols ++ agg results`.
+        post: Option<Vec<Expr>>,
+        /// Materialized input rows per group.
+        groups: BTreeMap<Key, DeltaSet>,
+        /// What each group currently contributes to the output.
+        emitted: BTreeMap<Key, DeltaSet>,
+    },
+}
+
+/// Build a maintenance plan for `plan`, or explain why the plan is not
+/// incrementally maintainable (the caller then falls back to full
+/// recomputation).
+pub fn build(plan: &LogicalPlan, reg: &Registry) -> Result<MaintNode> {
+    match plan {
+        LogicalPlan::Scan { table, .. } => {
+            Ok(MaintNode::Scan { table: table.to_ascii_lowercase() })
+        }
+        LogicalPlan::FixpointRef { .. } | LogicalPlan::Fixpoint { .. } => Err(RexError::Plan(
+            "recursive fixpoint: delta rules do not cover WITH ... UNTIL FIXPOINT".into(),
+        )),
+        LogicalPlan::Filter { input, predicate } => Ok(MaintNode::Filter {
+            input: Box::new(build(input, reg)?),
+            predicate: predicate.clone(),
+        }),
+        LogicalPlan::Project { input, exprs, .. } => {
+            Ok(MaintNode::Project { input: Box::new(build(input, reg)?), exprs: exprs.clone() })
+        }
+        LogicalPlan::Join { left, right, left_key, right_key, handler, .. } => {
+            if let Some(h) = handler {
+                return Err(RexError::Plan(format!(
+                    "user join delta handler {h}: maintenance semantics are handler-defined"
+                )));
+            }
+            Ok(MaintNode::Join {
+                left: Box::new(build(left, reg)?),
+                right: Box::new(build(right, reg)?),
+                left_key: left_key.clone(),
+                right_key: right_key.clone(),
+                left_state: KeyedState::new(),
+                right_state: KeyedState::new(),
+            })
+        }
+        LogicalPlan::Aggregate { input, group_cols, aggs, post, .. } => {
+            for a in aggs {
+                if reg.agg(&a.func)?.output_kind() == AggOutputKind::TableValued {
+                    return Err(RexError::Plan(format!(
+                        "table-valued aggregate {}: output shape is handler-defined",
+                        a.func
+                    )));
+                }
+            }
+            Ok(MaintNode::Aggregate {
+                input: Box::new(build(input, reg)?),
+                group_cols: group_cols.clone(),
+                aggs: aggs.clone(),
+                post: post.clone(),
+                groups: BTreeMap::new(),
+                emitted: BTreeMap::new(),
+            })
+        }
+    }
+}
+
+impl MaintNode {
+    /// Propagate a batch of changes to `table` through this subtree,
+    /// returning the delta of this subtree's output and updating internal
+    /// materializations along the way.
+    pub fn apply(&mut self, table: &str, batch: &DeltaSet, reg: &Registry) -> Result<DeltaSet> {
+        match self {
+            MaintNode::Scan { table: t } => {
+                Ok(if t == table { batch.clone() } else { DeltaSet::new() })
+            }
+            MaintNode::Filter { input, predicate } => {
+                let din = input.apply(table, batch, reg)?;
+                let mut out = DeltaSet::new();
+                for (t, n) in din.iter() {
+                    if eval_predicate(predicate, t, reg)? {
+                        out.add(t.clone(), n);
+                    }
+                }
+                Ok(out)
+            }
+            MaintNode::Project { input, exprs } => {
+                let din = input.apply(table, batch, reg)?;
+                let mut out = DeltaSet::new();
+                for (t, n) in din.iter() {
+                    let mut vals = Vec::with_capacity(exprs.len());
+                    for e in exprs.iter() {
+                        vals.push(e.eval(t, reg)?);
+                    }
+                    out.add(Tuple::new(vals), n);
+                }
+                Ok(out)
+            }
+            MaintNode::Join { left, right, left_key, right_key, left_state, right_state } => {
+                let dl = left.apply(table, batch, reg)?;
+                let dr = right.apply(table, batch, reg)?;
+                let mut out = DeltaSet::new();
+                // ΔL ⋈ R_old
+                for (t, m) in dl.iter() {
+                    if let Some(bucket) = right_state.get(&t.key(left_key)) {
+                        for (u, n) in bucket.iter() {
+                            out.add(t.concat(u), m * n);
+                        }
+                    }
+                }
+                fold_into(left_state, &dl, left_key);
+                // L_new ⋈ ΔR  (= L_old ⋈ ΔR + ΔL ⋈ ΔR)
+                for (u, n) in dr.iter() {
+                    if let Some(bucket) = left_state.get(&u.key(right_key)) {
+                        for (t, m) in bucket.iter() {
+                            out.add(t.concat(u), m * n);
+                        }
+                    }
+                }
+                fold_into(right_state, &dr, right_key);
+                Ok(out)
+            }
+            MaintNode::Aggregate { input, group_cols, aggs, post, groups, emitted } => {
+                let din = input.apply(table, batch, reg)?;
+                let mut dirty: BTreeSet<Key> = BTreeSet::new();
+                for (t, n) in din.iter() {
+                    let k = t.key(group_cols);
+                    groups.entry(k.clone()).or_default().add(t.clone(), n);
+                    dirty.insert(k);
+                }
+                let mut out = DeltaSet::new();
+                for k in dirty {
+                    let new_out = match groups.get(&k) {
+                        Some(g) if !g.is_empty() => derive_group(&k, g, aggs, post, reg)?,
+                        _ => {
+                            groups.remove(&k);
+                            DeltaSet::new()
+                        }
+                    };
+                    if let Some(old) = emitted.remove(&k) {
+                        out.merge_scaled(&old, -1);
+                    }
+                    out.merge_scaled(&new_out, 1);
+                    if !new_out.is_empty() {
+                        emitted.insert(k, new_out);
+                    }
+                }
+                Ok(out)
+            }
+        }
+    }
+
+    /// Approximate bytes held in materializations (diagnostics).
+    pub fn state_bytes(&self) -> usize {
+        match self {
+            MaintNode::Scan { .. } => 0,
+            MaintNode::Filter { input, .. } | MaintNode::Project { input, .. } => {
+                input.state_bytes()
+            }
+            MaintNode::Join { left, right, left_state, right_state, .. } => {
+                let side = |s: &KeyedState| -> usize {
+                    s.values().flat_map(|b| b.iter().map(|(t, _)| t.byte_size())).sum::<usize>()
+                };
+                left.state_bytes() + right.state_bytes() + side(left_state) + side(right_state)
+            }
+            MaintNode::Aggregate { input, groups, .. } => {
+                input.state_bytes()
+                    + groups
+                        .values()
+                        .flat_map(|g| g.iter().map(|(t, _)| t.byte_size()))
+                        .sum::<usize>()
+            }
+        }
+    }
+}
+
+/// Fold a delta into one join side's keyed state, pruning empty buckets.
+fn fold_into(state: &mut KeyedState, delta: &DeltaSet, key: &[usize]) {
+    for (t, n) in delta.iter() {
+        let k = t.key(key);
+        let bucket = state.entry(k.clone()).or_default();
+        bucket.add(t.clone(), n);
+        if bucket.is_empty() {
+            state.remove(&k);
+        }
+    }
+}
+
+/// Re-derive one group's output rows from its materialized input: run each
+/// aggregate handler over the group's rows, compose `key ++ results`, and
+/// apply the post-projection — mirroring the engine's group-by flush.
+fn derive_group(
+    key: &Key,
+    group: &DeltaSet,
+    aggs: &[AggCall],
+    post: &Option<Vec<Expr>>,
+    reg: &Registry,
+) -> Result<DeltaSet> {
+    let mut vals = key.clone();
+    for a in aggs {
+        let handler = reg.agg(&a.func)?;
+        let mut state = handler.init();
+        for (t, n) in group.iter() {
+            if n < 0 {
+                return Err(RexError::Exec(format!(
+                    "view maintenance: negative multiplicity for {t} in group {key:?}"
+                )));
+            }
+            let projected = t.project(&a.input_cols);
+            for _ in 0..n {
+                handler.agg_state(&mut state, &Delta::insert(projected.clone()))?;
+            }
+        }
+        let mut results = handler.agg_result(&state)?;
+        vals.push(match results.pop() {
+            Some(d) => d.tuple.get(0).clone(),
+            None => Value::Null,
+        });
+    }
+    let raw = Tuple::new(vals);
+    let row = match post {
+        None => raw,
+        Some(exprs) => {
+            let mut out = Vec::with_capacity(exprs.len());
+            for e in exprs {
+                out.push(e.eval(&raw, reg)?);
+            }
+            Tuple::new(out)
+        }
+    };
+    let mut set = DeltaSet::new();
+    set.add(row, 1);
+    Ok(set)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rex_core::tuple;
+    use rex_core::tuple::Schema;
+    use rex_core::value::DataType;
+    use rex_rql::logical::plan_text;
+    use rex_rql::SchemaCatalog;
+
+    fn catalog() -> SchemaCatalog {
+        let mut c = SchemaCatalog::new();
+        c.register("edges", Schema::of(&[("src", DataType::Int), ("dst", DataType::Int)]));
+        c.register("weights", Schema::of(&[("node", DataType::Int), ("w", DataType::Double)]));
+        c
+    }
+
+    fn node(sql: &str) -> MaintNode {
+        let reg = Registry::with_builtins();
+        build(&plan_text(sql, &catalog(), &reg).unwrap(), &reg).unwrap()
+    }
+
+    fn inserts(rows: Vec<Tuple>) -> DeltaSet {
+        DeltaSet::from_rows(rows)
+    }
+
+    #[test]
+    fn filter_project_propagate_per_tuple() {
+        let reg = Registry::with_builtins();
+        let mut n = node("SELECT dst FROM edges WHERE src = 0");
+        let out =
+            n.apply("edges", &inserts(vec![tuple![0i64, 1i64], tuple![5i64, 6i64]]), &reg).unwrap();
+        assert_eq!(out.rows(), vec![tuple![1i64]]);
+        // Deleting the matching row retracts its projection.
+        let mut del = DeltaSet::new();
+        del.add(tuple![0i64, 1i64], -1);
+        let out = n.apply("edges", &del, &reg).unwrap();
+        assert_eq!(out.to_deltas(), vec![Delta::delete(tuple![1i64])]);
+    }
+
+    #[test]
+    fn join_maintains_both_sides_incrementally() {
+        let reg = Registry::with_builtins();
+        let mut n =
+            node("SELECT edges.dst, weights.w FROM edges, weights WHERE edges.dst = weights.node");
+        let out = n.apply("edges", &inserts(vec![tuple![0i64, 1i64]]), &reg).unwrap();
+        assert!(out.is_empty(), "no matching right rows yet");
+        let out = n.apply("weights", &inserts(vec![tuple![1i64, 0.5f64]]), &reg).unwrap();
+        assert_eq!(out.rows(), vec![tuple![1i64, 0.5f64]]);
+        // New left row joins the stored right side.
+        let out = n.apply("edges", &inserts(vec![tuple![7i64, 1i64]]), &reg).unwrap();
+        assert_eq!(out.rows(), vec![tuple![1i64, 0.5f64]]);
+        // Deleting the right row retracts both join results.
+        let mut del = DeltaSet::new();
+        del.add(tuple![1i64, 0.5f64], -1);
+        let out = n.apply("weights", &del, &reg).unwrap();
+        assert_eq!(out.rows().len(), 0);
+        assert_eq!(out.iter().map(|(_, n)| n).sum::<i64>(), -2);
+    }
+
+    #[test]
+    fn self_join_handles_same_batch_on_both_sides() {
+        let reg = Registry::with_builtins();
+        // edges ⋈ edges on dst = src: 2-hop paths.
+        let mut n = node("SELECT a.src, b.dst FROM edges a, edges b WHERE a.dst = b.src");
+        let out =
+            n.apply("edges", &inserts(vec![tuple![0i64, 1i64], tuple![1i64, 2i64]]), &reg).unwrap();
+        // Both sides changed in one batch: the ΔL ⋈ ΔR term must fire.
+        assert_eq!(out.rows(), vec![tuple![0i64, 2i64]]);
+        let out = n.apply("edges", &inserts(vec![tuple![2i64, 3i64]]), &reg).unwrap();
+        assert_eq!(out.rows(), vec![tuple![1i64, 3i64]]);
+    }
+
+    #[test]
+    fn aggregate_rederives_only_dirty_groups() {
+        let reg = Registry::with_builtins();
+        let mut n = node("SELECT src, count(*), sum(dst) FROM edges GROUP BY src");
+        let out = n
+            .apply(
+                "edges",
+                &inserts(vec![tuple![0i64, 1i64], tuple![0i64, 2i64], tuple![9i64, 4i64]]),
+                &reg,
+            )
+            .unwrap();
+        assert_eq!(out.rows(), vec![tuple![0i64, 2i64, 3.0f64], tuple![9i64, 1i64, 4.0f64]]);
+        // Delete the only row of group 9: its output row disappears.
+        let mut del = DeltaSet::new();
+        del.add(tuple![9i64, 4i64], -1);
+        let out = n.apply("edges", &del, &reg).unwrap();
+        assert_eq!(out.to_deltas(), vec![Delta::delete(tuple![9i64, 1i64, 4.0f64])]);
+        // Group 0 untouched → no deltas for it.
+        let out = n.apply("edges", &inserts(vec![tuple![0i64, 3i64]]), &reg).unwrap();
+        assert_eq!(out.iter().count(), 2, "old row out, new row in");
+    }
+
+    #[test]
+    fn unsupported_shapes_name_their_reason() {
+        let reg = Registry::with_builtins();
+        let rec = plan_text(
+            "WITH R (a) AS (SELECT src FROM edges)
+             UNION UNTIL FIXPOINT BY a (SELECT edges.dst FROM edges, R WHERE edges.src = R.a)",
+            &catalog(),
+            &reg,
+        )
+        .unwrap();
+        let err = build(&rec, &reg).unwrap_err();
+        assert!(err.to_string().contains("recursive fixpoint"));
+    }
+}

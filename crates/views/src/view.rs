@@ -1,0 +1,265 @@
+//! A single materialized view: definition, strategy, and maintained state.
+
+use crate::delta_set::DeltaSet;
+use crate::maintain::{build, MaintNode};
+use rex_core::error::Result;
+use rex_core::exec::LocalRuntime;
+use rex_core::tuple::{Schema, Tuple};
+use rex_core::udf::Registry;
+use rex_rql::logical::LogicalPlan;
+use rex_rql::lower::lower;
+use rex_rql::provider::CatalogProvider;
+use rex_rql::{RqlError, RqlStage};
+use rex_storage::catalog::Catalog;
+use std::fmt;
+
+/// How a view is kept consistent with its base tables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MaintenanceStrategy {
+    /// Delta batches propagate through a maintenance plan; cost scales
+    /// with the size of the change, not the size of the data.
+    Incremental,
+    /// The defining query re-runs on every base-table change. Chosen
+    /// automatically when the delta rules do not cover the plan shape.
+    FullRecompute {
+        /// Why incremental maintenance was not possible.
+        reason: String,
+    },
+}
+
+impl fmt::Display for MaintenanceStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MaintenanceStrategy::Incremental => f.write_str("incremental delta propagation"),
+            MaintenanceStrategy::FullRecompute { reason } => {
+                write!(f, "full recompute ({reason})")
+            }
+        }
+    }
+}
+
+/// An incrementally maintained materialized view: the resolved defining
+/// plan plus whatever state its maintenance strategy needs.
+pub struct MaterializedView {
+    name: String,
+    sql: String,
+    plan: LogicalPlan,
+    schema: Schema,
+    base_tables: Vec<String>,
+    strategy: MaintenanceStrategy,
+    maint: Option<MaintNode>,
+    output: DeltaSet,
+}
+
+impl MaterializedView {
+    /// Define a view over an already-resolved plan. The maintenance
+    /// strategy is chosen here: incremental when the delta rules cover the
+    /// plan, full recompute otherwise.
+    pub fn define(
+        name: impl Into<String>,
+        sql: impl Into<String>,
+        plan: LogicalPlan,
+        reg: &Registry,
+    ) -> MaterializedView {
+        let (maint, strategy) = match build(&plan, reg) {
+            Ok(node) => (Some(node), MaintenanceStrategy::Incremental),
+            Err(e) => (None, MaintenanceStrategy::FullRecompute { reason: e.to_string() }),
+        };
+        MaterializedView {
+            name: name.into(),
+            sql: sql.into(),
+            schema: plan.schema().clone(),
+            base_tables: plan.referenced_tables(),
+            plan,
+            strategy,
+            maint,
+            output: DeltaSet::new(),
+        }
+    }
+
+    /// The view's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The definition text the view was created from.
+    pub fn sql(&self) -> &str {
+        &self.sql
+    }
+
+    /// The view's output schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The resolved defining plan.
+    pub fn plan(&self) -> &LogicalPlan {
+        &self.plan
+    }
+
+    /// The chosen maintenance strategy.
+    pub fn strategy(&self) -> &MaintenanceStrategy {
+        &self.strategy
+    }
+
+    /// The base relations (lowercased, sorted) the view reads.
+    pub fn base_tables(&self) -> &[String] {
+        &self.base_tables
+    }
+
+    /// Whether the view reads `table` (directly).
+    pub fn depends_on(&self, table: &str) -> bool {
+        self.base_tables.contains(&table.to_ascii_lowercase())
+    }
+
+    /// Current contents, sorted (the bag a scan of the view observes).
+    pub fn rows(&self) -> Vec<Tuple> {
+        self.output.rows()
+    }
+
+    /// Current cardinality.
+    pub fn len(&self) -> usize {
+        self.output.cardinality()
+    }
+
+    /// Whether the view is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Approximate bytes of maintenance state (diagnostics).
+    pub fn state_bytes(&self) -> usize {
+        self.maint.as_ref().map(MaintNode::state_bytes).unwrap_or(0)
+    }
+
+    /// Populate the view from the current store contents. Incremental
+    /// views prime by replaying each base table as one insert batch through
+    /// the maintenance plan — the same code path later changes take — so
+    /// priming exercises exactly the machinery maintenance relies on.
+    pub fn prime(&mut self, store: &Catalog, reg: &Registry) -> Result<()> {
+        match &mut self.maint {
+            Some(node) => {
+                for table in self.base_tables.clone() {
+                    let batch = DeltaSet::from_rows(store.get(&table)?.rows().iter().cloned());
+                    let out = node.apply(&table, &batch, reg)?;
+                    self.output.merge_scaled(&out, 1);
+                }
+                Ok(())
+            }
+            None => {
+                self.output = DeltaSet::from_rows(evaluate(&self.plan, store, reg)?);
+                Ok(())
+            }
+        }
+    }
+
+    /// Discard all maintained state and contents and re-populate from the
+    /// current store — the consistency repair a session runs when a
+    /// maintenance pass fails partway through.
+    pub fn rebuild(&mut self, store: &Catalog, reg: &Registry) -> Result<()> {
+        self.output = DeltaSet::new();
+        if matches!(self.strategy, MaintenanceStrategy::Incremental) {
+            self.maint = Some(build(&self.plan, reg)?);
+        }
+        self.prime(store, reg)
+    }
+
+    /// Apply a batch of changes to base relation `table`, returning the
+    /// delta of the view's own output (for cascading to views that read
+    /// this view). `store` must already reflect the change.
+    pub fn on_change(
+        &mut self,
+        table: &str,
+        batch: &DeltaSet,
+        store: &Catalog,
+        reg: &Registry,
+    ) -> Result<DeltaSet> {
+        match &mut self.maint {
+            Some(node) => {
+                let out = node.apply(&table.to_ascii_lowercase(), batch, reg)?;
+                self.output.merge_scaled(&out, 1);
+                Ok(out)
+            }
+            None => {
+                let fresh = DeltaSet::from_rows(evaluate(&self.plan, store, reg)?);
+                let mut diff = fresh.clone();
+                diff.merge_scaled(&self.output, -1);
+                self.output = fresh;
+                Ok(diff)
+            }
+        }
+    }
+}
+
+/// Evaluate a plan against the store on the single-node runtime — the
+/// recompute fallback (and the oracle incremental maintenance must match).
+pub fn evaluate(plan: &LogicalPlan, store: &Catalog, reg: &Registry) -> Result<Vec<Tuple>> {
+    let provider = CatalogProvider::new(store.clone());
+    let graph = lower(plan, &provider, reg).map_err(|e| RqlError::at(RqlStage::Lower, e))?;
+    let rt = LocalRuntime::with_registry(reg.clone());
+    let (rows, _report) = rt.run(graph)?;
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rex_core::tuple;
+    use rex_core::value::DataType;
+    use rex_rql::logical::plan_text;
+    use rex_rql::SchemaCatalog;
+    use rex_storage::table::StoredTable;
+
+    fn setup() -> (Catalog, SchemaCatalog, Registry) {
+        let store = Catalog::new();
+        let schema = Schema::of(&[("src", DataType::Int), ("dst", DataType::Int)]);
+        let mut t = StoredTable::new("edges", schema.clone(), vec![0]);
+        t.load(vec![tuple![0i64, 1i64], tuple![1i64, 2i64], tuple![0i64, 2i64]]).unwrap();
+        store.register(t);
+        let mut schemas = SchemaCatalog::new();
+        schemas.register("edges", schema);
+        (store, schemas, Registry::with_builtins())
+    }
+
+    #[test]
+    fn incremental_view_primes_and_tracks_changes() {
+        let (store, schemas, reg) = setup();
+        let sql = "SELECT src, count(*) FROM edges GROUP BY src";
+        let plan = plan_text(sql, &schemas, &reg).unwrap();
+        let mut v = MaterializedView::define("fanout", sql, plan, &reg);
+        assert_eq!(*v.strategy(), MaintenanceStrategy::Incremental);
+        assert_eq!(v.base_tables(), &["edges".to_string()]);
+        v.prime(&store, &reg).unwrap();
+        assert_eq!(v.rows(), vec![tuple![0i64, 2i64], tuple![1i64, 1i64]]);
+        // An insert batch shifts only the touched group.
+        store.append("edges", vec![tuple![1i64, 3i64]]).unwrap();
+        let out = v
+            .on_change("edges", &DeltaSet::from_rows(vec![tuple![1i64, 3i64]]), &store, &reg)
+            .unwrap();
+        assert_eq!(out.iter().count(), 2);
+        assert_eq!(v.rows(), vec![tuple![0i64, 2i64], tuple![1i64, 2i64]]);
+        assert!(v.state_bytes() > 0);
+    }
+
+    #[test]
+    fn recursive_view_falls_back_to_recompute() {
+        let (store, schemas, reg) = setup();
+        let sql = "WITH R (id) AS (SELECT src FROM edges WHERE src = 0)
+                   UNION UNTIL FIXPOINT BY id (
+                     SELECT edges.dst FROM edges, R WHERE edges.src = R.id)";
+        let plan = plan_text(sql, &schemas, &reg).unwrap();
+        let mut v = MaterializedView::define("reach", sql, plan, &reg);
+        assert!(matches!(v.strategy(), MaintenanceStrategy::FullRecompute { .. }));
+        assert!(v.strategy().to_string().contains("recursive fixpoint"));
+        v.prime(&store, &reg).unwrap();
+        assert_eq!(v.rows(), vec![tuple![0i64], tuple![1i64], tuple![2i64]]);
+        // A new edge extends reachability; recompute picks it up and the
+        // emitted diff carries exactly the new row.
+        store.append("edges", vec![tuple![2i64, 7i64]]).unwrap();
+        let out = v
+            .on_change("edges", &DeltaSet::from_rows(vec![tuple![2i64, 7i64]]), &store, &reg)
+            .unwrap();
+        assert_eq!(out.rows(), vec![tuple![7i64]]);
+        assert_eq!(v.len(), 4);
+    }
+}

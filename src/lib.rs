@@ -54,12 +54,49 @@
 //! [`QueryReport`](core::metrics::QueryReport), the optimizer's cost
 //! estimate, and — for distributed runs — per-worker cluster stats.
 //!
+//! ## Materialized views & incremental maintenance
+//!
+//! Deltas are REX's substrate, and materialized views are the workload
+//! where they pay off directly: `CREATE MATERIALIZED VIEW v AS <query>`
+//! materializes the query once, and every subsequent
+//! [`Session::insert`] / [`Session::delete`] batch propagates through the
+//! view's *maintenance plan* — the select/project/join/group-by delta
+//! rules of the [`views`] crate — touching state proportional to the
+//! change, not the data. Recursive (`WITH … UNTIL FIXPOINT`) definitions
+//! fall back to full recomputation automatically; `explain` on the DDL
+//! shows which strategy a view gets. Scans of a view name answer from
+//! materialized state on *any* engine, views can be defined over other
+//! views (deltas cascade), and `drop_table` refuses while a view still
+//! reads the table.
+//!
+//! ```
+//! use rex::Session;
+//! use rex::core::tuple::{Schema, Tuple};
+//! use rex::core::value::{DataType, Value};
+//!
+//! let mut s = Session::local();
+//! s.create_table("orders", Schema::of(&[("cust", DataType::Str), ("amt", DataType::Double)]))
+//!     .unwrap();
+//! s.insert("orders", vec![Tuple::new(vec![Value::str("ada"), Value::Double(10.0)])]).unwrap();
+//! s.query("CREATE MATERIALIZED VIEW spend AS \
+//!          SELECT cust, sum(amt) FROM orders GROUP BY cust").unwrap();
+//! // The insert maintains the view incrementally; the scan reads state.
+//! s.insert("orders", vec![Tuple::new(vec![Value::str("ada"), Value::Double(5.0)])]).unwrap();
+//! let r = s.query("SELECT sum FROM spend").unwrap();
+//! assert_eq!(r.rows[0].get(0), &Value::Double(15.0));
+//! ```
+//!
+//! `cargo run --example incremental_views` walks the full lifecycle, and
+//! `cargo run --release -p rex-bench --bin ivm_maintenance` measures
+//! maintenance against per-batch recomputation (`BENCH_ivm.json`).
+//!
 //! ## Workspace layout
 //!
 //! * [`core`] — deltas, operators, the execution engine;
 //! * [`storage`] — partitioned replicated tables, snapshots, checkpoints;
 //! * [`cluster`] — the distributed runtime with incremental recovery;
-//! * [`rql`] — the RQL language (SQL + fixpoint recursion + UDAs);
+//! * [`rql`] — the RQL language (SQL + fixpoint recursion + UDAs + view DDL);
+//! * [`views`] — incrementally maintained materialized views;
 //! * [`optimizer`] — cost-based top-down optimization;
 //! * [`hadoop`] — the MapReduce/HaLoop simulator used as a baseline;
 //! * [`dbms`] — the accumulate-only recursive-SQL "DBMS X" baseline;
@@ -85,3 +122,4 @@ pub use rex_hadoop as hadoop;
 pub use rex_optimizer as optimizer;
 pub use rex_rql as rql;
 pub use rex_storage as storage;
+pub use rex_views as views;

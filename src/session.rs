@@ -32,16 +32,20 @@
 //! ```
 
 use crate::engine::{ClusterEngine, ClusterStats, Engine, EngineContext, LocalEngine};
+use rex_core::delta::Delta;
 use rex_core::error::{Result, RexError};
 use rex_core::handlers::{AggHandler, JoinHandler, WhileHandler};
 use rex_core::metrics::{QueryReport, ReportSummary};
 use rex_core::tuple::{Schema, Tuple};
 use rex_core::udf::{Registry, ScalarUdf};
-use rex_optimizer::{Optimizer, PlanCost};
+use rex_optimizer::{Optimizer, PlanCost, ResourceVector};
+use rex_rql::ast::{Query, Statement};
 use rex_rql::logical::LogicalPlan;
 use rex_rql::resolve::SchemaCatalog;
+use rex_rql::{RqlError, RqlStage};
 use rex_storage::catalog::Catalog;
 use rex_storage::table::StoredTable;
+use rex_views::{MaterializedView, ViewCatalog};
 use std::sync::Arc;
 
 /// The unified result of [`Session::query`]: rows plus execution
@@ -85,6 +89,7 @@ pub struct Session {
     registry: Registry,
     optimizer: Optimizer,
     engine: Box<dyn Engine>,
+    views: ViewCatalog,
 }
 
 impl Session {
@@ -110,6 +115,7 @@ impl Session {
             registry: Registry::with_builtins(),
             optimizer: Optimizer::new(n),
             engine,
+            views: ViewCatalog::new(),
         }
     }
 
@@ -157,18 +163,101 @@ impl Session {
 
     /// Append rows to a table (validated against its schema; a bad batch
     /// leaves the table unchanged). Returns the number of rows inserted.
+    /// Materialized views reading the table are maintained incrementally
+    /// from the batch's `+()` deltas. If view *maintenance* fails after
+    /// the append validated, the rows stay committed — do not retry the
+    /// batch — and every view is rebuilt from the current tables before
+    /// the error is returned (the message says whether rebuild succeeded).
     pub fn insert(&mut self, table: &str, rows: Vec<Tuple>) -> Result<usize> {
-        self.store.append(table, rows)
+        if self.views.contains(table) {
+            return Err(RexError::Storage(format!("cannot insert into materialized view {table}")));
+        }
+        let deltas: Vec<Delta> = if self.views.reads(table) {
+            rows.iter().cloned().map(Delta::insert).collect()
+        } else {
+            Vec::new()
+        };
+        let n = self.store.append(table, rows)?;
+        self.maintain_views(table, &deltas)?;
+        Ok(n)
     }
 
-    /// Drop a table; returns whether it existed.
-    pub fn drop_table(&mut self, name: &str) -> bool {
-        self.store.drop_table(name)
+    /// Delete one occurrence of each given row (whole-batch validation,
+    /// mirroring [`insert`](Self::insert): a bad batch — wrong schema or a
+    /// row not stored with sufficient multiplicity — leaves the table
+    /// unchanged). Materialized views reading the table are maintained
+    /// from the batch's `-()` deltas. Returns the number of rows deleted.
+    /// As with [`insert`](Self::insert), a *maintenance* failure leaves
+    /// the deletion committed and rebuilds the views before erroring.
+    pub fn delete(&mut self, table: &str, rows: Vec<Tuple>) -> Result<usize> {
+        if self.views.contains(table) {
+            return Err(RexError::Storage(format!("cannot delete from materialized view {table}")));
+        }
+        let n = self.store.remove(table, &rows)?;
+        let deltas: Vec<Delta> = rows.into_iter().map(Delta::delete).collect();
+        self.maintain_views(table, &deltas)?;
+        Ok(n)
     }
 
-    /// Number of rows currently stored in `table`.
+    /// Delete every row of `table` matching an RQL predicate (the `WHERE`
+    /// body, e.g. `"dst > 3 AND src = 0"`). Returns the number deleted.
+    pub fn delete_where(&mut self, table: &str, predicate: &str) -> Result<usize> {
+        let sql = format!("SELECT * FROM {table} WHERE {predicate}");
+        let logical = rex_rql::plan_rql(&sql, &self.schemas, &self.registry)?;
+        let matching = rex_views::evaluate(&logical, &self.store, &self.registry)?;
+        self.delete(table, matching)
+    }
+
+    /// Drop a table. Typed errors distinguish the failure modes: the table
+    /// may not exist, may be a view (use [`drop_view`](Self::drop_view)),
+    /// or may still be read by materialized views (drop those first).
+    pub fn drop_table(&mut self, name: &str) -> Result<()> {
+        if self.views.contains(name) {
+            return Err(RexError::Storage(format!("{name} is a materialized view; use DROP VIEW")));
+        }
+        let readers = self.views.dependents(name);
+        if !readers.is_empty() {
+            return Err(RexError::Storage(format!(
+                "cannot drop {name}: materialized view(s) {} depend on it",
+                readers.join(", ")
+            )));
+        }
+        self.store.drop_table(name)?;
+        self.schemas.remove(name);
+        Ok(())
+    }
+
+    /// Number of rows currently stored in `table` (or materialized in a
+    /// view of that name — answered from the authoritative view state, so
+    /// no mutation is needed).
     pub fn table_rows(&self, table: &str) -> Result<usize> {
+        if let Some(v) = self.views.get(table) {
+            return Ok(v.len());
+        }
         Ok(self.store.get(table)?.len())
+    }
+
+    /// Feed a base-table change to every dependent materialized view. The
+    /// base-table mutation has already committed; if maintenance fails
+    /// partway (some views updated, some not), every view is rebuilt from
+    /// the current table contents so view state stays equivalent to a full
+    /// recompute, and the error is surfaced with that context.
+    fn maintain_views(&mut self, table: &str, deltas: &[Delta]) -> Result<()> {
+        if deltas.is_empty() || !self.views.reads(table) {
+            return Ok(());
+        }
+        if let Err(e) = self.views.on_base_change(table, deltas, &self.store, &self.registry) {
+            return Err(match self.views.rebuild_all(&self.store, &self.registry) {
+                Ok(()) => RexError::Exec(format!(
+                    "view maintenance failed (all views rebuilt from current tables): {e}"
+                )),
+                Err(r) => RexError::Exec(format!(
+                    "view maintenance failed ({e}) and the consistency rebuild also failed \
+                     ({r}); view contents may diverge from their base tables"
+                )),
+            });
+        }
+        Ok(())
     }
 
     /// The stored-table catalog (shared with the engines).
@@ -206,45 +295,186 @@ impl Session {
     // ---- queries ---------------------------------------------------------
 
     /// Parse and plan `rql` without executing it: the logical plan as the
-    /// optimizer will see it.
+    /// optimizer will see it (for `CREATE MATERIALIZED VIEW`, the plan of
+    /// the defining query).
     pub fn plan(&self, rql: &str) -> Result<LogicalPlan> {
         Ok(rex_rql::plan_rql(rql, &self.schemas, &self.registry)?)
     }
 
-    /// Run `rql` through the full pipeline — parse → resolve → optimize →
-    /// lower → execute — on the session's engine.
+    /// Run an RQL statement. Queries go through the full pipeline — parse
+    /// → resolve → optimize → lower → execute — on the session's engine;
+    /// DDL (`CREATE MATERIALIZED VIEW`, `DROP VIEW`, `DROP TABLE`) is
+    /// executed against the session's catalogs and returns an empty row
+    /// set. A query that scans a view name reads its materialized state —
+    /// no recomputation of the defining query.
     pub fn query(&mut self, rql: &str) -> Result<QueryResult> {
-        let logical = rex_rql::plan_rql(rql, &self.schemas, &self.registry)?;
-        self.refresh_stats();
-        let (optimized, cost) = self.optimizer.optimize(logical)?;
-        let ctx = EngineContext { store: &self.store, registry: &self.registry };
-        let out = self.engine.execute(&optimized, &ctx)?;
-        Ok(QueryResult {
-            rows: out.rows,
-            report: out.report,
-            cluster: out.cluster,
-            cost,
-            engine: self.engine.name().to_string(),
-        })
+        let stmt = rex_rql::parse(rql).map_err(|e| RqlError::at(RqlStage::Parse, e))?;
+        match stmt {
+            Statement::Query(_) => {
+                let logical = rex_rql::logical::plan(&stmt, &self.schemas, &self.registry)
+                    .map_err(|e| RqlError::at(RqlStage::Plan, e))?;
+                self.views.sync(&self.store)?;
+                self.refresh_stats();
+                let (optimized, cost) = self.optimizer.optimize(logical)?;
+                let ctx = EngineContext { store: &self.store, registry: &self.registry };
+                let out = self.engine.execute(&optimized, &ctx)?;
+                Ok(QueryResult {
+                    rows: out.rows,
+                    report: out.report,
+                    cluster: out.cluster,
+                    cost,
+                    engine: self.engine.name().to_string(),
+                })
+            }
+            Statement::CreateView { name, query } => {
+                let cost = self.define_view(&name, rql, &query)?;
+                Ok(self.ddl_result(cost))
+            }
+            Statement::DropView { name } => {
+                self.drop_view(&name)?;
+                Ok(self.ddl_result(zero_cost()))
+            }
+            Statement::DropTable { name } => {
+                self.drop_table(&name)?;
+                Ok(self.ddl_result(zero_cost()))
+            }
+        }
     }
 
     /// EXPLAIN: the logical plan, the optimizer's rewrite, and its cost
-    /// estimate, without executing.
+    /// estimate, without executing. For `CREATE MATERIALIZED VIEW`, also
+    /// the maintenance strategy the view would be created with; for an
+    /// existing view, `explain("SELECT ... FROM <view>")` shows the scan
+    /// of materialized state.
     pub fn explain(&mut self, rql: &str) -> Result<String> {
-        let logical = rex_rql::plan_rql(rql, &self.schemas, &self.registry)?;
+        let stmt = rex_rql::parse(rql).map_err(|e| RqlError::at(RqlStage::Parse, e))?;
+        // Drops have no dataflow plan: explain them as the catalog actions
+        // they are.
+        match &stmt {
+            Statement::DropView { name } => {
+                return Ok(format!(
+                    "== ddl ==\nDROP VIEW {name}: removes the materialized view and its stored \
+                     copy (refused while other views read it)\n"
+                ));
+            }
+            Statement::DropTable { name } => {
+                return Ok(format!(
+                    "== ddl ==\nDROP TABLE {name}: removes the stored table (refused while \
+                     materialized views read it)\n"
+                ));
+            }
+            _ => {}
+        }
+        let (logical, maintenance) = match &stmt {
+            Statement::CreateView { name, query } => {
+                let plan = self.plan_view_query(query)?;
+                let probe =
+                    MaterializedView::define(name.as_str(), rql, plan.clone(), &self.registry);
+                let m = format!("== maintenance ==\n{}: {}\n", probe.name(), probe.strategy());
+                (plan, Some(m))
+            }
+            _ => (
+                rex_rql::logical::plan(&stmt, &self.schemas, &self.registry)
+                    .map_err(|e| RqlError::at(RqlStage::Plan, e))?,
+                None,
+            ),
+        };
+        self.views.sync(&self.store)?;
         self.refresh_stats();
         let before = logical.explain();
         let (optimized, cost) = self.optimizer.optimize(logical)?;
         Ok(format!(
-            "== logical ==\n{before}== optimized ==\n{}== estimate ==\nruntime {:.3} units, {} rows\n",
+            "== logical ==\n{before}== optimized ==\n{}== estimate ==\nruntime {:.3} units, {} rows\n{}",
             optimized.explain(),
             cost.runtime(),
-            cost.rows
+            cost.rows,
+            maintenance.unwrap_or_default(),
         ))
     }
 
+    // ---- materialized views ----------------------------------------------
+
+    /// Create a materialized view named `name` over an RQL query —
+    /// the programmatic form of `CREATE MATERIALIZED VIEW name AS query`.
+    /// The view is populated immediately and maintained on every
+    /// [`insert`](Self::insert)/[`delete`](Self::delete) to its base
+    /// tables; its maintenance strategy (incremental delta propagation vs
+    /// full recompute for recursive shapes) is chosen automatically.
+    pub fn create_materialized_view(&mut self, name: &str, query: &str) -> Result<()> {
+        let stmt = rex_rql::parse(query).map_err(|e| RqlError::at(RqlStage::Parse, e))?;
+        let Statement::Query(q) = stmt else {
+            return Err(RexError::Plan(format!(
+                "view {name}: the defining statement must be a query"
+            )));
+        };
+        let sql = format!("CREATE MATERIALIZED VIEW {name} AS {query}");
+        self.define_view(name, &sql, &q)?;
+        Ok(())
+    }
+
+    /// Drop a materialized view (refused while other views read it).
+    pub fn drop_view(&mut self, name: &str) -> Result<()> {
+        self.views.drop_view(name, &self.store)?;
+        self.schemas.remove(name);
+        Ok(())
+    }
+
+    /// Names of all materialized views, in creation order.
+    pub fn view_names(&self) -> Vec<String> {
+        self.views.names()
+    }
+
+    /// A view's maintenance strategy, rendered ("incremental delta
+    /// propagation" / "full recompute (reason)").
+    pub fn view_strategy(&self, name: &str) -> Result<String> {
+        self.views
+            .get(name)
+            .map(|v| v.strategy().to_string())
+            .ok_or_else(|| RexError::Storage(format!("unknown view: {name}")))
+    }
+
+    /// The view catalog (dependency and state inspection).
+    pub fn views(&self) -> &ViewCatalog {
+        &self.views
+    }
+
+    /// Plan a view's defining query, rejecting shapes views can't serve.
+    fn plan_view_query(&self, query: &Query) -> Result<LogicalPlan> {
+        let stmt = Statement::Query(query.clone());
+        rex_rql::logical::plan(&stmt, &self.schemas, &self.registry)
+            .map_err(|e| RexError::from(RqlError::at(RqlStage::Plan, e)))
+    }
+
+    /// Shared view-creation path for DDL and the programmatic API.
+    /// Returns the optimizer's estimate for the initial materialization.
+    fn define_view(&mut self, name: &str, sql: &str, query: &Query) -> Result<PlanCost> {
+        if self.schemas.contains(name) || self.store.contains(name) {
+            return Err(RexError::Storage(format!("table or view {name} already exists")));
+        }
+        let plan = self.plan_view_query(query)?;
+        self.refresh_stats();
+        let (_, cost) = self.optimizer.optimize(plan.clone())?;
+        let view = MaterializedView::define(name, sql, plan, &self.registry);
+        let schema = view.schema().clone();
+        self.views.create(view, &self.store, &self.registry)?;
+        self.schemas.register(name, schema);
+        Ok(cost)
+    }
+
+    /// The uniform result shape for DDL statements.
+    fn ddl_result(&self, cost: PlanCost) -> QueryResult {
+        QueryResult {
+            rows: Vec::new(),
+            report: QueryReport::default(),
+            cluster: None,
+            cost,
+            engine: self.engine.name().to_string(),
+        }
+    }
+
     /// Feed current table cardinalities to the optimizer so its estimates
-    /// track the data the engines will actually scan.
+    /// track the data the engines will actually scan. Views are stored
+    /// tables here too, so view scans are costed from real cardinalities.
     fn refresh_stats(&mut self) {
         for name in self.store.table_names() {
             if let Ok(t) = self.store.get(&name) {
@@ -252,6 +482,11 @@ impl Session {
             }
         }
     }
+}
+
+/// The no-work cost estimate attached to catalog-only DDL results.
+fn zero_cost() -> PlanCost {
+    PlanCost { rows: 0, resources: ResourceVector::default() }
 }
 
 #[cfg(test)]
@@ -360,6 +595,121 @@ mod tests {
         assert_eq!(s.engine_name(), "cluster");
         let cluster_rows = s.query("SELECT src, count(*) FROM edges GROUP BY src").unwrap().rows;
         assert_eq!(local_rows, cluster_rows);
+    }
+
+    #[test]
+    fn create_view_query_and_maintain() {
+        for engine in ["local", "cluster"] {
+            let mut s = edge_session(engine);
+            let r = s
+                .query("CREATE MATERIALIZED VIEW fanout AS SELECT src, count(*) FROM edges GROUP BY src")
+                .unwrap();
+            assert!(r.rows.is_empty());
+            assert!(r.cost.runtime() > 0.0, "creation is costed as the initial materialization");
+            // The view answers scans from materialized state on any engine.
+            let rows = s.query("SELECT src FROM fanout WHERE count > 1").unwrap().rows;
+            assert_eq!(rows, vec![tuple![0i64]], "{engine}");
+            // Inserts maintain the view; deletes retract.
+            s.insert("edges", vec![tuple![1i64, 9i64]]).unwrap();
+            let rows = s.query("SELECT src FROM fanout WHERE count > 1").unwrap().rows;
+            assert_eq!(rows, vec![tuple![0i64], tuple![1i64]], "{engine}");
+            s.delete("edges", vec![tuple![1i64, 9i64], tuple![1i64, 2i64]]).unwrap();
+            let rows = s.query("SELECT src, count FROM fanout").unwrap().rows;
+            assert_eq!(rows, vec![tuple![0i64, 2i64], tuple![2i64, 1i64]], "{engine}");
+        }
+    }
+
+    #[test]
+    fn drop_table_is_typed_and_respects_view_dependencies() {
+        let mut s = edge_session("local");
+        let err = s.drop_table("missing").unwrap_err();
+        assert!(err.to_string().contains("unknown table"));
+        s.create_materialized_view("v", "SELECT src FROM edges WHERE dst > 1").unwrap();
+        let err = s.drop_table("edges").unwrap_err();
+        assert!(err.to_string().contains("depend on it"));
+        let err = s.drop_table("v").unwrap_err();
+        assert!(err.to_string().contains("use DROP VIEW"));
+        assert!(matches!(s.insert("v", vec![tuple![1i64]]), Err(RexError::Storage(_))));
+        s.query("DROP VIEW v").unwrap();
+        s.query("DROP TABLE edges").unwrap();
+        assert!(s.query("SELECT src FROM edges").is_err(), "schema is unregistered too");
+    }
+
+    #[test]
+    fn explain_shows_maintenance_strategy() {
+        let mut s = edge_session("local");
+        let txt = s
+            .explain("CREATE MATERIALIZED VIEW agg AS SELECT src, sum(dst) FROM edges GROUP BY src")
+            .unwrap();
+        assert!(txt.contains("== maintenance =="));
+        assert!(txt.contains("incremental delta propagation"));
+        let txt = s
+            .explain(
+                "CREATE MATERIALIZED VIEW reach AS
+                 WITH R (id) AS (SELECT src FROM edges WHERE src = 0)
+                 UNION UNTIL FIXPOINT BY id (
+                   SELECT edges.dst FROM edges, R WHERE edges.src = R.id)",
+            )
+            .unwrap();
+        assert!(txt.contains("full recompute"));
+        assert!(txt.contains("recursive fixpoint"));
+        assert!(s.view_names().is_empty(), "explain must not create the view");
+    }
+
+    #[test]
+    fn delete_where_evaluates_predicates() {
+        let mut s = edge_session("local");
+        assert_eq!(s.delete_where("edges", "src = 0 AND dst > 1").unwrap(), 1);
+        assert_eq!(s.table_rows("edges").unwrap(), 3);
+        // Whole-batch validation: deleting a missing row is refused.
+        let err = s.delete("edges", vec![tuple![42i64, 42i64]]).unwrap_err();
+        assert!(err.to_string().contains("only 0 stored"));
+        assert_eq!(s.table_rows("edges").unwrap(), 3);
+    }
+
+    #[test]
+    fn recursive_view_recomputes_on_change() {
+        let mut s = edge_session("local");
+        s.query(
+            "CREATE MATERIALIZED VIEW reach AS
+             WITH R (id) AS (SELECT src FROM edges WHERE src = 0)
+             UNION UNTIL FIXPOINT BY id (
+               SELECT edges.dst FROM edges, R WHERE edges.src = R.id)",
+        )
+        .unwrap();
+        assert!(s.view_strategy("reach").unwrap().contains("full recompute"));
+        assert_eq!(s.table_rows("reach").unwrap(), 4);
+        s.insert("edges", vec![tuple![3i64, 7i64]]).unwrap();
+        let rows = s.query("SELECT id FROM reach").unwrap().rows;
+        assert_eq!(
+            rows,
+            vec![tuple![0i64], tuple![1i64], tuple![2i64], tuple![3i64], tuple![7i64]]
+        );
+    }
+
+    #[test]
+    fn mixed_case_views_and_tables_drop_cleanly() {
+        let mut s = edge_session("local");
+        // Mixed-case view: drop via lowercase DDL, then re-create.
+        s.create_materialized_view("Hot", "SELECT src FROM edges WHERE dst > 1").unwrap();
+        s.query("DROP VIEW hot").unwrap();
+        s.create_materialized_view("Hot", "SELECT src FROM edges WHERE dst > 1")
+            .expect("stale schema must not block re-creation");
+        s.query("DROP VIEW HOT").unwrap();
+        // Mixed-case table: same story.
+        s.create_table("Tmp", Schema::of(&[("x", DataType::Int)])).unwrap();
+        s.drop_table("tmp").unwrap();
+        s.create_table("Tmp", Schema::of(&[("x", DataType::Int)]))
+            .expect("stale schema must not block re-creation");
+    }
+
+    #[test]
+    fn view_scans_are_costed_from_materialized_cardinality() {
+        let mut s = edge_session("local");
+        s.create_materialized_view("fanout", "SELECT src, count(*) FROM edges GROUP BY src")
+            .unwrap();
+        let r = s.query("SELECT src FROM fanout").unwrap();
+        assert_eq!(r.cost.rows as usize, r.rows.len(), "stats see the view's true row count");
     }
 
     #[test]
