@@ -1,0 +1,161 @@
+//! A small deterministic hasher for keyed engine state.
+//!
+//! The standard library's default `HashMap` hasher (SipHash with a random
+//! per-process key) is a poor fit for the engine's hot paths: it is slow on
+//! the short `Value`/`Tuple` keys that dominate join and group-by state,
+//! and its randomization makes iteration order differ between runs, which
+//! breaks bit-for-bit reproducibility of anything that observes map order.
+//!
+//! [`FxHasher`] is an in-tree reimplementation of the FxHash function used
+//! by rustc (a multiply-xor-rotate over 8-byte words). It is:
+//!
+//! * **fast** — a handful of ALU ops per word, no key setup;
+//! * **deterministic** — no per-process seed, so the same inputs produce
+//!   the same table layout (and therefore the same iteration order) on
+//!   every run;
+//! * **not DoS-resistant** — it must only key state derived from data the
+//!   engine already holds, never attacker-controlled protocol input.
+//!
+//! Deterministic iteration order is *arbitrary* order: callers whose
+//! output is observable (view contents, delta reports) must still sort at
+//! the emission boundary, which is exactly what `rex-views` does.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasher, Hasher};
+
+/// The multiplier from FxHash (the golden-ratio constant for 64-bit).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The FxHash streaming hasher: `hash = (hash rol 5 ^ word) * SEED` per
+/// 8-byte word.
+#[derive(Debug, Clone, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            // Length tag so "ab" and "ab\0" don't collide trivially.
+            buf[7] = rest.len() as u8;
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, v: u128) {
+        self.add(v as u64);
+        self.add((v >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+/// Zero-sized `BuildHasher` producing [`FxHasher`]s — the per-map state
+/// `HashMap` needs, with no per-process randomness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FxBuildHasher;
+
+impl BuildHasher for FxBuildHasher {
+    type Hasher = FxHasher;
+
+    #[inline]
+    fn build_hasher(&self) -> FxHasher {
+        FxHasher::default()
+    }
+}
+
+/// A `HashMap` keyed by [`FxHasher`]. Construct with `FxHashMap::default()`.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed by [`FxHasher`]. Construct with `FxHashSet::default()`.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    fn hash_of(bytes: &[u8]) -> u64 {
+        let mut h = FxHasher::default();
+        h.write(bytes);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_across_hasher_instances() {
+        let a = hash_of(b"orderkey=42");
+        let b = hash_of(b"orderkey=42");
+        assert_eq!(a, b);
+        assert_ne!(a, hash_of(b"orderkey=43"));
+    }
+
+    #[test]
+    fn short_tails_with_shared_prefix_differ() {
+        assert_ne!(hash_of(b"ab"), hash_of(b"ab\0"));
+        assert_ne!(hash_of(b""), hash_of(b"\0"));
+    }
+
+    #[test]
+    fn tuple_keys_work_in_fx_maps() {
+        let mut m: FxHashMap<crate::tuple::Tuple, i64> = FxHashMap::default();
+        m.insert(tuple![1i64, "a"], 2);
+        m.insert(tuple![2i64, "b"], 3);
+        assert_eq!(m.get(&tuple![1i64, "a"]), Some(&2));
+        let mut s: FxHashSet<Vec<crate::value::Value>> = FxHashSet::default();
+        s.insert(tuple![7i64].key(&[0]));
+        assert!(s.contains(&tuple![7i64].key(&[0])));
+    }
+
+    #[test]
+    fn equal_int_and_double_values_share_a_bucket() {
+        // Value's Hash promises Int(2) and Double(2.0) hash alike; an Fx
+        // map must therefore find either spelling of the key.
+        let mut m: FxHashMap<crate::value::Value, i64> = FxHashMap::default();
+        m.insert(crate::value::Value::Int(2), 1);
+        assert_eq!(m.get(&crate::value::Value::Double(2.0)), Some(&1));
+    }
+}

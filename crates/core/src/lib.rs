@@ -37,9 +37,11 @@
 //! [`operators`] here implement for recursive dataflow, but against
 //! persistent per-view state. Base-table inserts/deletes become delta
 //! batches; maintenance cost scales with the batch, not the table. The
-//! built-in [`aggregates`] participate unchanged: a view's dirty groups
-//! are re-derived by replaying the group's rows through the registered
-//! [`handlers::AggHandler`].
+//! decomposable built-in [`aggregates`] (`sum`/`count`/`avg`/`min`/`max`)
+//! get O(1)-per-delta specialized group state there; other registered
+//! [`handlers::AggHandler`]s still participate unchanged via dirty-group
+//! replay. The keyed maintenance state is hashed with this crate's
+//! deterministic [`hash::FxHasher`].
 //!
 //! ## Quick start
 //!
@@ -74,6 +76,7 @@ pub mod error;
 pub mod exec;
 pub mod expr;
 pub mod handlers;
+pub mod hash;
 pub mod metrics;
 pub mod operators;
 pub mod tuple;

@@ -91,6 +91,65 @@ impl Catalog {
         Ok(Arc::make_mut(entry).remove_counted(need))
     }
 
+    /// Apply a signed-multiplicity delta to a table: each `(tuple, n)`
+    /// change inserts `n` copies when positive and removes `-n` copies
+    /// when negative (trusted caller: rows are assumed schema-valid, as
+    /// with [`replace_rows`](Self::replace_rows)). This is how
+    /// materialized-view synchronization stays proportional to the
+    /// *change* instead of republishing the whole view. Returns
+    /// `(inserted, removed)` row counts. A delta that asks to remove rows
+    /// the table does not hold is an error naming the divergence, raised
+    /// *before* any mutation — the table is untouched, so the caller can
+    /// repair by republishing the authoritative contents.
+    pub fn apply_delta<I>(&self, name: &str, changes: I) -> Result<(usize, usize)>
+    where
+        I: IntoIterator<Item = (Tuple, i64)>,
+    {
+        let mut inserts: Vec<Tuple> = Vec::new();
+        let mut removes: Vec<(Tuple, usize)> = Vec::new();
+        for (t, n) in changes {
+            match n.cmp(&0) {
+                std::cmp::Ordering::Greater => {
+                    for _ in 1..n {
+                        inserts.push(t.clone());
+                    }
+                    inserts.push(t);
+                }
+                std::cmp::Ordering::Less => removes.push((t, (-n) as usize)),
+                std::cmp::Ordering::Equal => {}
+            }
+        }
+        let mut map = self.inner.write().unwrap();
+        let entry = map
+            .get_mut(&name.to_ascii_lowercase())
+            .ok_or_else(|| RexError::Storage(format!("unknown table: {name}")))?;
+        let want: usize = removes.iter().map(|(_, n)| n).sum();
+        let inserted = inserts.len();
+        let mut need: HashMap<&Tuple, usize> = HashMap::new();
+        for (t, n) in &removes {
+            *need.entry(t).or_insert(0) += *n;
+        }
+        // Pre-validate removals so a diverged delta fails atomically: one
+        // counting pass over the stored rows, no mutation on error.
+        let mut have: HashMap<&Tuple, usize> = need.keys().map(|t| (*t, 0)).collect();
+        for r in entry.rows() {
+            if let Some(c) = have.get_mut(r) {
+                *c += 1;
+            }
+        }
+        let stored: usize = need.iter().map(|(t, n)| (*n).min(have[t])).sum();
+        if stored != want {
+            return Err(RexError::Storage(format!(
+                "table {name}: delta asked to remove {want} rows but only {stored} are \
+                 stored; stored copy has diverged"
+            )));
+        }
+        drop(have);
+        let removed = Arc::make_mut(entry).apply_delta(need, inserts);
+        debug_assert_eq!(removed, want);
+        Ok((inserted, removed))
+    }
+
     /// Replace a table's entire contents (trusted caller: rows are assumed
     /// schema-valid). Used by materialized-view synchronization.
     pub fn replace_rows(&self, name: &str, rows: Vec<Tuple>) -> Result<()> {
@@ -159,6 +218,48 @@ mod tests {
         assert!(cat.get("edges").is_err());
         let err = cat.drop_table("edges").unwrap_err();
         assert!(err.to_string().contains("unknown table"));
+    }
+
+    #[test]
+    fn apply_delta_inserts_and_removes_by_signed_multiplicity() {
+        let cat = Catalog::new();
+        let mut t = StoredTable::new("t", Schema::of(&[("a", DataType::Int)]), vec![0]);
+        t.load(vec![rex_core::tuple![1i64], rex_core::tuple![1i64], rex_core::tuple![2i64]])
+            .unwrap();
+        cat.register(t);
+        let (ins, rem) = cat
+            .apply_delta(
+                "t",
+                vec![
+                    (rex_core::tuple![1i64], -1),
+                    (rex_core::tuple![3i64], 2),
+                    (rex_core::tuple![4i64], 0),
+                ],
+            )
+            .unwrap();
+        assert_eq!((ins, rem), (2, 1));
+        let mut rows = cat.get("t").unwrap().rows().to_vec();
+        rows.sort_unstable();
+        assert_eq!(
+            rows,
+            vec![
+                rex_core::tuple![1i64],
+                rex_core::tuple![2i64],
+                rex_core::tuple![3i64],
+                rex_core::tuple![3i64]
+            ]
+        );
+        // Removing more copies than stored names the divergence — and the
+        // failure is atomic: neither the removal nor the piggy-backing
+        // insert touches the table, so a retry cannot compound damage.
+        let err = cat
+            .apply_delta("t", vec![(rex_core::tuple![2i64], -5), (rex_core::tuple![9i64], 1)])
+            .unwrap_err();
+        assert!(err.to_string().contains("diverged"), "{err}");
+        let mut after = cat.get("t").unwrap().rows().to_vec();
+        after.sort_unstable();
+        assert_eq!(after, rows, "failed delta left the table untouched");
+        assert!(cat.apply_delta("missing", vec![]).is_err());
     }
 
     #[test]

@@ -108,6 +108,18 @@ impl StoredTable {
         self.rows = rows;
     }
 
+    /// Apply a signed-multiplicity delta: remove `removes` (pre-counted,
+    /// like [`remove_counted`](Self::remove_counted)) and append
+    /// `inserts`, in one pass each — the table-level half of
+    /// delta-granular view synchronization. Returns the number of rows
+    /// actually removed so the caller can detect divergence between the
+    /// delta and the stored contents.
+    pub fn apply_delta(&mut self, removes: HashMap<&Tuple, usize>, inserts: Vec<Tuple>) -> usize {
+        let removed = if removes.is_empty() { 0 } else { self.remove_counted(removes) };
+        self.load_unchecked(inserts);
+        removed
+    }
+
     /// The partition key of a row.
     pub fn partition_key(&self, row: &Tuple) -> Vec<Value> {
         row.key(&self.partition_cols)

@@ -15,14 +15,15 @@ use rex_core::error::{Result, RexError};
 use rex_core::udf::Registry;
 use rex_storage::catalog::Catalog;
 use rex_storage::table::StoredTable;
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// All materialized views of a session, keyed by lowercase name.
 #[derive(Default)]
 pub struct ViewCatalog {
     views: BTreeMap<String, MaterializedView>,
-    /// Creation order — maintenance processes views oldest-first, so a
-    /// view created over another view sees its upstream already updated.
+    /// Creation order — a stable tie-break inside each dependency depth
+    /// when maintenance orders views (see
+    /// [`on_base_change`](ViewCatalog::on_base_change)).
     order: Vec<String>,
     /// Views whose stored-table copy is stale.
     dirty: BTreeSet<String>,
@@ -52,6 +53,14 @@ impl ViewCatalog {
     /// Look up a view.
     pub fn get(&self, name: &str) -> Option<&MaterializedView> {
         self.views.get(&name.to_ascii_lowercase())
+    }
+
+    /// Serve a bare scan of `name` from authoritative view state (the
+    /// session's fast path for `SELECT * FROM <view>`): sorted rows from
+    /// the view's merge-maintained cache, with no store synchronization
+    /// and no engine pass. `None` if no such view exists.
+    pub fn serve_rows(&mut self, name: &str) -> Option<Vec<rex_core::tuple::Tuple>> {
+        self.views.get_mut(&name.to_ascii_lowercase()).map(MaterializedView::rows_cached)
     }
 
     /// View names in creation order.
@@ -88,7 +97,9 @@ impl ViewCatalog {
         view.prime(store, reg)?;
         let pcols = if view.schema().arity() > 0 { vec![0] } else { Vec::new() };
         let mut t = StoredTable::new(view.name(), view.schema().clone(), pcols);
-        t.load_unchecked(view.rows());
+        // The stored copy is a bag: publish via the borrowing walk, no
+        // sort or intermediate Vec of clones.
+        t.load_unchecked(view.iter_rows().cloned().collect());
         store.register(t);
         self.order.push(key.clone());
         self.views.insert(key, view);
@@ -115,9 +126,35 @@ impl ViewCatalog {
         store.drop_table(&key)
     }
 
+    /// Each view's dependency depth: 1 for views over base tables only,
+    /// `1 + max(upstream view depth)` otherwise. Because views can only be
+    /// created over relations that already exist, creation order is a
+    /// topological order and one forward pass suffices.
+    fn dependency_depths(&self) -> BTreeMap<String, usize> {
+        let mut depths: BTreeMap<String, usize> = BTreeMap::new();
+        for name in &self.order {
+            let d = self.views[name]
+                .base_tables()
+                .iter()
+                .map(|t| depths.get(t).map(|u| u + 1).unwrap_or(1))
+                .max()
+                .unwrap_or(1);
+            depths.insert(name.clone(), d);
+        }
+        depths
+    }
+
     /// Propagate a change to base relation `table` (already applied to the
     /// store) through every dependent view, cascading view-output deltas
     /// to views-on-views. Returns the names of views that changed.
+    ///
+    /// Views are processed in *dependency-depth* order (creation order
+    /// breaking ties), so by the time any view runs, every source it reads
+    /// is final for this pass. That is what lets a full-recompute view
+    /// that reads several delta sources — a base table plus views over it
+    /// — re-run its defining query exactly **once** per pass instead of
+    /// once per source, and it is the reason a naive "already ran" flag is
+    /// unnecessary: there is no second visit to suppress.
     pub fn on_base_change(
         &mut self,
         table: &str,
@@ -125,34 +162,48 @@ impl ViewCatalog {
         store: &Catalog,
         reg: &Registry,
     ) -> Result<Vec<String>> {
-        let mut pending: VecDeque<(String, DeltaSet)> = VecDeque::new();
-        pending.push_back((table.to_ascii_lowercase(), DeltaSet::from_deltas(deltas)?));
+        let initial = DeltaSet::from_deltas(deltas)?;
+        if initial.is_empty() {
+            return Ok(Vec::new());
+        }
+        let depths = self.dependency_depths();
+        let mut order = self.order.clone();
+        order.sort_by_key(|n| depths[n]);
+        // Deltas available to downstream readers, by source relation.
+        let mut pending: BTreeMap<String, DeltaSet> = BTreeMap::new();
+        pending.insert(table.to_ascii_lowercase(), initial);
         let mut touched = Vec::new();
-        while let Some((src, batch)) = pending.pop_front() {
-            if batch.is_empty() {
+        for name in order {
+            let view = &self.views[&name];
+            let srcs: Vec<String> =
+                view.base_tables().iter().filter(|t| pending.contains_key(*t)).cloned().collect();
+            if srcs.is_empty() {
                 continue;
             }
-            for name in self.order.clone() {
-                if !self.views[&name].depends_on(&src) {
-                    continue;
+            let recompute = matches!(view.strategy(), MaintenanceStrategy::FullRecompute { .. });
+            // Recompute fallbacks re-run the defining query against the
+            // store: flush stale upstream copies first. Everything dirty
+            // at this point is at a strictly smaller depth, hence final.
+            if recompute {
+                self.sync(store)?;
+            }
+            let view = self.views.get_mut(&name).expect("view exists");
+            let mut out_total = DeltaSet::new();
+            if recompute {
+                // One re-run diffs in every changed source at once.
+                out_total = view.on_change(&srcs[0], &pending[&srcs[0]], store, reg)?;
+            } else {
+                for src in &srcs {
+                    let out = view.on_change(src, &pending[src], store, reg)?;
+                    out_total.merge_scaled(&out, 1);
                 }
-                // Recompute fallbacks re-run the defining query against
-                // the store: flush stale upstream copies first.
-                if matches!(self.views[&name].strategy(), MaintenanceStrategy::FullRecompute { .. })
-                {
-                    self.sync(store)?;
-                }
-                let view = self.views.get_mut(&name).expect("view exists");
-                let out = view.on_change(&src, &batch, store, reg)?;
-                // An empty output delta proves the stored copy is still
-                // valid — don't force a needless republish on sync.
-                if !out.is_empty() {
-                    self.dirty.insert(name.clone());
-                    if !touched.contains(&name) {
-                        touched.push(name.clone());
-                    }
-                    pending.push_back((name.clone(), out));
-                }
+            }
+            // An empty output delta proves the stored copy is still
+            // valid — don't force a needless republish on sync.
+            if !out_total.is_empty() {
+                self.dirty.insert(name.clone());
+                touched.push(name.clone());
+                pending.insert(name.clone(), out_total);
             }
         }
         Ok(touched)
@@ -174,15 +225,35 @@ impl ViewCatalog {
     }
 
     /// Flush maintained contents of stale views into their stored-table
-    /// copies. Sessions call this before running queries; maintenance
-    /// itself stays proportional to the change, not the view.
+    /// copies. Sessions call this before running queries.
+    ///
+    /// Incremental views apply their retained output delta through
+    /// [`Catalog::apply_delta`], so a sync costs O(changed rows), not
+    /// O(view). Recompute-fallback views keep the pre-existing full
+    /// republish (their change tracking is a whole-output diff anyway).
     pub fn sync(&mut self, store: &Catalog) -> Result<()> {
-        // Clear each flag only after its flush succeeds: a failed
-        // replace_rows must leave the remaining views marked dirty, not
-        // silently stale forever.
+        // Clear each flag only after its flush succeeds: a failed flush
+        // must leave the remaining views marked dirty, not silently stale
+        // forever.
         while let Some(name) = self.dirty.iter().next().cloned() {
-            if let Some(v) = self.views.get(&name) {
-                store.replace_rows(&name, v.rows())?;
+            if let Some(v) = self.views.get_mut(&name) {
+                match v.strategy() {
+                    MaintenanceStrategy::Incremental => {
+                        let applied = store
+                            .apply_delta(&name, v.pending().iter().map(|(t, n)| (t.clone(), n)));
+                        // A delta that doesn't match the stored copy means
+                        // the copy diverged (e.g. an earlier half-failed
+                        // pass). apply_delta fails atomically, so repair
+                        // is a republish of the authoritative contents.
+                        if applied.is_err() {
+                            store.replace_rows(&name, v.rows())?;
+                        }
+                    }
+                    MaintenanceStrategy::FullRecompute { .. } => {
+                        store.replace_rows(&name, v.rows())?;
+                    }
+                }
+                v.clear_pending();
             }
             self.dirty.remove(&name);
         }
@@ -241,6 +312,27 @@ mod tests {
         views.rebuild_all(&store, &reg).unwrap();
         assert_eq!(views.get("fanout").unwrap().len(), 3, "rebuilt from current table");
         assert_eq!(store.get("fanout").unwrap().len(), 3, "stored copy refreshed too");
+    }
+
+    #[test]
+    fn sync_repairs_a_diverged_stored_copy() {
+        let (store, schemas, reg) = setup();
+        let mut views = ViewCatalog::new();
+        let v = define("fanout", "SELECT src, count(*) FROM edges GROUP BY src", &schemas, &reg);
+        views.create(v, &store, &reg).unwrap();
+        // Corrupt the stored copy behind the catalog's back (as after a
+        // half-failed earlier pass).
+        store.replace_rows("fanout", vec![tuple![99i64, 99i64]]).unwrap();
+        // The next maintenance pass produces a delta that cannot apply to
+        // the corrupted copy; sync must repair by republishing instead of
+        // erroring (or compounding) forever.
+        store.append("edges", vec![tuple![0i64, 9i64]]).unwrap();
+        views.on_base_change("edges", &[Delta::insert(tuple![0i64, 9i64])], &store, &reg).unwrap();
+        views.sync(&store).unwrap();
+        let mut stored = store.get("fanout").unwrap().rows().to_vec();
+        stored.sort_unstable();
+        assert_eq!(stored, views.get("fanout").unwrap().rows());
+        assert_eq!(stored, vec![tuple![0i64, 3i64], tuple![1i64, 1i64]]);
     }
 
     #[test]

@@ -9,16 +9,24 @@
 
 use rex_core::delta::{Annotation, Delta};
 use rex_core::error::{Result, RexError};
+use rex_core::hash::FxHashMap;
 use rex_core::tuple::Tuple;
-use std::collections::BTreeMap;
 
 /// A signed multiset of tuples. Zero-count entries are pruned eagerly, so
-/// `is_empty()` means "no net change". Ordered internally (`BTreeMap`) so
-/// every traversal — and therefore every maintenance run — is
-/// deterministic.
+/// `is_empty()` means "no net change".
+///
+/// Counts live in a hash map keyed by the deterministic in-tree
+/// [`FxHasher`](rex_core::hash::FxHasher), so probes on the maintenance
+/// hot path cost O(1) instead of a `BTreeMap`'s O(log n) pointer chase,
+/// while every run of the same program still traverses in the same
+/// (arbitrary) order. Observable outputs sort at the emission boundary:
+/// [`rows`](DeltaSet::rows) and [`to_deltas`](DeltaSet::to_deltas) are
+/// sorted; [`iter`](DeltaSet::iter) and [`iter_rows`](DeltaSet::iter_rows)
+/// are unordered and meant for count-algebra internals where order cannot
+/// matter.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DeltaSet {
-    counts: BTreeMap<Tuple, i64>,
+    counts: FxHashMap<Tuple, i64>,
 }
 
 impl DeltaSet {
@@ -65,13 +73,13 @@ impl DeltaSet {
             return;
         }
         match self.counts.entry(t) {
-            std::collections::btree_map::Entry::Occupied(mut o) => {
+            std::collections::hash_map::Entry::Occupied(mut o) => {
                 *o.get_mut() += n;
                 if *o.get() == 0 {
                     o.remove();
                 }
             }
-            std::collections::btree_map::Entry::Vacant(v) => {
+            std::collections::hash_map::Entry::Vacant(v) => {
                 v.insert(n);
             }
         }
@@ -100,16 +108,33 @@ impl DeltaSet {
         self.counts.values().filter(|&&n| n > 0).map(|&n| n as usize).sum()
     }
 
-    /// Iterate `(tuple, signed multiplicity)` in tuple order.
+    /// Iterate `(tuple, signed multiplicity)` in *unspecified* (but, for a
+    /// given program, deterministic) order. Use only where the consumer is
+    /// order-insensitive — count algebra, state folding; sort at the
+    /// boundary where output becomes observable.
     pub fn iter(&self) -> impl Iterator<Item = (&Tuple, i64)> {
         self.counts.iter().map(|(t, &n)| (t, n))
+    }
+
+    /// Iterate the bag's rows by reference, each tuple yielded once per
+    /// unit of positive multiplicity, in *unspecified* order. This is the
+    /// allocation-free sibling of [`rows`](DeltaSet::rows) for callers that
+    /// only need to walk the bag (state priming, delta application,
+    /// byte accounting) and would otherwise clone every tuple.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &Tuple> {
+        self.counts
+            .iter()
+            .filter(|(_, &n)| n > 0)
+            .flat_map(|(t, &n)| std::iter::repeat_n(t, n as usize))
     }
 
     /// Expand to rows (each tuple repeated by its positive multiplicity),
     /// in sorted order — the bag a query over the view observes.
     pub fn rows(&self) -> Vec<Tuple> {
+        let mut distinct: Vec<(&Tuple, i64)> = self.counts.iter().map(|(t, &n)| (t, n)).collect();
+        distinct.sort_unstable_by(|a, b| a.0.cmp(b.0));
         let mut out = Vec::with_capacity(self.cardinality());
-        for (t, &n) in &self.counts {
+        for (t, n) in distinct {
             for _ in 0..n.max(0) {
                 out.push(t.clone());
             }
@@ -117,10 +142,13 @@ impl DeltaSet {
         out
     }
 
-    /// Render as annotated deltas (`+()`×n / `-()`×n per tuple).
+    /// Render as annotated deltas (`+()`×n / `-()`×n per tuple), sorted by
+    /// tuple — an emission boundary, so order is stable for consumers.
     pub fn to_deltas(&self) -> Vec<Delta> {
+        let mut distinct: Vec<(&Tuple, i64)> = self.counts.iter().map(|(t, &n)| (t, n)).collect();
+        distinct.sort_unstable_by(|a, b| a.0.cmp(b.0));
         let mut out = Vec::new();
-        for (t, &n) in &self.counts {
+        for (t, n) in distinct {
             for _ in 0..n.abs() {
                 out.push(if n > 0 { Delta::insert(t.clone()) } else { Delta::delete(t.clone()) });
             }
@@ -169,5 +197,21 @@ mod tests {
         s.merge_scaled(&d, 1);
         assert_eq!(s.rows(), vec![tuple![1i64], tuple![2i64]]);
         assert_eq!(d.to_deltas(), vec![Delta::delete(tuple![2i64])]);
+    }
+
+    #[test]
+    fn iter_rows_borrows_and_expands_positive_counts() {
+        let mut s = DeltaSet::from_rows(vec![tuple![1i64], tuple![2i64], tuple![2i64]]);
+        s.add(tuple![9i64], -3);
+        let mut seen: Vec<&Tuple> = s.iter_rows().collect();
+        seen.sort_unstable();
+        assert_eq!(seen.len(), 3, "negative entries yield no rows");
+        assert_eq!(*seen[0], tuple![1i64]);
+        assert_eq!(*seen[1], tuple![2i64]);
+        assert_eq!(*seen[2], tuple![2i64]);
+        // The borrowing walk agrees with the cloning expansion.
+        let mut cloned = s.rows();
+        cloned.sort_unstable();
+        assert_eq!(seen.into_iter().cloned().collect::<Vec<_>>(), cloned);
     }
 }

@@ -16,11 +16,42 @@
 //!   handler-defined shapes re-run the defining query, diffing old vs new
 //!   output so cascades still see deltas.
 //!
+//! ## The maintenance hot path
+//!
+//! Three properties keep per-batch cost proportional to the batch:
+//!
+//! * **O(1) decomposable aggregate deltas** — group-by state is
+//!   specialized at build time ([`maintain::AggStrategy`]): `sum`,
+//!   `count`, and `avg` keep running scalars updated in O(1) per delta
+//!   tuple (`avg` as a sum+count pair); `min`/`max` keep a
+//!   count-annotated ordered multiset, so inserts and deletes — *including
+//!   deleting the current extreme* — are O(log n) with the next-best
+//!   value read straight off the multiset, never a group replay. Only
+//!   when a group-by mixes in a non-decomposable aggregate (a UDA, or a
+//!   shape with handler-defined state) does the whole node fall back to
+//!   materializing group input rows and re-deriving dirty groups.
+//! * **Hashed keyed state** — join sides, group state, the emitted-row
+//!   cache, and [`DeltaSet`] counts are hash maps keyed by the
+//!   deterministic in-tree [`FxHasher`](rex_core::hash::FxHasher): O(1)
+//!   probes, reproducible iteration for a given program, and sorting only
+//!   at emission boundaries where output becomes observable.
+//! * **Delta-granular sync** — each view retains its output delta since
+//!   the last sync; [`ViewCatalog::sync`] applies it to the stored copy
+//!   through `Catalog::apply_delta` (insert/remove by signed
+//!   multiplicity), so sync costs O(change), not O(view). Recompute
+//!   fallbacks keep the full republish.
+//!
 //! The [`ViewCatalog`] tracks which views read which tables (so dropping
-//! a base table can be refused), cascades deltas through views defined
-//! over other views, and lazily publishes view contents into the session's
-//! stored-table catalog — which is how scans of a view name work unchanged
-//! on every engine and how the optimizer sees view cardinalities.
+//! a base table can be refused) and cascades deltas through views defined
+//! over other views in *dependency-depth order* — every source a view
+//! reads is final before the view runs, which also lets a recompute
+//! fallback reading several changed sources re-run exactly once per pass.
+//! View contents are still published lazily into the session's
+//! stored-table catalog — which is how views compose into larger queries
+//! unchanged on every engine and how the optimizer sees view
+//! cardinalities — while a *bare* `SELECT * FROM v` is served straight
+//! from authoritative view state (a merge-maintained sorted cache), with
+//! no sync and no engine pass at all.
 //!
 //! The session facade (`rex::Session`) wires this crate to RQL DDL and to
 //! `insert`/`delete`; see the root crate's "Materialized views" docs for

@@ -11,9 +11,18 @@
 //!   `Δ(L ⋈ R) = ΔL ⋈ R_old + L_new ⋈ ΔR` (which expands to the textbook
 //!   `ΔL ⋈ R + L ⋈ ΔR + ΔL ⋈ ΔR`, so self-joins — both children delta-ing
 //!   in one batch — stay correct);
-//! * **Aggregate** — materializes its input grouped by the grouping key and
-//!   re-derives *only the dirty groups*, diffing against what each group
-//!   last emitted.
+//! * **Aggregate** — maintains per-group state chosen at build time (see
+//!   [`AggStrategy`]): *decomposable* built-ins (`sum`/`count`/`avg`/
+//!   `min`/`max`) keep constant-size running state updated in O(1) — or
+//!   O(log n) for the min/max multiset — per delta tuple; anything else
+//!   falls back to materializing the group's input rows and re-deriving
+//!   *only the dirty groups* through the registered handlers.
+//!
+//! All keyed state (join sides, groups, the emitted-row cache) lives in
+//! hash maps keyed by the deterministic in-tree
+//! [`FxHasher`](rex_core::hash::FxHasher): probes are O(1), and because the
+//! hasher is unseeded, every run traverses in the same order. Outputs are
+//! only observable through [`DeltaSet`] emission boundaries, which sort.
 //!
 //! Shapes the rules don't cover — recursive fixpoints, user join delta
 //! handlers, table-valued UDAs — fail [`build`] with a descriptive error;
@@ -24,15 +33,185 @@ use rex_core::delta::Delta;
 use rex_core::error::{Result, RexError};
 use rex_core::expr::{eval_predicate, Expr};
 use rex_core::handlers::AggOutputKind;
+use rex_core::hash::{FxHashMap, FxHashSet};
 use rex_core::tuple::Tuple;
 use rex_core::udf::Registry;
 use rex_core::value::Value;
 use rex_rql::logical::{AggCall, LogicalPlan};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 
 type Key = Vec<Value>;
 /// Join-side state: the input multiset bucketed by join key.
-type KeyedState = BTreeMap<Key, DeltaSet>;
+type KeyedState = FxHashMap<Key, DeltaSet>;
+
+/// The per-aggregate specialization chosen at [`build`] time for the
+/// decomposable built-ins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggSpec {
+    /// Running `Σ value·count` — O(1) per delta tuple.
+    Sum,
+    /// Running row count — O(1) per delta tuple.
+    Count,
+    /// Running `(Σ, count)` pair, divided at emission — O(1) per delta.
+    Avg,
+    /// Count-annotated ordered multiset of values; inserts and deletes —
+    /// including deleting the current minimum — are O(log n), and the new
+    /// extreme is read off the multiset without replaying the group.
+    Min,
+    /// Symmetric to [`AggSpec::Min`].
+    Max,
+}
+
+impl AggSpec {
+    fn describe(&self) -> &'static str {
+        match self {
+            AggSpec::Sum => "O(1) running sum",
+            AggSpec::Count => "O(1) running count",
+            AggSpec::Avg => "O(1) running sum+count",
+            AggSpec::Min | AggSpec::Max => "O(log n) ordered multiset",
+        }
+    }
+}
+
+/// How a [`MaintNode::Aggregate`] maintains its groups, fixed at build
+/// time for the whole node: either *every* aggregate call is a
+/// decomposable built-in (constant-size scalar state per group, no input
+/// rows retained), or the node keeps each group's input multiset and
+/// re-derives dirty groups through the handlers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AggStrategy {
+    /// One [`AggSpec`] per aggregate call; group state is scalars.
+    Specialized(Vec<AggSpec>),
+    /// Dirty-group re-derivation over materialized input rows, with the
+    /// reason specialization was not possible.
+    Replay {
+        /// Which aggregate forced the fallback, and why.
+        reason: String,
+    },
+}
+
+impl AggStrategy {
+    /// Render the strategy for EXPLAIN output, naming each aggregate.
+    pub fn describe(&self, aggs: &[AggCall]) -> String {
+        match self {
+            AggStrategy::Specialized(specs) => {
+                let parts: Vec<String> = aggs
+                    .iter()
+                    .zip(specs)
+                    .map(|(a, s)| format!("{}: {}", a.func, s.describe()))
+                    .collect();
+                format!("group-by[{}]", parts.join(", "))
+            }
+            AggStrategy::Replay { reason } => {
+                format!("group-by[dirty-group replay: {reason}]")
+            }
+        }
+    }
+}
+
+/// Constant-size running state for one specialized aggregate call.
+#[derive(Debug)]
+pub enum AggAccum {
+    /// Shared by `sum` and `avg`.
+    SumCount {
+        /// Running Σ value·count.
+        sum: f64,
+        /// Net row count behind the sum.
+        count: i64,
+    },
+    /// `count(*)` / `count(col)`.
+    Count(i64),
+    /// `min`/`max`: value → multiplicity, ordered so either extreme is the
+    /// first/last key.
+    Extremes(BTreeMap<Value, i64>),
+}
+
+impl AggAccum {
+    fn init(spec: &AggSpec) -> AggAccum {
+        match spec {
+            AggSpec::Sum | AggSpec::Avg => AggAccum::SumCount { sum: 0.0, count: 0 },
+            AggSpec::Count => AggAccum::Count(0),
+            AggSpec::Min | AggSpec::Max => AggAccum::Extremes(BTreeMap::new()),
+        }
+    }
+
+    /// Fold one delta tuple (multiplicity `n`, possibly negative) into the
+    /// running state.
+    fn update(&mut self, call: &AggCall, t: &Tuple, n: i64) -> Result<()> {
+        match self {
+            AggAccum::SumCount { sum, count } => {
+                let v = t.get(call.input_cols[0]);
+                let x = v.as_double().ok_or_else(|| {
+                    RexError::Type(format!(
+                        "aggregate input must be numeric, got {}",
+                        v.data_type()
+                    ))
+                })?;
+                *sum += x * n as f64;
+                *count += n;
+            }
+            AggAccum::Count(c) => *c += n,
+            AggAccum::Extremes(map) => {
+                let v = t.get(call.input_cols[0]);
+                let slot = map.entry(v.clone()).or_insert(0);
+                *slot += n;
+                if *slot == 0 {
+                    map.remove(v);
+                } else if *slot < 0 {
+                    return Err(RexError::Exec(format!(
+                        "view maintenance: negative multiplicity for value {v} under {}",
+                        call.func
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The aggregate's current result, mirroring the built-in handlers'
+    /// semantics for a non-empty group.
+    fn result(&self, spec: &AggSpec) -> Value {
+        match (self, spec) {
+            (AggAccum::SumCount { sum, .. }, AggSpec::Sum) => Value::Double(*sum),
+            (AggAccum::SumCount { sum, count }, _) => {
+                if *count == 0 {
+                    Value::Null
+                } else {
+                    Value::Double(*sum / *count as f64)
+                }
+            }
+            (AggAccum::Count(c), _) => Value::Int(*c),
+            (AggAccum::Extremes(map), AggSpec::Min) => {
+                map.keys().next().cloned().unwrap_or(Value::Null)
+            }
+            (AggAccum::Extremes(map), _) => map.keys().next_back().cloned().unwrap_or(Value::Null),
+        }
+    }
+
+    /// Approximate bytes held (diagnostics).
+    fn byte_size(&self) -> usize {
+        match self {
+            AggAccum::SumCount { .. } => 16,
+            AggAccum::Count(_) => 8,
+            AggAccum::Extremes(map) => map.keys().map(|v| v.byte_size() + 8).sum::<usize>(),
+        }
+    }
+}
+
+/// Per-group maintenance state.
+#[derive(Debug)]
+pub enum GroupState {
+    /// Specialized: the group's net row count plus one accumulator per
+    /// aggregate call. No input rows are retained.
+    Scalars {
+        /// Net multiplicity of the group's input rows.
+        total: i64,
+        /// One accumulator per aggregate call.
+        accums: Vec<AggAccum>,
+    },
+    /// Fallback: the group's input multiset, replayed on change.
+    Rows(DeltaSet),
+}
 
 /// A node of the maintenance plan. Stateful nodes own the materializations
 /// the delta rules need; the tree is primed by replaying each base table's
@@ -73,7 +252,7 @@ pub enum MaintNode {
         /// Materialized right input, bucketed by key.
         right_state: KeyedState,
     },
-    /// Group-by with dirty-group re-derivation.
+    /// Group-by with per-strategy group state (see [`AggStrategy`]).
     Aggregate {
         /// Child node.
         input: Box<MaintNode>,
@@ -83,17 +262,46 @@ pub enum MaintNode {
         aggs: Vec<AggCall>,
         /// Post-aggregation projection over `group cols ++ agg results`.
         post: Option<Vec<Expr>>,
-        /// Materialized input rows per group.
-        groups: BTreeMap<Key, DeltaSet>,
-        /// What each group currently contributes to the output.
-        emitted: BTreeMap<Key, DeltaSet>,
+        /// How groups are maintained, fixed at build time.
+        strategy: AggStrategy,
+        /// Per-group state.
+        groups: FxHashMap<Key, GroupState>,
+        /// What each group currently contributes to the output (every
+        /// group emits exactly one row).
+        emitted: FxHashMap<Key, Tuple>,
     },
+}
+
+/// Classify one aggregate call: a decomposable built-in gets an
+/// [`AggSpec`]; anything else names why the node must replay.
+fn classify(call: &AggCall, reg: &Registry) -> Result<std::result::Result<AggSpec, String>> {
+    let h = reg.agg(&call.func)?;
+    if !h.is_builtin() {
+        return Ok(Err(format!("user aggregate {} has handler-defined state", call.func)));
+    }
+    Ok(match h.name() {
+        "sum" => Ok(AggSpec::Sum),
+        "count" => Ok(AggSpec::Count),
+        "avg" => Ok(AggSpec::Avg),
+        "min" => Ok(AggSpec::Min),
+        "max" => Ok(AggSpec::Max),
+        other => Err(format!("aggregate {other} has no O(1) delta rule")),
+    })
 }
 
 /// Build a maintenance plan for `plan`, or explain why the plan is not
 /// incrementally maintainable (the caller then falls back to full
 /// recomputation).
 pub fn build(plan: &LogicalPlan, reg: &Registry) -> Result<MaintNode> {
+    build_with(plan, reg, true)
+}
+
+/// [`build`], with aggregate specialization forced off when `specialize`
+/// is false — every group-by node keeps input rows and replays dirty
+/// groups. This is the PR-2-era behaviour; it exists so tests and
+/// benchmarks can compare the O(1) path against the replay oracle on the
+/// same plan.
+pub fn build_with(plan: &LogicalPlan, reg: &Registry, specialize: bool) -> Result<MaintNode> {
     match plan {
         LogicalPlan::Scan { table, .. } => {
             Ok(MaintNode::Scan { table: table.to_ascii_lowercase() })
@@ -102,12 +310,13 @@ pub fn build(plan: &LogicalPlan, reg: &Registry) -> Result<MaintNode> {
             "recursive fixpoint: delta rules do not cover WITH ... UNTIL FIXPOINT".into(),
         )),
         LogicalPlan::Filter { input, predicate } => Ok(MaintNode::Filter {
-            input: Box::new(build(input, reg)?),
+            input: Box::new(build_with(input, reg, specialize)?),
             predicate: predicate.clone(),
         }),
-        LogicalPlan::Project { input, exprs, .. } => {
-            Ok(MaintNode::Project { input: Box::new(build(input, reg)?), exprs: exprs.clone() })
-        }
+        LogicalPlan::Project { input, exprs, .. } => Ok(MaintNode::Project {
+            input: Box::new(build_with(input, reg, specialize)?),
+            exprs: exprs.clone(),
+        }),
         LogicalPlan::Join { left, right, left_key, right_key, handler, .. } => {
             if let Some(h) = handler {
                 return Err(RexError::Plan(format!(
@@ -115,12 +324,12 @@ pub fn build(plan: &LogicalPlan, reg: &Registry) -> Result<MaintNode> {
                 )));
             }
             Ok(MaintNode::Join {
-                left: Box::new(build(left, reg)?),
-                right: Box::new(build(right, reg)?),
+                left: Box::new(build_with(left, reg, specialize)?),
+                right: Box::new(build_with(right, reg, specialize)?),
                 left_key: left_key.clone(),
                 right_key: right_key.clone(),
-                left_state: KeyedState::new(),
-                right_state: KeyedState::new(),
+                left_state: KeyedState::default(),
+                right_state: KeyedState::default(),
             })
         }
         LogicalPlan::Aggregate { input, group_cols, aggs, post, .. } => {
@@ -132,13 +341,31 @@ pub fn build(plan: &LogicalPlan, reg: &Registry) -> Result<MaintNode> {
                     )));
                 }
             }
+            let mut specs = Vec::with_capacity(aggs.len());
+            let mut strategy = if specialize {
+                None
+            } else {
+                Some(AggStrategy::Replay { reason: "specialization disabled".into() })
+            };
+            if strategy.is_none() {
+                for a in aggs {
+                    match classify(a, reg)? {
+                        Ok(spec) => specs.push(spec),
+                        Err(reason) => {
+                            strategy = Some(AggStrategy::Replay { reason });
+                            break;
+                        }
+                    }
+                }
+            }
             Ok(MaintNode::Aggregate {
-                input: Box::new(build(input, reg)?),
+                input: Box::new(build_with(input, reg, specialize)?),
                 group_cols: group_cols.clone(),
                 aggs: aggs.clone(),
                 post: post.clone(),
-                groups: BTreeMap::new(),
-                emitted: BTreeMap::new(),
+                strategy: strategy.unwrap_or(AggStrategy::Specialized(specs)),
+                groups: FxHashMap::default(),
+                emitted: FxHashMap::default(),
             })
         }
     }
@@ -199,29 +426,65 @@ impl MaintNode {
                 fold_into(right_state, &dr, right_key);
                 Ok(out)
             }
-            MaintNode::Aggregate { input, group_cols, aggs, post, groups, emitted } => {
+            MaintNode::Aggregate { input, group_cols, aggs, post, strategy, groups, emitted } => {
                 let din = input.apply(table, batch, reg)?;
-                let mut dirty: BTreeSet<Key> = BTreeSet::new();
+                let mut dirty: FxHashSet<Key> = FxHashSet::default();
                 for (t, n) in din.iter() {
                     let k = t.key(group_cols);
-                    groups.entry(k.clone()).or_default().add(t.clone(), n);
+                    match groups.entry(k.clone()).or_insert_with(|| match strategy {
+                        AggStrategy::Specialized(specs) => GroupState::Scalars {
+                            total: 0,
+                            accums: specs.iter().map(AggAccum::init).collect(),
+                        },
+                        AggStrategy::Replay { .. } => GroupState::Rows(DeltaSet::new()),
+                    }) {
+                        GroupState::Scalars { total, accums } => {
+                            *total += n;
+                            for (acc, call) in accums.iter_mut().zip(aggs.iter()) {
+                                acc.update(call, t, n)?;
+                            }
+                        }
+                        GroupState::Rows(rows) => rows.add(t.clone(), n),
+                    }
                     dirty.insert(k);
                 }
                 let mut out = DeltaSet::new();
                 for k in dirty {
-                    let new_out = match groups.get(&k) {
-                        Some(g) if !g.is_empty() => derive_group(&k, g, aggs, post, reg)?,
-                        _ => {
-                            groups.remove(&k);
-                            DeltaSet::new()
+                    let new_row = match groups.get(&k) {
+                        Some(GroupState::Scalars { total, accums }) => {
+                            if *total < 0 {
+                                return Err(RexError::Exec(format!(
+                                    "view maintenance: negative row count in group {k:?}"
+                                )));
+                            } else if *total == 0 {
+                                None
+                            } else {
+                                let specs = match strategy {
+                                    AggStrategy::Specialized(s) => s,
+                                    AggStrategy::Replay { .. } => unreachable!("scalar group"),
+                                };
+                                Some(compose_row(&k, specs, accums, post, reg)?)
+                            }
                         }
+                        Some(GroupState::Rows(g)) if !g.is_empty() => {
+                            Some(derive_group(&k, g, aggs, post, reg)?)
+                        }
+                        _ => None,
                     };
-                    if let Some(old) = emitted.remove(&k) {
-                        out.merge_scaled(&old, -1);
+                    if new_row.is_none() {
+                        groups.remove(&k);
                     }
-                    out.merge_scaled(&new_out, 1);
-                    if !new_out.is_empty() {
-                        emitted.insert(k, new_out);
+                    let old_row = match &new_row {
+                        Some(row) => emitted.insert(k, row.clone()),
+                        None => emitted.remove(&k),
+                    };
+                    // Equal old/new rows cancel inside the DeltaSet, so an
+                    // untouched output emits nothing.
+                    if let Some(o) = old_row {
+                        out.add(o, -1);
+                    }
+                    if let Some(r) = new_row {
+                        out.add(r, 1);
                     }
                 }
                 Ok(out)
@@ -229,7 +492,9 @@ impl MaintNode {
         }
     }
 
-    /// Approximate bytes held in materializations (diagnostics).
+    /// Approximate bytes held in materializations (diagnostics). Counts
+    /// join-side and group state — for specialized groups the constant
+    /// accumulator footprint, for replay groups the retained input rows.
     pub fn state_bytes(&self) -> usize {
         match self {
             MaintNode::Scan { .. } => 0,
@@ -246,8 +511,40 @@ impl MaintNode {
                 input.state_bytes()
                     + groups
                         .values()
-                        .flat_map(|g| g.iter().map(|(t, _)| t.byte_size()))
+                        .map(|g| match g {
+                            GroupState::Scalars { accums, .. } => {
+                                8 + accums.iter().map(AggAccum::byte_size).sum::<usize>()
+                            }
+                            GroupState::Rows(rows) => {
+                                rows.iter().map(|(t, _)| t.byte_size()).sum::<usize>()
+                            }
+                        })
                         .sum::<usize>()
+            }
+        }
+    }
+
+    /// One line per group-by node describing the chosen aggregate
+    /// strategy, leaves-first (EXPLAIN and docs surface these).
+    pub fn agg_strategies(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_agg_strategies(&mut out);
+        out
+    }
+
+    fn collect_agg_strategies(&self, out: &mut Vec<String>) {
+        match self {
+            MaintNode::Scan { .. } => {}
+            MaintNode::Filter { input, .. } | MaintNode::Project { input, .. } => {
+                input.collect_agg_strategies(out)
+            }
+            MaintNode::Join { left, right, .. } => {
+                left.collect_agg_strategies(out);
+                right.collect_agg_strategies(out);
+            }
+            MaintNode::Aggregate { input, aggs, strategy, .. } => {
+                input.collect_agg_strategies(out);
+                out.push(strategy.describe(aggs));
             }
         }
     }
@@ -265,7 +562,23 @@ fn fold_into(state: &mut KeyedState, delta: &DeltaSet, key: &[usize]) {
     }
 }
 
-/// Re-derive one group's output rows from its materialized input: run each
+/// Compose a specialized group's output row: `key ++ agg results`, then
+/// the post-projection — without touching any input rows.
+fn compose_row(
+    key: &Key,
+    specs: &[AggSpec],
+    accums: &[AggAccum],
+    post: &Option<Vec<Expr>>,
+    reg: &Registry,
+) -> Result<Tuple> {
+    let mut vals = key.clone();
+    for (spec, acc) in specs.iter().zip(accums) {
+        vals.push(acc.result(spec));
+    }
+    project_post(Tuple::new(vals), post, reg)
+}
+
+/// Re-derive one group's output row from its materialized input: run each
 /// aggregate handler over the group's rows, compose `key ++ results`, and
 /// apply the post-projection — mirroring the engine's group-by flush.
 fn derive_group(
@@ -274,7 +587,7 @@ fn derive_group(
     aggs: &[AggCall],
     post: &Option<Vec<Expr>>,
     reg: &Registry,
-) -> Result<DeltaSet> {
+) -> Result<Tuple> {
     let mut vals = key.clone();
     for a in aggs {
         let handler = reg.agg(&a.func)?;
@@ -296,20 +609,21 @@ fn derive_group(
             None => Value::Null,
         });
     }
-    let raw = Tuple::new(vals);
-    let row = match post {
-        None => raw,
+    project_post(Tuple::new(vals), post, reg)
+}
+
+/// Apply the post-aggregation projection, if any.
+fn project_post(raw: Tuple, post: &Option<Vec<Expr>>, reg: &Registry) -> Result<Tuple> {
+    match post {
+        None => Ok(raw),
         Some(exprs) => {
             let mut out = Vec::with_capacity(exprs.len());
             for e in exprs {
                 out.push(e.eval(&raw, reg)?);
             }
-            Tuple::new(out)
+            Ok(Tuple::new(out))
         }
-    };
-    let mut set = DeltaSet::new();
-    set.add(row, 1);
-    Ok(set)
+    }
 }
 
 #[cfg(test)]
@@ -385,7 +699,7 @@ mod tests {
     }
 
     #[test]
-    fn aggregate_rederives_only_dirty_groups() {
+    fn aggregate_touches_only_dirty_groups() {
         let reg = Registry::with_builtins();
         let mut n = node("SELECT src, count(*), sum(dst) FROM edges GROUP BY src");
         let out = n
@@ -404,6 +718,106 @@ mod tests {
         // Group 0 untouched → no deltas for it.
         let out = n.apply("edges", &inserts(vec![tuple![0i64, 3i64]]), &reg).unwrap();
         assert_eq!(out.iter().count(), 2, "old row out, new row in");
+    }
+
+    #[test]
+    fn decomposable_aggregates_are_specialized() {
+        let n = node(
+            "SELECT src, count(*), sum(dst), min(dst), max(dst), avg(dst) \
+                      FROM edges GROUP BY src",
+        );
+        let strategies = n.agg_strategies();
+        assert_eq!(strategies.len(), 1);
+        assert!(strategies[0].contains("count: O(1) running count"), "{strategies:?}");
+        assert!(strategies[0].contains("sum: O(1) running sum"), "{strategies:?}");
+        assert!(strategies[0].contains("min: O(log n) ordered multiset"), "{strategies:?}");
+        assert!(strategies[0].contains("avg: O(1) running sum+count"), "{strategies:?}");
+    }
+
+    #[test]
+    fn min_survives_deleting_the_current_extreme() {
+        let reg = Registry::with_builtins();
+        let mut n = node("SELECT src, min(dst), max(dst) FROM edges GROUP BY src");
+        n.apply(
+            "edges",
+            &inserts(vec![tuple![0i64, 3i64], tuple![0i64, 5i64], tuple![0i64, 8i64]]),
+            &reg,
+        )
+        .unwrap();
+        // Delete the current minimum: the multiset recovers 5 without a
+        // group replay (there are no retained rows to replay).
+        let mut del = DeltaSet::new();
+        del.add(tuple![0i64, 3i64], -1);
+        let out = n.apply("edges", &del, &reg).unwrap();
+        assert_eq!(out.rows(), vec![tuple![0i64, 5i64, 8i64]]);
+        // Delete the maximum too.
+        let mut del = DeltaSet::new();
+        del.add(tuple![0i64, 8i64], -1);
+        let out = n.apply("edges", &del, &reg).unwrap();
+        assert_eq!(out.rows(), vec![tuple![0i64, 5i64, 5i64]]);
+    }
+
+    #[test]
+    fn replay_fallback_for_non_builtin_aggregates() {
+        use rex_core::handlers::{AggHandler, AggState};
+        struct LastAgg;
+        impl AggHandler for LastAgg {
+            fn name(&self) -> &str {
+                "last"
+            }
+            fn init(&self) -> AggState {
+                AggState::Value(Value::Null)
+            }
+            fn agg_state(&self, state: &mut AggState, d: &Delta) -> Result<Vec<Delta>> {
+                *state = AggState::Value(d.tuple.get(0).clone());
+                Ok(vec![])
+            }
+            fn agg_result(&self, state: &AggState) -> Result<Vec<Delta>> {
+                match state {
+                    AggState::Value(v) => Ok(vec![Delta::insert(Tuple::new(vec![v.clone()]))]),
+                    _ => Err(RexError::Exec("last: bad state".into())),
+                }
+            }
+        }
+        let reg = Registry::with_builtins();
+        reg.register_agg("last", std::sync::Arc::new(LastAgg));
+        let plan =
+            plan_text("SELECT src, last(dst) FROM edges GROUP BY src", &catalog(), &reg).unwrap();
+        let n = build(&plan, &reg).unwrap();
+        let strategies = n.agg_strategies();
+        assert!(strategies[0].contains("dirty-group replay"), "{strategies:?}");
+        assert!(strategies[0].contains("last"), "{strategies:?}");
+    }
+
+    #[test]
+    fn forced_replay_matches_specialized_outputs() {
+        let reg = Registry::with_builtins();
+        // Scalar aggregates only: their state is constant per group, so
+        // the size comparison below is meaningful (a min/max multiset
+        // legitimately scales with the group's distinct values).
+        let sql = "SELECT src, count(*), sum(dst), avg(dst) FROM edges GROUP BY src";
+        let plan = plan_text(sql, &catalog(), &reg).unwrap();
+        let mut fast = build(&plan, &reg).unwrap();
+        let mut slow = build_with(&plan, &reg, false).unwrap();
+        assert!(fast.agg_strategies()[0].contains("O(1)"));
+        assert!(slow.agg_strategies()[0].contains("replay"));
+        let batches: Vec<DeltaSet> = vec![
+            inserts((0..24i64).map(|i| tuple![i % 2, i]).collect()),
+            {
+                let mut d = DeltaSet::new();
+                d.add(tuple![0i64, 0i64], -1);
+                d.add(tuple![1i64, 1i64], -1);
+                d
+            },
+            inserts(vec![tuple![0i64, 2i64], tuple![1i64, 7i64]]),
+        ];
+        for b in &batches {
+            let a = fast.apply("edges", b, &reg).unwrap();
+            let e = slow.apply("edges", b, &reg).unwrap();
+            assert_eq!(a.rows(), e.rows());
+        }
+        // Specialized state retains no input rows; replay retains them all.
+        assert!(fast.state_bytes() < slow.state_bytes());
     }
 
     #[test]

@@ -4,6 +4,7 @@ use crate::delta_set::DeltaSet;
 use crate::maintain::{build, MaintNode};
 use rex_core::error::Result;
 use rex_core::exec::LocalRuntime;
+use rex_core::hash::FxHashMap;
 use rex_core::tuple::{Schema, Tuple};
 use rex_core::udf::Registry;
 use rex_rql::logical::LogicalPlan;
@@ -49,6 +50,22 @@ pub struct MaterializedView {
     strategy: MaintenanceStrategy,
     maint: Option<MaintNode>,
     output: DeltaSet,
+    /// Output deltas accumulated since the stored copy was last synced —
+    /// what [`ViewCatalog::sync`](crate::catalog::ViewCatalog::sync)
+    /// applies so sync cost is proportional to the change.
+    pending: DeltaSet,
+    /// Sorted expansion of `output`, kept fresh by *merging* each output
+    /// delta (O(view + change), no re-sort) — what bare view scans are
+    /// served from.
+    sorted_cache: Option<Vec<Tuple>>,
+    /// Whether the cache was read since the last maintenance batch. A
+    /// cache nobody reads between writes is dropped rather than merged,
+    /// so write-only streams keep maintenance O(batch) — the next reader
+    /// pays one sort to rebuild it.
+    cache_hot: bool,
+    /// How many times the recompute fallback re-ran the defining query
+    /// (diagnostics; incremental views stay at 0).
+    recomputes: usize,
 }
 
 impl MaterializedView {
@@ -74,6 +91,10 @@ impl MaterializedView {
             strategy,
             maint,
             output: DeltaSet::new(),
+            pending: DeltaSet::new(),
+            sorted_cache: None,
+            cache_hot: false,
+            recomputes: 0,
         }
     }
 
@@ -117,6 +138,31 @@ impl MaterializedView {
         self.output.rows()
     }
 
+    /// Borrowing walk over the current contents in unspecified order —
+    /// for callers that only iterate (publishing, accounting) and don't
+    /// need the sorted, cloned expansion of [`rows`](Self::rows).
+    pub fn iter_rows(&self) -> impl Iterator<Item = &Tuple> {
+        self.output.iter_rows()
+    }
+
+    /// Current contents, sorted, served from the maintained sorted cache:
+    /// the first call after a structural reset sorts once, every later
+    /// call costs one clone because
+    /// [`on_change`](Self::on_change) *merges* output deltas into the
+    /// cache instead of invalidating it. This is what the session's bare
+    /// view-scan fast path serves from.
+    pub fn rows_cached(&mut self) -> Vec<Tuple> {
+        self.cache_hot = true;
+        match &self.sorted_cache {
+            Some(c) => c.clone(),
+            None => {
+                let rows = self.output.rows();
+                self.sorted_cache = Some(rows.clone());
+                rows
+            }
+        }
+    }
+
     /// Current cardinality.
     pub fn len(&self) -> usize {
         self.output.cardinality()
@@ -132,6 +178,34 @@ impl MaterializedView {
         self.maint.as_ref().map(MaintNode::state_bytes).unwrap_or(0)
     }
 
+    /// One line per group-by node of the maintenance plan describing the
+    /// chosen aggregate strategy (empty for recompute-fallback views).
+    pub fn agg_strategies(&self) -> Vec<String> {
+        self.maint.as_ref().map(MaintNode::agg_strategies).unwrap_or_default()
+    }
+
+    /// How many times the recompute fallback re-ran the defining query.
+    /// Incremental views never recompute, so this stays 0 for them; for
+    /// fallback views it counts one per maintenance pass that touched the
+    /// view — the dependency-depth ordering in
+    /// [`ViewCatalog::on_base_change`](crate::catalog::ViewCatalog::on_base_change)
+    /// guarantees exactly one re-run per pass however many of the view's
+    /// sources changed.
+    pub fn recomputes(&self) -> usize {
+        self.recomputes
+    }
+
+    /// The output deltas not yet applied to the stored-table copy.
+    pub fn pending(&self) -> &DeltaSet {
+        &self.pending
+    }
+
+    /// Forget the pending deltas (the caller just applied or republished
+    /// them).
+    pub fn clear_pending(&mut self) {
+        self.pending = DeltaSet::new();
+    }
+
     /// Populate the view from the current store contents. Incremental
     /// views prime by replaying each base table as one insert batch through
     /// the maintenance plan — the same code path later changes take — so
@@ -144,13 +218,17 @@ impl MaterializedView {
                     let out = node.apply(&table, &batch, reg)?;
                     self.output.merge_scaled(&out, 1);
                 }
-                Ok(())
             }
             None => {
                 self.output = DeltaSet::from_rows(evaluate(&self.plan, store, reg)?);
-                Ok(())
             }
         }
+        // Priming is followed by a full publish of the contents, so no
+        // deltas are owed to the stored copy.
+        self.pending = DeltaSet::new();
+        self.sorted_cache = None;
+        self.cache_hot = false;
+        Ok(())
     }
 
     /// Discard all maintained state and contents and re-populate from the
@@ -158,6 +236,7 @@ impl MaterializedView {
     /// maintenance pass fails partway through.
     pub fn rebuild(&mut self, store: &Catalog, reg: &Registry) -> Result<()> {
         self.output = DeltaSet::new();
+        self.pending = DeltaSet::new();
         if matches!(self.strategy, MaintenanceStrategy::Incremental) {
             self.maint = Some(build(&self.plan, reg)?);
         }
@@ -178,17 +257,79 @@ impl MaterializedView {
             Some(node) => {
                 let out = node.apply(&table.to_ascii_lowercase(), batch, reg)?;
                 self.output.merge_scaled(&out, 1);
+                self.pending.merge_scaled(&out, 1);
+                // Merge the delta into the sorted cache only while it is
+                // being read between batches; a write-only stream drops
+                // the cache instead of paying O(view) merges nobody uses.
+                if self.cache_hot {
+                    if let Some(cache) = &mut self.sorted_cache {
+                        merge_sorted(cache, &out);
+                    }
+                    self.cache_hot = false;
+                } else {
+                    self.sorted_cache = None;
+                }
                 Ok(out)
             }
             None => {
+                self.recomputes += 1;
                 let fresh = DeltaSet::from_rows(evaluate(&self.plan, store, reg)?);
                 let mut diff = fresh.clone();
                 diff.merge_scaled(&self.output, -1);
                 self.output = fresh;
+                // Recompute-fallback views republish whole contents on
+                // sync; no per-delta ledger (or merge-maintained sorted
+                // cache) is kept for them.
+                self.sorted_cache = None;
+                self.cache_hot = false;
                 Ok(diff)
             }
         }
     }
+}
+
+/// Merge a signed output delta into a sorted row vector in one pass:
+/// `O(view + change·log(change))`, no re-sort of the whole bag. Negative
+/// multiplicities drop that many copies of the tuple; positive ones are
+/// merge-inserted at their sorted position.
+fn merge_sorted(cache: &mut Vec<Tuple>, delta: &DeltaSet) {
+    if delta.is_empty() {
+        return;
+    }
+    let mut inserts: Vec<(&Tuple, i64)> = Vec::new();
+    let mut removes: FxHashMap<&Tuple, i64> = FxHashMap::default();
+    let mut net = 0i64;
+    for (t, n) in delta.iter() {
+        net += n;
+        if n > 0 {
+            inserts.push((t, n));
+        } else {
+            removes.insert(t, -n);
+        }
+    }
+    inserts.sort_unstable_by(|a, b| a.0.cmp(b.0));
+    let mut out = Vec::with_capacity((cache.len() as i64 + net).max(0) as usize);
+    let mut ins = inserts.iter().flat_map(|(t, n)| std::iter::repeat_n(*t, *n as usize));
+    let mut next_ins = ins.next();
+    for t in cache.drain(..) {
+        while let Some(i) = next_ins {
+            if *i <= t {
+                out.push(i.clone());
+                next_ins = ins.next();
+            } else {
+                break;
+            }
+        }
+        match removes.get_mut(&t) {
+            Some(c) if *c > 0 => *c -= 1,
+            _ => out.push(t),
+        }
+    }
+    while let Some(i) = next_ins {
+        out.push(i.clone());
+        next_ins = ins.next();
+    }
+    *cache = out;
 }
 
 /// Evaluate a plan against the store on the single-node runtime — the

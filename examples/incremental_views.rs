@@ -78,7 +78,7 @@ fn main() {
     session
         .insert("orders", vec![order("ada", 1, 300.0), order("turing", 2, 40.0)])
         .expect("insert more");
-    show(&mut session, "after two inserts (only touched groups re-derive)");
+    show(&mut session, "after two inserts (O(1) running state per touched group)");
 
     session.delete("orders", vec![order("alan", 2, 50.0)]).expect("delete one");
     show(&mut session, "after deleting alan's only order (group disappears)");

@@ -62,12 +62,19 @@
 //! [`Session::insert`] / [`Session::delete`] batch propagates through the
 //! view's *maintenance plan* — the select/project/join/group-by delta
 //! rules of the [`views`] crate — touching state proportional to the
-//! change, not the data. Recursive (`WITH … UNTIL FIXPOINT`) definitions
-//! fall back to full recomputation automatically; `explain` on the DDL
-//! shows which strategy a view gets. Scans of a view name answer from
-//! materialized state on *any* engine, views can be defined over other
-//! views (deltas cascade), and `drop_table` refuses while a view still
-//! reads the table.
+//! change, not the data. The hot path is constant-work per delta tuple:
+//! `sum`/`count`/`avg` keep O(1) running scalars, `min`/`max` an
+//! O(log n) count-annotated multiset (deleting the current extreme
+//! included), and all keyed state lives in hash maps keyed by the
+//! deterministic in-tree [`core::hash::FxHasher`]. Recursive
+//! (`WITH … UNTIL FIXPOINT`) definitions fall back to full recomputation
+//! automatically; `explain` on the DDL shows which strategy — and which
+//! per-aggregate specialization — a view gets. A bare `SELECT * FROM v`
+//! is served directly from authoritative view state (no engine pass);
+//! composed queries read the stored copy, which syncs *delta-granularly*
+//! — O(change), not O(view). Views can be defined over other views
+//! (deltas cascade in dependency-depth order), and `drop_table` refuses
+//! while a view still reads the table.
 //!
 //! ```
 //! use rex::Session;

@@ -313,6 +313,24 @@ impl Session {
             Statement::Query(_) => {
                 let logical = rex_rql::logical::plan(&stmt, &self.schemas, &self.registry)
                     .map_err(|e| RqlError::at(RqlStage::Plan, e))?;
+                // Fast path: a bare scan of a materialized view is served
+                // straight from authoritative view state — no store sync,
+                // no optimizer pass, no engine execution. Serving cost is
+                // one clone of the merge-maintained sorted cache.
+                if let Some(table) = bare_scan_target(&logical) {
+                    if let Some(rows) = self.views.serve_rows(table) {
+                        return Ok(QueryResult {
+                            cost: PlanCost {
+                                rows: rows.len() as u64,
+                                resources: ResourceVector::default(),
+                            },
+                            rows,
+                            report: QueryReport::default(),
+                            cluster: None,
+                            engine: "view-state".to_string(),
+                        });
+                    }
+                }
                 self.views.sync(&self.store)?;
                 self.refresh_stats();
                 let (optimized, cost) = self.optimizer.optimize(logical)?;
@@ -370,7 +388,14 @@ impl Session {
                 let plan = self.plan_view_query(query)?;
                 let probe =
                     MaterializedView::define(name.as_str(), rql, plan.clone(), &self.registry);
-                let m = format!("== maintenance ==\n{}: {}\n", probe.name(), probe.strategy());
+                let mut m = format!("== maintenance ==\n{}: {}\n", probe.name(), probe.strategy());
+                // For incremental plans, say how each group-by maintains
+                // its aggregates (O(1) scalars vs dirty-group replay).
+                for s in probe.agg_strategies() {
+                    m.push_str("  ");
+                    m.push_str(&s);
+                    m.push('\n');
+                }
                 (plan, Some(m))
             }
             _ => (
@@ -487,6 +512,26 @@ impl Session {
 /// The no-work cost estimate attached to catalog-only DDL results.
 fn zero_cost() -> PlanCost {
     PlanCost { rows: 0, resources: ResourceVector::default() }
+}
+
+/// If `plan` is a bare scan of one relation — `SELECT * FROM t`, i.e. a
+/// `Scan` or an identity projection over one — the scanned table's name.
+/// This is what the view-serving fast path keys on.
+fn bare_scan_target(plan: &LogicalPlan) -> Option<&str> {
+    match plan {
+        LogicalPlan::Scan { table, .. } => Some(table),
+        LogicalPlan::Project { input, exprs, .. } => match input.as_ref() {
+            LogicalPlan::Scan { table, schema } if exprs.len() == schema.arity() => {
+                let identity = exprs
+                    .iter()
+                    .enumerate()
+                    .all(|(i, e)| matches!(e, rex_core::expr::Expr::Col(j) if *j == i));
+                identity.then_some(table.as_str())
+            }
+            _ => None,
+        },
+        _ => None,
+    }
 }
 
 #[cfg(test)]
@@ -620,6 +665,29 @@ mod tests {
     }
 
     #[test]
+    fn bare_view_scans_are_served_from_view_state() {
+        let mut s = edge_session("local");
+        s.create_materialized_view("fanout", "SELECT src, count(*) FROM edges GROUP BY src")
+            .unwrap();
+        let r = s.query("SELECT * FROM fanout").unwrap();
+        assert_eq!(r.engine, "view-state", "bare scans skip the engine");
+        assert_eq!(r.rows, vec![tuple![0i64, 2i64], tuple![1i64, 1i64], tuple![2i64, 1i64]]);
+        assert_eq!(r.cost.rows as usize, r.rows.len());
+        // Maintenance keeps the served rows (and the merge-maintained
+        // sorted cache) fresh.
+        s.insert("edges", vec![tuple![1i64, 9i64], tuple![5i64, 0i64]]).unwrap();
+        s.delete("edges", vec![tuple![0i64, 1i64]]).unwrap();
+        let fast = s.query("SELECT * FROM fanout").unwrap();
+        // Oracle: the same rows through the full engine pipeline.
+        let slow = s.query("SELECT src, count FROM fanout WHERE src >= 0").unwrap();
+        assert_eq!(slow.engine, "local", "non-bare scans still run on the engine");
+        assert_eq!(fast.rows, slow.rows);
+        // A bare scan of a *table* is not intercepted.
+        let t = s.query("SELECT * FROM edges").unwrap();
+        assert_eq!(t.engine, "local");
+    }
+
+    #[test]
     fn drop_table_is_typed_and_respects_view_dependencies() {
         let mut s = edge_session("local");
         let err = s.drop_table("missing").unwrap_err();
@@ -643,6 +711,7 @@ mod tests {
             .unwrap();
         assert!(txt.contains("== maintenance =="));
         assert!(txt.contains("incremental delta propagation"));
+        assert!(txt.contains("sum: O(1) running sum"), "explain names the aggregate strategy");
         let txt = s
             .explain(
                 "CREATE MATERIALIZED VIEW reach AS

@@ -130,6 +130,57 @@ fn self_join_view_matches_recompute() {
     }
 }
 
+/// A full-recompute view at the bottom of a ≥3-level cascade, reading
+/// *several* delta sources (the base table directly plus a view two levels
+/// up), must re-run its defining query exactly **once** per maintenance
+/// pass — and only after every upstream view is final, so the single run
+/// sees fully-updated state. Dependency-depth ordering guarantees both;
+/// a naive "already ran" flag would either double-run (PR 2 behaviour) or
+/// risk reading not-yet-final upstream state.
+#[test]
+fn recompute_fallback_runs_once_per_pass_in_deep_cascades() {
+    let mut s = make_session("local");
+    s.insert(
+        "edges",
+        vec![
+            Tuple::new(vec![Value::Int(0), Value::Int(1)]),
+            Tuple::new(vec![Value::Int(0), Value::Int(2)]),
+            Tuple::new(vec![Value::Int(1), Value::Int(2)]),
+            Tuple::new(vec![Value::Int(2), Value::Int(3)]),
+        ],
+    )
+    .unwrap();
+    // Depth 1 and 2: incremental views.
+    s.create_materialized_view("fanout", "SELECT src, count(*) FROM edges GROUP BY src").unwrap();
+    s.create_materialized_view("hot", "SELECT src FROM fanout WHERE count > 1").unwrap();
+    // Depth 3: recursive (forced full recompute), reading BOTH `edges`
+    // (depth 0 source) and `hot` (depth 2 source).
+    let best_sql = "WITH R (id) AS (SELECT src FROM hot) \
+                    UNION UNTIL FIXPOINT BY id ( \
+                      SELECT edges.dst FROM edges, R WHERE edges.src = R.id)";
+    s.create_materialized_view("best", best_sql).unwrap();
+    assert!(s.view_strategy("best").unwrap().contains("full recompute"));
+    assert_eq!(s.views().get("best").unwrap().recomputes(), 0, "priming is not a recompute pass");
+    assert_eq!(s.query("SELECT * FROM best").unwrap().rows.len(), 4); // 0,1,2,3
+
+    // This insert changes edges AND (via the cascade) fanout and hot:
+    // three delta sources feed `best` in one pass, yet it recomputes once.
+    s.insert("edges", vec![Tuple::new(vec![Value::Int(1), Value::Int(4)])]).unwrap();
+    assert_eq!(s.views().get("best").unwrap().recomputes(), 1, "one recompute per pass");
+    // And that one run saw final upstream state: src 1 is hot now, so its
+    // reachability (4) must be in the view.
+    let got = s.query("SELECT * FROM best").unwrap().rows;
+    let want = s.query(best_sql).unwrap().rows;
+    assert_eq!(got, want);
+    assert!(got.contains(&Tuple::new(vec![Value::Int(4)])), "upstream `hot` was final");
+
+    // An insert that leaves `hot` unchanged still reaches `best` through
+    // the direct edges dependency — again exactly one recompute.
+    s.insert("edges", vec![Tuple::new(vec![Value::Int(7), Value::Int(6)])]).unwrap();
+    assert_eq!(s.views().get("best").unwrap().recomputes(), 2);
+    assert_eq!(s.query("SELECT * FROM best").unwrap().rows, s.query(best_sql).unwrap().rows);
+}
+
 #[test]
 fn view_on_view_cascade_matches_recompute() {
     let mut s = make_session("local");
