@@ -8,7 +8,7 @@
 //! * **MapReduce twins** — the same algorithms as Hadoop jobs for the
 //!   `Hadoop LB` / `HaLoop LB` baselines, plus "wrap" variants that run the
 //!   Hadoop classes *inside* REX (§4.4);
-//! * **sequential references** ([`reference`]) — the ground truth that all
+//! * **sequential references** ([`mod@reference`]) — the ground truth that all
 //!   platforms are validated against.
 //!
 //! [`taxonomy`] reproduces Figure 3's immutable/mutable/Δᵢ classification.

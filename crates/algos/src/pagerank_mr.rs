@@ -11,7 +11,7 @@
 //! 2. **gather** — identity map, sum combiner, and a reducer computing
 //!    `0.15 + 0.85 · Σ contributions`.
 //!
-//! Under [`EmulationMode::HaLoopLowerBound`] the linkage table's map and
+//! Under [`EmulationMode::HaLoopLowerBound`](rex_hadoop::cost::EmulationMode) the linkage table's map and
 //! shuffle are free from iteration 1 on (the reducer input cache); under
 //! `HadoopLowerBound` everything is charged — exactly the paper's
 //! emulation methodology.

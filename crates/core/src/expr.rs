@@ -2,7 +2,7 @@
 //!
 //! Expressions appear in selections, projections, `applyFunction` operators,
 //! and join predicates. User-defined functions are referenced by name and
-//! resolved against the [`Registry`](crate::udf::Registry) — REX's analogue
+//! resolved against the [`Registry`] — REX's analogue
 //! of loading Java classes and invoking them by reflection.
 
 use crate::error::{Result, RexError};
@@ -58,7 +58,7 @@ impl fmt::Display for BinOp {
 }
 
 /// A scalar expression.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Expr {
     /// Reference to input column `i`.
     Col(usize),

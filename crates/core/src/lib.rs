@@ -13,18 +13,19 @@
 //!
 //! This crate provides:
 //!
-//! * the value/tuple/schema layer ([`value`], [`tuple`]);
+//! * the value/tuple/schema layer ([`value`], [`mod@tuple`]);
 //! * deltas, annotations and punctuation ([`delta`]);
 //! * scalar expressions ([`expr`]) and user-defined code ([`udf`],
 //!   [`handlers`], [`aggregates`], [`builtins`]);
 //! * the physical operators ([`operators`]): scan, filter, project,
-//!   apply-function, pipelined hash join, group-by, rehash, while/fixpoint,
-//!   union, sink — all delta-aware;
+//!   apply-function, pipelined hash join, group-by, rehash, top-k
+//!   (`ORDER BY … LIMIT`), while/fixpoint, union, sink — all delta-aware;
 //! * the push-based executor and single-node runtime ([`exec`]);
 //! * the cost model and metric accounting ([`metrics`]).
 //!
 //! Distribution (consistent hashing, routing, recovery) lives in
-//! `rex-cluster`; the RQL language in `rex-rql`; the optimizer in
+//! `rex-cluster`; the RQL language in `rex-rql` (full reference:
+//! `docs/RQL.md` at the repository root); the optimizer in
 //! `rex-optimizer`.
 //!
 //! ## Materialized views & incremental maintenance

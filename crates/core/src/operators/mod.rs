@@ -17,6 +17,7 @@ mod project;
 mod rehash;
 mod scan;
 mod sink;
+mod topk;
 mod union;
 
 pub use apply_fn::{ApplyFunctionOp, DeltaMapper, ExprMapper, FnMapper};
@@ -28,6 +29,7 @@ pub use project::ProjectOp;
 pub use rehash::{hash_key, RehashOp};
 pub use scan::ScanOp;
 pub use sink::SinkOp;
+pub use topk::{compare_by_keys, SortSpec, TopKOp};
 pub use union::UnionOp;
 
 use crate::delta::{Delta, Punctuation};

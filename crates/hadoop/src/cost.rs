@@ -6,7 +6,7 @@
 //! additionally, for *both* Hadoop and HaLoop lower bounds, convergence
 //! tests, input/output formatting, and final result collection run free.
 //! The same methodology is reproduced here, on top of the shared
-//! [`CostModel`](rex_core::metrics::CostModel) constants so that REX and
+//! [`CostModel`] constants so that REX and
 //! the baselines are costed with identical per-tuple/byte rates.
 
 use rex_core::metrics::CostModel;

@@ -3,7 +3,7 @@
 //!
 //! The simulator executes the user functions *for real* (results are exact)
 //! while accounting costs according to the configured
-//! [`EmulationMode`](crate::cost::EmulationMode): computation on immutable
+//! [`EmulationMode`]: computation on immutable
 //! inputs still happens — "the actual computation is still performed
 //! repeatedly" — but HaLoop-mode charges zero for the cached portion.
 

@@ -12,7 +12,7 @@
 //! ```
 //!
 //! The adapters here turn a [`Mapper`] into a REX
-//! [`DeltaMapper`](rex_core::operators::DeltaMapper) and a [`Reducer`] into
+//! [`DeltaMapper`] and a [`Reducer`] into
 //! a REX [`AggHandler`], charging the text (de)serialization overhead the
 //! paper attributes to the wrappers ("responsible for formatting the input
 //! and output data as strings"). For recursive queries the formatting cost

@@ -1,5 +1,5 @@
 //! Top-down join-order enumeration with memoization and branch-and-bound
-//! (§5, after the Volcano/Cascades style of [10]).
+//! (§5, after the Volcano/Cascades style of \[10\]).
 //!
 //! The enumerator searches bushy trees over a join graph: each memo entry
 //! is a set of relations; a set is optimized by splitting it into every

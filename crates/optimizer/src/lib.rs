@@ -49,10 +49,15 @@ impl Optimizer {
         }
     }
 
-    /// Optimize a logical plan: apply the rewrite rules, then cost the
-    /// result. Returns the rewritten plan and its estimate.
+    /// Optimize a logical plan: apply the rewrite rules — HAVING pushdown
+    /// below aggregates, redundant-DISTINCT elimination, LIMIT-into-Sort
+    /// top-k fusion, rank-ordered filters — then cost the result. Returns
+    /// the rewritten plan and its estimate.
     pub fn optimize(&self, plan: LogicalPlan) -> Result<(LogicalPlan, PlanCost)> {
-        let rewritten = rules::order_filters_by_rank(plan, &self.stats);
+        let rewritten = rules::push_having_below_aggregate(plan);
+        let rewritten = rules::eliminate_redundant_distinct(rewritten);
+        let rewritten = rules::fuse_limit_into_sort(rewritten);
+        let rewritten = rules::order_filters_by_rank(rewritten, &self.stats);
         let coster = Coster { stats: &self.stats, units: self.units, calib: &self.calib };
         let cost = coster.cost(&rewritten)?;
         Ok((rewritten, cost))

@@ -148,6 +148,25 @@ impl Coster<'_> {
                         + ResourceVector::net(shipped * u.net_per_byte),
                 })
             }
+            LogicalPlan::Sort { input, keys, fetch, offset } => {
+                let c = self.cost_inner(input, fixpoint_rows)?;
+                // n·log n comparisons plus per-row key evaluation.
+                let n = c.rows as f64;
+                let key_cpu: f64 = keys.iter().map(|k| self.udf_cost(&k.expr)).sum();
+                let sort_cpu = n * (n.max(2.0).log2() * u.cpu_per_tuple * 0.1 + key_cpu);
+                let rows = match fetch {
+                    Some(f) => c.rows.saturating_sub(*offset).min(*f),
+                    None => c.rows,
+                };
+                Ok(PlanCost { rows, resources: c.resources + ResourceVector::cpu(sort_cpu) })
+            }
+            LogicalPlan::Limit { input, fetch, offset } => {
+                let c = self.cost_inner(input, fixpoint_rows)?;
+                Ok(PlanCost {
+                    rows: c.rows.saturating_sub(*offset).min(*fetch),
+                    resources: c.resources + ResourceVector::cpu(c.rows as f64 * u.cpu_per_tuple),
+                })
+            }
             LogicalPlan::Fixpoint { base, step, .. } => {
                 let b = self.cost_inner(base, 0)?;
                 let mut total = b.resources;

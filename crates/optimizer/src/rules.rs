@@ -1,5 +1,15 @@
-//! Rewrite rules: predicate migration for UDFs (§5.1) and UDA
-//! pre-aggregation pushdown (§5.2).
+//! Rewrite rules: predicate migration for UDFs (§5.1), UDA
+//! pre-aggregation pushdown (§5.2), and the ORDER BY / LIMIT / DISTINCT /
+//! HAVING normalizations:
+//!
+//! * [`fuse_limit_into_sort`] — `Limit` directly above `Sort` collapses
+//!   into a top-k (the sort never materializes more than
+//!   `limit + offset` rows per worker);
+//! * [`push_having_below_aggregate`] — a HAVING predicate that touches
+//!   only group-key columns filters input *rows* instead of groups;
+//! * [`eliminate_redundant_distinct`] — `DISTINCT` over input whose rows
+//!   are provably unique (an aggregate output, another DISTINCT) is a
+//!   no-op and is removed.
 //!
 //! The rules are cost-guided but semantics-preserving; tests execute the
 //! original and rewritten plans and compare results.
@@ -32,7 +42,7 @@ fn expr_udf_cost(e: &Expr, stats: &Statistics) -> f64 {
 
 /// Reorder chains of adjacent filters by increasing rank ("the optimal
 /// order of application of expensive predicates over the same relation is
-/// in increasing order of rank", [13] via §5.1). Applied recursively to
+/// in increasing order of rank", \[13\] via §5.1). Applied recursively to
 /// the whole plan.
 pub fn order_filters_by_rank(plan: LogicalPlan, stats: &Statistics) -> LogicalPlan {
     match plan {
@@ -88,8 +98,167 @@ pub fn order_filters_by_rank(plan: LogicalPlan, stats: &Statistics) -> LogicalPl
             step: Box::new(order_filters_by_rank(*step, stats)),
             schema,
         },
+        LogicalPlan::Sort { input, keys, fetch, offset } => LogicalPlan::Sort {
+            input: Box::new(order_filters_by_rank(*input, stats)),
+            keys,
+            fetch,
+            offset,
+        },
+        LogicalPlan::Limit { input, fetch, offset } => LogicalPlan::Limit {
+            input: Box::new(order_filters_by_rank(*input, stats)),
+            fetch,
+            offset,
+        },
         leaf => leaf,
     }
+}
+
+/// Rebuild a plan with `f` applied to every node bottom-up (children
+/// first, then the node itself).
+fn rewrite_bottom_up(plan: LogicalPlan, f: &impl Fn(LogicalPlan) -> LogicalPlan) -> LogicalPlan {
+    let rebuilt = match plan {
+        LogicalPlan::Filter { input, predicate } => {
+            LogicalPlan::Filter { input: Box::new(rewrite_bottom_up(*input, f)), predicate }
+        }
+        LogicalPlan::Project { input, exprs, schema } => {
+            LogicalPlan::Project { input: Box::new(rewrite_bottom_up(*input, f)), exprs, schema }
+        }
+        LogicalPlan::Join { left, right, left_key, right_key, handler, schema } => {
+            LogicalPlan::Join {
+                left: Box::new(rewrite_bottom_up(*left, f)),
+                right: Box::new(rewrite_bottom_up(*right, f)),
+                left_key,
+                right_key,
+                handler,
+                schema,
+            }
+        }
+        LogicalPlan::Aggregate { input, group_cols, aggs, post, schema } => {
+            LogicalPlan::Aggregate {
+                input: Box::new(rewrite_bottom_up(*input, f)),
+                group_cols,
+                aggs,
+                post,
+                schema,
+            }
+        }
+        LogicalPlan::Fixpoint { name, key_cols, base, step, schema } => LogicalPlan::Fixpoint {
+            name,
+            key_cols,
+            base: Box::new(rewrite_bottom_up(*base, f)),
+            step: Box::new(rewrite_bottom_up(*step, f)),
+            schema,
+        },
+        LogicalPlan::Sort { input, keys, fetch, offset } => {
+            LogicalPlan::Sort { input: Box::new(rewrite_bottom_up(*input, f)), keys, fetch, offset }
+        }
+        LogicalPlan::Limit { input, fetch, offset } => {
+            LogicalPlan::Limit { input: Box::new(rewrite_bottom_up(*input, f)), fetch, offset }
+        }
+        leaf => leaf,
+    };
+    f(rebuilt)
+}
+
+/// Fuse `Limit` directly above a plain `Sort` into a top-k: the sort
+/// carries the fetch/offset, so execution keeps at most `fetch + offset`
+/// rows per worker instead of a full sorted materialization.
+pub fn fuse_limit_into_sort(plan: LogicalPlan) -> LogicalPlan {
+    rewrite_bottom_up(plan, &|p| match p {
+        LogicalPlan::Limit { input, fetch, offset } => match *input {
+            LogicalPlan::Sort { input: si, keys, fetch: None, offset: 0 } => {
+                LogicalPlan::Sort { input: si, keys, fetch: Some(fetch), offset }
+            }
+            other => LogicalPlan::Limit { input: Box::new(other), fetch, offset },
+        },
+        other => other,
+    })
+}
+
+/// Remap column references through `map` (index in the aggregate output →
+/// index in the aggregate input).
+fn remap_cols(e: &Expr, map: &[usize]) -> Expr {
+    match e {
+        Expr::Col(i) => Expr::Col(map[*i]),
+        Expr::Bin(op, a, b) => {
+            Expr::Bin(*op, Box::new(remap_cols(a, map)), Box::new(remap_cols(b, map)))
+        }
+        Expr::Not(a) => Expr::Not(Box::new(remap_cols(a, map))),
+        Expr::Neg(a) => Expr::Neg(Box::new(remap_cols(a, map))),
+        Expr::IsNull(a) => Expr::IsNull(Box::new(remap_cols(a, map))),
+        Expr::Udf(n, args) => {
+            Expr::Udf(n.clone(), args.iter().map(|a| remap_cols(a, map)).collect())
+        }
+        Expr::Case(arms, default) => Expr::Case(
+            arms.iter().map(|(c, t)| (remap_cols(c, map), remap_cols(t, map))).collect(),
+            Box::new(remap_cols(default, map)),
+        ),
+        other => other.clone(),
+    }
+}
+
+/// Push a HAVING filter below its aggregate when the predicate references
+/// only group-key columns: filtering the groups is then equivalent to
+/// filtering the input rows (a group disappears exactly when all its rows
+/// do), and the aggregate maintains fewer groups. Skipped for global
+/// aggregates (no group keys): they emit a row even for empty input, so
+/// the filter must stay above.
+pub fn push_having_below_aggregate(plan: LogicalPlan) -> LogicalPlan {
+    rewrite_bottom_up(plan, &|p| match p {
+        LogicalPlan::Filter { input, predicate } => match *input {
+            LogicalPlan::Aggregate { input: agg_in, group_cols, aggs, post: None, schema }
+                if !group_cols.is_empty() && {
+                    let mut cols = Vec::new();
+                    predicate.referenced_columns(&mut cols);
+                    cols.iter().all(|c| *c < group_cols.len())
+                } =>
+            {
+                let pushed = remap_cols(&predicate, &group_cols);
+                LogicalPlan::Aggregate {
+                    input: Box::new(LogicalPlan::Filter { input: agg_in, predicate: pushed }),
+                    group_cols,
+                    aggs,
+                    post: None,
+                    schema,
+                }
+            }
+            other => LogicalPlan::Filter { input: Box::new(other), predicate },
+        },
+        other => other,
+    })
+}
+
+/// Whether every row of the plan's output is provably distinct: aggregate
+/// outputs (without a post projection the row is `key ++ results`, unique
+/// per key; a DISTINCT is an aggregate with no calls), optionally seen
+/// through row-preserving operators (Filter/Sort/Limit).
+fn produces_unique_rows(plan: &LogicalPlan) -> bool {
+    match plan {
+        LogicalPlan::Aggregate { post: None, .. } => true,
+        LogicalPlan::Filter { input, .. }
+        | LogicalPlan::Sort { input, .. }
+        | LogicalPlan::Limit { input, .. } => produces_unique_rows(input),
+        _ => false,
+    }
+}
+
+/// Drop a DISTINCT (group-by-all-columns with no aggregates) whose input
+/// already produces unique rows.
+pub fn eliminate_redundant_distinct(plan: LogicalPlan) -> LogicalPlan {
+    rewrite_bottom_up(plan, &|p| match p {
+        LogicalPlan::Aggregate { input, group_cols, aggs, post, schema } => {
+            let is_distinct = aggs.is_empty()
+                && post.is_none()
+                && group_cols.len() == input.schema().arity()
+                && group_cols.iter().enumerate().all(|(i, c)| i == *c);
+            if is_distinct && produces_unique_rows(&input) {
+                *input
+            } else {
+                LogicalPlan::Aggregate { input, group_cols, aggs, post, schema }
+            }
+        }
+        other => other,
+    })
 }
 
 /// Decision record for a pre-aggregation pushdown (§5.2).
@@ -265,5 +434,96 @@ mod tests {
     fn network_benefit_shrinks_with_group_count() {
         assert!(preagg_network_benefit(1000, 10, 24.0) > preagg_network_benefit(1000, 900, 24.0));
         assert_eq!(preagg_network_benefit(10, 10, 24.0), 0.0);
+    }
+
+    #[test]
+    fn limit_fuses_into_sort_as_topk() {
+        let reg = Registry::with_builtins();
+        let p = plan_text("SELECT a FROM t ORDER BY a DESC LIMIT 3 OFFSET 1", &catalog(), &reg)
+            .unwrap();
+        assert!(matches!(p, LogicalPlan::Limit { .. }));
+        let fused = fuse_limit_into_sort(p);
+        let LogicalPlan::Sort { fetch: Some(3), offset: 1, keys, .. } = &fused else {
+            panic!("expected fused top-k, got {fused:?}");
+        };
+        assert!(keys[0].desc);
+        // A bare LIMIT (no sort beneath) stays a Limit.
+        let p = plan_text("SELECT a FROM t LIMIT 3", &catalog(), &reg).unwrap();
+        assert!(matches!(fuse_limit_into_sort(p), LogicalPlan::Limit { .. }));
+    }
+
+    #[test]
+    fn having_on_group_keys_pushes_below_aggregate() {
+        let reg = Registry::with_builtins();
+        let p = plan_text("SELECT a, count(*) FROM t GROUP BY a HAVING a > 2", &catalog(), &reg)
+            .unwrap();
+        let pushed = push_having_below_aggregate(p);
+        let LogicalPlan::Aggregate { input, .. } = &pushed else {
+            panic!("filter should vanish above the aggregate: {pushed:?}");
+        };
+        let LogicalPlan::Filter { predicate, .. } = input.as_ref() else {
+            panic!("filter should appear below: {input:?}");
+        };
+        // The predicate's column is remapped from output position 0 to
+        // the input's group column (a = col 0 here).
+        let mut cols = Vec::new();
+        predicate.referenced_columns(&mut cols);
+        assert_eq!(cols, vec![0]);
+    }
+
+    #[test]
+    fn having_on_aggregates_stays_above() {
+        let reg = Registry::with_builtins();
+        let p =
+            plan_text("SELECT a, count(*) FROM t GROUP BY a HAVING count(*) > 2", &catalog(), &reg)
+                .unwrap();
+        let rewritten = push_having_below_aggregate(p);
+        assert!(matches!(rewritten, LogicalPlan::Filter { .. }), "{rewritten:?}");
+    }
+
+    #[test]
+    fn having_pushdown_preserves_results() {
+        use rex_core::exec::LocalRuntime;
+        use rex_core::tuple;
+        use rex_rql::lower::{lower, MemTables};
+        let reg = Registry::with_builtins();
+        let p =
+            plan_text("SELECT a, sum(c) FROM t GROUP BY a HAVING a > 1", &catalog(), &reg).unwrap();
+        let rewritten = push_having_below_aggregate(p.clone());
+        let mut m = MemTables::new();
+        m.insert(
+            "t",
+            vec![
+                tuple![1i64, 0i64, 1.0f64],
+                tuple![2i64, 0i64, 2.0f64],
+                tuple![2i64, 0i64, 3.0f64],
+                tuple![3i64, 0i64, 4.0f64],
+            ],
+        );
+        let run = |lp: &LogicalPlan| {
+            let g = lower(lp, &m, &reg).unwrap();
+            let (mut r, _) = LocalRuntime::new().run(g).unwrap();
+            r.sort();
+            r
+        };
+        assert_eq!(run(&p), run(&rewritten));
+        assert_eq!(run(&p), vec![tuple![2i64, 5.0f64], tuple![3i64, 4.0f64]]);
+    }
+
+    #[test]
+    fn distinct_over_aggregate_output_is_eliminated() {
+        let reg = Registry::with_builtins();
+        let p =
+            plan_text("SELECT DISTINCT a, count(*) FROM t GROUP BY a", &catalog(), &reg).unwrap();
+        let rewritten = eliminate_redundant_distinct(p);
+        let LogicalPlan::Aggregate { aggs, .. } = &rewritten else {
+            panic!("outer DISTINCT should be gone: {rewritten:?}");
+        };
+        assert_eq!(aggs.len(), 1, "only the real aggregate remains");
+        // DISTINCT over a plain scan is NOT unique input: kept.
+        let p = plan_text("SELECT DISTINCT a FROM t", &catalog(), &reg).unwrap();
+        let kept = eliminate_redundant_distinct(p);
+        let LogicalPlan::Aggregate { aggs, .. } = &kept else { panic!("{kept:?}") };
+        assert!(aggs.is_empty());
     }
 }

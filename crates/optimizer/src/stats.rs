@@ -41,7 +41,7 @@ pub struct UdfProfile {
 impl UdfProfile {
     /// The rank of predicate-migration ordering: `cost / (1 −
     /// selectivity)` — "predicates which are inexpensive to compute, or
-    /// discard the most tuples, should be applied first" [13].
+    /// discard the most tuples, should be applied first" \[13\].
     pub fn rank(&self) -> f64 {
         let denom = (1.0 - self.selectivity).max(1e-9);
         self.cost_per_tuple / denom

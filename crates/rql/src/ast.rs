@@ -4,6 +4,7 @@
 //! `WITH R (cols) AS (base) UNION [ALL] UNTIL FIXPOINT BY key (recursive)`
 //! and table-valued UDA invocation with destructuring, `F(args).{a, b}`.
 
+use rex_core::value::DataType;
 use std::fmt;
 
 /// A full RQL statement.
@@ -11,6 +12,14 @@ use std::fmt;
 pub enum Statement {
     /// A (possibly recursive) query.
     Query(Query),
+    /// `CREATE TABLE <name> (col type, ...)`: define an empty stored base
+    /// table (the DDL form of `Session::create_table`).
+    CreateTable {
+        /// The table's name.
+        name: String,
+        /// Column names and declared types, in order.
+        columns: Vec<(String, DataType)>,
+    },
     /// `CREATE MATERIALIZED VIEW <name> AS <query>`: define a view that is
     /// kept up to date incrementally as its base tables change.
     CreateView {
@@ -70,6 +79,9 @@ pub struct RecursiveWith {
 /// A single SELECT block.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct SelectBlock {
+    /// `SELECT DISTINCT`: deduplicate the result (planned as a group-by
+    /// over every output column).
+    pub distinct: bool,
     /// The projection list.
     pub projections: Vec<Projection>,
     /// FROM items (implicit cross join, restricted by WHERE).
@@ -78,6 +90,31 @@ pub struct SelectBlock {
     pub selection: Option<AstExpr>,
     /// GROUP BY expressions.
     pub group_by: Vec<AstExpr>,
+    /// HAVING predicate (filters groups, may reference aggregates).
+    pub having: Option<AstExpr>,
+    /// ORDER BY keys, applied to the block's output.
+    pub order_by: Vec<OrderItem>,
+    /// `LIMIT n [OFFSET m]`.
+    pub limit: Option<LimitClause>,
+}
+
+/// One `ORDER BY` item.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderItem {
+    /// The sort key: an output column, a positional index (`ORDER BY 2`),
+    /// or any scalar expression over the output row.
+    pub expr: AstExpr,
+    /// `true` for `DESC` (default `ASC`).
+    pub desc: bool,
+}
+
+/// `LIMIT n [OFFSET m]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LimitClause {
+    /// Maximum rows returned.
+    pub fetch: u64,
+    /// Rows skipped before the first returned row.
+    pub offset: u64,
 }
 
 /// One item of a projection list.

@@ -110,6 +110,11 @@ pub const KEYWORDS: &[&str] = &[
     "VIEW",
     "DROP",
     "TABLE",
+    "ORDER",
+    "LIMIT",
+    "OFFSET",
+    "ASC",
+    "DESC",
 ];
 
 /// Line/column (1-based) of byte offset `i` in `src`.

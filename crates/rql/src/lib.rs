@@ -9,6 +9,12 @@
 //! * seamless use of user code registered in the engine's
 //!   [`Registry`](rex_core::udf::Registry) without DDL.
 //!
+//! The relational surface is complete: `SELECT [DISTINCT] … [WHERE]
+//! [GROUP BY] [HAVING] [ORDER BY … [LIMIT n [OFFSET m]]]` with
+//! aggregates over arbitrary scalar expressions, plus `CREATE TABLE`,
+//! `CREATE MATERIALIZED VIEW`, and `DROP` DDL. The authoritative
+//! language reference is `docs/RQL.md` at the repository root.
+//!
 //! Pipeline: [`lexer`] → [`parser`] → [`resolve`] (names & types against a
 //! schema catalog) → [`logical`] plan → [`lower`] to a physical
 //! [`PlanGraph`](rex_core::exec::PlanGraph) runnable on the local or

@@ -31,6 +31,15 @@ pub struct AggCall {
     pub return_type: DataType,
 }
 
+/// One `ORDER BY` key inside a [`LogicalPlan::Sort`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SortKey {
+    /// The key expression, resolved over the sort input's row.
+    pub expr: Expr,
+    /// `true` for `DESC`.
+    pub desc: bool,
+}
+
 /// A logical plan node. Every node knows its output schema.
 #[derive(Debug, Clone)]
 pub enum LogicalPlan {
@@ -107,6 +116,31 @@ pub enum LogicalPlan {
         /// Declared schema of the recursive relation.
         schema: Schema,
     },
+    /// `ORDER BY`, optionally carrying a fused `LIMIT` (top-k) after the
+    /// optimizer collapses a [`LogicalPlan::Limit`] directly above it.
+    /// Ordering is total: ties resolve by full-tuple comparison, so the
+    /// selected rows are identical on every engine. Schema = input schema.
+    Sort {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Sort keys, major first.
+        keys: Vec<SortKey>,
+        /// Fused LIMIT (maximum rows), when present.
+        fetch: Option<u64>,
+        /// Fused OFFSET (rows skipped before the first kept row).
+        offset: u64,
+    },
+    /// `LIMIT n [OFFSET m]`. Selection is deterministic: rows are taken in
+    /// the input's ORDER BY order when one is directly beneath, in total
+    /// tuple order otherwise. Schema = input schema.
+    Limit {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Maximum rows returned.
+        fetch: u64,
+        /// Rows skipped before the first returned row.
+        offset: u64,
+    },
 }
 
 impl LogicalPlan {
@@ -119,7 +153,9 @@ impl LogicalPlan {
             | LogicalPlan::Join { schema, .. }
             | LogicalPlan::Aggregate { schema, .. }
             | LogicalPlan::Fixpoint { schema, .. } => schema,
-            LogicalPlan::Filter { input, .. } => input.schema(),
+            LogicalPlan::Filter { input, .. }
+            | LogicalPlan::Sort { input, .. }
+            | LogicalPlan::Limit { input, .. } => input.schema(),
         }
     }
 
@@ -138,6 +174,9 @@ impl LogicalPlan {
                     walk(right, out);
                 }
                 LogicalPlan::Aggregate { input, .. } => walk(input, out),
+                LogicalPlan::Sort { input, .. } | LogicalPlan::Limit { input, .. } => {
+                    walk(input, out)
+                }
                 LogicalPlan::Fixpoint { base, step, .. } => {
                     walk(base, out);
                     walk(step, out);
@@ -159,8 +198,30 @@ impl LogicalPlan {
             LogicalPlan::Scan { .. } => false,
             LogicalPlan::Filter { input, .. }
             | LogicalPlan::Project { input, .. }
-            | LogicalPlan::Aggregate { input, .. } => input.is_recursive(),
+            | LogicalPlan::Aggregate { input, .. }
+            | LogicalPlan::Sort { input, .. }
+            | LogicalPlan::Limit { input, .. } => input.is_recursive(),
             LogicalPlan::Join { left, right, .. } => left.is_recursive() || right.is_recursive(),
+        }
+    }
+
+    /// Whether the plan contains an `ORDER BY` or `LIMIT` node anywhere.
+    /// Such plans are *query-only*: a materialized view is an unordered
+    /// relation, so the session rejects them as view definitions instead
+    /// of letting the order silently evaporate on maintenance.
+    pub fn has_order_or_limit(&self) -> bool {
+        match self {
+            LogicalPlan::Sort { .. } | LogicalPlan::Limit { .. } => true,
+            LogicalPlan::Scan { .. } | LogicalPlan::FixpointRef { .. } => false,
+            LogicalPlan::Filter { input, .. }
+            | LogicalPlan::Project { input, .. }
+            | LogicalPlan::Aggregate { input, .. } => input.has_order_or_limit(),
+            LogicalPlan::Join { left, right, .. } => {
+                left.has_order_or_limit() || right.has_order_or_limit()
+            }
+            LogicalPlan::Fixpoint { base, step, .. } => {
+                base.has_order_or_limit() || step.has_order_or_limit()
+            }
         }
     }
 
@@ -202,6 +263,22 @@ impl LogicalPlan {
                     walk(base, depth + 1, out);
                     walk(step, depth + 1, out);
                 }
+                LogicalPlan::Sort { input, keys, fetch, offset } => {
+                    let ks: Vec<String> = keys
+                        .iter()
+                        .map(|k| format!("{:?}{}", k.expr, if k.desc { " desc" } else { "" }))
+                        .collect();
+                    let fused = match fetch {
+                        Some(f) => format!(" fetch={f} offset={offset}"),
+                        None => String::new(),
+                    };
+                    out.push_str(&format!("{pad}Sort [{}]{}\n", ks.join(", "), fused));
+                    walk(input, depth + 1, out);
+                }
+                LogicalPlan::Limit { input, fetch, offset } => {
+                    out.push_str(&format!("{pad}Limit {fetch} offset {offset}\n"));
+                    walk(input, depth + 1, out);
+                }
             }
         }
         let mut s = String::new();
@@ -217,6 +294,9 @@ pub fn plan(stmt: &Statement, catalog: &SchemaCatalog, reg: &Registry) -> Result
     match stmt {
         Statement::Query(q) => plan_query(q, catalog, reg),
         Statement::CreateView { query, .. } => plan_query(query, catalog, reg),
+        Statement::CreateTable { name, .. } => Err(RexError::Plan(format!(
+            "CREATE TABLE {name} is a DDL statement; execute it through a session"
+        ))),
         Statement::DropView { name } | Statement::DropTable { name } => Err(RexError::Plan(
             format!("DROP {name} is a DDL statement; execute it through a session"),
         )),
@@ -319,7 +399,10 @@ fn plan_select(
 
     // ---- handler-join shape ---------------------------------------------
     if let Some(plan) = try_handler_join(block, &items, &scope, reg)? {
-        return Ok(plan);
+        if block.having.is_some() {
+            return Err(RexError::Plan("HAVING requires a grouped aggregation".into()));
+        }
+        return finish_block(block, plan, reg, rec);
     }
 
     // ---- general joins + residual filter ---------------------------------
@@ -341,10 +424,98 @@ fn plan_select(
         .projections
         .iter()
         .any(|p| matches!(p, Projection::Expr { expr, .. } if expr.contains_call_to(&agg_test)));
-    if !block.group_by.is_empty() || has_aggs {
-        plan_aggregate(block, plan, &scope, reg)
+    let plan = if !block.group_by.is_empty() || has_aggs || block.having.is_some() {
+        plan_aggregate(block, plan, &scope, reg)?
     } else {
-        plan_projection(block, plan, &scope, reg)
+        plan_projection(block, plan, &scope, reg)?
+    };
+    finish_block(block, plan, reg, rec)
+}
+
+/// Apply the post-relational clauses — DISTINCT, then ORDER BY, then
+/// LIMIT/OFFSET — to a block's relational result.
+fn finish_block(
+    block: &SelectBlock,
+    mut plan: LogicalPlan,
+    reg: &Registry,
+    rec: RecCtx<'_>,
+) -> Result<LogicalPlan> {
+    if block.distinct {
+        plan = plan_distinct(plan);
+    }
+    if block.order_by.is_empty() && block.limit.is_none() {
+        return Ok(plan);
+    }
+    // Inside a recursive step the stream is delta-driven across strata; a
+    // buffered total-order selection has no well-defined semantics there.
+    if rec.is_some() {
+        return Err(RexError::Plan(
+            "ORDER BY/LIMIT are not supported inside a recursive WITH step".into(),
+        ));
+    }
+    if !block.order_by.is_empty() {
+        // ORDER BY resolves against the block's *output* row: by alias or
+        // column name, by 1-based position (`ORDER BY 2`), or by matching
+        // the select-list expression verbatim (`ORDER BY price * qty`
+        // when that product is projected). Projections map 1:1 onto
+        // output columns unless `*` is present, so the structural match
+        // is only attempted star-free.
+        let out_scope = Scope::new(vec![(None, plan.schema().clone())]);
+        let arity = plan.schema().arity();
+        let star_free = !block.projections.iter().any(|p| matches!(p, Projection::Star));
+        let mut keys = Vec::with_capacity(block.order_by.len());
+        for item in &block.order_by {
+            let expr = match &item.expr {
+                AstExpr::Int(i) => {
+                    if *i < 1 || *i as usize > arity {
+                        return Err(RexError::Plan(format!(
+                            "ORDER BY position {i} is out of range (1..={arity})"
+                        )));
+                    }
+                    Expr::Col(*i as usize - 1)
+                }
+                e => {
+                    let projected = star_free.then(|| {
+                        block
+                            .projections
+                            .iter()
+                            .position(|p| matches!(p, Projection::Expr { expr, .. } if expr == e))
+                    });
+                    match projected.flatten() {
+                        Some(pos) => Expr::Col(pos),
+                        None => resolve_scalar(e, &out_scope, reg).map_err(|err| {
+                            RexError::Plan(format!(
+                                "ORDER BY key {e}: {err} (ORDER BY resolves against the \
+                                 SELECT output — project or alias a column to order by it)"
+                            ))
+                        })?,
+                    }
+                }
+            };
+            keys.push(SortKey { expr, desc: item.desc });
+        }
+        plan = LogicalPlan::Sort { input: Box::new(plan), keys, fetch: None, offset: 0 };
+    }
+    if let Some(l) = &block.limit {
+        plan = LogicalPlan::Limit { input: Box::new(plan), fetch: l.fetch, offset: l.offset };
+    }
+    Ok(plan)
+}
+
+/// `SELECT DISTINCT` as a counted projection: group by every output
+/// column with no aggregates. One output row survives per distinct input
+/// row — and the same shape gives views an O(change) maintenance rule
+/// (the group's count tracks multiplicity; the row retracts when it hits
+/// zero).
+fn plan_distinct(input: LogicalPlan) -> LogicalPlan {
+    let schema = input.schema().clone();
+    let group_cols = (0..schema.arity()).collect();
+    LogicalPlan::Aggregate {
+        input: Box::new(input),
+        group_cols,
+        aggs: Vec::new(),
+        post: None,
+        schema,
     }
 }
 
@@ -520,6 +691,14 @@ fn plan_projection(
     Ok(LogicalPlan::Project { input: Box::new(input), exprs, schema })
 }
 
+/// An aggregate call discovered while rewriting projections/HAVING, with
+/// its argument *expressions* still unresolved to input columns.
+struct PendingAgg {
+    func: String,
+    args: Vec<Expr>,
+    return_type: DataType,
+}
+
 fn plan_aggregate(
     block: &SelectBlock,
     input: LogicalPlan,
@@ -535,9 +714,10 @@ fn plan_aggregate(
         }
     }
 
-    // Walk projections: collect aggregate calls, build post expressions
-    // over [group cols ++ agg results].
-    let mut aggs: Vec<AggCall> = Vec::new();
+    // Walk projections and HAVING: collect aggregate calls (arguments may
+    // be arbitrary scalar expressions), build post expressions over
+    // [group cols ++ agg results].
+    let mut calls: Vec<PendingAgg> = Vec::new();
     let mut post: Vec<Expr> = Vec::new();
     let mut fields: Vec<Field> = Vec::new();
     let mut any_post_needed = false;
@@ -545,7 +725,7 @@ fn plan_aggregate(
         let Projection::Expr { expr, alias } = p else {
             return Err(RexError::Plan("'*' cannot be mixed with aggregates".into()));
         };
-        let e = rewrite_agg_expr(expr, scope, reg, &group_cols, &mut aggs)?;
+        let e = rewrite_agg_expr(expr, scope, reg, &group_cols, &mut calls)?;
         if !matches!(e, Expr::Col(_)) {
             any_post_needed = true;
         }
@@ -553,6 +733,38 @@ fn plan_aggregate(
         fields.push(Field::new(name, DataType::Any));
         post.push(e);
     }
+    // HAVING filters groups: it may reference group columns and aggregate
+    // calls (aggregates shared with the SELECT list are computed once).
+    let having = block
+        .having
+        .as_ref()
+        .map(|h| rewrite_agg_expr(h, scope, reg, &group_cols, &mut calls))
+        .transpose()?;
+
+    // Resolve aggregate arguments to input columns, synthesizing a
+    // pre-aggregation projection when any argument is a non-column
+    // expression (`SUM(price * (1 - discount))`).
+    let all_plain = calls.iter().all(|c| c.args.iter().all(|a| matches!(a, Expr::Col(_))));
+    let (input, group_cols, aggs) = if all_plain {
+        let aggs = calls
+            .into_iter()
+            .map(|c| AggCall {
+                input_cols: c
+                    .args
+                    .iter()
+                    .map(|a| match a {
+                        Expr::Col(i) => *i,
+                        _ => unreachable!("all_plain checked"),
+                    })
+                    .collect(),
+                func: c.func,
+                return_type: c.return_type,
+            })
+            .collect();
+        (input, group_cols, aggs)
+    } else {
+        synthesize_preagg_projection(input, group_cols, calls, reg)?
+    };
 
     // The aggregate's raw output schema: group cols ++ agg results.
     let mut raw_fields: Vec<Field> =
@@ -574,24 +786,83 @@ fn plan_aggregate(
         && post.len() == raw_schema.arity()
         && post.iter().enumerate().all(|(i, e)| matches!(e, Expr::Col(c) if *c == i));
     let schema = Schema::new(fields);
-    Ok(LogicalPlan::Aggregate {
-        input: Box::new(input),
-        group_cols,
-        aggs,
-        post: if is_identity { None } else { Some(post) },
-        schema,
-    })
+    match having {
+        None => Ok(LogicalPlan::Aggregate {
+            input: Box::new(input),
+            group_cols,
+            aggs,
+            post: if is_identity { None } else { Some(post) },
+            schema,
+        }),
+        Some(predicate) => {
+            // HAVING sits between aggregation and the SELECT projection:
+            // Aggregate (raw output) → Filter → Project. This is also the
+            // shape the view-maintenance delta rules cover (a stateless
+            // filter over maintained group state).
+            let agg = LogicalPlan::Aggregate {
+                input: Box::new(input),
+                group_cols,
+                aggs,
+                post: None,
+                schema: raw_schema,
+            };
+            let filtered = LogicalPlan::Filter { input: Box::new(agg), predicate };
+            if is_identity {
+                Ok(filtered)
+            } else {
+                Ok(LogicalPlan::Project { input: Box::new(filtered), exprs: post, schema })
+            }
+        }
+    }
 }
 
-/// Rewrite a projection expression into an expression over the aggregate's
-/// raw output `[group cols ++ agg results]`, appending discovered
-/// aggregate calls to `aggs`.
+/// Project `[group cols ++ one column per aggregate-argument expression]`
+/// beneath the aggregate so every aggregate sees plain input columns.
+/// Identical argument expressions (and arguments that are group columns)
+/// share one projected column.
+fn synthesize_preagg_projection(
+    input: LogicalPlan,
+    group_cols: Vec<usize>,
+    calls: Vec<PendingAgg>,
+    reg: &Registry,
+) -> Result<(LogicalPlan, Vec<usize>, Vec<AggCall>)> {
+    let mut exprs: Vec<Expr> = Vec::with_capacity(group_cols.len() + calls.len());
+    let mut fields: Vec<Field> = Vec::with_capacity(group_cols.len() + calls.len());
+    for &c in &group_cols {
+        exprs.push(Expr::Col(c));
+        fields.push(input.schema().fields()[c].clone());
+    }
+    let mut aggs = Vec::with_capacity(calls.len());
+    for c in calls {
+        let mut input_cols = Vec::with_capacity(c.args.len());
+        for a in c.args {
+            let pos = match exprs.iter().position(|e| *e == a) {
+                Some(p) => p,
+                None => {
+                    let ty = a.data_type(input.schema(), reg).unwrap_or(DataType::Any);
+                    fields.push(Field::new(format!("arg{}", exprs.len()), ty));
+                    exprs.push(a);
+                    exprs.len() - 1
+                }
+            };
+            input_cols.push(pos);
+        }
+        aggs.push(AggCall { func: c.func, input_cols, return_type: c.return_type });
+    }
+    let schema = Schema::new(fields);
+    let new_group_cols = (0..group_cols.len()).collect();
+    Ok((LogicalPlan::Project { input: Box::new(input), exprs, schema }, new_group_cols, aggs))
+}
+
+/// Rewrite a projection/HAVING expression into an expression over the
+/// aggregate's raw output `[group cols ++ agg results]`, appending newly
+/// discovered aggregate calls to `calls` (identical calls are shared).
 fn rewrite_agg_expr(
     e: &AstExpr,
     scope: &Scope,
     reg: &Registry,
     group_cols: &[usize],
-    aggs: &mut Vec<AggCall>,
+    calls: &mut Vec<PendingAgg>,
 ) -> Result<Expr> {
     match e {
         AstExpr::Call { name, args, destructure } => {
@@ -610,23 +881,22 @@ fn rewrite_agg_expr(
                     "table-valued aggregate {name} cannot appear in a scalar projection"
                 )));
             }
-            let mut input_cols = Vec::new();
+            let mut resolved = Vec::with_capacity(args.len());
             for a in args {
                 match a {
                     AstExpr::Star => {} // count(*): no input columns
-                    other => match resolve_scalar(other, scope, reg)? {
-                        Expr::Col(c) => input_cols.push(c),
-                        _ => {
-                            return Err(RexError::Plan(format!(
-                                "aggregate arguments must be plain columns: {other}"
-                            )))
-                        }
-                    },
+                    other => resolved.push(resolve_scalar(other, scope, reg)?),
                 }
             }
             let return_type = reg.agg(&func)?.return_type();
-            aggs.push(AggCall { func, input_cols, return_type });
-            Ok(Expr::Col(group_cols.len() + aggs.len() - 1))
+            let idx = match calls.iter().position(|c| c.func == func && c.args == resolved) {
+                Some(i) => i,
+                None => {
+                    calls.push(PendingAgg { func, args: resolved, return_type });
+                    calls.len() - 1
+                }
+            };
+            Ok(Expr::Col(group_cols.len() + idx))
         }
         AstExpr::Column { qualifier, name } => {
             let (abs, _) = scope.resolve_column(qualifier.as_deref(), name)?;
@@ -637,11 +907,14 @@ fn rewrite_agg_expr(
         }
         AstExpr::Binary { op, left, right } => Ok(Expr::Bin(
             bin_op(*op),
-            Box::new(rewrite_agg_expr(left, scope, reg, group_cols, aggs)?),
-            Box::new(rewrite_agg_expr(right, scope, reg, group_cols, aggs)?),
+            Box::new(rewrite_agg_expr(left, scope, reg, group_cols, calls)?),
+            Box::new(rewrite_agg_expr(right, scope, reg, group_cols, calls)?),
         )),
         AstExpr::Neg(inner) => {
-            Ok(Expr::Neg(Box::new(rewrite_agg_expr(inner, scope, reg, group_cols, aggs)?)))
+            Ok(Expr::Neg(Box::new(rewrite_agg_expr(inner, scope, reg, group_cols, calls)?)))
+        }
+        AstExpr::Not(inner) => {
+            Ok(Expr::Not(Box::new(rewrite_agg_expr(inner, scope, reg, group_cols, calls)?)))
         }
         AstExpr::Int(_)
         | AstExpr::Float(_)
@@ -866,5 +1139,167 @@ mod tests {
     fn unknown_table_is_an_error() {
         let reg = Registry::with_builtins();
         assert!(plan_text("SELECT x FROM missing", &catalog(), &reg).is_err());
+    }
+
+    #[test]
+    fn plans_order_by_and_limit_nodes() {
+        let reg = Registry::with_builtins();
+        let p = plan_text(
+            "SELECT srcId, destId FROM graph ORDER BY destId DESC, srcId LIMIT 5 OFFSET 2",
+            &catalog(),
+            &reg,
+        )
+        .unwrap();
+        let LogicalPlan::Limit { input, fetch: 5, offset: 2 } = &p else {
+            panic!("expected Limit root, got {p:?}");
+        };
+        let LogicalPlan::Sort { keys, fetch: None, offset: 0, .. } = input.as_ref() else {
+            panic!("expected Sort under Limit, got {input:?}");
+        };
+        assert_eq!(keys.len(), 2);
+        assert!(keys[0].desc);
+        assert_eq!(keys[0].expr, Expr::Col(1));
+        assert!(!keys[1].desc);
+        assert_eq!(p.schema().arity(), 2, "Sort/Limit keep the input schema");
+        assert!(p.has_order_or_limit());
+        let text = p.explain();
+        assert!(text.contains("Limit 5 offset 2"), "{text}");
+        assert!(text.contains("Sort ["), "{text}");
+    }
+
+    #[test]
+    fn order_by_resolves_aliases_and_positions() {
+        let reg = Registry::with_builtins();
+        let p = plan_text(
+            "SELECT srcId AS s, count(*) AS n FROM graph GROUP BY srcId ORDER BY n DESC, 1",
+            &catalog(),
+            &reg,
+        )
+        .unwrap();
+        let LogicalPlan::Sort { keys, .. } = &p else { panic!("{p:?}") };
+        assert_eq!(keys[0].expr, Expr::Col(1), "alias n is output column 1");
+        assert_eq!(keys[1].expr, Expr::Col(0), "ORDER BY 1 is positional");
+        let err = plan_text("SELECT srcId FROM graph ORDER BY 4", &catalog(), &reg).unwrap_err();
+        assert!(err.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn plans_distinct_as_group_by_all_columns() {
+        let reg = Registry::with_builtins();
+        let p = plan_text("SELECT DISTINCT srcId, destId FROM graph", &catalog(), &reg).unwrap();
+        let LogicalPlan::Aggregate { group_cols, aggs, post, input, .. } = &p else {
+            panic!("expected Aggregate, got {p:?}");
+        };
+        assert_eq!(group_cols, &vec![0, 1]);
+        assert!(aggs.is_empty());
+        assert!(post.is_none());
+        assert!(matches!(**input, LogicalPlan::Project { .. }));
+        assert_eq!(p.schema().arity(), 2);
+    }
+
+    #[test]
+    fn plans_having_as_filter_above_raw_aggregate() {
+        let reg = Registry::with_builtins();
+        let p = plan_text(
+            "SELECT srcId, sum(destId) FROM graph GROUP BY srcId HAVING count(*) > 2",
+            &catalog(),
+            &reg,
+        )
+        .unwrap();
+        // count(*) is HAVING-only, so the SELECT projection is not the
+        // identity over the raw output: Project(Filter(Aggregate)).
+        let LogicalPlan::Project { input, exprs, .. } = &p else { panic!("{p:?}") };
+        assert_eq!(exprs.len(), 2);
+        let LogicalPlan::Filter { input: agg, predicate } = input.as_ref() else {
+            panic!("{input:?}")
+        };
+        assert!(matches!(predicate, Expr::Bin(..)));
+        let LogicalPlan::Aggregate { aggs, post: None, .. } = agg.as_ref() else {
+            panic!("{agg:?}")
+        };
+        assert_eq!(aggs.len(), 2, "sum from SELECT + count from HAVING");
+        assert_eq!(p.schema().arity(), 2, "HAVING-only aggregates are not projected");
+    }
+
+    #[test]
+    fn shared_aggregate_between_select_and_having_is_computed_once() {
+        let reg = Registry::with_builtins();
+        let p = plan_text(
+            "SELECT srcId, count(*) FROM graph GROUP BY srcId HAVING count(*) > 2",
+            &catalog(),
+            &reg,
+        )
+        .unwrap();
+        // Identity projection: Filter directly above the aggregate.
+        let LogicalPlan::Filter { input, .. } = &p else { panic!("{p:?}") };
+        let LogicalPlan::Aggregate { aggs, .. } = input.as_ref() else { panic!("{input:?}") };
+        assert_eq!(aggs.len(), 1, "the shared count(*) appears once");
+    }
+
+    #[test]
+    fn expression_aggregate_arguments_synthesize_a_projection() {
+        let reg = Registry::with_builtins();
+        let p = plan_text(
+            "SELECT orderkey, sum(extendedprice * (1 - discount)) FROM lineitem GROUP BY orderkey",
+            &catalog(),
+            &reg,
+        )
+        .unwrap();
+        let LogicalPlan::Aggregate { input, group_cols, aggs, .. } = &p else { panic!("{p:?}") };
+        assert_eq!(group_cols, &vec![0], "group key remapped to the synthesized projection");
+        assert_eq!(aggs[0].input_cols, vec![1]);
+        let LogicalPlan::Project { exprs, .. } = input.as_ref() else { panic!("{input:?}") };
+        assert_eq!(exprs.len(), 2, "group col + one argument expression");
+        assert_eq!(exprs[0], Expr::Col(0));
+        assert!(matches!(exprs[1], Expr::Bin(..)));
+    }
+
+    #[test]
+    fn identical_expression_arguments_share_a_synthesized_column() {
+        let reg = Registry::with_builtins();
+        let p = plan_text(
+            "SELECT orderkey, sum(tax + discount), avg(tax + discount), min(tax) \
+             FROM lineitem GROUP BY orderkey",
+            &catalog(),
+            &reg,
+        )
+        .unwrap();
+        let LogicalPlan::Aggregate { input, aggs, .. } = &p else { panic!("{p:?}") };
+        assert_eq!(aggs[0].input_cols, aggs[1].input_cols, "sum and avg share the column");
+        let LogicalPlan::Project { exprs, .. } = input.as_ref() else { panic!("{input:?}") };
+        assert_eq!(exprs.len(), 3, "group col + shared expr + tax");
+        assert_eq!(aggs[2].input_cols, vec![2]);
+    }
+
+    #[test]
+    fn order_by_limit_rejected_in_recursive_step() {
+        let reg = Registry::with_builtins();
+        let err = plan_text(
+            "WITH R (a) AS (SELECT srcId FROM graph)
+             UNION UNTIL FIXPOINT BY a (
+               SELECT graph.destId FROM graph, R WHERE graph.srcId = R.a ORDER BY destId LIMIT 3)",
+            &catalog(),
+            &reg,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("recursive"), "{err}");
+    }
+
+    #[test]
+    fn create_table_does_not_plan() {
+        let reg = Registry::with_builtins();
+        let stmt = crate::parser::parse("CREATE TABLE t (x int)").unwrap();
+        let err = plan(&stmt, &catalog(), &reg).unwrap_err();
+        assert!(err.to_string().contains("DDL"));
+    }
+
+    #[test]
+    fn having_without_aggregates_still_groups() {
+        let reg = Registry::with_builtins();
+        let p =
+            plan_text("SELECT srcId FROM graph GROUP BY srcId HAVING srcId > 3", &catalog(), &reg)
+                .unwrap();
+        let LogicalPlan::Filter { input, .. } = &p else { panic!("{p:?}") };
+        assert!(matches!(input.as_ref(), LogicalPlan::Aggregate { .. }));
     }
 }

@@ -1,5 +1,4 @@
-//! Physical lowering: [`LogicalPlan`] → executable
-//! [`PlanGraph`](rex_core::exec::PlanGraph).
+//! Physical lowering: [`LogicalPlan`] → executable [`PlanGraph`].
 //!
 //! Lowering is mechanical: scans read from a [`TableProvider`], filters
 //! and projections map 1:1 onto their operators, joins become pipelined
@@ -30,13 +29,14 @@
 //! Local lowering (`distributed = false`) is unchanged: rehash operators
 //! are pass-throughs on a single node, so local plans stay minimal.
 
-use crate::logical::{AggCall, LogicalPlan};
+use crate::logical::{AggCall, LogicalPlan, SortKey};
 use crate::resolve::SchemaCatalog;
 use rex_core::error::{Result, RexError};
 use rex_core::exec::{NodeId, PlanGraph};
 use rex_core::expr::Expr;
 use rex_core::operators::{
-    AggSpec, FilterOp, FixpointOp, GroupByOp, HashJoinOp, ProjectOp, ScanOp, SinkOp, Termination,
+    AggSpec, FilterOp, FixpointOp, GroupByOp, HashJoinOp, ProjectOp, ScanOp, SinkOp, SortSpec,
+    Termination, TopKOp,
 };
 use rex_core::tuple::Tuple;
 use rex_core::udf::Registry;
@@ -173,6 +173,49 @@ impl Lowering<'_> {
         (rh, 0, Some(key.to_vec()))
     }
 
+    /// Lower a top-k selection (`ORDER BY … LIMIT n OFFSET m`, or a bare
+    /// `LIMIT` with no keys — deterministic in total tuple order).
+    ///
+    /// Locally this is one buffering [`TopKOp`]. Distributed, it is the
+    /// scatter/gather top-k: each worker keeps its best `fetch + offset`
+    /// rows (a *partial* sort — no offset applied yet), the partials
+    /// funnel through a [`NetKey::Gather`](rex_core::exec::NetKey)
+    /// boundary to one deterministic worker, and a *final* top-k there
+    /// applies the true offset and limit over the union.
+    fn topk(
+        &mut self,
+        input: &LogicalPlan,
+        keys: &[SortKey],
+        fetch: Option<u64>,
+        offset: u64,
+    ) -> Result<(NodeId, usize, Partitioning)> {
+        let (src, port, _) = self.node(input)?;
+        let specs: Vec<SortSpec> =
+            keys.iter().map(|k| SortSpec { expr: k.expr.clone(), desc: k.desc }).collect();
+        if self.opts.distributed {
+            let local_cap = fetch.map(|f| (f + offset) as usize);
+            let partial = self.g.add(Box::new(TopKOp::new(specs.clone(), local_cap, 0)));
+            self.g.connect(src, port, partial, 0);
+            let gather = self.g.add_gather();
+            self.g.connect(partial, 0, gather, 0);
+            let fin = self.g.add(Box::new(TopKOp::new(
+                specs,
+                fetch.map(|f| f as usize),
+                offset as usize,
+            )));
+            self.g.connect(gather, 0, fin, 0);
+            Ok((fin, 0, None))
+        } else {
+            let id = self.g.add(Box::new(TopKOp::new(
+                specs,
+                fetch.map(|f| f as usize),
+                offset as usize,
+            )));
+            self.g.connect(src, port, id, 0);
+            Ok((id, 0, None))
+        }
+    }
+
     /// Lower `plan`, returning `(node, output port, partitioning)` of its
     /// result stream.
     fn node(&mut self, plan: &LogicalPlan) -> Result<(NodeId, usize, Partitioning)> {
@@ -287,6 +330,29 @@ impl Lowering<'_> {
                     None => Ok((gb, 0, gb_part)),
                 }
             }
+            LogicalPlan::Sort { input, keys, fetch, offset } => {
+                // A pure ORDER BY constrains nothing about the result
+                // *multiset*; presentation ordering is applied by the
+                // session over the final rows. Only a fused LIMIT/OFFSET
+                // (top-k) needs a dataflow operator.
+                if fetch.is_none() && *offset == 0 {
+                    self.node(input)
+                } else {
+                    self.topk(input, keys, *fetch, *offset)
+                }
+            }
+            LogicalPlan::Limit { input, fetch, offset } => {
+                // An unfused LIMIT directly above an ORDER BY must still
+                // select rows in that order (the optimizer normally fuses
+                // the pair, but unoptimized plans lower correctly too).
+                let (keys, inner): (&[SortKey], &LogicalPlan) = match input.as_ref() {
+                    LogicalPlan::Sort { input: si, keys, fetch: None, offset: 0 } => {
+                        (keys.as_slice(), si)
+                    }
+                    other => (&[], other),
+                };
+                self.topk(inner, keys, Some(*fetch), *offset)
+            }
             LogicalPlan::Fixpoint { key_cols, base, step, .. } => {
                 let (b, bport, bpart) = self.node(base)?;
                 // The base case must arrive partitioned on the fixpoint key
@@ -329,7 +395,9 @@ fn contains_fixpoint_ref(plan: &LogicalPlan) -> bool {
         LogicalPlan::Scan { .. } => false,
         LogicalPlan::Filter { input, .. }
         | LogicalPlan::Project { input, .. }
-        | LogicalPlan::Aggregate { input, .. } => contains_fixpoint_ref(input),
+        | LogicalPlan::Aggregate { input, .. }
+        | LogicalPlan::Sort { input, .. }
+        | LogicalPlan::Limit { input, .. } => contains_fixpoint_ref(input),
         LogicalPlan::Join { left, right, .. } => {
             contains_fixpoint_ref(left) || contains_fixpoint_ref(right)
         }
@@ -449,6 +517,80 @@ mod tests {
         // Recursion ran multiple strata and converged.
         assert!(report.iterations() >= 3);
         assert_eq!(report.strata.last().unwrap().delta_set_size, 0);
+    }
+
+    #[test]
+    fn order_by_limit_executes_as_topk() {
+        let reg = Registry::with_builtins();
+        // Unoptimized Limit-above-Sort must still select in ORDER BY
+        // order (the lowering fuses the pair itself).
+        let g = compile(
+            "SELECT src, dst FROM edges ORDER BY dst DESC LIMIT 2",
+            &edge_catalog(),
+            &edge_tables(),
+            &reg,
+        )
+        .unwrap();
+        let (mut results, _) = LocalRuntime::new().run(g).unwrap();
+        results.sort();
+        // dst values {1, 2, 2, 3}: top-2 descending is 3 ([2,3]) then the
+        // dst=2 tie, broken by full-tuple order ([0,2] < [1,2]).
+        assert_eq!(results, vec![tuple![0i64, 2i64], tuple![2i64, 3i64]]);
+    }
+
+    #[test]
+    fn limit_without_order_is_a_deterministic_prefix() {
+        let reg = Registry::with_builtins();
+        let g = compile(
+            "SELECT src FROM edges LIMIT 2 OFFSET 1",
+            &edge_catalog(),
+            &edge_tables(),
+            &reg,
+        )
+        .unwrap();
+        let (mut results, _) = LocalRuntime::new().run(g).unwrap();
+        results.sort();
+        // Tuple-order multiset {0,0,1,2} → skip 1, take 2.
+        assert_eq!(results, vec![tuple![0i64], tuple![1i64]]);
+    }
+
+    #[test]
+    fn distinct_executes_via_group_by() {
+        let reg = Registry::with_builtins();
+        let g = compile("SELECT DISTINCT src FROM edges", &edge_catalog(), &edge_tables(), &reg)
+            .unwrap();
+        let (mut results, _) = LocalRuntime::new().run(g).unwrap();
+        results.sort();
+        assert_eq!(results, vec![tuple![0i64], tuple![1i64], tuple![2i64]]);
+    }
+
+    #[test]
+    fn having_filters_groups() {
+        let reg = Registry::with_builtins();
+        let g = compile(
+            "SELECT src, count(*) FROM edges GROUP BY src HAVING count(*) > 1",
+            &edge_catalog(),
+            &edge_tables(),
+            &reg,
+        )
+        .unwrap();
+        let (results, _) = LocalRuntime::new().run(g).unwrap();
+        assert_eq!(results, vec![tuple![0i64, 2i64]]);
+    }
+
+    #[test]
+    fn expression_aggregates_execute() {
+        let reg = Registry::with_builtins();
+        let g = compile(
+            "SELECT src, sum(dst * dst) FROM edges GROUP BY src",
+            &edge_catalog(),
+            &edge_tables(),
+            &reg,
+        )
+        .unwrap();
+        let (mut results, _) = LocalRuntime::new().run(g).unwrap();
+        results.sort();
+        assert_eq!(results, vec![tuple![0i64, 5.0f64], tuple![1i64, 4.0f64], tuple![2i64, 9.0f64]]);
     }
 
     #[test]

@@ -3,25 +3,33 @@
 //! Grammar (informal):
 //!
 //! ```text
-//! statement   := (query | create_view | drop) [';']
-//! create_view := CREATE MATERIALIZED VIEW ident AS query
-//! drop        := DROP (VIEW | TABLE) ident
-//! query       := with_block | select
-//! with_block  := WITH ident '(' cols ')' AS '(' select ')'
-//!                UNION [ALL] UNTIL FIXPOINT BY cols '(' select ')'
-//! select      := SELECT projections FROM table_refs [WHERE expr]
-//!                [GROUP BY exprs]
-//! table_ref   := ident [AS ident] | '(' select ')' [AS ident]
-//! projection  := '*' | expr [AS ident]
-//! expr        := or-chain of comparisons over +,-,*,/ terms; calls may
-//!                carry a '.{a, b}' destructuring suffix
+//! statement    := (query | create_table | create_view | drop) [';']
+//! create_table := CREATE TABLE ident '(' ident type (',' ident type)* ')'
+//! create_view  := CREATE MATERIALIZED VIEW ident AS query
+//! drop         := DROP (VIEW | TABLE) ident
+//! query        := with_block | select
+//! with_block   := WITH ident '(' cols ')' AS '(' select ')'
+//!                 UNION [ALL] UNTIL FIXPOINT BY cols '(' select ')'
+//! select       := SELECT [DISTINCT] projections FROM table_refs
+//!                 [WHERE expr] [GROUP BY exprs] [HAVING expr]
+//!                 [ORDER BY expr [ASC|DESC] (',' ...)*]
+//!                 [LIMIT int [OFFSET int]]
+//! table_ref    := ident [AS ident] | '(' select ')' [AS ident]
+//! projection   := '*' | expr [AS ident]
+//! expr         := or-chain of comparisons over +,-,*,/ terms; calls may
+//!                 carry a '.{a, b}' destructuring suffix
 //! ```
+//!
+//! The full language is documented in `docs/RQL.md` at the repository
+//! root.
 
 use crate::ast::{
-    AstBinOp, AstExpr, Projection, Query, RecursiveWith, SelectBlock, Statement, TableRef,
+    AstBinOp, AstExpr, LimitClause, OrderItem, Projection, Query, RecursiveWith, SelectBlock,
+    Statement, TableRef,
 };
 use crate::lexer::{tokenize, Sym, Token};
 use rex_core::error::{Result, RexError};
+use rex_core::value::DataType;
 
 /// Parse a single RQL statement.
 pub fn parse(src: &str) -> Result<Statement> {
@@ -121,6 +129,9 @@ impl Parser {
 
     fn statement(&mut self) -> Result<Statement> {
         if self.eat_keyword("CREATE") {
+            if self.eat_keyword("TABLE") {
+                return self.create_table();
+            }
             self.expect_keyword("MATERIALIZED")?;
             self.expect_keyword("VIEW")?;
             let name = self.expect_ident()?;
@@ -138,6 +149,30 @@ impl Parser {
             return Err(self.error(format!("expected VIEW or TABLE, found {}", self.peek_desc())));
         }
         Ok(Statement::Query(self.query()?))
+    }
+
+    /// `CREATE TABLE name (col type, ...)` — `CREATE TABLE` already
+    /// consumed.
+    fn create_table(&mut self) -> Result<Statement> {
+        let name = self.expect_ident()?;
+        self.expect_symbol(Sym::LParen)?;
+        let mut columns = Vec::new();
+        loop {
+            let col = self.expect_ident()?;
+            let ty_name = self.expect_ident()?;
+            let ty = DataType::parse(&ty_name).ok_or_else(|| {
+                self.error(format!(
+                    "unknown column type {ty_name} (expected one of: bool, int, bigint, \
+                     double, float, string, text, list, any)"
+                ))
+            })?;
+            columns.push((col, ty));
+            if !self.eat_symbol(Sym::Comma) {
+                break;
+            }
+        }
+        self.expect_symbol(Sym::RParen)?;
+        Ok(Statement::CreateTable { name, columns })
     }
 
     // ---- query ----------------------------------------------------------
@@ -184,6 +219,7 @@ impl Parser {
 
     fn select_block(&mut self) -> Result<SelectBlock> {
         self.expect_keyword("SELECT")?;
+        let distinct = self.eat_keyword("DISTINCT");
         let mut projections = vec![self.projection()?];
         while self.eat_symbol(Sym::Comma) {
             projections.push(self.projection()?);
@@ -202,7 +238,57 @@ impl Parser {
                 group_by.push(self.expr()?);
             }
         }
-        Ok(SelectBlock { projections, from, selection, group_by })
+        let having = if self.eat_keyword("HAVING") { Some(self.expr()?) } else { None };
+        let mut order_by = Vec::new();
+        if self.eat_keyword("ORDER") {
+            self.expect_keyword("BY")?;
+            order_by.push(self.order_item()?);
+            while self.eat_symbol(Sym::Comma) {
+                order_by.push(self.order_item()?);
+            }
+        }
+        let limit = self.limit_clause()?;
+        Ok(SelectBlock {
+            distinct,
+            projections,
+            from,
+            selection,
+            group_by,
+            having,
+            order_by,
+            limit,
+        })
+    }
+
+    fn order_item(&mut self) -> Result<OrderItem> {
+        let expr = self.expr()?;
+        let desc = if self.eat_keyword("DESC") {
+            true
+        } else {
+            self.eat_keyword("ASC");
+            false
+        };
+        Ok(OrderItem { expr, desc })
+    }
+
+    fn limit_clause(&mut self) -> Result<Option<LimitClause>> {
+        if !self.eat_keyword("LIMIT") {
+            return Ok(None);
+        }
+        let fetch = self.expect_count("LIMIT")?;
+        let offset = if self.eat_keyword("OFFSET") { self.expect_count("OFFSET")? } else { 0 };
+        Ok(Some(LimitClause { fetch, offset }))
+    }
+
+    /// A non-negative integer literal (LIMIT/OFFSET operand).
+    fn expect_count(&mut self, clause: &str) -> Result<u64> {
+        match self.advance() {
+            Some(Token::Int(i)) if i >= 0 => Ok(i as u64),
+            other => Err(self.error(format!(
+                "{clause} expects a non-negative integer, found {}",
+                other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+            ))),
+        }
     }
 
     fn projection(&mut self) -> Result<Projection> {
@@ -571,5 +657,94 @@ mod tests {
         let query = q("SELECT g.srcId FROM graph g");
         let sel = query.select.unwrap();
         assert_eq!(sel.from[0].binding(), Some("g"));
+    }
+
+    #[test]
+    fn parses_distinct() {
+        let sel = q("SELECT DISTINCT srcId FROM graph").select.unwrap();
+        assert!(sel.distinct);
+        let sel = q("SELECT srcId FROM graph").select.unwrap();
+        assert!(!sel.distinct);
+    }
+
+    #[test]
+    fn parses_having() {
+        let sel = q("SELECT srcId, count(*) FROM graph GROUP BY srcId HAVING count(*) > 2")
+            .select
+            .unwrap();
+        assert!(sel.having.is_some());
+        match sel.having.unwrap() {
+            AstExpr::Binary { op: AstBinOp::Gt, left, .. } => {
+                assert!(matches!(*left, AstExpr::Call { .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_order_by_and_limit() {
+        let sel =
+            q("SELECT srcId, destId FROM graph ORDER BY destId DESC, srcId LIMIT 10 OFFSET 3")
+                .select
+                .unwrap();
+        assert_eq!(sel.order_by.len(), 2);
+        assert!(sel.order_by[0].desc);
+        assert!(!sel.order_by[1].desc);
+        assert_eq!(sel.limit, Some(LimitClause { fetch: 10, offset: 3 }));
+        // ASC is accepted and is the default.
+        let sel = q("SELECT srcId FROM graph ORDER BY srcId ASC LIMIT 5").select.unwrap();
+        assert!(!sel.order_by[0].desc);
+        assert_eq!(sel.limit, Some(LimitClause { fetch: 5, offset: 0 }));
+    }
+
+    #[test]
+    fn order_by_accepts_expressions_and_positions() {
+        let sel =
+            q("SELECT srcId, destId FROM graph ORDER BY srcId + destId DESC, 1").select.unwrap();
+        assert!(matches!(sel.order_by[0].expr, AstExpr::Binary { .. }));
+        assert_eq!(sel.order_by[1].expr, AstExpr::Int(1));
+    }
+
+    #[test]
+    fn limit_requires_nonnegative_int() {
+        assert!(parse("SELECT srcId FROM graph LIMIT x").is_err());
+        assert!(parse("SELECT srcId FROM graph LIMIT -1").is_err());
+        assert!(parse("SELECT srcId FROM graph LIMIT 3 OFFSET q").is_err());
+    }
+
+    #[test]
+    fn parses_create_table() {
+        let stmt =
+            parse("CREATE TABLE lineitem (orderkey int, price double, comment string, open bool)")
+                .unwrap();
+        let Statement::CreateTable { name, columns } = stmt else {
+            panic!("expected CreateTable, got {stmt:?}");
+        };
+        assert_eq!(name, "lineitem");
+        assert_eq!(
+            columns,
+            vec![
+                ("orderkey".to_string(), rex_core::value::DataType::Int),
+                ("price".to_string(), rex_core::value::DataType::Double),
+                ("comment".to_string(), rex_core::value::DataType::Str),
+                ("open".to_string(), rex_core::value::DataType::Bool),
+            ]
+        );
+        assert!(Statement::CreateTable { name: "t".into(), columns: vec![] }.is_ddl());
+    }
+
+    #[test]
+    fn create_table_rejects_bad_types_and_shapes() {
+        assert!(parse("CREATE TABLE t (x notatype)").is_err());
+        assert!(parse("CREATE TABLE t ()").is_err());
+        assert!(parse("CREATE TABLE t (x int").is_err());
+        assert!(parse("CREATE TABLE (x int)").is_err());
+    }
+
+    #[test]
+    fn clause_order_is_enforced() {
+        // ORDER BY must come after HAVING; LIMIT last.
+        assert!(parse("SELECT a FROM t LIMIT 1 ORDER BY a").is_err());
+        assert!(parse("SELECT a FROM t ORDER BY a HAVING a > 1").is_err());
     }
 }

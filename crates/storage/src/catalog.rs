@@ -130,21 +130,24 @@ impl Catalog {
             *need.entry(t).or_insert(0) += *n;
         }
         // Pre-validate removals so a diverged delta fails atomically: one
-        // counting pass over the stored rows, no mutation on error.
-        let mut have: HashMap<&Tuple, usize> = need.keys().map(|t| (*t, 0)).collect();
-        for r in entry.rows() {
-            if let Some(c) = have.get_mut(r) {
-                *c += 1;
+        // counting pass over the stored rows, no mutation on error. An
+        // insert-only delta (the common streaming batch) skips the pass
+        // entirely so sync stays O(change), not O(table).
+        if want > 0 {
+            let mut have: HashMap<&Tuple, usize> = need.keys().map(|t| (*t, 0)).collect();
+            for r in entry.rows() {
+                if let Some(c) = have.get_mut(r) {
+                    *c += 1;
+                }
+            }
+            let stored: usize = need.iter().map(|(t, n)| (*n).min(have[t])).sum();
+            if stored != want {
+                return Err(RexError::Storage(format!(
+                    "table {name}: delta asked to remove {want} rows but only {stored} are \
+                     stored; stored copy has diverged"
+                )));
             }
         }
-        let stored: usize = need.iter().map(|(t, n)| (*n).min(have[t])).sum();
-        if stored != want {
-            return Err(RexError::Storage(format!(
-                "table {name}: delta asked to remove {want} rows but only {stored} are \
-                 stored; stored copy has diverged"
-            )));
-        }
-        drop(have);
         let removed = Arc::make_mut(entry).apply_delta(need, inserts);
         debug_assert_eq!(removed, want);
         Ok((inserted, removed))

@@ -3,7 +3,7 @@
 //!
 //! Each stateful operator applies the classic view-maintenance delta rules
 //! (Gupta/Mumick), specialized to the `+()` / `-()` count algebra of
-//! [`DeltaSet`](crate::delta_set::DeltaSet):
+//! [`DeltaSet`]:
 //!
 //! * **Scan** — the leaf: emits the batch when it targets this table;
 //! * **Filter / Project** — stateless, per-tuple mapping of deltas;
@@ -17,6 +17,14 @@
 //!   O(log n) for the min/max multiset — per delta tuple; anything else
 //!   falls back to materializing the group's input rows and re-deriving
 //!   *only the dirty groups* through the registered handlers.
+//!
+//! Two RQL clauses ride on these rules for free: `SELECT DISTINCT` plans
+//! as a group-by over every output column with *no* aggregate calls — a
+//! counted projection whose only state is each row's multiplicity (the
+//! row retracts when its count reaches zero) — and `HAVING` plans as a
+//! stateless filter *above* the aggregate, post-filtering maintained
+//! group state. Both therefore maintain incrementally, never by
+//! recompute fallback.
 //!
 //! All keyed state (join sides, groups, the emitted-row cache) lives in
 //! hash maps keyed by the deterministic in-tree
@@ -94,6 +102,11 @@ impl AggStrategy {
     /// Render the strategy for EXPLAIN output, naming each aggregate.
     pub fn describe(&self, aggs: &[AggCall]) -> String {
         match self {
+            // A group-by with no aggregate calls is DISTINCT: the group's
+            // net count is the only state (a counted projection).
+            AggStrategy::Specialized(specs) if specs.is_empty() => {
+                "distinct[counted projection, O(1) per delta]".to_string()
+            }
             AggStrategy::Specialized(specs) => {
                 let parts: Vec<String> = aggs
                     .iter()
@@ -308,6 +321,13 @@ pub fn build_with(plan: &LogicalPlan, reg: &Registry, specialize: bool) -> Resul
         }
         LogicalPlan::FixpointRef { .. } | LogicalPlan::Fixpoint { .. } => Err(RexError::Plan(
             "recursive fixpoint: delta rules do not cover WITH ... UNTIL FIXPOINT".into(),
+        )),
+        // The session rejects ORDER BY/LIMIT view definitions outright
+        // (a materialized view is an unordered relation); this arm keeps
+        // `build` total for callers that probe arbitrary plans.
+        LogicalPlan::Sort { .. } | LogicalPlan::Limit { .. } => Err(RexError::Plan(
+            "ORDER BY/LIMIT: a materialized view is an unordered relation; order at query time"
+                .into(),
         )),
         LogicalPlan::Filter { input, predicate } => Ok(MaintNode::Filter {
             input: Box::new(build_with(input, reg, specialize)?),
@@ -818,6 +838,64 @@ mod tests {
         }
         // Specialized state retains no input rows; replay retains them all.
         assert!(fast.state_bytes() < slow.state_bytes());
+    }
+
+    #[test]
+    fn distinct_maintains_as_counted_projection() {
+        let reg = Registry::with_builtins();
+        let mut n = node("SELECT DISTINCT src FROM edges");
+        let strategies = n.agg_strategies();
+        assert!(strategies[0].contains("counted projection"), "{strategies:?}");
+        // Two rows project to src=0: one output row, counted twice.
+        let out =
+            n.apply("edges", &inserts(vec![tuple![0i64, 1i64], tuple![0i64, 2i64]]), &reg).unwrap();
+        assert_eq!(out.rows(), vec![tuple![0i64]]);
+        // Deleting one of them keeps the distinct row (count 2 → 1)…
+        let mut del = DeltaSet::new();
+        del.add(tuple![0i64, 1i64], -1);
+        let out = n.apply("edges", &del, &reg).unwrap();
+        assert!(out.is_empty(), "distinct row survives while any source row remains");
+        // …and deleting the last retracts it.
+        let mut del = DeltaSet::new();
+        del.add(tuple![0i64, 2i64], -1);
+        let out = n.apply("edges", &del, &reg).unwrap();
+        assert_eq!(out.to_deltas(), vec![Delta::delete(tuple![0i64])]);
+    }
+
+    #[test]
+    fn having_maintains_as_filter_over_group_state() {
+        let reg = Registry::with_builtins();
+        let mut n = node("SELECT src, count(*) FROM edges GROUP BY src HAVING count(*) > 1");
+        assert!(n.agg_strategies()[0].contains("O(1) running count"));
+        let out = n.apply("edges", &inserts(vec![tuple![0i64, 1i64]]), &reg).unwrap();
+        assert!(out.is_empty(), "count=1 fails the HAVING");
+        // Crossing the threshold emits the group…
+        let out = n.apply("edges", &inserts(vec![tuple![0i64, 2i64]]), &reg).unwrap();
+        assert_eq!(out.rows(), vec![tuple![0i64, 2i64]]);
+        // …and dropping back below retracts it.
+        let mut del = DeltaSet::new();
+        del.add(tuple![0i64, 2i64], -1);
+        let out = n.apply("edges", &del, &reg).unwrap();
+        assert_eq!(out.to_deltas(), vec![Delta::delete(tuple![0i64, 2i64])]);
+    }
+
+    #[test]
+    fn expression_aggregate_views_maintain_incrementally() {
+        let reg = Registry::with_builtins();
+        let mut n = node("SELECT src, sum(dst * dst) FROM edges GROUP BY src");
+        assert!(n.agg_strategies()[0].contains("O(1) running sum"));
+        let out =
+            n.apply("edges", &inserts(vec![tuple![0i64, 2i64], tuple![0i64, 3i64]]), &reg).unwrap();
+        assert_eq!(out.rows(), vec![tuple![0i64, 13.0f64]]);
+    }
+
+    #[test]
+    fn order_by_limit_plans_are_not_maintainable() {
+        let reg = Registry::with_builtins();
+        let plan =
+            plan_text("SELECT src FROM edges ORDER BY src LIMIT 3", &catalog(), &reg).unwrap();
+        let err = build(&plan, &reg).unwrap_err();
+        assert!(err.to_string().contains("unordered relation"), "{err}");
     }
 
     #[test]

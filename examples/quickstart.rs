@@ -5,18 +5,16 @@
 //! cargo run --example quickstart
 //! ```
 
-use rex::core::tuple::{Schema, Tuple};
-use rex::core::value::{DataType, Value};
+use rex::core::tuple::Tuple;
+use rex::core::value::Value;
 use rex::Session;
 
 fn main() {
-    // ---- 1. Open a session and create a table: org(employee, manager) ---
+    // ---- 1. Open a session and create tables — in plain RQL DDL --------
     // `Session::cluster(8)` would run the very same queries distributed.
     let mut session = Session::local();
-    session
-        .create_table("org", Schema::of(&[("employee", DataType::Str), ("manager", DataType::Str)]))
-        .expect("create org");
-    session.create_table("roots", Schema::of(&[("name", DataType::Str)])).expect("create roots");
+    session.query("CREATE TABLE org (employee string, manager string)").expect("create org");
+    session.query("CREATE TABLE roots (name string)").expect("create roots");
 
     let edge = |e: &str, m: &str| Tuple::new(vec![Value::str(e), Value::str(m)]);
     session
@@ -33,10 +31,16 @@ fn main() {
         .expect("insert org");
     session.insert("roots", vec![Tuple::new(vec![Value::str("alan")])]).expect("insert roots");
 
-    // ---- 2. An ordinary SQL query ----------------------------------------
-    let result =
-        session.query("SELECT manager, count(*) FROM org GROUP BY manager").expect("group by");
-    println!("direct reports per manager:");
+    // ---- 2. An ordinary SQL query — busiest managers first ---------------
+    // HAVING filters groups; ORDER BY 2 DESC sorts by the count column;
+    // LIMIT keeps the top rows (see docs/RQL.md for the full language).
+    let result = session
+        .query(
+            "SELECT manager, count(*) FROM org GROUP BY manager \
+             HAVING count(*) > 0 ORDER BY 2 DESC, manager LIMIT 3",
+        )
+        .expect("group by");
+    println!("direct reports per manager (top 3):");
     for row in &result.rows {
         println!("  {:<8} {}", row.get(0), row.get(1));
     }

@@ -3,9 +3,8 @@
 //!
 //! # The `Engine` contract
 //!
-//! An [`Engine`] turns one optimizer-produced
-//! [`LogicalPlan`](rex_rql::logical::LogicalPlan) into rows plus an
-//! execution report. Implementations must:
+//! An [`Engine`] turns one optimizer-produced [`LogicalPlan`] into rows
+//! plus an execution report. Implementations must:
 //!
 //! 1. **Read tables only through the context.** The
 //!    [`EngineContext`] carries the session's stored-table

@@ -54,6 +54,16 @@
 //! [`QueryReport`](core::metrics::QueryReport), the optimizer's cost
 //! estimate, and — for distributed runs — per-worker cluster stats.
 //!
+//! ## The RQL language
+//!
+//! The full SQL-style surface is documented in **`docs/RQL.md`**:
+//! `SELECT` with `DISTINCT`, `HAVING`, `ORDER BY … LIMIT/OFFSET`
+//! (deterministic ties, distributed top-k), aggregates over arbitrary
+//! scalar expressions (`SUM(price * (1 - discount))`), `CREATE TABLE`
+//! and `CREATE MATERIALIZED VIEW` / `DROP` DDL, and
+//! `WITH … UNTIL FIXPOINT` recursion. `cargo run --example rql_tour`
+//! exercises every clause on both engines.
+//!
 //! ## Materialized views & incremental maintenance
 //!
 //! Deltas are REX's substrate, and materialized views are the workload
@@ -111,8 +121,8 @@
 //!   their MapReduce twins;
 //! * [`data`] — synthetic dataset generators.
 //!
-//! See `README.md` for a tour and `EXPERIMENTS.md` for the paper's
-//! figure-by-figure reproduction.
+//! See `README.md` for a tour, `docs/RQL.md` for the language
+//! reference, and `ROADMAP.md` for the open items.
 
 pub mod engine;
 pub mod session;

@@ -36,11 +36,11 @@ use rex_core::delta::Delta;
 use rex_core::error::{Result, RexError};
 use rex_core::handlers::{AggHandler, JoinHandler, WhileHandler};
 use rex_core::metrics::{QueryReport, ReportSummary};
-use rex_core::tuple::{Schema, Tuple};
+use rex_core::tuple::{Field, Schema, Tuple};
 use rex_core::udf::{Registry, ScalarUdf};
 use rex_optimizer::{Optimizer, PlanCost, ResourceVector};
 use rex_rql::ast::{Query, Statement};
-use rex_rql::logical::LogicalPlan;
+use rex_rql::logical::{LogicalPlan, SortKey};
 use rex_rql::resolve::SchemaCatalog;
 use rex_rql::{RqlError, RqlStage};
 use rex_storage::catalog::Catalog;
@@ -303,10 +303,14 @@ impl Session {
 
     /// Run an RQL statement. Queries go through the full pipeline — parse
     /// → resolve → optimize → lower → execute — on the session's engine;
-    /// DDL (`CREATE MATERIALIZED VIEW`, `DROP VIEW`, `DROP TABLE`) is
-    /// executed against the session's catalogs and returns an empty row
-    /// set. A query that scans a view name reads its materialized state —
-    /// no recomputation of the defining query.
+    /// DDL (`CREATE TABLE`, `CREATE MATERIALIZED VIEW`, `DROP VIEW`,
+    /// `DROP TABLE`) is executed against the session's catalogs and
+    /// returns an empty row set. A query that scans a view name reads its
+    /// materialized state — no recomputation of the defining query.
+    ///
+    /// Result rows come back sorted — unless the query has a top-level
+    /// `ORDER BY`, in which case they come back in that order (ties
+    /// resolved by full-row comparison, identically on every engine).
     pub fn query(&mut self, rql: &str) -> Result<QueryResult> {
         let stmt = rex_rql::parse(rql).map_err(|e| RqlError::at(RqlStage::Parse, e))?;
         match stmt {
@@ -335,7 +339,13 @@ impl Session {
                 self.refresh_stats();
                 let (optimized, cost) = self.optimizer.optimize(logical)?;
                 let ctx = EngineContext { store: &self.store, registry: &self.registry };
-                let out = self.engine.execute(&optimized, &ctx)?;
+                let mut out = self.engine.execute(&optimized, &ctx)?;
+                // Engines return rows sorted (their agreement contract);
+                // a top-level ORDER BY re-orders the final — already
+                // limited — rows into presentation order.
+                if let Some(keys) = output_ordering(&optimized) {
+                    presentation_sort(&mut out.rows, keys, &self.registry)?;
+                }
                 Ok(QueryResult {
                     rows: out.rows,
                     report: out.report,
@@ -343,6 +353,12 @@ impl Session {
                     cost,
                     engine: self.engine.name().to_string(),
                 })
+            }
+            Statement::CreateTable { name, columns } => {
+                let schema =
+                    Schema::new(columns.into_iter().map(|(n, t)| Field::new(n, t)).collect());
+                self.create_table(&name, schema)?;
+                Ok(self.ddl_result(zero_cost()))
             }
             Statement::CreateView { name, query } => {
                 let cost = self.define_view(&name, rql, &query)?;
@@ -366,9 +382,17 @@ impl Session {
     /// of materialized state.
     pub fn explain(&mut self, rql: &str) -> Result<String> {
         let stmt = rex_rql::parse(rql).map_err(|e| RqlError::at(RqlStage::Parse, e))?;
-        // Drops have no dataflow plan: explain them as the catalog actions
-        // they are.
+        // Catalog-only DDL has no dataflow plan: explain it as the
+        // catalog action it is.
         match &stmt {
+            Statement::CreateTable { name, columns } => {
+                let cols: Vec<String> = columns.iter().map(|(n, t)| format!("{n} {t}")).collect();
+                return Ok(format!(
+                    "== ddl ==\nCREATE TABLE {name} ({}): registers an empty stored table \
+                     partitioned on its first column\n",
+                    cols.join(", ")
+                ));
+            }
             Statement::DropView { name } => {
                 return Ok(format!(
                     "== ddl ==\nDROP VIEW {name}: removes the materialized view and its stored \
@@ -464,10 +488,25 @@ impl Session {
     }
 
     /// Plan a view's defining query, rejecting shapes views can't serve.
+    /// `ORDER BY`/`LIMIT` are query-only: a materialized view is an
+    /// unordered relation maintained by deltas, so an ordered definition
+    /// is refused outright rather than silently losing its order (or
+    /// silently degrading to recompute-on-every-change).
     fn plan_view_query(&self, query: &Query) -> Result<LogicalPlan> {
         let stmt = Statement::Query(query.clone());
-        rex_rql::logical::plan(&stmt, &self.schemas, &self.registry)
-            .map_err(|e| RexError::from(RqlError::at(RqlStage::Plan, e)))
+        let plan = rex_rql::logical::plan(&stmt, &self.schemas, &self.registry)
+            .map_err(|e| RexError::from(RqlError::at(RqlStage::Plan, e)))?;
+        if plan.has_order_or_limit() {
+            return Err(RexError::from(RqlError::at(
+                RqlStage::Plan,
+                RexError::Plan(
+                    "ORDER BY/LIMIT are not view-definable: a materialized view is an \
+                     unordered relation — apply ordering in queries over the view"
+                        .into(),
+                ),
+            )));
+        }
+        Ok(plan)
     }
 
     /// Shared view-creation path for DDL and the programmatic API.
@@ -512,6 +551,41 @@ impl Session {
 /// The no-work cost estimate attached to catalog-only DDL results.
 fn zero_cost() -> PlanCost {
     PlanCost { rows: 0, resources: ResourceVector::default() }
+}
+
+/// The ORDER BY keys governing the final result's presentation order, if
+/// the plan's root is a `Sort` (possibly under a `Limit`). The dataflow
+/// already applied any LIMIT/OFFSET *selection*; what remains is putting
+/// the surviving rows in order.
+fn output_ordering(plan: &LogicalPlan) -> Option<&[SortKey]> {
+    match plan {
+        LogicalPlan::Sort { keys, .. } => Some(keys),
+        LogicalPlan::Limit { input, .. } => output_ordering(input),
+        _ => None,
+    }
+}
+
+/// Order rows by the sort keys via the engine-shared
+/// [`compare_by_keys`](rex_core::operators::compare_by_keys) total order
+/// (keys in sequence, full-row tie-break) — the same order the top-k
+/// operator selects by, so selection and presentation can never disagree.
+fn presentation_sort(rows: &mut Vec<Tuple>, keys: &[SortKey], reg: &Registry) -> Result<()> {
+    use rex_core::operators::{compare_by_keys, SortSpec};
+    let specs: Vec<SortSpec> =
+        keys.iter().map(|k| SortSpec { expr: k.expr.clone(), desc: k.desc }).collect();
+    let mut keyed: Vec<(Vec<rex_core::value::Value>, usize)> = Vec::with_capacity(rows.len());
+    for (i, t) in rows.iter().enumerate() {
+        let mut kv = Vec::with_capacity(specs.len());
+        for s in &specs {
+            kv.push(s.expr.eval(t, reg)?);
+        }
+        keyed.push((kv, i));
+    }
+    keyed.sort_unstable_by(|a, b| compare_by_keys(&specs, &a.0, &rows[a.1], &b.0, &rows[b.1]));
+    // Apply the permutation without cloning any tuple.
+    let mut slots: Vec<Option<Tuple>> = std::mem::take(rows).into_iter().map(Some).collect();
+    *rows = keyed.into_iter().map(|(_, i)| slots[i].take().expect("unique index")).collect();
+    Ok(())
 }
 
 /// If `plan` is a bare scan of one relation — `SELECT * FROM t`, i.e. a
@@ -787,5 +861,117 @@ mod tests {
         let r = s.query("SELECT sum(dst), count(*) FROM edges").unwrap();
         assert_eq!(r.rows.len(), 1);
         assert_eq!(r.rows[0].get(1).as_int(), Some(4));
+    }
+
+    #[test]
+    fn create_table_ddl_registers_a_table() {
+        for engine in ["local", "cluster"] {
+            let mut s = edge_session(engine);
+            let r = s.query("CREATE TABLE scores (name string, score double)").unwrap();
+            assert!(r.rows.is_empty());
+            use rex_core::value::Value;
+            s.insert(
+                "scores",
+                vec![
+                    Tuple::new(vec![Value::str("ada"), Value::Double(1.5)]),
+                    Tuple::new(vec![Value::str("alan"), Value::Double(0.5)]),
+                ],
+            )
+            .unwrap();
+            let rows = s.query("SELECT name FROM scores WHERE score > 1").unwrap().rows;
+            assert_eq!(rows.len(), 1, "{engine}");
+            // Duplicate creation fails; DDL explain names the action.
+            assert!(s.query("CREATE TABLE scores (x int)").is_err());
+            let txt = s.explain("CREATE TABLE other (x int, y double)").unwrap();
+            assert!(txt.contains("CREATE TABLE other"), "{txt}");
+            assert!(s.view_names().is_empty() && !s.store().contains("other"), "explain is dry");
+        }
+    }
+
+    #[test]
+    fn order_by_returns_rows_in_presentation_order() {
+        for engine in ["local", "cluster"] {
+            let mut s = edge_session(engine);
+            let r = s.query("SELECT src, dst FROM edges ORDER BY dst DESC, src LIMIT 3").unwrap();
+            assert_eq!(
+                r.rows,
+                vec![tuple![2i64, 3i64], tuple![0i64, 2i64], tuple![1i64, 2i64]],
+                "{engine}: descending dst, ties by src"
+            );
+            // OFFSET past the end is empty; LIMIT larger than the table
+            // returns everything (in order).
+            assert!(s
+                .query("SELECT src FROM edges ORDER BY src LIMIT 2 OFFSET 9")
+                .unwrap()
+                .rows
+                .is_empty());
+            let all = s.query("SELECT dst FROM edges ORDER BY dst DESC LIMIT 99").unwrap().rows;
+            assert_eq!(all, vec![tuple![3i64], tuple![2i64], tuple![2i64], tuple![1i64]]);
+        }
+    }
+
+    #[test]
+    fn distinct_having_and_expression_aggregates_run_end_to_end() {
+        for engine in ["local", "cluster"] {
+            let mut s = edge_session(engine);
+            let d = s.query("SELECT DISTINCT src FROM edges").unwrap().rows;
+            assert_eq!(d, vec![tuple![0i64], tuple![1i64], tuple![2i64]], "{engine}");
+            let h = s
+                .query("SELECT src, count(*) FROM edges GROUP BY src HAVING count(*) > 1")
+                .unwrap()
+                .rows;
+            assert_eq!(h, vec![tuple![0i64, 2i64]], "{engine}");
+            let e = s.query("SELECT src, sum(dst * dst) FROM edges GROUP BY src").unwrap().rows;
+            assert_eq!(
+                e,
+                vec![tuple![0i64, 5.0f64], tuple![1i64, 4.0f64], tuple![2i64, 9.0f64]],
+                "{engine}"
+            );
+        }
+    }
+
+    #[test]
+    fn ordered_view_definitions_are_rejected() {
+        let mut s = edge_session("local");
+        for sql in [
+            "CREATE MATERIALIZED VIEW v AS SELECT src FROM edges ORDER BY src",
+            "CREATE MATERIALIZED VIEW v AS SELECT src FROM edges LIMIT 3",
+        ] {
+            let err = s.query(sql).unwrap_err();
+            assert!(matches!(err, RexError::Plan(_)), "{sql}: {err:?}");
+            assert!(err.to_string().contains("not view-definable"), "{err}");
+        }
+        assert!(s.view_names().is_empty());
+        // The programmatic API refuses identically.
+        let err =
+            s.create_materialized_view("v", "SELECT src FROM edges ORDER BY src").unwrap_err();
+        assert!(err.to_string().contains("not view-definable"));
+    }
+
+    #[test]
+    fn distinct_and_having_views_maintain_incrementally() {
+        let mut s = edge_session("local");
+        s.create_materialized_view("targets", "SELECT DISTINCT dst FROM edges").unwrap();
+        s.create_materialized_view(
+            "fanned",
+            "SELECT src, count(*) FROM edges GROUP BY src HAVING count(*) > 1",
+        )
+        .unwrap();
+        assert!(s.view_strategy("targets").unwrap().contains("incremental"));
+        assert!(s.view_strategy("fanned").unwrap().contains("incremental"));
+        s.insert("edges", vec![tuple![1i64, 3i64], tuple![1i64, 2i64]]).unwrap();
+        s.delete("edges", vec![tuple![0i64, 1i64]]).unwrap();
+        assert_eq!(
+            s.query("SELECT * FROM targets").unwrap().rows,
+            vec![tuple![2i64], tuple![3i64]]
+        );
+        assert_eq!(
+            s.query("SELECT * FROM fanned").unwrap().rows,
+            vec![tuple![1i64, 3i64]],
+            "src=0 dropped to one edge; src=1 rose to three"
+        );
+        // Incremental means never a recompute pass.
+        assert_eq!(s.views().get("targets").unwrap().recomputes(), 0);
+        assert_eq!(s.views().get("fanned").unwrap().recomputes(), 0);
     }
 }

@@ -15,6 +15,7 @@ use rex::core::tuple::{Schema, Tuple};
 use rex::core::value::{DataType, Value};
 use rex::data::graph::{generate_graph, Graph, GraphSpec};
 use rex::data::points::{generate_points, PointSpec};
+use rex::data::rng::StdRng;
 use rex::dbms::engine::DbmsConfig;
 use rex::hadoop::cost::EmulationMode;
 use rex::hadoop::job::HadoopCluster;
@@ -145,6 +146,141 @@ fn graph_sessions(g: &Graph) -> Vec<Session> {
             s
         })
         .collect()
+}
+
+// ---------------------------------------------------------------------------
+// RQL-surface agreement: the full query surface — DISTINCT, HAVING,
+// ORDER BY (with deliberate ties), LIMIT/OFFSET at every boundary,
+// expression-argument aggregates, CREATE TABLE DDL — must return
+// *identical* rows (same order where one is requested) on the local and
+// cluster engines, across random datasets.
+// ---------------------------------------------------------------------------
+
+/// Local + cluster sessions over the same random `sales` table, created
+/// through `CREATE TABLE` DDL. Values are drawn from small domains so
+/// duplicates and ORDER BY ties occur constantly.
+fn sales_sessions(seed: u64) -> Vec<Session> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rows: Vec<Tuple> = (0..60)
+        .map(|_| {
+            Tuple::new(vec![
+                Value::Int(rng.gen_range(0..=5i64)),                  // item
+                Value::Double(rng.gen_range(1..=4i64) as f64),        // price
+                Value::Double(rng.gen_range(0..=3i64) as f64 * 0.25), // discount
+                Value::Int(rng.gen_range(1..=3i64)),                  // qty
+            ])
+        })
+        .collect();
+    [Session::local(), Session::cluster(4)]
+        .into_iter()
+        .map(|mut s| {
+            s.query("CREATE TABLE sales (item int, price double, discount double, qty int)")
+                .unwrap();
+            s.insert("sales", rows.clone()).unwrap();
+            s
+        })
+        .collect()
+}
+
+/// Run `sql` on both engines and assert the row vectors are identical —
+/// including order, which is how ORDER BY determinism (tie-breaks and
+/// all) is pinned across topologies.
+fn assert_engines_agree(sessions: &mut [Session], sql: &str) -> Vec<Tuple> {
+    let mut results = Vec::new();
+    for s in sessions.iter_mut() {
+        let r = s.query(sql).unwrap_or_else(|e| panic!("{sql} on {}: {e}", s.engine_name()));
+        results.push((r.engine, r.rows));
+    }
+    let (ref e0, ref r0) = results[0];
+    for (e, r) in &results[1..] {
+        assert_eq!(r0, r, "{sql}: {e0} vs {e} disagree");
+    }
+    results.swap_remove(0).1
+}
+
+#[test]
+fn order_by_with_ties_and_limit_boundaries_agree() {
+    for seed in [7u64, 99, 4096] {
+        let mut ss = sales_sessions(seed);
+        let n = ss[0].table_rows("sales").unwrap() as u64;
+        // Ties on price are pervasive (4 distinct prices, 60 rows): the
+        // full-tuple tie-break must make both engines pick the same rows
+        // in the same order at every LIMIT/OFFSET boundary.
+        for (fetch, offset) in
+            [(0, 0), (1, 0), (5, 3), (n - 1, 0), (n, 0), (n + 7, 2), (3, n), (2, n - 1)]
+        {
+            let sql = format!(
+                "SELECT item, price FROM sales ORDER BY price DESC, item LIMIT {fetch} OFFSET {offset}"
+            );
+            let rows = assert_engines_agree(&mut ss, &sql);
+            let expect = (n.saturating_sub(offset)).min(fetch) as usize;
+            assert_eq!(rows.len(), expect, "{sql}: cardinality");
+        }
+        // ORDER BY an expression, no limit.
+        assert_engines_agree(
+            &mut ss,
+            "SELECT item, price * qty FROM sales ORDER BY price * qty DESC, item",
+        );
+    }
+}
+
+#[test]
+fn distinct_and_having_agree() {
+    for seed in [11u64, 222] {
+        let mut ss = sales_sessions(seed);
+        let d = assert_engines_agree(
+            &mut ss,
+            "SELECT DISTINCT item, qty FROM sales ORDER BY item, qty",
+        );
+        let mut dedup = d.clone();
+        dedup.dedup();
+        assert_eq!(d, dedup, "DISTINCT output has no duplicates");
+        assert_engines_agree(&mut ss, "SELECT DISTINCT item FROM sales");
+        assert_engines_agree(
+            &mut ss,
+            "SELECT item, count(*), sum(qty) FROM sales GROUP BY item HAVING count(*) > 8",
+        );
+        assert_engines_agree(
+            &mut ss,
+            "SELECT item, avg(price) FROM sales GROUP BY item HAVING item > 1 ORDER BY 2 DESC, item LIMIT 3",
+        );
+    }
+}
+
+#[test]
+fn expression_aggregates_agree_and_match_oracle() {
+    for seed in [5u64, 31337] {
+        let mut ss = sales_sessions(seed);
+        let rows = assert_engines_agree(
+            &mut ss,
+            "SELECT item, sum(price * (1 - discount) * qty) FROM sales GROUP BY item ORDER BY item",
+        );
+        // Oracle: recompute revenue per item from the raw rows.
+        let raw = assert_engines_agree(&mut ss, "SELECT item, price, discount, qty FROM sales");
+        let mut want = std::collections::BTreeMap::new();
+        for t in &raw {
+            let item = t.get(0).as_int().unwrap();
+            let rev = t.get(1).as_double().unwrap()
+                * (1.0 - t.get(2).as_double().unwrap())
+                * t.get(3).as_int().unwrap() as f64;
+            *want.entry(item).or_insert(0.0) += rev;
+        }
+        assert_eq!(rows.len(), want.len());
+        for t in &rows {
+            let got = t.get(1).as_double().unwrap();
+            let exp = want[&t.get(0).as_int().unwrap()];
+            assert!((got - exp).abs() < 1e-9 * exp.abs().max(1.0), "{got} vs {exp}");
+        }
+    }
+}
+
+#[test]
+fn global_aggregate_with_having_agrees() {
+    let mut ss = sales_sessions(1);
+    // HAVING over a global aggregate: one row or none, same on both.
+    assert_engines_agree(&mut ss, "SELECT sum(qty), count(*) FROM sales HAVING count(*) > 1");
+    let none = assert_engines_agree(&mut ss, "SELECT sum(qty) FROM sales HAVING count(*) > 999");
+    assert!(none.is_empty(), "failed HAVING over a global aggregate yields no rows");
 }
 
 #[test]
