@@ -1,0 +1,217 @@
+//! Row-at-a-time executor throughput: the dataflow hot path in rows/sec.
+//!
+//! Three pipeline shapes over a 200k-row base table, on both engines:
+//!
+//! * **scan→filter→project→sink** (selective) — the per-row dataflow tax
+//!   every query pays: `SELECT k, a + 1, b * 2.0 FROM t WHERE a < 10`
+//!   keeps ~10% of rows, so scan + filter delivery dominates. Insert-only
+//!   end to end: the fast lane (run-length `Event::Rows` batches, append
+//!   sink, one radix sort) applies in full.
+//! * **scan→filter→project→sink** (half) — the same pipeline with
+//!   `a < 50` (~50% pass), loading the projection / sink / sort half of
+//!   the lane as heavily as the scan half.
+//! * **scan→join→group** — the keyed-state lane:
+//!   `SELECT dim.g, count(*), sum(t.b) FROM t, dim WHERE t.k = dim.k
+//!    GROUP BY dim.g`. Every row probes a hash join and folds into group
+//!   state, so per-row key costs dominate.
+//!
+//! Each configuration is timed over several full `Session::query` passes
+//! (parse → optimize → lower → execute → sorted rows, the same path users
+//! pay) and the best pass is reported as rows/sec and ns/row — the number
+//! the ROADMAP's "~240 ns/row in delta wrapping and cloning" claim turns
+//! into. Results land in `BENCH_exec.json`; CI enforces the per-config
+//! `floor` multiples over the pre-PR baselines recorded below.
+
+use rex::core::tuple::{Schema, Tuple};
+use rex::core::value::{DataType, Value};
+use rex::Session;
+use rex_data::rng::StdRng;
+use std::time::Instant;
+
+/// Base-table rows (the denominator of every ns/row figure).
+const ROWS: usize = 200_000;
+/// Dimension-table rows for the join workload.
+const DIM_ROWS: usize = 20_000;
+/// Cluster engine size.
+const WORKERS: usize = 4;
+/// Timed passes per configuration (best pass reported).
+const PASSES: usize = 5;
+
+/// Per configuration: `(workload, engine, pre-PR ns/row, CI floor)`.
+///
+/// The ns/row anchors were measured by running this bench at the commit
+/// before the hot-path rework (per-event `OpCtx`, owned-key probes,
+/// clone-heavy sinks, double stable sorts), interleaved with the current
+/// build on the same dev machine; the *minimum* observed ns/row was
+/// recorded. They make local runs self-describing — CI does **not**
+/// compare against them: the bench-smoke job re-runs this binary at the
+/// pre-rework commit *on the same runner* and enforces each `floor` on
+/// that machine-independent ratio. Floors leave headroom for run-to-run
+/// noise: the gating scan→filter→project configs hold ≥2x with 25–40%
+/// margin; the join workload floors only guard against regression (its
+/// costs are dominated by cache-miss-bound hash probes both before and
+/// after, so its speedup — ~1.1x local, ~1.5x cluster on a quiet machine
+/// — is modest and noise-sensitive).
+const CONFIGS: [(&str, &str, f64, f64); 6] = [
+    ("scan_filter_project", "local", 130.4, 2.0),
+    ("scan_filter_project", "cluster", 449.5, 2.0),
+    ("scan_filter_project_half", "local", 243.2, 1.8),
+    ("scan_filter_project_half", "cluster", 590.5, 2.0),
+    ("join_group", "local", 703.2, 0.85),
+    ("join_group", "cluster", 1224.6, 1.1),
+];
+
+const SFPS_SELECTIVE: &str = "SELECT k, a + 1, b * 2.0 FROM t WHERE a < 10";
+const SFPS_HALF: &str = "SELECT k, a + 1, b * 2.0 FROM t WHERE a < 50";
+const JOIN_GROUP_QUERY: &str = "SELECT dim.g, count(*), sum(t.b) FROM t, dim \
+     WHERE t.k = dim.k GROUP BY dim.g";
+
+fn config(workload: &str, engine: &str) -> (f64, f64) {
+    CONFIGS
+        .iter()
+        .find(|(w, e, _, _)| *w == workload && *e == engine)
+        .map(|(_, _, ns, floor)| (*ns, *floor))
+        .expect("baseline recorded for every configuration")
+}
+
+fn base_rows(rng: &mut StdRng) -> Vec<Tuple> {
+    (0..ROWS)
+        .map(|i| {
+            Tuple::new(vec![
+                Value::Int((i % DIM_ROWS) as i64),
+                Value::Int(rng.gen_range(0..=99i64)),
+                Value::Double(rng.gen_range(0..=999i64) as f64 * 0.25),
+            ])
+        })
+        .collect()
+}
+
+fn dim_rows() -> Vec<Tuple> {
+    (0..DIM_ROWS as i64)
+        .map(|k| Tuple::new(vec![Value::Int(k), Value::Int(k % 64), Value::Double(k as f64)]))
+        .collect()
+}
+
+fn session(engine: &str) -> Session {
+    let mut s = match engine {
+        "cluster" => Session::cluster(WORKERS),
+        _ => Session::local(),
+    };
+    s.create_table(
+        "t",
+        Schema::of(&[("k", DataType::Int), ("a", DataType::Int), ("b", DataType::Double)]),
+    )
+    .unwrap();
+    s.create_table(
+        "dim",
+        Schema::of(&[("k", DataType::Int), ("g", DataType::Int), ("w", DataType::Double)]),
+    )
+    .unwrap();
+    let mut rng = StdRng::seed_from_u64(17);
+    s.insert("t", base_rows(&mut rng)).unwrap();
+    s.insert("dim", dim_rows()).unwrap();
+    s
+}
+
+struct Measurement {
+    workload: &'static str,
+    engine: &'static str,
+    seconds: f64,
+    result_rows: usize,
+}
+
+impl Measurement {
+    fn ns_per_row(&self) -> f64 {
+        self.seconds * 1e9 / ROWS as f64
+    }
+
+    fn rows_per_sec(&self) -> f64 {
+        ROWS as f64 / self.seconds
+    }
+
+    fn speedup_vs_baseline(&self) -> f64 {
+        config(self.workload, self.engine).0 / self.ns_per_row()
+    }
+
+    fn json(&self) -> String {
+        let (baseline, floor) = config(self.workload, self.engine);
+        format!(
+            "{{ \"seconds\": {:.6}, \"rows_per_sec\": {:.0}, \"ns_per_row\": {:.1}, \
+             \"result_rows\": {}, \"baseline_ns_per_row\": {:.1}, \
+             \"speedup_vs_baseline\": {:.2}, \"floor\": {:.2} }}",
+            self.seconds,
+            self.rows_per_sec(),
+            self.ns_per_row(),
+            self.result_rows,
+            baseline,
+            self.speedup_vs_baseline(),
+            floor,
+        )
+    }
+}
+
+/// Time `query` on `engine`: one warmup pass, then the best of
+/// [`PASSES`] timed full-pipeline passes.
+fn measure(
+    workload: &'static str,
+    engine: &'static str,
+    query: &str,
+    expect_rows: impl Fn(usize) -> bool,
+) -> Measurement {
+    let mut s = session(engine);
+    let warm = s.query(query).unwrap();
+    assert!(
+        expect_rows(warm.rows.len()),
+        "{workload}/{engine}: unexpected result cardinality {}",
+        warm.rows.len()
+    );
+    let mut best = f64::INFINITY;
+    let result_rows = warm.rows.len();
+    for _ in 0..PASSES {
+        let t = Instant::now();
+        let r = s.query(query).unwrap();
+        let secs = t.elapsed().as_secs_f64();
+        assert_eq!(r.rows.len(), result_rows, "{workload}/{engine}: drifting result");
+        best = best.min(secs);
+    }
+    let m = Measurement { workload, engine, seconds: best, result_rows };
+    println!(
+        "{workload:>26} {engine:>8}: {:>12.0} rows/s  {:>8.1} ns/row  ({:.2}x vs pre-PR)",
+        m.rows_per_sec(),
+        m.ns_per_row(),
+        m.speedup_vs_baseline(),
+    );
+    m
+}
+
+fn main() {
+    println!("executor throughput, {ROWS} base rows, best of {PASSES} passes\n");
+    let measurements = [
+        // ~10% of rows pass: the scan/filter per-row tax dominates.
+        measure("scan_filter_project", "local", SFPS_SELECTIVE, |n| n > ROWS / 30),
+        measure("scan_filter_project", "cluster", SFPS_SELECTIVE, |n| n > ROWS / 30),
+        // ~50% pass: projection, sink, and the final sort stay loaded.
+        measure("scan_filter_project_half", "local", SFPS_HALF, |n| n > ROWS / 3),
+        measure("scan_filter_project_half", "cluster", SFPS_HALF, |n| n > ROWS / 3),
+        // Every t row matches exactly one dim row; 64 output groups.
+        measure("join_group", "local", JOIN_GROUP_QUERY, |n| n == 64),
+        measure("join_group", "cluster", JOIN_GROUP_QUERY, |n| n == 64),
+    ];
+
+    let workloads = ["scan_filter_project", "scan_filter_project_half", "join_group"];
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"rows\": {ROWS},\n"));
+    for (i, workload) in workloads.iter().enumerate() {
+        json.push_str(&format!("  \"{workload}\": {{\n"));
+        let ms: Vec<&Measurement> =
+            measurements.iter().filter(|m| m.workload == *workload).collect();
+        for (j, m) in ms.iter().enumerate() {
+            json.push_str(&format!("    \"{}\": {}", m.engine, m.json()));
+            json.push_str(if j + 1 < ms.len() { ",\n" } else { "\n" });
+        }
+        json.push_str(if i + 1 < workloads.len() { "  },\n" } else { "  }\n" });
+    }
+    json.push_str("}\n");
+    std::fs::write("BENCH_exec.json", json).expect("write BENCH_exec.json");
+    println!("\nwrote BENCH_exec.json");
+}

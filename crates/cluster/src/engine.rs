@@ -19,7 +19,7 @@ use rex_core::tuple::Tuple;
 use rex_core::udf::Registry;
 use rex_rql::logical::LogicalPlan;
 use rex_rql::lower::{lower_with, LowerOptions};
-use rex_rql::provider::PartitionProvider;
+use rex_rql::provider::{PartitionMemo, PartitionProvider};
 use rex_rql::RqlError;
 use std::fmt;
 use std::sync::Arc;
@@ -71,8 +71,13 @@ impl From<ClusterError> for RexError {
 pub fn logical_plan_builder(plan: &LogicalPlan, reg: &Registry) -> PlanBuilder {
     let plan = Arc::new(plan.clone());
     let reg = reg.clone();
+    // One partitioning pass per table for the whole query: the memo is
+    // shared by every worker's provider (and survives recovery attempts,
+    // which re-key it under the shrunken snapshot).
+    let memo = PartitionMemo::new();
     Arc::new(move |worker, snapshot, catalog| {
-        let provider = PartitionProvider::new(catalog.clone(), snapshot.clone(), worker);
+        let provider = PartitionProvider::new(catalog.clone(), snapshot.clone(), worker)
+            .with_memo(memo.clone());
         lower_with(&plan, &provider, &reg, LowerOptions::cluster())
             .map_err(|e| RqlError::at(rex_rql::RqlStage::Lower, e).into())
     })

@@ -10,7 +10,7 @@
 
 use rex_core::delta::{Annotation, Delta, Punctuation};
 use rex_core::exec::{Executor, NetEmission, NetKey, NodeId};
-use rex_core::operators::{hash_key, Event};
+use rex_core::operators::{hash_key, hash_key_cols, Event};
 use rex_storage::partition::PartitionSnapshot;
 use std::collections::{HashMap, HashSet};
 
@@ -46,6 +46,21 @@ impl Router {
         for em in outbox {
             match em.event {
                 Event::Data(deltas) => {
+                    injected += self.route_data(
+                        from_worker,
+                        em.node,
+                        em.port,
+                        deltas,
+                        executors,
+                        live,
+                        snap,
+                    );
+                }
+                // Fast-lane batches crossing a boundary route as the
+                // insertions they are (lane plans have no network nodes
+                // today, but the router must not depend on that).
+                Event::Rows(rows) => {
+                    let deltas = rows.into_iter().map(Delta::insert).collect();
                     injected += self.route_data(
                         from_worker,
                         em.node,
@@ -114,24 +129,26 @@ impl Router {
             }
             NetKey::Hash(cols) => cols,
         };
-        let mut per_target: HashMap<usize, Vec<Delta>> = HashMap::new();
+        // Bucket by owner with a worker-indexed table — no hashing to pick
+        // the bucket a routed delta lands in.
+        let mut per_target: Vec<Vec<Delta>> = vec![Vec::new(); executors.len()];
         for d in deltas {
             // A replacement whose old tuple lives in a different partition
             // must be split into a routed delete plus a routed insert.
             if let Annotation::Replace(old) = &d.ann {
-                let old_owner = snap.owner_of_hash(hash_key(&old.key(&key_cols)));
-                let new_owner = snap.owner_of_hash(hash_key(&d.tuple.key(&key_cols)));
+                let old_owner = snap.owner_of_hash(hash_key_cols(old, &key_cols));
+                let new_owner = snap.owner_of_hash(hash_key_cols(&d.tuple, &key_cols));
                 if old_owner != new_owner {
-                    per_target.entry(old_owner).or_default().push(Delta::delete(old.clone()));
-                    per_target.entry(new_owner).or_default().push(Delta::insert(d.tuple.clone()));
+                    per_target[old_owner].push(Delta::delete(old.clone()));
+                    per_target[new_owner].push(Delta::insert(d.tuple.clone()));
                     continue;
                 }
             }
-            let owner = snap.owner_of_hash(hash_key(&d.tuple.key(&key_cols)));
-            per_target.entry(owner).or_default().push(d);
+            let owner = snap.owner_of_hash(hash_key_cols(&d.tuple, &key_cols));
+            per_target[owner].push(d);
         }
         let mut injected = 0;
-        for (target, batch) in per_target {
+        for (target, batch) in per_target.into_iter().enumerate().filter(|(_, b)| !b.is_empty()) {
             let event = Event::Data(batch);
             if target != from_worker {
                 let bytes = event.byte_size() as u64;

@@ -14,7 +14,7 @@ use crate::router::Router;
 use rex_core::error::{Result, RexError};
 use rex_core::exec::{Executor, PlanGraph, MAX_STRATA};
 use rex_core::metrics::{CostModel, ExecMetrics, StratumReport};
-use rex_core::operators::{hash_key, OperatorState};
+use rex_core::operators::{hash_key_cols, OperatorState};
 use rex_core::tuple::Tuple;
 use rex_core::udf::Registry;
 use rex_storage::catalog::Catalog;
@@ -192,7 +192,7 @@ impl ClusterRuntime {
                 // snapshot and stream it to the takeover nodes.
                 let mut per_worker: Vec<Vec<Tuple>> = vec![Vec::new(); n];
                 for t in tuples {
-                    let owner = snapshot.owner_of_hash(hash_key(&t.key(&key_cols)));
+                    let owner = snapshot.owner_of_hash(hash_key_cols(&t, &key_cols));
                     per_worker[owner].push(t);
                 }
                 for &w in &live {
@@ -407,14 +407,16 @@ fn collect_results(
     let requestor = live[0];
     let mut all = Vec::new();
     for &w in live {
-        let part = executors[w].sink_results()?;
+        // Drain each worker's sink — the query is over, no need to clone
+        // every result row just to drop the sink's copy.
+        let part = executors[w].take_sink_results()?;
         if w != requestor {
             let bytes: u64 = part.iter().map(|t| t.byte_size() as u64).sum();
             executors[w].metrics.bytes_sent += bytes;
         }
         all.extend(part);
     }
-    all.sort();
+    rex_core::tuple::sort_rows(&mut all);
     Ok(all)
 }
 

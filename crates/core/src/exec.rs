@@ -177,14 +177,25 @@ impl Executor {
         self.network.iter().enumerate().filter_map(|(i, k)| k.as_ref().map(|_| i)).collect()
     }
 
-    /// Run all source operators (scans), queueing their output.
+    /// Run all source operators (scans), queueing their output. One
+    /// [`OpCtx`] serves every source.
     pub fn start(&mut self, reg: &Registry, cost: &CostModel) -> Result<()> {
+        let mut ctx = OpCtx::new(self.stratum, self.worker, reg, cost, &mut self.metrics);
         for i in 0..self.nodes.len() {
             if self.nodes[i].is_source() {
-                let mut ctx = OpCtx::new(self.stratum, self.worker, reg, cost, &mut self.metrics);
                 self.nodes[i].run_source(&mut ctx)?;
-                let produced = ctx.take_output();
-                self.enqueue_outputs(i, produced, &mut Vec::new());
+                for (port, event) in ctx.drain_output() {
+                    enqueue(
+                        self.distributed,
+                        &self.network,
+                        &self.edges,
+                        &mut self.queue,
+                        &mut Vec::new(),
+                        i,
+                        port,
+                        event,
+                    );
+                }
             }
         }
         Ok(())
@@ -198,57 +209,44 @@ impl Executor {
 
     /// Deliver an event to the downstream edges of `node`'s output `port`,
     /// as if the node had emitted it locally. Used by the cluster router to
-    /// hand received network traffic to the rehash's consumers.
+    /// hand received network traffic to the rehash's consumers. The edge
+    /// list is walked in place and the event cloned only for fan-out
+    /// beyond the first destination.
     pub fn inject_downstream(&mut self, node: NodeId, port: usize, event: Event) {
-        let dsts = self.edges[node][port].clone();
-        for (dst, dport) in dsts {
-            self.queue.push_back((dst, dport, event.clone()));
-        }
-    }
-
-    fn enqueue_outputs(
-        &mut self,
-        node: NodeId,
-        produced: Vec<(usize, Event)>,
-        outbox: &mut Vec<NetEmission>,
-    ) {
-        for (port, event) in produced {
-            if self.distributed && self.network[node].is_some() {
-                outbox.push(NetEmission { node, port, event });
-            } else {
-                let dsts = &self.edges[node][port];
-                match dsts.len() {
-                    0 => {} // dangling port: event is dropped
-                    1 => {
-                        let (dst, dport) = dsts[0];
-                        self.queue.push_back((dst, dport, event));
-                    }
-                    _ => {
-                        for (dst, dport) in dsts.clone() {
-                            self.queue.push_back((dst, dport, event.clone()));
-                        }
-                    }
-                }
-            }
-        }
+        fan_out(&mut self.queue, &self.edges[node][port], event);
     }
 
     /// Process queued events until quiescence. Network emissions are
     /// appended to `outbox`.
+    ///
+    /// The hot loop constructs a single [`OpCtx`] whose emission buffer is
+    /// drained — not reallocated — after every operator activation, and
+    /// hands events downstream without cloning edge lists.
     pub fn drain(
         &mut self,
         reg: &Registry,
         cost: &CostModel,
         outbox: &mut Vec<NetEmission>,
     ) -> Result<()> {
+        let mut ctx = OpCtx::new(self.stratum, self.worker, reg, cost, &mut self.metrics);
         while let Some((node, port, event)) = self.queue.pop_front() {
-            let mut ctx = OpCtx::new(self.stratum, self.worker, reg, cost, &mut self.metrics);
             match event {
                 Event::Data(deltas) => self.nodes[node].on_deltas(port, deltas, &mut ctx)?,
+                Event::Rows(rows) => self.nodes[node].on_rows(port, rows, &mut ctx)?,
                 Event::Punct(p) => self.nodes[node].on_punct(port, p, &mut ctx)?,
             }
-            let produced = ctx.take_output();
-            self.enqueue_outputs(node, produced, outbox);
+            for (p, ev) in ctx.drain_output() {
+                enqueue(
+                    self.distributed,
+                    &self.network,
+                    &self.edges,
+                    &mut self.queue,
+                    outbox,
+                    node,
+                    p,
+                    ev,
+                );
+            }
         }
         Ok(())
     }
@@ -289,16 +287,39 @@ impl Executor {
             .as_fixpoint()
             .ok_or_else(|| RexError::Exec(format!("node {id} is not a fixpoint")))?;
         fp.advance(cont, &mut ctx)?;
-        let produced = ctx.take_output();
-        self.enqueue_outputs(id, produced, outbox);
+        for (port, event) in ctx.drain_output() {
+            enqueue(
+                self.distributed,
+                &self.network,
+                &self.edges,
+                &mut self.queue,
+                outbox,
+                id,
+                port,
+                event,
+            );
+        }
         Ok(())
     }
 
-    /// Collect results from the first sink node.
+    /// Collect results from the first sink node (cloning; the sink keeps
+    /// its state).
     pub fn sink_results(&mut self) -> Result<Vec<Tuple>> {
         for n in &mut self.nodes {
             if let Some(s) = n.as_sink() {
                 return Ok(s.results());
+            }
+        }
+        Err(RexError::Exec("plan has no sink".into()))
+    }
+
+    /// Drain results out of the first sink node — the end-of-query path,
+    /// which avoids cloning the whole result set just to throw the sink's
+    /// copy away.
+    pub fn take_sink_results(&mut self) -> Result<Vec<Tuple>> {
+        for n in &mut self.nodes {
+            if let Some(s) = n.as_sink() {
+                return Ok(s.take_results());
             }
         }
         Err(RexError::Exec("plan has no sink".into()))
@@ -326,6 +347,43 @@ impl Executor {
         }
         self.queue.clear();
         self.stratum = 0;
+    }
+}
+
+/// Queue an event for every `(dst, port)` edge, moving the event into the
+/// last destination and cloning only for fan-out beyond the first.
+fn fan_out(queue: &mut VecDeque<(NodeId, usize, Event)>, dsts: &[(NodeId, usize)], event: Event) {
+    match dsts {
+        [] => {} // dangling port: event is dropped
+        [(dst, dport)] => queue.push_back((*dst, *dport, event)),
+        [rest @ .., (last, lport)] => {
+            for &(dst, dport) in rest {
+                queue.push_back((dst, dport, event.clone()));
+            }
+            queue.push_back((*last, *lport, event));
+        }
+    }
+}
+
+/// Route one produced event: to the outbox when it leaves a network
+/// boundary of a distributed executor, downstream otherwise. A free
+/// function over the executor's fields so [`Executor::drain`] can call it
+/// while its long-lived [`OpCtx`] still borrows the metrics.
+#[allow(clippy::too_many_arguments)]
+fn enqueue(
+    distributed: bool,
+    network: &[Option<NetKey>],
+    edges: &[Vec<Vec<(NodeId, usize)>>],
+    queue: &mut VecDeque<(NodeId, usize, Event)>,
+    outbox: &mut Vec<NetEmission>,
+    node: NodeId,
+    port: usize,
+    event: Event,
+) {
+    if distributed && network[node].is_some() {
+        outbox.push(NetEmission { node, port, event });
+    } else {
+        fan_out(queue, &edges[node][port], event);
     }
 }
 
@@ -388,7 +446,7 @@ impl LocalRuntime {
             report.totals = m;
             report.simulated_time = m.simulated_time(&self.cost);
             report.wall_seconds = wall;
-            return Ok((ex.sink_results()?, report));
+            return Ok((ex.take_sink_results()?, report));
         }
 
         // Recursive query: stratum loop.
@@ -468,7 +526,7 @@ impl LocalRuntime {
         report.totals = ex.metrics;
         report.simulated_time = report.strata.iter().map(|s| s.simulated_time).sum();
         report.wall_seconds = t0.elapsed().as_secs_f64();
-        Ok((ex.sink_results()?, report))
+        Ok((ex.take_sink_results()?, report))
     }
 }
 

@@ -324,6 +324,88 @@ pub fn eval_predicate(e: &Expr, t: &Tuple, reg: &Registry) -> Result<bool> {
     Ok(matches!(e.eval(t, reg)?, Value::Bool(true)))
 }
 
+/// A scalar expression pre-compiled for the per-row hot path.
+///
+/// [`Expr::eval`] recurses through boxed nodes and *clones* both operands
+/// of every binary node (a column reference clones the value out of the
+/// tuple before comparing it). The shapes that dominate real predicates
+/// and projections — `col`, `lit`, `col OP lit`, `col OP col` — need none
+/// of that: they can read both operands by reference off the input tuple.
+/// [`CompiledExpr::compile`] recognizes those shapes once, at operator
+/// construction; everything else falls back to the interpreter, so the
+/// two paths are semantically identical by construction.
+#[derive(Debug, Clone)]
+pub enum CompiledExpr {
+    /// `col i` — clone one value out of the tuple.
+    Col(usize),
+    /// A constant.
+    Lit(Value),
+    /// `col OP lit` / `col OP col`, evaluated on borrowed operands.
+    /// Comparison ops yield `Bool`/`Null`, arithmetic delegates to the
+    /// same [`Value`] arithmetic the interpreter uses.
+    BinColLit(BinOp, usize, Value),
+    /// See [`CompiledExpr::BinColLit`].
+    BinColCol(BinOp, usize, usize),
+    /// Any other shape: the interpreter.
+    Slow(Expr),
+}
+
+impl CompiledExpr {
+    /// Compile `e`, recognizing the allocation-free shapes. `AND`/`OR`
+    /// stay on the interpreter (they need short-circuit + three-valued
+    /// logic), as does anything containing a UDF.
+    pub fn compile(e: &Expr) -> CompiledExpr {
+        match e {
+            Expr::Col(i) => CompiledExpr::Col(*i),
+            Expr::Lit(v) => CompiledExpr::Lit(v.clone()),
+            Expr::Bin(op, l, r) if !matches!(op, BinOp::And | BinOp::Or) => {
+                match (l.as_ref(), r.as_ref()) {
+                    (Expr::Col(i), Expr::Lit(v)) => CompiledExpr::BinColLit(*op, *i, v.clone()),
+                    (Expr::Col(i), Expr::Col(j)) => CompiledExpr::BinColCol(*op, *i, *j),
+                    _ => CompiledExpr::Slow(e.clone()),
+                }
+            }
+            _ => CompiledExpr::Slow(e.clone()),
+        }
+    }
+
+    /// Evaluate against a tuple. Identical results to [`Expr::eval`] on
+    /// the expression this was compiled from.
+    #[inline]
+    pub fn eval(&self, t: &Tuple, reg: &Registry) -> Result<Value> {
+        match self {
+            CompiledExpr::Col(i) => Ok(t.try_get(*i)?.clone()),
+            CompiledExpr::Lit(v) => Ok(v.clone()),
+            CompiledExpr::BinColLit(op, i, v) => eval_bin(*op, t.try_get(*i)?, v),
+            CompiledExpr::BinColCol(op, i, j) => eval_bin(*op, t.try_get(*i)?, t.try_get(*j)?),
+            CompiledExpr::Slow(e) => e.eval(t, reg),
+        }
+    }
+
+    /// Evaluate as a WHERE predicate: NULL counts as false.
+    #[inline]
+    pub fn eval_predicate(&self, t: &Tuple, reg: &Registry) -> Result<bool> {
+        match self {
+            CompiledExpr::BinColLit(op, i, v) if op.is_predicate() => {
+                cmp_bool(*op, t.try_get(*i)?, v)
+            }
+            CompiledExpr::BinColCol(op, i, j) if op.is_predicate() => {
+                cmp_bool(*op, t.try_get(*i)?, t.try_get(*j)?)
+            }
+            _ => Ok(matches!(self.eval(t, reg)?, Value::Bool(true))),
+        }
+    }
+}
+
+/// Borrowed-operand comparison with SQL WHERE null semantics (NULL →
+/// false). Delegates to [`eval_bin`] — `Value::Bool` is not heap
+/// allocated, so this costs nothing and cannot diverge from the
+/// interpreter's comparison semantics.
+#[inline]
+fn cmp_bool(op: BinOp, l: &Value, r: &Value) -> Result<bool> {
+    Ok(matches!(eval_bin(op, l, r)?, Value::Bool(true)))
+}
+
 /// An `Arc`-shared expression list, the common payload of projections.
 pub type ExprList = Arc<Vec<Expr>>;
 

@@ -20,8 +20,10 @@
 //! output is observable (view contents, delta reports) must still sort at
 //! the emission boundary, which is exactly what `rex-views` does.
 
+use crate::tuple::Tuple;
+use crate::value::Value;
 use std::collections::{HashMap, HashSet};
-use std::hash::{BuildHasher, Hasher};
+use std::hash::{BuildHasher, Hash, Hasher};
 
 /// The multiplier from FxHash (the golden-ratio constant for 64-bit).
 const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
@@ -114,6 +116,295 @@ pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
 /// A `HashSet` keyed by [`FxHasher`]. Construct with `FxHashSet::default()`.
 pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
 
+/// [`FxHasher`] hash of a sequence of values, by reference. This is the
+/// *one* key-hash function shared by owned keys (`&Vec<Value>`) and
+/// borrowed keys (`Tuple` column refs via
+/// [`Tuple::hash_key`](crate::tuple::Tuple::hash_key)) so the two probe
+/// the same buckets.
+pub fn hash_values<'a, I: IntoIterator<Item = &'a Value>>(vals: I) -> u64 {
+    let mut h = FxHasher::default();
+    for v in vals {
+        v.hash(&mut h);
+    }
+    h.finish()
+}
+
+/// Sparse-slot states of [`KeyedTable`]'s open-addressing probe array.
+const EMPTY: u32 = u32::MAX;
+const TOMB: u32 = u32::MAX - 1;
+
+/// An open-addressing hash table from `Vec<Value>` keys to `V`, built for
+/// the engine's per-row hot paths: lookups *borrow* their key from a
+/// [`Tuple`]'s key columns (hash via [`Tuple::hash_key`], equality via
+/// [`Tuple::key_eq`]), so probing allocates nothing; an owned key is
+/// materialized only when a probe misses and inserts
+/// ([`probe_or_insert_with`](KeyedTable::probe_or_insert_with)).
+///
+/// Layout: dense `entries` in insertion order (perturbed by removals via
+/// `swap_remove`) plus a sparse power-of-two probe array of entry indices
+/// with tombstoned deletion. Like the rest of [`hash`](crate::hash) the
+/// table is deterministic — same inputs, same layout, same iteration
+/// order — and **not** DoS-resistant.
+#[derive(Debug, Clone)]
+pub struct KeyedTable<V> {
+    /// Probe array: `EMPTY`, `TOMB`, or an index into `entries`.
+    slots: Vec<u32>,
+    /// `(key hash, owned key, value)`, dense.
+    entries: Vec<(u64, Vec<Value>, V)>,
+    /// Live tombstones in `slots` (counted against the load factor).
+    tombs: usize,
+}
+
+impl<V> Default for KeyedTable<V> {
+    fn default() -> Self {
+        KeyedTable::new()
+    }
+}
+
+/// Where a key lives — or would live — in the probe array.
+enum Slot {
+    /// Occupied by the probed key.
+    Found(usize),
+    /// First reusable slot (tombstone or empty) on the key's probe path.
+    Free(usize),
+}
+
+/// Fold a hash into a probe-array start index. FxHash finishes with a
+/// multiply, so its *high* bits carry the avalanche while its low bits can
+/// collapse for structured keys (e.g. the f64 bit patterns `Value::Int`
+/// hashes as, whose mantissa low bits are all zero). XOR-folding the high
+/// half down before masking keeps linear probing from clustering — the
+/// same reason hashbrown indexes by the top bits.
+#[inline]
+fn fold(hash: u64, mask: usize) -> usize {
+    ((hash >> 32) ^ hash) as usize & mask
+}
+
+impl<V> KeyedTable<V> {
+    /// An empty table (no allocation until the first insert).
+    pub fn new() -> KeyedTable<V> {
+        KeyedTable { slots: Vec::new(), entries: Vec::new(), tombs: 0 }
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no keys are stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Remove every entry, keeping capacity.
+    pub fn clear(&mut self) {
+        self.slots.iter_mut().for_each(|s| *s = EMPTY);
+        self.entries.clear();
+        self.tombs = 0;
+    }
+
+    /// Walk the probe path of `hash`, comparing candidate keys with `eq`.
+    /// The table always keeps at least one `EMPTY` slot, so the walk
+    /// terminates.
+    fn locate(&self, hash: u64, mut eq: impl FnMut(&[Value]) -> bool) -> Slot {
+        debug_assert!(!self.slots.is_empty());
+        let mask = self.slots.len() - 1;
+        let mut i = fold(hash, mask);
+        let mut free = None;
+        loop {
+            match self.slots[i] {
+                EMPTY => return Slot::Free(free.unwrap_or(i)),
+                TOMB => {
+                    if free.is_none() {
+                        free = Some(i);
+                    }
+                }
+                idx => {
+                    let (h, key, _) = &self.entries[idx as usize];
+                    if *h == hash && eq(key) {
+                        return Slot::Found(i);
+                    }
+                }
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    fn found(&self, hash: u64, eq: impl FnMut(&[Value]) -> bool) -> Option<usize> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        match self.locate(hash, eq) {
+            Slot::Found(slot) => Some(self.slots[slot] as usize),
+            Slot::Free(_) => None,
+        }
+    }
+
+    /// Grow/rebuild the probe array so at least one empty slot remains
+    /// below a 7/8 load factor (tombstones count as load until a rebuild
+    /// reclaims them).
+    fn reserve_one(&mut self) {
+        if (self.entries.len() + self.tombs + 1) * 8 <= self.slots.len() * 7 {
+            return;
+        }
+        let cap = ((self.entries.len() + 1) * 2).next_power_of_two().max(8);
+        self.slots = vec![EMPTY; cap];
+        self.tombs = 0;
+        let mask = cap - 1;
+        for (idx, (h, _, _)) in self.entries.iter().enumerate() {
+            let mut i = fold(*h, mask);
+            while self.slots[i] != EMPTY {
+                i = (i + 1) & mask;
+            }
+            self.slots[i] = idx as u32;
+        }
+    }
+
+    /// Borrowed-key lookup: the value stored under `t`'s key columns.
+    pub fn probe(&self, t: &Tuple, cols: &[usize]) -> Option<&V> {
+        self.probe_hashed(t.hash_key(cols), t, cols)
+    }
+
+    /// [`probe`](KeyedTable::probe) with the key hash already computed —
+    /// callers probing several tables with the same key (a join's two
+    /// sides) hash once and reuse it.
+    pub fn probe_hashed(&self, hash: u64, t: &Tuple, cols: &[usize]) -> Option<&V> {
+        self.found(hash, |k| t.key_eq(cols, k)).map(|i| &self.entries[i].2)
+    }
+
+    /// Borrowed-key mutable lookup.
+    pub fn probe_mut(&mut self, t: &Tuple, cols: &[usize]) -> Option<&mut V> {
+        self.found(t.hash_key(cols), |k| t.key_eq(cols, k)).map(|i| &mut self.entries[i].2)
+    }
+
+    /// Borrowed-key upsert: the value under `t`'s key columns, inserting
+    /// `init()` first when absent. The owned key is materialized (one
+    /// `Vec<Value>` allocation) only on that first insert.
+    pub fn probe_or_insert_with(
+        &mut self,
+        t: &Tuple,
+        cols: &[usize],
+        init: impl FnOnce() -> V,
+    ) -> &mut V {
+        self.probe_or_insert_hashed(t.hash_key(cols), t, cols, init)
+    }
+
+    /// [`probe_or_insert_with`](KeyedTable::probe_or_insert_with) with
+    /// the key hash already computed.
+    pub fn probe_or_insert_hashed(
+        &mut self,
+        hash: u64,
+        t: &Tuple,
+        cols: &[usize],
+        init: impl FnOnce() -> V,
+    ) -> &mut V {
+        self.reserve_one();
+        match self.locate(hash, |k| t.key_eq(cols, k)) {
+            Slot::Found(slot) => {
+                let idx = self.slots[slot] as usize;
+                &mut self.entries[idx].2
+            }
+            Slot::Free(slot) => {
+                if self.slots[slot] == TOMB {
+                    self.tombs -= 1;
+                }
+                self.slots[slot] = self.entries.len() as u32;
+                self.entries.push((hash, t.key(cols), init()));
+                &mut self.entries.last_mut().expect("just pushed").2
+            }
+        }
+    }
+
+    /// Borrowed-key removal: drop and return the value under `t`'s key
+    /// columns.
+    pub fn remove_probe(&mut self, t: &Tuple, cols: &[usize]) -> Option<V> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        match self.locate(t.hash_key(cols), |k| t.key_eq(cols, k)) {
+            Slot::Found(slot) => Some(self.remove_slot(slot)),
+            Slot::Free(_) => None,
+        }
+    }
+
+    /// Owned-key lookup.
+    pub fn get(&self, key: &[Value]) -> Option<&V> {
+        self.found(hash_values(key), |k| k == key).map(|i| &self.entries[i].2)
+    }
+
+    /// Owned-key mutable lookup.
+    pub fn get_mut(&mut self, key: &[Value]) -> Option<&mut V> {
+        self.found(hash_values(key), |k| k == key).map(|i| &mut self.entries[i].2)
+    }
+
+    /// Owned-key insert; returns the previous value when the key existed.
+    pub fn insert(&mut self, key: Vec<Value>, value: V) -> Option<V> {
+        let hash = hash_values(&key);
+        self.reserve_one();
+        match self.locate(hash, |k| k == key.as_slice()) {
+            Slot::Found(slot) => {
+                let idx = self.slots[slot] as usize;
+                Some(std::mem::replace(&mut self.entries[idx].2, value))
+            }
+            Slot::Free(slot) => {
+                if self.slots[slot] == TOMB {
+                    self.tombs -= 1;
+                }
+                self.slots[slot] = self.entries.len() as u32;
+                self.entries.push((hash, key, value));
+                None
+            }
+        }
+    }
+
+    /// Owned-key removal.
+    pub fn remove(&mut self, key: &[Value]) -> Option<V> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        match self.locate(hash_values(key), |k| k == key) {
+            Slot::Found(slot) => Some(self.remove_slot(slot)),
+            Slot::Free(_) => None,
+        }
+    }
+
+    /// Remove the entry an occupied slot points at, tombstoning the slot
+    /// and re-pointing whichever slot referenced the entry that
+    /// `swap_remove` moved into the hole.
+    fn remove_slot(&mut self, slot: usize) -> V {
+        let idx = self.slots[slot] as usize;
+        self.slots[slot] = TOMB;
+        self.tombs += 1;
+        let (_, _, value) = self.entries.swap_remove(idx);
+        if idx < self.entries.len() {
+            let moved_old = self.entries.len() as u32;
+            let mask = self.slots.len() - 1;
+            let mut i = fold(self.entries[idx].0, mask);
+            while self.slots[i] != moved_old {
+                i = (i + 1) & mask;
+            }
+            self.slots[i] = idx as u32;
+        }
+        value
+    }
+
+    /// Iterate `(key, value)` in deterministic (insertion-modulo-removal)
+    /// order. Arbitrary order: sort at emission boundaries.
+    pub fn iter(&self) -> impl Iterator<Item = (&[Value], &V)> {
+        self.entries.iter().map(|(_, k, v)| (k.as_slice(), v))
+    }
+
+    /// Iterate values.
+    pub fn values(&self) -> impl Iterator<Item = &V> {
+        self.entries.iter().map(|(_, _, v)| v)
+    }
+
+    /// Iterate values mutably.
+    pub fn values_mut(&mut self) -> impl Iterator<Item = &mut V> {
+        self.entries.iter_mut().map(|(_, _, v)| v)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -148,6 +439,88 @@ mod tests {
         let mut s: FxHashSet<Vec<crate::value::Value>> = FxHashSet::default();
         s.insert(tuple![7i64].key(&[0]));
         assert!(s.contains(&tuple![7i64].key(&[0])));
+    }
+
+    #[test]
+    fn borrowed_and_owned_key_hashes_agree() {
+        let t = tuple![7i64, "k", 3.5f64];
+        for cols in [vec![0usize], vec![1, 2], vec![2, 0, 1], vec![]] {
+            assert_eq!(t.hash_key(&cols), hash_values(&t.key(&cols)), "{cols:?}");
+            assert!(t.key_eq(&cols, &t.key(&cols)));
+        }
+        assert!(!tuple![1i64, 2i64].key_eq(&[0], &tuple![2i64].key(&[0])));
+    }
+
+    #[test]
+    fn keyed_table_probes_without_owned_keys() {
+        let mut kt: KeyedTable<i64> = KeyedTable::new();
+        let t = tuple![1i64, "x", 9i64];
+        assert!(kt.probe(&t, &[0, 1]).is_none());
+        *kt.probe_or_insert_with(&t, &[0, 1], || 0) += 5;
+        *kt.probe_or_insert_with(&t, &[0, 1], || 0) += 2;
+        assert_eq!(kt.probe(&t, &[0, 1]), Some(&7));
+        // The same key spelled as an owned Vec<Value> finds the entry.
+        assert_eq!(kt.get(&t.key(&[0, 1])), Some(&7));
+        // Int/Double cross-type keys probe the same bucket.
+        let dbl = tuple![1.0f64, "x"];
+        assert_eq!(kt.probe(&dbl, &[0, 1]), Some(&7));
+        assert_eq!(kt.len(), 1);
+    }
+
+    #[test]
+    fn keyed_table_matches_hashmap_under_random_ops() {
+        use crate::value::Value;
+        // SplitMix64 so the sweep is reproducible without rex-data.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state = state.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        };
+        let mut kt: KeyedTable<u64> = KeyedTable::new();
+        let mut oracle: std::collections::HashMap<Vec<Value>, u64> =
+            std::collections::HashMap::new();
+        for op in 0..4000u64 {
+            let r = next();
+            let t = tuple![(r % 37) as i64, ((r >> 8) % 11) as i64];
+            let cols = [0usize, 1];
+            match r % 4 {
+                0 | 1 => {
+                    *kt.probe_or_insert_with(&t, &cols, || 0) += op;
+                    *oracle.entry(t.key(&cols)).or_insert(0) += op;
+                }
+                2 => {
+                    assert_eq!(kt.remove_probe(&t, &cols), oracle.remove(&t.key(&cols)), "op {op}");
+                }
+                _ => {
+                    assert_eq!(kt.probe(&t, &cols), oracle.get(&t.key(&cols)), "op {op}");
+                }
+            }
+            assert_eq!(kt.len(), oracle.len(), "op {op}");
+        }
+        let mut from_kt: Vec<(Vec<Value>, u64)> =
+            kt.iter().map(|(k, v)| (k.to_vec(), *v)).collect();
+        let mut from_oracle: Vec<(Vec<Value>, u64)> = oracle.into_iter().collect();
+        from_kt.sort();
+        from_oracle.sort();
+        assert_eq!(from_kt, from_oracle);
+    }
+
+    #[test]
+    fn keyed_table_owned_api_and_clear() {
+        let mut kt: KeyedTable<&str> = KeyedTable::new();
+        assert_eq!(kt.insert(vec![crate::value::Value::Int(1)], "a"), None);
+        assert_eq!(kt.insert(vec![crate::value::Value::Int(1)], "b"), Some("a"));
+        *kt.get_mut(&[crate::value::Value::Int(1)]).unwrap() = "c";
+        assert_eq!(kt.remove(&[crate::value::Value::Int(1)]), Some("c"));
+        assert_eq!(kt.remove(&[crate::value::Value::Int(1)]), None);
+        kt.insert(vec![crate::value::Value::Int(2)], "d");
+        assert_eq!(kt.values().count(), 1);
+        kt.clear();
+        assert!(kt.is_empty());
+        assert!(kt.get(&[crate::value::Value::Int(2)]).is_none());
     }
 
     #[test]

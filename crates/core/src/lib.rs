@@ -44,6 +44,25 @@
 //! replay. The keyed maintenance state is hashed with this crate's
 //! deterministic [`hash::FxHasher`].
 //!
+//! ## The hot path
+//!
+//! The row-at-a-time execution path is engineered to be allocation-free
+//! per row (`docs/PERF.md` at the repository root has the full story and
+//! the CI-gated benchmark numbers):
+//!
+//! * keyed operator state lives in [`hash::KeyedTable`]s probed with
+//!   *borrowed* keys ([`Tuple::hash_key`](tuple::Tuple::hash_key) /
+//!   [`Tuple::key_eq`](tuple::Tuple::key_eq)) — an owned key is
+//!   materialized only when a key is first inserted;
+//! * the executor drains with one pooled [`operators::OpCtx`] emission
+//!   buffer, and fans events out without cloning edge lists;
+//! * provably insert-only pipelines run the *fast lane*: scans emit
+//!   run-length [`operators::Event::Rows`] batches, filters retain in
+//!   place through pre-compiled predicates ([`expr::CompiledExpr`]),
+//!   and the append sink ([`operators::SinkOp::append_only`]) sorts
+//!   once, by 64-bit order prefixes
+//!   ([`tuple::sort_rows`] / [`Value::order_prefix`](value::Value::order_prefix)).
+//!
 //! ## Quick start
 //!
 //! Most users should not start here: the `rex` facade crate's `Session`

@@ -2,8 +2,9 @@
 
 use crate::delta::{Annotation, Delta, Punctuation};
 use crate::error::Result;
-use crate::expr::{eval_predicate, Expr};
+use crate::expr::{CompiledExpr, Expr};
 use crate::operators::{OpCtx, Operator};
+use crate::tuple::Tuple;
 
 /// Filters deltas by a predicate.
 ///
@@ -19,12 +20,18 @@ use crate::operators::{OpCtx, Operator};
 /// | no         | no         | nothing                |
 pub struct FilterOp {
     predicate: Expr,
+    /// The predicate pre-compiled for the per-row path: `col OP lit` /
+    /// `col OP col` shapes evaluate on borrowed operands with no clones.
+    compiled: CompiledExpr,
+    has_udf: bool,
 }
 
 impl FilterOp {
     /// Filter by `predicate` (NULL counts as false, per SQL WHERE).
     pub fn new(predicate: Expr) -> FilterOp {
-        FilterOp { predicate }
+        let compiled = CompiledExpr::compile(&predicate);
+        let has_udf = predicate.contains_udf();
+        FilterOp { predicate, compiled, has_udf }
     }
 
     /// The predicate expression.
@@ -38,19 +45,43 @@ impl Operator for FilterOp {
         format!("Filter({})", "σ")
     }
 
-    fn on_deltas(&mut self, _port: usize, deltas: Vec<Delta>, ctx: &mut OpCtx<'_>) -> Result<()> {
+    fn on_deltas(
+        &mut self,
+        _port: usize,
+        mut deltas: Vec<Delta>,
+        ctx: &mut OpCtx<'_>,
+    ) -> Result<()> {
         ctx.charge_input(deltas.len());
-        if self.predicate.contains_udf() {
+        if self.has_udf {
             for _ in 0..deltas.len() {
                 ctx.charge_udf_call();
             }
         }
+        // Fast path: a batch without replacement deltas filters in place —
+        // no output vector, no per-delta moves. (Replacements can change
+        // kind depending on which side of the predicate each tuple falls,
+        // so they take the rewriting path below.)
+        if !deltas.iter().any(|d| matches!(d.ann, Annotation::Replace(_))) {
+            let mut err = None;
+            deltas.retain(|d| match self.compiled.eval_predicate(&d.tuple, ctx.reg) {
+                Ok(pass) => pass,
+                Err(e) => {
+                    err = Some(e);
+                    false
+                }
+            });
+            if let Some(e) = err {
+                return Err(e);
+            }
+            ctx.emit(0, deltas);
+            return Ok(());
+        }
         let mut out = Vec::new();
         for d in deltas {
-            let new_pass = eval_predicate(&self.predicate, &d.tuple, ctx.reg)?;
+            let new_pass = self.compiled.eval_predicate(&d.tuple, ctx.reg)?;
             match &d.ann {
                 Annotation::Replace(old) => {
-                    let old_pass = eval_predicate(&self.predicate, old, ctx.reg)?;
+                    let old_pass = self.compiled.eval_predicate(old, ctx.reg)?;
                     match (old_pass, new_pass) {
                         (true, true) => out.push(d),
                         (false, true) => out.push(Delta::insert(d.tuple)),
@@ -66,6 +97,30 @@ impl Operator for FilterOp {
             }
         }
         ctx.emit(0, out);
+        Ok(())
+    }
+
+    /// Fast lane: bare tuples filter in place — no deltas to unwrap, no
+    /// annotation cases to consider.
+    fn on_rows(&mut self, _port: usize, mut rows: Vec<Tuple>, ctx: &mut OpCtx<'_>) -> Result<()> {
+        ctx.charge_input(rows.len());
+        if self.has_udf {
+            for _ in 0..rows.len() {
+                ctx.charge_udf_call();
+            }
+        }
+        let mut err = None;
+        rows.retain(|t| match self.compiled.eval_predicate(t, ctx.reg) {
+            Ok(pass) => pass,
+            Err(e) => {
+                err = Some(e);
+                false
+            }
+        });
+        if let Some(e) = err {
+            return Err(e);
+        }
+        ctx.emit_rows(0, rows);
         Ok(())
     }
 

@@ -209,7 +209,7 @@ impl FixpointOp {
         } else {
             self.pending.clear();
             let mut tuples: Vec<&Tuple> = self.state.values().collect();
-            tuples.sort();
+            tuples.sort_unstable();
             tuples.into_iter().map(|t| Delta::insert(t.clone())).collect()
         };
         ctx.emit(0, feedback);
@@ -229,7 +229,7 @@ impl FixpointOp {
             self.finished = true;
             // Final results: the mutable set, in deterministic order.
             let mut tuples: Vec<&Tuple> = self.state.values().collect();
-            tuples.sort();
+            tuples.sort_unstable();
             let out: Vec<Delta> = tuples.into_iter().map(|t| Delta::insert(t.clone())).collect();
             ctx.emit(1, out);
             ctx.punct(1, Punctuation::EndOfStream);
@@ -301,7 +301,7 @@ impl Operator for FixpointOp {
 
     fn checkpoint(&self) -> Option<OperatorState> {
         let mut tuples: Vec<Tuple> = self.state.values().cloned().collect();
-        tuples.sort();
+        tuples.sort_unstable();
         Some(OperatorState { tuples })
     }
 

@@ -16,10 +16,10 @@
 use crate::delta::{Delta, Punctuation};
 use crate::error::Result;
 use crate::handlers::{AggHandler, AggOutputKind, AggState};
+use crate::hash::KeyedTable;
 use crate::operators::{OpCtx, Operator, OperatorState};
 use crate::tuple::Tuple;
 use crate::value::Value;
-use std::collections::HashMap;
 use std::sync::Arc;
 
 type Key = Vec<Value>;
@@ -50,16 +50,26 @@ struct GroupEntry {
 }
 
 /// The group-by operator.
+///
+/// Group state lives in a [`KeyedTable`], so the per-delta group lookup
+/// hashes and compares the grouping columns in place; an owned key is
+/// allocated only when a group is first seen.
 pub struct GroupByOp {
     key_cols: Vec<usize>,
     aggs: Vec<AggSpec>,
-    groups: HashMap<Key, GroupEntry>,
+    groups: KeyedTable<GroupEntry>,
     /// Keep aggregate state across strata (delta mode). When false the
     /// operator clears itself after each flush (no-delta / Hadoop-like).
     retain_across_strata: bool,
     /// Streamed partial aggregation: forward handler intermediate deltas
     /// immediately instead of waiting for punctuation (§4.2).
     streaming: bool,
+    /// Reusable projection buffer (one allocation per projected tuple
+    /// instead of two) and a cached empty tuple for zero-column
+    /// aggregates like `count(*)` (an `Arc` bump instead of an
+    /// allocation per row).
+    scratch: Vec<Value>,
+    empty: Tuple,
 }
 
 impl GroupByOp {
@@ -68,9 +78,11 @@ impl GroupByOp {
         GroupByOp {
             key_cols,
             aggs,
-            groups: HashMap::new(),
+            groups: KeyedTable::new(),
             retain_across_strata: true,
             streaming: false,
+            scratch: Vec::new(),
+            empty: Tuple::empty(),
         }
     }
 
@@ -95,8 +107,8 @@ impl GroupByOp {
         let mut out = Vec::new();
         // Deterministic flush order simplifies testing and reproducibility.
         let mut changed_keys: Vec<Key> =
-            self.groups.iter().filter(|(_, g)| g.changed).map(|(k, _)| k.clone()).collect();
-        changed_keys.sort();
+            self.groups.iter().filter(|(_, g)| g.changed).map(|(k, _)| k.to_vec()).collect();
+        changed_keys.sort_unstable();
         for key in changed_keys {
             let table_valued = self
                 .aggs
@@ -163,17 +175,21 @@ impl Operator for GroupByOp {
         ctx.charge_input(deltas.len());
         let mut streamed = Vec::new();
         for d in deltas {
-            let key = d.tuple.key(&self.key_cols);
             ctx.charge_cpu(ctx.cost.hash_cost);
             let aggs = &self.aggs;
-            let entry = self.groups.entry(key).or_insert_with(|| GroupEntry {
+            let entry = self.groups.probe_or_insert_with(&d.tuple, &self.key_cols, || GroupEntry {
                 states: aggs.iter().map(|a| a.handler.init()).collect(),
                 last_emitted: None,
                 last_results: Vec::new(),
                 changed: false,
             });
             for (i, spec) in self.aggs.iter().enumerate() {
-                let projected = d.with_tuple(project_delta_tuple(&d, &spec.input_cols));
+                let projected = d.with_tuple(project_tuple(
+                    &d,
+                    &spec.input_cols,
+                    &mut self.scratch,
+                    &self.empty,
+                ));
                 if spec.handler.is_builtin() {
                     ctx.charge_cpu(ctx.cost.cpu_per_tuple * 0.02);
                 } else {
@@ -210,12 +226,16 @@ impl Operator for GroupByOp {
     }
 }
 
-/// Project the delta's tuple (and a replacement's old tuple) onto the
-/// aggregate's input columns. An old tuple shorter than required (e.g. a
-/// replacement generated upstream with a different arity) falls back to the
-/// new tuple to stay total.
-fn project_delta_tuple(d: &Delta, cols: &[usize]) -> Tuple {
-    d.tuple.project(cols)
+/// Project the delta's tuple onto the aggregate's input columns, through
+/// a reusable scratch buffer (one allocation per projected tuple); the
+/// zero-column projection of `count(*)` reuses a cached empty tuple.
+fn project_tuple(d: &Delta, cols: &[usize], scratch: &mut Vec<Value>, empty: &Tuple) -> Tuple {
+    if cols.is_empty() {
+        return empty.clone();
+    }
+    scratch.clear();
+    scratch.extend(cols.iter().map(|&c| d.tuple.get(c).clone()));
+    Tuple::from_slice(scratch)
 }
 
 #[cfg(test)]

@@ -13,21 +13,23 @@
 use crate::delta::{Annotation, Delta, Punctuation};
 use crate::error::Result;
 use crate::handlers::{JoinHandler, TupleSet};
+use crate::hash::KeyedTable;
 use crate::operators::{OpCtx, Operator, OperatorState, PunctTracker};
 use crate::tuple::Tuple;
-use crate::value::Value;
-use std::collections::HashMap;
 use std::sync::Arc;
 
-type Key = Vec<Value>;
-
 /// Pipelined hash join. Port 0 is the left input, port 1 the right.
+///
+/// Both build sides live in [`KeyedTable`]s so the per-row operations —
+/// probing the opposite side, locating this side's bucket — hash and
+/// compare the join-key *columns in place*; an owned `Vec<Value>` key is
+/// allocated only the first time a key is seen.
 pub struct HashJoinOp {
     left_key: Vec<usize>,
     right_key: Vec<usize>,
     handler: Option<Arc<dyn JoinHandler>>,
-    left: HashMap<Key, TupleSet>,
-    right: HashMap<Key, TupleSet>,
+    left: KeyedTable<TupleSet>,
+    right: KeyedTable<TupleSet>,
     punct: PunctTracker,
 }
 
@@ -38,8 +40,8 @@ impl HashJoinOp {
             left_key,
             right_key,
             handler: None,
-            left: HashMap::new(),
-            right: HashMap::new(),
+            left: KeyedTable::new(),
+            right: KeyedTable::new(),
             punct: PunctTracker::new(2),
         }
     }
@@ -56,11 +58,13 @@ impl HashJoinOp {
             + self.right.values().map(TupleSet::len).sum::<usize>()
     }
 
-    fn key_of(&self, t: &Tuple, from_left: bool) -> Key {
+    /// This side's build table and key columns (split borrow, so callers
+    /// can keep using `&self`-derived key columns while mutating state).
+    fn side_mut(&mut self, from_left: bool) -> (&mut KeyedTable<TupleSet>, &[usize]) {
         if from_left {
-            t.key(&self.left_key)
+            (&mut self.left, &self.left_key)
         } else {
-            t.key(&self.right_key)
+            (&mut self.right, &self.right_key)
         }
     }
 
@@ -73,17 +77,26 @@ impl HashJoinOp {
         }
     }
 
+    /// The probing tuple's join-key hash, on its arrival side.
+    fn key_hash(&self, t: &Tuple, from_left: bool) -> u64 {
+        t.hash_key(if from_left { &self.left_key } else { &self.right_key })
+    }
+
+    /// Probe the opposite side with a pre-computed key hash (the caller
+    /// already hashed the key to maintain its own side) and emit a delta
+    /// per match.
     fn probe_emit(
         &self,
+        hash: u64,
         t: &Tuple,
         from_left: bool,
         make: impl Fn(Tuple) -> Delta,
         out: &mut Vec<Delta>,
         ctx: &mut OpCtx<'_>,
     ) {
-        let key = self.key_of(t, from_left);
-        let opposite = if from_left { &self.right } else { &self.left };
-        if let Some(bucket) = opposite.get(&key) {
+        let (opposite, cols) =
+            if from_left { (&self.right, &self.left_key) } else { (&self.left, &self.right_key) };
+        if let Some(bucket) = opposite.probe_hashed(hash, t, cols) {
             for m in bucket.iter() {
                 ctx.charge_cpu(ctx.cost.hash_cost);
                 out.push(make(self.fuse(t, m, from_left)));
@@ -103,56 +116,62 @@ impl HashJoinOp {
         // nbrBucket entirely); without one, the standard view-maintenance
         // rules apply and δ(E) degrades to a hidden attribute.
         if let Some(h) = self.handler.clone() {
-            let key = self.key_of(&d.tuple, from_left);
             ctx.charge_udf_call();
-            let mut lb = self.left.remove(&key).unwrap_or_default();
-            let mut rb = self.right.remove(&key).unwrap_or_default();
-            let produced = h.update(&mut lb, &mut rb, &d, from_left)?;
-            if !lb.is_empty() {
-                self.left.insert(key.clone(), lb);
+            // Hand the handler both buckets for the delta's key in place,
+            // then prune whichever it left (or created) empty — keyed
+            // state must stay proportional to *live* keys, not every key
+            // ever seen.
+            let HashJoinOp { left, right, left_key, right_key, .. } = self;
+            let cols: &[usize] = if from_left { left_key } else { right_key };
+            let lb = left.probe_or_insert_with(&d.tuple, cols, TupleSet::new);
+            let rb = right.probe_or_insert_with(&d.tuple, cols, TupleSet::new);
+            let produced = h.update(lb, rb, &d, from_left)?;
+            let (left_empty, right_empty) = (lb.is_empty(), rb.is_empty());
+            if left_empty {
+                left.remove_probe(&d.tuple, cols);
             }
-            if !rb.is_empty() {
-                self.right.insert(key, rb);
+            if right_empty {
+                right.remove_probe(&d.tuple, cols);
             }
             out.extend(produced);
             return Ok(());
         }
         match d.ann.clone() {
             Annotation::Insert => {
-                let key = self.key_of(&d.tuple, from_left);
                 ctx.charge_cpu(ctx.cost.hash_cost);
-                self.state_mut(from_left).entry(key).or_default().insert(d.tuple.clone());
-                self.probe_emit(&d.tuple, from_left, Delta::insert, out, ctx);
+                // One key hash serves both the build-side upsert and the
+                // opposite-side probe.
+                let hash = self.key_hash(&d.tuple, from_left);
+                let (state, cols) = self.side_mut(from_left);
+                state
+                    .probe_or_insert_hashed(hash, &d.tuple, cols, TupleSet::new)
+                    .insert(d.tuple.clone());
+                self.probe_emit(hash, &d.tuple, from_left, Delta::insert, out, ctx);
             }
             Annotation::Delete => {
-                let key = self.key_of(&d.tuple, from_left);
-                let removed = self
-                    .state_mut(from_left)
-                    .get_mut(&key)
-                    .map(|b| b.remove(&d.tuple))
-                    .unwrap_or(false);
+                let hash = self.key_hash(&d.tuple, from_left);
+                let (state, cols) = self.side_mut(from_left);
+                let removed =
+                    state.probe_mut(&d.tuple, cols).map(|b| b.remove(&d.tuple)).unwrap_or(false);
                 if removed {
-                    self.probe_emit(&d.tuple, from_left, Delta::delete, out, ctx);
+                    self.probe_emit(hash, &d.tuple, from_left, Delta::delete, out, ctx);
                 }
             }
             Annotation::Replace(old) => {
                 // Delete+insert, fused back into replacements when both the
                 // old and new tuple share the join key (the common case of a
                 // value update that does not move the tuple across keys).
-                let old_key = self.key_of(&old, from_left);
-                let new_key = self.key_of(&d.tuple, from_left);
-                let existed = self
-                    .state_mut(from_left)
-                    .get_mut(&old_key)
-                    .map(|b| b.remove(&old))
-                    .unwrap_or(false);
-                self.state_mut(from_left)
-                    .entry(new_key.clone())
-                    .or_default()
-                    .insert(d.tuple.clone());
-                if existed && old_key == new_key {
-                    let opposite = if from_left { &self.right } else { &self.left };
-                    if let Some(bucket) = opposite.get(&new_key) {
+                let (state, cols) = self.side_mut(from_left);
+                let same_key = cols.iter().all(|&c| old.get(c) == d.tuple.get(c));
+                let existed = state.probe_mut(&old, cols).map(|b| b.remove(&old)).unwrap_or(false);
+                state.probe_or_insert_with(&d.tuple, cols, TupleSet::new).insert(d.tuple.clone());
+                if existed && same_key {
+                    let (opposite, probe_cols) = if from_left {
+                        (&self.right, &self.left_key)
+                    } else {
+                        (&self.left, &self.right_key)
+                    };
+                    if let Some(bucket) = opposite.probe(&d.tuple, probe_cols) {
                         for m in bucket.iter() {
                             ctx.charge_cpu(ctx.cost.hash_cost);
                             out.push(Delta::replace(
@@ -163,19 +182,25 @@ impl HashJoinOp {
                     }
                 } else {
                     if existed {
-                        self.probe_emit(&old, from_left, Delta::delete, out, ctx);
+                        let old_hash = self.key_hash(&old, from_left);
+                        self.probe_emit(old_hash, &old, from_left, Delta::delete, out, ctx);
                     }
-                    self.probe_emit(&d.tuple, from_left, Delta::insert, out, ctx);
+                    let new_hash = self.key_hash(&d.tuple, from_left);
+                    self.probe_emit(new_hash, &d.tuple, from_left, Delta::insert, out, ctx);
                 }
             }
             Annotation::Update(_) => {
                 // No handler: "propagate the annotation as if it were
                 // another (hidden) attribute" — treat the tuple normally
                 // (store + probe) and tag outputs with the annotation.
-                let key = self.key_of(&d.tuple, from_left);
-                self.state_mut(from_left).entry(key).or_default().put_by_key(0, d.tuple.clone());
+                let hash = self.key_hash(&d.tuple, from_left);
+                let (state, cols) = self.side_mut(from_left);
+                state
+                    .probe_or_insert_hashed(hash, &d.tuple, cols, TupleSet::new)
+                    .put_by_key(0, d.tuple.clone());
                 let ann = d.ann.clone();
                 self.probe_emit(
+                    hash,
                     &d.tuple,
                     from_left,
                     |t| Delta { ann: ann.clone(), tuple: t },
@@ -185,14 +210,6 @@ impl HashJoinOp {
             }
         }
         Ok(())
-    }
-
-    fn state_mut(&mut self, from_left: bool) -> &mut HashMap<Key, TupleSet> {
-        if from_left {
-            &mut self.left
-        } else {
-            &mut self.right
-        }
     }
 }
 
@@ -249,6 +266,7 @@ mod tests {
     use crate::operators::Event;
     use crate::tuple;
     use crate::udf::Registry;
+    use crate::value::Value;
 
     fn drive(op: &mut HashJoinOp, port: usize, deltas: Vec<Delta>) -> Vec<Delta> {
         let reg = Registry::new();
@@ -376,6 +394,38 @@ mod tests {
         // Second update 1.0 → 1.5 sends only the 0.5 diff.
         let out = drive(&mut j, 0, vec![Delta::update(tuple![1i64, 1.5f64], Value::Null)]);
         assert!(out.iter().all(|d| d.tuple.get(1) == &Value::Double(0.5)));
+    }
+
+    /// A handler that consumes everything it is handed: both buckets end
+    /// every update empty.
+    struct DrainHandler;
+    impl JoinHandler for DrainHandler {
+        fn name(&self) -> &str {
+            "drain"
+        }
+        fn update(
+            &self,
+            left: &mut TupleSet,
+            right: &mut TupleSet,
+            _d: &Delta,
+            _from_left: bool,
+        ) -> Result<Vec<Delta>> {
+            left.clear();
+            right.clear();
+            Ok(vec![])
+        }
+    }
+
+    #[test]
+    fn handler_join_prunes_emptied_buckets() {
+        let mut j = HashJoinOp::new(vec![0], vec![0]).with_handler(Arc::new(DrainHandler));
+        drive(&mut j, 0, (0..50i64).map(|i| Delta::insert(tuple![i])).collect());
+        drive(&mut j, 1, (0..50i64).map(|i| Delta::insert(tuple![i])).collect());
+        assert_eq!(j.state_size(), 0);
+        // Keyed state holds no entries for keys whose buckets the handler
+        // emptied — not one (hash, owned key, empty bucket) per key seen.
+        assert!(j.left.is_empty(), "left retains {} emptied buckets", j.left.len());
+        assert!(j.right.is_empty(), "right retains {} emptied buckets", j.right.len());
     }
 
     #[test]

@@ -26,8 +26,8 @@ pub use fixpoint::{FixpointOp, Termination};
 pub use group_by::{AggSpec, GroupByOp};
 pub use join::HashJoinOp;
 pub use project::ProjectOp;
-pub use rehash::{hash_key, RehashOp};
-pub use scan::ScanOp;
+pub use rehash::{hash_key, hash_key_cols, RehashOp};
+pub use scan::{ScanOp, ScanRows};
 pub use sink::SinkOp;
 pub use topk::{compare_by_keys, SortSpec, TopKOp};
 pub use union::UnionOp;
@@ -38,12 +38,19 @@ use crate::metrics::{CostModel, ExecMetrics};
 use crate::tuple::Tuple;
 use crate::udf::Registry;
 
-/// A unit of traffic on a dataflow edge: a batch of deltas or a punctuation
-/// marker.
+/// A unit of traffic on a dataflow edge: a batch of deltas, a run-length
+/// batch of insertions, or a punctuation marker.
 #[derive(Debug, Clone)]
 pub enum Event {
     /// A batch of annotated tuples.
     Data(Vec<Delta>),
+    /// A batch of *bare* tuples, every one an implicit `+()` insertion —
+    /// the insert-only fast lane. Scans on provably insert-only pipelines
+    /// emit these so filters, projections, and sinks move 16-byte tuples
+    /// instead of 48-byte deltas; any operator without a native
+    /// [`Operator::on_rows`] transparently receives the batch as
+    /// insertion deltas.
+    Rows(Vec<Tuple>),
     /// A stratum/stream boundary.
     Punct(Punctuation),
 }
@@ -53,6 +60,8 @@ impl Event {
     pub fn byte_size(&self) -> usize {
         match self {
             Event::Data(ds) => 8 + ds.iter().map(Delta::byte_size).sum::<usize>(),
+            // Parity with `Data`: each bare tuple ships as a `+()` delta.
+            Event::Rows(ts) => 8 + ts.iter().map(|t| 1 + t.byte_size()).sum::<usize>(),
             Event::Punct(_) => 9,
         }
     }
@@ -94,6 +103,16 @@ impl<'a> OpCtx<'a> {
         }
     }
 
+    /// Emit a run-length insert batch on an output port (the fast lane's
+    /// counterpart of [`emit`](OpCtx::emit); each row counts as one
+    /// emitted delta).
+    pub fn emit_rows(&mut self, port: usize, rows: Vec<Tuple>) {
+        if !rows.is_empty() {
+            self.metrics.deltas_emitted += rows.len() as u64;
+            self.out.push((port, Event::Rows(rows)));
+        }
+    }
+
     /// Emit a punctuation marker on an output port.
     pub fn punct(&mut self, port: usize, p: Punctuation) {
         self.metrics.punctuations += 1;
@@ -126,6 +145,14 @@ impl<'a> OpCtx<'a> {
     pub fn take_output(&mut self) -> Vec<(usize, Event)> {
         std::mem::take(&mut self.out)
     }
+
+    /// Drain the buffered emissions in place, keeping the buffer's
+    /// capacity. The executor's event loop uses this so one scratch
+    /// buffer serves every operator activation of a drain instead of
+    /// allocating a `take_output` vector per event.
+    pub fn drain_output(&mut self) -> std::vec::Drain<'_, (usize, Event)> {
+        self.out.drain(..)
+    }
 }
 
 /// Checkpointable operator state: the tuples a recovering node needs to
@@ -155,6 +182,15 @@ pub trait Operator: Send {
 
     /// Handle a batch of deltas arriving on `port`.
     fn on_deltas(&mut self, port: usize, deltas: Vec<Delta>, ctx: &mut OpCtx<'_>) -> Result<()>;
+
+    /// Handle a run-length insert batch arriving on `port`. The default
+    /// expands the rows into `+()` deltas and delegates to
+    /// [`on_deltas`](Operator::on_deltas), so stateful operators need no
+    /// fast-lane awareness; the lane's operators (filter, project, sink)
+    /// override this to work on bare tuples.
+    fn on_rows(&mut self, port: usize, rows: Vec<Tuple>, ctx: &mut OpCtx<'_>) -> Result<()> {
+        self.on_deltas(port, rows.into_iter().map(Delta::insert).collect(), ctx)
+    }
 
     /// Handle a punctuation marker arriving on `port`.
     fn on_punct(&mut self, port: usize, p: Punctuation, ctx: &mut OpCtx<'_>) -> Result<()>;

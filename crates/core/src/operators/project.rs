@@ -2,30 +2,41 @@
 
 use crate::delta::{Annotation, Delta, Punctuation};
 use crate::error::Result;
-use crate::expr::Expr;
+use crate::expr::{CompiledExpr, Expr};
 use crate::operators::{OpCtx, Operator};
 use crate::tuple::Tuple;
 
 /// Evaluates a list of expressions over each input tuple, producing an
 /// output tuple per input. Stateless: annotations ride along, and the old
 /// tuple of a replacement delta is projected through the same expressions
-/// (valid because projection is deterministic).
+/// (valid because projection is deterministic). Expressions are
+/// pre-compiled ([`CompiledExpr`]) so the common `col` / `col OP lit`
+/// shapes evaluate on borrowed operands per row.
 pub struct ProjectOp {
     exprs: Vec<Expr>,
+    compiled: Vec<CompiledExpr>,
+    has_udf: bool,
+    /// Reusable evaluation buffer: expressions evaluate into it and the
+    /// output tuple is built with a single allocation
+    /// ([`Tuple::from_slice`]).
+    scratch: Vec<crate::value::Value>,
 }
 
 impl ProjectOp {
     /// Project through `exprs`.
     pub fn new(exprs: Vec<Expr>) -> ProjectOp {
-        ProjectOp { exprs }
+        let compiled = exprs.iter().map(CompiledExpr::compile).collect();
+        let has_udf = exprs.iter().any(Expr::contains_udf);
+        ProjectOp { exprs, compiled, has_udf, scratch: Vec::new() }
     }
 
-    fn apply(&self, t: &Tuple, ctx: &mut OpCtx<'_>) -> Result<Tuple> {
-        let mut vals = Vec::with_capacity(self.exprs.len());
-        for e in &self.exprs {
-            vals.push(e.eval(t, ctx.reg)?);
+    fn apply(&mut self, t: &Tuple, reg: &crate::udf::Registry) -> Result<Tuple> {
+        self.scratch.clear();
+        for e in &self.compiled {
+            let v = e.eval(t, reg)?;
+            self.scratch.push(v);
         }
-        Ok(Tuple::new(vals))
+        Ok(Tuple::from_slice(&self.scratch))
     }
 }
 
@@ -36,20 +47,33 @@ impl Operator for ProjectOp {
 
     fn on_deltas(&mut self, _port: usize, deltas: Vec<Delta>, ctx: &mut OpCtx<'_>) -> Result<()> {
         ctx.charge_input(deltas.len());
-        let has_udf = self.exprs.iter().any(Expr::contains_udf);
         let mut out = Vec::with_capacity(deltas.len());
         for d in deltas {
-            if has_udf {
+            if self.has_udf {
                 ctx.charge_udf_call();
             }
-            let new_t = self.apply(&d.tuple, ctx)?;
-            let ann = match &d.ann {
-                Annotation::Replace(old) => Annotation::Replace(self.apply(old, ctx)?),
-                a => a.clone(),
+            let new_t = self.apply(&d.tuple, ctx.reg)?;
+            let ann = match d.ann {
+                Annotation::Replace(old) => Annotation::Replace(self.apply(&old, ctx.reg)?),
+                a => a,
             };
             out.push(Delta { ann, tuple: new_t });
         }
         ctx.emit(0, out);
+        Ok(())
+    }
+
+    /// Fast lane: project bare tuples to bare tuples.
+    fn on_rows(&mut self, _port: usize, rows: Vec<Tuple>, ctx: &mut OpCtx<'_>) -> Result<()> {
+        ctx.charge_input(rows.len());
+        let mut out = Vec::with_capacity(rows.len());
+        for t in &rows {
+            if self.has_udf {
+                ctx.charge_udf_call();
+            }
+            out.push(self.apply(t, ctx.reg)?);
+        }
+        ctx.emit_rows(0, out);
         Ok(())
     }
 

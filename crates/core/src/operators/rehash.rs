@@ -9,18 +9,34 @@
 
 use crate::delta::{Delta, Punctuation};
 use crate::error::Result;
+use crate::hash::FxHasher;
 use crate::operators::{OpCtx, Operator};
 use crate::tuple::Tuple;
 use crate::value::Value;
-use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 
 /// Hash a partition key to a u64 (shared by rehash and the consistent-hash
-/// ring so that routing decisions agree everywhere).
+/// ring so that routing decisions agree everywhere). Keyed by the
+/// deterministic in-tree [`FxHasher`]: partitioning hashes every routed
+/// row — and every stored row, once per worker, at lowering time — so the
+/// per-key cost matters, and none of the hashed data is
+/// attacker-controlled protocol input.
 pub fn hash_key(key: &[Value]) -> u64 {
-    let mut h = DefaultHasher::new();
+    let mut h = FxHasher::default();
     for v in key {
         v.hash(&mut h);
+    }
+    h.finish()
+}
+
+/// [`hash_key`] computed over a tuple's key columns *in place* — no owned
+/// key is materialized. Identical to `hash_key(&t.key(cols))` (the hash
+/// consumes the same value stream), so router and ring agree whichever
+/// spelling produced the hash.
+pub fn hash_key_cols(t: &Tuple, cols: &[usize]) -> u64 {
+    let mut h = FxHasher::default();
+    for &c in cols {
+        t.get(c).hash(&mut h);
     }
     h.finish()
 }
@@ -46,9 +62,9 @@ impl RehashOp {
         t.key(&self.key_cols)
     }
 
-    /// Hash of a tuple's partition key.
+    /// Hash of a tuple's partition key (computed in place).
     pub fn hash_of(&self, t: &Tuple) -> u64 {
-        hash_key(&self.key_of(t))
+        hash_key_cols(t, &self.key_cols)
     }
 }
 
@@ -108,5 +124,13 @@ mod tests {
     fn cross_type_numeric_keys_hash_identically() {
         // Int(3) and Double(3.0) are equal values and must route together.
         assert_eq!(hash_key(&[Value::Int(3)]), hash_key(&[Value::Double(3.0)]));
+    }
+
+    #[test]
+    fn in_place_key_hash_agrees_with_owned() {
+        let t = tuple![5i64, "x", 2.5f64];
+        for cols in [vec![0usize], vec![2, 1], vec![]] {
+            assert_eq!(hash_key_cols(&t, &cols), hash_key(&t.key(&cols)), "{cols:?}");
+        }
     }
 }

@@ -4,26 +4,114 @@ use crate::delta::{Delta, Punctuation};
 use crate::error::Result;
 use crate::operators::{OpCtx, Operator};
 use crate::tuple::Tuple;
+use std::sync::Arc;
 
 /// Batch size for scan emissions; matches the engine's message batching.
 const SCAN_BATCH: usize = 1024;
 
+/// Where a scan's rows come from.
+///
+/// `Owned` rows are *moved* into the dataflow (no per-row clone at all);
+/// `Shared` rows stay where they are stored and each emitted tuple is an
+/// `Arc` bump — no upfront deep copy of the table into the plan. Storage
+/// backends hand out `Shared` sources (`rex-storage`'s catalog provider);
+/// hand-built plans and per-worker partitions use `Owned`.
+pub enum ScanRows {
+    /// Rows owned by the scan, moved out on emission.
+    Owned(Vec<Tuple>),
+    /// A shared snapshot of stored rows, cloned (`Arc` bump) on emission.
+    Shared(Arc<dyn AsRef<[Tuple]> + Send + Sync>),
+}
+
+impl From<Vec<Tuple>> for ScanRows {
+    fn from(v: Vec<Tuple>) -> ScanRows {
+        ScanRows::Owned(v)
+    }
+}
+
 /// Scans a vector of tuples (the worker's local partition of a stored
 /// table) and emits them as insertion deltas followed by end-of-stream.
+///
+/// On a provably insert-only pipeline, lowering switches the scan onto
+/// the fast lane ([`insert_only`](ScanOp::insert_only)): batches go out
+/// as run-length [`Event::Rows`](crate::operators::Event::Rows) without
+/// per-row delta wrapping, and downstream lane operators keep them bare.
 pub struct ScanOp {
     table: String,
-    tuples: Vec<Tuple>,
+    source: ScanRows,
+    rows_lane: bool,
+    /// Total byte size of the source, when the storage layer already
+    /// knows it — skips the per-row size accounting.
+    known_bytes: Option<u64>,
 }
 
 impl ScanOp {
-    /// Scan over the given local tuples.
-    pub fn new(table: impl Into<String>, tuples: Vec<Tuple>) -> ScanOp {
-        ScanOp { table: table.into(), tuples }
+    /// Scan over the given local tuples (owned or shared; see
+    /// [`ScanRows`]).
+    pub fn new(table: impl Into<String>, tuples: impl Into<ScanRows>) -> ScanOp {
+        ScanOp { table: table.into(), source: tuples.into(), rows_lane: false, known_bytes: None }
+    }
+
+    /// Emit run-length insert batches (`Event::Rows`) instead of wrapped
+    /// deltas. Only valid on pipelines where every consumer treats the
+    /// stream as insertions — which is any consumer, since operators
+    /// without native fast-lane support receive the batch converted; the
+    /// flag exists so lowering opts in only where the lane pays.
+    pub fn insert_only(mut self, on: bool) -> ScanOp {
+        self.rows_lane = on;
+        self
+    }
+
+    /// Provide the source's total byte size (storage keeps it cached), so
+    /// disk-read accounting needs no per-row size computation.
+    pub fn known_bytes(mut self, bytes: Option<u64>) -> ScanOp {
+        self.known_bytes = bytes;
+        self
     }
 
     /// The table name this scan reads.
     pub fn table(&self) -> &str {
         &self.table
+    }
+
+    /// Emit every row in [`SCAN_BATCH`]-sized batches, charging input and
+    /// disk-read metrics (per-row size accounting is skipped when the
+    /// total is already known).
+    fn emit_all(&self, mut it: impl Iterator<Item = Tuple>, ctx: &mut OpCtx<'_>) {
+        let mut bytes = 0u64;
+        let count = self.known_bytes.is_none();
+        let mut size = |t: &Tuple| {
+            if count {
+                bytes += t.byte_size() as u64;
+            }
+        };
+        if self.rows_lane {
+            loop {
+                let batch: Vec<Tuple> = it.by_ref().take(SCAN_BATCH).inspect(&mut size).collect();
+                if batch.is_empty() {
+                    break;
+                }
+                ctx.charge_input(batch.len());
+                ctx.emit_rows(0, batch);
+            }
+        } else {
+            loop {
+                let batch: Vec<Delta> = it
+                    .by_ref()
+                    .take(SCAN_BATCH)
+                    .map(|t| {
+                        size(&t);
+                        Delta::insert(t)
+                    })
+                    .collect();
+                if batch.is_empty() {
+                    break;
+                }
+                ctx.charge_input(batch.len());
+                ctx.emit(0, batch);
+            }
+        }
+        ctx.charge_disk_read(self.known_bytes.unwrap_or(bytes));
     }
 }
 
@@ -41,20 +129,20 @@ impl Operator for ScanOp {
     }
 
     fn run_source(&mut self, ctx: &mut OpCtx<'_>) -> Result<()> {
-        let tuples = std::mem::take(&mut self.tuples);
-        let mut bytes = 0u64;
-        for chunk in tuples.chunks(SCAN_BATCH) {
-            let batch: Vec<Delta> = chunk
-                .iter()
-                .map(|t| {
-                    bytes += t.byte_size() as u64;
-                    Delta::insert(t.clone())
-                })
-                .collect();
-            ctx.charge_input(batch.len());
-            ctx.emit(0, batch);
+        // Owned rows are *moved* straight into batches: each tuple is
+        // handed on exactly once, with no per-row clone (not even an
+        // `Arc` bump) between storage and the first operator. Shared rows
+        // are emitted as `Arc` bumps off the stored snapshot — no upfront
+        // deep copy. On the fast lane the batch is the rows themselves —
+        // no per-row delta wrapping.
+        match std::mem::replace(&mut self.source, ScanRows::Owned(Vec::new())) {
+            ScanRows::Owned(v) => {
+                self.emit_all(v.into_iter(), ctx);
+            }
+            ScanRows::Shared(s) => {
+                self.emit_all(s.as_ref().as_ref().iter().cloned(), ctx);
+            }
         }
-        ctx.charge_disk_read(bytes);
         ctx.punct(0, Punctuation::EndOfStream);
         Ok(())
     }

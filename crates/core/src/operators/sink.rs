@@ -2,22 +2,59 @@
 
 use crate::delta::{Annotation, Delta, Punctuation};
 use crate::error::Result;
-use crate::handlers::TupleSet;
+use crate::hash::FxHashMap;
 use crate::operators::{OpCtx, Operator};
-use crate::tuple::Tuple;
+use crate::tuple::{sort_rows, Tuple};
+
+/// How the sink stores its result multiset.
+enum SinkState {
+    /// Insert-only fast lane: plain appends, one `sort_unstable` when the
+    /// results are taken. Chosen by lowering for pipelines that provably
+    /// emit nothing but `+()` deltas (see `rex_rql::lower`); degrades to
+    /// [`SinkState::Counted`] on the first non-insert delta, so a
+    /// mis-plumbed lane is a slow path, never a wrong answer.
+    Append(Vec<Tuple>),
+    /// General path: tuple → net multiplicity, so deletes and replacements
+    /// apply in O(1) instead of scanning a bag.
+    Counted(FxHashMap<Tuple, i64>),
+}
+
+impl SinkState {
+    /// Remove one occurrence of `t` if any is stored (mirrors the old
+    /// bag's "remove one if present" semantics). Counted form only.
+    fn remove_one(counts: &mut FxHashMap<Tuple, i64>, t: &Tuple) {
+        if let Some(c) = counts.get_mut(t) {
+            *c -= 1;
+            if *c == 0 {
+                counts.remove(t);
+            }
+        }
+    }
+}
 
 /// Applies deltas to a result bag. At the query requestor this is where
 /// per-worker results are unioned into the final answer.
-#[derive(Default)]
 pub struct SinkOp {
-    state: TupleSet,
+    state: SinkState,
     eos: bool,
 }
 
+impl Default for SinkOp {
+    fn default() -> Self {
+        SinkOp::new()
+    }
+}
+
 impl SinkOp {
-    /// An empty sink.
+    /// An empty sink on the general (delta-applying) path.
     pub fn new() -> SinkOp {
-        SinkOp::default()
+        SinkOp { state: SinkState::Counted(FxHashMap::default()), eos: false }
+    }
+
+    /// An empty sink on the insert-only fast lane: incoming tuples are
+    /// appended without hashing and sorted once at the end.
+    pub fn append_only() -> SinkOp {
+        SinkOp { state: SinkState::Append(Vec::new()), eos: false }
     }
 
     /// Whether end-of-stream has been observed.
@@ -25,36 +62,100 @@ impl SinkOp {
         self.eos
     }
 
+    /// Leave the fast lane: rebuild the counted multiset from whatever was
+    /// appended so far (correctness backstop for non-insert deltas).
+    fn degrade(&mut self) -> &mut FxHashMap<Tuple, i64> {
+        if let SinkState::Append(v) = &mut self.state {
+            let mut counts: FxHashMap<Tuple, i64> = FxHashMap::default();
+            for t in v.drain(..) {
+                *counts.entry(t).or_insert(0) += 1;
+            }
+            self.state = SinkState::Counted(counts);
+        }
+        match &mut self.state {
+            SinkState::Counted(c) => c,
+            SinkState::Append(_) => unreachable!("just converted"),
+        }
+    }
+
     /// Current materialized results (sorted for determinism).
     pub fn results(&self) -> Vec<Tuple> {
-        let mut v: Vec<Tuple> = self.state.iter().cloned().collect();
-        v.sort();
+        let mut v: Vec<Tuple> = match &self.state {
+            SinkState::Append(rows) => rows.clone(),
+            SinkState::Counted(counts) => expand(counts),
+        };
+        sort_rows(&mut v);
         v
     }
 
     /// Take the results, leaving the sink empty.
     pub fn take_results(&mut self) -> Vec<Tuple> {
-        let mut v = std::mem::take(&mut self.state).into_tuples();
-        v.sort();
+        let mut v = match &mut self.state {
+            SinkState::Append(rows) => std::mem::take(rows),
+            SinkState::Counted(counts) => expand(&std::mem::take(counts)),
+        };
+        sort_rows(&mut v);
         v
     }
 }
 
+/// Expand a counted multiset into rows (positive counts only).
+fn expand(counts: &FxHashMap<Tuple, i64>) -> Vec<Tuple> {
+    let mut v = Vec::with_capacity(counts.len());
+    for (t, &n) in counts {
+        for _ in 0..n.max(0) {
+            v.push(t.clone());
+        }
+    }
+    v
+}
+
 impl Operator for SinkOp {
     fn name(&self) -> String {
-        "Sink".into()
+        match self.state {
+            SinkState::Append(_) => "Sink[append]".into(),
+            SinkState::Counted(_) => "Sink".into(),
+        }
     }
 
     fn on_deltas(&mut self, _port: usize, deltas: Vec<Delta>, ctx: &mut OpCtx<'_>) -> Result<()> {
         ctx.charge_input(deltas.len());
+        if let SinkState::Append(rows) = &mut self.state {
+            if deltas.iter().all(|d| matches!(d.ann, Annotation::Insert)) {
+                rows.reserve(deltas.len());
+                for d in deltas {
+                    rows.push(d.tuple);
+                }
+                return Ok(());
+            }
+        }
+        let counts = match &mut self.state {
+            SinkState::Counted(c) => c,
+            SinkState::Append(_) => self.degrade(),
+        };
         for d in deltas {
             match d.ann {
-                Annotation::Insert | Annotation::Update(_) => self.state.insert(d.tuple),
-                Annotation::Delete => {
-                    self.state.remove(&d.tuple);
+                Annotation::Insert | Annotation::Update(_) => {
+                    *counts.entry(d.tuple).or_insert(0) += 1;
                 }
+                Annotation::Delete => SinkState::remove_one(counts, &d.tuple),
                 Annotation::Replace(old) => {
-                    self.state.replace(&old, d.tuple);
+                    SinkState::remove_one(counts, &old);
+                    *counts.entry(d.tuple).or_insert(0) += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Fast lane: bare tuples append (or count) directly.
+    fn on_rows(&mut self, _port: usize, rows: Vec<Tuple>, ctx: &mut OpCtx<'_>) -> Result<()> {
+        ctx.charge_input(rows.len());
+        match &mut self.state {
+            SinkState::Append(v) => v.extend(rows),
+            SinkState::Counted(counts) => {
+                for t in rows {
+                    *counts.entry(t).or_insert(0) += 1;
                 }
             }
         }
@@ -73,7 +174,10 @@ impl Operator for SinkOp {
     }
 
     fn reset(&mut self) {
-        self.state.clear();
+        match &mut self.state {
+            SinkState::Append(v) => v.clear(),
+            SinkState::Counted(c) => c.clear(),
+        }
         self.eos = false;
     }
 }
@@ -109,6 +213,31 @@ mod tests {
     }
 
     #[test]
+    fn delete_of_missing_row_is_a_noop() {
+        let mut s = SinkOp::new();
+        drive(&mut s, vec![Delta::insert(tuple![1i64]), Delta::delete(tuple![9i64])]);
+        assert_eq!(s.results(), vec![tuple![1i64]]);
+        // A replacement whose old row is absent still inserts the new row
+        // (upsert, as the bag-backed sink always did).
+        drive(&mut s, vec![Delta::replace(tuple![7i64], tuple![8i64])]);
+        assert_eq!(s.results(), vec![tuple![1i64], tuple![8i64]]);
+    }
+
+    #[test]
+    fn duplicates_respect_multiplicity() {
+        let mut s = SinkOp::new();
+        drive(
+            &mut s,
+            vec![
+                Delta::insert(tuple![1i64]),
+                Delta::insert(tuple![1i64]),
+                Delta::delete(tuple![1i64]),
+            ],
+        );
+        assert_eq!(s.results(), vec![tuple![1i64]]);
+    }
+
+    #[test]
     fn eos_marks_complete() {
         let mut s = SinkOp::new();
         assert!(!s.complete());
@@ -126,5 +255,35 @@ mod tests {
         drive(&mut s, vec![Delta::insert(tuple![5i64])]);
         assert_eq!(s.take_results(), vec![tuple![5i64]]);
         assert!(s.results().is_empty());
+    }
+
+    #[test]
+    fn append_lane_sorts_on_take() {
+        let mut s = SinkOp::append_only();
+        drive(&mut s, vec![Delta::insert(tuple![3i64]), Delta::insert(tuple![1i64])]);
+        drive(&mut s, vec![Delta::insert(tuple![2i64]), Delta::insert(tuple![1i64])]);
+        assert_eq!(s.name(), "Sink[append]");
+        assert_eq!(s.take_results(), vec![tuple![1i64], tuple![1i64], tuple![2i64], tuple![3i64]]);
+    }
+
+    #[test]
+    fn append_lane_degrades_on_non_insert() {
+        let mut s = SinkOp::append_only();
+        drive(&mut s, vec![Delta::insert(tuple![1i64]), Delta::insert(tuple![2i64])]);
+        // A stray delete must not be silently dropped: the lane degrades
+        // to the counted path and applies it.
+        drive(&mut s, vec![Delta::delete(tuple![1i64])]);
+        assert_eq!(s.name(), "Sink");
+        assert_eq!(s.results(), vec![tuple![2i64]]);
+    }
+
+    #[test]
+    fn reset_clears_both_lanes() {
+        for mut s in [SinkOp::new(), SinkOp::append_only()] {
+            drive(&mut s, vec![Delta::insert(tuple![1i64])]);
+            s.reset();
+            assert!(s.results().is_empty());
+            assert!(!s.complete());
+        }
     }
 }

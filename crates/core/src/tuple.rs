@@ -19,6 +19,15 @@ impl Tuple {
         Tuple(Arc::from(values.into_boxed_slice()))
     }
 
+    /// Build a tuple by cloning a slice of values. One allocation: the
+    /// values are cloned straight into the `Arc` buffer, unlike
+    /// [`Tuple::new`], whose `Vec` is itself an allocation that `Arc`
+    /// must copy out of. Hot paths evaluate into a reusable scratch
+    /// buffer and construct the tuple from it.
+    pub fn from_slice(values: &[Value]) -> Tuple {
+        Tuple(Arc::from(values))
+    }
+
     /// The empty tuple.
     pub fn empty() -> Tuple {
         Tuple(Arc::from(Vec::new().into_boxed_slice()))
@@ -53,12 +62,25 @@ impl Tuple {
         Tuple::new(cols.iter().map(|&c| self.0[c].clone()).collect())
     }
 
-    /// Concatenate two tuples (used by joins).
+    /// Concatenate two tuples (used by joins). Joined rows up to 16
+    /// attributes are assembled on the stack and built with a single
+    /// allocation — every probe match on the join hot path constructs one
+    /// of these.
     pub fn concat(&self, other: &Tuple) -> Tuple {
-        let mut v = Vec::with_capacity(self.arity() + other.arity());
-        v.extend_from_slice(&self.0);
-        v.extend_from_slice(&other.0);
-        Tuple::new(v)
+        const STACK: usize = 16;
+        let n = self.arity() + other.arity();
+        if n <= STACK {
+            let mut buf: [Value; STACK] = [const { Value::Null }; STACK];
+            for (slot, v) in buf.iter_mut().zip(self.0.iter().chain(other.0.iter())) {
+                *slot = v.clone();
+            }
+            Tuple::from_slice(&buf[..n])
+        } else {
+            let mut v = Vec::with_capacity(n);
+            v.extend_from_slice(&self.0);
+            v.extend_from_slice(&other.0);
+            Tuple::new(v)
+        }
     }
 
     /// Approximate serialized size in bytes (network accounting).
@@ -67,9 +89,103 @@ impl Tuple {
     }
 
     /// Extract a key (sub-tuple) for hashing/grouping.
+    ///
+    /// This *allocates* an owned key. Hot paths that only need to probe
+    /// keyed state should use [`hash_key`](Tuple::hash_key) /
+    /// [`key_eq`](Tuple::key_eq) (or a
+    /// [`KeyedTable`](crate::hash::KeyedTable)) instead, which hash and
+    /// compare the key columns in place.
     pub fn key(&self, cols: &[usize]) -> Vec<Value> {
         cols.iter().map(|&c| self.0[c].clone()).collect()
     }
+
+    /// Deterministic [`FxHasher`](crate::hash::FxHasher) hash of the key
+    /// columns, computed over the column references — no owned key is
+    /// materialized. Agrees with
+    /// [`hash_values`](crate::hash::hash_values)`(&self.key(cols))`.
+    pub fn hash_key(&self, cols: &[usize]) -> u64 {
+        crate::hash::hash_values(cols.iter().map(|&c| &self.0[c]))
+    }
+
+    /// Whether this tuple's key columns equal an owned key, compared in
+    /// place (the lookup half of borrowed-key probing).
+    pub fn key_eq(&self, cols: &[usize], key: &[Value]) -> bool {
+        cols.len() == key.len() && cols.iter().zip(key).all(|(&c, v)| &self.0[c] == v)
+    }
+}
+
+/// Sort rows into [`Tuple`]'s total order via 64-bit
+/// [order prefixes](Value::order_prefix) of the first attribute: rows are
+/// ordered by prefix first — one integer compare (or a radix pass)
+/// instead of an `Arc` deref plus per-`Value` enum matching — and only
+/// runs of equal prefixes fall back to the full tuple comparison. This is
+/// what makes the sink's single end-of-query sort cheap.
+///
+/// Large inputs take an LSD radix sort over `(prefix, row index)` pairs
+/// (16-bit digits, constant-digit passes skipped); small inputs use a
+/// comparison sort on the same keys.
+pub fn sort_rows(rows: &mut Vec<Tuple>) {
+    let n = rows.len();
+    if n < 2 {
+        return;
+    }
+    let mut keyed: Vec<(u64, u32)> = rows
+        .iter()
+        .enumerate()
+        .map(|(i, t)| (t.values().first().map_or(0, Value::order_prefix), i as u32))
+        .collect();
+
+    if n < 4096 {
+        keyed.sort_unstable_by(|a, b| {
+            a.0.cmp(&b.0).then_with(|| rows[a.1 as usize].cmp(&rows[b.1 as usize]))
+        });
+    } else {
+        // One pass builds all four digit histograms; constant digits
+        // (e.g. the nearly-fixed type-rank bits) skip their pass.
+        let mut hist = vec![0u32; 4 * 65536];
+        for &(k, _) in &keyed {
+            for pass in 0..4 {
+                hist[pass << 16 | ((k >> (pass * 16)) & 0xffff) as usize] += 1;
+            }
+        }
+        let mut aux = vec![(0u64, 0u32); n];
+        for pass in 0..4 {
+            let h = &mut hist[pass << 16..(pass + 1) << 16];
+            if h.iter().any(|&c| c as usize == n) {
+                continue; // all keys share this digit
+            }
+            let mut sum = 0u32;
+            for c in h.iter_mut() {
+                let count = *c;
+                *c = sum;
+                sum += count;
+            }
+            let shift = pass * 16;
+            for &kt in &keyed {
+                let d = ((kt.0 >> shift) & 0xffff) as usize;
+                aux[h[d] as usize] = kt;
+                h[d] += 1;
+            }
+            std::mem::swap(&mut keyed, &mut aux);
+        }
+        // Break prefix ties with the full tuple order, run by run.
+        let mut i = 0;
+        while i < n {
+            let mut j = i + 1;
+            while j < n && keyed[j].0 == keyed[i].0 {
+                j += 1;
+            }
+            if j - i > 1 {
+                keyed[i..j].sort_unstable_by(|a, b| rows[a.1 as usize].cmp(&rows[b.1 as usize]));
+            }
+            i = j;
+        }
+    }
+
+    // Apply the permutation without cloning any tuple.
+    let mut slots: Vec<Option<Tuple>> = std::mem::take(rows).into_iter().map(Some).collect();
+    *rows =
+        keyed.into_iter().map(|(_, i)| slots[i as usize].take().expect("unique index")).collect();
 }
 
 impl fmt::Display for Tuple {

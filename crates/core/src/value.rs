@@ -185,6 +185,42 @@ impl Value {
         }
     }
 
+    /// A 64-bit *order prefix*: a cheaply comparable key that is monotone
+    /// with respect to [`Value`]'s total order — `a < b` implies
+    /// `a.order_prefix() <= b.order_prefix()`. Sorting large tuple sets
+    /// compares prefixes first and falls back to the full comparison only
+    /// on prefix ties (see [`sort_rows`](crate::tuple::sort_rows)).
+    ///
+    /// Layout: type rank in the top 3 bits (matching the rank order of
+    /// `cmp`), then 61 bits of payload — the total-order encoding of the
+    /// numeric value as f64 (ints and doubles share the numeric rank, as
+    /// in `cmp`), the first 7 bytes of a string, a bool bit.
+    pub fn order_prefix(&self) -> u64 {
+        // Monotone encoding of f64 total order into u64 order.
+        fn enc(d: f64) -> u64 {
+            let b = d.to_bits();
+            if b >> 63 == 1 {
+                !b
+            } else {
+                b | (1 << 63)
+            }
+        }
+        let (rank, payload) = match self {
+            Value::Null => (0u64, 0u64),
+            Value::Bool(b) => (1, *b as u64),
+            Value::Int(i) => (2, enc(*i as f64) >> 3),
+            Value::Double(d) => (2, enc(*d) >> 3),
+            Value::Str(s) => {
+                let mut buf = [0u8; 8];
+                let n = s.len().min(7);
+                buf[..n].copy_from_slice(&s.as_bytes()[..n]);
+                (3, u64::from_be_bytes(buf) >> 3)
+            }
+            Value::List(_) => (4, 0),
+        };
+        (rank << 61) | payload
+    }
+
     /// SQL-style addition; integers promote to doubles when mixed.
     pub fn add(&self, other: &Value) -> Option<Value> {
         match (self, other) {

@@ -1,0 +1,285 @@
+//! Hot-path equivalence sweeps: the allocation-free keyed state
+//! ([`KeyedTable`]-backed join and group-by), the insert-only sink lane,
+//! and the prefix/radix row sort must be *output-invisible* — byte-for-
+//! byte the results the straightforward owned-key / comparison-sort
+//! implementations produce — across random batches with duplicates,
+//! deletions, and replacements.
+
+use rex_core::delta::{Annotation, Delta, Punctuation};
+use rex_core::hash::FxHashMap;
+use rex_core::metrics::{CostModel, ExecMetrics};
+use rex_core::operators::{AggSpec, Event, GroupByOp, HashJoinOp, OpCtx, Operator, SinkOp};
+use rex_core::tuple::{sort_rows, Tuple};
+use rex_core::udf::Registry;
+use rex_core::value::Value;
+use rex_core::{aggregates::CountAgg, aggregates::SumAgg, tuple};
+use std::sync::Arc;
+
+/// SplitMix64 — deterministic seed sweeps without external dependencies.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn range(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// Drive an operator with one delta batch, collecting everything it emits
+/// (fast-lane row batches unified back into insert deltas).
+fn drive(op: &mut dyn Operator, port: usize, deltas: Vec<Delta>) -> Vec<Delta> {
+    let reg = Registry::new();
+    let cost = CostModel::default();
+    let mut m = ExecMetrics::default();
+    let mut ctx = OpCtx::new(0, 0, &reg, &cost, &mut m);
+    op.on_deltas(port, deltas, &mut ctx).unwrap();
+    ctx.take_output()
+        .into_iter()
+        .flat_map(|(_, e)| match e {
+            Event::Data(d) => d,
+            Event::Rows(rows) => rows.into_iter().map(Delta::insert).collect(),
+            Event::Punct(_) => vec![],
+        })
+        .collect()
+}
+
+fn punct(op: &mut dyn Operator) -> Vec<Delta> {
+    let reg = Registry::new();
+    let cost = CostModel::default();
+    let mut m = ExecMetrics::default();
+    let mut ctx = OpCtx::new(0, 0, &reg, &cost, &mut m);
+    op.on_punct(0, Punctuation::EndOfStratum(0), &mut ctx).unwrap();
+    ctx.take_output()
+        .into_iter()
+        .flat_map(|(_, e)| match e {
+            Event::Data(d) => d,
+            _ => vec![],
+        })
+        .collect()
+}
+
+/// Fold emitted deltas into a net counted multiset.
+fn accumulate(acc: &mut FxHashMap<Tuple, i64>, deltas: &[Delta]) {
+    for d in deltas {
+        match &d.ann {
+            Annotation::Insert => *acc.entry(d.tuple.clone()).or_insert(0) += 1,
+            Annotation::Delete => *acc.entry(d.tuple.clone()).or_insert(0) -= 1,
+            Annotation::Replace(old) => {
+                *acc.entry(old.clone()).or_insert(0) -= 1;
+                *acc.entry(d.tuple.clone()).or_insert(0) += 1;
+            }
+            Annotation::Update(_) => unreachable!("sweep emits no δ(E) deltas"),
+        }
+    }
+}
+
+fn bag_rows(bag: &FxHashMap<Tuple, i64>) -> Vec<Tuple> {
+    let mut out = Vec::new();
+    for (t, &n) in bag {
+        assert!(n >= 0, "negative net multiplicity for {t}");
+        for _ in 0..n {
+            out.push(t.clone());
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// A random delta against `bag` (the oracle's copy of one join side):
+/// inserts duplicate heavily; deletes and replacements pick stored rows.
+fn random_delta(rng: &mut Rng, bag: &mut Vec<Tuple>) -> Delta {
+    let fresh = tuple![rng.range(8) as i64, rng.range(5) as i64];
+    match rng.range(10) {
+        0..=5 => {
+            bag.push(fresh.clone());
+            Delta::insert(fresh)
+        }
+        6..=7 if !bag.is_empty() => {
+            let old = bag.swap_remove(rng.range(bag.len() as u64) as usize);
+            Delta::delete(old)
+        }
+        8 if !bag.is_empty() => {
+            let old = bag.swap_remove(rng.range(bag.len() as u64) as usize);
+            bag.push(fresh.clone());
+            Delta::replace(old, fresh)
+        }
+        _ => {
+            // Deleting a row that is (probably) absent must be a no-op on
+            // both the operator and the oracle.
+            let ghost = tuple![99i64, rng.range(5) as i64];
+            if let Some(pos) = bag.iter().position(|t| *t == ghost) {
+                bag.swap_remove(pos);
+            }
+            Delta::delete(ghost)
+        }
+    }
+}
+
+/// The borrowed-key hash join's net output must equal the brute-force
+/// join of the final left/right bags, under any interleaving of inserts
+/// (with duplicates), deletes (including of absent rows), and
+/// replacements.
+#[test]
+fn keyed_join_matches_bruteforce_oracle_under_random_deltas() {
+    for seed in [1u64, 42, 0xfeed, 77777] {
+        let mut rng = Rng(seed);
+        let mut join = HashJoinOp::new(vec![0], vec![0]);
+        let (mut left, mut right): (Vec<Tuple>, Vec<Tuple>) = (Vec::new(), Vec::new());
+        let mut net: FxHashMap<Tuple, i64> = FxHashMap::default();
+        for _ in 0..60 {
+            let from_left = rng.range(2) == 0;
+            let bag = if from_left { &mut left } else { &mut right };
+            let batch: Vec<Delta> =
+                (0..rng.range(6) + 1).map(|_| random_delta(&mut rng, bag)).collect();
+            let out = drive(&mut join, usize::from(!from_left), batch);
+            accumulate(&mut net, &out);
+        }
+        // Brute-force join of the final bags.
+        let mut expected: Vec<Tuple> = Vec::new();
+        for l in &left {
+            for r in &right {
+                if l.get(0) == r.get(0) {
+                    expected.push(l.concat(r));
+                }
+            }
+        }
+        expected.sort_unstable();
+        assert_eq!(bag_rows(&net), expected, "seed {seed}");
+    }
+}
+
+/// The keyed group-by's emitted stream (inserts then replacements) must
+/// converge to exactly the per-group aggregates of the full input
+/// history, for every group ever touched.
+#[test]
+fn keyed_group_by_matches_running_oracle_under_random_deltas() {
+    for seed in [3u64, 99, 0xabcdef] {
+        let mut rng = Rng(seed);
+        let mut gb = GroupByOp::new(
+            vec![0],
+            vec![
+                AggSpec::new(Arc::new(SumAgg), vec![1]),
+                AggSpec::new(Arc::new(CountAgg), vec![1]),
+            ],
+        );
+        // Oracle: per-group running (sum, count) under the same deltas.
+        let mut oracle: FxHashMap<i64, (f64, i64)> = FxHashMap::default();
+        let mut bag: Vec<Tuple> = Vec::new();
+        let mut emitted: FxHashMap<Tuple, i64> = FxHashMap::default();
+        for _ in 0..40 {
+            let batch: Vec<Delta> = (0..rng.range(5) + 1)
+                .map(|_| {
+                    // Inserts and deletes of stored rows only, so no group
+                    // ever goes negative.
+                    if rng.range(3) == 0 && !bag.is_empty() {
+                        Delta::delete(bag.swap_remove(rng.range(bag.len() as u64) as usize))
+                    } else {
+                        let t = tuple![rng.range(4) as i64, rng.range(6) as i64];
+                        bag.push(t.clone());
+                        Delta::insert(t)
+                    }
+                })
+                .collect();
+            for d in &batch {
+                let k = d.tuple.get(0).as_int().unwrap();
+                let v = d.tuple.get(1).as_int().unwrap() as f64;
+                let e = oracle.entry(k).or_insert((0.0, 0));
+                match d.ann {
+                    Annotation::Insert => {
+                        e.0 += v;
+                        e.1 += 1;
+                    }
+                    Annotation::Delete => {
+                        e.0 -= v;
+                        e.1 -= 1;
+                    }
+                    _ => unreachable!(),
+                }
+            }
+            let mut out = drive(&mut gb, 0, batch);
+            out.extend(punct(&mut gb));
+            accumulate(&mut emitted, &out);
+        }
+        let mut expected: Vec<Tuple> =
+            oracle.iter().map(|(&k, &(sum, count))| tuple![k, sum, count]).collect();
+        expected.sort_unstable();
+        assert_eq!(bag_rows(&emitted), expected, "seed {seed}");
+    }
+}
+
+/// The append-only sink lane must produce byte-identical results to the
+/// counted sink on insert-only streams — whichever way the inserts arrive
+/// (wrapped deltas or fast-lane row batches).
+#[test]
+fn sink_lanes_agree_on_insert_only_streams() {
+    for seed in [5u64, 2024] {
+        let mut rng = Rng(seed);
+        let mut fast = SinkOp::append_only();
+        let mut slow = SinkOp::new();
+        let mut via_rows = SinkOp::append_only();
+        let reg = Registry::new();
+        let cost = CostModel::default();
+        for _ in 0..20 {
+            let rows: Vec<Tuple> = (0..rng.range(40) + 1)
+                .map(|_| tuple![rng.range(9) as i64, rng.range(3) as i64])
+                .collect();
+            let deltas: Vec<Delta> = rows.iter().cloned().map(Delta::insert).collect();
+            let mut m = ExecMetrics::default();
+            let mut ctx = OpCtx::new(0, 0, &reg, &cost, &mut m);
+            fast.on_deltas(0, deltas.clone(), &mut ctx).unwrap();
+            slow.on_deltas(0, deltas, &mut ctx).unwrap();
+            via_rows.on_rows(0, rows, &mut ctx).unwrap();
+        }
+        let f = fast.take_results();
+        assert_eq!(f, slow.take_results(), "seed {seed}: append vs counted");
+        assert_eq!(f, via_rows.take_results(), "seed {seed}: delta vs row batches");
+    }
+}
+
+/// The prefix/radix sort must order exactly like the comparison sort, on
+/// mixed-type first columns (nulls, bools, cross-type numerics, strings
+/// sharing prefixes) and on both sides of the radix size threshold.
+#[test]
+fn sort_rows_matches_comparison_sort_on_mixed_types() {
+    for seed in [9u64, 31337, 424242] {
+        for n in [0usize, 1, 57, 800, 5000, 9000] {
+            let mut rng = Rng(seed);
+            let rows: Vec<Tuple> = (0..n)
+                .map(|_| {
+                    let first = match rng.range(6) {
+                        0 => Value::Null,
+                        1 => Value::Bool(rng.range(2) == 0),
+                        2 => Value::Int(rng.range(50) as i64 - 25),
+                        3 => Value::Double(rng.range(500) as f64 * 0.1 - 25.0),
+                        4 => Value::str(format!("s{}", rng.range(30))),
+                        _ => Value::str("s1x"), // shares a prefix with s1*
+                    };
+                    Tuple::new(vec![first, Value::Int(rng.range(7) as i64)])
+                })
+                .collect();
+            let mut fast = rows.clone();
+            sort_rows(&mut fast);
+            let mut slow = rows;
+            slow.sort_unstable();
+            assert_eq!(fast, slow, "seed {seed}, n {n}");
+        }
+    }
+}
+
+/// Int/Double keys that compare equal must land in the same keyed-state
+/// bucket whichever spelling arrives first (the cross-type hashing
+/// guarantee the borrowed-key probes inherit from `Value`).
+#[test]
+fn cross_type_numeric_join_keys_meet_in_one_bucket() {
+    let mut join = HashJoinOp::new(vec![0], vec![0]);
+    drive(&mut join, 0, vec![Delta::insert(tuple![2i64, "l"])]);
+    let out = drive(&mut join, 1, vec![Delta::insert(tuple![2.0f64, "r"])]);
+    assert_eq!(out, vec![Delta::insert(tuple![2i64, "l", 2.0f64, "r"])]);
+}

@@ -35,8 +35,8 @@ use rex_core::error::{Result, RexError};
 use rex_core::exec::{NodeId, PlanGraph};
 use rex_core::expr::Expr;
 use rex_core::operators::{
-    AggSpec, FilterOp, FixpointOp, GroupByOp, HashJoinOp, ProjectOp, ScanOp, SinkOp, SortSpec,
-    Termination, TopKOp,
+    AggSpec, FilterOp, FixpointOp, GroupByOp, HashJoinOp, ProjectOp, ScanOp, ScanRows, SinkOp,
+    SortSpec, Termination, TopKOp,
 };
 use rex_core::tuple::Tuple;
 use rex_core::udf::Registry;
@@ -47,6 +47,22 @@ use std::collections::HashMap;
 pub trait TableProvider {
     /// The rows of `table` visible to this plan instance.
     fn scan(&self, table: &str) -> Result<Vec<Tuple>>;
+
+    /// The rows of `table` as a [`ScanRows`] source. Providers backed by
+    /// shared storage override this to hand the scan an `Arc` snapshot —
+    /// no deep copy of the table into the plan; the default wraps
+    /// [`scan`](TableProvider::scan)'s owned rows.
+    fn scan_shared(&self, table: &str) -> Result<ScanRows> {
+        Ok(ScanRows::Owned(self.scan(table)?))
+    }
+
+    /// Total byte size of what [`scan_shared`](TableProvider::scan_shared)
+    /// returns, when the storage layer keeps it cached — lets the scan
+    /// skip per-row size accounting. `None` (the default) means "count
+    /// while scanning".
+    fn scan_bytes(&self, _table: &str) -> Option<u64> {
+        None
+    }
 
     /// The columns `table` is partitioned on across workers, if known.
     /// Distributed lowering uses this to skip redundant rehashes when a
@@ -90,18 +106,79 @@ impl TableProvider for MemTables {
 pub const DEFAULT_MAX_STRATA: u64 = 10_000;
 
 /// Options controlling physical lowering.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 pub struct LowerOptions {
     /// Lower a worker-local plan for distributed execution: insert network
     /// boundaries wherever the stream's partitioning does not match what
     /// the consuming operator requires (see the module docs).
     pub distributed: bool,
+    /// Use the insert-only sink fast lane when the plan provably emits
+    /// nothing but `+()` deltas (see [`insert_only_plan`]). On by
+    /// default; platform-agreement sweeps turn it off to prove the lane
+    /// is output-invisible.
+    pub fast_lane: bool,
+}
+
+impl Default for LowerOptions {
+    fn default() -> Self {
+        LowerOptions { distributed: false, fast_lane: true }
+    }
 }
 
 impl LowerOptions {
     /// Options for a per-worker plan in the cluster.
     pub fn cluster() -> LowerOptions {
-        LowerOptions { distributed: true }
+        LowerOptions { distributed: true, ..LowerOptions::default() }
+    }
+
+    /// Disable the insert-only sink fast lane (agreement sweeps).
+    pub fn without_fast_lane(mut self) -> LowerOptions {
+        self.fast_lane = false;
+        self
+    }
+}
+
+/// Whether every delta a lowered `plan` can deliver to its sink is an
+/// insertion. Scans emit only `+()` deltas, filters/projections preserve
+/// annotations, and a handler-free equi-join of insert-only inputs emits
+/// only insertions — so pipelines of those shapes qualify. Aggregates
+/// (replacements on group refinement), top-k (retraction diffs),
+/// fixpoints, and handler joins (arbitrary handler output) do not.
+pub fn insert_only_plan(plan: &LogicalPlan) -> bool {
+    match plan {
+        LogicalPlan::Scan { .. } => true,
+        LogicalPlan::Filter { input, .. } | LogicalPlan::Project { input, .. } => {
+            insert_only_plan(input)
+        }
+        LogicalPlan::Join { left, right, handler, .. } => {
+            handler.is_none() && insert_only_plan(left) && insert_only_plan(right)
+        }
+        // A pure ORDER BY adds no dataflow operator (presentation order is
+        // applied by the session); the stream is its input's.
+        LogicalPlan::Sort { input, fetch: None, offset: 0, .. } => insert_only_plan(input),
+        LogicalPlan::Aggregate { .. }
+        | LogicalPlan::Sort { .. }
+        | LogicalPlan::Limit { .. }
+        | LogicalPlan::Fixpoint { .. }
+        | LogicalPlan::FixpointRef { .. } => false,
+    }
+}
+
+/// Whether the plan is a pure stateless chain — scans feeding only
+/// filters and projections (pure ORDER BY on top included). On such
+/// plans the scans emit run-length `Event::Rows` batches and every
+/// operator down to the sink moves bare tuples instead of deltas. Join
+/// plans stay on delta batches (the join is where annotations start to
+/// matter) but still qualify for the append sink via
+/// [`insert_only_plan`].
+pub fn rows_lane_plan(plan: &LogicalPlan) -> bool {
+    match plan {
+        LogicalPlan::Scan { .. } => true,
+        LogicalPlan::Filter { input, .. } | LogicalPlan::Project { input, .. } => {
+            rows_lane_plan(input)
+        }
+        LogicalPlan::Sort { input, fetch: None, offset: 0, .. } => rows_lane_plan(input),
+        _ => false,
     }
 }
 
@@ -133,9 +210,17 @@ pub fn lower_with(
     opts: LowerOptions,
 ) -> Result<PlanGraph> {
     let mut g = PlanGraph::new();
-    let mut ctx = Lowering { g: &mut g, provider, reg, fixpoint: None, opts };
+    let rows_lane = opts.fast_lane && rows_lane_plan(plan);
+    let mut ctx = Lowering { g: &mut g, provider, reg, fixpoint: None, opts, rows_lane };
     let (node, port, _) = ctx.node(plan)?;
-    let sink = g.add(Box::new(SinkOp::new()));
+    // Insert-only pipelines take the append sink: no delta application,
+    // one unstable sort when results are taken. Anything that can emit
+    // deletes/replacements keeps the counted sink.
+    let sink = if opts.fast_lane && insert_only_plan(plan) {
+        g.add(Box::new(SinkOp::append_only()))
+    } else {
+        g.add(Box::new(SinkOp::new()))
+    };
     g.connect(node, port, sink, 0);
     Ok(g)
 }
@@ -153,6 +238,9 @@ struct Lowering<'a> {
     /// port 0 feeds [`LogicalPlan::FixpointRef`] consumers) and its key.
     fixpoint: Option<(NodeId, Vec<usize>)>,
     opts: LowerOptions,
+    /// The whole plan is a stateless chain: scans emit run-length
+    /// `Event::Rows` batches (see [`rows_lane_plan`]).
+    rows_lane: bool,
 }
 
 impl Lowering<'_> {
@@ -221,8 +309,12 @@ impl Lowering<'_> {
     fn node(&mut self, plan: &LogicalPlan) -> Result<(NodeId, usize, Partitioning)> {
         match plan {
             LogicalPlan::Scan { table, .. } => {
-                let rows = self.provider.scan(table)?;
-                let id = self.g.add(Box::new(ScanOp::new(table.clone(), rows)));
+                let rows = self.provider.scan_shared(table)?;
+                let id = self.g.add(Box::new(
+                    ScanOp::new(table.clone(), rows)
+                        .insert_only(self.rows_lane)
+                        .known_bytes(self.provider.scan_bytes(table)),
+                ));
                 let part =
                     if self.opts.distributed { self.provider.partition_cols(table) } else { None };
                 Ok((id, 0, part))
@@ -292,7 +384,10 @@ impl Lowering<'_> {
                 // *global* aggregate (no keys) is a pass-through locally
                 // but must gather all partitions at one worker in the
                 // cluster — per-worker partials would union into one row
-                // per worker at the requestor.
+                // per worker at the requestor. Locally a rehash is a pure
+                // pass-through, so no node is added at all: every input
+                // delta would otherwise take one extra hop through the
+                // executor queue.
                 let (rehash, rport) = if group_cols.is_empty() {
                     if self.opts.distributed {
                         let gather = self.g.add_gather();
@@ -301,10 +396,12 @@ impl Lowering<'_> {
                     } else {
                         (src, port)
                     }
-                } else {
+                } else if self.opts.distributed {
                     let rh = self.g.add_rehash(group_cols.clone());
                     self.g.connect(src, port, rh, 0);
                     (rh, 0)
+                } else {
+                    (src, port)
                 };
                 let specs = aggs
                     .iter()

@@ -15,6 +15,46 @@ use rex_core::error::Result;
 use rex_core::tuple::Tuple;
 use rex_storage::catalog::Catalog;
 use rex_storage::partition::PartitionSnapshot;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// A per-query memo of whole-table partitionings, shared by the
+/// [`PartitionProvider`]s of all workers lowering the same plan. The
+/// first worker to scan a table partitions it for *every* node in one
+/// pass (each row hashed once); the others just take their slice. Entries
+/// are keyed by the snapshot's live-node set, so a recovery attempt under
+/// a shrunken snapshot recomputes rather than serving stale partitions.
+#[derive(Clone, Default)]
+pub struct PartitionMemo {
+    #[allow(clippy::type_complexity)]
+    inner: Arc<Mutex<HashMap<String, (Vec<usize>, Arc<Vec<Vec<Tuple>>>)>>>,
+}
+
+impl PartitionMemo {
+    /// An empty memo (one per distributed query).
+    pub fn new() -> PartitionMemo {
+        PartitionMemo::default()
+    }
+
+    /// All nodes' partitions of `table` under `snap`, computed on first
+    /// use.
+    fn partitions(
+        &self,
+        catalog: &Catalog,
+        table: &str,
+        snap: &PartitionSnapshot,
+    ) -> Result<Arc<Vec<Vec<Tuple>>>> {
+        let mut memo = self.inner.lock().expect("partition memo poisoned");
+        if let Some((nodes, parts)) = memo.get(table) {
+            if nodes == snap.nodes() {
+                return Ok(parts.clone());
+            }
+        }
+        let parts = Arc::new(catalog.get(table)?.partition_all(snap));
+        memo.insert(table.to_string(), (snap.nodes().to_vec(), parts.clone()));
+        Ok(parts)
+    }
+}
 
 /// Scans whole stored tables from a [`Catalog`] (single-node execution).
 #[derive(Clone)]
@@ -34,6 +74,17 @@ impl TableProvider for CatalogProvider {
         Ok(self.catalog.get(table)?.rows().to_vec())
     }
 
+    /// Zero-copy scan source: the stored table's `Arc` snapshot goes
+    /// straight into the plan; emitted rows are `Arc` bumps, and nothing
+    /// copies the table up front.
+    fn scan_shared(&self, table: &str) -> Result<rex_core::operators::ScanRows> {
+        Ok(rex_core::operators::ScanRows::Shared(self.catalog.get(table)?))
+    }
+
+    fn scan_bytes(&self, table: &str) -> Option<u64> {
+        self.catalog.get(table).ok().map(|t| t.byte_size())
+    }
+
     fn partition_cols(&self, table: &str) -> Option<Vec<usize>> {
         self.catalog.get(table).ok().map(|t| t.partition_cols().to_vec())
     }
@@ -47,17 +98,30 @@ pub struct PartitionProvider {
     catalog: Catalog,
     snapshot: PartitionSnapshot,
     worker: usize,
+    /// Shared partitioning memo; `None` partitions per call.
+    memo: Option<PartitionMemo>,
 }
 
 impl PartitionProvider {
     /// Provider for `worker`'s partition under `snapshot`.
     pub fn new(catalog: Catalog, snapshot: PartitionSnapshot, worker: usize) -> PartitionProvider {
-        PartitionProvider { catalog, snapshot, worker }
+        PartitionProvider { catalog, snapshot, worker, memo: None }
+    }
+
+    /// Share a query-scoped [`PartitionMemo`] so every worker's lowering
+    /// reuses one partitioning pass per table.
+    pub fn with_memo(mut self, memo: PartitionMemo) -> PartitionProvider {
+        self.memo = Some(memo);
+        self
     }
 }
 
 impl TableProvider for PartitionProvider {
     fn scan(&self, table: &str) -> Result<Vec<Tuple>> {
+        if let Some(memo) = &self.memo {
+            let parts = memo.partitions(&self.catalog, table, &self.snapshot)?;
+            return Ok(parts.get(self.worker).cloned().unwrap_or_default());
+        }
         Ok(self.catalog.get(table)?.partition_for(&self.snapshot, self.worker))
     }
 

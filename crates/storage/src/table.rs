@@ -1,7 +1,7 @@
 //! Stored tables: schema + rows, partitionable by key columns.
 
 use rex_core::error::{Result, RexError};
-use rex_core::operators::hash_key;
+use rex_core::operators::hash_key_cols;
 use rex_core::tuple::{Schema, Tuple};
 use rex_core::value::Value;
 use std::collections::HashMap;
@@ -17,12 +17,15 @@ pub struct StoredTable {
     /// Partitioning key columns (indices into the schema).
     partition_cols: Vec<usize>,
     rows: Vec<Tuple>,
+    /// Cached total byte size of `rows`, maintained by every mutation so
+    /// scan cost accounting is O(1) instead of a pass over the table.
+    bytes: u64,
 }
 
 impl StoredTable {
     /// Create an empty table partitioned on `partition_cols`.
     pub fn new(name: impl Into<String>, schema: Schema, partition_cols: Vec<usize>) -> StoredTable {
-        StoredTable { name: name.into(), schema, partition_cols, rows: Vec::new() }
+        StoredTable { name: name.into(), schema, partition_cols, rows: Vec::new(), bytes: 0 }
     }
 
     /// The table name.
@@ -58,6 +61,7 @@ impl StoredTable {
     /// Validate and append a row.
     pub fn insert(&mut self, row: Tuple) -> Result<()> {
         self.schema.check(&row)?;
+        self.bytes += row.byte_size() as u64;
         self.rows.push(row);
         Ok(())
     }
@@ -72,6 +76,7 @@ impl StoredTable {
 
     /// Bulk load without per-row validation (trusted generators).
     pub fn load_unchecked(&mut self, mut rows: Vec<Tuple>) {
+        self.bytes += rows.iter().map(|t| t.byte_size() as u64).sum::<u64>();
         self.rows.append(&mut rows);
     }
 
@@ -92,19 +97,23 @@ impl StoredTable {
     /// over instead of recounting the batch).
     pub fn remove_counted(&mut self, mut pending: HashMap<&Tuple, usize>) -> usize {
         let before = self.rows.len();
+        let mut removed_bytes = 0u64;
         self.rows.retain(|r| match pending.get_mut(r) {
             Some(n) if *n > 0 => {
                 *n -= 1;
+                removed_bytes += r.byte_size() as u64;
                 false
             }
             _ => true,
         });
+        self.bytes -= removed_bytes;
         before - self.rows.len()
     }
 
     /// Replace the table's entire contents (used when a materialized view
     /// syncs its maintained state into the catalog).
     pub fn replace_rows(&mut self, rows: Vec<Tuple>) {
+        self.bytes = rows.iter().map(|t| t.byte_size() as u64).sum();
         self.rows = rows;
     }
 
@@ -127,11 +136,29 @@ impl StoredTable {
 
     /// The rows owned by `node` under `snap` (primary ownership).
     pub fn partition_for(&self, snap: &PartitionSnapshot, node: usize) -> Vec<Tuple> {
+        // Hash each row's partition columns in place: per-worker lowering
+        // calls this for every worker, so an owned key per row would be
+        // `workers × rows` allocations per query.
         self.rows
             .iter()
-            .filter(|r| snap.owner_of_hash(hash_key(&self.partition_key(r))) == node)
+            .filter(|r| snap.owner_of_hash(hash_key_cols(r, &self.partition_cols)) == node)
             .cloned()
             .collect()
+    }
+
+    /// All nodes' primary partitions in one pass: each row's partition key
+    /// is hashed exactly once, against `workers × rows` hashes when every
+    /// worker calls [`partition_for`](Self::partition_for) separately.
+    /// The result is indexed by node id (nodes absent from the snapshot
+    /// get empty partitions).
+    pub fn partition_all(&self, snap: &PartitionSnapshot) -> Vec<Vec<Tuple>> {
+        let slots = snap.nodes().iter().copied().max().map_or(0, |m| m + 1);
+        let mut parts: Vec<Vec<Tuple>> = vec![Vec::new(); slots];
+        for r in &self.rows {
+            let owner = snap.owner_of_hash(hash_key_cols(r, &self.partition_cols));
+            parts[owner].push(r.clone());
+        }
+        parts
     }
 
     /// The rows for which `node` is primary *or* replica — the replicated
@@ -144,9 +171,10 @@ impl StoredTable {
             .collect()
     }
 
-    /// Total bytes of the table (for scan cost accounting).
+    /// Total bytes of the table (for scan cost accounting), maintained
+    /// incrementally — O(1).
     pub fn byte_size(&self) -> u64 {
-        self.rows.iter().map(|t| t.byte_size() as u64).sum()
+        self.bytes
     }
 
     /// Resolve a column name.
@@ -154,6 +182,12 @@ impl StoredTable {
         self.schema
             .index_of(name)
             .ok_or_else(|| RexError::Storage(format!("table {}: no column {name}", self.name)))
+    }
+}
+
+impl AsRef<[Tuple]> for StoredTable {
+    fn as_ref(&self) -> &[Tuple] {
+        &self.rows
     }
 }
 

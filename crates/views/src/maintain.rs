@@ -41,7 +41,7 @@ use rex_core::delta::Delta;
 use rex_core::error::{Result, RexError};
 use rex_core::expr::{eval_predicate, Expr};
 use rex_core::handlers::AggOutputKind;
-use rex_core::hash::{FxHashMap, FxHashSet};
+use rex_core::hash::{FxHashMap, KeyedTable};
 use rex_core::tuple::Tuple;
 use rex_core::udf::Registry;
 use rex_core::value::Value;
@@ -49,8 +49,9 @@ use rex_rql::logical::{AggCall, LogicalPlan};
 use std::collections::BTreeMap;
 
 type Key = Vec<Value>;
-/// Join-side state: the input multiset bucketed by join key.
-type KeyedState = FxHashMap<Key, DeltaSet>;
+/// Join-side state: the input multiset bucketed by join key. A
+/// [`KeyedTable`] so per-row probes borrow the key columns in place.
+type KeyedState = KeyedTable<DeltaSet>;
 
 /// The per-aggregate specialization chosen at [`build`] time for the
 /// decomposable built-ins.
@@ -226,6 +227,18 @@ pub enum GroupState {
     Rows(DeltaSet),
 }
 
+/// A group's state plus its intra-batch dirty flag. The flag lets the
+/// batch loop collect each dirty group's owned key exactly once — per
+/// dirty *group*, not per delta row — keeping the per-row path
+/// allocation-free.
+#[derive(Debug)]
+pub struct GroupSlot {
+    /// The group's maintenance state.
+    state: GroupState,
+    /// Whether the current batch already queued this group for re-emission.
+    dirty: bool,
+}
+
 /// A node of the maintenance plan. Stateful nodes own the materializations
 /// the delta rules need; the tree is primed by replaying each base table's
 /// current contents as an insert batch.
@@ -277,8 +290,8 @@ pub enum MaintNode {
         post: Option<Vec<Expr>>,
         /// How groups are maintained, fixed at build time.
         strategy: AggStrategy,
-        /// Per-group state.
-        groups: FxHashMap<Key, GroupState>,
+        /// Per-group state, probed by borrowed grouping columns.
+        groups: KeyedTable<GroupSlot>,
         /// What each group currently contributes to the output (every
         /// group emits exactly one row).
         emitted: FxHashMap<Key, Tuple>,
@@ -384,7 +397,7 @@ pub fn build_with(plan: &LogicalPlan, reg: &Registry, specialize: bool) -> Resul
                 aggs: aggs.clone(),
                 post: post.clone(),
                 strategy: strategy.unwrap_or(AggStrategy::Specialized(specs)),
-                groups: FxHashMap::default(),
+                groups: KeyedTable::new(),
                 emitted: FxHashMap::default(),
             })
         }
@@ -426,9 +439,10 @@ impl MaintNode {
                 let dl = left.apply(table, batch, reg)?;
                 let dr = right.apply(table, batch, reg)?;
                 let mut out = DeltaSet::new();
-                // ΔL ⋈ R_old
+                // ΔL ⋈ R_old — probe the opposite side with the key
+                // columns in place, no owned key per row.
                 for (t, m) in dl.iter() {
-                    if let Some(bucket) = right_state.get(&t.key(left_key)) {
+                    if let Some(bucket) = right_state.probe(t, left_key) {
                         for (u, n) in bucket.iter() {
                             out.add(t.concat(u), m * n);
                         }
@@ -437,7 +451,7 @@ impl MaintNode {
                 fold_into(left_state, &dl, left_key);
                 // L_new ⋈ ΔR  (= L_old ⋈ ΔR + ΔL ⋈ ΔR)
                 for (u, n) in dr.iter() {
-                    if let Some(bucket) = left_state.get(&u.key(right_key)) {
+                    if let Some(bucket) = left_state.probe(u, right_key) {
                         for (t, m) in bucket.iter() {
                             out.add(t.concat(u), m * n);
                         }
@@ -448,16 +462,21 @@ impl MaintNode {
             }
             MaintNode::Aggregate { input, group_cols, aggs, post, strategy, groups, emitted } => {
                 let din = input.apply(table, batch, reg)?;
-                let mut dirty: FxHashSet<Key> = FxHashSet::default();
+                // One owned key per *dirty group* per batch; the per-row
+                // group lookup borrows the grouping columns in place.
+                let mut dirty: Vec<Key> = Vec::new();
                 for (t, n) in din.iter() {
-                    let k = t.key(group_cols);
-                    match groups.entry(k.clone()).or_insert_with(|| match strategy {
-                        AggStrategy::Specialized(specs) => GroupState::Scalars {
-                            total: 0,
-                            accums: specs.iter().map(AggAccum::init).collect(),
+                    let slot = groups.probe_or_insert_with(t, group_cols, || GroupSlot {
+                        state: match strategy {
+                            AggStrategy::Specialized(specs) => GroupState::Scalars {
+                                total: 0,
+                                accums: specs.iter().map(AggAccum::init).collect(),
+                            },
+                            AggStrategy::Replay { .. } => GroupState::Rows(DeltaSet::new()),
                         },
-                        AggStrategy::Replay { .. } => GroupState::Rows(DeltaSet::new()),
-                    }) {
+                        dirty: false,
+                    });
+                    match &mut slot.state {
                         GroupState::Scalars { total, accums } => {
                             *total += n;
                             for (acc, call) in accums.iter_mut().zip(aggs.iter()) {
@@ -466,11 +485,17 @@ impl MaintNode {
                         }
                         GroupState::Rows(rows) => rows.add(t.clone(), n),
                     }
-                    dirty.insert(k);
+                    if !slot.dirty {
+                        slot.dirty = true;
+                        dirty.push(t.key(group_cols));
+                    }
                 }
                 let mut out = DeltaSet::new();
                 for k in dirty {
-                    let new_row = match groups.get(&k) {
+                    if let Some(slot) = groups.get_mut(&k) {
+                        slot.dirty = false;
+                    }
+                    let new_row = match groups.get(&k).map(|s| &s.state) {
                         Some(GroupState::Scalars { total, accums }) => {
                             if *total < 0 {
                                 return Err(RexError::Exec(format!(
@@ -531,7 +556,7 @@ impl MaintNode {
                 input.state_bytes()
                     + groups
                         .values()
-                        .map(|g| match g {
+                        .map(|g| match &g.state {
                             GroupState::Scalars { accums, .. } => {
                                 8 + accums.iter().map(AggAccum::byte_size).sum::<usize>()
                             }
@@ -571,13 +596,14 @@ impl MaintNode {
 }
 
 /// Fold a delta into one join side's keyed state, pruning empty buckets.
+/// The bucket lookup borrows the key columns; an owned key is allocated
+/// only when a join key is first seen.
 fn fold_into(state: &mut KeyedState, delta: &DeltaSet, key: &[usize]) {
     for (t, n) in delta.iter() {
-        let k = t.key(key);
-        let bucket = state.entry(k.clone()).or_default();
+        let bucket = state.probe_or_insert_with(t, key, DeltaSet::new);
         bucket.add(t.clone(), n);
         if bucket.is_empty() {
-            state.remove(&k);
+            state.remove_probe(t, key);
         }
     }
 }

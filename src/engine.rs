@@ -107,8 +107,9 @@ impl Engine for LocalEngine {
         let graph =
             lower(plan, &provider, ctx.registry).map_err(|e| RqlError::at(RqlStage::Lower, e))?;
         let rt = LocalRuntime::with_registry(ctx.registry.clone());
-        let (mut rows, report) = rt.run(graph)?;
-        rows.sort();
+        // The runtime's sink already returns rows in sorted order (the
+        // engine agreement contract) — no second sort here.
+        let (rows, report) = rt.run(graph)?;
         Ok(EngineOutput { rows, report, cluster: None })
     }
 }

@@ -379,3 +379,94 @@ fn listing3_kmeans_via_session_agrees_on_both_engines() {
         assert_eq!(*r.delta_sizes().last().unwrap(), 0, "{engine} converged");
     }
 }
+
+// ---------------------------------------------------------------------------
+// Fast-lane agreement: the insert-only executor lane (run-length scan
+// batches + append sink) is a pure execution strategy. Lowering the same
+// plan with the lane on and off, on the local executor and on a simulated
+// cluster, must produce bit-identical rows.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn insert_only_fast_lane_is_output_invisible_on_both_engines() {
+    use rex::rql::lower::{lower_with, LowerOptions};
+    use rex::rql::provider::{CatalogProvider, PartitionProvider};
+    use rex::rql::SchemaCatalog;
+
+    for seed in [13u64, 4096] {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Small domains: duplicate rows, duplicate join keys, ties.
+        let t_rows: Vec<Tuple> = (0..80)
+            .map(|_| {
+                Tuple::new(vec![
+                    Value::Int(rng.gen_range(0..=9i64)),
+                    Value::Int(rng.gen_range(0..=99i64)),
+                    Value::Double(rng.gen_range(0..=40i64) as f64 * 0.5),
+                ])
+            })
+            .collect();
+        let d_rows: Vec<Tuple> = (0..=9i64)
+            .map(|k| Tuple::new(vec![Value::Int(k), Value::Double(k as f64 * 1.5)]))
+            .collect();
+
+        let cat = Catalog::new();
+        let t_schema =
+            Schema::of(&[("k", DataType::Int), ("a", DataType::Int), ("b", DataType::Double)]);
+        let d_schema = Schema::of(&[("k", DataType::Int), ("w", DataType::Double)]);
+        let mut t = StoredTable::new("t", t_schema.clone(), vec![0]);
+        t.load_unchecked(t_rows);
+        cat.register(t);
+        let mut d = StoredTable::new("d", d_schema.clone(), vec![0]);
+        d.load_unchecked(d_rows);
+        cat.register(d);
+        let mut sc = SchemaCatalog::new();
+        sc.register("t", t_schema);
+        sc.register("d", d_schema);
+        let reg = rex::core::udf::Registry::with_builtins();
+
+        for sql in [
+            // Pure stateless chain: scans emit Event::Rows end to end.
+            "SELECT k, a + 1, b * 2.0 FROM t WHERE a < 40",
+            "SELECT k, b FROM t WHERE a >= 60",
+            // Insert-only join: append sink, delta-batched join inputs.
+            "SELECT t.k, t.b, d.w FROM t, d WHERE t.k = d.k AND t.a < 50",
+            // Not insert-only at all: both options must still agree.
+            "SELECT k, count(*), sum(b) FROM t GROUP BY k",
+        ] {
+            let plan = rex::rql::plan_rql(sql, &sc, &reg).unwrap();
+            let mut outcomes: Vec<(String, Vec<Tuple>)> = Vec::new();
+            for fast in [true, false] {
+                let local_opts = if fast {
+                    LowerOptions::default()
+                } else {
+                    LowerOptions::default().without_fast_lane()
+                };
+                let provider = CatalogProvider::new(cat.clone());
+                let g = lower_with(&plan, &provider, &reg, local_opts).unwrap();
+                let (rows, _) = LocalRuntime::new().run(g).unwrap();
+                outcomes.push((format!("local fast={fast}"), rows));
+
+                let cluster_opts = if fast {
+                    LowerOptions::cluster()
+                } else {
+                    LowerOptions::cluster().without_fast_lane()
+                };
+                let plan_arc = Arc::new(plan.clone());
+                let reg_c = reg.clone();
+                let rt = ClusterRuntime::new(ClusterConfig::new(3), cat.clone());
+                let (rows, _) = rt
+                    .run(Arc::new(move |w, snap, c: &Catalog| {
+                        let provider = PartitionProvider::new(c.clone(), snap.clone(), w);
+                        lower_with(&plan_arc, &provider, &reg_c, cluster_opts)
+                    }))
+                    .unwrap();
+                outcomes.push((format!("cluster fast={fast}"), rows));
+            }
+            let (ref name0, ref rows0) = outcomes[0];
+            assert!(!rows0.is_empty(), "{sql}: empty result defeats the sweep");
+            for (name, rows) in &outcomes[1..] {
+                assert_eq!(rows0, rows, "seed {seed}, {sql}: {name0} vs {name} disagree");
+            }
+        }
+    }
+}
