@@ -29,7 +29,10 @@ use rex_rql::logical::LogicalPlan;
 /// Result alias for optimizer operations.
 pub type Result<T> = std::result::Result<T, OptimizeError>;
 
-/// The optimizer facade.
+/// The optimizer facade. `Clone` so a point-in-time copy (statistics
+/// frozen at snapshot-publish time) can ride inside an immutable
+/// database snapshot and cost plans concurrently with the live session.
+#[derive(Clone)]
 pub struct Optimizer {
     /// Catalog statistics (row counts, UDF profiles, hints).
     pub stats: Statistics,

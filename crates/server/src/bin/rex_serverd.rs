@@ -1,0 +1,164 @@
+//! `rex-serverd` — the rex server daemon.
+//!
+//! ```text
+//! rex-serverd [--addr HOST:PORT] [--engine local|cluster[:N]]
+//!             [--init FILE.rql] [--write-queue N] [--coalesce N]
+//! ```
+//!
+//! Binds, prints `LISTENING <addr>` on stdout (port 0 resolves to the
+//! real ephemeral port — scripts parse this line), then serves until a
+//! client sends `SHUTDOWN` or the process receives SIGINT/SIGTERM, at
+//! which point it unwinds gracefully: stop accepting, finish in-flight
+//! commands, join every thread, exit 0.
+
+use rex::Session;
+use rex_server::{Server, ServerConfig};
+use std::process::ExitCode;
+use std::time::Duration;
+
+/// Minimal signal hookup without any dependency: `signal(2)` is in
+/// libc, which every Rust binary already links. The handler only sets
+/// an atomic flag; the main loop polls it.
+mod sig {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static FIRED: AtomicBool = AtomicBool::new(false);
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        FIRED.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGINT, on_signal as *const () as usize);
+            signal(SIGTERM, on_signal as *const () as usize);
+        }
+    }
+
+    pub fn fired() -> bool {
+        FIRED.load(Ordering::SeqCst)
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("rex-serverd: {err}");
+    eprintln!(
+        "usage: rex-serverd [--addr HOST:PORT] [--engine local|cluster[:N]] \
+         [--init FILE.rql] [--write-queue N] [--coalesce N]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut addr = "127.0.0.1:7462".to_string();
+    let mut engine = "local".to_string();
+    let mut init: Option<String> = None;
+    let mut cfg = ServerConfig::default();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut take = |name: &str| args.next().ok_or(format!("{name} needs a value"));
+        let value = match flag.as_str() {
+            "--addr" => take("--addr").map(|v| addr = v),
+            "--engine" => take("--engine").map(|v| engine = v),
+            "--init" => take("--init").map(|v| init = Some(v)),
+            "--write-queue" => take("--write-queue").and_then(|v| {
+                v.parse().map(|n| cfg.write_queue = n).map_err(|_| format!("bad count: {v}"))
+            }),
+            "--coalesce" => take("--coalesce").and_then(|v| {
+                v.parse().map(|n| cfg.coalesce = n).map_err(|_| format!("bad count: {v}"))
+            }),
+            "--help" | "-h" => {
+                println!(
+                    "usage: rex-serverd [--addr HOST:PORT] [--engine local|cluster[:N]] \
+                     [--init FILE.rql] [--write-queue N] [--coalesce N]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => Err(format!("unknown flag {other:?}")),
+        };
+        if let Err(e) = value {
+            return usage(&e);
+        }
+    }
+
+    let mut session = match engine.as_str() {
+        "local" => Session::local(),
+        other => match other.strip_prefix("cluster") {
+            Some(rest) => {
+                let workers = match rest.strip_prefix(':') {
+                    None if rest.is_empty() => 4,
+                    Some(n) => match n.parse() {
+                        Ok(n) => n,
+                        Err(_) => return usage(&format!("bad worker count in --engine {other}")),
+                    },
+                    None => return usage(&format!("unknown engine {other:?}")),
+                };
+                Session::cluster(workers)
+            }
+            None => return usage(&format!("unknown engine {other:?} (local|cluster[:N])")),
+        },
+    };
+
+    if let Some(path) = init {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("rex-serverd: cannot read --init {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        // One statement per non-empty, non-comment line, like docs/RQL.md
+        // examples.
+        for (i, line) in text.lines().enumerate() {
+            let stmt = line.trim();
+            if stmt.is_empty() || stmt.starts_with("--") {
+                continue;
+            }
+            if let Err(e) = session.query(stmt) {
+                eprintln!("rex-serverd: --init {path}:{}: {e}", i + 1);
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    sig::install();
+
+    let server = match Server::start(session, &addr, cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("rex-serverd: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("LISTENING {}", server.local_addr());
+
+    // Bridge the signal flag into the server's shutdown flag, then let
+    // wait() unwind everything gracefully.
+    let handle = server.shutdown_handle();
+    let waiter = std::thread::spawn(move || {
+        while !sig::fired() && !handle.is_shutdown() {
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        handle.trigger();
+    });
+    let result = server.wait();
+    let _ = waiter.join();
+    match result {
+        Ok(()) => {
+            println!("rex-serverd: clean shutdown");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("rex-serverd: shutdown error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

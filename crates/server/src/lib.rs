@@ -1,0 +1,45 @@
+//! # rex-server — a concurrent TCP front-end for REX
+//!
+//! This crate puts a [`rex::Session`] behind a socket with
+//! **versioned snapshot serving** (MVCC-lite):
+//!
+//! - One OS thread per connection; a line-oriented text protocol
+//!   (`HELLO` / `QUERY` / `INSERT` / `BATCH` / `SCRIPT` / `STATS` /
+//!   `QUIT` / `SHUTDOWN` — grammar in `docs/SERVER.md`).
+//! - Reads execute lock-free against an immutable, atomically swappable
+//!   `Arc<SnapshotView>`; any number of connections query concurrently
+//!   without blocking each other or the writer.
+//! - Writes flow through a bounded channel to a single writer thread
+//!   that owns the `Session`, applies mutations, runs incremental view
+//!   maintenance, bumps the version, and publishes the next snapshot.
+//!   A write is acknowledged only after a covering snapshot is
+//!   published, so every client reads its own writes.
+//! - Each published snapshot carries a result cache (query text →
+//!   encoded response); immutability makes the cache trivially
+//!   consistent, and it is dropped wholesale at the next publish.
+//!
+//! ```
+//! use rex::Session;
+//! use rex_core::tuple;
+//! use rex_server::{Client, Server, ServerConfig};
+//!
+//! let mut session = Session::local();
+//! session.query("CREATE TABLE edges (src INT, dst INT)").unwrap();
+//! let server = Server::start(session, "127.0.0.1:0", ServerConfig::default()).unwrap();
+//!
+//! let (mut client, _hello) = Client::connect(server.local_addr()).unwrap();
+//! client.insert("edges", &[tuple![1i64, 2i64]]).unwrap();
+//! let reply = client.query("SELECT * FROM edges").unwrap();
+//! assert_eq!(reply.rows.len(), 1);
+//! client.quit().unwrap();
+//! server.shutdown().unwrap();
+//! ```
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+pub mod stats;
+
+pub use client::{Client, QueryReply, WriteAck};
+pub use server::{Server, ServerConfig, ShutdownHandle};
+pub use stats::ServerStats;

@@ -1,0 +1,91 @@
+//! Server-side traffic counters, all lock-free atomics.
+//!
+//! These count *traffic* (connections, queries served, cache hits, rows
+//! ingested, publishes and their latency); everything about the *data* —
+//! per-table row counts, view strategies, snapshot version — is read off
+//! the published [`SnapshotView`](rex::snapshot::SnapshotView) via
+//! [`stats_text`](rex::snapshot::SnapshotView::stats_text), the same
+//! structures queries execute against, so `STATS` numbers cannot drift
+//! from the engine.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Monotonic counters shared by every connection thread and the writer.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Connections accepted over the server's lifetime.
+    pub connections: AtomicU64,
+    /// Connections currently open.
+    pub open_connections: AtomicU64,
+    /// QUERY commands answered (hits + misses).
+    pub queries: AtomicU64,
+    /// QUERY commands answered straight from the snapshot result cache.
+    pub cache_hits: AtomicU64,
+    /// Rows ingested through INSERT/BATCH.
+    pub rows_inserted: AtomicU64,
+    /// Write operations (INSERT/BATCH/SCRIPT) applied by the writer.
+    pub write_ops: AtomicU64,
+    /// Snapshots published by the writer thread.
+    pub publishes: AtomicU64,
+    /// Total nanoseconds spent building + swapping snapshots.
+    pub publish_ns: AtomicU64,
+    /// Worst single publish, nanoseconds.
+    pub publish_max_ns: AtomicU64,
+}
+
+impl ServerStats {
+    /// Record one snapshot publish taking `took`.
+    pub fn record_publish(&self, took: Duration) {
+        let ns = took.as_nanos() as u64;
+        self.publishes.fetch_add(1, Ordering::Relaxed);
+        self.publish_ns.fetch_add(ns, Ordering::Relaxed);
+        self.publish_max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Mean publish latency in microseconds (0 before the first publish).
+    pub fn publish_mean_us(&self) -> f64 {
+        let n = self.publishes.load(Ordering::Relaxed);
+        if n == 0 {
+            return 0.0;
+        }
+        self.publish_ns.load(Ordering::Relaxed) as f64 / n as f64 / 1_000.0
+    }
+
+    /// Render the traffic counters as `STATS` body lines.
+    pub fn render(&self) -> String {
+        let queries = self.queries.load(Ordering::Relaxed);
+        let hits = self.cache_hits.load(Ordering::Relaxed);
+        format!(
+            "server.connections {}\nserver.open_connections {}\nserver.queries {}\n\
+             server.cache_hits {}\nserver.rows_inserted {}\nserver.write_ops {}\n\
+             server.publishes {}\nserver.publish_mean_us {:.1}\nserver.publish_max_us {:.1}\n",
+            self.connections.load(Ordering::Relaxed),
+            self.open_connections.load(Ordering::Relaxed),
+            queries,
+            hits,
+            self.rows_inserted.load(Ordering::Relaxed),
+            self.write_ops.load(Ordering::Relaxed),
+            self.publishes.load(Ordering::Relaxed),
+            self.publish_mean_us(),
+            self.publish_max_ns.load(Ordering::Relaxed) as f64 / 1_000.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_latency_aggregates() {
+        let s = ServerStats::default();
+        assert_eq!(s.publish_mean_us(), 0.0);
+        s.record_publish(Duration::from_micros(100));
+        s.record_publish(Duration::from_micros(300));
+        assert!((s.publish_mean_us() - 200.0).abs() < 1e-9);
+        assert_eq!(s.publish_max_ns.load(Ordering::Relaxed), 300_000);
+        let text = s.render();
+        assert!(text.contains("server.publishes 2"), "{text}");
+    }
+}

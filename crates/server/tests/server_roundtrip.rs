@@ -1,0 +1,194 @@
+//! End-to-end protocol round-trips over real TCP.
+
+use rex::Session;
+use rex_core::tuple;
+use rex_core::value::Value;
+use rex_server::{Client, Server, ServerConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+fn server_with_edges() -> Server {
+    let mut s = Session::local();
+    s.query("CREATE TABLE edges (src INT, dst INT)").unwrap();
+    s.query("CREATE MATERIALIZED VIEW deg AS SELECT src, count(*) FROM edges GROUP BY src")
+        .unwrap();
+    Server::start(s, "127.0.0.1:0", ServerConfig::default()).unwrap()
+}
+
+#[test]
+fn hello_insert_query_quit() {
+    let server = server_with_edges();
+    let (mut c, hello) = Client::connect(server.local_addr()).unwrap();
+    assert!(hello.starts_with("rex-server"), "{hello}");
+    assert!(hello.contains("engine=local"), "{hello}");
+
+    let ack = c.insert("edges", &[tuple![1i64, 2i64], tuple![1i64, 3i64]]).unwrap();
+    assert_eq!(ack.rows, 2);
+
+    // Read-your-writes: the very next query sees the covering snapshot.
+    let reply = c.query("SELECT * FROM deg").unwrap();
+    assert!(reply.version >= ack.version);
+    assert_eq!(reply.rows, vec![tuple![1i64, 2i64]]); // src 1, count 2
+    assert_eq!(reply.engine, "local");
+
+    let ordered = c.query("SELECT dst FROM edges ORDER BY dst DESC").unwrap();
+    assert_eq!(ordered.rows, vec![tuple![3i64], tuple![2i64]]);
+    c.quit().unwrap();
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn batch_streams_values_of_every_type() {
+    let mut s = Session::local();
+    s.query("CREATE TABLE things (id INT, label STRING, score DOUBLE)").unwrap();
+    let server = Server::start(s, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let (mut c, _) = Client::connect(server.local_addr()).unwrap();
+
+    let rows = vec![
+        tuple![1i64, "tabs\tand;semis", 0.5f64],
+        tuple![2i64, "plain", -1.25f64],
+        Tuple::new(vec![Value::Int(3), Value::Null, Value::Double(f64::INFINITY)]),
+    ];
+    let ack = c.batch("things", &rows).unwrap();
+    assert_eq!(ack.rows, 3);
+    let reply = c.query("SELECT * FROM things ORDER BY id").unwrap();
+    assert_eq!(reply.rows, rows);
+    c.quit().unwrap();
+    server.shutdown().unwrap();
+}
+use rex_core::tuple::Tuple;
+
+#[test]
+fn script_runs_ddl_and_reports_per_statement_errors() {
+    let server = Server::start(Session::local(), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let (mut c, _) = Client::connect(server.local_addr()).unwrap();
+
+    // RQL has no INSERT statement — rows travel over the protocol's
+    // INSERT/BATCH commands — so SCRIPT is the DDL + query channel.
+    let (results, _) = c
+        .script(&[
+            "CREATE TABLE t (x INT)",
+            "CREATE MATERIALIZED VIEW total AS SELECT sum(x) FROM t",
+            "SELECT * FROM nope",
+            "SELECT count(*) FROM t",
+        ])
+        .unwrap();
+    assert!(results[0].is_ok());
+    assert!(results[1].is_ok());
+    assert!(results[2].as_ref().unwrap_err().contains("nope"), "{results:?}");
+    assert!(results[3].is_ok(), "script keeps going after a failed statement");
+
+    c.insert("t", &[tuple![1i64], tuple![2i64], tuple![3i64], tuple![4i64]]).unwrap();
+    let reply = c.query("SELECT * FROM total").unwrap();
+    assert_eq!(reply.rows, vec![tuple![10i64]], "script-created view maintained by inserts");
+    c.quit().unwrap();
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn query_errors_are_lines_not_disconnects() {
+    let server = server_with_edges();
+    let (mut c, _) = Client::connect(server.local_addr()).unwrap();
+    let err = c.query("SELECT * FROM missing").unwrap_err().to_string();
+    assert!(err.contains("missing"), "{err}");
+    // DDL through QUERY is refused — snapshots are read-only.
+    let err = c.query("CREATE TABLE sneaky (x INT)").unwrap_err().to_string();
+    assert!(err.contains("read-only"), "{err}");
+    // The connection survives both errors.
+    c.insert("edges", &[tuple![5i64, 6i64]]).unwrap();
+    assert_eq!(c.query("SELECT * FROM edges").unwrap().rows, vec![tuple![5i64, 6i64]]);
+    c.quit().unwrap();
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn malformed_commands_get_err_lines_on_the_raw_socket() {
+    let server = server_with_edges();
+    let stream = TcpStream::connect(server.local_addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut w = stream;
+    let mut line = String::new();
+
+    for (bad, expect) in [
+        ("NOPE 1\n", "unknown command"),
+        ("QUERY\n", "QUERY needs"),
+        ("BATCH edges many\n", "row count"),
+        ("INSERT edges q:wat\n", "unknown value tag"),
+    ] {
+        w.write_all(bad.as_bytes()).unwrap();
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.starts_with("ERR "), "{bad:?} -> {line:?}");
+        assert!(line.contains(expect), "{bad:?} -> {line:?}");
+    }
+    // Still healthy afterwards.
+    w.write_all(b"HELLO raw\n").unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.starts_with("OK rex-server"), "{line:?}");
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn stats_report_traffic_and_snapshot_state() {
+    let server = server_with_edges();
+    let (mut c, _) = Client::connect(server.local_addr()).unwrap();
+    c.insert("edges", &[tuple![1i64, 2i64]]).unwrap();
+    let q = "SELECT * FROM deg";
+    c.query(q).unwrap();
+    c.query(q).unwrap(); // second hit comes from the snapshot cache
+
+    let stats = c.stats().unwrap();
+    let get = |key: &str| -> f64 {
+        stats
+            .lines()
+            .find_map(|l| l.strip_prefix(key).map(|v| v.trim().parse().unwrap()))
+            .unwrap_or_else(|| panic!("missing {key} in:\n{stats}"))
+    };
+    assert!(get("server.queries ") >= 2.0);
+    assert!(get("server.cache_hits ") >= 1.0);
+    assert_eq!(get("server.rows_inserted "), 1.0);
+    assert!(get("server.publishes ") >= 1.0);
+    assert_eq!(get("table.edges.rows "), 1.0);
+    assert_eq!(get("view.deg.rows "), 1.0);
+    assert!(get("snapshot.version ") >= 1.0);
+    assert!(stats.contains("view.deg.strategy "), "{stats}");
+    c.quit().unwrap();
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn pipelined_queries_return_in_order() {
+    let server = server_with_edges();
+    let (mut c, _) = Client::connect(server.local_addr()).unwrap();
+    c.insert("edges", &[tuple![1i64, 2i64], tuple![2i64, 3i64]]).unwrap();
+    let queries: Vec<String> =
+        (0..40).map(|i| format!("SELECT src FROM edges WHERE dst > {}", i % 3)).collect();
+    let replies = c.query_pipelined(&queries, 16).unwrap();
+    assert_eq!(replies.len(), 40);
+    for (i, r) in replies.iter().enumerate() {
+        let cutoff = (i % 3) as i64;
+        let expect: Vec<Tuple> = [(1i64, 2i64), (2, 3)]
+            .iter()
+            .filter(|(_, d)| *d > cutoff)
+            .map(|(s, _)| tuple![*s])
+            .collect();
+        let mut got = r.rows.clone();
+        got.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+        assert_eq!(got, expect, "pipelined reply {i}");
+    }
+    c.quit().unwrap();
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn shutdown_command_unwinds_other_connections() {
+    let server = server_with_edges();
+    let (mut other, _) = Client::connect(server.local_addr()).unwrap();
+    other.query("SELECT * FROM edges").unwrap();
+
+    let (admin, _) = Client::connect(server.local_addr()).unwrap();
+    admin.shutdown_server().unwrap();
+    assert!(!server.running());
+    server.shutdown().unwrap(); // joins every thread, including `other`'s
+}

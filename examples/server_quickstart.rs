@@ -1,0 +1,109 @@
+//! Server quickstart: the embedded engine behind a TCP socket.
+//!
+//! ```sh
+//! cargo run --example server_quickstart
+//! ```
+//!
+//! Spawns a rex server in-process on an ephemeral port, then drives it
+//! the way any external client would — over TCP, in the line protocol
+//! (see docs/SERVER.md). Pass an address to talk to an already-running
+//! `rex-serverd` instead (this is what the CI smoke job does):
+//!
+//! ```sh
+//! cargo run -p rex-server --bin rex-serverd -- --addr 127.0.0.1:7462 &
+//! cargo run --example server_quickstart -- 127.0.0.1:7462
+//! ```
+
+use rex::core::tuple::Tuple;
+use rex::core::value::Value;
+use rex::Session;
+use rex_server::{Client, Server, ServerConfig};
+
+fn main() {
+    // ---- 1. A server to talk to -----------------------------------------
+    // In-process by default; an external daemon if an address was given.
+    let external = std::env::args().nth(1);
+    let server = if external.is_none() {
+        let mut session = Session::local();
+        session.query("CREATE TABLE org (employee STRING, manager STRING)").expect("create org");
+        Some(Server::start(session, "127.0.0.1:0", ServerConfig::default()).expect("start"))
+    } else {
+        None
+    };
+    let addr = match (&external, &server) {
+        (Some(a), _) => a.clone(),
+        (None, Some(s)) => s.local_addr().to_string(),
+        _ => unreachable!(),
+    };
+
+    // ---- 2. Connect and handshake ---------------------------------------
+    let (mut client, greeting) = Client::connect(addr.as_str()).expect("connect");
+    println!("connected: {greeting}");
+
+    // ---- 3. DDL travels as a SCRIPT (serialized on the writer thread) ---
+    // Against an external daemon the table may not exist yet; creating it
+    // twice is the one statement allowed to fail here.
+    let (results, _) = client
+        .script(&[
+            "CREATE TABLE org (employee STRING, manager STRING)",
+            "CREATE MATERIALIZED VIEW reports AS \
+             SELECT manager, count(*) FROM org GROUP BY manager",
+        ])
+        .expect("script");
+    println!(
+        "script: {} statements, {} ok",
+        results.len(),
+        results.iter().filter(|r| r.is_ok()).count()
+    );
+
+    // ---- 4. Rows travel as INSERT/BATCH; the ack's version is the proof -
+    // The server publishes a covering snapshot *before* acknowledging, so
+    // the very next query is guaranteed to see these rows.
+    let edge = |e: &str, m: &str| Tuple::new(vec![Value::str(e), Value::str(m)]);
+    let ack = client
+        .batch(
+            "org",
+            &[
+                edge("ada", "grace"),
+                edge("edsger", "grace"),
+                edge("grace", "alan"),
+                edge("barbara", "alan"),
+                edge("donald", "barbara"),
+            ],
+        )
+        .expect("batch");
+    println!("ingested {} rows; session version {}", ack.rows, ack.version);
+
+    // ---- 5. Queries run lock-free on the published snapshot --------------
+    let reply = client
+        .query("SELECT manager, count(*) FROM org GROUP BY manager ORDER BY 2 DESC, manager")
+        .expect("query");
+    println!("top managers (snapshot v{}, engine {}):", reply.version, reply.engine);
+    for row in &reply.rows {
+        println!("  {row}");
+    }
+    assert!(reply.version >= ack.version, "read-your-writes");
+
+    // The incrementally maintained view answers the same question.
+    let view = client.query("SELECT * FROM reports ORDER BY 2 DESC, manager").expect("view");
+    assert_eq!(view.rows.len(), reply.rows.len());
+
+    // ---- 6. STATS: traffic counters + the snapshot's own report ----------
+    let stats = client.stats().expect("stats");
+    for line in stats.lines().filter(|l| {
+        l.starts_with("server.queries")
+            || l.starts_with("server.publishes")
+            || l.starts_with("snapshot.version")
+            || l.starts_with("view.reports.")
+    }) {
+        println!("  {line}");
+    }
+
+    // ---- 7. Hang up; stop the in-process server gracefully ---------------
+    client.quit().expect("quit");
+    if let Some(server) = server {
+        server.shutdown().expect("shutdown");
+        println!("server: clean shutdown");
+    }
+    println!("done.");
+}

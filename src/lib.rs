@@ -126,9 +126,11 @@
 
 pub mod engine;
 pub mod session;
+pub mod snapshot;
 
 pub use engine::{ClusterEngine, ClusterStats, Engine, EngineContext, EngineOutput, LocalEngine};
 pub use session::{QueryResult, Session};
+pub use snapshot::{SnapshotView, ViewStat};
 
 pub use rex_algos as algos;
 pub use rex_cluster as cluster;

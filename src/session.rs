@@ -31,7 +31,8 @@
 //! assert!(result.report.iterations() >= 2);
 //! ```
 
-use crate::engine::{ClusterEngine, ClusterStats, Engine, EngineContext, LocalEngine};
+use crate::engine::{ClusterEngine, ClusterStats, Engine, LocalEngine};
+use crate::snapshot::{run_read_query, SnapshotView, ViewStat};
 use rex_core::delta::Delta;
 use rex_core::error::{Result, RexError};
 use rex_core::handlers::{AggHandler, JoinHandler, WhileHandler};
@@ -40,7 +41,7 @@ use rex_core::tuple::{Field, Schema, Tuple};
 use rex_core::udf::{Registry, ScalarUdf};
 use rex_optimizer::{Optimizer, PlanCost, ResourceVector};
 use rex_rql::ast::{Query, Statement};
-use rex_rql::logical::{LogicalPlan, SortKey};
+use rex_rql::logical::LogicalPlan;
 use rex_rql::resolve::SchemaCatalog;
 use rex_rql::{RqlError, RqlStage};
 use rex_storage::catalog::Catalog;
@@ -88,8 +89,12 @@ pub struct Session {
     store: Catalog,
     registry: Registry,
     optimizer: Optimizer,
-    engine: Box<dyn Engine>,
+    engine: Arc<dyn Engine>,
     views: ViewCatalog,
+    /// Bumped by every committed mutation (insert/delete/DDL) — the
+    /// version [`snapshot`](Self::snapshot) publishes at. Two snapshots
+    /// with equal versions serve identical contents.
+    version: u64,
 }
 
 impl Session {
@@ -114,15 +119,58 @@ impl Session {
             store: Catalog::new(),
             registry: Registry::with_builtins(),
             optimizer: Optimizer::new(n),
-            engine,
+            engine: Arc::from(engine),
             views: ViewCatalog::new(),
+            version: 0,
         }
     }
 
     /// Swap the execution engine, keeping tables and registered code. The
     /// same queries run unchanged on the new backend.
     pub fn set_engine(&mut self, engine: Box<dyn Engine>) {
-        self.engine = engine;
+        self.engine = Arc::from(engine);
+    }
+
+    /// The current mutation version: how many committed mutations
+    /// (inserts/deletes/DDL) this session has applied. Monotonic; carried
+    /// by every published [`SnapshotView`].
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Publish an immutable, versioned snapshot of the database — the
+    /// concurrent read path (see [`crate::snapshot`]). Stale view copies
+    /// are synced first (via the delta path), optimizer statistics are
+    /// frozen at current cardinalities, and the stored tables are
+    /// captured copy-on-write in O(tables) `Arc` bumps. The returned
+    /// `Arc<SnapshotView>` can be queried from any number of threads and
+    /// keeps serving this exact version no matter what the session does
+    /// next.
+    pub fn snapshot(&mut self) -> Result<Arc<SnapshotView>> {
+        self.views.sync(&self.store)?;
+        self.refresh_stats();
+        let views = self
+            .views
+            .names()
+            .into_iter()
+            .map(|name| {
+                let v = self.views.get(&name).expect("view exists");
+                ViewStat {
+                    strategy: v.strategy().to_string(),
+                    agg_strategies: v.agg_strategies(),
+                    name,
+                }
+            })
+            .collect();
+        Ok(Arc::new(SnapshotView::assemble(
+            self.version,
+            self.schemas.clone(),
+            self.store.snapshot(),
+            self.registry.clone(),
+            self.optimizer.clone(),
+            Arc::clone(&self.engine),
+            views,
+        )))
     }
 
     /// The active engine's name.
@@ -158,6 +206,7 @@ impl Session {
         }
         self.schemas.register(name, schema.clone());
         self.store.register(StoredTable::new(name, schema, partition_cols));
+        self.version += 1;
         Ok(())
     }
 
@@ -169,17 +218,61 @@ impl Session {
     /// batch — and every view is rebuilt from the current tables before
     /// the error is returned (the message says whether rebuild succeeded).
     pub fn insert(&mut self, table: &str, rows: Vec<Tuple>) -> Result<usize> {
+        self.insert_stream(table, std::iter::once(rows))
+    }
+
+    /// Batched streaming ingest: append a *stream* of row batches to one
+    /// table, then run a **single** view-maintenance pass over the
+    /// combined deltas. This is the shared write path for embedded users
+    /// and the server's writer loop (which drains a channel of batches
+    /// into one call) — per-batch semantics match [`insert`](Self::insert)
+    /// exactly (whole-batch validation; a bad batch leaves the table
+    /// unchanged), but maintenance cost is paid once per stream, not once
+    /// per batch. Returns the total rows inserted.
+    ///
+    /// If a batch fails validation mid-stream, earlier batches stay
+    /// committed (views are maintained for them before the error
+    /// surfaces) and the failing batch plus the rest of the stream are
+    /// not consumed.
+    pub fn insert_stream<I>(&mut self, table: &str, batches: I) -> Result<usize>
+    where
+        I: IntoIterator<Item = Vec<Tuple>>,
+    {
         if self.views.contains(table) {
             return Err(RexError::Storage(format!("cannot insert into materialized view {table}")));
         }
-        let deltas: Vec<Delta> = if self.views.reads(table) {
-            rows.iter().cloned().map(Delta::insert).collect()
-        } else {
-            Vec::new()
-        };
-        let n = self.store.append(table, rows)?;
-        self.maintain_views(table, &deltas)?;
-        Ok(n)
+        let track = self.views.reads(table);
+        let mut deltas: Vec<Delta> = Vec::new();
+        let mut total = 0usize;
+        let mut failed: Option<RexError> = None;
+        for rows in batches {
+            let committed = deltas.len();
+            if track {
+                deltas.extend(rows.iter().cloned().map(Delta::insert));
+            }
+            match self.store.append(table, rows) {
+                Ok(n) => total += n,
+                Err(e) => {
+                    // The failing batch never reached the store: its
+                    // deltas must not reach the views either.
+                    deltas.truncate(committed);
+                    failed = Some(e);
+                    break;
+                }
+            }
+        }
+        if total > 0 {
+            self.version += 1;
+        }
+        let maintained = self.maintain_views(table, &deltas);
+        match (failed, maintained) {
+            (None, Ok(())) => Ok(total),
+            (None, Err(m)) => Err(m),
+            (Some(e), Ok(())) => Err(e),
+            (Some(e), Err(m)) => Err(RexError::Exec(format!(
+                "batch rejected ({e}); maintenance of the committed prefix also failed: {m}"
+            ))),
+        }
     }
 
     /// Delete one occurrence of each given row (whole-batch validation,
@@ -194,6 +287,7 @@ impl Session {
             return Err(RexError::Storage(format!("cannot delete from materialized view {table}")));
         }
         let n = self.store.remove(table, &rows)?;
+        self.version += 1;
         let deltas: Vec<Delta> = rows.into_iter().map(Delta::delete).collect();
         self.maintain_views(table, &deltas)?;
         Ok(n)
@@ -224,6 +318,7 @@ impl Session {
         }
         self.store.drop_table(name)?;
         self.schemas.remove(name);
+        self.version += 1;
         Ok(())
     }
 
@@ -337,22 +432,15 @@ impl Session {
                 }
                 self.views.sync(&self.store)?;
                 self.refresh_stats();
-                let (optimized, cost) = self.optimizer.optimize(logical)?;
-                let ctx = EngineContext { store: &self.store, registry: &self.registry };
-                let mut out = self.engine.execute(&optimized, &ctx)?;
-                // Engines return rows sorted (their agreement contract);
-                // a top-level ORDER BY re-orders the final — already
-                // limited — rows into presentation order.
-                if let Some(keys) = output_ordering(&optimized) {
-                    presentation_sort(&mut out.rows, keys, &self.registry)?;
-                }
-                Ok(QueryResult {
-                    rows: out.rows,
-                    report: out.report,
-                    cluster: out.cluster,
-                    cost,
-                    engine: self.engine.name().to_string(),
-                })
+                // The same read pipeline every published SnapshotView
+                // runs: optimize → execute → presentation order.
+                run_read_query(
+                    logical,
+                    &self.optimizer,
+                    self.engine.as_ref(),
+                    &self.store,
+                    &self.registry,
+                )
             }
             Statement::CreateTable { name, columns } => {
                 let schema =
@@ -465,6 +553,7 @@ impl Session {
     pub fn drop_view(&mut self, name: &str) -> Result<()> {
         self.views.drop_view(name, &self.store)?;
         self.schemas.remove(name);
+        self.version += 1;
         Ok(())
     }
 
@@ -522,6 +611,7 @@ impl Session {
         let schema = view.schema().clone();
         self.views.create(view, &self.store, &self.registry)?;
         self.schemas.register(name, schema);
+        self.version += 1;
         Ok(cost)
     }
 
@@ -551,41 +641,6 @@ impl Session {
 /// The no-work cost estimate attached to catalog-only DDL results.
 fn zero_cost() -> PlanCost {
     PlanCost { rows: 0, resources: ResourceVector::default() }
-}
-
-/// The ORDER BY keys governing the final result's presentation order, if
-/// the plan's root is a `Sort` (possibly under a `Limit`). The dataflow
-/// already applied any LIMIT/OFFSET *selection*; what remains is putting
-/// the surviving rows in order.
-fn output_ordering(plan: &LogicalPlan) -> Option<&[SortKey]> {
-    match plan {
-        LogicalPlan::Sort { keys, .. } => Some(keys),
-        LogicalPlan::Limit { input, .. } => output_ordering(input),
-        _ => None,
-    }
-}
-
-/// Order rows by the sort keys via the engine-shared
-/// [`compare_by_keys`](rex_core::operators::compare_by_keys) total order
-/// (keys in sequence, full-row tie-break) — the same order the top-k
-/// operator selects by, so selection and presentation can never disagree.
-fn presentation_sort(rows: &mut Vec<Tuple>, keys: &[SortKey], reg: &Registry) -> Result<()> {
-    use rex_core::operators::{compare_by_keys, SortSpec};
-    let specs: Vec<SortSpec> =
-        keys.iter().map(|k| SortSpec { expr: k.expr.clone(), desc: k.desc }).collect();
-    let mut keyed: Vec<(Vec<rex_core::value::Value>, usize)> = Vec::with_capacity(rows.len());
-    for (i, t) in rows.iter().enumerate() {
-        let mut kv = Vec::with_capacity(specs.len());
-        for s in &specs {
-            kv.push(s.expr.eval(t, reg)?);
-        }
-        keyed.push((kv, i));
-    }
-    keyed.sort_unstable_by(|a, b| compare_by_keys(&specs, &a.0, &rows[a.1], &b.0, &rows[b.1]));
-    // Apply the permutation without cloning any tuple.
-    let mut slots: Vec<Option<Tuple>> = std::mem::take(rows).into_iter().map(Some).collect();
-    *rows = keyed.into_iter().map(|(_, i)| slots[i].take().expect("unique index")).collect();
-    Ok(())
 }
 
 /// If `plan` is a bare scan of one relation — `SELECT * FROM t`, i.e. a
