@@ -2,6 +2,7 @@
 
 use crate::failure::FailureEvent;
 use rex_core::metrics::{CostModel, ExecMetrics, QueryReport};
+use rex_core::telemetry::ExecTrace;
 
 /// The result record of a distributed query: the per-stratum query report
 /// plus cluster-level accounting (per-worker metrics, failure events,
@@ -20,6 +21,19 @@ pub struct ClusterReport {
     pub failures: Vec<FailureEvent>,
     /// Bytes replicated for incremental checkpoints.
     pub checkpoint_bytes: u64,
+    /// Boundary-crossing bytes moved by key-partitioned rehash boundaries
+    /// (summed across recovery attempts).
+    pub rehash_bytes: u64,
+    /// Boundary-crossing bytes replicated by broadcast boundaries.
+    pub broadcast_bytes: u64,
+    /// Boundary-crossing bytes funneled through gather boundaries.
+    pub gather_bytes: u64,
+    /// Rows the router delivered *into* each worker (self-delivery
+    /// included) — the measured per-worker routing load.
+    pub rows_routed: Vec<u64>,
+    /// Merged per-operator execution trace across workers, present when the
+    /// runtime ran with telemetry enabled.
+    pub trace: Option<ExecTrace>,
 }
 
 impl ClusterReport {

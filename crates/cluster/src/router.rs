@@ -23,12 +23,31 @@ pub struct Router {
     pub bytes_crossed: u64,
     /// Messages delivered across worker boundaries.
     pub messages_crossed: u64,
+    /// Boundary-crossing bytes by routing mode: key-partitioned rehash.
+    pub rehash_bytes: u64,
+    /// Boundary-crossing bytes replicated by broadcast boundaries.
+    pub broadcast_bytes: u64,
+    /// Boundary-crossing bytes funneled through gather boundaries.
+    pub gather_bytes: u64,
+    /// Rows (deltas) delivered *into* each worker, self-delivery included
+    /// — the router's view of per-worker load. Indexed by worker id;
+    /// grown on demand.
+    pub rows_routed: Vec<u64>,
 }
 
 impl Router {
     /// Fresh router (one per query attempt).
     pub fn new() -> Router {
         Router::default()
+    }
+
+    /// Count `rows` delivered into `worker`.
+    #[inline]
+    fn tally_rows(&mut self, worker: usize, rows: u64) {
+        if self.rows_routed.len() <= worker {
+            self.rows_routed.resize(worker + 1, 0);
+        }
+        self.rows_routed[worker] += rows;
     }
 
     /// Deliver an outbox of rehash emissions from `from_worker` into the
@@ -99,6 +118,7 @@ impl Router {
             // worker (small relations joined against everything, e.g.
             // K-means centroids against the point partitions).
             NetKey::Broadcast => {
+                let n_rows = deltas.len() as u64;
                 let event = Event::Data(deltas);
                 let bytes = event.byte_size() as u64;
                 for &target in live {
@@ -106,8 +126,10 @@ impl Router {
                         executors[from_worker].metrics.bytes_sent += bytes;
                         executors[target].metrics.bytes_received += bytes;
                         self.bytes_crossed += bytes;
+                        self.broadcast_bytes += bytes;
                         self.messages_crossed += 1;
                     }
+                    self.tally_rows(target, n_rows);
                     executors[target].inject_downstream(node, port, event.clone());
                 }
                 return live.len();
@@ -116,14 +138,17 @@ impl Router {
             // worker — the owner of the empty key (global aggregates).
             NetKey::Gather => {
                 let target = snap.owner_of_hash(hash_key(&[]));
+                let n_rows = deltas.len() as u64;
                 let event = Event::Data(deltas);
                 if target != from_worker {
                     let bytes = event.byte_size() as u64;
                     executors[from_worker].metrics.bytes_sent += bytes;
                     executors[target].metrics.bytes_received += bytes;
                     self.bytes_crossed += bytes;
+                    self.gather_bytes += bytes;
                     self.messages_crossed += 1;
                 }
+                self.tally_rows(target, n_rows);
                 executors[target].inject_downstream(node, port, event);
                 return 1;
             }
@@ -149,14 +174,17 @@ impl Router {
         }
         let mut injected = 0;
         for (target, batch) in per_target.into_iter().enumerate().filter(|(_, b)| !b.is_empty()) {
+            let n_rows = batch.len() as u64;
             let event = Event::Data(batch);
             if target != from_worker {
                 let bytes = event.byte_size() as u64;
                 executors[from_worker].metrics.bytes_sent += bytes;
                 executors[target].metrics.bytes_received += bytes;
                 self.bytes_crossed += bytes;
+                self.rehash_bytes += bytes;
                 self.messages_crossed += 1;
             }
+            self.tally_rows(target, n_rows);
             executors[target].inject_downstream(node, port, event);
             injected += 1;
         }
@@ -250,6 +278,9 @@ mod tests {
         // Worker 0 self-delivered k0 (no bytes), shipped k1 to worker 1.
         assert!(router.bytes_crossed > 0);
         assert_eq!(ex[1].metrics.bytes_received, router.bytes_crossed);
+        assert_eq!(router.rehash_bytes, router.bytes_crossed);
+        assert_eq!(router.broadcast_bytes + router.gather_bytes, 0);
+        assert_eq!(router.rows_routed, vec![1, 1]);
         let reg = rex_core::udf::Registry::new();
         let cost = rex_core::metrics::CostModel::default();
         let mut outbox = Vec::new();
@@ -307,6 +338,8 @@ mod tests {
         // Two cross-worker copies (self-delivery is free).
         assert_eq!(router.messages_crossed, 2);
         assert_eq!(executors[1].metrics.bytes_sent, router.bytes_crossed);
+        assert_eq!(router.broadcast_bytes, router.bytes_crossed);
+        assert_eq!(router.rows_routed, vec![1, 1, 1]);
     }
 
     #[test]

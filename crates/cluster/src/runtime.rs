@@ -15,6 +15,7 @@ use rex_core::error::{Result, RexError};
 use rex_core::exec::{Executor, PlanGraph, MAX_STRATA};
 use rex_core::metrics::{CostModel, ExecMetrics, StratumReport};
 use rex_core::operators::{hash_key_cols, OperatorState};
+use rex_core::telemetry::ExecTrace;
 use rex_core::tuple::Tuple;
 use rex_core::udf::Registry;
 use rex_storage::catalog::Catalog;
@@ -46,6 +47,9 @@ pub struct ClusterConfig {
     pub failure: Option<FailurePlan>,
     /// Recovery strategy when a failure occurs.
     pub recovery: RecoveryStrategy,
+    /// Collect per-operator execution traces on every worker and merge
+    /// them into [`ClusterReport::trace`].
+    pub telemetry: bool,
 }
 
 impl ClusterConfig {
@@ -59,7 +63,14 @@ impl ClusterConfig {
             checkpointing: true,
             failure: None,
             recovery: RecoveryStrategy::Incremental,
+            telemetry: false,
         }
+    }
+
+    /// Toggle per-operator execution tracing.
+    pub fn with_telemetry(mut self, on: bool) -> Self {
+        self.telemetry = on;
+        self
     }
 
     /// Set the failure plan.
@@ -117,6 +128,8 @@ impl ClusterRuntime {
         let mut resume: Option<u64> = None;
         // Metrics of finished attempts (so recovery cost is not lost).
         let mut carried: Vec<ExecMetrics> = vec![ExecMetrics::default(); n];
+        // Traces of finished attempts, merged the same way.
+        let mut carried_trace: Option<ExecTrace> = None;
         // Global stratum counter across attempts (drives failure injection
         // and report numbering).
         let mut strata_seen: u64 = 0;
@@ -125,12 +138,17 @@ impl ClusterRuntime {
             // ---- build executors for live workers -----------------------
             let mut executors: Vec<Executor> = Vec::with_capacity(n);
             for w in 0..n {
-                let graph = if live.contains(&w) {
+                let alive = live.contains(&w);
+                let graph = if alive {
                     (build)(w, &snapshot, &self.catalog)?
                 } else {
                     PlanGraph::new() // dead placeholder keeps indices stable
                 };
-                executors.push(Executor::new(graph, w, true));
+                let mut ex = Executor::new(graph, w, true);
+                // Placeholders have no nodes; tracing them would merge
+                // empty op lists into real ones.
+                ex.set_telemetry(self.config.telemetry && alive);
+                executors.push(ex);
             }
             let mut router = Router::new();
             let mut prev: Vec<ExecMetrics> = vec![ExecMetrics::default(); n];
@@ -161,6 +179,7 @@ impl ClusterRuntime {
             // ---- non-recursive query ------------------------------------
             if fixpoints.is_empty() {
                 let results = collect_results(&mut executors, &live, cost)?;
+                merge_traces(&mut carried_trace, &mut executors, &live);
                 let stratum_metrics = merged_diff(&executors, &carried, &prev, &live);
                 let max_time = max_sim_time(&executors, &prev, &live, cost);
                 report.query.strata.push(StratumReport {
@@ -172,6 +191,11 @@ impl ClusterRuntime {
                     metrics: stratum_metrics,
                 });
                 finalize(&mut report, &executors, &carried, cost, t0);
+                absorb_router(&mut report, &router);
+                if let Some(mut tr) = carried_trace.take() {
+                    tr.wall_seconds = report.query.wall_seconds;
+                    report.trace = Some(tr);
+                }
                 return Ok((results, report));
             }
 
@@ -299,6 +323,10 @@ impl ClusterRuntime {
                         for w in 0..n {
                             carried[w].merge(&executors[w].metrics);
                         }
+                        // The dead worker's trace is unreachable, like its
+                        // node; carry the survivors' counters forward.
+                        merge_traces(&mut carried_trace, &mut executors, &live);
+                        absorb_router(&mut report, &router);
                         let resumed_from = match self.config.recovery {
                             RecoveryStrategy::Restart => {
                                 resume = None;
@@ -353,7 +381,15 @@ impl ClusterRuntime {
                 completed += 1;
                 if !any_continue {
                     let results = collect_results(&mut executors, &live, cost)?;
+                    merge_traces(&mut carried_trace, &mut executors, &live);
                     finalize(&mut report, &executors, &carried, cost, t0);
+                    absorb_router(&mut report, &router);
+                    if let Some(mut tr) = carried_trace.take() {
+                        tr.wall_seconds = report.query.wall_seconds;
+                        tr.iteration_deltas =
+                            report.query.strata.iter().map(|s| s.delta_set_size).collect();
+                        report.trace = Some(tr);
+                    }
                     return Ok((results, report));
                 }
             }
@@ -386,6 +422,33 @@ fn drain_all(
         if !progressed {
             return Ok(());
         }
+    }
+}
+
+/// Take and fold each live worker's execution trace into the accumulator
+/// (no-op when telemetry is off — `take_trace` returns `None`).
+fn merge_traces(acc: &mut Option<ExecTrace>, executors: &mut [Executor], live: &[usize]) {
+    for &w in live {
+        if let Some(t) = executors[w].take_trace() {
+            match acc.as_mut() {
+                Some(m) => m.merge(&t),
+                None => *acc = Some(t),
+            }
+        }
+    }
+}
+
+/// Fold an attempt's router counters into the report (attempts get fresh
+/// routers, so counters accumulate across recoveries).
+fn absorb_router(report: &mut ClusterReport, router: &Router) {
+    report.rehash_bytes += router.rehash_bytes;
+    report.broadcast_bytes += router.broadcast_bytes;
+    report.gather_bytes += router.gather_bytes;
+    if report.rows_routed.len() < router.rows_routed.len() {
+        report.rows_routed.resize(router.rows_routed.len(), 0);
+    }
+    for (w, rows) in router.rows_routed.iter().enumerate() {
+        report.rows_routed[w] += rows;
     }
 }
 
@@ -586,8 +649,10 @@ mod tests {
         // Σ v over 90 rows with v = i%5 → 18 cycles of 0+1+2+3+4 = 180.
         let total: f64 = results.iter().map(|t| t.get(1).as_double().unwrap()).sum();
         assert!((total - 180.0).abs() < 1e-9);
-        // Rehash moved data across workers.
+        // Rehash moved data across workers, and the router attributed it.
         assert!(report.query.totals.bytes_sent > 0);
+        assert!(report.rehash_bytes > 0);
+        assert_eq!(report.rows_routed.iter().sum::<u64>(), 90);
     }
 
     /// Distributed recursion: per-key counters race to 5 via rehash.
@@ -630,6 +695,30 @@ mod tests {
         assert!(report.iterations() >= 5);
         // Δ set sizes hit zero at convergence.
         assert_eq!(report.query.strata.last().unwrap().delta_set_size, 0);
+    }
+
+    #[test]
+    fn telemetry_merges_worker_traces_and_router_counters() {
+        let cat = catalog_with_numbers(30);
+        let rt = ClusterRuntime::new(ClusterConfig::new(3).with_telemetry(true), cat);
+        let (results, report) = rt.run(recursive_build()).unwrap();
+        assert_eq!(results.len(), 30);
+        let trace = report.trace.as_ref().expect("telemetry on → trace present");
+        // Sinks across all workers saw exactly the result cardinality.
+        assert_eq!(trace.sink_rows(), results.len() as u64);
+        // Iteration deltas mirror the per-stratum report.
+        let strata: Vec<u64> = report.query.strata.iter().map(|s| s.delta_set_size).collect();
+        assert_eq!(trace.iteration_deltas, strata);
+        // The scan is partitioned on the rehash key, so deltas self-deliver
+        // (no bytes crossed) — but the router still saw every routed row.
+        assert_eq!(report.rows_routed.len(), 3);
+        assert!(report.rows_routed.iter().all(|&r| r > 0));
+        // Telemetry off → no trace, same results.
+        let cat = catalog_with_numbers(30);
+        let rt = ClusterRuntime::new(ClusterConfig::new(3), cat);
+        let (plain, report) = rt.run(recursive_build()).unwrap();
+        assert!(report.trace.is_none());
+        assert_eq!(plain, results);
     }
 
     #[test]

@@ -10,10 +10,21 @@
 use crate::error::{Result, RexError};
 use crate::metrics::{CostModel, ExecMetrics, QueryReport, StratumReport};
 use crate::operators::{Event, FixpointOp, OpCtx, Operator};
+use crate::telemetry::{ExecTrace, OpStats};
 use crate::tuple::Tuple;
 use crate::udf::Registry;
 use std::collections::VecDeque;
 use std::time::Instant;
+
+/// Rows carried by an event, for telemetry accounting.
+#[inline]
+fn event_rows(e: &Event) -> u64 {
+    match e {
+        Event::Data(d) => d.len() as u64,
+        Event::Rows(r) => r.len() as u64,
+        Event::Punct(_) => 0,
+    }
+}
 
 /// Node identifier within a plan graph.
 pub type NodeId = usize;
@@ -144,6 +155,9 @@ pub struct Executor {
     stratum: u64,
     worker: usize,
     distributed: bool,
+    /// Per-node telemetry records; `None` when tracing is off (the hot
+    /// loop then pays one discriminant check per event).
+    trace: Option<Vec<OpStats>>,
 }
 
 impl Executor {
@@ -159,12 +173,60 @@ impl Executor {
             stratum: 0,
             worker,
             distributed,
+            trace: None,
         }
     }
 
     /// Set the stratum number reported to operators.
     pub fn set_stratum(&mut self, s: u64) {
         self.stratum = s;
+    }
+
+    /// Toggle per-operator telemetry. Enabling allocates the per-node
+    /// stats vector once (names snapshotted now); disabling drops any
+    /// collected counters.
+    pub fn set_telemetry(&mut self, on: bool) {
+        if on {
+            if self.trace.is_none() {
+                self.trace = Some(
+                    self.nodes
+                        .iter()
+                        .map(|n| OpStats { name: n.name(), ..Default::default() })
+                        .collect(),
+                );
+            }
+        } else {
+            self.trace = None;
+        }
+    }
+
+    /// Whether telemetry is being collected.
+    pub fn telemetry_enabled(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Take the collected trace, harvesting each operator's detail
+    /// counters and the plan topology. `None` when telemetry is off.
+    /// Tracing stays enabled (with fresh counters) only if re-enabled via
+    /// [`set_telemetry`](Executor::set_telemetry).
+    pub fn take_trace(&mut self) -> Option<ExecTrace> {
+        let mut ops = self.trace.take()?;
+        for (i, op) in ops.iter_mut().enumerate() {
+            op.detail = self.nodes[i].stats_detail();
+        }
+        let edges = self
+            .edges
+            .iter()
+            .map(|ports| {
+                ports
+                    .iter()
+                    .enumerate()
+                    .flat_map(|(port, dsts)| dsts.iter().map(move |&(d, dp)| (port, d, dp)))
+                    .collect()
+            })
+            .collect();
+        let network = self.network.iter().map(Option::is_some).collect();
+        Some(ExecTrace { ops, edges, network, iteration_deltas: Vec::new(), wall_seconds: 0.0 })
     }
 
     /// Routing mode of a network node.
@@ -180,11 +242,22 @@ impl Executor {
     /// Run all source operators (scans), queueing their output. One
     /// [`OpCtx`] serves every source.
     pub fn start(&mut self, reg: &Registry, cost: &CostModel) -> Result<()> {
+        let traced = self.trace.is_some();
         let mut ctx = OpCtx::new(self.stratum, self.worker, reg, cost, &mut self.metrics);
         for i in 0..self.nodes.len() {
             if self.nodes[i].is_source() {
+                let t0 = traced.then(Instant::now);
                 self.nodes[i].run_source(&mut ctx)?;
+                if let (Some(t0), Some(tr)) = (t0, self.trace.as_mut()) {
+                    tr[i].batches += 1;
+                    tr[i].wall_ns += t0.elapsed().as_nanos() as u64;
+                }
                 for (port, event) in ctx.drain_output() {
+                    if traced {
+                        if let Some(tr) = self.trace.as_mut() {
+                            tr[i].rows_out += event_rows(&event);
+                        }
+                    }
                     enqueue(
                         self.distributed,
                         &self.network,
@@ -228,14 +301,33 @@ impl Executor {
         cost: &CostModel,
         outbox: &mut Vec<NetEmission>,
     ) -> Result<()> {
+        let traced = self.trace.is_some();
         let mut ctx = OpCtx::new(self.stratum, self.worker, reg, cost, &mut self.metrics);
         while let Some((node, port, event)) = self.queue.pop_front() {
+            let t0 = traced.then(Instant::now);
+            let (rows_in, lane) = if traced {
+                (event_rows(&event), matches!(event, Event::Rows(_)))
+            } else {
+                (0, false)
+            };
             match event {
                 Event::Data(deltas) => self.nodes[node].on_deltas(port, deltas, &mut ctx)?,
                 Event::Rows(rows) => self.nodes[node].on_rows(port, rows, &mut ctx)?,
                 Event::Punct(p) => self.nodes[node].on_punct(port, p, &mut ctx)?,
             }
+            if let (Some(t0), Some(tr)) = (t0, self.trace.as_mut()) {
+                let s = &mut tr[node];
+                s.batches += 1;
+                s.rows_in += rows_in;
+                s.lane_hits += lane as u64;
+                s.wall_ns += t0.elapsed().as_nanos() as u64;
+            }
             for (p, ev) in ctx.drain_output() {
+                if traced {
+                    if let Some(tr) = self.trace.as_mut() {
+                        tr[node].rows_out += event_rows(&ev);
+                    }
+                }
                 enqueue(
                     self.distributed,
                     &self.network,
@@ -282,12 +374,23 @@ impl Executor {
         cost: &CostModel,
         outbox: &mut Vec<NetEmission>,
     ) -> Result<()> {
+        let traced = self.trace.is_some();
         let mut ctx = OpCtx::new(self.stratum, self.worker, reg, cost, &mut self.metrics);
         let fp = self.nodes[id]
             .as_fixpoint()
             .ok_or_else(|| RexError::Exec(format!("node {id} is not a fixpoint")))?;
+        let t0 = traced.then(Instant::now);
         fp.advance(cont, &mut ctx)?;
+        if let (Some(t0), Some(tr)) = (t0, self.trace.as_mut()) {
+            tr[id].batches += 1;
+            tr[id].wall_ns += t0.elapsed().as_nanos() as u64;
+        }
         for (port, event) in ctx.drain_output() {
+            if traced {
+                if let Some(tr) = self.trace.as_mut() {
+                    tr[id].rows_out += event_rows(&event);
+                }
+            }
             enqueue(
                 self.distributed,
                 &self.network,
@@ -397,11 +500,18 @@ pub struct LocalRuntime {
     pub reg: Registry,
     /// Cost model for metric accounting.
     pub cost: CostModel,
+    /// Collect an [`ExecTrace`] during execution
+    /// ([`run_traced`](LocalRuntime::run_traced) returns it).
+    pub telemetry: bool,
 }
 
 impl Default for LocalRuntime {
     fn default() -> Self {
-        LocalRuntime { reg: Registry::with_builtins(), cost: CostModel::default() }
+        LocalRuntime {
+            reg: Registry::with_builtins(),
+            cost: CostModel::default(),
+            telemetry: false,
+        }
     }
 }
 
@@ -413,13 +523,30 @@ impl LocalRuntime {
 
     /// With a custom registry.
     pub fn with_registry(reg: Registry) -> LocalRuntime {
-        LocalRuntime { reg, cost: CostModel::default() }
+        LocalRuntime { reg, cost: CostModel::default(), telemetry: false }
+    }
+
+    /// Enable or disable telemetry collection (builder style).
+    pub fn with_telemetry(mut self, on: bool) -> LocalRuntime {
+        self.telemetry = on;
+        self
     }
 
     /// Execute the plan, returning materialized results and the execution
     /// report.
     pub fn run(&self, graph: PlanGraph) -> Result<(Vec<Tuple>, QueryReport)> {
+        let (rows, report, _) = self.run_traced(graph)?;
+        Ok((rows, report))
+    }
+
+    /// [`run`](LocalRuntime::run), additionally returning the collected
+    /// [`ExecTrace`] when [`telemetry`](LocalRuntime::telemetry) is on.
+    pub fn run_traced(
+        &self,
+        graph: PlanGraph,
+    ) -> Result<(Vec<Tuple>, QueryReport, Option<ExecTrace>)> {
         let mut ex = Executor::new(graph, 0, false);
+        ex.set_telemetry(self.telemetry);
         let mut report = QueryReport::default();
         let t0 = Instant::now();
         let mut outbox = Vec::new(); // never used in local mode
@@ -446,7 +573,11 @@ impl LocalRuntime {
             report.totals = m;
             report.simulated_time = m.simulated_time(&self.cost);
             report.wall_seconds = wall;
-            return Ok((ex.take_sink_results()?, report));
+            let mut trace = ex.take_trace();
+            if let Some(tr) = trace.as_mut() {
+                tr.wall_seconds = wall;
+            }
+            return Ok((ex.take_sink_results()?, report, trace));
         }
 
         // Recursive query: stratum loop.
@@ -526,7 +657,12 @@ impl LocalRuntime {
         report.totals = ex.metrics;
         report.simulated_time = report.strata.iter().map(|s| s.simulated_time).sum();
         report.wall_seconds = t0.elapsed().as_secs_f64();
-        Ok((ex.take_sink_results()?, report))
+        let mut trace = ex.take_trace();
+        if let Some(tr) = trace.as_mut() {
+            tr.iteration_deltas = report.strata.iter().map(|s| s.delta_set_size).collect();
+            tr.wall_seconds = report.wall_seconds;
+        }
+        Ok((ex.take_sink_results()?, report, trace))
     }
 }
 
@@ -661,6 +797,61 @@ mod tests {
         assert!(txt.contains("Scan(t)"));
         assert!(txt.contains("[network]"));
         assert!(txt.contains("out0 -> #2.in0"));
+    }
+
+    #[test]
+    fn traced_run_counts_operator_rows() {
+        let mk = || {
+            let mut g = PlanGraph::new();
+            let scan =
+                g.add(Box::new(ScanOp::new("t", vec![tuple![1i64], tuple![3i64], tuple![5i64]])));
+            let filter = g.add(Box::new(FilterOp::new(Expr::col(0).gt(Expr::lit(2i64)))));
+            let sink = g.add(Box::new(SinkOp::new()));
+            g.pipe(scan, filter);
+            g.pipe(filter, sink);
+            g
+        };
+        let rt = LocalRuntime::new().with_telemetry(true);
+        let (results, _report, trace) = rt.run_traced(mk()).unwrap();
+        let trace = trace.expect("telemetry on");
+        assert_eq!(results.len(), 2);
+        assert_eq!(trace.ops[0].rows_out, 3, "scan emits every row");
+        assert_eq!(trace.ops[1].rows_in, 3);
+        assert_eq!(trace.ops[1].rows_out, 2, "filter retains 2 of 3");
+        assert_eq!(trace.sink_rows(), results.len() as u64);
+        assert!(trace.render().contains("Filter"));
+        // Telemetry off: same rows, no trace.
+        let (plain, _, no_trace) = LocalRuntime::new().run_traced(mk()).unwrap();
+        assert_eq!(plain, results);
+        assert!(no_trace.is_none());
+    }
+
+    #[test]
+    fn traced_recursion_records_iteration_deltas() {
+        let mut g = PlanGraph::new();
+        let scan = g.add(Box::new(ScanOp::new("seed", vec![tuple![0i64]])));
+        let fp = g.add(Box::new(FixpointOp::new(vec![0], Termination::Fixpoint)));
+        let step = g.add(Box::new(ApplyFunctionOp::new(Arc::new(FnMapper::new("inc", |d, _| {
+            let x = d.tuple.get(0).as_int().unwrap();
+            if x < 5 {
+                Ok(vec![Delta::insert(tuple![x + 1])])
+            } else {
+                Ok(vec![])
+            }
+        })))));
+        let sink = g.add(Box::new(SinkOp::new()));
+        g.connect(scan, 0, fp, 0);
+        g.connect(fp, 0, step, 0);
+        g.connect(step, 0, fp, 1);
+        g.connect(fp, 1, sink, 0);
+
+        let rt = LocalRuntime::new().with_telemetry(true);
+        let (_, report, trace) = rt.run_traced(g).unwrap();
+        let trace = trace.expect("telemetry on");
+        assert_eq!(trace.iteration_deltas.len(), report.iterations());
+        let from_report: Vec<u64> = report.strata.iter().map(|s| s.delta_set_size).collect();
+        assert_eq!(trace.iteration_deltas, from_report);
+        assert_eq!(*trace.iteration_deltas.last().unwrap(), 0, "closing stratum is empty");
     }
 
     #[test]

@@ -22,6 +22,7 @@
 
 use crate::tuple::Tuple;
 use crate::value::Value;
+use std::cell::Cell;
 use std::collections::{HashMap, HashSet};
 use std::hash::{BuildHasher, Hash, Hasher};
 
@@ -153,6 +154,12 @@ pub struct KeyedTable<V> {
     entries: Vec<(u64, Vec<Value>, V)>,
     /// Live tombstones in `slots` (counted against the load factor).
     tombs: usize,
+    /// Probe-path walks started (one per lookup/insert/removal).
+    /// `Cell` because read paths take `&self`; two register increments per
+    /// probe, cheap enough to keep always-on.
+    probes: Cell<u64>,
+    /// Extra probe steps beyond the first slot — the clustering signal.
+    collisions: Cell<u64>,
 }
 
 impl<V> Default for KeyedTable<V> {
@@ -183,7 +190,21 @@ fn fold(hash: u64, mask: usize) -> usize {
 impl<V> KeyedTable<V> {
     /// An empty table (no allocation until the first insert).
     pub fn new() -> KeyedTable<V> {
-        KeyedTable { slots: Vec::new(), entries: Vec::new(), tombs: 0 }
+        KeyedTable {
+            slots: Vec::new(),
+            entries: Vec::new(),
+            tombs: 0,
+            probes: Cell::new(0),
+            collisions: Cell::new(0),
+        }
+    }
+
+    /// Lifetime probe statistics: `(probes, collisions)`. A probe is one
+    /// key lookup; a collision is one extra slot visited beyond the key's
+    /// home slot. Telemetry harvests these once per query via
+    /// [`Operator::stats_detail`](crate::operators::Operator::stats_detail).
+    pub fn probe_stats(&self) -> (u64, u64) {
+        (self.probes.get(), self.collisions.get())
     }
 
     /// Number of keys.
@@ -208,6 +229,7 @@ impl<V> KeyedTable<V> {
     /// terminates.
     fn locate(&self, hash: u64, mut eq: impl FnMut(&[Value]) -> bool) -> Slot {
         debug_assert!(!self.slots.is_empty());
+        self.probes.set(self.probes.get() + 1);
         let mask = self.slots.len() - 1;
         let mut i = fold(hash, mask);
         let mut free = None;
@@ -226,6 +248,7 @@ impl<V> KeyedTable<V> {
                     }
                 }
             }
+            self.collisions.set(self.collisions.get() + 1);
             i = (i + 1) & mask;
         }
     }
@@ -521,6 +544,22 @@ mod tests {
         kt.clear();
         assert!(kt.is_empty());
         assert!(kt.get(&[crate::value::Value::Int(2)]).is_none());
+    }
+
+    #[test]
+    fn probe_stats_count_lookups() {
+        let mut kt: KeyedTable<i64> = KeyedTable::new();
+        assert_eq!(kt.probe_stats(), (0, 0));
+        for i in 0..100i64 {
+            kt.insert(vec![crate::value::Value::Int(i)], i);
+        }
+        for i in 0..100i64 {
+            assert!(kt.probe(&tuple![i], &[0]).is_some());
+        }
+        let (probes, _collisions) = kt.probe_stats();
+        // At least one probe per insert and per lookup (rebuilds don't
+        // walk `locate`, so the exact count is stable to reason about).
+        assert!(probes >= 200, "probes={probes}");
     }
 
     #[test]

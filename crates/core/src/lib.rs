@@ -21,7 +21,10 @@
 //!   apply-function, pipelined hash join, group-by, rehash, top-k
 //!   (`ORDER BY … LIMIT`), while/fixpoint, union, sink — all delta-aware;
 //! * the push-based executor and single-node runtime ([`exec`]);
-//! * the cost model and metric accounting ([`metrics`]).
+//! * the cost model and metric accounting ([`metrics`]);
+//! * measured execution telemetry ([`telemetry`]): per-operator row/time
+//!   counters and the [`ExecTrace`](telemetry::ExecTrace) behind
+//!   `EXPLAIN ANALYZE` (`docs/OBSERVABILITY.md` at the repository root).
 //!
 //! Distribution (consistent hashing, routing, recovery) lives in
 //! `rex-cluster`; the RQL language in `rex-rql` (full reference:
@@ -99,6 +102,7 @@ pub mod handlers;
 pub mod hash;
 pub mod metrics;
 pub mod operators;
+pub mod telemetry;
 pub mod tuple;
 pub mod udf;
 pub mod value;

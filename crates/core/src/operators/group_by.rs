@@ -224,6 +224,15 @@ impl Operator for GroupByOp {
     fn reset(&mut self) {
         self.groups.clear();
     }
+
+    fn stats_detail(&self) -> Vec<(String, u64)> {
+        let (probes, collisions) = self.groups.probe_stats();
+        vec![
+            ("hash_probes".into(), probes),
+            ("hash_collisions".into(), collisions),
+            ("groups".into(), self.groups.len() as u64),
+        ]
+    }
 }
 
 /// Project the delta's tuple onto the aggregate's input columns, through

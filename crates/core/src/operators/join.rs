@@ -256,6 +256,16 @@ impl Operator for HashJoinOp {
         self.right.clear();
         self.punct.reset();
     }
+
+    fn stats_detail(&self) -> Vec<(String, u64)> {
+        let (lp, lc) = self.left.probe_stats();
+        let (rp, rc) = self.right.probe_stats();
+        vec![
+            ("hash_probes".into(), lp + rp),
+            ("hash_collisions".into(), lc + rc),
+            ("state_rows".into(), self.state_size() as u64),
+        ]
+    }
 }
 
 #[cfg(test)]

@@ -231,6 +231,13 @@ pub trait Operator: Send {
     /// Clear all state, returning the operator to its pre-execution
     /// condition (used by restart recovery).
     fn reset(&mut self);
+
+    /// Operator-specific telemetry counters (hash probes/collisions,
+    /// retained state sizes), harvested once per traced query. Stateless
+    /// operators report nothing.
+    fn stats_detail(&self) -> Vec<(String, u64)> {
+        Vec::new()
+    }
 }
 
 /// Track punctuation across the inputs of an n-ary operator: "n-ary

@@ -38,13 +38,27 @@ pub enum Statement {
         /// The table's name.
         name: String,
     },
+    /// `EXPLAIN [ANALYZE] <statement>`: render the inner statement's plan.
+    /// With `ANALYZE` the statement is executed and the plan is annotated
+    /// with measured per-operator counters.
+    Explain {
+        /// `EXPLAIN ANALYZE` (run and measure) vs plain `EXPLAIN`.
+        analyze: bool,
+        /// The statement being explained (a query in practice; DDL is
+        /// rejected at execution time).
+        inner: Box<Statement>,
+    },
 }
 
 impl Statement {
     /// Whether this statement is DDL (executed against the session's
     /// catalogs rather than planned into a dataflow).
     pub fn is_ddl(&self) -> bool {
-        !matches!(self, Statement::Query(_))
+        match self {
+            Statement::Query(_) => false,
+            Statement::Explain { inner, .. } => inner.is_ddl(),
+            _ => true,
+        }
     }
 }
 

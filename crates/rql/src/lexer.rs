@@ -115,6 +115,8 @@ pub const KEYWORDS: &[&str] = &[
     "OFFSET",
     "ASC",
     "DESC",
+    "EXPLAIN",
+    "ANALYZE",
 ];
 
 /// Line/column (1-based) of byte offset `i` in `src`.

@@ -300,6 +300,9 @@ pub fn plan(stmt: &Statement, catalog: &SchemaCatalog, reg: &Registry) -> Result
         Statement::DropView { name } | Statement::DropTable { name } => Err(RexError::Plan(
             format!("DROP {name} is a DDL statement; execute it through a session"),
         )),
+        // EXPLAIN plans whatever it wraps — the session decides whether to
+        // execute (ANALYZE) or just render.
+        Statement::Explain { inner, .. } => plan(inner, catalog, reg),
     }
 }
 

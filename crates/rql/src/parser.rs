@@ -128,6 +128,11 @@ impl Parser {
     // ---- statements ------------------------------------------------------
 
     fn statement(&mut self) -> Result<Statement> {
+        if self.eat_keyword("EXPLAIN") {
+            let analyze = self.eat_keyword("ANALYZE");
+            let inner = Box::new(self.statement()?);
+            return Ok(Statement::Explain { analyze, inner });
+        }
         if self.eat_keyword("CREATE") {
             if self.eat_keyword("TABLE") {
                 return self.create_table();
@@ -746,5 +751,28 @@ mod tests {
         // ORDER BY must come after HAVING; LIMIT last.
         assert!(parse("SELECT a FROM t LIMIT 1 ORDER BY a").is_err());
         assert!(parse("SELECT a FROM t ORDER BY a HAVING a > 1").is_err());
+    }
+
+    #[test]
+    fn explain_wraps_any_statement() {
+        let stmt = parse("EXPLAIN SELECT a FROM t").unwrap();
+        let Statement::Explain { analyze, inner } = stmt else {
+            panic!("expected Explain, got {stmt:?}");
+        };
+        assert!(!analyze);
+        assert!(matches!(*inner, Statement::Query(_)));
+        assert!(!Statement::Explain { analyze, inner }.is_ddl());
+
+        let stmt = parse("explain analyze SELECT a FROM t WHERE a > 1").unwrap();
+        let Statement::Explain { analyze, .. } = &stmt else {
+            panic!("expected Explain, got {stmt:?}");
+        };
+        assert!(analyze);
+
+        // EXPLAIN over DDL parses (rejected at execution) and stays DDL.
+        let stmt = parse("EXPLAIN DROP TABLE t").unwrap();
+        assert!(stmt.is_ddl());
+        // Trailing garbage still errors.
+        assert!(parse("EXPLAIN").is_err());
     }
 }

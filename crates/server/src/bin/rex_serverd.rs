@@ -3,6 +3,7 @@
 //! ```text
 //! rex-serverd [--addr HOST:PORT] [--engine local|cluster[:N]]
 //!             [--init FILE.rql] [--write-queue N] [--coalesce N]
+//!             [--telemetry]
 //! ```
 //!
 //! Binds, prints `LISTENING <addr>` on stdout (port 0 resolves to the
@@ -51,7 +52,7 @@ fn usage(err: &str) -> ExitCode {
     eprintln!("rex-serverd: {err}");
     eprintln!(
         "usage: rex-serverd [--addr HOST:PORT] [--engine local|cluster[:N]] \
-         [--init FILE.rql] [--write-queue N] [--coalesce N]"
+         [--init FILE.rql] [--write-queue N] [--coalesce N] [--telemetry]"
     );
     ExitCode::from(2)
 }
@@ -60,6 +61,7 @@ fn main() -> ExitCode {
     let mut addr = "127.0.0.1:7462".to_string();
     let mut engine = "local".to_string();
     let mut init: Option<String> = None;
+    let mut telemetry = false;
     let mut cfg = ServerConfig::default();
 
     let mut args = std::env::args().skip(1);
@@ -75,10 +77,14 @@ fn main() -> ExitCode {
             "--coalesce" => take("--coalesce").and_then(|v| {
                 v.parse().map(|n| cfg.coalesce = n).map_err(|_| format!("bad count: {v}"))
             }),
+            "--telemetry" => {
+                telemetry = true;
+                Ok(())
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: rex-serverd [--addr HOST:PORT] [--engine local|cluster[:N]] \
-                     [--init FILE.rql] [--write-queue N] [--coalesce N]"
+                     [--init FILE.rql] [--write-queue N] [--coalesce N] [--telemetry]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -106,6 +112,9 @@ fn main() -> ExitCode {
             None => return usage(&format!("unknown engine {other:?} (local|cluster[:N])")),
         },
     };
+    if telemetry {
+        session.set_telemetry(true);
+    }
 
     if let Some(path) = init {
         let text = match std::fs::read_to_string(&path) {

@@ -242,6 +242,22 @@ impl Client {
         }
     }
 
+    /// Fetch the `METRICS` report — the server's counters in Prometheus
+    /// text exposition (see docs/OBSERVABILITY.md for the metric names).
+    pub fn metrics(&mut self) -> Result<String> {
+        self.send_line("METRICS")?;
+        self.read_ok_line()?;
+        let mut body = String::new();
+        loop {
+            let line = self.read_line()?;
+            if line == "." {
+                return Ok(body);
+            }
+            body.push_str(&line);
+            body.push('\n');
+        }
+    }
+
     /// Close the connection politely.
     pub fn quit(mut self) -> Result<()> {
         self.send_line("QUIT")?;

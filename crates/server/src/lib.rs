@@ -5,7 +5,7 @@
 //!
 //! - One OS thread per connection; a line-oriented text protocol
 //!   (`HELLO` / `QUERY` / `INSERT` / `BATCH` / `SCRIPT` / `STATS` /
-//!   `QUIT` / `SHUTDOWN` — grammar in `docs/SERVER.md`).
+//!   `METRICS` / `QUIT` / `SHUTDOWN` — grammar in `docs/SERVER.md`).
 //! - Reads execute lock-free against an immutable, atomically swappable
 //!   `Arc<SnapshotView>`; any number of connections query concurrently
 //!   without blocking each other or the writer.
@@ -42,4 +42,4 @@ pub mod stats;
 
 pub use client::{Client, QueryReply, WriteAck};
 pub use server::{Server, ServerConfig, ShutdownHandle};
-pub use stats::ServerStats;
+pub use stats::{ServerStats, PUBLISH_BUCKETS_US};

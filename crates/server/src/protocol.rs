@@ -40,6 +40,8 @@ pub enum Command {
     Script { count: usize },
     /// `STATS` — server counters plus the published snapshot's report.
     Stats,
+    /// `METRICS` — the same counters in Prometheus text exposition.
+    Metrics,
     /// `QUIT` — close this connection.
     Quit,
     /// `SHUTDOWN` — begin graceful server shutdown (what SIGTERM does).
@@ -80,10 +82,12 @@ pub fn parse_command(line: &str) -> Result<Command> {
             Ok(Command::Script { count })
         }
         "STATS" => Ok(Command::Stats),
+        "METRICS" => Ok(Command::Metrics),
         "QUIT" => Ok(Command::Quit),
         "SHUTDOWN" => Ok(Command::Shutdown),
         other => Err(proto(&format!(
-            "unknown command {other:?} (expected HELLO/QUERY/INSERT/BATCH/SCRIPT/STATS/QUIT)"
+            "unknown command {other:?} \
+             (expected HELLO/QUERY/INSERT/BATCH/SCRIPT/STATS/METRICS/QUIT)"
         ))),
     }
 }
@@ -333,6 +337,7 @@ mod tests {
         );
         assert_eq!(parse_command("SCRIPT 3"), Ok(Command::Script { count: 3 }));
         assert_eq!(parse_command("STATS"), Ok(Command::Stats));
+        assert_eq!(parse_command("metrics"), Ok(Command::Metrics));
         assert_eq!(parse_command("QUIT"), Ok(Command::Quit));
         assert_eq!(parse_command("SHUTDOWN"), Ok(Command::Shutdown));
         for bad in ["", "QUERY", "INSERT t", "BATCH t x", "SCRIPT many", "NOPE 1"] {

@@ -32,7 +32,7 @@ use rex::snapshot::SnapshotView;
 use rex::Session;
 use rex_core::error::{Result, RexError};
 use rex_core::tuple::Tuple;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -76,12 +76,50 @@ struct Published {
     view: Arc<SnapshotView>,
     /// Query text → full encoded response. Valid exactly as long as this
     /// snapshot is current; dropped wholesale on the next publish.
-    cache: Mutex<HashMap<String, Arc<str>>>,
+    cache: Mutex<ResultCache>,
 }
 
 impl Published {
     fn new(view: Arc<SnapshotView>) -> Published {
-        Published { view, cache: Mutex::new(HashMap::new()) }
+        Published { view, cache: Mutex::new(ResultCache::default()) }
+    }
+}
+
+/// A capacity-capped per-snapshot result cache: FIFO eviction, so a
+/// snapshot that lives through more distinct queries than `cache_entries`
+/// keeps serving the *newest* ones instead of freezing on whatever
+/// arrived first and refusing the rest.
+#[derive(Default)]
+struct ResultCache {
+    map: HashMap<String, Arc<str>>,
+    /// Insertion order — the eviction queue.
+    order: VecDeque<String>,
+}
+
+impl ResultCache {
+    fn get(&self, rql: &str) -> Option<Arc<str>> {
+        self.map.get(rql).cloned()
+    }
+
+    /// Insert under the capacity cap, evicting oldest-first. Returns how
+    /// many entries were evicted.
+    fn insert(&mut self, rql: &str, response: Arc<str>, capacity: usize) -> u64 {
+        let mut evicted = 0;
+        while self.map.len() >= capacity {
+            match self.order.pop_front() {
+                Some(old) => {
+                    self.map.remove(&old);
+                    evicted += 1;
+                }
+                None => break,
+            }
+        }
+        // Two threads can race the same miss; only the first insert may
+        // enqueue the key, or eviction would pop it twice.
+        if self.map.insert(rql.to_string(), response).is_none() {
+            self.order.push_back(rql.to_string());
+        }
+        evicted
     }
 }
 
@@ -516,6 +554,12 @@ fn handle_command(
             writer.write_all(p.view.stats_text().as_bytes())?;
             writeln!(writer, ".")?;
         }
+        Command::Metrics => {
+            let p = shared.current();
+            writeln!(writer, "OK")?;
+            writer.write_all(shared.stats.render_prometheus(p.view.version()).as_bytes())?;
+            writeln!(writer, ".")?;
+        }
         Command::Quit => {
             writeln!(writer, "OK bye")?;
             return Ok(true);
@@ -537,15 +581,20 @@ fn handle_query(
 ) -> std::io::Result<()> {
     shared.stats.queries.fetch_add(1, Ordering::Relaxed);
     let p = shared.current();
-    if let Some(hit) = p.cache.lock().unwrap().get(rql).cloned() {
+    if let Some(hit) = p.cache.lock().unwrap().get(rql) {
         shared.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
         return writer.write_all(hit.as_bytes());
     }
+    shared.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
     let response = run_query(&p.view, rql);
     if shared.cfg.cache_entries > 0 && response.len() <= shared.cfg.cache_max_bytes {
-        let mut cache = p.cache.lock().unwrap();
-        if cache.len() < shared.cfg.cache_entries {
-            cache.insert(rql.to_string(), Arc::from(response.as_str()));
+        let evicted = p.cache.lock().unwrap().insert(
+            rql,
+            Arc::from(response.as_str()),
+            shared.cfg.cache_entries,
+        );
+        if evicted > 0 {
+            shared.stats.cache_evictions.fetch_add(evicted, Ordering::Relaxed);
         }
     }
     writer.write_all(response.as_bytes())

@@ -7,9 +7,21 @@
 //! [`stats_text`](rex::snapshot::SnapshotView::stats_text), the same
 //! structures queries execute against, so `STATS` numbers cannot drift
 //! from the engine.
+//!
+//! The monotonic counters are enumerated once, by [`ServerStats::counters`];
+//! both the `STATS` text body ([`render`](ServerStats::render)) and the
+//! `METRICS` Prometheus exposition
+//! ([`render_prometheus`](ServerStats::render_prometheus)) are generated
+//! from that single list, so the two surfaces cannot disagree about which
+//! counters exist or what they are called.
 
+use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
+
+/// Upper bounds, in microseconds, of the publish-latency histogram
+/// buckets; an implicit `+Inf` bucket follows the last entry.
+pub const PUBLISH_BUCKETS_US: [u64; 5] = [100, 1_000, 10_000, 100_000, 1_000_000];
 
 /// Monotonic counters shared by every connection thread and the writer.
 #[derive(Debug, Default)]
@@ -22,6 +34,10 @@ pub struct ServerStats {
     pub queries: AtomicU64,
     /// QUERY commands answered straight from the snapshot result cache.
     pub cache_hits: AtomicU64,
+    /// QUERY commands that had to execute (no cache entry).
+    pub cache_misses: AtomicU64,
+    /// Result-cache entries dropped to make room under the capacity cap.
+    pub cache_evictions: AtomicU64,
     /// Rows ingested through INSERT/BATCH.
     pub rows_inserted: AtomicU64,
     /// Write operations (INSERT/BATCH/SCRIPT) applied by the writer.
@@ -32,6 +48,9 @@ pub struct ServerStats {
     pub publish_ns: AtomicU64,
     /// Worst single publish, nanoseconds.
     pub publish_max_ns: AtomicU64,
+    /// Publish-latency histogram: one count per bucket of
+    /// [`PUBLISH_BUCKETS_US`], plus the trailing `+Inf` bucket.
+    publish_buckets: [AtomicU64; PUBLISH_BUCKETS_US.len() + 1],
 }
 
 impl ServerStats {
@@ -41,6 +60,10 @@ impl ServerStats {
         self.publishes.fetch_add(1, Ordering::Relaxed);
         self.publish_ns.fetch_add(ns, Ordering::Relaxed);
         self.publish_max_ns.fetch_max(ns, Ordering::Relaxed);
+        let us = ns / 1_000;
+        let idx =
+            PUBLISH_BUCKETS_US.iter().position(|le| us <= *le).unwrap_or(PUBLISH_BUCKETS_US.len());
+        self.publish_buckets[idx].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Mean publish latency in microseconds (0 before the first publish).
@@ -52,24 +75,79 @@ impl ServerStats {
         self.publish_ns.load(Ordering::Relaxed) as f64 / n as f64 / 1_000.0
     }
 
+    /// Every monotonic counter with its stable name — the single source
+    /// both `STATS` and `METRICS` render from.
+    pub fn counters(&self) -> [(&'static str, u64); 8] {
+        [
+            ("connections", self.connections.load(Ordering::Relaxed)),
+            ("queries", self.queries.load(Ordering::Relaxed)),
+            ("cache_hits", self.cache_hits.load(Ordering::Relaxed)),
+            ("cache_misses", self.cache_misses.load(Ordering::Relaxed)),
+            ("cache_evictions", self.cache_evictions.load(Ordering::Relaxed)),
+            ("rows_inserted", self.rows_inserted.load(Ordering::Relaxed)),
+            ("write_ops", self.write_ops.load(Ordering::Relaxed)),
+            ("publishes", self.publishes.load(Ordering::Relaxed)),
+        ]
+    }
+
     /// Render the traffic counters as `STATS` body lines.
     pub fn render(&self) -> String {
-        let queries = self.queries.load(Ordering::Relaxed);
-        let hits = self.cache_hits.load(Ordering::Relaxed);
-        format!(
-            "server.connections {}\nserver.open_connections {}\nserver.queries {}\n\
-             server.cache_hits {}\nserver.rows_inserted {}\nserver.write_ops {}\n\
-             server.publishes {}\nserver.publish_mean_us {:.1}\nserver.publish_max_us {:.1}\n",
-            self.connections.load(Ordering::Relaxed),
-            self.open_connections.load(Ordering::Relaxed),
-            queries,
-            hits,
-            self.rows_inserted.load(Ordering::Relaxed),
-            self.write_ops.load(Ordering::Relaxed),
-            self.publishes.load(Ordering::Relaxed),
-            self.publish_mean_us(),
-            self.publish_max_ns.load(Ordering::Relaxed) as f64 / 1_000.0,
-        )
+        let mut out = String::new();
+        for (name, v) in self.counters() {
+            let _ = writeln!(out, "server.{name} {v}");
+            // The open-connections gauge keeps its historical slot right
+            // after the lifetime total.
+            if name == "connections" {
+                let _ = writeln!(
+                    out,
+                    "server.open_connections {}",
+                    self.open_connections.load(Ordering::Relaxed)
+                );
+            }
+        }
+        let _ = writeln!(out, "server.publish_mean_us {:.1}", self.publish_mean_us());
+        let _ = writeln!(
+            out,
+            "server.publish_max_us {:.1}",
+            self.publish_max_ns.load(Ordering::Relaxed) as f64 / 1_000.0
+        );
+        out
+    }
+
+    /// Render the Prometheus text exposition the `METRICS` command
+    /// serves: every monotonic counter as `rex_<name>_total`, the
+    /// open-connections and snapshot-version gauges, and the
+    /// publish-latency histogram with cumulative buckets.
+    pub fn render_prometheus(&self, snapshot_version: u64) -> String {
+        let mut out = String::new();
+        for (name, v) in self.counters() {
+            let _ = writeln!(out, "# TYPE rex_{name}_total counter");
+            let _ = writeln!(out, "rex_{name}_total {v}");
+        }
+        let _ = writeln!(out, "# TYPE rex_open_connections gauge");
+        let _ =
+            writeln!(out, "rex_open_connections {}", self.open_connections.load(Ordering::Relaxed));
+        let _ = writeln!(out, "# TYPE rex_snapshot_version gauge");
+        let _ = writeln!(out, "rex_snapshot_version {snapshot_version}");
+        let _ = writeln!(out, "# TYPE rex_publish_latency_us histogram");
+        let mut cumulative = 0u64;
+        for (i, le) in PUBLISH_BUCKETS_US.iter().enumerate() {
+            cumulative += self.publish_buckets[i].load(Ordering::Relaxed);
+            let _ = writeln!(out, "rex_publish_latency_us_bucket{{le=\"{le}\"}} {cumulative}");
+        }
+        cumulative += self.publish_buckets[PUBLISH_BUCKETS_US.len()].load(Ordering::Relaxed);
+        let _ = writeln!(out, "rex_publish_latency_us_bucket{{le=\"+Inf\"}} {cumulative}");
+        let _ = writeln!(
+            out,
+            "rex_publish_latency_us_sum {}",
+            self.publish_ns.load(Ordering::Relaxed) / 1_000
+        );
+        let _ = writeln!(
+            out,
+            "rex_publish_latency_us_count {}",
+            self.publishes.load(Ordering::Relaxed)
+        );
+        out
     }
 }
 
@@ -87,5 +165,33 @@ mod tests {
         assert_eq!(s.publish_max_ns.load(Ordering::Relaxed), 300_000);
         let text = s.render();
         assert!(text.contains("server.publishes 2"), "{text}");
+    }
+
+    #[test]
+    fn stats_and_prometheus_render_the_same_counters() {
+        let s = ServerStats::default();
+        s.queries.fetch_add(3, Ordering::Relaxed);
+        s.cache_misses.fetch_add(2, Ordering::Relaxed);
+        let stats = s.render();
+        let prom = s.render_prometheus(7);
+        for (name, v) in s.counters() {
+            assert!(stats.contains(&format!("server.{name} {v}")), "{name} in STATS:\n{stats}");
+            assert!(prom.contains(&format!("rex_{name}_total {v}")), "{name} in METRICS:\n{prom}");
+        }
+        assert!(prom.contains("rex_snapshot_version 7"), "{prom}");
+    }
+
+    #[test]
+    fn publish_histogram_buckets_are_cumulative() {
+        let s = ServerStats::default();
+        s.record_publish(Duration::from_micros(50)); // le=100
+        s.record_publish(Duration::from_micros(500)); // le=1000
+        s.record_publish(Duration::from_secs(10)); // +Inf
+        let prom = s.render_prometheus(0);
+        assert!(prom.contains("rex_publish_latency_us_bucket{le=\"100\"} 1"), "{prom}");
+        assert!(prom.contains("rex_publish_latency_us_bucket{le=\"1000\"} 2"), "{prom}");
+        assert!(prom.contains("rex_publish_latency_us_bucket{le=\"1000000\"} 2"), "{prom}");
+        assert!(prom.contains("rex_publish_latency_us_bucket{le=\"+Inf\"} 3"), "{prom}");
+        assert!(prom.contains("rex_publish_latency_us_count 3"), "{prom}");
     }
 }

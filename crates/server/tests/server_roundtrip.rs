@@ -158,6 +158,74 @@ fn stats_report_traffic_and_snapshot_state() {
 }
 
 #[test]
+fn metrics_serve_prometheus_exposition() {
+    let server = server_with_edges();
+    let (mut c, _) = Client::connect(server.local_addr()).unwrap();
+    c.insert("edges", &[tuple![1i64, 2i64]]).unwrap();
+    let q = "SELECT * FROM deg";
+    c.query(q).unwrap(); // miss
+    c.query(q).unwrap(); // hit
+
+    let metrics = c.metrics().unwrap();
+    let get = |name: &str| -> u64 {
+        metrics
+            .lines()
+            .find_map(|l| l.strip_prefix(&format!("{name} ")).map(|v| v.parse().unwrap()))
+            .unwrap_or_else(|| panic!("missing {name} in:\n{metrics}"))
+    };
+    assert!(get("rex_queries_total") >= 2);
+    assert!(get("rex_cache_hits_total") >= 1);
+    assert!(get("rex_cache_misses_total") >= 1);
+    assert_eq!(get("rex_cache_evictions_total"), 0);
+    assert_eq!(get("rex_rows_inserted_total"), 1);
+    assert!(get("rex_snapshot_version") >= 1);
+    assert!(get("rex_open_connections") >= 1);
+    // The publish histogram is well-formed: every publish lands in +Inf's
+    // cumulative count and the count line agrees with the counter.
+    assert!(metrics.contains("# TYPE rex_publish_latency_us histogram"), "{metrics}");
+    assert_eq!(
+        get("rex_publish_latency_us_bucket{le=\"+Inf\"}"),
+        get("rex_publishes_total"),
+        "{metrics}"
+    );
+    assert_eq!(get("rex_publish_latency_us_count"), get("rex_publishes_total"));
+    c.quit().unwrap();
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn result_cache_evicts_fifo_under_capacity_cap() {
+    let mut s = Session::local();
+    s.query("CREATE TABLE edges (src INT, dst INT)").unwrap();
+    let cfg = ServerConfig { cache_entries: 4, ..ServerConfig::default() };
+    let server = Server::start(s, "127.0.0.1:0", cfg).unwrap();
+    let (mut c, _) = Client::connect(server.local_addr()).unwrap();
+    c.insert("edges", &[tuple![1i64, 2i64]]).unwrap();
+    // 8 distinct queries through a 4-entry cache force 4 evictions…
+    for i in 0..8 {
+        c.query(&format!("SELECT src FROM edges WHERE dst > {i}")).unwrap();
+    }
+    // …and the newest entry survives while the oldest was dropped.
+    c.query("SELECT src FROM edges WHERE dst > 7").unwrap(); // hit
+    c.query("SELECT src FROM edges WHERE dst > 0").unwrap(); // re-miss
+    let metrics = c.metrics().unwrap();
+    let get = |name: &str| -> u64 {
+        metrics
+            .lines()
+            .find_map(|l| l.strip_prefix(&format!("{name} ")).map(|v| v.parse().unwrap()))
+            .unwrap_or_else(|| panic!("missing {name} in:\n{metrics}"))
+    };
+    assert!(get("rex_cache_evictions_total") >= 5, "{metrics}");
+    assert!(get("rex_cache_hits_total") >= 1, "{metrics}");
+    assert_eq!(
+        get("rex_cache_misses_total") + get("rex_cache_hits_total"),
+        get("rex_queries_total")
+    );
+    c.quit().unwrap();
+    server.shutdown().unwrap();
+}
+
+#[test]
 fn pipelined_queries_return_in_order() {
     let server = server_with_edges();
     let (mut c, _) = Client::connect(server.local_addr()).unwrap();

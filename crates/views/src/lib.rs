@@ -62,6 +62,6 @@ pub mod delta_set;
 pub mod maintain;
 pub mod view;
 
-pub use catalog::ViewCatalog;
+pub use catalog::{ViewCatalog, ViewMetrics};
 pub use delta_set::DeltaSet;
 pub use view::{evaluate, MaintenanceStrategy, MaterializedView};

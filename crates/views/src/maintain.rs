@@ -295,6 +295,9 @@ pub enum MaintNode {
         /// What each group currently contributes to the output (every
         /// group emits exactly one row).
         emitted: FxHashMap<Key, Tuple>,
+        /// Dirty groups re-derived from retained rows (replay strategy
+        /// only — a specialized node never replays).
+        replays: u64,
     },
 }
 
@@ -399,6 +402,7 @@ pub fn build_with(plan: &LogicalPlan, reg: &Registry, specialize: bool) -> Resul
                 strategy: strategy.unwrap_or(AggStrategy::Specialized(specs)),
                 groups: KeyedTable::new(),
                 emitted: FxHashMap::default(),
+                replays: 0,
             })
         }
     }
@@ -460,7 +464,16 @@ impl MaintNode {
                 fold_into(right_state, &dr, right_key);
                 Ok(out)
             }
-            MaintNode::Aggregate { input, group_cols, aggs, post, strategy, groups, emitted } => {
+            MaintNode::Aggregate {
+                input,
+                group_cols,
+                aggs,
+                post,
+                strategy,
+                groups,
+                emitted,
+                replays,
+            } => {
                 let din = input.apply(table, batch, reg)?;
                 // One owned key per *dirty group* per batch; the per-row
                 // group lookup borrows the grouping columns in place.
@@ -512,6 +525,7 @@ impl MaintNode {
                             }
                         }
                         Some(GroupState::Rows(g)) if !g.is_empty() => {
+                            *replays += 1;
                             Some(derive_group(&k, g, aggs, post, reg)?)
                         }
                         _ => None,
@@ -566,6 +580,21 @@ impl MaintNode {
                         })
                         .sum::<usize>()
             }
+        }
+    }
+
+    /// Total dirty groups re-derived from retained rows across every
+    /// replay-strategy group-by node in this subtree. Zero on a fully
+    /// specialized plan — the per-view metrics surface this so a
+    /// supposedly-O(1) view that silently fell back to replay shows up.
+    pub fn replayed_groups(&self) -> u64 {
+        match self {
+            MaintNode::Scan { .. } => 0,
+            MaintNode::Filter { input, .. } | MaintNode::Project { input, .. } => {
+                input.replayed_groups()
+            }
+            MaintNode::Join { left, right, .. } => left.replayed_groups() + right.replayed_groups(),
+            MaintNode::Aggregate { input, replays, .. } => input.replayed_groups() + replays,
         }
     }
 
@@ -864,6 +893,10 @@ mod tests {
         }
         // Specialized state retains no input rows; replay retains them all.
         assert!(fast.state_bytes() < slow.state_bytes());
+        // The specialized node never re-derives a group; the replay node
+        // re-derived both groups in every batch (3 batches × 2 groups).
+        assert_eq!(fast.replayed_groups(), 0);
+        assert_eq!(slow.replayed_groups(), 6);
     }
 
     #[test]

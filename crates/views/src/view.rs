@@ -13,6 +13,7 @@ use rex_rql::provider::CatalogProvider;
 use rex_rql::{RqlError, RqlStage};
 use rex_storage::catalog::Catalog;
 use std::fmt;
+use std::time::Instant;
 
 /// How a view is kept consistent with its base tables.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -66,6 +67,15 @@ pub struct MaterializedView {
     /// How many times the recompute fallback re-ran the defining query
     /// (diagnostics; incremental views stay at 0).
     recomputes: usize,
+    /// Maintenance passes that took the incremental path (one per
+    /// [`on_change`](Self::on_change) on a delta-maintained view).
+    incremental_passes: u64,
+    /// Input delta rows received across all maintenance passes.
+    deltas_in: u64,
+    /// Output delta rows emitted across all maintenance passes.
+    deltas_out: u64,
+    /// Wall time spent in maintenance passes, nanoseconds.
+    maint_ns: u64,
 }
 
 impl MaterializedView {
@@ -95,6 +105,10 @@ impl MaterializedView {
             sorted_cache: None,
             cache_hot: false,
             recomputes: 0,
+            incremental_passes: 0,
+            deltas_in: 0,
+            deltas_out: 0,
+            maint_ns: 0,
         }
     }
 
@@ -195,6 +209,33 @@ impl MaterializedView {
         self.recomputes
     }
 
+    /// Maintenance passes that propagated deltas incrementally
+    /// (recompute-fallback views stay at 0).
+    pub fn incremental_passes(&self) -> u64 {
+        self.incremental_passes
+    }
+
+    /// Input delta rows received across all maintenance passes.
+    pub fn deltas_in(&self) -> u64 {
+        self.deltas_in
+    }
+
+    /// Output delta rows emitted across all maintenance passes.
+    pub fn deltas_out(&self) -> u64 {
+        self.deltas_out
+    }
+
+    /// Wall time spent in maintenance passes, nanoseconds.
+    pub fn maint_ns(&self) -> u64 {
+        self.maint_ns
+    }
+
+    /// Dirty groups re-derived from retained rows by replay-strategy
+    /// group-by nodes (0 for fully specialized or recompute views).
+    pub fn replayed_groups(&self) -> u64 {
+        self.maint.as_ref().map(MaintNode::replayed_groups).unwrap_or(0)
+    }
+
     /// The output deltas not yet applied to the stored-table copy.
     pub fn pending(&self) -> &DeltaSet {
         &self.pending
@@ -253,9 +294,14 @@ impl MaterializedView {
         store: &Catalog,
         reg: &Registry,
     ) -> Result<DeltaSet> {
+        let start = Instant::now();
+        self.deltas_in += delta_rows(batch);
         match &mut self.maint {
             Some(node) => {
                 let out = node.apply(&table.to_ascii_lowercase(), batch, reg)?;
+                self.incremental_passes += 1;
+                self.deltas_out += delta_rows(&out);
+                self.maint_ns += start.elapsed().as_nanos() as u64;
                 self.output.merge_scaled(&out, 1);
                 self.pending.merge_scaled(&out, 1);
                 // Merge the delta into the sorted cache only while it is
@@ -276,6 +322,8 @@ impl MaterializedView {
                 let fresh = DeltaSet::from_rows(evaluate(&self.plan, store, reg)?);
                 let mut diff = fresh.clone();
                 diff.merge_scaled(&self.output, -1);
+                self.deltas_out += delta_rows(&diff);
+                self.maint_ns += start.elapsed().as_nanos() as u64;
                 self.output = fresh;
                 // Recompute-fallback views republish whole contents on
                 // sync; no per-delta ledger (or merge-maintained sorted
@@ -286,6 +334,12 @@ impl MaterializedView {
             }
         }
     }
+}
+
+/// Total rows a signed delta touches: the sum of absolute multiplicities
+/// (an insert and a retraction both count as one row of change).
+fn delta_rows(d: &DeltaSet) -> u64 {
+    d.iter().map(|(_, n)| n.unsigned_abs()).sum()
 }
 
 /// Merge a signed output delta into a sorted row vector in one pass:

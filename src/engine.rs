@@ -33,6 +33,7 @@ use rex_cluster::runtime::{ClusterConfig, ClusterRuntime};
 use rex_core::error::Result;
 use rex_core::exec::LocalRuntime;
 use rex_core::metrics::{ExecMetrics, QueryReport};
+use rex_core::telemetry::ExecTrace;
 use rex_core::tuple::Tuple;
 use rex_core::udf::Registry;
 use rex_rql::logical::LogicalPlan;
@@ -48,6 +49,9 @@ pub struct EngineContext<'a> {
     pub store: &'a Catalog,
     /// The session's UDF/UDA/handler registry.
     pub registry: &'a Registry,
+    /// Collect a per-operator [`ExecTrace`] for this query (the engine
+    /// returns it in [`EngineOutput::trace`]).
+    pub telemetry: bool,
 }
 
 /// Cluster-level accounting attached to a result when the query ran
@@ -62,6 +66,14 @@ pub struct ClusterStats {
     pub failures: Vec<FailureEvent>,
     /// Bytes replicated for incremental checkpoints.
     pub checkpoint_bytes: u64,
+    /// Boundary-crossing bytes moved by key-partitioned rehash boundaries.
+    pub rehash_bytes: u64,
+    /// Boundary-crossing bytes replicated by broadcast boundaries.
+    pub broadcast_bytes: u64,
+    /// Boundary-crossing bytes funneled through gather boundaries.
+    pub gather_bytes: u64,
+    /// Rows the router delivered into each worker (self-delivery included).
+    pub rows_routed: Vec<u64>,
 }
 
 /// An engine's answer: rows plus the unified execution report.
@@ -72,6 +84,9 @@ pub struct EngineOutput {
     pub report: QueryReport,
     /// Cluster-only accounting, when the query ran distributed.
     pub cluster: Option<ClusterStats>,
+    /// Measured per-operator trace, when the context asked for telemetry
+    /// (merged across workers for distributed runs).
+    pub trace: Option<ExecTrace>,
 }
 
 /// An execution backend for optimized logical plans. See the module docs
@@ -106,11 +121,11 @@ impl Engine for LocalEngine {
         let provider = CatalogProvider::new(ctx.store.clone());
         let graph =
             lower(plan, &provider, ctx.registry).map_err(|e| RqlError::at(RqlStage::Lower, e))?;
-        let rt = LocalRuntime::with_registry(ctx.registry.clone());
+        let rt = LocalRuntime::with_registry(ctx.registry.clone()).with_telemetry(ctx.telemetry);
         // The runtime's sink already returns rows in sorted order (the
         // engine agreement contract) — no second sort here.
-        let (rows, report) = rt.run(graph)?;
-        Ok(EngineOutput { rows, report, cluster: None })
+        let (rows, report, trace) = rt.run_traced(graph)?;
+        Ok(EngineOutput { rows, report, cluster: None, trace })
     }
 }
 
@@ -147,16 +162,28 @@ impl Engine for ClusterEngine {
     }
 
     fn execute(&self, plan: &LogicalPlan, ctx: &EngineContext<'_>) -> Result<EngineOutput> {
-        let config = self.config.clone().with_registry(ctx.registry.clone());
+        let config =
+            self.config.clone().with_registry(ctx.registry.clone()).with_telemetry(ctx.telemetry);
         let n_workers = config.n_workers;
         let rt = ClusterRuntime::new(config, ctx.store.clone());
         let (rows, report) = rt.run_logical(plan, ctx.registry)?;
-        let ClusterReportParts { query, per_worker, failures, checkpoint_bytes } =
+        let ClusterReportParts { query, per_worker, failures, checkpoint_bytes, traffic, trace } =
             ClusterReportParts::from(report);
+        let (rehash_bytes, broadcast_bytes, gather_bytes, rows_routed) = traffic;
         Ok(EngineOutput {
             rows,
             report: query,
-            cluster: Some(ClusterStats { n_workers, per_worker, failures, checkpoint_bytes }),
+            cluster: Some(ClusterStats {
+                n_workers,
+                per_worker,
+                failures,
+                checkpoint_bytes,
+                rehash_bytes,
+                broadcast_bytes,
+                gather_bytes,
+                rows_routed,
+            }),
+            trace,
         })
     }
 }
@@ -167,6 +194,9 @@ struct ClusterReportParts {
     per_worker: Vec<ExecMetrics>,
     failures: Vec<FailureEvent>,
     checkpoint_bytes: u64,
+    /// (rehash, broadcast, gather, rows-per-worker) router traffic.
+    traffic: (u64, u64, u64, Vec<u64>),
+    trace: Option<ExecTrace>,
 }
 
 impl From<rex_cluster::report::ClusterReport> for ClusterReportParts {
@@ -176,6 +206,8 @@ impl From<rex_cluster::report::ClusterReport> for ClusterReportParts {
             per_worker: r.per_worker,
             failures: r.failures,
             checkpoint_bytes: r.checkpoint_bytes,
+            traffic: (r.rehash_bytes, r.broadcast_bytes, r.gather_bytes, r.rows_routed),
+            trace: r.trace,
         }
     }
 }

@@ -32,11 +32,12 @@
 //! ```
 
 use crate::engine::{ClusterEngine, ClusterStats, Engine, LocalEngine};
-use crate::snapshot::{run_read_query, SnapshotView, ViewStat};
+use crate::snapshot::{run_explain_analyze, run_read_query, text_rows, SnapshotView, ViewStat};
 use rex_core::delta::Delta;
 use rex_core::error::{Result, RexError};
 use rex_core::handlers::{AggHandler, JoinHandler, WhileHandler};
 use rex_core::metrics::{QueryReport, ReportSummary};
+use rex_core::telemetry::ExecTrace;
 use rex_core::tuple::{Field, Schema, Tuple};
 use rex_core::udf::{Registry, ScalarUdf};
 use rex_optimizer::{Optimizer, PlanCost, ResourceVector};
@@ -47,7 +48,9 @@ use rex_rql::{RqlError, RqlStage};
 use rex_storage::catalog::Catalog;
 use rex_storage::table::StoredTable;
 use rex_views::{MaterializedView, ViewCatalog};
+use std::collections::VecDeque;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// The unified result of [`Session::query`]: rows plus execution
 /// accounting from whichever engine ran the plan.
@@ -63,6 +66,9 @@ pub struct QueryResult {
     pub cost: PlanCost,
     /// Which engine ran the query ("local", "cluster", ...).
     pub engine: String,
+    /// Measured per-operator trace, when the session ran with telemetry
+    /// enabled (always present for `EXPLAIN ANALYZE`).
+    pub trace: Option<ExecTrace>,
 }
 
 impl QueryResult {
@@ -82,6 +88,24 @@ impl QueryResult {
     }
 }
 
+/// One entry of the session's slow-query log: a query whose wall time
+/// crossed [`Session::set_slow_query_threshold`].
+#[derive(Debug, Clone)]
+pub struct SlowQuery {
+    /// The query text as submitted.
+    pub rql: String,
+    /// Measured wall time.
+    pub wall: Duration,
+    /// The engine that ran it.
+    pub engine: String,
+    /// Result cardinality.
+    pub rows: usize,
+}
+
+/// Ring-buffer capacity of the slow-query log: old entries fall off so an
+/// unattended session can never grow the log without bound.
+const SLOW_LOG_CAPACITY: usize = 32;
+
 /// A REX session: tables + user code + optimizer + engine, behind one
 /// query API. See the [module docs](self) for an end-to-end example.
 pub struct Session {
@@ -95,6 +119,13 @@ pub struct Session {
     /// version [`snapshot`](Self::snapshot) publishes at. Two snapshots
     /// with equal versions serve identical contents.
     version: u64,
+    /// Collect an [`ExecTrace`] for every query (seeded from the
+    /// `REX_TELEMETRY` environment variable; see
+    /// [`set_telemetry`](Self::set_telemetry)).
+    telemetry: bool,
+    /// Queries at least this slow land in the ring-buffer log.
+    slow_threshold: Duration,
+    slow_log: VecDeque<SlowQuery>,
 }
 
 impl Session {
@@ -122,7 +153,54 @@ impl Session {
             engine: Arc::from(engine),
             views: ViewCatalog::new(),
             version: 0,
+            telemetry: env_telemetry(),
+            slow_threshold: Duration::from_millis(100),
+            slow_log: VecDeque::new(),
         }
+    }
+
+    // ---- telemetry -------------------------------------------------------
+
+    /// Collect a measured per-operator [`ExecTrace`] for every query
+    /// (returned in [`QueryResult::trace`]). Off by default; the
+    /// `REX_TELEMETRY` environment variable (any value but `0` or empty)
+    /// turns it on at construction so unmodified binaries can be measured.
+    /// `EXPLAIN ANALYZE` traces its query regardless of this toggle.
+    pub fn set_telemetry(&mut self, on: bool) {
+        self.telemetry = on;
+    }
+
+    /// Whether per-query telemetry is being collected.
+    pub fn telemetry(&self) -> bool {
+        self.telemetry
+    }
+
+    /// Queries whose wall time reaches `threshold` are recorded in the
+    /// slow-query log (default 100ms; `Duration::ZERO` logs everything).
+    pub fn set_slow_query_threshold(&mut self, threshold: Duration) {
+        self.slow_threshold = threshold;
+    }
+
+    /// The slow-query log, oldest first. A ring buffer of the 32 most
+    /// recent offenders.
+    pub fn slow_queries(&self) -> impl Iterator<Item = &SlowQuery> {
+        self.slow_log.iter()
+    }
+
+    /// Record a finished query in the slow log if it crossed the line.
+    fn note_query(&mut self, rql: &str, wall: Duration, rows: usize) {
+        if wall < self.slow_threshold {
+            return;
+        }
+        if self.slow_log.len() == SLOW_LOG_CAPACITY {
+            self.slow_log.pop_front();
+        }
+        self.slow_log.push_back(SlowQuery {
+            rql: rql.to_string(),
+            wall,
+            engine: self.engine.name().to_string(),
+            rows,
+        });
     }
 
     /// Swap the execution engine, keeping tables and registered code. The
@@ -170,6 +248,7 @@ impl Session {
             self.optimizer.clone(),
             Arc::clone(&self.engine),
             views,
+            self.telemetry,
         )))
     }
 
@@ -427,6 +506,7 @@ impl Session {
                             report: QueryReport::default(),
                             cluster: None,
                             engine: "view-state".to_string(),
+                            trace: None,
                         });
                     }
                 }
@@ -434,13 +514,17 @@ impl Session {
                 self.refresh_stats();
                 // The same read pipeline every published SnapshotView
                 // runs: optimize → execute → presentation order.
-                run_read_query(
+                let t0 = Instant::now();
+                let r = run_read_query(
                     logical,
                     &self.optimizer,
                     self.engine.as_ref(),
                     &self.store,
                     &self.registry,
-                )
+                    self.telemetry,
+                )?;
+                self.note_query(rql, t0.elapsed(), r.rows.len());
+                Ok(r)
             }
             Statement::CreateTable { name, columns } => {
                 let schema =
@@ -460,6 +544,42 @@ impl Session {
                 self.drop_table(&name)?;
                 Ok(self.ddl_result(zero_cost()))
             }
+            Statement::Explain { analyze, inner } => {
+                if inner.is_ddl() {
+                    if analyze {
+                        return Err(RexError::Plan(
+                            "EXPLAIN ANALYZE requires a query (DDL has nothing to execute)".into(),
+                        ));
+                    }
+                    // Plain EXPLAIN of DDL: the catalog-action rendering
+                    // `Session::explain` produces, as text rows.
+                    let text = self.explain_stmt(&inner, rql)?;
+                    let mut r = self.ddl_result(zero_cost());
+                    r.rows = text_rows(&text);
+                    return Ok(r);
+                }
+                let logical = rex_rql::logical::plan(&inner, &self.schemas, &self.registry)
+                    .map_err(|e| RqlError::at(RqlStage::Plan, e))?;
+                self.views.sync(&self.store)?;
+                self.refresh_stats();
+                if analyze {
+                    let t0 = Instant::now();
+                    let r = run_explain_analyze(
+                        logical,
+                        &self.optimizer,
+                        self.engine.as_ref(),
+                        &self.store,
+                        &self.registry,
+                    )?;
+                    self.note_query(
+                        rql,
+                        t0.elapsed(),
+                        r.trace.as_ref().map_or(0, |t| t.sink_rows() as usize),
+                    );
+                    return Ok(r);
+                }
+                crate::snapshot::explain_result(logical, &self.optimizer, self.engine.name())
+            }
         }
     }
 
@@ -470,6 +590,16 @@ impl Session {
     /// of materialized state.
     pub fn explain(&mut self, rql: &str) -> Result<String> {
         let stmt = rex_rql::parse(rql).map_err(|e| RqlError::at(RqlStage::Parse, e))?;
+        self.explain_stmt(&stmt, rql)
+    }
+
+    /// The body of [`explain`](Self::explain), shared with the
+    /// `EXPLAIN <ddl>` statement path.
+    fn explain_stmt(&mut self, stmt: &Statement, rql: &str) -> Result<String> {
+        // Explaining an EXPLAIN explains the wrapped statement.
+        if let Statement::Explain { inner, .. } = stmt {
+            return self.explain_stmt(inner, rql);
+        }
         // Catalog-only DDL has no dataflow plan: explain it as the
         // catalog action it is.
         match &stmt {
@@ -511,7 +641,7 @@ impl Session {
                 (plan, Some(m))
             }
             _ => (
-                rex_rql::logical::plan(&stmt, &self.schemas, &self.registry)
+                rex_rql::logical::plan(stmt, &self.schemas, &self.registry)
                     .map_err(|e| RqlError::at(RqlStage::Plan, e))?,
                 None,
             ),
@@ -521,12 +651,47 @@ impl Session {
         let before = logical.explain();
         let (optimized, cost) = self.optimizer.optimize(logical)?;
         Ok(format!(
-            "== logical ==\n{before}== optimized ==\n{}== estimate ==\nruntime {:.3} units, {} rows\n{}",
+            "== logical ==\n{before}== optimized ==\n{}== estimate ==\nruntime {:.3} units, {} rows\n{}{}",
             optimized.explain(),
             cost.runtime(),
             cost.rows,
             maintenance.unwrap_or_default(),
+            self.render_view_metrics(),
         ))
+    }
+
+    /// The `== view metrics ==` section of EXPLAIN output: one line per
+    /// materialized view with its cumulative maintenance counters, plus
+    /// the catalog's total sync volume. Empty when no views exist.
+    fn render_view_metrics(&self) -> String {
+        if self.views.is_empty() {
+            return String::new();
+        }
+        let mut out = String::from("== view metrics ==\n");
+        for m in self.views.metrics() {
+            out.push_str(&format!(
+                "{} [{}]: rows={} deltas_in={} deltas_out={} passes={} recomputes={} \
+                 replayed_groups={} maint_time={} state_bytes={}\n",
+                m.name,
+                m.strategy,
+                m.rows,
+                m.deltas_in,
+                m.deltas_out,
+                m.incremental_passes,
+                m.recomputes,
+                m.replayed_groups,
+                rex_core::telemetry::fmt_ns(m.maint_ns),
+                m.state_bytes,
+            ));
+        }
+        out.push_str(&format!("sync_bytes={}\n", self.views.sync_bytes()));
+        out
+    }
+
+    /// Per-view maintenance counters, in creation order (what the
+    /// `== view metrics ==` EXPLAIN section renders).
+    pub fn view_metrics(&self) -> Vec<rex_views::ViewMetrics> {
+        self.views.metrics()
     }
 
     // ---- materialized views ----------------------------------------------
@@ -623,6 +788,7 @@ impl Session {
             cluster: None,
             cost,
             engine: self.engine.name().to_string(),
+            trace: None,
         }
     }
 
@@ -641,6 +807,12 @@ impl Session {
 /// The no-work cost estimate attached to catalog-only DDL results.
 fn zero_cost() -> PlanCost {
     PlanCost { rows: 0, resources: ResourceVector::default() }
+}
+
+/// The `REX_TELEMETRY` toggle: any value but `0` or empty enables
+/// per-query tracing in every session the process constructs.
+fn env_telemetry() -> bool {
+    std::env::var("REX_TELEMETRY").map(|v| !v.is_empty() && v != "0").unwrap_or(false)
 }
 
 /// If `plan` is a bare scan of one relation — `SELECT * FROM t`, i.e. a

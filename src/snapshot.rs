@@ -37,8 +37,11 @@
 use crate::engine::{Engine, EngineContext};
 use crate::session::QueryResult;
 use rex_core::error::{Result, RexError};
+use rex_core::metrics::QueryReport;
+use rex_core::telemetry::fmt_ns;
 use rex_core::tuple::Tuple;
 use rex_core::udf::Registry;
+use rex_core::value::Value;
 use rex_optimizer::Optimizer;
 use rex_rql::ast::Statement;
 use rex_rql::logical::{LogicalPlan, SortKey};
@@ -74,10 +77,12 @@ pub struct SnapshotView {
     optimizer: Optimizer,
     engine: Arc<dyn Engine>,
     views: Vec<ViewStat>,
+    telemetry: bool,
 }
 
 impl SnapshotView {
     /// Assembled by [`Session::snapshot`](crate::session::Session::snapshot).
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn assemble(
         version: u64,
         schemas: SchemaCatalog,
@@ -86,8 +91,9 @@ impl SnapshotView {
         optimizer: Optimizer,
         engine: Arc<dyn Engine>,
         views: Vec<ViewStat>,
+        telemetry: bool,
     ) -> SnapshotView {
-        SnapshotView { version, schemas, store, registry, optimizer, engine, views }
+        SnapshotView { version, schemas, store, registry, optimizer, engine, views, telemetry }
     }
 
     /// The version this snapshot was published at. Versions are bumped by
@@ -104,22 +110,47 @@ impl SnapshotView {
 
     /// Run a read-only RQL query against this frozen version. Write
     /// statements (DDL) are refused — they must go through the owning
-    /// session (in the server: the writer thread).
+    /// session (in the server: the writer thread). `EXPLAIN` and
+    /// `EXPLAIN ANALYZE` over queries are reads and run here too, their
+    /// output returned as single-column text rows.
     ///
     /// `&self`: any number of threads may query one snapshot
     /// concurrently; per-query state lives on the stack.
     pub fn query(&self, rql: &str) -> Result<QueryResult> {
         let stmt = rex_rql::parse(rql).map_err(|e| RqlError::at(RqlStage::Parse, e))?;
-        if !matches!(stmt, Statement::Query(_)) {
+        if stmt.is_ddl() {
             return Err(RexError::Plan(
                 "snapshot is read-only: DDL must run through the session (server: the write \
                  path — SCRIPT)"
                     .into(),
             ));
         }
+        let (explain, analyze, stmt) = match stmt {
+            Statement::Explain { analyze, inner } => (true, analyze, *inner),
+            s => (false, false, s),
+        };
         let logical = rex_rql::logical::plan(&stmt, &self.schemas, &self.registry)
             .map_err(|e| RqlError::at(RqlStage::Plan, e))?;
-        run_read_query(logical, &self.optimizer, self.engine.as_ref(), &self.store, &self.registry)
+        if explain && analyze {
+            return run_explain_analyze(
+                logical,
+                &self.optimizer,
+                self.engine.as_ref(),
+                &self.store,
+                &self.registry,
+            );
+        }
+        if explain {
+            return explain_result(logical, &self.optimizer, self.engine.name());
+        }
+        run_read_query(
+            logical,
+            &self.optimizer,
+            self.engine.as_ref(),
+            &self.store,
+            &self.registry,
+            self.telemetry,
+        )
     }
 
     /// Table (and synced view-copy) names, sorted.
@@ -178,9 +209,10 @@ pub(crate) fn run_read_query(
     engine: &dyn Engine,
     store: &Catalog,
     registry: &Registry,
+    telemetry: bool,
 ) -> Result<QueryResult> {
     let (optimized, cost) = optimizer.optimize(logical)?;
-    let ctx = EngineContext { store, registry };
+    let ctx = EngineContext { store, registry, telemetry };
     let mut out = engine.execute(&optimized, &ctx)?;
     // Engines return rows sorted (their agreement contract); a top-level
     // ORDER BY re-orders the final — already limited — rows into
@@ -194,6 +226,75 @@ pub(crate) fn run_read_query(
         cluster: out.cluster,
         cost,
         engine: engine.name().to_string(),
+        trace: out.trace,
+    })
+}
+
+/// One single-column string tuple per line of `text` — how EXPLAIN output
+/// travels as a result set (and so over the server's line protocol
+/// unchanged).
+pub(crate) fn text_rows(text: &str) -> Vec<Tuple> {
+    text.lines().map(|l| Tuple::new(vec![Value::str(l)])).collect()
+}
+
+/// `EXPLAIN <query>` without execution: logical plan, optimizer rewrite,
+/// and estimate, as text rows.
+pub(crate) fn explain_result(
+    logical: LogicalPlan,
+    optimizer: &Optimizer,
+    engine: &str,
+) -> Result<QueryResult> {
+    let before = logical.explain();
+    let (optimized, cost) = optimizer.optimize(logical)?;
+    let text = format!(
+        "== logical ==\n{before}== optimized ==\n{}== estimate ==\nruntime {:.3} units, {} rows\n",
+        optimized.explain(),
+        cost.runtime(),
+        cost.rows,
+    );
+    Ok(QueryResult {
+        rows: text_rows(&text),
+        report: QueryReport::default(),
+        cluster: None,
+        cost,
+        engine: engine.to_string(),
+        trace: None,
+    })
+}
+
+/// `EXPLAIN ANALYZE <query>`: execute with telemetry forced on and render
+/// the measured operator tree next to the optimizer's estimate, so
+/// misestimates read directly off the `estimated … actual …` line. Shared
+/// by [`Session::query`](crate::session::Session::query) and
+/// [`SnapshotView::query`].
+pub(crate) fn run_explain_analyze(
+    logical: LogicalPlan,
+    optimizer: &Optimizer,
+    engine: &dyn Engine,
+    store: &Catalog,
+    registry: &Registry,
+) -> Result<QueryResult> {
+    let (optimized, cost) = optimizer.optimize(logical)?;
+    let ctx = EngineContext { store, registry, telemetry: true };
+    let out = engine.execute(&optimized, &ctx)?;
+    let trace = out
+        .trace
+        .ok_or_else(|| RexError::Exec("engine returned no trace for EXPLAIN ANALYZE".into()))?;
+    let mut text = format!("== explain analyze ({}) ==\n", engine.name());
+    text.push_str(&format!(
+        "estimated {} rows; actual {} rows in {}\n",
+        cost.rows,
+        out.rows.len(),
+        fmt_ns((trace.wall_seconds * 1e9) as u64),
+    ));
+    text.push_str(&trace.render());
+    Ok(QueryResult {
+        rows: text_rows(&text),
+        report: out.report,
+        cluster: out.cluster,
+        cost,
+        engine: engine.name().to_string(),
+        trace: Some(trace),
     })
 }
 

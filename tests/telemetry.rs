@@ -1,0 +1,149 @@
+//! End-to-end telemetry: per-operator traces, EXPLAIN ANALYZE, the
+//! slow-query log, and the guarantee that turning telemetry on never
+//! changes a query's answer — on both engines.
+
+use rex::core::tuple::Tuple;
+use rex::core::value::Value;
+use rex::data::rng::StdRng;
+use rex::Session;
+use std::time::Duration;
+
+/// Local + cluster sessions over the same random `sales` table; small
+/// value domains so joins, duplicates, and group-by collisions occur.
+fn sales_sessions(seed: u64) -> Vec<Session> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rows: Vec<Tuple> = (0..60)
+        .map(|_| {
+            Tuple::new(vec![
+                Value::Int(rng.gen_range(0..=5i64)),
+                Value::Double(rng.gen_range(1..=4i64) as f64),
+                Value::Int(rng.gen_range(1..=3i64)),
+            ])
+        })
+        .collect();
+    [Session::local(), Session::cluster(3)]
+        .into_iter()
+        .map(|mut s| {
+            s.query("CREATE TABLE sales (item int, price double, qty int)").unwrap();
+            s.insert("sales", rows.clone()).unwrap();
+            s
+        })
+        .collect()
+}
+
+/// The query sweep traced by the tests below: scans, filters, joins,
+/// aggregates, ORDER BY/LIMIT, DISTINCT.
+const SWEEP: &[&str] = &[
+    "SELECT item, price FROM sales WHERE qty > 1",
+    "SELECT item, count(*), sum(qty) FROM sales GROUP BY item",
+    "SELECT DISTINCT item FROM sales",
+    "SELECT a.item, b.qty FROM sales a, sales b WHERE a.item = b.item AND a.qty < b.qty",
+    "SELECT item, price * qty FROM sales ORDER BY price * qty DESC, item LIMIT 5",
+];
+
+#[test]
+fn sink_rows_match_result_cardinality_on_both_engines() {
+    for seed in [7u64, 99, 4096] {
+        for mut s in sales_sessions(seed) {
+            s.set_telemetry(true);
+            for sql in SWEEP {
+                let r = s.query(sql).unwrap();
+                let trace = r.trace.as_ref().unwrap_or_else(|| {
+                    panic!("telemetry on but no trace for {sql} on {}", r.engine)
+                });
+                assert_eq!(
+                    trace.sink_rows() as usize,
+                    r.rows.len(),
+                    "seed {seed}, {sql} on {}: sink rows vs result cardinality",
+                    r.engine
+                );
+                assert!(!trace.ops.is_empty(), "{sql}: trace has operators");
+            }
+        }
+    }
+}
+
+#[test]
+fn telemetry_toggle_is_output_invisible() {
+    for seed in [13u64, 31337] {
+        let mut with = sales_sessions(seed);
+        let mut without = sales_sessions(seed);
+        for s in with.iter_mut() {
+            s.set_telemetry(true);
+        }
+        for sql in SWEEP {
+            for (on, off) in with.iter_mut().zip(without.iter_mut()) {
+                let r_on = on.query(sql).unwrap();
+                let r_off = off.query(sql).unwrap();
+                assert_eq!(
+                    r_on.rows, r_off.rows,
+                    "seed {seed}, {sql} on {}: telemetry changed the answer",
+                    r_on.engine
+                );
+                assert!(r_on.trace.is_some(), "{sql}: telemetry on yields a trace");
+                assert!(r_off.trace.is_none(), "{sql}: telemetry off yields no trace");
+            }
+        }
+    }
+}
+
+#[test]
+fn fixpoint_trace_iterations_match_query_report() {
+    let recursive = "WITH reach (id) AS (SELECT src FROM edges WHERE src = 0)
+        UNION UNTIL FIXPOINT BY id (
+          SELECT edges.dst FROM edges, reach WHERE edges.src = reach.id)";
+    for mut s in [Session::local(), Session::cluster(3)] {
+        s.set_telemetry(true);
+        s.query("CREATE TABLE edges (src INT, dst INT)").unwrap();
+        let chain: Vec<Tuple> =
+            (0..12i64).map(|i| Tuple::new(vec![Value::Int(i), Value::Int(i + 1)])).collect();
+        s.insert("edges", chain).unwrap();
+        let r = s.query(recursive).unwrap();
+        assert_eq!(r.rows.len(), 13);
+        let trace = r.trace.as_ref().expect("trace for recursive query");
+        assert_eq!(
+            trace.iteration_deltas.len(),
+            r.report.iterations(),
+            "{}: trace strata vs report iterations",
+            r.engine
+        );
+        let from_report: Vec<u64> = r.report.strata.iter().map(|st| st.delta_set_size).collect();
+        assert_eq!(trace.iteration_deltas, from_report, "{}: per-stratum deltas", r.engine);
+        assert_eq!(*trace.iteration_deltas.last().unwrap(), 0, "closing stratum is empty");
+    }
+}
+
+#[test]
+fn explain_analyze_executes_and_renders_actuals() {
+    for mut s in sales_sessions(5) {
+        // EXPLAIN ANALYZE forces a trace even with session telemetry off.
+        let r = s.query("EXPLAIN ANALYZE SELECT item, count(*) FROM sales GROUP BY item").unwrap();
+        let text: String =
+            r.rows.iter().map(|t| t.get(0).as_str().unwrap().to_string() + "\n").collect();
+        assert!(text.contains("== explain analyze"), "{text}");
+        assert!(text.contains("actual"), "{text}");
+        assert!(text.contains("rows_out="), "{text}");
+        assert!(r.trace.is_some());
+        // Plain EXPLAIN never executes: no trace, estimate only.
+        let r = s.query("EXPLAIN SELECT item FROM sales").unwrap();
+        let text: String =
+            r.rows.iter().map(|t| t.get(0).as_str().unwrap().to_string() + "\n").collect();
+        assert!(text.contains("== estimate =="), "{text}");
+        assert!(r.trace.is_none());
+    }
+}
+
+#[test]
+fn slow_query_log_captures_over_threshold_queries() {
+    let mut s = sales_sessions(8).remove(0);
+    s.set_slow_query_threshold(Duration::from_secs(3600));
+    s.query(SWEEP[0]).unwrap();
+    assert_eq!(s.slow_queries().count(), 0, "nothing crosses an hour threshold");
+    s.set_slow_query_threshold(Duration::ZERO);
+    s.query(SWEEP[1]).unwrap();
+    let slow: Vec<_> = s.slow_queries().collect();
+    assert_eq!(slow.len(), 1);
+    assert_eq!(slow[0].rql, SWEEP[1]);
+    assert_eq!(slow[0].engine, "local");
+    assert!(slow[0].rows > 0);
+}
