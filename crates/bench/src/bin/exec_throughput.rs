@@ -50,15 +50,17 @@ const PASSES: usize = 5;
 /// noise: the gating scan→filter→project configs hold ≥2x with 25–40%
 /// margin; the join workload floors only guard against regression (its
 /// costs are dominated by cache-miss-bound hash probes both before and
-/// after, so its speedup — ~1.1x local, ~1.5x cluster on a quiet machine
-/// — is modest and noise-sensitive).
+/// after). Re-measured interleaved against the baseline commit after the
+/// batched-probe dedup fix: local runs at parity (0.95–1.13x across
+/// rounds, noise-bound), cluster holds ~1.4x — so local carries a 0.9
+/// regression guard and cluster gates at 1.25.
 const CONFIGS: [(&str, &str, f64, f64); 6] = [
     ("scan_filter_project", "local", 130.4, 2.0),
     ("scan_filter_project", "cluster", 449.5, 2.0),
     ("scan_filter_project_half", "local", 243.2, 1.8),
     ("scan_filter_project_half", "cluster", 590.5, 2.0),
-    ("join_group", "local", 703.2, 0.85),
-    ("join_group", "cluster", 1224.6, 1.1),
+    ("join_group", "local", 703.2, 0.9),
+    ("join_group", "cluster", 1224.6, 1.25),
 ];
 
 const SFPS_SELECTIVE: &str = "SELECT k, a + 1, b * 2.0 FROM t WHERE a < 10";

@@ -14,6 +14,34 @@ use rex_core::operators::{hash_key, hash_key_cols, Event};
 use rex_storage::partition::PartitionSnapshot;
 use std::collections::{HashMap, HashSet};
 
+/// One routed batch: everything needed to deliver an event into a worker
+/// without touching that worker's executor from the routing thread — the
+/// unit the threaded cluster scheduler sends over worker-thread channels.
+#[derive(Debug)]
+pub struct Delivery {
+    /// Receiving worker.
+    pub target: usize,
+    /// Network-boundary node (delivery re-enters downstream of it).
+    pub node: NodeId,
+    /// Output port of the boundary node.
+    pub port: usize,
+    /// The routed event.
+    pub event: Event,
+    /// Bytes this delivery moved across worker boundaries (0 for
+    /// self-delivery) — credited to the target's `bytes_received`.
+    pub bytes: u64,
+}
+
+/// Where a routed batch came from: sender, boundary node/port, and the
+/// cluster width (bucket-table size for hash routing).
+#[derive(Clone, Copy)]
+struct BatchCtx {
+    from_worker: usize,
+    node: NodeId,
+    port: usize,
+    n_workers: usize,
+}
+
 /// Routes rehash traffic among a set of worker executors.
 #[derive(Default)]
 pub struct Router {
@@ -61,18 +89,56 @@ impl Router {
         live: &[usize],
         snap: &PartitionSnapshot,
     ) -> usize {
-        let mut injected = 0;
+        let n_workers = executors.len();
+        let (deliveries, sent) = {
+            let ex: &[Executor] = executors;
+            let net_key = move |node: NodeId| {
+                ex[from_worker]
+                    .network_key(node)
+                    .expect("outbox emission from a non-network node")
+                    .clone()
+            };
+            self.route_batches(from_worker, outbox, &net_key, live, snap, n_workers)
+        };
+        executors[from_worker].metrics.bytes_sent += sent;
+        let injected = deliveries.len();
+        for d in deliveries {
+            executors[d.target].metrics.bytes_received += d.bytes;
+            executors[d.target].inject_downstream(d.node, d.port, d.event);
+        }
+        injected
+    }
+
+    /// The routing decision itself, with no executor access: partition an
+    /// outbox into per-target [`Delivery`]s (in deterministic emission
+    /// order) and account every router-side counter. Returns the
+    /// deliveries plus the sender's total `bytes_sent` credit. [`route`]
+    /// is exactly this plus local injection, and the threaded cluster
+    /// scheduler sends the same deliveries over worker-thread channels —
+    /// so inline and threaded execution route identically by
+    /// construction.
+    pub fn route_batches(
+        &mut self,
+        from_worker: usize,
+        outbox: Vec<NetEmission>,
+        net_key: &dyn Fn(NodeId) -> NetKey,
+        live: &[usize],
+        snap: &PartitionSnapshot,
+        n_workers: usize,
+    ) -> (Vec<Delivery>, u64) {
+        let mut deliveries = Vec::new();
+        let mut sent = 0u64;
         for em in outbox {
             match em.event {
                 Event::Data(deltas) => {
-                    injected += self.route_data(
-                        from_worker,
-                        em.node,
-                        em.port,
+                    self.batch_data(
+                        BatchCtx { from_worker, node: em.node, port: em.port, n_workers },
                         deltas,
-                        executors,
+                        net_key,
                         live,
                         snap,
+                        &mut deliveries,
+                        &mut sent,
                     );
                 }
                 // Fast-lane batches crossing a boundary route as the
@@ -80,40 +146,45 @@ impl Router {
                 // today, but the router must not depend on that).
                 Event::Rows(rows) => {
                     let deltas = rows.into_iter().map(Delta::insert).collect();
-                    injected += self.route_data(
-                        from_worker,
-                        em.node,
-                        em.port,
+                    self.batch_data(
+                        BatchCtx { from_worker, node: em.node, port: em.port, n_workers },
                         deltas,
-                        executors,
+                        net_key,
                         live,
                         snap,
+                        &mut deliveries,
+                        &mut sent,
                     );
                 }
                 Event::Punct(p) => {
-                    injected += self.route_punct(from_worker, em.node, em.port, p, executors, live);
+                    self.batch_punct(
+                        from_worker,
+                        em.node,
+                        em.port,
+                        p,
+                        live,
+                        &mut deliveries,
+                        &mut sent,
+                    );
                 }
             }
         }
-        injected
+        (deliveries, sent)
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn route_data(
+    fn batch_data(
         &mut self,
-        from_worker: usize,
-        node: NodeId,
-        port: usize,
+        ctx: BatchCtx,
         deltas: Vec<Delta>,
-        executors: &mut [Executor],
+        net_key: &dyn Fn(NodeId) -> NetKey,
         live: &[usize],
         snap: &PartitionSnapshot,
-    ) -> usize {
-        let net = executors[from_worker]
-            .network_key(node)
-            .expect("outbox emission from a non-network node")
-            .clone();
-        let key_cols: Vec<usize> = match net {
+        out: &mut Vec<Delivery>,
+        sent: &mut u64,
+    ) {
+        let BatchCtx { from_worker, node, port, n_workers } = ctx;
+        let key_cols: Vec<usize> = match net_key(node) {
             // A broadcast boundary replicates the full batch to every live
             // worker (small relations joined against everything, e.g.
             // K-means centroids against the point partitions).
@@ -122,17 +193,23 @@ impl Router {
                 let event = Event::Data(deltas);
                 let bytes = event.byte_size() as u64;
                 for &target in live {
-                    if target != from_worker {
-                        executors[from_worker].metrics.bytes_sent += bytes;
-                        executors[target].metrics.bytes_received += bytes;
+                    let crossed = target != from_worker;
+                    if crossed {
+                        *sent += bytes;
                         self.bytes_crossed += bytes;
                         self.broadcast_bytes += bytes;
                         self.messages_crossed += 1;
                     }
                     self.tally_rows(target, n_rows);
-                    executors[target].inject_downstream(node, port, event.clone());
+                    out.push(Delivery {
+                        target,
+                        node,
+                        port,
+                        event: event.clone(),
+                        bytes: if crossed { bytes } else { 0 },
+                    });
                 }
-                return live.len();
+                return;
             }
             // A gather boundary funnels everything to one deterministic
             // worker — the owner of the empty key (global aggregates).
@@ -140,23 +217,23 @@ impl Router {
                 let target = snap.owner_of_hash(hash_key(&[]));
                 let n_rows = deltas.len() as u64;
                 let event = Event::Data(deltas);
-                if target != from_worker {
-                    let bytes = event.byte_size() as u64;
-                    executors[from_worker].metrics.bytes_sent += bytes;
-                    executors[target].metrics.bytes_received += bytes;
+                let crossed = target != from_worker;
+                let bytes = if crossed { event.byte_size() as u64 } else { 0 };
+                if crossed {
+                    *sent += bytes;
                     self.bytes_crossed += bytes;
                     self.gather_bytes += bytes;
                     self.messages_crossed += 1;
                 }
                 self.tally_rows(target, n_rows);
-                executors[target].inject_downstream(node, port, event);
-                return 1;
+                out.push(Delivery { target, node, port, event, bytes });
+                return;
             }
             NetKey::Hash(cols) => cols,
         };
         // Bucket by owner with a worker-indexed table — no hashing to pick
         // the bucket a routed delta lands in.
-        let mut per_target: Vec<Vec<Delta>> = vec![Vec::new(); executors.len()];
+        let mut per_target: Vec<Vec<Delta>> = vec![Vec::new(); n_workers];
         for d in deltas {
             // A replacement whose old tuple lives in a different partition
             // must be split into a routed delete plus a routed insert.
@@ -172,37 +249,36 @@ impl Router {
             let owner = snap.owner_of_hash(hash_key_cols(&d.tuple, &key_cols));
             per_target[owner].push(d);
         }
-        let mut injected = 0;
         for (target, batch) in per_target.into_iter().enumerate().filter(|(_, b)| !b.is_empty()) {
             let n_rows = batch.len() as u64;
             let event = Event::Data(batch);
-            if target != from_worker {
-                let bytes = event.byte_size() as u64;
-                executors[from_worker].metrics.bytes_sent += bytes;
-                executors[target].metrics.bytes_received += bytes;
+            let crossed = target != from_worker;
+            let bytes = if crossed { event.byte_size() as u64 } else { 0 };
+            if crossed {
+                *sent += bytes;
                 self.bytes_crossed += bytes;
                 self.rehash_bytes += bytes;
                 self.messages_crossed += 1;
             }
             self.tally_rows(target, n_rows);
-            executors[target].inject_downstream(node, port, event);
-            injected += 1;
+            out.push(Delivery { target, node, port, event, bytes });
         }
-        injected
     }
 
-    fn route_punct(
+    #[allow(clippy::too_many_arguments)]
+    fn batch_punct(
         &mut self,
         from_worker: usize,
         node: NodeId,
         port: usize,
         p: Punctuation,
-        executors: &mut [Executor],
         live: &[usize],
-    ) -> usize {
+        out: &mut Vec<Delivery>,
+        sent: &mut u64,
+    ) {
         // Broadcast cost: one tiny message to every other live worker.
         let bcast = Event::Punct(p).byte_size() as u64 * (live.len().saturating_sub(1)) as u64;
-        executors[from_worker].metrics.bytes_sent += bcast;
+        *sent += bcast;
         self.bytes_crossed += bcast;
 
         let heard = self.punct_counts.entry((node, port, p)).or_default();
@@ -210,11 +286,8 @@ impl Router {
         if heard.len() >= live.len() {
             self.punct_counts.remove(&(node, port, p));
             for &w in live {
-                executors[w].inject_downstream(node, port, Event::Punct(p));
+                out.push(Delivery { target: w, node, port, event: Event::Punct(p), bytes: 0 });
             }
-            live.len()
-        } else {
-            0
         }
     }
 

@@ -10,17 +10,20 @@
 
 use crate::failure::{FailureEvent, FailurePlan, RecoveryStrategy};
 use crate::report::ClusterReport;
-use crate::router::Router;
+use crate::router::{Delivery, Router};
 use rex_core::error::{Result, RexError};
-use rex_core::exec::{Executor, PlanGraph, MAX_STRATA};
+use rex_core::exec::{Executor, NetEmission, NetKey, NodeId, PlanGraph, MAX_STRATA};
 use rex_core::metrics::{CostModel, ExecMetrics, StratumReport};
 use rex_core::operators::{hash_key_cols, OperatorState};
 use rex_core::telemetry::ExecTrace;
+use rex_core::thread_budget;
 use rex_core::tuple::Tuple;
 use rex_core::udf::Registry;
 use rex_storage::catalog::Catalog;
 use rex_storage::checkpoint::{Checkpoint, CheckpointStore};
 use rex_storage::partition::PartitionSnapshot;
+use std::collections::HashMap;
+use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -50,6 +53,13 @@ pub struct ClusterConfig {
     /// Collect per-operator execution traces on every worker and merge
     /// them into [`ClusterReport::trace`].
     pub telemetry: bool,
+    /// OS threads the drain scheduler may use for worker execution
+    /// (1 = the historical inline loop). Workers are spread round-robin
+    /// over at most this many threads; the process-wide
+    /// [`thread_budget`](rex_core::thread_budget) may cap what is
+    /// actually spawned. Either way results are bit-identical to the
+    /// single-threaded schedule.
+    pub threads: usize,
 }
 
 impl ClusterConfig {
@@ -64,7 +74,14 @@ impl ClusterConfig {
             failure: None,
             recovery: RecoveryStrategy::Incremental,
             telemetry: false,
+            threads: 1,
         }
+    }
+
+    /// Set the drain scheduler's thread ceiling.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
     }
 
     /// Toggle per-operator execution tracing.
@@ -116,6 +133,7 @@ impl ClusterRuntime {
         let n = self.config.n_workers;
         let reg = &self.config.registry;
         let cost = &self.config.cost;
+        let threads = self.config.threads;
         let t0 = Instant::now();
 
         let mut report = ClusterReport { n_workers: n, ..Default::default() };
@@ -158,7 +176,7 @@ impl ClusterRuntime {
             for &w in &live {
                 executors[w].start(reg, cost)?;
             }
-            drain_all(&mut executors, &mut router, &live, &snapshot, reg, cost)?;
+            drain_all(&mut executors, &mut router, &live, &snapshot, reg, cost, threads)?;
 
             // On incremental recovery only the failed worker's range is
             // actually cold: the survivors' scans and immutable operator
@@ -232,7 +250,7 @@ impl ClusterRuntime {
                     // advance emits locally; rehash traffic goes through the
                     // normal drain below.
                 }
-                drain_all(&mut executors, &mut router, &live, &snapshot, reg, cost)?;
+                drain_all(&mut executors, &mut router, &live, &snapshot, reg, cost, threads)?;
                 completed = k + 1;
             }
 
@@ -377,7 +395,7 @@ impl ClusterRuntime {
                     executors[w].set_stratum(completed + 1);
                 }
                 // advance() queues locally; rehash traffic flows in drain.
-                drain_all(&mut executors, &mut router, &live, &snapshot, reg, cost)?;
+                drain_all(&mut executors, &mut router, &live, &snapshot, reg, cost, threads)?;
                 completed += 1;
                 if !any_continue {
                     let results = collect_results(&mut executors, &live, cost)?;
@@ -399,7 +417,41 @@ impl ClusterRuntime {
 
 /// Round-based scheduler: drain every live worker, route its rehash
 /// traffic, repeat until global quiescence.
+///
+/// One round = (1) every worker with queued work drains fully, then
+/// (2) the collected outboxes are routed in worker-id order. Because
+/// routing is deferred to the end of the round, the delivery order on
+/// every channel is a pure function of the round schedule — so the
+/// threaded variant, which runs step (1) on worker threads, produces
+/// bit-identical results (and byte-identical router accounting) to the
+/// serial one. FIFO per channel is the only ordering the paper's TCP
+/// transport guarantees (§4.1); the round barrier gives us that plus
+/// determinism.
 fn drain_all(
+    executors: &mut [Executor],
+    router: &mut Router,
+    live: &[usize],
+    snap: &PartitionSnapshot,
+    reg: &Registry,
+    cost: &CostModel,
+    threads: usize,
+) -> Result<()> {
+    // One thread per live worker is the useful ceiling; extra threads are
+    // leased from the process-wide budget so concurrent queries cannot
+    // oversubscribe the host.
+    let want = threads.max(1).min(live.len());
+    let extra = if want > 1 { thread_budget::try_acquire(want - 1) } else { 0 };
+    let res = if extra == 0 {
+        drain_all_serial(executors, router, live, snap, reg, cost)
+    } else {
+        drain_all_threaded(executors, router, live, snap, reg, cost, 1 + extra)
+    };
+    thread_budget::release(extra);
+    res
+}
+
+/// The inline schedule: drain phase, then route phase, repeat.
+fn drain_all_serial(
     executors: &mut [Executor],
     router: &mut Router,
     live: &[usize],
@@ -408,21 +460,192 @@ fn drain_all(
     cost: &CostModel,
 ) -> Result<()> {
     loop {
-        let mut progressed = false;
+        let mut round: Vec<(usize, Vec<NetEmission>)> = Vec::new();
         for &w in live {
             if executors[w].has_work() {
-                progressed = true;
                 let mut outbox = Vec::new();
                 executors[w].drain(reg, cost, &mut outbox)?;
-                if !outbox.is_empty() {
-                    router.route(w, outbox, executors, live, snap);
+                round.push((w, outbox));
+            }
+        }
+        if round.is_empty() {
+            return Ok(());
+        }
+        for (w, outbox) in round {
+            if !outbox.is_empty() {
+                router.route(w, outbox, executors, live, snap);
+            }
+        }
+    }
+}
+
+/// A message from the coordinator to the thread owning a worker.
+enum ToWorker {
+    /// Inject a routed batch into `worker`'s executor.
+    Deliver { worker: usize, delivery: Delivery },
+    /// Credit routed-output bytes to `worker`'s `bytes_sent`.
+    Sent { worker: usize, bytes: u64 },
+    /// Drain every owned worker with queued work; report the outboxes.
+    Round,
+    /// Globally quiescent (or erred): exit the thread.
+    Stop,
+}
+
+/// Bound on each worker thread's command inbox: a slow thread applies
+/// backpressure to the routing coordinator instead of buffering every
+/// in-flight delivery of the round.
+const INBOX_DEPTH: usize = 64;
+
+/// The threaded schedule: each of `threads` persistent worker threads
+/// owns a disjoint round-robin slice of the live executors and drains
+/// them on `Round` commands; the coordinator keeps the router and turns
+/// outboxes into channel deliveries between rounds. Same rounds, same
+/// worker-order routing, same per-channel FIFO as the serial path —
+/// only the drain phase actually runs in parallel.
+fn drain_all_threaded(
+    executors: &mut [Executor],
+    router: &mut Router,
+    live: &[usize],
+    snap: &PartitionSnapshot,
+    reg: &Registry,
+    cost: &CostModel,
+    threads: usize,
+) -> Result<()> {
+    let n_workers = executors.len();
+    // Routing needs each boundary node's key after the executors have
+    // moved into their threads; every live worker runs the same plan, so
+    // snapshot the keys from the first one.
+    let reference = &executors[live[0]];
+    let net_keys: HashMap<NodeId, NetKey> = reference
+        .network_nodes()
+        .into_iter()
+        .map(|node| {
+            let key = reference.network_key(node).expect("network node has a key").clone();
+            (node, key)
+        })
+        .collect();
+    // Round-robin ownership: worker w belongs to thread owner[w].
+    let mut owner = vec![usize::MAX; n_workers];
+    for (i, &w) in live.iter().enumerate() {
+        owner[w] = i % threads;
+    }
+    let mut slots: Vec<Vec<(usize, &mut Executor)>> = (0..threads).map(|_| Vec::new()).collect();
+    for (w, ex) in executors.iter_mut().enumerate() {
+        if owner[w] != usize::MAX {
+            slots[owner[w]].push((w, ex));
+        }
+    }
+
+    std::thread::scope(|s| {
+        let (res_tx, res_rx) = mpsc::channel::<Result<Vec<(usize, Vec<NetEmission>)>>>();
+        let mut inboxes = Vec::with_capacity(threads);
+        for group in slots {
+            let (tx, rx) = mpsc::sync_channel::<ToWorker>(INBOX_DEPTH);
+            let res_tx = res_tx.clone();
+            s.spawn(move || {
+                let mut group = group;
+                fn find<'a>(
+                    group: &'a mut [(usize, &mut Executor)],
+                    worker: usize,
+                ) -> &'a mut Executor {
+                    let slot = group
+                        .iter_mut()
+                        .find(|(w, _)| *w == worker)
+                        .expect("delivery to a worker this thread does not own");
+                    slot.1
+                }
+                while let Ok(cmd) = rx.recv() {
+                    match cmd {
+                        ToWorker::Deliver { worker, delivery } => {
+                            let ex = find(&mut group, worker);
+                            ex.metrics.bytes_received += delivery.bytes;
+                            ex.inject_downstream(delivery.node, delivery.port, delivery.event);
+                        }
+                        ToWorker::Sent { worker, bytes } => {
+                            find(&mut group, worker).metrics.bytes_sent += bytes;
+                        }
+                        ToWorker::Round => {
+                            let mut drained = Vec::new();
+                            let mut err = None;
+                            for (w, ex) in group.iter_mut() {
+                                if ex.has_work() {
+                                    let mut outbox = Vec::new();
+                                    match ex.drain(reg, cost, &mut outbox) {
+                                        Ok(()) => drained.push((*w, outbox)),
+                                        Err(e) => {
+                                            err = Some(e);
+                                            break;
+                                        }
+                                    }
+                                }
+                            }
+                            let reply = match err {
+                                Some(e) => Err(e),
+                                None => Ok(drained),
+                            };
+                            if res_tx.send(reply).is_err() {
+                                return;
+                            }
+                        }
+                        ToWorker::Stop => return,
+                    }
+                }
+            });
+            inboxes.push(tx);
+        }
+        drop(res_tx);
+
+        let mut failure: Option<RexError> = None;
+        loop {
+            // Inbox FIFO guarantees each thread applies all of last
+            // round's deliveries before draining for this one.
+            for tx in &inboxes {
+                let _ = tx.send(ToWorker::Round);
+            }
+            let mut round: Vec<(usize, Vec<NetEmission>)> = Vec::new();
+            for _ in 0..threads {
+                match res_rx.recv() {
+                    Ok(Ok(drained)) => round.extend(drained),
+                    Ok(Err(e)) => {
+                        failure.get_or_insert(e);
+                    }
+                    Err(_) => {
+                        failure.get_or_insert(RexError::Exec(
+                            "cluster drain thread exited unexpectedly".into(),
+                        ));
+                    }
+                }
+            }
+            if failure.is_some() || round.is_empty() {
+                break;
+            }
+            // Route in worker-id order — the serial schedule.
+            round.sort_by_key(|(w, _)| *w);
+            for (w, outbox) in round {
+                if outbox.is_empty() {
+                    continue;
+                }
+                let lookup = |node: NodeId| net_keys[&node].clone();
+                let (deliveries, sent) =
+                    router.route_batches(w, outbox, &lookup, live, snap, n_workers);
+                if sent > 0 {
+                    let _ = inboxes[owner[w]].send(ToWorker::Sent { worker: w, bytes: sent });
+                }
+                for d in deliveries {
+                    let to = owner[d.target];
+                    let _ = inboxes[to].send(ToWorker::Deliver { worker: d.target, delivery: d });
                 }
             }
         }
-        if !progressed {
-            return Ok(());
+        for tx in &inboxes {
+            let _ = tx.send(ToWorker::Stop);
         }
-    }
+        drop(inboxes);
+        match failure {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    })
 }
 
 /// Take and fold each live worker's execution trace into the accumulator
@@ -728,6 +951,67 @@ mod tests {
         let (results, _) = rt.run(recursive_build()).unwrap();
         assert_eq!(results.len(), 10);
         assert!(results.iter().all(|t| t.get(1).as_double().unwrap() == 5.0));
+    }
+
+    /// The threaded drain scheduler shares the serial path's round
+    /// schedule, so recursion results, per-worker metrics, and router
+    /// accounting must all be bit-identical at any thread count.
+    #[test]
+    fn threaded_drain_matches_serial_bit_for_bit() {
+        let serial = {
+            let cat = catalog_with_numbers(30);
+            let rt = ClusterRuntime::new(ClusterConfig::new(3).with_telemetry(true), cat);
+            rt.run(recursive_build()).unwrap()
+        };
+        for threads in [2, 4] {
+            let cat = catalog_with_numbers(30);
+            let cfg = ClusterConfig::new(3).with_telemetry(true).with_threads(threads);
+            let rt = ClusterRuntime::new(cfg, cat);
+            let (rows, report) = rt.run(recursive_build()).unwrap();
+            assert_eq!(rows, serial.0, "rows diverge at {threads} threads");
+            assert_eq!(report.per_worker, serial.1.per_worker);
+            assert_eq!(report.rows_routed, serial.1.rows_routed);
+            assert_eq!(report.rehash_bytes, serial.1.rehash_bytes);
+            assert_eq!(report.broadcast_bytes, serial.1.broadcast_bytes);
+            assert_eq!(report.query.totals, serial.1.query.totals);
+            let (t, s) = (report.trace.as_ref().unwrap(), serial.1.trace.as_ref().unwrap());
+            assert_eq!(t.sink_rows(), s.sink_rows());
+            assert_eq!(t.iteration_deltas, s.iteration_deltas);
+        }
+    }
+
+    /// Threaded aggregation with a rehash boundary: the float sum is
+    /// order-sensitive, so equality here proves delivery order matches.
+    #[test]
+    fn threaded_aggregation_matches_serial() {
+        let run = |threads: usize| {
+            let cat = catalog_with_numbers(90);
+            let cfg = ClusterConfig::new(3).with_threads(threads);
+            let rt = ClusterRuntime::new(cfg, cat);
+            let build: PlanBuilder = Arc::new(|w, snap, cat| {
+                let table = cat.get("nums")?;
+                let mut g = PlanGraph::new();
+                let scan = g.add(Box::new(ScanOp::new("nums", table.partition_for(snap, w))));
+                let rh = g.add_rehash(vec![0]);
+                let gb = g.add(Box::new(GroupByOp::new(
+                    vec![0],
+                    vec![AggSpec::new(Arc::new(SumAgg), vec![1])],
+                )));
+                let sink = g.add(Box::new(SinkOp::new()));
+                g.pipe(scan, rh);
+                g.pipe(rh, gb);
+                g.pipe(gb, sink);
+                Ok(g)
+            });
+            rt.run(build).unwrap()
+        };
+        let (rows1, rep1) = run(1);
+        for threads in [2, 3] {
+            let (rows, rep) = run(threads);
+            assert_eq!(rows, rows1);
+            assert_eq!(rep.per_worker, rep1.per_worker);
+            assert_eq!(rep.rows_routed, rep1.rows_routed);
+        }
     }
 
     #[test]

@@ -112,6 +112,13 @@ impl PlanGraph {
         self.nodes.len()
     }
 
+    /// All direct successors of `node`, across every output port. Plan
+    /// analyses (e.g. checking that no thread-shard gate feeds another)
+    /// walk the graph through this without touching the operators.
+    pub fn successors(&self, node: NodeId) -> Vec<NodeId> {
+        self.edges[node].iter().flat_map(|dsts| dsts.iter().map(|&(d, _)| d)).collect()
+    }
+
     /// True when the graph has no nodes.
     pub fn is_empty(&self) -> bool {
         self.nodes.is_empty()
@@ -213,6 +220,13 @@ impl Executor {
         let mut ops = self.trace.take()?;
         for (i, op) in ops.iter_mut().enumerate() {
             op.detail = self.nodes[i].stats_detail();
+            // One executor = one thread of execution; merging worker or
+            // thread traces sums these into the true thread count.
+            op.threads = 1;
+            // Morsel counts are first-class, not detail.
+            if let Some(pos) = op.detail.iter().position(|(k, _)| k == "morsels") {
+                op.morsels = op.detail.remove(pos).1;
+            }
         }
         let edges = self
             .edges
@@ -305,10 +319,11 @@ impl Executor {
         let mut ctx = OpCtx::new(self.stratum, self.worker, reg, cost, &mut self.metrics);
         while let Some((node, port, event)) = self.queue.pop_front() {
             let t0 = traced.then(Instant::now);
-            let (rows_in, lane) = if traced {
-                (event_rows(&event), matches!(event, Event::Rows(_)))
+            let (rows_in, lane, qdepth) = if traced {
+                // Queue depth at pop time, counting the popped event.
+                (event_rows(&event), matches!(event, Event::Rows(_)), self.queue.len() as u64 + 1)
             } else {
-                (0, false)
+                (0, false, 0)
             };
             match event {
                 Event::Data(deltas) => self.nodes[node].on_deltas(port, deltas, &mut ctx)?,
@@ -321,6 +336,7 @@ impl Executor {
                 s.rows_in += rows_in;
                 s.lane_hits += lane as u64;
                 s.wall_ns += t0.elapsed().as_nanos() as u64;
+                s.queue_depth = s.queue_depth.max(qdepth);
             }
             for (p, ev) in ctx.drain_output() {
                 if traced {
@@ -537,6 +553,94 @@ impl LocalRuntime {
     pub fn run(&self, graph: PlanGraph) -> Result<(Vec<Tuple>, QueryReport)> {
         let (rows, report, _) = self.run_traced(graph)?;
         Ok((rows, report))
+    }
+
+    /// Execute thread-parallel plan copies, one per OS thread, and merge
+    /// their results deterministically.
+    ///
+    /// Every graph in `graphs` is one thread's copy of the same lowered
+    /// plan: either morsel mode (sibling scans share an atomic cursor over
+    /// one snapshot) or shard mode (shard gates keep each thread's keyed
+    /// state disjoint). Both constructions make the union of the threads'
+    /// sink outputs exactly the single-threaded bag of results, so the
+    /// merge is concatenation plus one final [`sort_rows`]
+    /// (crate::tuple::sort_rows) — bit-identical to a single-threaded run,
+    /// which sorts at the same boundary.
+    ///
+    /// Only non-recursive plans are supported (parallel lowering rejects
+    /// fixpoints); a graph containing a fixpoint is an error.
+    pub fn run_partitioned(
+        &self,
+        graphs: Vec<PlanGraph>,
+    ) -> Result<(Vec<Tuple>, QueryReport, Option<ExecTrace>)> {
+        if graphs.len() <= 1 {
+            let g = graphs
+                .into_iter()
+                .next()
+                .ok_or_else(|| RexError::Exec("run_partitioned: no plan".into()))?;
+            return self.run_traced(g);
+        }
+        let t0 = Instant::now();
+        type WorkerOutcome = Result<(Vec<Tuple>, ExecMetrics, Option<ExecTrace>)>;
+        let outcomes: Vec<WorkerOutcome> =
+            std::thread::scope(|s| {
+                let handles: Vec<_> = graphs
+                    .into_iter()
+                    .enumerate()
+                    .map(|(tid, g)| {
+                        let reg = &self.reg;
+                        let cost = &self.cost;
+                        let telemetry = self.telemetry;
+                        s.spawn(move || {
+                            let mut ex = Executor::new(g, tid, false);
+                            if !ex.fixpoint_ids().is_empty() {
+                                return Err(RexError::Exec(
+                                    "run_partitioned cannot execute fixpoints".into(),
+                                ));
+                            }
+                            ex.set_telemetry(telemetry);
+                            let mut outbox = Vec::new(); // never used locally
+                            ex.start(reg, cost)?;
+                            ex.drain(reg, cost, &mut outbox)?;
+                            let rows = ex.take_sink_results()?;
+                            let trace = ex.take_trace();
+                            Ok((rows, ex.metrics, trace))
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("executor thread panicked")).collect()
+            });
+        let mut rows = Vec::new();
+        let mut metrics = ExecMetrics::default();
+        let mut trace: Option<ExecTrace> = None;
+        for outcome in outcomes {
+            let (mut part, m, tr) = outcome?;
+            rows.append(&mut part);
+            metrics.merge(&m);
+            match (trace.as_mut(), tr) {
+                (Some(mine), Some(theirs)) => mine.merge(&theirs),
+                (None, Some(theirs)) => trace = Some(theirs),
+                _ => {}
+            }
+        }
+        crate::tuple::sort_rows(&mut rows);
+        let wall = t0.elapsed().as_secs_f64();
+        let mut report = QueryReport::default();
+        report.strata.push(StratumReport {
+            stratum: 0,
+            delta_set_size: metrics.deltas_emitted,
+            simulated_time: metrics.simulated_time(&self.cost),
+            wall_seconds: wall,
+            bytes_shipped: metrics.bytes_sent,
+            metrics,
+        });
+        report.totals = metrics;
+        report.simulated_time = metrics.simulated_time(&self.cost);
+        report.wall_seconds = wall;
+        if let Some(tr) = trace.as_mut() {
+            tr.wall_seconds = wall;
+        }
+        Ok((rows, report, trace))
     }
 
     /// [`run`](LocalRuntime::run), additionally returning the collected

@@ -103,6 +103,7 @@ pub mod hash;
 pub mod metrics;
 pub mod operators;
 pub mod telemetry;
+pub mod thread_budget;
 pub mod tuple;
 pub mod udf;
 pub mod value;

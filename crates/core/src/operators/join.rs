@@ -18,6 +18,10 @@ use crate::operators::{OpCtx, Operator, OperatorState, PunctTracker};
 use crate::tuple::Tuple;
 use std::sync::Arc;
 
+/// Below this batch size the per-delta path is used unconditionally: the
+/// group-by-key pass only pays once duplicate keys are plausible.
+const INSERT_BATCH_MIN: usize = 8;
+
 /// Pipelined hash join. Port 0 is the left input, port 1 the right.
 ///
 /// Both build sides live in [`KeyedTable`]s so the per-row operations —
@@ -101,6 +105,59 @@ impl HashJoinOp {
                 ctx.charge_cpu(ctx.cost.hash_cost);
                 out.push(make(self.fuse(t, m, from_left)));
             }
+        }
+    }
+
+    /// Batch path for handler-free all-insert batches: group the batch by
+    /// join key (stable hash sort) so each run of duplicate keys costs
+    /// one build-side upsert and one opposite-side probe instead of one
+    /// of each *per delta*. The emitted multiset is identical to the
+    /// per-delta path; only intra-batch emission order changes, which no
+    /// downstream operator observes (sinks sort, aggregates commute).
+    fn apply_insert_batch(
+        &mut self,
+        deltas: Vec<Delta>,
+        from_left: bool,
+        out: &mut Vec<Delta>,
+        ctx: &mut OpCtx<'_>,
+    ) {
+        let mut keyed: Vec<(u64, Tuple)> =
+            deltas.into_iter().map(|d| (self.key_hash(&d.tuple, from_left), d.tuple)).collect();
+        // Stable: arrival order survives within a key run.
+        keyed.sort_by_key(|(h, _)| *h);
+        let mut i = 0;
+        while i < keyed.len() {
+            let hash = keyed[i].0;
+            let run_cols: &[usize] = if from_left { &self.left_key } else { &self.right_key };
+            let mut j = i + 1;
+            while j < keyed.len()
+                && keyed[j].0 == hash
+                && run_cols.iter().all(|&c| keyed[j].1.get(c) == keyed[i].1.get(c))
+            {
+                j += 1;
+            }
+            ctx.charge_cpu(ctx.cost.hash_cost);
+            {
+                let (state, cols) = self.side_mut(from_left);
+                let bucket = state.probe_or_insert_hashed(hash, &keyed[i].1, cols, TupleSet::new);
+                for (_, t) in &keyed[i..j] {
+                    bucket.insert(t.clone());
+                }
+            }
+            let (opposite, cols) = if from_left {
+                (&self.right, &self.left_key)
+            } else {
+                (&self.left, &self.right_key)
+            };
+            if let Some(bucket) = opposite.probe_hashed(hash, &keyed[i].1, cols) {
+                for m in bucket.iter() {
+                    for (_, t) in &keyed[i..j] {
+                        ctx.charge_cpu(ctx.cost.hash_cost);
+                        out.push(Delta::insert(self.fuse(t, m, from_left)));
+                    }
+                }
+            }
+            i = j;
         }
     }
 
@@ -229,8 +286,15 @@ impl Operator for HashJoinOp {
         ctx.charge_input(deltas.len());
         let from_left = port == 0;
         let mut out = Vec::new();
-        for d in deltas {
-            self.apply_default(d, from_left, &mut out, ctx)?;
+        if self.handler.is_none()
+            && deltas.len() >= INSERT_BATCH_MIN
+            && deltas.iter().all(|d| d.ann == Annotation::Insert)
+        {
+            self.apply_insert_batch(deltas, from_left, &mut out, ctx);
+        } else {
+            for d in deltas {
+                self.apply_default(d, from_left, &mut out, ctx)?;
+            }
         }
         ctx.emit(0, out);
         Ok(())
@@ -299,6 +363,31 @@ mod tests {
         assert!(drive(&mut j, 0, vec![Delta::insert(tuple![1i64, "l"])]).is_empty());
         let out = drive(&mut j, 1, vec![Delta::insert(tuple![1i64, "r"])]);
         assert_eq!(out, vec![Delta::insert(tuple![1i64, "l", 1i64, "r"])]);
+    }
+
+    #[test]
+    fn insert_batch_with_duplicate_keys_matches_per_delta_path() {
+        // The same all-insert traffic through the batch path (one big
+        // batch) and the per-delta path (singleton batches) must produce
+        // the same output multiset and the same build state.
+        let build: Vec<Delta> = (0..5i64).map(|k| Delta::insert(tuple![k, "r"])).collect();
+        let probe: Vec<Delta> = (0..40i64).map(|i| Delta::insert(tuple![i % 5, i])).collect();
+        let mut batched = HashJoinOp::new(vec![0], vec![0]);
+        drive(&mut batched, 1, build.clone());
+        let mut out_batched = drive(&mut batched, 0, probe.clone());
+        let mut single = HashJoinOp::new(vec![0], vec![0]);
+        for d in build {
+            drive(&mut single, 1, vec![d]);
+        }
+        let mut out_single = Vec::new();
+        for d in probe {
+            out_single.extend(drive(&mut single, 0, vec![d]));
+        }
+        let key = |d: &Delta| d.to_string();
+        out_batched.sort_by_key(key);
+        out_single.sort_by_key(key);
+        assert_eq!(out_batched, out_single);
+        assert_eq!(batched.state_size(), single.state_size());
     }
 
     #[test]

@@ -26,8 +26,8 @@ pub use fixpoint::{FixpointOp, Termination};
 pub use group_by::{AggSpec, GroupByOp};
 pub use join::HashJoinOp;
 pub use project::ProjectOp;
-pub use rehash::{hash_key, hash_key_cols, RehashOp};
-pub use scan::{ScanOp, ScanRows};
+pub use rehash::{hash_key, hash_key_cols, shard_of, RehashOp, ShardGateOp};
+pub use scan::{ScanOp, ScanRows, MORSEL_ROWS};
 pub use sink::SinkOp;
 pub use topk::{compare_by_keys, SortSpec, TopKOp};
 pub use union::UnionOp;

@@ -4,10 +4,17 @@ use crate::delta::{Delta, Punctuation};
 use crate::error::Result;
 use crate::operators::{OpCtx, Operator};
 use crate::tuple::Tuple;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Batch size for scan emissions; matches the engine's message batching.
 const SCAN_BATCH: usize = 1024;
+
+/// Rows per morsel when a scan runs in morsel-parallel mode. Small enough
+/// that threads finishing early keep stealing work (good balance under
+/// skewed filter selectivity), large enough that the shared-cursor
+/// `fetch_add` is amortized over thousands of rows.
+pub const MORSEL_ROWS: usize = 4096;
 
 /// Where a scan's rows come from.
 ///
@@ -43,13 +50,38 @@ pub struct ScanOp {
     /// Total byte size of the source, when the storage layer already
     /// knows it — skips the per-row size accounting.
     known_bytes: Option<u64>,
+    /// Morsel-parallel mode: a cursor shared with the sibling scans of the
+    /// other worker threads, and the morsel size. Each thread's scan pulls
+    /// `[start, start+size)` slices off the shared snapshot until the
+    /// cursor passes the end — work-stealing over one table with one
+    /// atomic, no row is emitted twice.
+    morsel: Option<(Arc<AtomicUsize>, usize)>,
+    /// Morsels this scan pulled (telemetry).
+    morsels_pulled: u64,
 }
 
 impl ScanOp {
     /// Scan over the given local tuples (owned or shared; see
     /// [`ScanRows`]).
     pub fn new(table: impl Into<String>, tuples: impl Into<ScanRows>) -> ScanOp {
-        ScanOp { table: table.into(), source: tuples.into(), rows_lane: false, known_bytes: None }
+        ScanOp {
+            table: table.into(),
+            source: tuples.into(),
+            rows_lane: false,
+            known_bytes: None,
+            morsel: None,
+            morsels_pulled: 0,
+        }
+    }
+
+    /// Run morsel-parallel: pull `size`-row morsels through `cursor`,
+    /// which is shared with the equivalent scans in the other threads'
+    /// plan copies. Only meaningful over a [`ScanRows::Shared`] source
+    /// (owned sources are already per-thread partitions).
+    pub fn morsel_cursor(mut self, cursor: Arc<AtomicUsize>, size: usize) -> ScanOp {
+        debug_assert!(size > 0);
+        self.morsel = Some((cursor, size));
+        self
     }
 
     /// Emit run-length insert batches (`Event::Rows`) instead of wrapped
@@ -74,10 +106,11 @@ impl ScanOp {
         &self.table
     }
 
-    /// Emit every row in [`SCAN_BATCH`]-sized batches, charging input and
-    /// disk-read metrics (per-row size accounting is skipped when the
-    /// total is already known).
-    fn emit_all(&self, mut it: impl Iterator<Item = Tuple>, ctx: &mut OpCtx<'_>) {
+    /// Emit every row in [`SCAN_BATCH`]-sized batches, charging input
+    /// metrics. Returns the summed row bytes when the source's total size
+    /// is not already known (callers charge disk-read from whichever is
+    /// available).
+    fn emit_all(&self, mut it: impl Iterator<Item = Tuple>, ctx: &mut OpCtx<'_>) -> u64 {
         let mut bytes = 0u64;
         let count = self.known_bytes.is_none();
         let mut size = |t: &Tuple| {
@@ -111,7 +144,7 @@ impl ScanOp {
                 ctx.emit(0, batch);
             }
         }
-        ctx.charge_disk_read(self.known_bytes.unwrap_or(bytes));
+        bytes
     }
 }
 
@@ -137,10 +170,36 @@ impl Operator for ScanOp {
         // no per-row delta wrapping.
         match std::mem::replace(&mut self.source, ScanRows::Owned(Vec::new())) {
             ScanRows::Owned(v) => {
-                self.emit_all(v.into_iter(), ctx);
+                let counted = self.emit_all(v.into_iter(), ctx);
+                ctx.charge_disk_read(self.known_bytes.unwrap_or(counted));
             }
             ScanRows::Shared(s) => {
-                self.emit_all(s.as_ref().as_ref().iter().cloned(), ctx);
+                let rows: &[Tuple] = (*s).as_ref();
+                if let Some((cursor, size)) = self.morsel.take() {
+                    let mut emitted = 0usize;
+                    let mut counted = 0u64;
+                    loop {
+                        let start = cursor.fetch_add(size, Ordering::Relaxed);
+                        if start >= rows.len() {
+                            break;
+                        }
+                        let end = (start + size).min(rows.len());
+                        self.morsels_pulled += 1;
+                        emitted += end - start;
+                        counted += self.emit_all(rows[start..end].iter().cloned(), ctx);
+                    }
+                    // Each thread charges disk for the slice it actually
+                    // read; with a known total, proportionally.
+                    let bytes = match self.known_bytes {
+                        Some(kb) if !rows.is_empty() => kb * emitted as u64 / rows.len() as u64,
+                        Some(kb) => kb,
+                        None => counted,
+                    };
+                    ctx.charge_disk_read(bytes);
+                } else {
+                    let counted = self.emit_all(rows.iter().cloned(), ctx);
+                    ctx.charge_disk_read(self.known_bytes.unwrap_or(counted));
+                }
             }
         }
         ctx.punct(0, Punctuation::EndOfStream);
@@ -158,6 +217,14 @@ impl Operator for ScanOp {
     fn reset(&mut self) {
         // Tuples were consumed by run_source; a reset scan re-reads storage
         // via the runtime, which re-creates scan operators. Nothing to do.
+    }
+
+    fn stats_detail(&self) -> Vec<(String, u64)> {
+        if self.morsels_pulled > 0 {
+            vec![("morsels".into(), self.morsels_pulled)]
+        } else {
+            Vec::new()
+        }
     }
 }
 
@@ -188,6 +255,35 @@ mod tests {
         }
         assert!(matches!(out[1].1, Event::Punct(Punctuation::EndOfStream)));
         assert!(m.disk_read > 0);
+    }
+
+    #[test]
+    fn morsel_scans_cover_table_exactly_once() {
+        let tuples: Vec<_> = (0..10_000i64).map(|i| tuple![i]).collect();
+        let shared: Arc<dyn AsRef<[Tuple]> + Send + Sync> = Arc::new(tuples.clone());
+        let cursor = Arc::new(AtomicUsize::new(0));
+        let reg = Registry::new();
+        let cost = CostModel::default();
+        let mut got = Vec::new();
+        let mut morsels = 0;
+        // Two sibling scans off one cursor: together they must emit every
+        // row exactly once, however the morsels interleave.
+        for _ in 0..2 {
+            let mut op = ScanOp::new("t", ScanRows::Shared(shared.clone()))
+                .morsel_cursor(cursor.clone(), 512);
+            let mut m = ExecMetrics::default();
+            let mut ctx = OpCtx::new(0, 0, &reg, &cost, &mut m);
+            op.run_source(&mut ctx).unwrap();
+            for (_, ev) in ctx.take_output() {
+                if let Event::Data(ds) = ev {
+                    got.extend(ds.into_iter().map(|d| d.tuple));
+                }
+            }
+            morsels += op.stats_detail().iter().map(|(_, v)| v).sum::<u64>();
+        }
+        got.sort();
+        assert_eq!(got, tuples);
+        assert_eq!(morsels, 10_000_u64.div_ceil(512));
     }
 
     #[test]

@@ -36,6 +36,16 @@ pub struct OpStats {
     pub lane_hits: u64,
     /// Wall-clock nanoseconds spent inside the operator's handlers.
     pub wall_ns: u64,
+    /// High-water mark of the executor event queue observed when events
+    /// for this node were popped — how much work was stacked up behind
+    /// the operator. Merging takes the max across workers/threads.
+    pub queue_depth: u64,
+    /// Morsels pulled from the shared scan cursor (parallel scans only;
+    /// 0 when the node ran a whole snapshot).
+    pub morsels: u64,
+    /// How many worker threads' records were folded into this one (1 for
+    /// a single-threaded run; merging sums).
+    pub threads: u64,
     /// Operator-specific detail counters (hash probes/collisions, state
     /// sizes), harvested from
     /// [`Operator::stats_detail`](crate::operators::Operator::stats_detail)
@@ -52,6 +62,9 @@ impl OpStats {
         self.batches += other.batches;
         self.lane_hits += other.lane_hits;
         self.wall_ns += other.wall_ns;
+        self.queue_depth = self.queue_depth.max(other.queue_depth);
+        self.morsels += other.morsels;
+        self.threads += other.threads;
         for (k, v) in &other.detail {
             match self.detail.iter_mut().find(|(n, _)| n == k) {
                 Some((_, mine)) => *mine += v,
@@ -121,6 +134,15 @@ impl ExecTrace {
             if op.lane_hits > 0 {
                 s.push_str(&format!("   lane_hits={}\n", op.lane_hits));
             }
+            if op.threads > 1 {
+                s.push_str(&format!("   threads={}\n", op.threads));
+            }
+            if op.morsels > 0 {
+                s.push_str(&format!("   morsels={}\n", op.morsels));
+            }
+            if op.queue_depth > 0 {
+                s.push_str(&format!("   queue_depth={}\n", op.queue_depth));
+            }
             for (k, v) in &op.detail {
                 s.push_str(&format!("   {k}={v}\n"));
             }
@@ -173,6 +195,22 @@ mod tests {
         assert_eq!(a.rows_out, 6);
         assert_eq!(a.batches, 2);
         assert_eq!(a.detail, vec![("probes".into(), 10), ("collisions".into(), 1)]);
+    }
+
+    #[test]
+    fn merge_thread_counters() {
+        let mut a = stats("Scan(t)", 0, 8);
+        a.queue_depth = 3;
+        a.morsels = 5;
+        a.threads = 1;
+        let mut b = stats("Scan(t)", 0, 6);
+        b.queue_depth = 7;
+        b.morsels = 4;
+        b.threads = 1;
+        a.merge(&b);
+        assert_eq!(a.queue_depth, 7, "queue depth is a high-water mark");
+        assert_eq!(a.morsels, 9);
+        assert_eq!(a.threads, 2);
     }
 
     #[test]

@@ -35,12 +35,15 @@ use rex_core::error::{Result, RexError};
 use rex_core::exec::{NodeId, PlanGraph};
 use rex_core::expr::Expr;
 use rex_core::operators::{
-    AggSpec, FilterOp, FixpointOp, GroupByOp, HashJoinOp, ProjectOp, ScanOp, ScanRows, SinkOp,
-    SortSpec, Termination, TopKOp,
+    AggSpec, FilterOp, FixpointOp, GroupByOp, HashJoinOp, ProjectOp, ScanOp, ScanRows, ShardGateOp,
+    SinkOp, SortSpec, Termination, TopKOp, MORSEL_ROWS,
 };
 use rex_core::tuple::Tuple;
 use rex_core::udf::Registry;
-use std::collections::HashMap;
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::AtomicUsize;
+use std::sync::Arc;
 
 /// Supplies table contents at lowering time (the worker's partition in
 /// distributed execution, the full table locally).
@@ -211,7 +214,8 @@ pub fn lower_with(
 ) -> Result<PlanGraph> {
     let mut g = PlanGraph::new();
     let rows_lane = opts.fast_lane && rows_lane_plan(plan);
-    let mut ctx = Lowering { g: &mut g, provider, reg, fixpoint: None, opts, rows_lane };
+    let mut ctx =
+        Lowering { g: &mut g, provider, reg, fixpoint: None, opts, rows_lane, parallel: None };
     let (node, port, _) = ctx.node(plan)?;
     // Insert-only pipelines take the append sink: no delta application,
     // one unstable sort when results are taken. Anything that can emit
@@ -223,6 +227,243 @@ pub fn lower_with(
     };
     g.connect(node, port, sink, 0);
     Ok(g)
+}
+
+/// Minimum total scanned rows before thread-parallel lowering pays:
+/// below this, thread spawn + merge overhead beats the saved work and
+/// [`lower_parallel`] falls back to a single-threaded plan.
+pub const PARALLEL_ROWS_MIN: usize = 4096;
+
+/// How the thread copies of a parallel plan divide the work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ParallelMode {
+    /// Pure stateless chains: sibling scans share an atomic morsel cursor
+    /// over one snapshot, so each row is scanned by exactly one thread.
+    Morsel,
+    /// Plans with keyed state (joins, grouped aggregates): every thread
+    /// scans everything and a [`ShardGateOp`] in front of each stateful
+    /// operator keeps only the keys the thread owns, so hash state is
+    /// disjoint and the per-row build/probe work parallelizes.
+    Shard,
+}
+
+/// Per-thread-copy lowering state for parallel plans.
+struct ParallelCtx<'a> {
+    mode: ParallelMode,
+    shard: usize,
+    shards: usize,
+    /// Morsel cursors, one per scan *position* in the plan, shared across
+    /// the thread copies (created by the first copy, reused by the rest).
+    cursors: &'a mut Vec<Arc<AtomicUsize>>,
+    /// Scan positions encountered so far in this copy.
+    next_cursor: usize,
+    /// Shard gates inserted into this copy (for the serial-gate check).
+    gates: Vec<NodeId>,
+}
+
+/// Whether `plan` can be lowered thread-parallel at all. Conservative by
+/// construction: anything rejected here simply runs single-threaded.
+///
+/// * Fixpoints are out — a recursive step may move tuples across key
+///   shards between strata, which requires a real exchange.
+/// * Top-k (`ORDER BY … LIMIT` / bare `LIMIT`) is out — per-thread
+///   partial top-k unions would over-select without a gather stage.
+/// * Global (ungrouped) aggregates are out — they need all rows at one
+///   site.
+/// * Handler and key-less joins are out — there is no key to shard on,
+///   and handler state transitions are order-sensitive.
+fn parallel_eligible(plan: &LogicalPlan) -> bool {
+    match plan {
+        LogicalPlan::Scan { .. } => true,
+        LogicalPlan::Filter { input, .. } | LogicalPlan::Project { input, .. } => {
+            parallel_eligible(input)
+        }
+        LogicalPlan::Sort { input, fetch: None, offset: 0, .. } => parallel_eligible(input),
+        LogicalPlan::Sort { .. } | LogicalPlan::Limit { .. } => false,
+        LogicalPlan::Join { left, right, left_key, handler, .. } => {
+            handler.is_none()
+                && !left_key.is_empty()
+                && parallel_eligible(left)
+                && parallel_eligible(right)
+        }
+        LogicalPlan::Aggregate { input, group_cols, .. } => {
+            !group_cols.is_empty() && parallel_eligible(input)
+        }
+        LogicalPlan::Fixpoint { .. } | LogicalPlan::FixpointRef { .. } => false,
+    }
+}
+
+/// Every table the plan scans (with repeats).
+fn plan_tables(plan: &LogicalPlan, out: &mut Vec<String>) {
+    match plan {
+        LogicalPlan::Scan { table, .. } => out.push(table.clone()),
+        LogicalPlan::FixpointRef { .. } => {}
+        LogicalPlan::Filter { input, .. }
+        | LogicalPlan::Project { input, .. }
+        | LogicalPlan::Aggregate { input, .. }
+        | LogicalPlan::Sort { input, .. }
+        | LogicalPlan::Limit { input, .. } => plan_tables(input, out),
+        LogicalPlan::Join { left, right, .. } => {
+            plan_tables(left, out);
+            plan_tables(right, out);
+        }
+        LogicalPlan::Fixpoint { base, step, .. } => {
+            plan_tables(base, out);
+            plan_tables(step, out);
+        }
+    }
+}
+
+/// A [`TableProvider`] wrapper that snapshots each table **once** and
+/// hands every caller the same `Arc`. The thread copies of a parallel
+/// plan must agree on the snapshot identity: morsel cursors index into
+/// one shared row slice, and shard-mode threads must all see the same
+/// rows.
+struct SnapshotProvider<'a> {
+    inner: &'a dyn TableProvider,
+    cache: RefCell<HashMap<String, SharedRows>>,
+}
+
+/// One cached table snapshot, shareable across plan copies.
+type SharedRows = Arc<dyn AsRef<[Tuple]> + Send + Sync>;
+
+impl<'a> SnapshotProvider<'a> {
+    fn new(inner: &'a dyn TableProvider) -> SnapshotProvider<'a> {
+        SnapshotProvider { inner, cache: RefCell::new(HashMap::new()) }
+    }
+
+    fn snapshot(&self, table: &str) -> Result<SharedRows> {
+        if let Some(s) = self.cache.borrow().get(table) {
+            return Ok(s.clone());
+        }
+        let arc: SharedRows = match self.inner.scan_shared(table)? {
+            ScanRows::Shared(s) => s,
+            ScanRows::Owned(v) => Arc::new(v),
+        };
+        self.cache.borrow_mut().insert(table.to_string(), arc.clone());
+        Ok(arc)
+    }
+
+    /// Row count of the (cached) snapshot.
+    fn rows(&self, table: &str) -> Result<usize> {
+        Ok((*self.snapshot(table)?).as_ref().len())
+    }
+}
+
+impl TableProvider for SnapshotProvider<'_> {
+    fn scan(&self, table: &str) -> Result<Vec<Tuple>> {
+        Ok((*self.snapshot(table)?).as_ref().to_vec())
+    }
+
+    fn scan_shared(&self, table: &str) -> Result<ScanRows> {
+        Ok(ScanRows::Shared(self.snapshot(table)?))
+    }
+
+    fn scan_bytes(&self, table: &str) -> Option<u64> {
+        self.inner.scan_bytes(table)
+    }
+
+    fn partition_cols(&self, table: &str) -> Option<Vec<usize>> {
+        self.inner.partition_cols(table)
+    }
+}
+
+/// True when some shard gate can reach another gate downstream. Two
+/// gates in series on different keys would each drop the other's rows —
+/// a tuple owned by this thread at the first gate but another thread at
+/// the second is produced by *nobody* — so such plans fall back to
+/// single-threaded execution. (Gates on the same key in series cannot
+/// occur: [`Lowering::ensure_partitioned`] skips the second.)
+fn gate_reaches_gate(g: &PlanGraph, gates: &[NodeId]) -> bool {
+    let gate_set: HashSet<NodeId> = gates.iter().copied().collect();
+    for &start in gates {
+        let mut seen = vec![false; g.len()];
+        let mut q = VecDeque::from([start]);
+        while let Some(n) = q.pop_front() {
+            for s in g.successors(n) {
+                if !seen[s] {
+                    seen[s] = true;
+                    if gate_set.contains(&s) {
+                        return true;
+                    }
+                    q.push_back(s);
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Lower `plan` into `threads` parallel plan copies for
+/// [`run_partitioned`](rex_core::exec::LocalRuntime::run_partitioned),
+/// or `None` when the plan (or the data size) does not warrant threads —
+/// the caller then lowers normally and runs single-threaded, which is
+/// always correct.
+///
+/// The copies are built against one shared set of table snapshots. Pure
+/// stateless chains run morsel-parallel (scans share an atomic cursor);
+/// plans with keyed state run shard-parallel (a [`ShardGateOp`] in front
+/// of every stateful operator keeps each thread's hash state disjoint).
+/// Plans where sharding cannot be proven safe — serial gates on
+/// different keys — fall back.
+pub fn lower_parallel(
+    plan: &LogicalPlan,
+    provider: &dyn TableProvider,
+    reg: &Registry,
+    opts: LowerOptions,
+    threads: usize,
+) -> Result<Option<Vec<PlanGraph>>> {
+    if threads <= 1 || opts.distributed || !parallel_eligible(plan) {
+        return Ok(None);
+    }
+    let snaps = SnapshotProvider::new(provider);
+    let mut tables = Vec::new();
+    plan_tables(plan, &mut tables);
+    let mut total_rows = 0usize;
+    for t in &tables {
+        total_rows += snaps.rows(t)?;
+    }
+    if total_rows < PARALLEL_ROWS_MIN {
+        return Ok(None);
+    }
+    let mode = if rows_lane_plan(plan) { ParallelMode::Morsel } else { ParallelMode::Shard };
+    let mut cursors: Vec<Arc<AtomicUsize>> = Vec::new();
+    let mut graphs = Vec::with_capacity(threads);
+    for tid in 0..threads {
+        let mut g = PlanGraph::new();
+        let rows_lane = opts.fast_lane && rows_lane_plan(plan);
+        let mut ctx = Lowering {
+            g: &mut g,
+            provider: &snaps,
+            reg,
+            fixpoint: None,
+            opts,
+            rows_lane,
+            parallel: Some(ParallelCtx {
+                mode,
+                shard: tid,
+                shards: threads,
+                cursors: &mut cursors,
+                next_cursor: 0,
+                gates: Vec::new(),
+            }),
+        };
+        let (node, port, _) = ctx.node(plan)?;
+        let gates = ctx.parallel.take().map(|p| p.gates).unwrap_or_default();
+        let sink = if opts.fast_lane && insert_only_plan(plan) {
+            g.add(Box::new(SinkOp::append_only()))
+        } else {
+            g.add(Box::new(SinkOp::new()))
+        };
+        g.connect(node, port, sink, 0);
+        // The copies are isomorphic, so the safety check on the first
+        // settles them all.
+        if tid == 0 && mode == ParallelMode::Shard && gate_reaches_gate(&g, &gates) {
+            return Ok(None);
+        }
+        graphs.push(g);
+    }
+    Ok(Some(graphs))
 }
 
 /// How a lowered stream is partitioned across workers: `Some(cols)` when
@@ -241,6 +482,9 @@ struct Lowering<'a> {
     /// The whole plan is a stateless chain: scans emit run-length
     /// `Event::Rows` batches (see [`rows_lane_plan`]).
     rows_lane: bool,
+    /// Set while building one thread copy of a parallel plan (see
+    /// [`lower_parallel`]); `None` for ordinary lowering.
+    parallel: Option<ParallelCtx<'a>>,
 }
 
 impl Lowering<'_> {
@@ -253,6 +497,18 @@ impl Lowering<'_> {
         current: &Partitioning,
         key: &[usize],
     ) -> (NodeId, usize, Partitioning) {
+        // Thread-parallel shard mode: wherever cluster lowering would
+        // insert a rehash, insert a shard gate instead, so this thread's
+        // copy keeps only the keys it owns (unless the stream is already
+        // gated on exactly this key).
+        if let Some(p) = self.parallel.as_mut() {
+            if p.mode == ParallelMode::Shard && current.as_deref() != Some(key) {
+                let gate = self.g.add(Box::new(ShardGateOp::new(key.to_vec(), p.shard, p.shards)));
+                self.g.connect(node, port, gate, 0);
+                p.gates.push(gate);
+                return (gate, 0, Some(key.to_vec()));
+            }
+        }
         if !self.opts.distributed || current.as_deref() == Some(key) {
             return (node, port, current.clone());
         }
@@ -310,11 +566,25 @@ impl Lowering<'_> {
         match plan {
             LogicalPlan::Scan { table, .. } => {
                 let rows = self.provider.scan_shared(table)?;
-                let id = self.g.add(Box::new(
-                    ScanOp::new(table.clone(), rows)
-                        .insert_only(self.rows_lane)
-                        .known_bytes(self.provider.scan_bytes(table)),
-                ));
+                let mut scan = ScanOp::new(table.clone(), rows)
+                    .insert_only(self.rows_lane)
+                    .known_bytes(self.provider.scan_bytes(table));
+                // Morsel-parallel copies split each scan over a cursor
+                // shared with the sibling copies; the cursor for the n-th
+                // scan in the plan is created by the first copy and reused
+                // by the rest (the copies are isomorphic, so scan
+                // encounter order identifies the scan).
+                if let Some(p) = self.parallel.as_mut() {
+                    if p.mode == ParallelMode::Morsel {
+                        let idx = p.next_cursor;
+                        p.next_cursor += 1;
+                        if idx == p.cursors.len() {
+                            p.cursors.push(Arc::new(AtomicUsize::new(0)));
+                        }
+                        scan = scan.morsel_cursor(p.cursors[idx].clone(), MORSEL_ROWS);
+                    }
+                }
+                let id = self.g.add(Box::new(scan));
                 let part =
                     if self.opts.distributed { self.provider.partition_cols(table) } else { None };
                 Ok((id, 0, part))
@@ -379,7 +649,7 @@ impl Lowering<'_> {
                 Ok((id, 0, out_part))
             }
             LogicalPlan::Aggregate { input, group_cols, aggs, post, .. } => {
-                let (src, port, _) = self.node(input)?;
+                let (src, port, part) = self.node(input)?;
                 // Repartition on the grouping key before aggregating. A
                 // *global* aggregate (no keys) is a pass-through locally
                 // but must gather all partitions at one worker in the
@@ -401,7 +671,11 @@ impl Lowering<'_> {
                     self.g.connect(src, port, rh, 0);
                     (rh, 0)
                 } else {
-                    (src, port)
+                    // Pass-through locally — except in thread-parallel
+                    // shard mode, where ensure_partitioned gates the
+                    // stream so each thread owns disjoint groups.
+                    let (s, p, _) = self.ensure_partitioned(src, port, &part, group_cols);
+                    (s, p)
                 };
                 let specs = aggs
                     .iter()
@@ -698,5 +972,132 @@ mod tests {
             Ok(_) => panic!("expected missing-data error"),
         };
         assert!(err.to_string().contains("no data registered"));
+    }
+
+    /// A catalog + tables big enough to clear [`PARALLEL_ROWS_MIN`].
+    fn big_fixture() -> (SchemaCatalog, MemTables) {
+        let mut c = SchemaCatalog::new();
+        c.register("nums", Schema::of(&[("k", DataType::Int), ("v", DataType::Int)]));
+        c.register("other", Schema::of(&[("k", DataType::Int), ("w", DataType::Int)]));
+        let mut m = MemTables::new();
+        m.insert("nums", (0..8000i64).map(|i| tuple![i, i % 97]).collect());
+        m.insert("other", (0..8000i64).map(|i| tuple![i % 500, i]).collect());
+        (c, m)
+    }
+
+    fn single_thread_sorted(
+        plan: &LogicalPlan,
+        m: &MemTables,
+        reg: &Registry,
+    ) -> Vec<rex_core::tuple::Tuple> {
+        let g = lower(plan, m, reg).unwrap();
+        let (mut rows, _) = LocalRuntime::new().run(g).unwrap();
+        rex_core::tuple::sort_rows(&mut rows);
+        rows
+    }
+
+    #[test]
+    fn parallel_morsel_chain_matches_single_thread() {
+        let reg = Registry::with_builtins();
+        let (c, m) = big_fixture();
+        let plan = crate::logical::plan_text("SELECT v FROM nums WHERE v > 50", &c, &reg).unwrap();
+        let graphs = lower_parallel(&plan, &m, &reg, LowerOptions::default(), 4).unwrap().unwrap();
+        assert_eq!(graphs.len(), 4);
+        let (rows, report, _) = LocalRuntime::new().run_partitioned(graphs).unwrap();
+        assert_eq!(rows, single_thread_sorted(&plan, &m, &reg));
+        assert!(report.totals.tuples_processed > 0);
+    }
+
+    #[test]
+    fn parallel_shard_join_group_matches_single_thread() {
+        let reg = Registry::with_builtins();
+        let (c, m) = big_fixture();
+        // Grouping on the join key keeps one gate per path: the join
+        // output is already gated on a.k, so the aggregate adds none.
+        let plan = crate::logical::plan_text(
+            "SELECT a.k, count(*) FROM nums a, other b WHERE a.k = b.k GROUP BY a.k",
+            &c,
+            &reg,
+        )
+        .unwrap();
+        let graphs = lower_parallel(&plan, &m, &reg, LowerOptions::default(), 3).unwrap().unwrap();
+        assert_eq!(graphs.len(), 3);
+        // Shard mode: the copies carry gates, visible in the explain.
+        assert!(graphs[0].explain().contains("ShardGate"));
+        let (rows, _, _) = LocalRuntime::new().run_partitioned(graphs).unwrap();
+        assert_eq!(rows, single_thread_sorted(&plan, &m, &reg));
+    }
+
+    #[test]
+    fn parallel_group_alone_matches_single_thread() {
+        let reg = Registry::with_builtins();
+        let (c, m) = big_fixture();
+        let plan =
+            crate::logical::plan_text("SELECT v, sum(k) FROM nums GROUP BY v", &c, &reg).unwrap();
+        let graphs = lower_parallel(&plan, &m, &reg, LowerOptions::default(), 2).unwrap().unwrap();
+        let (rows, _, _) = LocalRuntime::new().run_partitioned(graphs).unwrap();
+        assert_eq!(rows, single_thread_sorted(&plan, &m, &reg));
+    }
+
+    #[test]
+    fn serial_gates_on_different_keys_fall_back() {
+        let reg = Registry::with_builtins();
+        let (c, m) = big_fixture();
+        // Join gated on a.k, then grouping on b.w: a second gate in
+        // series on a different key would drop rows whose two keys hash
+        // to different shards, so this plan must refuse to parallelize.
+        let plan = crate::logical::plan_text(
+            "SELECT b.w, count(*) FROM nums a, other b WHERE a.k = b.k GROUP BY b.w",
+            &c,
+            &reg,
+        )
+        .unwrap();
+        assert!(lower_parallel(&plan, &m, &reg, LowerOptions::default(), 4).unwrap().is_none());
+    }
+
+    #[test]
+    fn parallel_lowering_falls_back_when_ineligible() {
+        let reg = Registry::with_builtins();
+        let (c, m) = big_fixture();
+        let plan = |src: &str| crate::logical::plan_text(src, &c, &reg).unwrap();
+        let try_par = |p: &LogicalPlan, threads: usize| {
+            lower_parallel(p, &m, &reg, LowerOptions::default(), threads).unwrap()
+        };
+        // One thread: nothing to parallelize.
+        assert!(try_par(&plan("SELECT v FROM nums"), 1).is_none());
+        // Top-k needs a gather stage.
+        assert!(try_par(&plan("SELECT v FROM nums ORDER BY v LIMIT 5"), 4).is_none());
+        // Global aggregates need all rows at one site.
+        assert!(try_par(&plan("SELECT count(*) FROM nums"), 4).is_none());
+        // Distributed lowering has its own (cluster) parallelism.
+        assert!(
+            try_par_opts(&plan("SELECT v FROM nums"), LowerOptions::cluster(), &m, &reg).is_none()
+        );
+        // Recursion moves tuples across shards between strata.
+        let mut c2 = edge_catalog();
+        c2.register("seed", Schema::of(&[("id", DataType::Int)]));
+        let mut m2 = edge_tables();
+        m2.insert("seed", (0..5000i64).map(|i| tuple![i]).collect());
+        let fp = crate::logical::plan_text(
+            "WITH reach (id) AS (SELECT id FROM seed) UNION UNTIL FIXPOINT BY id (
+               SELECT edges.dst FROM edges, reach WHERE edges.src = reach.id)",
+            &c2,
+            &reg,
+        )
+        .unwrap();
+        assert!(lower_parallel(&fp, &m2, &reg, LowerOptions::default(), 4).unwrap().is_none());
+        // Tiny inputs are not worth the thread spawn.
+        let (ce, me) = (edge_catalog(), edge_tables());
+        let small = crate::logical::plan_text("SELECT dst FROM edges", &ce, &reg).unwrap();
+        assert!(lower_parallel(&small, &me, &reg, LowerOptions::default(), 4).unwrap().is_none());
+    }
+
+    fn try_par_opts(
+        p: &LogicalPlan,
+        opts: LowerOptions,
+        m: &MemTables,
+        reg: &Registry,
+    ) -> Option<Vec<PlanGraph>> {
+        lower_parallel(p, m, reg, opts, 4).unwrap()
     }
 }

@@ -3,7 +3,7 @@
 //! ```text
 //! rex-serverd [--addr HOST:PORT] [--engine local|cluster[:N]]
 //!             [--init FILE.rql] [--write-queue N] [--coalesce N]
-//!             [--telemetry]
+//!             [--threads N] [--telemetry]
 //! ```
 //!
 //! Binds, prints `LISTENING <addr>` on stdout (port 0 resolves to the
@@ -52,7 +52,7 @@ fn usage(err: &str) -> ExitCode {
     eprintln!("rex-serverd: {err}");
     eprintln!(
         "usage: rex-serverd [--addr HOST:PORT] [--engine local|cluster[:N]] \
-         [--init FILE.rql] [--write-queue N] [--coalesce N] [--telemetry]"
+         [--init FILE.rql] [--write-queue N] [--coalesce N] [--threads N] [--telemetry]"
     );
     ExitCode::from(2)
 }
@@ -77,6 +77,11 @@ fn main() -> ExitCode {
             "--coalesce" => take("--coalesce").and_then(|v| {
                 v.parse().map(|n| cfg.coalesce = n).map_err(|_| format!("bad count: {v}"))
             }),
+            // Worker-thread pool shared by all connections; 0/absent
+            // inherits REX_THREADS or the core count, uncapped.
+            "--threads" => take("--threads").and_then(|v| {
+                v.parse().map(|n| cfg.threads = n).map_err(|_| format!("bad count: {v}"))
+            }),
             "--telemetry" => {
                 telemetry = true;
                 Ok(())
@@ -84,7 +89,8 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 println!(
                     "usage: rex-serverd [--addr HOST:PORT] [--engine local|cluster[:N]] \
-                     [--init FILE.rql] [--write-queue N] [--coalesce N] [--telemetry]"
+                     [--init FILE.rql] [--write-queue N] [--coalesce N] [--threads N] \
+                     [--telemetry]"
                 );
                 return ExitCode::SUCCESS;
             }

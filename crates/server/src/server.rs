@@ -57,6 +57,13 @@ pub struct ServerConfig {
     pub cache_entries: usize,
     /// Largest encoded response the cache will hold, in bytes.
     pub cache_max_bytes: usize,
+    /// Worker-thread ceiling for query execution and view maintenance:
+    /// sets the session's per-query thread count AND caps the
+    /// process-wide [`thread_budget`](rex::core::thread_budget) so
+    /// concurrent reader connections share one pool instead of each
+    /// bringing their own. 0 (the default) inherits the session's
+    /// configuration (`REX_THREADS` or all cores, unlimited budget).
+    pub threads: usize,
 }
 
 impl Default for ServerConfig {
@@ -67,6 +74,7 @@ impl Default for ServerConfig {
             poll: Duration::from_millis(25),
             cache_entries: 128,
             cache_max_bytes: 256 * 1024,
+            threads: 0,
         }
     }
 }
@@ -201,6 +209,13 @@ impl Server {
         listener
             .set_nonblocking(true)
             .map_err(|e| RexError::Exec(format!("server: nonblocking accept: {e}")))?;
+        if cfg.threads > 0 {
+            // Every query already runs on its connection's own thread, so
+            // the process-wide budget counts *extra* workers: a --threads N
+            // server lends out at most N-1 on top of the calling threads.
+            session.set_threads(cfg.threads);
+            rex::core::thread_budget::set_budget(cfg.threads.saturating_sub(1));
+        }
         let initial = session.snapshot()?;
         let shared = Arc::new(Shared {
             published: RwLock::new(Arc::new(Published::new(initial))),

@@ -129,6 +129,14 @@ impl ServerStats {
             writeln!(out, "rex_open_connections {}", self.open_connections.load(Ordering::Relaxed));
         let _ = writeln!(out, "# TYPE rex_snapshot_version gauge");
         let _ = writeln!(out, "rex_snapshot_version {snapshot_version}");
+        // Worker-thread permits still available in the process-wide
+        // budget; -1 when no `--threads` cap is configured (unlimited).
+        let budget = match rex::core::thread_budget::available() {
+            Some(n) => n as i64,
+            None => -1,
+        };
+        let _ = writeln!(out, "# TYPE rex_thread_budget_available gauge");
+        let _ = writeln!(out, "rex_thread_budget_available {budget}");
         let _ = writeln!(out, "# TYPE rex_publish_latency_us histogram");
         let mut cumulative = 0u64;
         for (i, le) in PUBLISH_BUCKETS_US.iter().enumerate() {
@@ -179,6 +187,7 @@ mod tests {
             assert!(prom.contains(&format!("rex_{name}_total {v}")), "{name} in METRICS:\n{prom}");
         }
         assert!(prom.contains("rex_snapshot_version 7"), "{prom}");
+        assert!(prom.contains("rex_thread_budget_available "), "{prom}");
     }
 
     #[test]

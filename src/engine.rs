@@ -34,10 +34,11 @@ use rex_core::error::Result;
 use rex_core::exec::LocalRuntime;
 use rex_core::metrics::{ExecMetrics, QueryReport};
 use rex_core::telemetry::ExecTrace;
+use rex_core::thread_budget;
 use rex_core::tuple::Tuple;
 use rex_core::udf::Registry;
 use rex_rql::logical::LogicalPlan;
-use rex_rql::lower::lower;
+use rex_rql::lower::{lower, lower_parallel, LowerOptions};
 use rex_rql::provider::CatalogProvider;
 use rex_rql::{RqlError, RqlStage};
 use rex_storage::catalog::Catalog;
@@ -52,6 +53,13 @@ pub struct EngineContext<'a> {
     /// Collect a per-operator [`ExecTrace`] for this query (the engine
     /// returns it in [`EngineOutput::trace`]).
     pub telemetry: bool,
+    /// Thread budget for this query: how many OS threads the engine may
+    /// use in total (1 = single-threaded, the historical behavior). The
+    /// engine treats this as a ceiling, not a promise — plans that cannot
+    /// parallelize safely run on one thread, and the process-wide
+    /// [`thread_budget`](rex_core::thread_budget) may cap the extra
+    /// threads actually spawned.
+    pub threads: usize,
 }
 
 /// Cluster-level accounting attached to a result when the query ran
@@ -119,6 +127,40 @@ impl Engine for LocalEngine {
 
     fn execute(&self, plan: &LogicalPlan, ctx: &EngineContext<'_>) -> Result<EngineOutput> {
         let provider = CatalogProvider::new(ctx.store.clone());
+        // Morsel-driven parallel path: when the context grants threads
+        // and the plan parallelizes safely, lower one plan copy per
+        // thread and run them over shared snapshots. Extra threads are
+        // leased from the process-wide budget so concurrent queries
+        // (e.g. server readers) cannot oversubscribe the host.
+        if ctx.threads > 1 {
+            let extra = thread_budget::try_acquire(ctx.threads - 1);
+            if extra > 0 {
+                let lowered = lower_parallel(
+                    plan,
+                    &provider,
+                    ctx.registry,
+                    LowerOptions::default(),
+                    1 + extra,
+                );
+                let run = match lowered {
+                    Ok(Some(graphs)) => {
+                        let rt = LocalRuntime::with_registry(ctx.registry.clone())
+                            .with_telemetry(ctx.telemetry);
+                        Some(rt.run_partitioned(graphs))
+                    }
+                    Ok(None) => None,
+                    Err(e) => {
+                        thread_budget::release(extra);
+                        return Err(RqlError::at(RqlStage::Lower, e).into());
+                    }
+                };
+                thread_budget::release(extra);
+                if let Some(res) = run {
+                    let (rows, report, trace) = res?;
+                    return Ok(EngineOutput { rows, report, cluster: None, trace });
+                }
+            }
+        }
         let graph =
             lower(plan, &provider, ctx.registry).map_err(|e| RqlError::at(RqlStage::Lower, e))?;
         let rt = LocalRuntime::with_registry(ctx.registry.clone()).with_telemetry(ctx.telemetry);
@@ -162,8 +204,12 @@ impl Engine for ClusterEngine {
     }
 
     fn execute(&self, plan: &LogicalPlan, ctx: &EngineContext<'_>) -> Result<EngineOutput> {
-        let config =
-            self.config.clone().with_registry(ctx.registry.clone()).with_telemetry(ctx.telemetry);
+        let config = self
+            .config
+            .clone()
+            .with_registry(ctx.registry.clone())
+            .with_telemetry(ctx.telemetry)
+            .with_threads(ctx.threads);
         let n_workers = config.n_workers;
         let rt = ClusterRuntime::new(config, ctx.store.clone());
         let (rows, report) = rt.run_logical(plan, ctx.registry)?;

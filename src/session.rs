@@ -123,6 +123,10 @@ pub struct Session {
     /// `REX_TELEMETRY` environment variable; see
     /// [`set_telemetry`](Self::set_telemetry)).
     telemetry: bool,
+    /// Per-query thread ceiling (seeded from `REX_THREADS`, defaulting
+    /// to the host's available parallelism; see
+    /// [`set_threads`](Self::set_threads)).
+    threads: usize,
     /// Queries at least this slow land in the ring-buffer log.
     slow_threshold: Duration,
     slow_log: VecDeque<SlowQuery>,
@@ -154,6 +158,7 @@ impl Session {
             views: ViewCatalog::new(),
             version: 0,
             telemetry: env_telemetry(),
+            threads: env_threads(),
             slow_threshold: Duration::from_millis(100),
             slow_log: VecDeque::new(),
         }
@@ -173,6 +178,29 @@ impl Session {
     /// Whether per-query telemetry is being collected.
     pub fn telemetry(&self) -> bool {
         self.telemetry
+    }
+
+    // ---- parallelism -----------------------------------------------------
+
+    /// Set the per-query thread ceiling. `1` forces single-threaded
+    /// execution (the historical behavior); higher values let eligible
+    /// queries run morsel-parallel across that many OS threads, and flow
+    /// into every [`SnapshotView`] published afterwards. Engines treat
+    /// this as a ceiling: plans that cannot parallelize safely still run
+    /// on one thread, and the process-wide
+    /// [`thread_budget`](rex_core::thread_budget) (the server's
+    /// `--threads` flag) may cap the extra threads actually spawned.
+    ///
+    /// Defaults to the `REX_THREADS` environment variable when set, else
+    /// the host's available parallelism.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+        self.views.set_threads(self.threads);
+    }
+
+    /// The current per-query thread ceiling.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Queries whose wall time reaches `threshold` are recorded in the
@@ -249,6 +277,7 @@ impl Session {
             Arc::clone(&self.engine),
             views,
             self.telemetry,
+            self.threads,
         )))
     }
 
@@ -522,6 +551,7 @@ impl Session {
                     &self.store,
                     &self.registry,
                     self.telemetry,
+                    self.threads,
                 )?;
                 self.note_query(rql, t0.elapsed(), r.rows.len());
                 Ok(r)
@@ -570,6 +600,7 @@ impl Session {
                         self.engine.as_ref(),
                         &self.store,
                         &self.registry,
+                        self.threads,
                     )?;
                     self.note_query(
                         rql,
@@ -813,6 +844,16 @@ fn zero_cost() -> PlanCost {
 /// per-query tracing in every session the process constructs.
 fn env_telemetry() -> bool {
     std::env::var("REX_TELEMETRY").map(|v| !v.is_empty() && v != "0").unwrap_or(false)
+}
+
+/// The default per-query thread ceiling: `REX_THREADS` when set to a
+/// positive integer, else the host's available parallelism.
+fn env_threads() -> usize {
+    std::env::var("REX_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
 }
 
 /// If `plan` is a bare scan of one relation — `SELECT * FROM t`, i.e. a

@@ -78,6 +78,7 @@ pub struct SnapshotView {
     engine: Arc<dyn Engine>,
     views: Vec<ViewStat>,
     telemetry: bool,
+    threads: usize,
 }
 
 impl SnapshotView {
@@ -92,8 +93,19 @@ impl SnapshotView {
         engine: Arc<dyn Engine>,
         views: Vec<ViewStat>,
         telemetry: bool,
+        threads: usize,
     ) -> SnapshotView {
-        SnapshotView { version, schemas, store, registry, optimizer, engine, views, telemetry }
+        SnapshotView {
+            version,
+            schemas,
+            store,
+            registry,
+            optimizer,
+            engine,
+            views,
+            telemetry,
+            threads,
+        }
     }
 
     /// The version this snapshot was published at. Versions are bumped by
@@ -138,6 +150,7 @@ impl SnapshotView {
                 self.engine.as_ref(),
                 &self.store,
                 &self.registry,
+                self.threads,
             );
         }
         if explain {
@@ -150,6 +163,7 @@ impl SnapshotView {
             &self.store,
             &self.registry,
             self.telemetry,
+            self.threads,
         )
     }
 
@@ -203,6 +217,7 @@ impl SnapshotView {
 /// Both the live session (`Session::query`) and every published
 /// [`SnapshotView`] funnel reads through here, so embedded and served
 /// queries cannot diverge in semantics.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_read_query(
     logical: LogicalPlan,
     optimizer: &Optimizer,
@@ -210,9 +225,10 @@ pub(crate) fn run_read_query(
     store: &Catalog,
     registry: &Registry,
     telemetry: bool,
+    threads: usize,
 ) -> Result<QueryResult> {
     let (optimized, cost) = optimizer.optimize(logical)?;
-    let ctx = EngineContext { store, registry, telemetry };
+    let ctx = EngineContext { store, registry, telemetry, threads };
     let mut out = engine.execute(&optimized, &ctx)?;
     // Engines return rows sorted (their agreement contract); a top-level
     // ORDER BY re-orders the final — already limited — rows into
@@ -273,9 +289,10 @@ pub(crate) fn run_explain_analyze(
     engine: &dyn Engine,
     store: &Catalog,
     registry: &Registry,
+    threads: usize,
 ) -> Result<QueryResult> {
     let (optimized, cost) = optimizer.optimize(logical)?;
-    let ctx = EngineContext { store, registry, telemetry: true };
+    let ctx = EngineContext { store, registry, telemetry: true, threads };
     let out = engine.execute(&optimized, &ctx)?;
     let trace = out
         .trace

@@ -1,0 +1,156 @@
+//! Parallel execution is an optimization, never an answer change: at any
+//! thread count, on either engine, every query and every maintained view
+//! must return results *bit-identical* to the single-threaded run — the
+//! same rows, the same order, the same float bits.
+//!
+//! Three schedulers are under test (seed-swept random data each):
+//!
+//! * the morsel/shard-parallel local engine (`lower_parallel` + shared
+//!   scan cursors + shard-by-key gates),
+//! * the threaded cluster drain scheduler (BSP rounds over worker
+//!   threads),
+//! * parallel materialized-view maintenance (independent same-depth
+//!   views fanned out across threads).
+//!
+//! Floats make this strict: a sum folded in a different order gives
+//! different low bits, so plain `assert_eq!` on tuples proves the
+//! parallel schedules preserve per-group accumulation order, not just
+//! set equality.
+
+use rex::core::tuple::{Schema, Tuple};
+use rex::core::value::{DataType, Value};
+use rex::Session;
+use rex_data::rng::StdRng;
+
+const SEEDS: [u64; 3] = [11, 29, 47];
+const THREADS: [usize; 3] = [2, 4, 8];
+
+/// Queries covering every parallel-lowering shape: the morsel lane
+/// (stateless chains), shard gates (joins, group-bys), fallback paths
+/// (global aggregates, top-k), and compound expressions.
+const QUERIES: &[&str] = &[
+    "SELECT k, a + 1, b * 2.0 FROM t WHERE a < 37",
+    "SELECT k FROM t WHERE a >= 38 AND a < 45",
+    "SELECT a, count(*), sum(b) FROM t GROUP BY a",
+    "SELECT t.a, count(*), sum(d.w) FROM t, d WHERE t.k = d.k GROUP BY t.a",
+    "SELECT count(*), sum(b) FROM t",
+    "SELECT k, b FROM t WHERE a < 50 ORDER BY b, k LIMIT 25",
+    "SELECT DISTINCT a FROM t WHERE b > 100.0",
+];
+
+/// A recursive query: per-key counters race to a bound through the
+/// fixpoint operator (stratum-by-stratum on both engines).
+const RECURSIVE: &str = "WITH R (k, v) AS (\
+     SELECT k, 0 AS v FROM seed\
+     ) UNION UNTIL FIXPOINT BY k (\
+     SELECT k, v + 1 FROM R WHERE v < 4)";
+
+/// Rows for the base table `t`: > PARALLEL_ROWS_MIN so the local
+/// engine's parallel lowering actually engages.
+const T_ROWS: usize = 8192;
+const D_ROWS: i64 = 256;
+
+fn fill(s: &mut Session, seed: u64) {
+    s.create_table(
+        "t",
+        Schema::of(&[("k", DataType::Int), ("a", DataType::Int), ("b", DataType::Double)]),
+    )
+    .unwrap();
+    s.create_table("d", Schema::of(&[("k", DataType::Int), ("w", DataType::Double)])).unwrap();
+    s.create_table("seed", Schema::of(&[("k", DataType::Int)])).unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let t: Vec<Tuple> = (0..T_ROWS)
+        .map(|i| {
+            Tuple::new(vec![
+                Value::Int((i as i64) % D_ROWS),
+                Value::Int(rng.gen_range(0..=99i64)),
+                Value::Double(rng.gen_range(0..=999i64) as f64 * 0.37),
+            ])
+        })
+        .collect();
+    s.insert("t", t).unwrap();
+    let d: Vec<Tuple> = (0..D_ROWS)
+        .map(|k| Tuple::new(vec![Value::Int(k), Value::Double(k as f64 * 1.5)]))
+        .collect();
+    s.insert("d", d).unwrap();
+    let seeds: Vec<Tuple> = (0..40i64).map(|k| Tuple::new(vec![Value::Int(k)])).collect();
+    s.insert("seed", seeds).unwrap();
+}
+
+fn make(engine: &str, seed: u64) -> Session {
+    let mut s = match engine {
+        "cluster" => Session::cluster(3),
+        _ => Session::local(),
+    };
+    fill(&mut s, seed);
+    s
+}
+
+fn check_engine(engine: &str) {
+    for seed in SEEDS {
+        let mut s = make(engine, seed);
+        for q in QUERIES.iter().chain(&[RECURSIVE]) {
+            s.set_threads(1);
+            let want = s.query(q).unwrap().rows;
+            for threads in THREADS {
+                s.set_threads(threads);
+                let got = s.query(q).unwrap().rows;
+                assert_eq!(got, want, "{engine}/seed {seed}/{threads} threads diverges on: {q}");
+            }
+        }
+    }
+}
+
+#[test]
+fn local_engine_parallel_results_are_bit_identical() {
+    check_engine("local");
+}
+
+#[test]
+fn cluster_engine_threaded_results_are_bit_identical() {
+    check_engine("cluster");
+}
+
+/// Parallel view maintenance: sessions that differ only in thread count
+/// must hold bit-identical view contents after every random write batch.
+#[test]
+fn view_maintenance_is_bit_identical_across_thread_counts() {
+    let views = [
+        "CREATE MATERIALIZED VIEW by_a AS SELECT a, count(*), sum(b) FROM t GROUP BY a",
+        "CREATE MATERIALIZED VIEW joined AS \
+         SELECT t.a, sum(d.w) FROM t, d WHERE t.k = d.k GROUP BY t.a",
+        "CREATE MATERIALIZED VIEW hot AS SELECT k, b FROM t WHERE b > 250.0",
+    ];
+    for seed in SEEDS {
+        let run = |threads: usize| -> Vec<Vec<Tuple>> {
+            let mut s = Session::local();
+            s.set_threads(threads);
+            fill(&mut s, seed);
+            for v in views {
+                s.query(v).unwrap();
+            }
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+            let mut states = Vec::new();
+            for _ in 0..4 {
+                let batch: Vec<Tuple> = (0..200)
+                    .map(|_| {
+                        Tuple::new(vec![
+                            Value::Int(rng.gen_range(0..=D_ROWS - 1)),
+                            Value::Int(rng.gen_range(0..=99i64)),
+                            Value::Double(rng.gen_range(0..=999i64) as f64 * 0.37),
+                        ])
+                    })
+                    .collect();
+                s.insert("t", batch).unwrap();
+                for view in ["by_a", "joined", "hot"] {
+                    states.push(s.query(&format!("SELECT * FROM {view}")).unwrap().rows);
+                }
+            }
+            states
+        };
+        let want = run(1);
+        for threads in THREADS {
+            assert_eq!(run(threads), want, "seed {seed}/{threads} threads: view state diverges");
+        }
+    }
+}
