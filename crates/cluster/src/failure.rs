@@ -1,4 +1,17 @@
 //! Failure injection and recovery strategies (§4.3, Figure 12).
+//!
+//! Injection has three entry points, all driven by the types here:
+//!
+//! * **queries** — [`ClusterConfig::with_failure`](crate::runtime::ClusterConfig::with_failure)
+//!   arms the BSP drain loop with a [`FailurePlan`]; the runtime kills the
+//!   worker at the named stratum boundary, recovers under the configured
+//!   [`RecoveryStrategy`], and records [`FailureEvent`]s in the
+//!   [`ClusterReport`](crate::report::ClusterReport);
+//! * **sweeps** — [`ChaosSweep`](crate::chaos::ChaosSweep) replays one
+//!   query across every (worker × kill-point × strategy) case and checks
+//!   each recovered result bit-identically against a failure-free run;
+//! * **view maintenance** — `rex-views` sharded maintenance reuses
+//!   [`RecoveryStrategy`] for shard replica adoption vs replay-from-base.
 
 /// When and which worker to kill during a query.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -11,6 +24,55 @@ pub struct FailurePlan {
 
 impl FailurePlan {
     /// Kill `worker` once stratum `s` completes.
+    ///
+    /// Driving a real recursive query to failure and recovery:
+    ///
+    /// ```
+    /// use rex_cluster::{ClusterConfig, ClusterRuntime, FailurePlan, RecoveryStrategy};
+    /// use rex_core::tuple::Schema;
+    /// use rex_core::udf::Registry;
+    /// use rex_core::value::DataType;
+    /// use rex_core::tuple;
+    /// use rex_rql::SchemaCatalog;
+    /// use rex_storage::{catalog::Catalog, table::StoredTable};
+    ///
+    /// // A path graph 0→1→…→9: reachability from 0 takes ~10 strata.
+    /// let schema = Schema::of(&[("src", DataType::Int), ("dst", DataType::Int)]);
+    /// let cat = Catalog::new();
+    /// let mut edges = StoredTable::new("edges", schema.clone(), vec![0]);
+    /// for i in 0..9i64 {
+    ///     edges.insert(tuple![i, i + 1]).unwrap();
+    /// }
+    /// cat.register(edges);
+    /// let mut seed = StoredTable::new("seed", Schema::of(&[("id", DataType::Int)]), vec![0]);
+    /// seed.insert(tuple![0i64]).unwrap();
+    /// cat.register(seed);
+    /// let mut sc = SchemaCatalog::new();
+    /// sc.register("edges", schema);
+    /// sc.register("seed", Schema::of(&[("id", DataType::Int)]));
+    ///
+    /// let reg = Registry::with_builtins();
+    /// let plan = rex_rql::plan_rql(
+    ///     "WITH reach (id) AS (SELECT id FROM seed)
+    ///      UNION UNTIL FIXPOINT BY id
+    ///      (SELECT edges.dst FROM edges, reach WHERE edges.src = reach.id)",
+    ///     &sc,
+    ///     &reg,
+    /// )
+    /// .unwrap();
+    ///
+    /// // Kill worker 1 after stratum 3; recover incrementally from the
+    /// // last replicated checkpoint. Results match the unkilled run.
+    /// let cfg = ClusterConfig::new(3)
+    ///     .with_failure(FailurePlan::kill_at(1, 3), RecoveryStrategy::Incremental);
+    /// let (rows, report) = ClusterRuntime::new(cfg, cat.clone()).run_logical(&plan, &reg).unwrap();
+    /// let (baseline, _) =
+    ///     ClusterRuntime::new(ClusterConfig::new(3), cat).run_logical(&plan, &reg).unwrap();
+    /// assert_eq!(rows, baseline);
+    /// assert_eq!(report.failures.len(), 1);
+    /// assert_eq!(report.failures[0].worker, 1);
+    /// assert!(report.failures[0].resumed_from > 0, "incremental resume, not restart");
+    /// ```
     pub fn kill_at(worker: usize, s: u64) -> FailurePlan {
         FailurePlan { worker, at_end_of_stratum: s }
     }

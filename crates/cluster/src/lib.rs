@@ -17,14 +17,16 @@
 //! routing, punctuation-alignment and recovery code paths a wire cluster
 //! would, while keeping experiments deterministic. See DESIGN.md.
 
+pub mod chaos;
 pub mod engine;
 pub mod failure;
 pub mod report;
 pub mod router;
 pub mod runtime;
 
+pub use chaos::{ChaosCase, ChaosOutcome, ChaosReport, ChaosSweep};
 pub use engine::{logical_plan_builder, ClusterError};
-pub use failure::{FailurePlan, RecoveryStrategy};
+pub use failure::{FailureEvent, FailurePlan, RecoveryStrategy};
 pub use report::ClusterReport;
 pub use router::Router;
 pub use runtime::{ClusterConfig, ClusterRuntime, PlanBuilder};

@@ -112,7 +112,7 @@ impl Router {
     /// The routing decision itself, with no executor access: partition an
     /// outbox into per-target [`Delivery`]s (in deterministic emission
     /// order) and account every router-side counter. Returns the
-    /// deliveries plus the sender's total `bytes_sent` credit. [`route`]
+    /// deliveries plus the sender's total `bytes_sent` credit. [`Router::route`]
     /// is exactly this plus local injection, and the threaded cluster
     /// scheduler sends the same deliveries over worker-thread channels —
     /// so inline and threaded execution route identically by

@@ -56,7 +56,7 @@ pub struct ClusterConfig {
     /// OS threads the drain scheduler may use for worker execution
     /// (1 = the historical inline loop). Workers are spread round-robin
     /// over at most this many threads; the process-wide
-    /// [`thread_budget`](rex_core::thread_budget) may cap what is
+    /// [`thread_budget`] may cap what is
     /// actually spawned. Either way results are bit-identical to the
     /// single-threaded schedule.
     pub threads: usize,
@@ -151,6 +151,9 @@ impl ClusterRuntime {
         // Global stratum counter across attempts (drives failure injection
         // and report numbering).
         let mut strata_seen: u64 = 0;
+        // Set when a worker dies; cleared (and recorded to the process-wide
+        // fault telemetry) once the surviving cluster is ready to resume.
+        let mut recovery_t0: Option<Instant> = None;
 
         'attempt: loop {
             // ---- build executors for live workers -----------------------
@@ -219,6 +222,7 @@ impl ClusterRuntime {
 
             // ---- incremental resume -------------------------------------
             let mut completed: u64 = 0;
+            let mut restored_bytes: u64 = 0;
             if let Some(k) = resume.take() {
                 let fp0 = fixpoints[0];
                 let key_cols =
@@ -240,6 +244,7 @@ impl ClusterRuntime {
                 for &w in &live {
                     let state = OperatorState { tuples: std::mem::take(&mut per_worker[w]) };
                     let bytes = state.byte_size() as u64;
+                    restored_bytes += bytes;
                     executors[w].metrics.bytes_received += bytes;
                     executors[w].restore_fixpoint(fp0, state, k)?;
                 }
@@ -252,6 +257,16 @@ impl ClusterRuntime {
                 }
                 drain_all(&mut executors, &mut router, &live, &snapshot, reg, cost, threads)?;
                 completed = k + 1;
+            }
+            if let Some(rt0) = recovery_t0.take() {
+                // Readiness, not total re-run cost: the clock stops when the
+                // survivors can process the next stratum (restart's re-run
+                // shows up as simulated time in the stratum reports).
+                rex_core::faults::record_recovery(
+                    matches!(self.config.recovery, RecoveryStrategy::Incremental),
+                    rt0.elapsed().as_micros() as u64,
+                    restored_bytes,
+                );
             }
 
             // ---- stratum loop -------------------------------------------
@@ -370,6 +385,7 @@ impl ClusterRuntime {
                             strategy: self.config.recovery,
                             resumed_from,
                         });
+                        recovery_t0 = Some(Instant::now());
                         continue 'attempt;
                     }
                 }

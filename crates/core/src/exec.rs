@@ -563,9 +563,9 @@ impl LocalRuntime {
     /// one snapshot) or shard mode (shard gates keep each thread's keyed
     /// state disjoint). Both constructions make the union of the threads'
     /// sink outputs exactly the single-threaded bag of results, so the
-    /// merge is concatenation plus one final [`sort_rows`]
-    /// (crate::tuple::sort_rows) — bit-identical to a single-threaded run,
-    /// which sorts at the same boundary.
+    /// merge is concatenation plus one final
+    /// [`sort_rows`](crate::tuple::sort_rows) — bit-identical to a
+    /// single-threaded run, which sorts at the same boundary.
     ///
     /// Only non-recursive plans are supported (parallel lowering rejects
     /// fixpoints); a graph containing a fixpoint is an error.
@@ -582,34 +582,33 @@ impl LocalRuntime {
         }
         let t0 = Instant::now();
         type WorkerOutcome = Result<(Vec<Tuple>, ExecMetrics, Option<ExecTrace>)>;
-        let outcomes: Vec<WorkerOutcome> =
-            std::thread::scope(|s| {
-                let handles: Vec<_> = graphs
-                    .into_iter()
-                    .enumerate()
-                    .map(|(tid, g)| {
-                        let reg = &self.reg;
-                        let cost = &self.cost;
-                        let telemetry = self.telemetry;
-                        s.spawn(move || {
-                            let mut ex = Executor::new(g, tid, false);
-                            if !ex.fixpoint_ids().is_empty() {
-                                return Err(RexError::Exec(
-                                    "run_partitioned cannot execute fixpoints".into(),
-                                ));
-                            }
-                            ex.set_telemetry(telemetry);
-                            let mut outbox = Vec::new(); // never used locally
-                            ex.start(reg, cost)?;
-                            ex.drain(reg, cost, &mut outbox)?;
-                            let rows = ex.take_sink_results()?;
-                            let trace = ex.take_trace();
-                            Ok((rows, ex.metrics, trace))
-                        })
+        let outcomes: Vec<WorkerOutcome> = std::thread::scope(|s| {
+            let handles: Vec<_> = graphs
+                .into_iter()
+                .enumerate()
+                .map(|(tid, g)| {
+                    let reg = &self.reg;
+                    let cost = &self.cost;
+                    let telemetry = self.telemetry;
+                    s.spawn(move || {
+                        let mut ex = Executor::new(g, tid, false);
+                        if !ex.fixpoint_ids().is_empty() {
+                            return Err(RexError::Exec(
+                                "run_partitioned cannot execute fixpoints".into(),
+                            ));
+                        }
+                        ex.set_telemetry(telemetry);
+                        let mut outbox = Vec::new(); // never used locally
+                        ex.start(reg, cost)?;
+                        ex.drain(reg, cost, &mut outbox)?;
+                        let rows = ex.take_sink_results()?;
+                        let trace = ex.take_trace();
+                        Ok((rows, ex.metrics, trace))
                     })
-                    .collect();
-                handles.into_iter().map(|h| h.join().expect("executor thread panicked")).collect()
-            });
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("executor thread panicked")).collect()
+        });
         let mut rows = Vec::new();
         let mut metrics = ExecMetrics::default();
         let mut trace: Option<ExecTrace> = None;

@@ -1,0 +1,119 @@
+//! Process-wide failure/recovery telemetry — the counters behind the
+//! paper's Figure 12 experiment (§4.3), surfaced on the same metrics
+//! plane as query execution.
+//!
+//! Failures are injected in two layers that do not know about each other:
+//! the BSP cluster runtime (a worker dies at a stratum boundary and the
+//! query recovers by restart or incremental resume) and sharded view
+//! maintenance (a worker's view shards die and survivors adopt them).
+//! Both layers report here, and the server's Prometheus `METRICS`
+//! endpoint renders the totals — so one scrape shows every recovery the
+//! process has performed, whichever layer it happened in.
+//!
+//! Everything is a lock-free atomic: recording costs a handful of
+//! `fetch_add`s, and reading never blocks a recovery in progress. The
+//! counters are monotonic and process-global (tests assert deltas, not
+//! absolutes). Latencies land in a fixed-bucket histogram with the
+//! cumulative (`le`) semantics Prometheus expects.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Upper bounds (µs) of the recovery-latency histogram buckets; a final
+/// `+Inf` bucket is implied. Recoveries span everything from adopting an
+/// in-memory replica (µs) to replaying a base table (ms).
+pub const RECOVERY_BUCKETS_US: [u64; 8] = [50, 100, 500, 1_000, 5_000, 25_000, 100_000, 500_000];
+
+static EVENTS_TOTAL: AtomicU64 = AtomicU64::new(0);
+static RESTARTS_TOTAL: AtomicU64 = AtomicU64::new(0);
+static INCREMENTALS_TOTAL: AtomicU64 = AtomicU64::new(0);
+static RECOVERED_BYTES: AtomicU64 = AtomicU64::new(0);
+static LATENCY_SUM_US: AtomicU64 = AtomicU64::new(0);
+static LATENCY_COUNT: AtomicU64 = AtomicU64::new(0);
+static LATENCY_BUCKETS: [AtomicU64; RECOVERY_BUCKETS_US.len()] = [
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+];
+
+/// Record one completed recovery: `incremental` says which strategy ran,
+/// `latency_us` is wall time from detecting the death to the survivor
+/// being ready to resume, `bytes` is the state volume moved (replica
+/// adopted or base data replayed).
+pub fn record_recovery(incremental: bool, latency_us: u64, bytes: u64) {
+    EVENTS_TOTAL.fetch_add(1, Ordering::Relaxed);
+    if incremental {
+        INCREMENTALS_TOTAL.fetch_add(1, Ordering::Relaxed);
+    } else {
+        RESTARTS_TOTAL.fetch_add(1, Ordering::Relaxed);
+    }
+    RECOVERED_BYTES.fetch_add(bytes, Ordering::Relaxed);
+    LATENCY_SUM_US.fetch_add(latency_us, Ordering::Relaxed);
+    LATENCY_COUNT.fetch_add(1, Ordering::Relaxed);
+    for (i, bound) in RECOVERY_BUCKETS_US.iter().enumerate() {
+        if latency_us <= *bound {
+            LATENCY_BUCKETS[i].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A point-in-time copy of the failure counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Worker deaths observed (one per recovery, whatever the strategy).
+    pub events_total: u64,
+    /// Recoveries that discarded state and re-ran from scratch.
+    pub restarts_total: u64,
+    /// Recoveries that resumed from replicated state.
+    pub incrementals_total: u64,
+    /// Bytes of state moved to recover (replicas adopted + data replayed).
+    pub recovered_bytes: u64,
+}
+
+/// Read the failure counters.
+pub fn counters() -> FaultCounters {
+    FaultCounters {
+        events_total: EVENTS_TOTAL.load(Ordering::Relaxed),
+        restarts_total: RESTARTS_TOTAL.load(Ordering::Relaxed),
+        incrementals_total: INCREMENTALS_TOTAL.load(Ordering::Relaxed),
+        recovered_bytes: RECOVERED_BYTES.load(Ordering::Relaxed),
+    }
+}
+
+/// Read the recovery-latency histogram: per-bucket cumulative counts
+/// (aligned with [`RECOVERY_BUCKETS_US`]), total µs, and observation
+/// count. The `+Inf` bucket equals the count.
+pub fn latency_histogram() -> ([u64; RECOVERY_BUCKETS_US.len()], u64, u64) {
+    let mut buckets = [0u64; RECOVERY_BUCKETS_US.len()];
+    for (b, a) in buckets.iter_mut().zip(&LATENCY_BUCKETS) {
+        *b = a.load(Ordering::Relaxed);
+    }
+    (buckets, LATENCY_SUM_US.load(Ordering::Relaxed), LATENCY_COUNT.load(Ordering::Relaxed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recording_moves_every_counter() {
+        let before = counters();
+        let (hb, _, hc) = latency_histogram();
+        record_recovery(true, 75, 1024);
+        record_recovery(false, 600_000, 2048);
+        let after = counters();
+        assert_eq!(after.events_total - before.events_total, 2);
+        assert_eq!(after.incrementals_total - before.incrementals_total, 1);
+        assert_eq!(after.restarts_total - before.restarts_total, 1);
+        assert_eq!(after.recovered_bytes - before.recovered_bytes, 3072);
+        let (hb2, _, hc2) = latency_histogram();
+        assert_eq!(hc2 - hc, 2);
+        // 75µs lands in every bucket from le=100 up; 600ms only in +Inf.
+        assert_eq!(hb2[1] - hb[1], 1);
+        assert_eq!(hb2[hb2.len() - 1] - hb[hb.len() - 1], 1);
+    }
+}

@@ -98,6 +98,7 @@ pub mod delta;
 pub mod error;
 pub mod exec;
 pub mod expr;
+pub mod faults;
 pub mod handlers;
 pub mod hash;
 pub mod metrics;

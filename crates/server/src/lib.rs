@@ -41,5 +41,5 @@ pub mod server;
 pub mod stats;
 
 pub use client::{Client, QueryReply, WriteAck};
-pub use server::{Server, ServerConfig, ShutdownHandle};
+pub use server::{FaultInjection, Server, ServerConfig, ShutdownHandle};
 pub use stats::{ServerStats, PUBLISH_BUCKETS_US};

@@ -41,6 +41,21 @@ use std::sync::{mpsc, Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+/// Deterministic fault injection for chaos tests: once the writer has
+/// applied `after_writes` write ops, it kills `worker`'s view-maintenance
+/// shards on its session and recovers them under `strategy` (see
+/// `docs/FAULT.md`). Readers never notice — published snapshots are
+/// immutable — and the next write maintains against the recovered shards.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultInjection {
+    /// Fire after this many write ops have been applied.
+    pub after_writes: u64,
+    /// The worker whose shards die.
+    pub worker: usize,
+    /// How the surviving workers recover the lost shards.
+    pub strategy: rex::cluster::RecoveryStrategy,
+}
+
 /// Tunables for [`Server::start`]. The defaults serve tests, the bench,
 /// and the daemon; `rex-serverd` exposes the interesting ones as flags.
 #[derive(Debug, Clone)]
@@ -64,6 +79,9 @@ pub struct ServerConfig {
     /// bringing their own. 0 (the default) inherits the session's
     /// configuration (`REX_THREADS` or all cores, unlimited budget).
     pub threads: usize,
+    /// Optional one-shot fault injected by the writer thread (chaos
+    /// tests); `None` in production.
+    pub fault: Option<FaultInjection>,
 }
 
 impl Default for ServerConfig {
@@ -75,6 +93,7 @@ impl Default for ServerConfig {
             cache_entries: 128,
             cache_max_bytes: 256 * 1024,
             threads: 0,
+            fault: None,
         }
     }
 }
@@ -316,6 +335,7 @@ impl Drop for Server {
 // ---- writer --------------------------------------------------------------
 
 fn writer_loop(mut session: Session, rx: Receiver<WriteReq>, shared: Arc<Shared>) {
+    let mut fault = shared.cfg.fault;
     while let Ok(first) = rx.recv() {
         // Coalesce a burst of queued ops under one snapshot publish; every
         // reply still waits for the publish covering its op, so a client
@@ -331,6 +351,15 @@ fn writer_loop(mut session: Session, rx: Receiver<WriteReq>, shared: Arc<Shared>
         for req in reqs {
             let reply = apply_write(&mut session, req.op, &shared.stats);
             replies.push((req.reply, reply));
+            // One-shot chaos hook: kill a worker's view shards between
+            // write ops. Recovery runs inside inject_failure; readers
+            // keep the published snapshot either way.
+            if let Some(f) = fault {
+                if shared.stats.write_ops.load(Ordering::Relaxed) >= f.after_writes {
+                    let _ = session.inject_failure(f.worker, f.strategy);
+                    fault = None;
+                }
+            }
         }
         let t0 = Instant::now();
         match session.snapshot() {

@@ -155,6 +155,26 @@ impl ServerStats {
             "rex_publish_latency_us_count {}",
             self.publishes.load(Ordering::Relaxed)
         );
+        // Process-wide failure/recovery telemetry (`rex_core::faults`):
+        // worker deaths and recoveries recorded by the cluster runtime and
+        // by sharded view maintenance, whichever layer they happened in.
+        let f = rex::core::faults::counters();
+        let _ = writeln!(out, "# TYPE rex_failure_events_total counter");
+        let _ = writeln!(out, "rex_failure_events_total {}", f.events_total);
+        let _ = writeln!(out, "# TYPE rex_recovery_restarts_total counter");
+        let _ = writeln!(out, "rex_recovery_restarts_total {}", f.restarts_total);
+        let _ = writeln!(out, "# TYPE rex_recovery_incrementals_total counter");
+        let _ = writeln!(out, "rex_recovery_incrementals_total {}", f.incrementals_total);
+        let _ = writeln!(out, "# TYPE rex_recovered_bytes_total counter");
+        let _ = writeln!(out, "rex_recovered_bytes_total {}", f.recovered_bytes);
+        let (buckets, sum_us, count) = rex::core::faults::latency_histogram();
+        let _ = writeln!(out, "# TYPE rex_recovery_latency_us histogram");
+        for (le, c) in rex::core::faults::RECOVERY_BUCKETS_US.iter().zip(buckets) {
+            let _ = writeln!(out, "rex_recovery_latency_us_bucket{{le=\"{le}\"}} {c}");
+        }
+        let _ = writeln!(out, "rex_recovery_latency_us_bucket{{le=\"+Inf\"}} {count}");
+        let _ = writeln!(out, "rex_recovery_latency_us_sum {sum_us}");
+        let _ = writeln!(out, "rex_recovery_latency_us_count {count}");
         out
     }
 }
@@ -188,6 +208,17 @@ mod tests {
         }
         assert!(prom.contains("rex_snapshot_version 7"), "{prom}");
         assert!(prom.contains("rex_thread_budget_available "), "{prom}");
+    }
+
+    #[test]
+    fn prometheus_renders_failure_telemetry() {
+        let s = ServerStats::default();
+        let prom = s.render_prometheus(0);
+        assert!(prom.contains("rex_failure_events_total "), "{prom}");
+        assert!(prom.contains("rex_recovery_restarts_total "), "{prom}");
+        assert!(prom.contains("rex_recovery_incrementals_total "), "{prom}");
+        assert!(prom.contains("rex_recovery_latency_us_bucket{le=\"+Inf\"}"), "{prom}");
+        assert!(prom.contains("rex_recovery_latency_us_count "), "{prom}");
     }
 
     #[test]

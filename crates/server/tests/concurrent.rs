@@ -13,6 +13,7 @@ use rex::Session;
 use rex_core::tuple;
 use rex_core::tuple::Tuple;
 use rex_server::{Client, Server, ServerConfig};
+use rex_testkit::{canon, XorShift};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -31,13 +32,6 @@ fn batch(k: usize) -> Vec<Tuple> {
         .collect()
 }
 
-/// Sort rows into a canonical order for comparison (no ORDER BY in the
-/// test queries, so presentation order is arbitrary).
-fn canon(mut rows: Vec<Tuple>) -> Vec<Tuple> {
-    rows.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
-    rows
-}
-
 /// Full recompute of `SELECT * FROM edges` after `k` batches.
 fn expected_edges(k: usize) -> Vec<Tuple> {
     canon((0..k).flat_map(batch).collect())
@@ -54,17 +48,6 @@ fn expected_deg(k: usize) -> Vec<Tuple> {
         *counts.entry(src).or_insert(0) += 1;
     }
     canon(counts.into_iter().map(|(src, n)| tuple![src, n]).collect())
-}
-
-/// Tiny deterministic RNG so each reader sweeps a different seed.
-struct XorShift(u64);
-impl XorShift {
-    fn next(&mut self) -> u64 {
-        self.0 ^= self.0 << 13;
-        self.0 ^= self.0 >> 7;
-        self.0 ^= self.0 << 17;
-        self.0
-    }
 }
 
 fn run_scenario(session: Session) {
@@ -105,7 +88,7 @@ fn run_scenario(session: Session) {
                 while last_version < v_final {
                     iters += 1;
                     assert!(iters < 50_000, "reader {r} never saw final version {v_final}");
-                    let (rql, oracle): (&str, &Vec<Vec<Tuple>>) = if rng.next().is_multiple_of(2) {
+                    let (rql, oracle): (&str, &Vec<Vec<Tuple>>) = if rng.next_u64().is_multiple_of(2) {
                         ("SELECT * FROM deg", &deg_at)
                     } else {
                         ("SELECT * FROM edges", &edges_at)

@@ -9,6 +9,7 @@
 //! refreshed lazily ([`ViewCatalog::sync`]) before queries run.
 
 use crate::delta_set::DeltaSet;
+use crate::sharded::RecoveryStrategy;
 use crate::view::{MaintenanceStrategy, MaterializedView};
 use rex_core::delta::Delta;
 use rex_core::error::{Result, RexError};
@@ -44,6 +45,15 @@ pub struct ViewMetrics {
     pub rows: usize,
     /// Approximate bytes of maintenance state.
     pub state_bytes: usize,
+    /// Shards the maintenance state is partitioned into (1 = session
+    /// node).
+    pub shards: usize,
+    /// Delta rows partitioned across worker shards.
+    pub sharded_rows: u64,
+    /// State bytes copied into shard replicas.
+    pub replicated_bytes: u64,
+    /// Shard recoveries performed after worker kills.
+    pub recoveries: u64,
 }
 
 /// All materialized views of a session, keyed by lowercase name.
@@ -63,6 +73,11 @@ pub struct ViewCatalog {
     /// Thread ceiling for same-depth maintenance (0 and 1 both mean
     /// sequential; see [`set_threads`](ViewCatalog::set_threads)).
     threads: usize,
+    /// Worker count views defined under this catalog shard across (1 =
+    /// single-node maintenance; cluster sessions set their worker count).
+    partitions: usize,
+    /// Recovery strategy for shard recoveries after a worker kill.
+    recovery: RecoveryStrategy,
 }
 
 impl ViewCatalog {
@@ -94,6 +109,48 @@ impl ViewCatalog {
     /// [`thread_budget`], so a serving process stays inside its cap.
     pub fn set_threads(&mut self, threads: usize) {
         self.threads = threads.max(1);
+    }
+
+    /// Shard views defined *from now on* across `n` workers (see
+    /// [`crate::sharded`]). Existing views keep their layout.
+    pub fn set_partitions(&mut self, n: usize) {
+        self.partitions = n.max(1);
+    }
+
+    /// Worker count new views shard across.
+    pub fn partitions(&self) -> usize {
+        self.partitions.max(1)
+    }
+
+    /// Set the recovery strategy for every sharded view's future
+    /// recoveries (and for views defined from now on).
+    pub fn set_recovery(&mut self, strategy: RecoveryStrategy) {
+        self.recovery = strategy;
+        for v in self.views.values_mut() {
+            v.set_recovery(strategy);
+        }
+    }
+
+    /// The configured recovery strategy.
+    pub fn recovery(&self) -> RecoveryStrategy {
+        self.recovery
+    }
+
+    /// Kill worker `w` across every sharded view: its shards and hosted
+    /// replicas are dropped, survivors adopt the shard ranges, and each
+    /// view recovers immediately — while the store still equals the
+    /// applied history, which is what makes a restart rebuild (replay the
+    /// store) equivalent to the lost state. Stale upstream view copies
+    /// are synced first so cascaded views replay current data. Returns
+    /// the number of shards that lost their primary tree.
+    pub fn kill_worker(&mut self, w: usize, store: &Catalog, reg: &Registry) -> Result<usize> {
+        self.sync(store)?;
+        let mut lost = 0;
+        for v in self.views.values_mut() {
+            lost += v.kill_worker(w);
+            v.recover(store, reg)?;
+        }
+        Ok(lost)
     }
 
     /// Look up a view.
@@ -447,6 +504,10 @@ impl ViewCatalog {
                     maint_ns: v.maint_ns(),
                     rows: v.len(),
                     state_bytes: v.state_bytes(),
+                    shards: v.shards(),
+                    sharded_rows: v.shard_stats().sharded_rows,
+                    replicated_bytes: v.shard_stats().replicated_bytes,
+                    recoveries: v.shard_stats().recoveries,
                 }
             })
             .collect()

@@ -60,8 +60,10 @@
 pub mod catalog;
 pub mod delta_set;
 pub mod maintain;
+pub mod sharded;
 pub mod view;
 
 pub use catalog::{ViewCatalog, ViewMetrics};
 pub use delta_set::DeltaSet;
+pub use sharded::{RecoveryStrategy, ShardStats, ShardedMaint};
 pub use view::{evaluate, MaintenanceStrategy, MaterializedView};

@@ -124,7 +124,7 @@ impl AggStrategy {
 }
 
 /// Constant-size running state for one specialized aggregate call.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub enum AggAccum {
     /// Shared by `sum` and `avg`.
     SumCount {
@@ -213,7 +213,7 @@ impl AggAccum {
 }
 
 /// Per-group maintenance state.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub enum GroupState {
     /// Specialized: the group's net row count plus one accumulator per
     /// aggregate call. No input rows are retained.
@@ -231,7 +231,7 @@ pub enum GroupState {
 /// batch loop collect each dirty group's owned key exactly once — per
 /// dirty *group*, not per delta row — keeping the per-row path
 /// allocation-free.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct GroupSlot {
     /// The group's maintenance state.
     state: GroupState,
@@ -242,7 +242,11 @@ pub struct GroupSlot {
 /// A node of the maintenance plan. Stateful nodes own the materializations
 /// the delta rules need; the tree is primed by replaying each base table's
 /// current contents as an insert batch.
-#[derive(Debug)]
+///
+/// `Clone` copies the full keyed state — that is the point: sharded
+/// maintenance ([`crate::sharded`]) clones a shard's tree as its replica
+/// snapshot after each round.
+#[derive(Debug, Clone)]
 pub enum MaintNode {
     /// Base-table leaf (table name lowercased).
     Scan {

@@ -2,6 +2,7 @@
 
 use crate::delta_set::DeltaSet;
 use crate::maintain::{build, MaintNode};
+use crate::sharded::{RecoveryStrategy, ShardStats, ShardedMaint};
 use rex_core::error::Result;
 use rex_core::exec::LocalRuntime;
 use rex_core::hash::FxHashMap;
@@ -50,6 +51,12 @@ pub struct MaterializedView {
     base_tables: Vec<String>,
     strategy: MaintenanceStrategy,
     maint: Option<MaintNode>,
+    /// Shard-partitioned maintenance state (cluster sessions). When set,
+    /// `maint` is `None`: the plan's keyed state lives on the workers.
+    sharded: Option<ShardedMaint>,
+    /// Why sharding was not possible for an incremental view defined
+    /// under a cluster session (`None` when sharded or single-node).
+    shard_fallback: Option<String>,
     output: DeltaSet,
     /// Output deltas accumulated since the stored copy was last synced —
     /// what [`ViewCatalog::sync`](crate::catalog::ViewCatalog::sync)
@@ -88,10 +95,39 @@ impl MaterializedView {
         plan: LogicalPlan,
         reg: &Registry,
     ) -> MaterializedView {
-        let (maint, strategy) = match build(&plan, reg) {
+        Self::define_partitioned(name, sql, plan, reg, 1, RecoveryStrategy::default())
+    }
+
+    /// Define a view whose maintenance state is partitioned across
+    /// `partitions` cluster workers (see [`crate::sharded`]). With
+    /// `partitions <= 1`, or when the plan is not shardable, maintenance
+    /// stays on the session node and the fallback reason is recorded.
+    pub fn define_partitioned(
+        name: impl Into<String>,
+        sql: impl Into<String>,
+        plan: LogicalPlan,
+        reg: &Registry,
+        partitions: usize,
+        recovery: RecoveryStrategy,
+    ) -> MaterializedView {
+        let (mut maint, strategy) = match build(&plan, reg) {
             Ok(node) => (Some(node), MaintenanceStrategy::Incremental),
             Err(e) => (None, MaintenanceStrategy::FullRecompute { reason: e.to_string() }),
         };
+        let mut sharded = None;
+        let mut shard_fallback = None;
+        if partitions > 1 && maint.is_some() {
+            match ShardedMaint::build(&plan, reg, partitions, recovery) {
+                Ok(Ok(s)) => {
+                    sharded = Some(s);
+                    maint = None;
+                }
+                Ok(Err(reason)) => shard_fallback = Some(reason),
+                // A build error here would also have failed `build` above;
+                // keep the single tree.
+                Err(_) => {}
+            }
+        }
         MaterializedView {
             name: name.into(),
             sql: sql.into(),
@@ -100,6 +136,8 @@ impl MaterializedView {
             plan,
             strategy,
             maint,
+            sharded,
+            shard_fallback,
             output: DeltaSet::new(),
             pending: DeltaSet::new(),
             sorted_cache: None,
@@ -189,13 +227,63 @@ impl MaterializedView {
 
     /// Approximate bytes of maintenance state (diagnostics).
     pub fn state_bytes(&self) -> usize {
-        self.maint.as_ref().map(MaintNode::state_bytes).unwrap_or(0)
+        self.maint
+            .as_ref()
+            .map(MaintNode::state_bytes)
+            .or_else(|| self.sharded.as_ref().map(ShardedMaint::state_bytes))
+            .unwrap_or(0)
+    }
+
+    /// Shard count of the maintenance state: 1 on the session node,
+    /// the worker count for sharded views.
+    pub fn shards(&self) -> usize {
+        self.sharded.as_ref().map(ShardedMaint::shards).unwrap_or(1)
+    }
+
+    /// Sharded-maintenance counters (zeroes for single-node views).
+    pub fn shard_stats(&self) -> ShardStats {
+        self.sharded.as_ref().map(|s| *s.stats()).unwrap_or_default()
+    }
+
+    /// Why the view stayed on the session node under a cluster session.
+    pub fn shard_fallback(&self) -> Option<&str> {
+        self.shard_fallback.as_deref()
+    }
+
+    /// Kill worker `w`'s shards of this view. The view's published output
+    /// is untouched — reads keep serving — but the lost shards' trees must
+    /// be recovered (see [`recover`](MaterializedView::recover)) before
+    /// the next maintenance round. Returns shards lost (0 single-node).
+    pub fn kill_worker(&mut self, w: usize) -> usize {
+        self.sharded.as_mut().map(|s| s.kill_worker(w)).unwrap_or(0)
+    }
+
+    /// Recover any dead shards now, while `store` still equals the
+    /// applied history (a restart rebuild replays it verbatim, so waiting
+    /// until the next batch — when the store already includes that batch —
+    /// would double-count it). No-op for single-node views.
+    pub fn recover(&mut self, store: &Catalog, reg: &Registry) -> Result<()> {
+        match &mut self.sharded {
+            Some(s) => s.recover(store, reg),
+            None => Ok(()),
+        }
+    }
+
+    /// Set the recovery strategy for subsequent shard recoveries.
+    pub fn set_recovery(&mut self, strategy: RecoveryStrategy) {
+        if let Some(s) = &mut self.sharded {
+            s.set_recovery(strategy);
+        }
     }
 
     /// One line per group-by node of the maintenance plan describing the
     /// chosen aggregate strategy (empty for recompute-fallback views).
     pub fn agg_strategies(&self) -> Vec<String> {
-        self.maint.as_ref().map(MaintNode::agg_strategies).unwrap_or_default()
+        self.maint
+            .as_ref()
+            .map(MaintNode::agg_strategies)
+            .or_else(|| self.sharded.as_ref().map(ShardedMaint::agg_strategies))
+            .unwrap_or_default()
     }
 
     /// How many times the recompute fallback re-ran the defining query.
@@ -233,7 +321,11 @@ impl MaterializedView {
     /// Dirty groups re-derived from retained rows by replay-strategy
     /// group-by nodes (0 for fully specialized or recompute views).
     pub fn replayed_groups(&self) -> u64 {
-        self.maint.as_ref().map(MaintNode::replayed_groups).unwrap_or(0)
+        self.maint
+            .as_ref()
+            .map(MaintNode::replayed_groups)
+            .or_else(|| self.sharded.as_ref().map(ShardedMaint::replayed_groups))
+            .unwrap_or(0)
     }
 
     /// The output deltas not yet applied to the stored-table copy.
@@ -252,16 +344,24 @@ impl MaterializedView {
     /// the maintenance plan — the same code path later changes take — so
     /// priming exercises exactly the machinery maintenance relies on.
     pub fn prime(&mut self, store: &Catalog, reg: &Registry) -> Result<()> {
-        match &mut self.maint {
-            Some(node) => {
-                for table in self.base_tables.clone() {
-                    let batch = DeltaSet::from_rows(store.get(&table)?.rows().iter().cloned());
-                    let out = node.apply(&table, &batch, reg)?;
-                    self.output.merge_scaled(&out, 1);
-                }
+        if let Some(sharded) = &mut self.sharded {
+            for table in self.base_tables.clone() {
+                let batch = DeltaSet::from_rows(store.get(&table)?.rows().iter().cloned());
+                let out = sharded.apply(&table, &batch, store, reg)?;
+                self.output.merge_scaled(&out, 1);
             }
-            None => {
-                self.output = DeltaSet::from_rows(evaluate(&self.plan, store, reg)?);
+        } else {
+            match &mut self.maint {
+                Some(node) => {
+                    for table in self.base_tables.clone() {
+                        let batch = DeltaSet::from_rows(store.get(&table)?.rows().iter().cloned());
+                        let out = node.apply(&table, &batch, reg)?;
+                        self.output.merge_scaled(&out, 1);
+                    }
+                }
+                None => {
+                    self.output = DeltaSet::from_rows(evaluate(&self.plan, store, reg)?);
+                }
             }
         }
         // Priming is followed by a full publish of the contents, so no
@@ -279,7 +379,18 @@ impl MaterializedView {
         self.output = DeltaSet::new();
         self.pending = DeltaSet::new();
         if matches!(self.strategy, MaintenanceStrategy::Incremental) {
-            self.maint = Some(build(&self.plan, reg)?);
+            if let Some(old) = self.sharded.take() {
+                // Preserve the shard layout and strategy; state rebuilds
+                // from the store like the single-tree path.
+                if let Ok(fresh) =
+                    ShardedMaint::build(&self.plan, reg, old.shards(), old.recovery())
+                {
+                    self.sharded = fresh.ok();
+                }
+            }
+            if self.sharded.is_none() {
+                self.maint = Some(build(&self.plan, reg)?);
+            }
         }
         self.prime(store, reg)
     }
@@ -296,6 +407,23 @@ impl MaterializedView {
     ) -> Result<DeltaSet> {
         let start = Instant::now();
         self.deltas_in += delta_rows(batch);
+        if let Some(sharded) = &mut self.sharded {
+            let out = sharded.apply(&table.to_ascii_lowercase(), batch, store, reg)?;
+            self.incremental_passes += 1;
+            self.deltas_out += delta_rows(&out);
+            self.maint_ns += start.elapsed().as_nanos() as u64;
+            self.output.merge_scaled(&out, 1);
+            self.pending.merge_scaled(&out, 1);
+            if self.cache_hot {
+                if let Some(cache) = &mut self.sorted_cache {
+                    merge_sorted(cache, &out);
+                }
+                self.cache_hot = false;
+            } else {
+                self.sorted_cache = None;
+            }
+            return Ok(out);
+        }
         match &mut self.maint {
             Some(node) => {
                 let out = node.apply(&table.to_ascii_lowercase(), batch, reg)?;

@@ -57,7 +57,7 @@ pub struct EngineContext<'a> {
     /// use in total (1 = single-threaded, the historical behavior). The
     /// engine treats this as a ceiling, not a promise — plans that cannot
     /// parallelize safely run on one thread, and the process-wide
-    /// [`thread_budget`](rex_core::thread_budget) may cap the extra
+    /// [`thread_budget`] may cap the extra
     /// threads actually spawned.
     pub threads: usize,
 }

@@ -143,6 +143,10 @@ impl Session {
     pub fn cluster(n_workers: usize) -> Session {
         let mut s = Session::with_engine(Box::new(ClusterEngine::new(n_workers)));
         s.optimizer = Optimizer::new(n_workers.max(1));
+        // Views defined in this session shard their maintenance state
+        // across the same workers (when the plan co-partitions; see
+        // rex_views::sharded).
+        s.views.set_partitions(n_workers.max(1));
         s
     }
 
@@ -201,6 +205,22 @@ impl Session {
     /// The current per-query thread ceiling.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Fault injection: kill worker `worker`'s view-maintenance shards
+    /// and recover them under `strategy` — survivors adopt the dead
+    /// worker's shard ranges, from replicated snapshots (`Incremental`)
+    /// or by replaying base data (`Restart`); see `rex_views::sharded`
+    /// and docs/FAULT.md. Published snapshots and the session's stored
+    /// view copies are untouched, so reads keep being served throughout.
+    /// Returns the number of shards lost (0 when no view is sharded).
+    pub fn inject_failure(
+        &mut self,
+        worker: usize,
+        strategy: rex_cluster::failure::RecoveryStrategy,
+    ) -> Result<usize> {
+        self.views.set_recovery(strategy);
+        self.views.kill_worker(worker, &self.store, &self.registry)
     }
 
     /// Queries whose wall time reaches `threshold` are recorded in the
@@ -803,7 +823,14 @@ impl Session {
         let plan = self.plan_view_query(query)?;
         self.refresh_stats();
         let (_, cost) = self.optimizer.optimize(plan.clone())?;
-        let view = MaterializedView::define(name, sql, plan, &self.registry);
+        let view = MaterializedView::define_partitioned(
+            name,
+            sql,
+            plan,
+            &self.registry,
+            self.views.partitions(),
+            self.views.recovery(),
+        );
         let schema = view.schema().clone();
         self.views.create(view, &self.store, &self.registry)?;
         self.schemas.register(name, schema);

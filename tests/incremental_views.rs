@@ -8,59 +8,13 @@
 //! group-by) and the oracle (re-running the defining query from scratch)
 //! must agree bit-for-bit on integers and to float tolerance on sums.
 
-use rex::core::tuple::{Schema, Tuple};
-use rex::core::value::{DataType, Value};
-use rex::Session;
+use rex::core::tuple::Tuple;
+use rex::core::value::Value;
 use rex_data::rng::StdRng;
+use rex_testkit::{assert_rows_close, edges_session as make_session, random_row};
 
 const VIEW_SQL: &str = "SELECT e.src, count(*), sum(w.weight) \
      FROM edges e, weights w WHERE e.dst = w.node GROUP BY e.src";
-
-fn make_session(engine: &str) -> Session {
-    let mut s = match engine {
-        "cluster" => Session::cluster(3),
-        _ => Session::local(),
-    };
-    s.create_table("edges", Schema::of(&[("src", DataType::Int), ("dst", DataType::Int)])).unwrap();
-    s.create_table("weights", Schema::of(&[("node", DataType::Int), ("weight", DataType::Double)]))
-        .unwrap();
-    s
-}
-
-fn random_row(rng: &mut StdRng, table: &str) -> Tuple {
-    match table {
-        "edges" => Tuple::new(vec![
-            Value::Int(rng.gen_range(0..=7i64)),
-            Value::Int(rng.gen_range(0..=5i64)),
-        ]),
-        _ => Tuple::new(vec![
-            Value::Int(rng.gen_range(0..=5i64)),
-            Value::Double((rng.gen_range(1..=19i64)) as f64 * 0.25),
-        ]),
-    }
-}
-
-/// Compare bags of rows: identical shape, Int/Null exact, doubles to 1e-9
-/// relative tolerance (incremental maintenance may sum in another order
-/// than a scan-ordered recompute).
-fn assert_rows_close(got: &[Tuple], want: &[Tuple], ctx: &str) {
-    assert_eq!(got.len(), want.len(), "{ctx}: cardinality\n got: {got:?}\nwant: {want:?}");
-    for (g, w) in got.iter().zip(want) {
-        assert_eq!(g.arity(), w.arity(), "{ctx}: arity of {g} vs {w}");
-        for i in 0..g.arity() {
-            match (g.get(i), w.get(i)) {
-                (Value::Double(a), Value::Double(b)) => {
-                    let scale = b.abs().max(1.0);
-                    assert!(
-                        (a - b).abs() <= 1e-9 * scale,
-                        "{ctx}: col {i}: {a} vs {b} in {g} vs {w}"
-                    );
-                }
-                (a, b) => assert_eq!(a, b, "{ctx}: col {i} of {g} vs {w}"),
-            }
-        }
-    }
-}
 
 /// The seed-sweep property: N random mutation batches, view state checked
 /// against full recompute after every batch.

@@ -17,13 +17,11 @@
 //! parallel schedules preserve per-group accumulation order, not just
 //! set equality.
 
-use rex::core::tuple::{Schema, Tuple};
-use rex::core::value::{DataType, Value};
+use rex::core::tuple::Tuple;
+use rex::core::value::Value;
 use rex::Session;
 use rex_data::rng::StdRng;
-
-const SEEDS: [u64; 3] = [11, 29, 47];
-const THREADS: [usize; 3] = [2, 4, 8];
+use rex_testkit::{fill_tkd, session, D_ROWS, SEEDS, THREADS};
 
 /// Queries covering every parallel-lowering shape: the morsel lane
 /// (stateless chains), shard gates (joins, group-bys), fallback paths
@@ -45,44 +43,9 @@ const RECURSIVE: &str = "WITH R (k, v) AS (\
      ) UNION UNTIL FIXPOINT BY k (\
      SELECT k, v + 1 FROM R WHERE v < 4)";
 
-/// Rows for the base table `t`: > PARALLEL_ROWS_MIN so the local
-/// engine's parallel lowering actually engages.
-const T_ROWS: usize = 8192;
-const D_ROWS: i64 = 256;
-
-fn fill(s: &mut Session, seed: u64) {
-    s.create_table(
-        "t",
-        Schema::of(&[("k", DataType::Int), ("a", DataType::Int), ("b", DataType::Double)]),
-    )
-    .unwrap();
-    s.create_table("d", Schema::of(&[("k", DataType::Int), ("w", DataType::Double)])).unwrap();
-    s.create_table("seed", Schema::of(&[("k", DataType::Int)])).unwrap();
-    let mut rng = StdRng::seed_from_u64(seed);
-    let t: Vec<Tuple> = (0..T_ROWS)
-        .map(|i| {
-            Tuple::new(vec![
-                Value::Int((i as i64) % D_ROWS),
-                Value::Int(rng.gen_range(0..=99i64)),
-                Value::Double(rng.gen_range(0..=999i64) as f64 * 0.37),
-            ])
-        })
-        .collect();
-    s.insert("t", t).unwrap();
-    let d: Vec<Tuple> = (0..D_ROWS)
-        .map(|k| Tuple::new(vec![Value::Int(k), Value::Double(k as f64 * 1.5)]))
-        .collect();
-    s.insert("d", d).unwrap();
-    let seeds: Vec<Tuple> = (0..40i64).map(|k| Tuple::new(vec![Value::Int(k)])).collect();
-    s.insert("seed", seeds).unwrap();
-}
-
 fn make(engine: &str, seed: u64) -> Session {
-    let mut s = match engine {
-        "cluster" => Session::cluster(3),
-        _ => Session::local(),
-    };
-    fill(&mut s, seed);
+    let mut s = session(engine);
+    fill_tkd(&mut s, seed);
     s
 }
 
@@ -125,7 +88,7 @@ fn view_maintenance_is_bit_identical_across_thread_counts() {
         let run = |threads: usize| -> Vec<Vec<Tuple>> {
             let mut s = Session::local();
             s.set_threads(threads);
-            fill(&mut s, seed);
+            fill_tkd(&mut s, seed);
             for v in views {
                 s.query(v).unwrap();
             }
