@@ -48,18 +48,22 @@ const PASSES: usize = 5;
 /// pre-rework commit *on the same runner* and enforces each `floor` on
 /// that machine-independent ratio. Floors leave headroom for run-to-run
 /// noise: the gating scan→filter→project configs hold ≥2x with 25–40%
-/// margin; the join workload floors only guard against regression (its
-/// costs are dominated by cache-miss-bound hash probes both before and
-/// after). Re-measured interleaved against the baseline commit after the
-/// batched-probe dedup fix: local runs at parity (0.95–1.13x across
-/// rounds, noise-bound), cluster holds ~1.4x — so local carries a 0.9
-/// regression guard and cluster gates at 1.25.
+/// margin. The join floors were regression guards (0.9 / 1.25) while
+/// the probe loop was cache-miss bound; the columnar-batch PR's
+/// integer-hash entropy fix, byte-estimated build-side selection, and
+/// hash-all-then-prefetch batched probes lifted local `join_group` to
+/// ~2.0x against the same pre-rework commit (interleaved rounds:
+/// 765–835 pre vs 384–428 post ns/row), so local now gates at 1.8.
+/// Cluster joins repartition through the network edge and keep the
+/// general delta lane; interleaved rounds measure parity with the
+/// pre-columnar commit there (routing dominates, probes don't), so
+/// cluster keeps its ~1.4x-measured 1.25 floor from the fast-lane era.
 const CONFIGS: [(&str, &str, f64, f64); 6] = [
     ("scan_filter_project", "local", 130.4, 2.0),
     ("scan_filter_project", "cluster", 449.5, 2.0),
     ("scan_filter_project_half", "local", 243.2, 1.8),
     ("scan_filter_project_half", "cluster", 590.5, 2.0),
-    ("join_group", "local", 703.2, 0.9),
+    ("join_group", "local", 703.2, 1.8),
     ("join_group", "cluster", 1224.6, 1.25),
 ];
 

@@ -143,9 +143,24 @@ impl Router {
                 }
                 // Fast-lane batches crossing a boundary route as the
                 // insertions they are (lane plans have no network nodes
-                // today, but the router must not depend on that).
+                // today, but the router must not depend on that). Columnar
+                // batches additionally materialize their selected rows —
+                // partition routing is per-row anyway, so nothing is lost
+                // by leaving the columnar form at the network edge.
                 Event::Rows(rows) => {
                     let deltas = rows.into_iter().map(Delta::insert).collect();
+                    self.batch_data(
+                        BatchCtx { from_worker, node: em.node, port: em.port, n_workers },
+                        deltas,
+                        net_key,
+                        live,
+                        snap,
+                        &mut deliveries,
+                        &mut sent,
+                    );
+                }
+                Event::Cols(batch) => {
+                    let deltas = batch.to_rows().into_iter().map(Delta::insert).collect();
                     self.batch_data(
                         BatchCtx { from_worker, node: em.node, port: em.port, n_workers },
                         deltas,

@@ -37,6 +37,26 @@ fn scalar_result(v: Value) -> Vec<Delta> {
     vec![Delta::insert(Tuple::new(vec![v]))]
 }
 
+/// The single input column of a unary aggregate's batched fast path, read
+/// in place from the full (unprojected) row.
+fn unary<'t>(t: &'t Tuple, cols: &[usize]) -> Result<&'t Value> {
+    let c =
+        *cols.first().ok_or_else(|| RexError::Exec("aggregate needs an input column".into()))?;
+    t.try_get(c)
+}
+
+/// Sum/avg shared insert fold: `state += value, count += 1`.
+fn fold_sum_count(state: &mut AggState, v: &Value, name: &str) -> Result<bool> {
+    match state {
+        AggState::SumCount(sum, n) => {
+            *sum += numeric(v)?;
+            *n += 1;
+            Ok(true)
+        }
+        _ => Err(RexError::Exec(format!("{name}: bad state shape"))),
+    }
+}
+
 /// SUM over a numeric column.
 pub struct SumAgg;
 
@@ -76,6 +96,10 @@ impl AggHandler for SumAgg {
             }
         }
         Ok(vec![])
+    }
+
+    fn fold_insert(&self, state: &mut AggState, t: &Tuple, cols: &[usize]) -> Result<bool> {
+        fold_sum_count(state, unary(t, cols)?, "sum")
     }
 
     fn agg_result(&self, state: &AggState) -> Result<Vec<Delta>> {
@@ -139,6 +163,16 @@ impl AggHandler for CountAgg {
         Ok(vec![])
     }
 
+    fn fold_insert(&self, state: &mut AggState, _t: &Tuple, _cols: &[usize]) -> Result<bool> {
+        match state {
+            AggState::Int(n) => {
+                *n += 1;
+                Ok(true)
+            }
+            _ => Err(RexError::Exec("count: bad state shape".into())),
+        }
+    }
+
     fn agg_result(&self, state: &AggState) -> Result<Vec<Delta>> {
         match state {
             AggState::Int(n) => Ok(scalar_result(Value::Int(*n))),
@@ -175,6 +209,17 @@ pub struct MinAgg;
 
 /// MAX, symmetric to [`MinAgg`].
 pub struct MaxAgg;
+
+/// Extremum insert fold: push the value into the buffered bag.
+fn fold_extremum(state: &mut AggState, v: &Value, name: &str) -> Result<bool> {
+    match state {
+        AggState::Bag(bag) => {
+            bag.push(v.clone());
+            Ok(true)
+        }
+        _ => Err(RexError::Exec(format!("{name}: bad state shape"))),
+    }
+}
 
 fn extremum_state(state: &mut AggState, d: &Delta, name: &str) -> Result<()> {
     let bag = match state {
@@ -217,6 +262,10 @@ impl AggHandler for MinAgg {
         Ok(vec![])
     }
 
+    fn fold_insert(&self, state: &mut AggState, t: &Tuple, cols: &[usize]) -> Result<bool> {
+        fold_extremum(state, unary(t, cols)?, "min")
+    }
+
     fn agg_result(&self, state: &AggState) -> Result<Vec<Delta>> {
         match state {
             AggState::Bag(b) => Ok(scalar_result(b.iter().min().cloned().unwrap_or(Value::Null))),
@@ -252,6 +301,10 @@ impl AggHandler for MaxAgg {
     fn agg_state(&self, state: &mut AggState, d: &Delta) -> Result<Vec<Delta>> {
         extremum_state(state, d, "max")?;
         Ok(vec![])
+    }
+
+    fn fold_insert(&self, state: &mut AggState, t: &Tuple, cols: &[usize]) -> Result<bool> {
+        fold_extremum(state, unary(t, cols)?, "max")
     }
 
     fn agg_result(&self, state: &AggState) -> Result<Vec<Delta>> {
@@ -312,6 +365,10 @@ impl AggHandler for AvgAgg {
         Ok(vec![])
     }
 
+    fn fold_insert(&self, state: &mut AggState, t: &Tuple, cols: &[usize]) -> Result<bool> {
+        fold_sum_count(state, unary(t, cols)?, "avg")
+    }
+
     fn agg_result(&self, state: &AggState) -> Result<Vec<Delta>> {
         match state {
             AggState::SumCount(s, n) => {
@@ -362,6 +419,10 @@ impl AggHandler for AvgPartialAgg {
 
     fn agg_state(&self, state: &mut AggState, d: &Delta) -> Result<Vec<Delta>> {
         AvgAgg.agg_state(state, d)
+    }
+
+    fn fold_insert(&self, state: &mut AggState, t: &Tuple, cols: &[usize]) -> Result<bool> {
+        fold_sum_count(state, unary(t, cols)?, "avg_partial")
     }
 
     fn agg_result(&self, state: &AggState) -> Result<Vec<Delta>> {

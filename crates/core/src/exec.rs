@@ -22,6 +22,7 @@ fn event_rows(e: &Event) -> u64 {
     match e {
         Event::Data(d) => d.len() as u64,
         Event::Rows(r) => r.len() as u64,
+        Event::Cols(b) => b.len() as u64,
         Event::Punct(_) => 0,
     }
 }
@@ -321,13 +322,18 @@ impl Executor {
             let t0 = traced.then(Instant::now);
             let (rows_in, lane, qdepth) = if traced {
                 // Queue depth at pop time, counting the popped event.
-                (event_rows(&event), matches!(event, Event::Rows(_)), self.queue.len() as u64 + 1)
+                (
+                    event_rows(&event),
+                    matches!(event, Event::Rows(_) | Event::Cols(_)),
+                    self.queue.len() as u64 + 1,
+                )
             } else {
                 (0, false, 0)
             };
             match event {
                 Event::Data(deltas) => self.nodes[node].on_deltas(port, deltas, &mut ctx)?,
                 Event::Rows(rows) => self.nodes[node].on_rows(port, rows, &mut ctx)?,
+                Event::Cols(batch) => self.nodes[node].on_cols(port, batch, &mut ctx)?,
                 Event::Punct(p) => self.nodes[node].on_punct(port, p, &mut ctx)?,
             }
             if let (Some(t0), Some(tr)) = (t0, self.trace.as_mut()) {

@@ -288,7 +288,7 @@ fn eval_logic(l: &Value, r: &Value, is_and: bool) -> Result<Value> {
     }
 }
 
-fn eval_bin(op: BinOp, l: &Value, r: &Value) -> Result<Value> {
+pub(crate) fn eval_bin(op: BinOp, l: &Value, r: &Value) -> Result<Value> {
     use BinOp::*;
     match op {
         Add => l.add(r),
@@ -402,7 +402,7 @@ impl CompiledExpr {
 /// allocated, so this costs nothing and cannot diverge from the
 /// interpreter's comparison semantics.
 #[inline]
-fn cmp_bool(op: BinOp, l: &Value, r: &Value) -> Result<bool> {
+pub(crate) fn cmp_bool(op: BinOp, l: &Value, r: &Value) -> Result<bool> {
     Ok(matches!(eval_bin(op, l, r)?, Value::Bool(true)))
 }
 

@@ -192,6 +192,18 @@ pub trait AggHandler: Send + Sync {
     /// intermediate deltas for streamed partial aggregation (usually empty).
     fn agg_state(&self, state: &mut AggState, d: &Delta) -> Result<Vec<Delta>>;
 
+    /// Batched-rows fast path: fold one *inserted* row into `state`,
+    /// reading the aggregate's input columns `cols` from `t` in place —
+    /// no delta wrapper, no projected tuple, no allocation. Must behave
+    /// exactly like `agg_state(state, &Delta::insert(project(t, cols)))`
+    /// returning no intermediate deltas. Returns `Ok(false)` when the
+    /// handler has no fast path; the caller then takes the general delta
+    /// path (the default for custom UDAs and table-valued aggregates).
+    fn fold_insert(&self, state: &mut AggState, t: &Tuple, cols: &[usize]) -> Result<bool> {
+        let _ = (state, t, cols);
+        Ok(false)
+    }
+
     /// AGGRESULT: the current result(s) for a group, called at stratum end.
     /// For scalar aggregates this returns a single 1-ary tuple delta holding
     /// the aggregate value; for table-valued UDAs it may return anything.

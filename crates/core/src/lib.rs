@@ -94,6 +94,7 @@
 
 pub mod aggregates;
 pub mod builtins;
+pub mod col;
 pub mod delta;
 pub mod error;
 pub mod exec;

@@ -1,5 +1,6 @@
 //! Selection with full delta semantics.
 
+use crate::col::ColumnBatch;
 use crate::delta::{Annotation, Delta, Punctuation};
 use crate::error::Result;
 use crate::expr::{CompiledExpr, Expr};
@@ -24,6 +25,10 @@ pub struct FilterOp {
     /// `col OP col` shapes evaluate on borrowed operands with no clones.
     compiled: CompiledExpr,
     has_udf: bool,
+    /// Rows that arrived on a batch lane (`Rows`/`Cols`), for telemetry.
+    batch_in: u64,
+    /// Rows of those that passed the predicate.
+    batch_out: u64,
 }
 
 impl FilterOp {
@@ -31,7 +36,7 @@ impl FilterOp {
     pub fn new(predicate: Expr) -> FilterOp {
         let compiled = CompiledExpr::compile(&predicate);
         let has_udf = predicate.contains_udf();
-        FilterOp { predicate, compiled, has_udf }
+        FilterOp { predicate, compiled, has_udf, batch_in: 0, batch_out: 0 }
     }
 
     /// The predicate expression.
@@ -104,6 +109,7 @@ impl Operator for FilterOp {
     /// annotation cases to consider.
     fn on_rows(&mut self, _port: usize, mut rows: Vec<Tuple>, ctx: &mut OpCtx<'_>) -> Result<()> {
         ctx.charge_input(rows.len());
+        self.batch_in += rows.len() as u64;
         if self.has_udf {
             for _ in 0..rows.len() {
                 ctx.charge_udf_call();
@@ -120,7 +126,25 @@ impl Operator for FilterOp {
         if let Some(e) = err {
             return Err(e);
         }
+        self.batch_out += rows.len() as u64;
         ctx.emit_rows(0, rows);
+        Ok(())
+    }
+
+    /// Columnar lane: the whole batch evaluates through the vectorized
+    /// comparison kernels into a narrowed selection vector — no data
+    /// movement at all on the typed shapes.
+    fn on_cols(&mut self, _port: usize, mut batch: ColumnBatch, ctx: &mut OpCtx<'_>) -> Result<()> {
+        ctx.charge_input(batch.len());
+        self.batch_in += batch.len() as u64;
+        if self.has_udf {
+            for _ in 0..batch.len() {
+                ctx.charge_udf_call();
+            }
+        }
+        batch.filter(&self.compiled, ctx.reg)?;
+        self.batch_out += batch.len() as u64;
+        ctx.emit_cols(0, batch);
         Ok(())
     }
 
@@ -129,7 +153,21 @@ impl Operator for FilterOp {
         Ok(())
     }
 
-    fn reset(&mut self) {}
+    fn reset(&mut self) {
+        self.batch_in = 0;
+        self.batch_out = 0;
+    }
+
+    fn stats_detail(&self) -> Vec<(String, u64)> {
+        if self.batch_in == 0 {
+            return Vec::new();
+        }
+        vec![
+            ("batch_rows".into(), self.batch_in),
+            // Percent of batched rows that survived the predicate.
+            ("selectivity".into(), self.batch_out * 100 / self.batch_in),
+        ]
+    }
 }
 
 #[cfg(test)]

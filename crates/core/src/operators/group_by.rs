@@ -208,6 +208,47 @@ impl Operator for GroupByOp {
         Ok(())
     }
 
+    /// Fast lane: fold bare (insert-only) rows straight into group state.
+    /// Built-in aggregates take the allocation-free
+    /// [`fold_insert`](AggHandler::fold_insert) path — no delta wrapper,
+    /// no projected tuple per row; handlers without a fast fold fall back
+    /// to the general AGGSTATE dispatch on a projected insert delta.
+    fn on_rows(&mut self, _port: usize, rows: Vec<Tuple>, ctx: &mut OpCtx<'_>) -> Result<()> {
+        ctx.charge_input(rows.len());
+        let mut streamed = Vec::new();
+        for t in &rows {
+            ctx.charge_cpu(ctx.cost.hash_cost);
+            let aggs = &self.aggs;
+            let entry = self.groups.probe_or_insert_with(t, &self.key_cols, || GroupEntry {
+                states: aggs.iter().map(|a| a.handler.init()).collect(),
+                last_emitted: None,
+                last_results: Vec::new(),
+                changed: false,
+            });
+            for (i, spec) in self.aggs.iter().enumerate() {
+                if spec.handler.is_builtin() {
+                    ctx.charge_cpu(ctx.cost.cpu_per_tuple * 0.02);
+                } else {
+                    ctx.charge_udf_call();
+                }
+                if spec.handler.fold_insert(&mut entry.states[i], t, &spec.input_cols)? {
+                    continue;
+                }
+                let projected =
+                    Delta::insert(project_row(t, &spec.input_cols, &mut self.scratch, &self.empty));
+                let inter = spec.handler.agg_state(&mut entry.states[i], &projected)?;
+                if self.streaming {
+                    streamed.extend(inter);
+                }
+            }
+            entry.changed = true;
+        }
+        if self.streaming && !streamed.is_empty() {
+            ctx.emit(0, streamed);
+        }
+        Ok(())
+    }
+
     fn on_punct(&mut self, _port: usize, p: Punctuation, ctx: &mut OpCtx<'_>) -> Result<()> {
         let out = self.flush(ctx)?;
         ctx.emit(0, out);
@@ -239,11 +280,17 @@ impl Operator for GroupByOp {
 /// a reusable scratch buffer (one allocation per projected tuple); the
 /// zero-column projection of `count(*)` reuses a cached empty tuple.
 fn project_tuple(d: &Delta, cols: &[usize], scratch: &mut Vec<Value>, empty: &Tuple) -> Tuple {
+    project_row(&d.tuple, cols, scratch, empty)
+}
+
+/// [`project_tuple`] over a bare row (the rows-lane fallback when a
+/// handler has no [`AggHandler::fold_insert`] fast path).
+fn project_row(t: &Tuple, cols: &[usize], scratch: &mut Vec<Value>, empty: &Tuple) -> Tuple {
     if cols.is_empty() {
         return empty.clone();
     }
     scratch.clear();
-    scratch.extend(cols.iter().map(|&c| d.tuple.get(c).clone()));
+    scratch.extend(cols.iter().map(|&c| t.get(c).clone()));
     Tuple::from_slice(scratch)
 }
 

@@ -22,6 +22,13 @@ use std::sync::Arc;
 /// group-by-key pass only pays once duplicate keys are plausible.
 const INSERT_BATCH_MIN: usize = 8;
 
+/// How many sorted keys ahead of the probe cursor the opposite table's
+/// probe slot is prefetched on the batched rows path. Far enough that the
+/// line arrives before the probe (a probe is a fold + slot read + key
+/// compare, a few nanoseconds each); near enough that L1 does not evict
+/// it again before use.
+const PREFETCH_DIST: usize = 8;
+
 /// Pipelined hash join. Port 0 is the left input, port 1 the right.
 ///
 /// Both build sides live in [`KeyedTable`]s so the per-row operations —
@@ -35,6 +42,8 @@ pub struct HashJoinOp {
     left: KeyedTable<TupleSet>,
     right: KeyedTable<TupleSet>,
     punct: PunctTracker,
+    /// Probes issued with a software prefetch ahead of them (telemetry).
+    prefetch_probes: u64,
 }
 
 impl HashJoinOp {
@@ -47,6 +56,7 @@ impl HashJoinOp {
             left: KeyedTable::new(),
             right: KeyedTable::new(),
             punct: PunctTracker::new(2),
+            prefetch_probes: 0,
         }
     }
 
@@ -154,6 +164,92 @@ impl HashJoinOp {
                     for (_, t) in &keyed[i..j] {
                         ctx.charge_cpu(ctx.cost.hash_cost);
                         out.push(Delta::insert(self.fuse(t, m, from_left)));
+                    }
+                }
+            }
+            i = j;
+        }
+    }
+
+    /// Probe the opposite side and push bare fused tuples (rows-lane
+    /// mirror of [`probe_emit`](HashJoinOp::probe_emit)).
+    fn probe_rows(
+        &self,
+        hash: u64,
+        t: &Tuple,
+        from_left: bool,
+        out: &mut Vec<Tuple>,
+        ctx: &mut OpCtx<'_>,
+    ) {
+        let (opposite, cols) =
+            if from_left { (&self.right, &self.left_key) } else { (&self.left, &self.right_key) };
+        if let Some(bucket) = opposite.probe_hashed(hash, t, cols) {
+            for m in bucket.iter() {
+                ctx.charge_cpu(ctx.cost.hash_cost);
+                out.push(self.fuse(t, m, from_left));
+            }
+        }
+    }
+
+    /// Rows-lane twin of [`apply_insert_batch`](HashJoinOp::apply_insert_batch)
+    /// with the cache-conscious probe loop: every key in the batch is
+    /// hashed up front, the batch is stably sorted by hash (so duplicate
+    /// keys cost one upsert + one probe per *run*, and the emission order
+    /// is identical to the delta batch path bit for bit), and the probe
+    /// slot for the key [`PREFETCH_DIST`] runs ahead is prefetched before
+    /// each probe so the table's random cache-line reads overlap the
+    /// sequential key walk. When `store` is false (the opposite input has
+    /// already delivered end-of-stream, so nothing can probe this side
+    /// again) the build-side upsert is skipped entirely — the batch runs
+    /// probe-only.
+    fn apply_rows_batch(
+        &mut self,
+        rows: Vec<Tuple>,
+        from_left: bool,
+        store: bool,
+        out: &mut Vec<Tuple>,
+        ctx: &mut OpCtx<'_>,
+    ) {
+        let own_cols: &[usize] = if from_left { &self.left_key } else { &self.right_key };
+        let mut keyed: Vec<(u64, Tuple)> =
+            rows.into_iter().map(|t| (t.hash_key(own_cols), t)).collect();
+        // Stable: arrival order survives within a key run.
+        keyed.sort_by_key(|(h, _)| *h);
+        let mut i = 0;
+        while i < keyed.len() {
+            let hash = keyed[i].0;
+            let run_cols: &[usize] = if from_left { &self.left_key } else { &self.right_key };
+            let mut j = i + 1;
+            while j < keyed.len()
+                && keyed[j].0 == hash
+                && run_cols.iter().all(|&c| keyed[j].1.get(c) == keyed[i].1.get(c))
+            {
+                j += 1;
+            }
+            {
+                let ahead = (i + PREFETCH_DIST).min(keyed.len() - 1);
+                let opposite = if from_left { &self.right } else { &self.left };
+                opposite.prefetch(keyed[ahead].0);
+            }
+            self.prefetch_probes += 1;
+            ctx.charge_cpu(ctx.cost.hash_cost);
+            if store {
+                let (state, cols) = self.side_mut(from_left);
+                let bucket = state.probe_or_insert_hashed(hash, &keyed[i].1, cols, TupleSet::new);
+                for (_, t) in &keyed[i..j] {
+                    bucket.insert(t.clone());
+                }
+            }
+            let (opposite, cols) = if from_left {
+                (&self.right, &self.left_key)
+            } else {
+                (&self.left, &self.right_key)
+            };
+            if let Some(bucket) = opposite.probe_hashed(hash, &keyed[i].1, cols) {
+                for m in bucket.iter() {
+                    for (_, t) in &keyed[i..j] {
+                        ctx.charge_cpu(ctx.cost.hash_cost);
+                        out.push(self.fuse(t, m, from_left));
                     }
                 }
             }
@@ -300,6 +396,43 @@ impl Operator for HashJoinOp {
         Ok(())
     }
 
+    /// Fast lane: bare tuples are insertions by construction, so the join
+    /// stores and probes without delta wrapping and emits bare fused rows.
+    /// Once the *opposite* input has delivered end-of-stream nothing can
+    /// probe this side's table again, so arriving rows skip the build-side
+    /// store entirely and run probe-only — a bulk build-then-probe join
+    /// stores only its build side instead of both.
+    fn on_rows(&mut self, port: usize, rows: Vec<Tuple>, ctx: &mut OpCtx<'_>) -> Result<()> {
+        if self.handler.is_some() {
+            // Handler joins never ride the rows lane (lowering keeps them
+            // off); degrade to the delta path if one is mis-plumbed.
+            return self.on_deltas(port, rows.into_iter().map(Delta::insert).collect(), ctx);
+        }
+        ctx.charge_input(rows.len());
+        let from_left = port == 0;
+        let store = !self.punct.is_eos(1 - port);
+        // Equi-joins emit at least one row per matching input row; start
+        // at the batch size instead of doubling up from empty.
+        let mut out: Vec<Tuple> = Vec::with_capacity(rows.len());
+        if rows.len() >= INSERT_BATCH_MIN {
+            self.apply_rows_batch(rows, from_left, store, &mut out, ctx);
+        } else {
+            // Tiny batch: per-row in arrival order, mirroring the
+            // per-delta path (including its emission order).
+            for t in rows {
+                ctx.charge_cpu(ctx.cost.hash_cost);
+                let hash = self.key_hash(&t, from_left);
+                if store {
+                    let (state, cols) = self.side_mut(from_left);
+                    state.probe_or_insert_hashed(hash, &t, cols, TupleSet::new).insert(t.clone());
+                }
+                self.probe_rows(hash, &t, from_left, &mut out, ctx);
+            }
+        }
+        ctx.emit_rows(0, out);
+        Ok(())
+    }
+
     fn on_punct(&mut self, port: usize, p: Punctuation, ctx: &mut OpCtx<'_>) -> Result<()> {
         if let Some(fwd) = self.punct.arrive(port, p) {
             ctx.punct(0, fwd);
@@ -319,6 +452,7 @@ impl Operator for HashJoinOp {
         self.left.clear();
         self.right.clear();
         self.punct.reset();
+        self.prefetch_probes = 0;
     }
 
     fn stats_detail(&self) -> Vec<(String, u64)> {
@@ -328,6 +462,7 @@ impl Operator for HashJoinOp {
             ("hash_probes".into(), lp + rp),
             ("hash_collisions".into(), lc + rc),
             ("state_rows".into(), self.state_size() as u64),
+            ("prefetch_probes".into(), self.prefetch_probes),
         ]
     }
 }

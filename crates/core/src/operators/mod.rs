@@ -32,6 +32,7 @@ pub use sink::SinkOp;
 pub use topk::{compare_by_keys, SortSpec, TopKOp};
 pub use union::UnionOp;
 
+use crate::col::ColumnBatch;
 use crate::delta::{Delta, Punctuation};
 use crate::error::Result;
 use crate::metrics::{CostModel, ExecMetrics};
@@ -39,7 +40,7 @@ use crate::tuple::Tuple;
 use crate::udf::Registry;
 
 /// A unit of traffic on a dataflow edge: a batch of deltas, a run-length
-/// batch of insertions, or a punctuation marker.
+/// batch of insertions, a columnar batch, or a punctuation marker.
 #[derive(Debug, Clone)]
 pub enum Event {
     /// A batch of annotated tuples.
@@ -51,6 +52,13 @@ pub enum Event {
     /// [`Operator::on_rows`] transparently receives the batch as
     /// insertion deltas.
     Rows(Vec<Tuple>),
+    /// A columnar batch of implicit `+()` insertions — the vectorized
+    /// form of [`Event::Rows`]. Scans on columnar-lowered stateless
+    /// pipelines emit these so filters and projections run whole-batch
+    /// kernels over typed columns; any operator without a native
+    /// [`Operator::on_cols`] transparently receives the batch as bare
+    /// rows (and, failing that, as insertion deltas).
+    Cols(ColumnBatch),
     /// A stratum/stream boundary.
     Punct(Punctuation),
 }
@@ -62,6 +70,8 @@ impl Event {
             Event::Data(ds) => 8 + ds.iter().map(Delta::byte_size).sum::<usize>(),
             // Parity with `Data`: each bare tuple ships as a `+()` delta.
             Event::Rows(ts) => 8 + ts.iter().map(|t| 1 + t.byte_size()).sum::<usize>(),
+            // Parity with `Rows`: a columnar batch accounts per selected row.
+            Event::Cols(b) => b.byte_size(),
             Event::Punct(_) => 9,
         }
     }
@@ -110,6 +120,16 @@ impl<'a> OpCtx<'a> {
         if !rows.is_empty() {
             self.metrics.deltas_emitted += rows.len() as u64;
             self.out.push((port, Event::Rows(rows)));
+        }
+    }
+
+    /// Emit a columnar insert batch on an output port (the columnar
+    /// lane's counterpart of [`emit_rows`](OpCtx::emit_rows); each
+    /// selected row counts as one emitted delta).
+    pub fn emit_cols(&mut self, port: usize, batch: ColumnBatch) {
+        if !batch.is_empty() {
+            self.metrics.deltas_emitted += batch.len() as u64;
+            self.out.push((port, Event::Cols(batch)));
         }
     }
 
@@ -190,6 +210,14 @@ pub trait Operator: Send {
     /// override this to work on bare tuples.
     fn on_rows(&mut self, port: usize, rows: Vec<Tuple>, ctx: &mut OpCtx<'_>) -> Result<()> {
         self.on_deltas(port, rows.into_iter().map(Delta::insert).collect(), ctx)
+    }
+
+    /// Handle a columnar insert batch arriving on `port`. The default
+    /// materializes the selected rows and delegates to
+    /// [`on_rows`](Operator::on_rows), so only the columnar lane's
+    /// operators (scan, filter, project, sink) carry native kernels.
+    fn on_cols(&mut self, port: usize, batch: ColumnBatch, ctx: &mut OpCtx<'_>) -> Result<()> {
+        self.on_rows(port, batch.to_rows(), ctx)
     }
 
     /// Handle a punctuation marker arriving on `port`.
@@ -292,6 +320,13 @@ impl PunctTracker {
             }
         }
         stratum.map(Punctuation::EndOfStratum)
+    }
+
+    /// Whether `port` has seen `EndOfStream`. The insert-only join lane
+    /// uses this to skip building hash state for a side whose opposite
+    /// input can no longer produce rows to probe it.
+    pub fn is_eos(&self, port: usize) -> bool {
+        self.per_port[port] == PortPunct::Eos
     }
 
     /// Reset stratum markers (EOS persists) at the start of a new stratum.

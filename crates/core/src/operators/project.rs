@@ -1,5 +1,6 @@
 //! Projection: per-tuple expression evaluation.
 
+use crate::col::ColumnBatch;
 use crate::delta::{Annotation, Delta, Punctuation};
 use crate::error::Result;
 use crate::expr::{CompiledExpr, Expr};
@@ -74,6 +75,21 @@ impl Operator for ProjectOp {
             out.push(self.apply(t, ctx.reg)?);
         }
         ctx.emit_rows(0, out);
+        Ok(())
+    }
+
+    /// Columnar lane: materialize the output column-at-a-time over the
+    /// selected rows. Column references gather, `col OP lit` / `col OP
+    /// col` shapes evaluate without per-row tuple construction.
+    fn on_cols(&mut self, _port: usize, batch: ColumnBatch, ctx: &mut OpCtx<'_>) -> Result<()> {
+        ctx.charge_input(batch.len());
+        if self.has_udf {
+            for _ in 0..batch.len() {
+                ctx.charge_udf_call();
+            }
+        }
+        let out = batch.project(&self.compiled, ctx.reg)?;
+        ctx.emit_cols(0, out);
         Ok(())
     }
 

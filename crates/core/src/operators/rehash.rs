@@ -239,6 +239,7 @@ mod tests {
                 match ev {
                     Event::Data(ds) => kept_deltas += ds.len(),
                     Event::Rows(ts) => kept_rows += ts.len(),
+                    Event::Cols(b) => kept_rows += b.len(),
                     Event::Punct(_) => {}
                 }
             }

@@ -1,5 +1,6 @@
 //! Table scan: the source of a dataflow, reading a local partition.
 
+use crate::col::ColumnBatch;
 use crate::delta::{Delta, Punctuation};
 use crate::error::Result;
 use crate::operators::{OpCtx, Operator};
@@ -47,6 +48,11 @@ pub struct ScanOp {
     table: String,
     source: ScanRows,
     rows_lane: bool,
+    /// Columnar lane: transpose each batch into an
+    /// [`Event::Cols`](crate::operators::Event::Cols) columnar batch
+    /// (implies the stream is insert-only, like `rows_lane`). Ragged
+    /// batches fall back to `Event::Rows` per batch.
+    cols_lane: bool,
     /// Total byte size of the source, when the storage layer already
     /// knows it — skips the per-row size accounting.
     known_bytes: Option<u64>,
@@ -68,6 +74,7 @@ impl ScanOp {
             table: table.into(),
             source: tuples.into(),
             rows_lane: false,
+            cols_lane: false,
             known_bytes: None,
             morsel: None,
             morsels_pulled: 0,
@@ -91,6 +98,16 @@ impl ScanOp {
     /// flag exists so lowering opts in only where the lane pays.
     pub fn insert_only(mut self, on: bool) -> ScanOp {
         self.rows_lane = on;
+        self
+    }
+
+    /// Emit columnar insert batches (`Event::Cols`) instead of row
+    /// batches: each [`SCAN_BATCH`] chunk (one morsel slice at a time in
+    /// morsel mode) is transposed into a [`ColumnBatch`] so downstream
+    /// filters and projections run vectorized kernels. Only meaningful
+    /// together with [`insert_only`](ScanOp::insert_only).
+    pub fn columnar(mut self, on: bool) -> ScanOp {
+        self.cols_lane = on;
         self
     }
 
@@ -125,7 +142,15 @@ impl ScanOp {
                     break;
                 }
                 ctx.charge_input(batch.len());
-                ctx.emit_rows(0, batch);
+                if self.cols_lane {
+                    match ColumnBatch::try_from_rows(batch) {
+                        Ok(cols) => ctx.emit_cols(0, cols),
+                        // Ragged batch: stay on the row lane for this batch.
+                        Err(rows) => ctx.emit_rows(0, rows),
+                    }
+                } else {
+                    ctx.emit_rows(0, batch);
+                }
             }
         } else {
             loop {

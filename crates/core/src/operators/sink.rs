@@ -1,5 +1,6 @@
 //! Result sink: materializes the delta stream into a final relation.
 
+use crate::col::ColumnBatch;
 use crate::delta::{Annotation, Delta, Punctuation};
 use crate::error::Result;
 use crate::hash::FxHashMap;
@@ -160,6 +161,12 @@ impl Operator for SinkOp {
             }
         }
         Ok(())
+    }
+
+    /// Columnar lane: materialize the selected rows once, at the end of
+    /// the pipeline, and append (or count) them.
+    fn on_cols(&mut self, port: usize, batch: ColumnBatch, ctx: &mut OpCtx<'_>) -> Result<()> {
+        self.on_rows(port, batch.to_rows(), ctx)
     }
 
     fn on_punct(&mut self, _port: usize, p: Punctuation, _ctx: &mut OpCtx<'_>) -> Result<()> {

@@ -324,24 +324,31 @@ impl Hash for Value {
                 b.hash(state);
             }
             // Integers and doubles that are numerically equal must hash the
-            // same because they compare equal; hash both as f64 bits when the
-            // integer is exactly representable, else as i64.
+            // same because they compare equal. Both hash through the *i64*
+            // image when one exists: any `Double` equal to some `Int` is
+            // integral and round-trips through `as i64` (saturating casts
+            // make the i64::MAX/2^63 edge agree with `cmp`'s correction).
+            // Hashing by i64 rather than f64 bits keeps the entropy of
+            // small integers in the word's low bits — f64 bit patterns
+            // carry it in the exponent/mantissa *high* bits, which a
+            // multiply-based hash never folds back down, collapsing every
+            // probe-table home slot for sequential keys.
             Value::Int(i) => {
-                let f = *i as f64;
-                if f as i64 == *i {
-                    2u8.hash(state);
-                    f.to_bits().hash(state);
-                } else {
-                    3u8.hash(state);
-                    i.hash(state);
-                }
+                3u8.hash(state);
+                i.hash(state);
             }
             Value::Double(d) => {
-                // Normalize -0.0 to 0.0 so they hash identically; total_cmp
-                // orders them differently but our Eq goes through cmp, so
-                // adjust: treat -0.0 and 0.0 as distinct (total_cmp does).
-                2u8.hash(state);
-                d.to_bits().hash(state);
+                let i = *d as i64;
+                if i as f64 == *d {
+                    // Integral and i64-representable: hash as the equal Int
+                    // would (also unifies -0.0 with 0.0, a benign collision
+                    // across a pair `cmp` keeps distinct).
+                    3u8.hash(state);
+                    i.hash(state);
+                } else {
+                    2u8.hash(state);
+                    d.to_bits().hash(state);
+                }
             }
             Value::Str(s) => {
                 4u8.hash(state);

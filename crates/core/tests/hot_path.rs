@@ -5,10 +5,14 @@
 //! implementations produce — across random batches with duplicates,
 //! deletions, and replacements.
 
+use rex_core::col::ColumnBatch;
 use rex_core::delta::{Annotation, Delta, Punctuation};
+use rex_core::expr::{BinOp, Expr};
 use rex_core::hash::FxHashMap;
 use rex_core::metrics::{CostModel, ExecMetrics};
-use rex_core::operators::{AggSpec, Event, GroupByOp, HashJoinOp, OpCtx, Operator, SinkOp};
+use rex_core::operators::{
+    AggSpec, Event, FilterOp, GroupByOp, HashJoinOp, OpCtx, Operator, ProjectOp, SinkOp,
+};
 use rex_core::tuple::{sort_rows, Tuple};
 use rex_core::udf::Registry;
 use rex_core::value::Value;
@@ -40,14 +44,40 @@ fn drive(op: &mut dyn Operator, port: usize, deltas: Vec<Delta>) -> Vec<Delta> {
     let mut m = ExecMetrics::default();
     let mut ctx = OpCtx::new(0, 0, &reg, &cost, &mut m);
     op.on_deltas(port, deltas, &mut ctx).unwrap();
-    ctx.take_output()
-        .into_iter()
-        .flat_map(|(_, e)| match e {
-            Event::Data(d) => d,
-            Event::Rows(rows) => rows.into_iter().map(Delta::insert).collect(),
-            Event::Punct(_) => vec![],
-        })
-        .collect()
+    ctx.take_output().into_iter().flat_map(|(_, e)| event_deltas(e)).collect()
+}
+
+/// Unify any event lane back into insert deltas (bare rows and columnar
+/// batches are implicit insertions by construction).
+fn event_deltas(e: Event) -> Vec<Delta> {
+    match e {
+        Event::Data(d) => d,
+        Event::Rows(rows) => rows.into_iter().map(Delta::insert).collect(),
+        Event::Cols(batch) => batch.to_rows().into_iter().map(Delta::insert).collect(),
+        Event::Punct(_) => vec![],
+    }
+}
+
+/// Drive an operator with one fast-lane row batch, collecting everything
+/// it emits unified back into deltas.
+fn drive_rows(op: &mut dyn Operator, port: usize, rows: Vec<Tuple>) -> Vec<Delta> {
+    let reg = Registry::new();
+    let cost = CostModel::default();
+    let mut m = ExecMetrics::default();
+    let mut ctx = OpCtx::new(0, 0, &reg, &cost, &mut m);
+    op.on_rows(port, rows, &mut ctx).unwrap();
+    ctx.take_output().into_iter().flat_map(|(_, e)| event_deltas(e)).collect()
+}
+
+/// Drive an operator with one columnar batch, collecting everything it
+/// emits unified back into deltas.
+fn drive_cols(op: &mut dyn Operator, port: usize, batch: ColumnBatch) -> Vec<Delta> {
+    let reg = Registry::new();
+    let cost = CostModel::default();
+    let mut m = ExecMetrics::default();
+    let mut ctx = OpCtx::new(0, 0, &reg, &cost, &mut m);
+    op.on_cols(port, batch, &mut ctx).unwrap();
+    ctx.take_output().into_iter().flat_map(|(_, e)| event_deltas(e)).collect()
 }
 
 fn punct(op: &mut dyn Operator) -> Vec<Delta> {
@@ -270,6 +300,75 @@ fn sort_rows_matches_comparison_sort_on_mixed_types() {
             slow.sort_unstable();
             assert_eq!(fast, slow, "seed {seed}, n {n}");
         }
+    }
+}
+
+/// The three physical lanes through the stateless operators — wrapped
+/// deltas, bare row batches, and columnar batches — must be *output
+/// identical* (same rows, same order) on insert-only streams: the lane a
+/// plan picks is an execution detail, never an answer change.
+#[test]
+fn filter_project_lanes_are_output_identical() {
+    for seed in [11u64, 29, 47, 0xc01d] {
+        let mut rng = Rng(seed);
+        let pred = Expr::col(1).bin(BinOp::Gt, Expr::lit(Value::Int(2)));
+        let exprs = vec![Expr::col(1), Expr::col(0).bin(BinOp::Mul, Expr::col(1)), Expr::col(2)];
+        let mut f = (FilterOp::new(pred.clone()), FilterOp::new(pred.clone()), FilterOp::new(pred));
+        let mut p =
+            (ProjectOp::new(exprs.clone()), ProjectOp::new(exprs.clone()), ProjectOp::new(exprs));
+        for round in 0..30 {
+            let rows: Vec<Tuple> = (0..rng.range(20) + 1)
+                .map(|_| {
+                    tuple![rng.range(8) as i64, rng.range(6) as i64, rng.range(40) as f64 * 0.25]
+                })
+                .collect();
+            let batch = ColumnBatch::try_from_rows(rows.clone()).expect("uniform arity");
+            let deltas: Vec<Delta> = rows.iter().cloned().map(Delta::insert).collect();
+
+            let via_data = drive(&mut f.0, 0, deltas.clone());
+            assert_eq!(via_data, drive_rows(&mut f.1, 0, rows.clone()), "seed {seed} r{round}");
+            assert_eq!(via_data, drive_cols(&mut f.2, 0, batch.clone()), "seed {seed} r{round}");
+
+            let via_data = drive(&mut p.0, 0, deltas);
+            assert_eq!(via_data, drive_rows(&mut p.1, 0, rows), "seed {seed} r{round}");
+            assert_eq!(via_data, drive_cols(&mut p.2, 0, batch), "seed {seed} r{round}");
+        }
+    }
+}
+
+/// The join's batched row-lane probe loop (hash-all-first + prefetch) and
+/// the group-by's row-lane fold must converge to the same net output as
+/// the general delta path, with batch sizes straddling the batching
+/// threshold so both the scalar and the batched inner loops run.
+#[test]
+fn join_group_row_lane_matches_delta_lane_across_batch_sizes() {
+    for seed in [17u64, 83, 0xbeef] {
+        let mut rng = Rng(seed);
+        let mut jd = HashJoinOp::new(vec![0], vec![0]);
+        let mut jr = HashJoinOp::new(vec![0], vec![0]);
+        let specs = || {
+            vec![AggSpec::new(Arc::new(SumAgg), vec![1]), AggSpec::new(Arc::new(CountAgg), vec![1])]
+        };
+        let mut gd = GroupByOp::new(vec![0], specs());
+        let mut gr = GroupByOp::new(vec![0], specs());
+        let (mut net_d, mut net_r) = (FxHashMap::default(), FxHashMap::default());
+        let (mut grp_d, mut grp_r) = (FxHashMap::default(), FxHashMap::default());
+        for _ in 0..40 {
+            // 1..=16 rows: below and above the join's batch threshold.
+            let rows: Vec<Tuple> = (0..rng.range(16) + 1)
+                .map(|_| tuple![rng.range(5) as i64, rng.range(7) as i64])
+                .collect();
+            let deltas: Vec<Delta> = rows.iter().cloned().map(Delta::insert).collect();
+            let port = rng.range(2) as usize;
+            accumulate(&mut net_d, &drive(&mut jd, port, deltas.clone()));
+            accumulate(&mut net_r, &drive_rows(&mut jr, port, rows.clone()));
+            accumulate(&mut grp_d, &drive(&mut gd, 0, deltas));
+            accumulate(&mut grp_r, &drive_rows(&mut gr, 0, rows));
+        }
+        assert_eq!(bag_rows(&net_d), bag_rows(&net_r), "seed {seed}: join lanes diverge");
+        accumulate(&mut grp_d, &punct(&mut gd));
+        accumulate(&mut grp_r, &punct(&mut gr));
+        assert_eq!(bag_rows(&grp_d), bag_rows(&grp_r), "seed {seed}: group lanes diverge");
     }
 }
 

@@ -120,11 +120,20 @@ pub struct LowerOptions {
     /// default; platform-agreement sweeps turn it off to prove the lane
     /// is output-invisible.
     pub fast_lane: bool,
+    /// Use the columnar batch lane where it applies: pure stateless
+    /// chains transpose scan batches into `Event::Cols` for the
+    /// vectorized filter/project kernels, and handler-free join plans
+    /// ride bare-rows batches through the join's cache-conscious batch
+    /// path (see [`join_lane_plan`]). Defaults from `REX_COLUMNAR`
+    /// (unset or anything but `"0"` → on); turning it off restores the
+    /// pre-columnar row path end to end, bit for bit.
+    pub columnar: bool,
 }
 
 impl Default for LowerOptions {
     fn default() -> Self {
-        LowerOptions { distributed: false, fast_lane: true }
+        let columnar = std::env::var("REX_COLUMNAR").map(|v| v != "0").unwrap_or(true);
+        LowerOptions { distributed: false, fast_lane: true, columnar }
     }
 }
 
@@ -137,6 +146,12 @@ impl LowerOptions {
     /// Disable the insert-only sink fast lane (agreement sweeps).
     pub fn without_fast_lane(mut self) -> LowerOptions {
         self.fast_lane = false;
+        self
+    }
+
+    /// Disable the columnar batch lane (row-path oracle sweeps).
+    pub fn without_columnar(mut self) -> LowerOptions {
+        self.columnar = false;
         self
     }
 }
@@ -185,6 +200,42 @@ pub fn rows_lane_plan(plan: &LogicalPlan) -> bool {
     }
 }
 
+/// Whether the plan qualifies for the batched **join lane**: scans feed a
+/// handler-free equi-join through nothing but filters and projections,
+/// optionally under aggregates / top-k on top. On such plans the scans
+/// emit bare `Event::Rows` batches and the join runs its cache-conscious
+/// batch path — keys hashed up front, one store/probe per duplicate-key
+/// run, probe cache lines prefetched ahead of the cursor, and probe-only
+/// (no build-side store) once the opposite input has hit end-of-stream.
+/// Group-bys above fold the bare rows through the built-ins'
+/// allocation-free insert fast path. Every delta below the first
+/// aggregate is an insertion by construction, and the emitted multiset
+/// and order match the delta path bit for bit.
+pub fn join_lane_plan(plan: &LogicalPlan) -> bool {
+    /// The scan→join spine: insert-only rows all the way up.
+    fn rows_spine(p: &LogicalPlan) -> bool {
+        match p {
+            LogicalPlan::Scan { .. } => true,
+            LogicalPlan::Filter { input, .. } | LogicalPlan::Project { input, .. } => {
+                rows_spine(input)
+            }
+            LogicalPlan::Join { left, right, handler, .. } => {
+                handler.is_none() && rows_spine(left) && rows_spine(right)
+            }
+            _ => false,
+        }
+    }
+    match plan {
+        LogicalPlan::Join { .. } => rows_spine(plan),
+        LogicalPlan::Filter { input, .. }
+        | LogicalPlan::Project { input, .. }
+        | LogicalPlan::Aggregate { input, .. }
+        | LogicalPlan::Sort { input, .. }
+        | LogicalPlan::Limit { input, .. } => join_lane_plan(input),
+        _ => false,
+    }
+}
+
 /// Compile RQL source text into an executable plan graph.
 pub fn compile(
     src: &str,
@@ -213,9 +264,17 @@ pub fn lower_with(
     opts: LowerOptions,
 ) -> Result<PlanGraph> {
     let mut g = PlanGraph::new();
-    let rows_lane = opts.fast_lane && rows_lane_plan(plan);
-    let mut ctx =
-        Lowering { g: &mut g, provider, reg, fixpoint: None, opts, rows_lane, parallel: None };
+    let (rows_lane, cols_lane) = plan_lanes(plan, &opts);
+    let mut ctx = Lowering {
+        g: &mut g,
+        provider,
+        reg,
+        fixpoint: None,
+        opts,
+        rows_lane,
+        cols_lane,
+        parallel: None,
+    };
     let (node, port, _) = ctx.node(plan)?;
     // Insert-only pipelines take the append sink: no delta application,
     // one unstable sort when results are taken. Anything that can emit
@@ -227,6 +286,21 @@ pub fn lower_with(
     };
     g.connect(node, port, sink, 0);
     Ok(g)
+}
+
+/// Which batch lanes a plan's scans ride under `opts`: `(rows_lane,
+/// cols_lane)`. Pure stateless chains take the columnar lane (scans
+/// transpose into `Event::Cols` for the vectorized kernels); join-lane
+/// plans stay on bare `Event::Rows` — the join consumes row batches
+/// natively, and transposing at the scan just to materialize again at
+/// the join entry would cost more than it saves. `cols_lane` implies
+/// `rows_lane` (ragged batches fall back to rows per batch).
+fn plan_lanes(plan: &LogicalPlan, opts: &LowerOptions) -> (bool, bool) {
+    let pure_chain = rows_lane_plan(plan);
+    let join_lane = opts.columnar && !opts.distributed && join_lane_plan(plan);
+    let rows_lane = opts.fast_lane && (pure_chain || join_lane);
+    let cols_lane = rows_lane && pure_chain && opts.columnar;
+    (rows_lane, cols_lane)
 }
 
 /// Minimum total scanned rows before thread-parallel lowering pays:
@@ -290,6 +364,26 @@ fn parallel_eligible(plan: &LogicalPlan) -> bool {
             !group_cols.is_empty() && parallel_eligible(input)
         }
         LogicalPlan::Fixpoint { .. } | LogicalPlan::FixpointRef { .. } => false,
+    }
+}
+
+/// Rough size of the rows a subtree delivers: the summed stored bytes of
+/// every table it scans. Filters and projections are ignored — this is a
+/// join build-side chooser, not a cardinality estimator — and `None` (an
+/// unsized scan, or a fixpoint whose per-stratum volume is unknowable)
+/// disables reordering.
+fn subtree_bytes(plan: &LogicalPlan, provider: &dyn TableProvider) -> Option<u64> {
+    match plan {
+        LogicalPlan::Scan { table, .. } => provider.scan_bytes(table),
+        LogicalPlan::Filter { input, .. }
+        | LogicalPlan::Project { input, .. }
+        | LogicalPlan::Aggregate { input, .. }
+        | LogicalPlan::Sort { input, .. }
+        | LogicalPlan::Limit { input, .. } => subtree_bytes(input, provider),
+        LogicalPlan::Join { left, right, .. } => {
+            Some(subtree_bytes(left, provider)?.saturating_add(subtree_bytes(right, provider)?))
+        }
+        LogicalPlan::Fixpoint { .. } | LogicalPlan::FixpointRef { .. } => None,
     }
 }
 
@@ -431,7 +525,7 @@ pub fn lower_parallel(
     let mut graphs = Vec::with_capacity(threads);
     for tid in 0..threads {
         let mut g = PlanGraph::new();
-        let rows_lane = opts.fast_lane && rows_lane_plan(plan);
+        let (rows_lane, cols_lane) = plan_lanes(plan, &opts);
         let mut ctx = Lowering {
             g: &mut g,
             provider: &snaps,
@@ -439,6 +533,7 @@ pub fn lower_parallel(
             fixpoint: None,
             opts,
             rows_lane,
+            cols_lane,
             parallel: Some(ParallelCtx {
                 mode,
                 shard: tid,
@@ -479,9 +574,14 @@ struct Lowering<'a> {
     /// port 0 feeds [`LogicalPlan::FixpointRef`] consumers) and its key.
     fixpoint: Option<(NodeId, Vec<usize>)>,
     opts: LowerOptions,
-    /// The whole plan is a stateless chain: scans emit run-length
-    /// `Event::Rows` batches (see [`rows_lane_plan`]).
+    /// The plan's scans emit run-length `Event::Rows` batches: either a
+    /// pure stateless chain ([`rows_lane_plan`]) or a batched-join plan
+    /// ([`join_lane_plan`]).
     rows_lane: bool,
+    /// On top of `rows_lane`, scans transpose each batch into columnar
+    /// [`Event::Cols`] form for the vectorized filter/project kernels
+    /// (pure stateless chains with [`LowerOptions::columnar`] on).
+    cols_lane: bool,
     /// Set while building one thread copy of a parallel plan (see
     /// [`lower_parallel`]); `None` for ordinary lowering.
     parallel: Option<ParallelCtx<'a>>,
@@ -568,6 +668,7 @@ impl Lowering<'_> {
                 let rows = self.provider.scan_shared(table)?;
                 let mut scan = ScanOp::new(table.clone(), rows)
                     .insert_only(self.rows_lane)
+                    .columnar(self.cols_lane)
                     .known_bytes(self.provider.scan_bytes(table));
                 // Morsel-parallel copies split each scan over a cursor
                 // shared with the sibling copies; the cursor for the n-th
@@ -608,8 +709,31 @@ impl Lowering<'_> {
                 Ok((id, 0, remap_partitioning(&part, exprs)))
             }
             LogicalPlan::Join { left, right, left_key, right_key, handler, .. } => {
-                let (l, lp, lpart) = self.node(left)?;
-                let (r, rp, rpart) = self.node(right)?;
+                // Build-side selection. The executor starts sources in
+                // creation order, so the subtree lowered *first* is fully
+                // delivered — and EOS-punctuated — before the other side
+                // streams through the join. On the insert-only lanes the
+                // join then skips storing the streaming side entirely
+                // (`HashJoinOp` probes without building state once the
+                // opposite port has seen EOS), so lowering the smaller
+                // input first keeps the resident build table the small,
+                // cache-friendly one. Port wiring (and therefore the fused
+                // row layout) is unchanged; only arrival order moves. Ties
+                // and unsized inputs keep the left-first default.
+                let build_right = matches!(
+                    (
+                        subtree_bytes(left, self.provider),
+                        subtree_bytes(right, self.provider),
+                    ),
+                    (Some(lb), Some(rb)) if rb < lb
+                );
+                let ((l, lp, lpart), (r, rp, rpart)) = if build_right {
+                    let rnode = self.node(right)?;
+                    (self.node(left)?, rnode)
+                } else {
+                    let lnode = self.node(left)?;
+                    (lnode, self.node(right)?)
+                };
                 let (l, lp, r, rp, out_part) = if left_key.is_empty() {
                     // Key-less (handler broadcast) join: replicate the
                     // recursive side everywhere, keep the stored side

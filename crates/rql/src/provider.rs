@@ -125,6 +125,16 @@ impl TableProvider for PartitionProvider {
         Ok(self.catalog.get(table)?.partition_for(&self.snapshot, self.worker))
     }
 
+    /// Estimated bytes of this worker's primary partition: the stored
+    /// table split evenly across live nodes. The absolute number is rough
+    /// under key skew, but join build-side selection only needs the
+    /// *relative* ordering of the two inputs, which an even split
+    /// preserves.
+    fn scan_bytes(&self, table: &str) -> Option<u64> {
+        let nodes = self.snapshot.n_nodes().max(1) as u64;
+        self.catalog.get(table).ok().map(|t| t.byte_size() / nodes)
+    }
+
     fn partition_cols(&self, table: &str) -> Option<Vec<usize>> {
         self.catalog.get(table).ok().map(|t| t.partition_cols().to_vec())
     }

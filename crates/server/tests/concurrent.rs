@@ -88,11 +88,12 @@ fn run_scenario(session: Session) {
                 while last_version < v_final {
                     iters += 1;
                     assert!(iters < 50_000, "reader {r} never saw final version {v_final}");
-                    let (rql, oracle): (&str, &Vec<Vec<Tuple>>) = if rng.next_u64().is_multiple_of(2) {
-                        ("SELECT * FROM deg", &deg_at)
-                    } else {
-                        ("SELECT * FROM edges", &edges_at)
-                    };
+                    let (rql, oracle): (&str, &Vec<Vec<Tuple>>) =
+                        if rng.next_u64().is_multiple_of(2) {
+                            ("SELECT * FROM deg", &deg_at)
+                        } else {
+                            ("SELECT * FROM edges", &edges_at)
+                        };
                     let reply = c.query(rql).unwrap();
                     assert!(
                         reply.version >= last_version,

@@ -31,6 +31,7 @@ const QUERIES: &[&str] = &[
     "SELECT k FROM t WHERE a >= 38 AND a < 45",
     "SELECT a, count(*), sum(b) FROM t GROUP BY a",
     "SELECT t.a, count(*), sum(d.w) FROM t, d WHERE t.k = d.k GROUP BY t.a",
+    "SELECT t.k, t.a, d.w FROM t, d WHERE t.k = d.k AND t.a > 90",
     "SELECT count(*), sum(b) FROM t",
     "SELECT k, b FROM t WHERE a < 50 ORDER BY b, k LIMIT 25",
     "SELECT DISTINCT a FROM t WHERE b > 100.0",

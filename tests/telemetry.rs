@@ -133,6 +133,55 @@ fn explain_analyze_executes_and_renders_actuals() {
     }
 }
 
+/// Look up one operator-specific detail counter by name.
+fn detail(op: &rex::core::telemetry::OpStats, key: &str) -> Option<u64> {
+    op.detail.iter().find(|(k, _)| k == key).map(|(_, v)| *v)
+}
+
+#[test]
+fn batched_lane_detail_counters_surface_in_traces() {
+    // Filter batch counters ride the batched lanes on both engines:
+    // `batch_rows` counts every row the filter saw in Rows/Cols batches,
+    // `selectivity` the percent it kept.
+    for mut s in sales_sessions(21) {
+        s.set_telemetry(true);
+        let r = s.query("SELECT item, price FROM sales WHERE qty > 1").unwrap();
+        let engine = r.engine.clone();
+        let trace = r.trace.as_ref().expect("trace");
+        let filter =
+            trace.ops.iter().find(|o| o.name.starts_with("Filter")).expect("filter in plan");
+        assert_eq!(
+            detail(filter, "batch_rows"),
+            Some(60),
+            "{engine}: every scanned row reaches the filter in batches"
+        );
+        let sel = detail(filter, "selectivity").expect("selectivity counter");
+        // Cluster traces sum the per-worker percentages; each worker's
+        // share stays within 0..=100.
+        assert!(sel <= 100 * filter.threads, "{engine}: selectivity {sel} out of range");
+    }
+
+    // The batched join probe loop (hash-all-first + software prefetch)
+    // is local-engine only: distributed plans repartition through the
+    // network edge and keep the general lane. It also rides the columnar
+    // toggle, so when the suite runs with the lane forced off (CI's
+    // REX_COLUMNAR=0 pass) zero prefetches is the correct answer.
+    if std::env::var("REX_COLUMNAR").as_deref() == Ok("0") {
+        return;
+    }
+    let mut s = sales_sessions(21).remove(0);
+    s.set_telemetry(true);
+    let r = s
+        .query("SELECT a.item, b.qty FROM sales a, sales b WHERE a.item = b.item AND a.qty < b.qty")
+        .unwrap();
+    let trace = r.trace.as_ref().expect("trace");
+    let join = trace.ops.iter().find(|o| o.name.starts_with("HashJoin")).expect("join in plan");
+    let prefetches = detail(join, "prefetch_probes").expect("prefetch_probes counter");
+    assert!(prefetches > 0, "batched probe loop ran: {prefetches}");
+    let probes = detail(join, "hash_probes").expect("hash_probes counter");
+    assert!(prefetches <= probes, "one prefetch per batched key run, at most one per probe");
+}
+
 #[test]
 fn slow_query_log_captures_over_threshold_queries() {
     let mut s = sales_sessions(8).remove(0);
